@@ -1,0 +1,72 @@
+// Ablation (§5.4/§9 future work): manual vs automatic DDoS response.
+// U1 engineers detected and purged the abusive accounts by hand, hours
+// after each attack started. The AnomalyGuard watches the session/auth
+// stream and purges as soon as one account concentrates an abnormal rate.
+#include "analysis/ddos_detect.hpp"
+#include "bench/bench_util.hpp"
+
+namespace {
+
+struct Outcome {
+  double response_minutes;     // time from attack start to purge
+  double attack_downloads;     // leech ops that got through
+  double attack_bytes;
+  std::size_t attack_days;
+};
+
+Outcome run(bool automatic, std::size_t users) {
+  using namespace u1;
+  using namespace u1::bench;
+  SimulationConfig cfg = standard_config(users, 7);  // Jan 15 + 16
+  cfg.auto_countermeasures = automatic;
+  DdosAnalyzer detector(0, cfg.days * kDay);
+  std::uint64_t leeches = 0, leech_bytes = 0;
+  CallbackSink leech_meter([&](const TraceRecord& r) {
+    detector.append(r);
+    if (r.type == RecordType::kStorageDone && !r.failed &&
+        r.api_op == ApiOp::kGetContent && r.user.value >= 1000000) {
+      ++leeches;
+      leech_bytes += r.transferred_bytes;
+    }
+  });
+  Simulation sim(cfg, leech_meter);
+  const SimulationReport report = sim.run();
+  Outcome o;
+  o.response_minutes =
+      automatic ? to_seconds(report.first_auto_response_delay) / 60.0
+                : 3.0 * 60.0;  // the Jan 15 manual delay
+  o.attack_downloads = static_cast<double>(leeches);
+  o.attack_bytes = static_cast<double>(leech_bytes);
+  o.attack_days = detector.attack_days();
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const std::size_t users = env_users(5000);
+
+  const Outcome manual = run(false, users);
+  const Outcome automatic = run(true, users);
+
+  header("Ablation", "Manual operator response vs AnomalyGuard auto-purge");
+  std::printf("  %-32s %14s %14s\n", "metric", "manual (U1)", "auto-guard");
+  std::printf("  %-32s %11.0f min %11.1f min\n", "response time",
+              manual.response_minutes, automatic.response_minutes);
+  std::printf("  %-32s %14.0f %14.0f\n", "leech downloads served",
+              manual.attack_downloads, automatic.attack_downloads);
+  std::printf("  %-32s %11.2f GB %11.2f GB\n", "leech traffic",
+              manual.attack_bytes / 1e9, automatic.attack_bytes / 1e9);
+  std::printf("  %-32s %14zu %14zu\n", "attack days still detectable",
+              manual.attack_days, automatic.attack_days);
+  row("leech traffic eliminated", 0.9,
+      manual.attack_bytes > 0
+          ? 1.0 - automatic.attack_bytes / manual.attack_bytes
+          : 0.0);
+  note("paper: 'the reaction to these attacks was not automatic ... "
+       "further research is needed to build automatic countermeasures' — "
+       "this is that countermeasure");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation (§7.3): cold sessions hold TCP connections without doing any
+// storage work. Quantifies the connection-time the push model wastes and
+// what an adaptive push/pull policy (Deolasee et al.) would reclaim.
+#include "analysis/sessions.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(5000), env_days(14));
+  SessionAnalyzer sessions(0, cfg.days * kDay);
+  auto sim = run_into(sessions, cfg);
+
+  header("Ablation", "Cold sessions and connection waste");
+  const auto& all = sessions.session_lengths();
+  const auto& active = sessions.active_session_lengths();
+  double total_hours = 0, active_hours = 0;
+  for (const double s : all) total_hours += s / 3600.0;
+  for (const double s : active) active_hours += s / 3600.0;
+
+  row("active share of sessions", 0.0557,
+      sessions.active_session_fraction());
+  std::printf("  connection-time held:  all=%.0f h   active=%.0f h   "
+              "cold=%.0f h\n",
+              total_hours, active_hours, total_hours - active_hours);
+  row("connection-time wasted on cold sessions", 0.9,
+      total_hours > 0 ? (total_hours - active_hours) / total_hours : 0.0);
+  std::printf("\n  adaptive policy estimate: moving cold sessions to pull "
+              "(poll every 30 min)\n  keeps push latency for the %.1f%% "
+              "active sessions while dropping ~%.0f%% of\n  concurrently "
+              "open TCP connections.\n",
+              sessions.active_session_fraction() * 100,
+              100.0 * (total_hours - active_hours) /
+                  std::max(total_hours, 1.0));
+  note("paper: only 5.57% of connections are active; a provider may "
+       "decide push vs pull per session to limit open TCP connections");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Ablation (§9): file-based cross-user deduplication.
+//
+// The paper's claim — "a simple optimization like file-based deduplication
+// could readily save 17% of the storage costs" — is the counterfactual on
+// one fixed workload: D_unique vs D_total over the stored data. That is
+// what the first section reports (single run, dedup on, registry books).
+// The second section re-runs the same month with the dedup check disabled
+// and compares the *wire* traffic (dedup also saves the transfer itself,
+// §3.3: "the client does not need to transfer data").
+#include "analysis/traffic.hpp"
+#include "bench/bench_util.hpp"
+#include "trace/sink.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const std::size_t users = env_users(5000);
+  const int days = env_days(14);
+
+  // --- counterfactual storage, one run --------------------------------------
+  auto cfg = standard_config(users, days, /*ddos=*/false);
+  NullSink sink;
+  auto sim = run_into(sink, cfg);
+  const auto& contents = sim->backend().store().contents();
+  const double unique = static_cast<double>(contents.unique_bytes());
+  const double logical = static_cast<double>(contents.logical_bytes());
+
+  header("Ablation", "File-based cross-user deduplication");
+  std::printf("  live data:  unique=%s   logical (no dedup)=%s\n",
+              format_bytes(unique).c_str(), format_bytes(logical).c_str());
+  row("storage saved by dedup (1 - Du/Dt)", 0.171,
+      logical > 0 ? 1.0 - unique / logical : 0.0);
+  constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+  std::printf("  monthly S3 bill at $0.03/GB:  dedup=$%.2f  "
+              "no-dedup=$%.2f\n",
+              unique / kGB * 0.03, logical / kGB * 0.03);
+
+  // --- wire traffic, dedup on vs off ------------------------------------------
+  auto wire_of = [&](bool dedup) {
+    auto c = standard_config(users, days, /*ddos=*/false);
+    c.backend.enable_dedup = dedup;
+    TrafficAnalyzer traffic(0, c.days * kDay);
+    auto s = run_into(traffic, c);
+    return static_cast<double>(traffic.upload_wire_bytes());
+  };
+  const double wire_on = wire_of(true);
+  const double wire_off = wire_of(false);
+  std::printf("\n  upload wire traffic:  dedup=%s   no-dedup=%s\n",
+              format_bytes(wire_on).c_str(), format_bytes(wire_off).c_str());
+  row("upload wire bytes saved by dedup", 0.171, 1.0 - wire_on / wire_off);
+  note("paper: dr = 0.171; scaled to U1's ~$20k/month S3 bill that is "
+       "~$3.4k/month saved, plus the suppressed transfers");
+  return 0;
+}

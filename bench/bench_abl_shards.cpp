@@ -1,0 +1,70 @@
+// Ablation (§7.2): shard count sweep. Drives the back-end directly with a
+// synthetic write storm near the single-shard capacity limit to expose
+// the queueing knee, and reports the load-balance statistics of the
+// user-per-shard routing at each cluster size.
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "server/backend.hpp"
+#include "stats/summary.hpp"
+#include "trace/sink.hpp"
+#include "util/sha1.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+
+  header("Ablation", "Metadata cluster shard count sweep");
+  std::printf("  Write storm: 64 users, Poisson arrivals at ~80%% of one "
+              "master's write capacity.\n\n");
+  std::printf("  %-8s %14s %14s %14s\n", "shards", "mean op (ms)",
+              "p99-ish (ms)", "shard cv");
+
+  for (const std::size_t shards : {1u, 2u, 5u, 10u, 20u, 40u}) {
+    BackendConfig cfg;
+    cfg.shards = shards;
+    cfg.auth_failure_rate = 0.0;
+    cfg.seed = 99;
+    NullSink sink;
+    U1Backend backend(cfg, sink);
+
+    constexpr int kUsers = 64;
+    std::vector<SessionId> sessions;
+    std::vector<UserAccount> accounts;
+    for (int u = 1; u <= kUsers; ++u) {
+      accounts.push_back(backend.register_user(UserId{(unsigned)u}, 0));
+      const auto conn = backend.connect(UserId{(unsigned)u}, 0);
+      sessions.push_back(conn.session);
+    }
+
+    // One shard master serves ~1/6ms writes => ~170/s. Drive the cluster
+    // at 140 make_file()/s for 2 simulated minutes.
+    Rng rng(7);
+    ExponentialDist gap(140.0);  // arrivals per second
+    RunningStats latency;
+    std::vector<double> latencies;
+    SimTime t = kMinute;
+    std::vector<std::uint64_t> per_shard(shards, 0);
+    for (int i = 0; i < 140 * 120; ++i) {
+      t += from_seconds(gap.sample(rng));
+      const std::size_t u = rng.below(kUsers);
+      const auto mk = backend.make_file(
+          sessions[u], accounts[u].root_volume, accounts[u].root_dir,
+          "f" + std::to_string(i), "txt", t);
+      const double ms = to_seconds(mk.end - t) * 1e3;
+      latency.add(ms);
+      latencies.push_back(ms);
+      per_shard[backend.store().shard_of(UserId{u + 1}).value - 1]++;
+    }
+    RunningStats balance;
+    for (const auto n : per_shard) balance.add(static_cast<double>(n));
+    std::sort(latencies.begin(), latencies.end());
+    const double p99 = latencies[latencies.size() * 99 / 100];
+    std::printf("  %-8zu %14.2f %14.2f %14.3f\n", shards, latency.mean(),
+                p99, balance.cv());
+  }
+  note("shape: a single master saturates (queueing blow-up); ~10 shards "
+       "absorb the load — the paper's cluster served 1.29M users on 10 "
+       "shards without congestion symptoms");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig. 3(a): X-after-Write inter-operation time CDFs (WAW / RAW / DAW).
+#include "analysis/file_dependencies.hpp"
+#include "bench/bench_util.hpp"
+#include "stats/ecdf.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  FileDependencyAnalyzer deps;
+  auto sim = run_into(deps, cfg);
+
+  header("Fig 3(a)", "X-after-Write inter-operation times");
+  row("WAW share of after-write transitions", 0.44,
+      deps.family_share(FileDependency::kWAW));
+  row("RAW share", 0.30, deps.family_share(FileDependency::kRAW));
+  row("DAW share", 0.26, deps.family_share(FileDependency::kDAW));
+
+  std::printf("\n  CDF of inter-operation times (seconds):\n");
+  std::printf("  %-8s %10s %10s %10s\n", "x", "WAW", "RAW", "DAW");
+  const std::vector<std::pair<const char*, double>> grid = {
+      {"0.1s", 0.1}, {"1s", 1},       {"60s", 60},   {"1h", 3600},
+      {"8h", 28800}, {"1d", 86400},   {"1w", 604800}};
+  for (const auto dep : {FileDependency::kWAW, FileDependency::kRAW,
+                         FileDependency::kDAW}) {
+    if (deps.times(dep).empty()) {
+      std::printf("  (no %s samples)\n", std::string(to_string(dep)).c_str());
+      return 0;
+    }
+  }
+  Ecdf waw{std::vector<double>(deps.times(FileDependency::kWAW))};
+  Ecdf raw{std::vector<double>(deps.times(FileDependency::kRAW))};
+  Ecdf daw{std::vector<double>(deps.times(FileDependency::kDAW))};
+  for (const auto& [label, x] : grid) {
+    std::printf("  %-8s %10.3f %10.3f %10.3f\n", label, waw.at(x), raw.at(x),
+                daw.at(x));
+  }
+  row("WAW gaps shorter than 1 hour", 0.80, waw.at(3600.0));
+  note("paper: users update text-like files repeatedly within short time "
+       "lapses; 80% of WAW times < 1h");
+  return 0;
+}

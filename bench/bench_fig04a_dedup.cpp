@@ -1,0 +1,38 @@
+// Fig. 4(a): duplicated files per hash CDF and the dedup ratio.
+#include "analysis/dedup.hpp"
+#include "bench/bench_util.hpp"
+#include "stats/ecdf.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  DedupAnalyzer dedup;
+  auto sim = run_into(dedup, cfg);
+
+  header("Fig 4(a)", "File-based deduplication");
+  row("dedup ratio dr = 1 - Dunique/Dtotal", 0.171, dedup.dedup_ratio());
+  row("hashes with no duplicates (share)", 0.80, dedup.unique_fraction());
+  row("dedup hits / upload ops", 0.171,
+      dedup.upload_ops_seen() > 0
+          ? static_cast<double>(dedup.dedup_hits_seen()) /
+                static_cast<double>(dedup.upload_ops_seen())
+          : 0.0);
+
+  const auto copies = dedup.copies_per_hash();
+  if (!copies.empty()) {
+    Ecdf c{std::vector<double>(copies)};
+    std::printf("\n  copies-per-hash CDF:\n");
+    for (const double x : {1.0, 2.0, 5.0, 10.0, 100.0, 1000.0}) {
+      std::printf("    <= %-6.0f : %.4f\n", x, c.at(x));
+    }
+    std::printf("    most-duplicated content: %.0f logical copies\n",
+                c.max());
+  }
+  // Whole-service view (registry state includes pre-trace history).
+  row("back-end registry dedup ratio", 0.171,
+      sim->backend().store().contents().dedup_ratio());
+  note("paper: a small number of contents accounts for very many "
+       "duplicates (popular songs) — a dedup hot spot");
+  return 0;
+}

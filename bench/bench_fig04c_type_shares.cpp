@@ -1,0 +1,29 @@
+// Fig. 4(c): popularity (fraction of files) vs storage consumption
+// (fraction of bytes) of the 7 file categories.
+#include "analysis/file_types.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  FileTypeAnalyzer types;
+  auto sim = run_into(types, cfg);
+
+  header("Fig 4(c)", "Number vs storage share of file categories");
+  std::printf("  %-14s %14s %16s\n", "category", "file share",
+              "storage share");
+  for (const auto& s : types.category_shares()) {
+    std::printf("  %-14s %14.3f %16.3f\n",
+                std::string(to_string(s.category)).c_str(), s.file_share,
+                s.storage_share);
+  }
+  std::printf("\n  paper anchors: Docs hold 10.1%% of files / 6.9%% of "
+              "storage; Code has the highest\n  file share with minimal "
+              "storage; Audio/Video dominates storage share.\n");
+  std::printf("  top extensions by file count:");
+  for (const auto& ext : types.popular_extensions(8))
+    std::printf(" %s", ext.c_str());
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 5: the three DDoS attacks — requests per hour by type around the
+// attack windows, detected attack days and spike multipliers.
+#include "analysis/ddos_detect.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  DdosAnalyzer ddos(0, cfg.days * kDay);
+  auto sim = run_into(ddos, cfg);
+
+  header("Fig 5", "DDoS attacks detected in the trace");
+  const auto attacks = ddos.detect();
+  row("attacks detected (days)", 3, static_cast<double>(ddos.attack_days()));
+  std::printf("\n  detected attack windows:\n");
+  for (const auto& a : attacks) {
+    const SimTime start = ddos.session_per_hour().bin_start(a.first_hour);
+    std::printf("    %s .. +%zuh  session/auth spike %.1fx, API activity "
+                "%.1fx\n",
+                format_timestamp(start).c_str(),
+                a.last_hour - a.first_hour + 1, a.peak_multiplier,
+                a.api_multiplier);
+  }
+  std::printf("\n  paper: attacks on Jan 15, Jan 16 and Feb 6; auth "
+              "activity 5-15x usual;\n  API activity 4.6x / 245x / 6.7x; "
+              "manual response decays the attack\n  within ~1 hour.\n");
+
+  std::printf("\n  request-per-hour series around the Jan 16 attack "
+              "(day 5):\n");
+  std::printf("  %-22s %9s %9s %9s %9s\n", "time", "rpc", "session", "auth",
+              "storage");
+  const auto& rpc = ddos.rpc_per_hour();
+  for (std::size_t i = 0; i < rpc.bins(); ++i) {
+    const SimTime t = rpc.bin_start(i);
+    if (day_index(t) < 4 || day_index(t) > 6) continue;
+    if (hour_of_day(t) % 2 != 0) continue;
+    std::printf("  %-22s %9.0f %9.0f %9.0f %9.0f\n",
+                format_timestamp(t).c_str(), rpc.value(i),
+                ddos.session_per_hour().value(i),
+                ddos.auth_per_hour().value(i),
+                ddos.storage_per_hour().value(i));
+  }
+  return 0;
+}

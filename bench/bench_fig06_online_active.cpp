@@ -1,0 +1,31 @@
+// Fig. 6: online vs active users per hour.
+#include "analysis/users.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  UserActivityAnalyzer users(0, cfg.days * kDay);
+  auto sim = run_into(users, cfg);
+  users.finalize();
+
+  header("Fig 6", "Online vs active users per hour");
+  const auto online = users.online_users_hourly();
+  const auto active = users.active_users_hourly();
+  std::printf("  %-22s %10s %10s %8s\n", "time", "online", "active",
+              "share");
+  for (std::size_t i = 0; i < online.size(); i += 6) {
+    if (day_index(static_cast<SimTime>(i) * kHour) > 6) break;  // one week
+    const double share = online[i] > 0 ? active[i] / online[i] : 0;
+    std::printf("  %-22s %10.0f %10.0f %7.1f%%\n",
+                format_timestamp(static_cast<SimTime>(i) * kHour).c_str(),
+                online[i], active[i], share * 100);
+  }
+  const auto [lo, hi] = users.active_share_range();
+  row("min active share of online users", 0.0349, lo);
+  row("max active share of online users", 0.1625, hi);
+  note("paper: the storage workload is light compared to the potential of "
+       "the online population");
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Fig. 7(b): CDF of data transferred per user.
+#include "analysis/users.hpp"
+#include "bench/bench_util.hpp"
+#include "stats/ecdf.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  UserActivityAnalyzer users(0, cfg.days * kDay);
+  auto sim = run_into(users, cfg);
+  users.finalize();
+
+  header("Fig 7(b)", "Distribution of data transferred per user");
+  row("users with any download in the month", 0.14,
+      users.downloaders_fraction());
+  row("users with any upload in the month", 0.25,
+      users.uploaders_fraction());
+
+  Ecdf up{users.upload_bytes_per_user()};
+  Ecdf down{users.download_bytes_per_user()};
+  std::printf("\n  CDF of transferred bytes per user:\n");
+  std::printf("  %-10s %10s %10s\n", "x", "upload", "download");
+  for (const auto& [label, x] :
+       std::vector<std::pair<const char*, double>>{
+           {"1B", 1},         {"1KB", 1e3},   {"1MB", 1e6},
+           {"100MB", 1e8},    {"1GB", 1e9},   {"10GB", 1e10}}) {
+    std::printf("  %-10s %10.3f %10.3f\n", label, up.at(x), down.at(x));
+  }
+  note("paper: a minority of users is responsible for the storage "
+       "workload of U1");
+  return 0;
+}

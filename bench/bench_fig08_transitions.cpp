@@ -1,0 +1,41 @@
+// Fig. 8: the desktop-client transition graph through API operations,
+// with global transition probabilities for the main edges.
+#include "analysis/transition_graph.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  TransitionGraphAnalyzer graph;
+  auto sim = run_into(graph, cfg);
+
+  header("Fig 8", "Client transition graph through API operations");
+  std::printf("  heaviest edges (global transition probability):\n");
+  std::printf("  %-20s -> %-20s %10s %10s\n", "from", "to", "P(global)",
+              "P(to|from)");
+  const auto edges = graph.edges();
+  for (std::size_t i = 0; i < std::min<std::size_t>(14, edges.size()); ++i) {
+    const auto& e = edges[i];
+    std::printf("  %-20s -> %-20s %10.3f %10.3f\n",
+                std::string(to_string(e.from)).c_str(),
+                std::string(to_string(e.to)).c_str(), e.global_probability,
+                graph.conditional(e.from, e.to));
+  }
+  auto global = [&](ApiOp from, ApiOp to) {
+    for (const auto& e : edges)
+      if (e.from == from && e.to == to) return e.global_probability;
+    return 0.0;
+  };
+  std::printf("\n  key self-transitions, GLOBAL probabilities (the edge "
+              "labels of Fig. 8):\n");
+  row("P(Download -> Download)", 0.167,
+      global(ApiOp::kGetContent, ApiOp::kGetContent));
+  row("P(Upload -> Upload)", 0.135,
+      global(ApiOp::kPutContent, ApiOp::kPutContent));
+  row("P(GetDelta -> GetDelta)", 0.158,
+      global(ApiOp::kGetDelta, ApiOp::kGetDelta));
+  note("paper: after a transfer the next operation is very likely "
+       "another transfer (directory-granularity sync, file editing)");
+  return 0;
+}

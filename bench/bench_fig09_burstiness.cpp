@@ -1,0 +1,34 @@
+// Fig. 9: burstiness of user operations — inter-operation time series and
+// their power-law approximation (Upload: alpha=1.54, theta=41.37;
+// Unlink: alpha=1.44, theta=19.51).
+#include "analysis/burstiness.hpp"
+#include "bench/bench_util.hpp"
+#include "stats/ecdf.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  BurstinessAnalyzer bursts;
+  auto sim = run_into(bursts, cfg);
+
+  header("Fig 9", "Burstiness of user inter-operation times");
+  const auto up_fit = bursts.upload_fit();
+  const auto un_fit = bursts.unlink_fit();
+  row("Upload power-law alpha", 1.54, up_fit.alpha);
+  row("Upload power-law theta (s)", 41.37, up_fit.x_min);
+  row("Unlink power-law alpha", 1.44, un_fit.alpha);
+  row("Unlink power-law theta (s)", 19.51, un_fit.x_min);
+  row("Upload CV^2 (Poisson would be 1)", 1.0, bursts.upload_cv2());
+  row("Unlink CV^2 (Poisson would be 1)", 1.0, bursts.unlink_cv2());
+
+  // CCDF series of the Fig. 9(b) log-log plot.
+  Ecdf gaps{std::vector<double>(bursts.upload_gaps())};
+  std::printf("\n  Upload inter-op CCDF P(X >= x):\n");
+  for (const double x : {0.1, 1.0, 10.0, 100.0, 1000.0, 1e4, 1e5}) {
+    std::printf("    x=%-8.4g : %.5f\n", x, 1.0 - gaps.at(x));
+  }
+  note("paper: operations arrive in bursts over six orders of magnitude "
+       "of time scales; interactions are not Poisson");
+  return 0;
+}

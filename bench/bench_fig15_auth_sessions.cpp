@@ -1,0 +1,31 @@
+// Fig. 15: authentication and session management activity time-series,
+// the 2.76% auth failure rate and the Monday/weekend pattern.
+#include "analysis/sessions.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  SessionAnalyzer sessions(0, cfg.days * kDay);
+  auto sim = run_into(sessions, cfg);
+
+  header("Fig 15", "Authentication activity and session requests");
+  std::printf("  requests per hour (first week, every 6h):\n");
+  std::printf("  %-22s %12s %12s\n", "time", "auth req", "session req");
+  const auto& auth = sessions.auth_requests_hourly();
+  const auto& sess = sessions.session_requests_hourly();
+  for (std::size_t i = 0; i < auth.bins() && i < 7 * 24; i += 6) {
+    std::printf("  %-22s %12.0f %12.0f\n",
+                format_timestamp(auth.bin_start(i)).c_str(), auth.value(i),
+                sess.value(i));
+  }
+  std::printf("\n");
+  row("auth requests failing", 0.0276, sessions.auth_failure_fraction());
+  row("Monday peak / weekend peak", 1.15,
+      sessions.monday_weekend_peak_ratio());
+  note("paper: authentication activity is 50-60% higher in central day "
+       "hours and ~15% higher on Mondays than weekends; the inner plot "
+       "shows session requests spiking under DDoS (see bench_fig05)");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 3: summary of the trace. Paper values are for 1.29M users; the
+// per-user normalization is the comparable quantity.
+#include "analysis/trace_summary.hpp"
+#include "bench/bench_util.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  TraceSummaryAnalyzer summary(cfg.days * kDay);
+  auto sim = run_into(summary, cfg);
+  const auto s = summary.summary();
+
+  header("Table 3", "Summary of the trace");
+  const double users = static_cast<double>(s.unique_users);
+  const double paper_users = 1294794.0;
+  std::printf("  %-28s %15s %18s\n", "metric", "paper (1.29M users)",
+              "measured");
+  std::printf("  %-28s %15s %18d\n", "trace duration (days)", "30", s.days);
+  std::printf("  %-28s %15s %18llu\n", "unique user IDs", "1294794",
+              static_cast<unsigned long long>(s.unique_users));
+  std::printf("  %-28s %15s %18llu\n", "unique files", "137.63M",
+              static_cast<unsigned long long>(s.unique_files));
+  std::printf("  %-28s %15s %18llu\n", "user sessions", "42.5M",
+              static_cast<unsigned long long>(s.sessions));
+  std::printf("  %-28s %15s %18llu\n", "transfer operations", "194.3M",
+              static_cast<unsigned long long>(s.transfer_ops));
+  std::printf("  %-28s %15s %18s\n", "upload traffic", "105TB",
+              format_bytes(static_cast<double>(s.upload_bytes)).c_str());
+  std::printf("  %-28s %15s %18s\n", "download traffic", "120TB",
+              format_bytes(static_cast<double>(s.download_bytes)).c_str());
+
+  std::printf("\n  per-user-per-month normalization (shape comparison):\n");
+  row("files per user", 137.63e6 / paper_users,
+      static_cast<double>(s.unique_files) / users);
+  row("sessions per user", 42.5e6 / paper_users,
+      static_cast<double>(s.sessions) / users);
+  row("transfer ops per user", 194.3e6 / paper_users,
+      static_cast<double>(s.transfer_ops) / users);
+  row("upload MB per user", 105e12 / paper_users / 1e6,
+      static_cast<double>(s.upload_bytes) / users / 1e6);
+  row("download MB per user", 120e12 / paper_users / 1e6,
+      static_cast<double>(s.download_bytes) / users / 1e6);
+  row("download/upload byte ratio", 120.0 / 105.0,
+      static_cast<double>(s.download_bytes) /
+          static_cast<double>(s.upload_bytes));
+  return 0;
+}

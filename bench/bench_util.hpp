@@ -1,0 +1,84 @@
+// Shared harness for the figure/table benches: runs the standard
+// month-scale simulation once, streaming records into the caller's
+// analyzers, and provides small printing helpers so every bench reports
+// "paper vs measured" rows in the same format.
+//
+// Scale: the real trace covers 1.29M users; the default bench population
+// is 8,000 (override with the U1SIM_USERS environment variable). All
+// reproduced quantities are ratios, distributions and shapes, which are
+// scale-free; absolute totals are reported per-user-normalized alongside.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "sim/simulation.hpp"
+#include "trace/sink.hpp"
+
+namespace u1::bench {
+
+inline std::size_t env_users(std::size_t fallback = 8000) {
+  if (const char* v = std::getenv("U1SIM_USERS")) {
+    const long n = std::atol(v);
+    if (n > 10) return static_cast<std::size_t>(n);
+  }
+  return fallback;
+}
+
+inline int env_days(int fallback = 30) {
+  if (const char* v = std::getenv("U1SIM_DAYS")) {
+    const int n = std::atoi(v);
+    if (n > 0) return n;
+  }
+  return fallback;
+}
+
+inline SimulationConfig standard_config(std::size_t users, int days,
+                                        bool ddos = true) {
+  SimulationConfig cfg;
+  cfg.users = users;
+  cfg.days = days;
+  cfg.seed = 20140111;
+  cfg.enable_ddos = ddos;
+  return cfg;
+}
+
+/// Runs the simulation, streaming every record into `sink`; returns the
+/// Simulation (whose back-end state outlives the run for snapshots).
+inline std::unique_ptr<Simulation> run_into(TraceSink& sink,
+                                            const SimulationConfig& cfg) {
+  std::printf("# u1sim | users=%zu days=%d seed=%llu ddos=%s\n", cfg.users,
+              cfg.days, static_cast<unsigned long long>(cfg.seed),
+              cfg.enable_ddos ? "on" : "off");
+  auto sim = std::make_unique<Simulation>(cfg, sink);
+  const SimulationReport report = sim->run();
+  std::printf("# trace: %llu sessions, %llu uploads, %llu downloads, "
+              "%llu rpcs\n",
+              static_cast<unsigned long long>(report.backend.sessions_opened),
+              static_cast<unsigned long long>(report.backend.uploads),
+              static_cast<unsigned long long>(report.backend.downloads),
+              static_cast<unsigned long long>(report.backend.rpcs));
+  return sim;
+}
+
+inline void header(const char* figure, const char* title) {
+  std::printf("\n================================================="
+              "=============\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("==================================================="
+              "===========\n");
+}
+
+inline void row(const char* metric, double paper, double measured,
+                const char* unit = "") {
+  std::printf("  %-46s paper=%10.4g   measured=%10.4g %s\n", metric, paper,
+              measured, unit);
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+}  // namespace u1::bench

@@ -1,0 +1,39 @@
+#include "analysis/burstiness.hpp"
+
+namespace u1 {
+namespace {
+
+PowerLawFit fit_central(const std::vector<double>& gaps, double cap_s) {
+  std::vector<double> central;
+  central.reserve(gaps.size());
+  for (const double g : gaps)
+    if (g <= cap_s) central.push_back(g);
+  return fit_power_law(central);
+}
+
+}  // namespace
+
+PowerLawFit BurstinessAnalyzer::upload_fit(double cap_s) const {
+  return fit_central(upload_gaps_, cap_s);
+}
+
+PowerLawFit BurstinessAnalyzer::unlink_fit(double cap_s) const {
+  return fit_central(unlink_gaps_, cap_s);
+}
+
+void BurstinessAnalyzer::append(const TraceRecord& r) {
+  if (r.type != RecordType::kStorage || r.failed || r.t < 0) return;
+  if (r.api_op == ApiOp::kPutContent) {
+    LastSeen& seen = last_[r.user];
+    if (seen.upload >= 0 && r.t > seen.upload)
+      upload_gaps_.push_back(to_seconds(r.t - seen.upload));
+    seen.upload = r.t;
+  } else if (r.api_op == ApiOp::kUnlink) {
+    LastSeen& seen = last_[r.user];
+    if (seen.unlink >= 0 && r.t > seen.unlink)
+      unlink_gaps_.push_back(to_seconds(r.t - seen.unlink));
+    seen.unlink = r.t;
+  }
+}
+
+}  // namespace u1

@@ -1,0 +1,49 @@
+// Burstiness of user operations (paper §6.2, Fig. 9): per-user
+// inter-operation times for Upload and Unlink, their time-series, the
+// power-law approximation P(x) ~ x^-alpha for x > theta (paper: Upload
+// alpha=1.54 theta=41.37; Unlink alpha=1.44 theta=19.51) and the CV^2
+// burstiness indicator vs the Poisson hypothesis.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/powerlaw.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class BurstinessAnalyzer final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+
+  /// Inter-op times (seconds), in arrival order (the Fig. 9a series).
+  const std::vector<double>& upload_gaps() const noexcept {
+    return upload_gaps_;
+  }
+  const std::vector<double>& unlink_gaps() const noexcept {
+    return unlink_gaps_;
+  }
+
+  /// Power-law fit over the central region of the distribution, as the
+  /// paper does ("can be only approximated ... for a central region of
+  /// the domain"): gaps beyond `cap_s` (reconnect cycles spanning days)
+  /// are excluded before fitting.
+  PowerLawFit upload_fit(double cap_s = 4.0 * 3600.0) const;
+  PowerLawFit unlink_fit(double cap_s = 4.0 * 3600.0) const;
+
+  double upload_cv2() const { return cv_squared(upload_gaps_); }
+  double unlink_cv2() const { return cv_squared(unlink_gaps_); }
+
+ private:
+  struct LastSeen {
+    SimTime upload = -1;
+    SimTime unlink = -1;
+  };
+  std::unordered_map<UserId, LastSeen> last_;
+  std::vector<double> upload_gaps_;
+  std::vector<double> unlink_gaps_;
+};
+
+}  // namespace u1

@@ -1,0 +1,87 @@
+#include "analysis/ddos_detect.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "stats/summary.hpp"
+
+namespace u1 {
+
+DdosAnalyzer::DdosAnalyzer(SimTime start, SimTime end)
+    : rpc_(start, end, kHour),
+      session_(start, end, kHour),
+      auth_(start, end, kHour),
+      storage_(start, end, kHour) {}
+
+void DdosAnalyzer::append(const TraceRecord& r) {
+  if (r.t < 0) return;
+  switch (r.type) {
+    case RecordType::kRpc:
+      rpc_.add(r.t);
+      break;
+    case RecordType::kSession:
+      session_.add(r.t);
+      if (r.session_event == SessionEvent::kAuthRequest) auth_.add(r.t);
+      break;
+    case RecordType::kStorage:
+      storage_.add(r.t);
+      break;
+    case RecordType::kStorageDone:
+      break;
+  }
+}
+
+std::vector<DdosAnalyzer::AttackWindow> DdosAnalyzer::detect(
+    double threshold) const {
+  const std::size_t n = session_.bins();
+  std::vector<double> level(n);
+  for (std::size_t i = 0; i < n; ++i)
+    level[i] = session_.value(i) + auth_.value(i);
+  // Robust baseline: the median hourly level (attacks are rare enough not
+  // to move it).
+  std::vector<double> sorted = level;
+  std::sort(sorted.begin(), sorted.end());
+  const double baseline = sorted.empty() ? 0 : sorted[sorted.size() / 2];
+  if (baseline <= 0) return {};
+
+  std::vector<double> api_level(n);
+  for (std::size_t i = 0; i < n; ++i)
+    api_level[i] = storage_.value(i) + session_.value(i);
+  std::vector<double> api_sorted = api_level;
+  std::sort(api_sorted.begin(), api_sorted.end());
+  const double api_baseline =
+      api_sorted.empty() ? 0 : api_sorted[api_sorted.size() / 2];
+
+  std::vector<AttackWindow> out;
+  std::size_t i = 0;
+  while (i < n) {
+    if (level[i] <= threshold * baseline) {
+      ++i;
+      continue;
+    }
+    AttackWindow w;
+    w.first_hour = i;
+    double peak = 0, api_peak = 0;
+    while (i < n && level[i] > threshold * baseline) {
+      peak = std::max(peak, level[i]);
+      api_peak = std::max(api_peak, api_level[i]);
+      w.last_hour = i;
+      ++i;
+    }
+    w.peak_multiplier = peak / baseline;
+    w.api_multiplier = api_baseline > 0 ? api_peak / api_baseline : 0;
+    out.push_back(w);
+  }
+  return out;
+}
+
+std::size_t DdosAnalyzer::attack_days(double threshold) const {
+  std::set<int> days;
+  for (const AttackWindow& w : detect(threshold)) {
+    for (std::size_t h = w.first_hour; h <= w.last_hour; ++h)
+      days.insert(day_index(session_.bin_start(h)));
+  }
+  return days.size();
+}
+
+}  // namespace u1

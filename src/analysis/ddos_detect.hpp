@@ -1,0 +1,46 @@
+// DDoS detection (paper §5.4, Fig. 5): hourly request-rate series per
+// request family (rpc / session / auth / storage) and a simple anomaly
+// detector that flags hours whose session+auth activity exceeds a robust
+// multiple of the typical level — the signature the U1 operators saw.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class DdosAnalyzer final : public TraceSink {
+ public:
+  DdosAnalyzer(SimTime start, SimTime end);
+
+  void append(const TraceRecord& record) override;
+
+  const TimeBinSeries& rpc_per_hour() const noexcept { return rpc_; }
+  const TimeBinSeries& session_per_hour() const noexcept { return session_; }
+  const TimeBinSeries& auth_per_hour() const noexcept { return auth_; }
+  const TimeBinSeries& storage_per_hour() const noexcept { return storage_; }
+
+  struct AttackWindow {
+    std::size_t first_hour = 0;  // bin indices, inclusive
+    std::size_t last_hour = 0;
+    double peak_multiplier = 0;  // peak session+auth rate / typical rate
+    double api_multiplier = 0;   // peak storage+session rate / typical
+  };
+  /// Hours where session+auth activity exceeds `threshold` x the median
+  /// hourly level, merged into contiguous windows.
+  std::vector<AttackWindow> detect(double threshold = 3.0) const;
+
+  /// Distinct calendar days containing detected attacks.
+  std::size_t attack_days(double threshold = 3.0) const;
+
+ private:
+  TimeBinSeries rpc_;
+  TimeBinSeries session_;
+  TimeBinSeries auth_;
+  TimeBinSeries storage_;
+};
+
+}  // namespace u1

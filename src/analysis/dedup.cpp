@@ -1,0 +1,42 @@
+#include "analysis/dedup.hpp"
+
+namespace u1 {
+
+void DedupAnalyzer::append(const TraceRecord& r) {
+  if (r.type != RecordType::kStorageDone || r.failed || r.t < 0) return;
+  if (r.api_op != ApiOp::kPutContent) return;
+  if (r.content == ContentId{}) return;
+
+  ++uploads_;
+  if (r.deduplicated) ++hits_;
+  logical_bytes_ += r.size_bytes;
+
+  auto [it, inserted] = table_.try_emplace(r.content,
+                                           HashInfo{r.size_bytes, 0});
+  if (inserted) unique_bytes_ += r.size_bytes;
+  ++it->second.copies;
+}
+
+double DedupAnalyzer::dedup_ratio() const {
+  if (logical_bytes_ == 0) return 0.0;
+  return 1.0 - static_cast<double>(unique_bytes_) /
+                   static_cast<double>(logical_bytes_);
+}
+
+std::vector<double> DedupAnalyzer::copies_per_hash() const {
+  std::vector<double> out;
+  out.reserve(table_.size());
+  for (const auto& [id, info] : table_)
+    out.push_back(static_cast<double>(info.copies));
+  return out;
+}
+
+double DedupAnalyzer::unique_fraction() const {
+  if (table_.empty()) return 0.0;
+  std::uint64_t singles = 0;
+  for (const auto& [id, info] : table_)
+    if (info.copies == 1) ++singles;
+  return static_cast<double>(singles) / static_cast<double>(table_.size());
+}
+
+}  // namespace u1

@@ -1,0 +1,44 @@
+// Deduplication analysis (paper §5.3, Fig. 4a): the dedup ratio
+// dr = 1 - D_unique / D_total over uploaded data, and the distribution of
+// logical copies per unique content hash (long-tailed: 80% of contents
+// have a single copy, popular songs have thousands).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class DedupAnalyzer final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+
+  /// dr = 1 - D_unique/D_total over all uploads seen (paper: 0.171).
+  double dedup_ratio() const;
+
+  /// Copies per distinct hash (each >= 1).
+  std::vector<double> copies_per_hash() const;
+
+  /// Fraction of distinct hashes with exactly one copy (paper: ~0.8).
+  double unique_fraction() const;
+
+  std::uint64_t distinct_hashes() const noexcept { return table_.size(); }
+  std::uint64_t upload_ops_seen() const noexcept { return uploads_; }
+  std::uint64_t dedup_hits_seen() const noexcept { return hits_; }
+
+ private:
+  struct HashInfo {
+    std::uint64_t size_bytes = 0;
+    std::uint32_t copies = 0;
+  };
+  std::unordered_map<ContentId, HashInfo> table_;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+  std::uint64_t unique_bytes_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,105 @@
+#include "analysis/file_dependencies.hpp"
+
+namespace u1 {
+
+std::string_view to_string(FileDependency d) noexcept {
+  switch (d) {
+    case FileDependency::kWAW: return "WAW";
+    case FileDependency::kRAW: return "RAW";
+    case FileDependency::kDAW: return "DAW";
+    case FileDependency::kWAR: return "WAR";
+    case FileDependency::kRAR: return "RAR";
+    case FileDependency::kDAR: return "DAR";
+  }
+  return "?";
+}
+
+void FileDependencyAnalyzer::record_dep(FileDependency dep, SimTime gap) {
+  times_[static_cast<std::size_t>(dep)].push_back(to_seconds(gap));
+}
+
+void FileDependencyAnalyzer::append(const TraceRecord& r) {
+  if (r.type != RecordType::kStorageDone || r.failed || r.t < 0) return;
+  if (r.is_dir) return;  // node-level dependencies are for files
+
+  switch (r.api_op) {
+    case ApiOp::kPutContent: {
+      NodeState& st = nodes_[r.node];
+      // Classify against the most recent preceding operation.
+      if (st.has_write && (!st.has_read || st.last_write >= st.last_read))
+        record_dep(FileDependency::kWAW, r.t - st.last_write);
+      else if (st.has_read)
+        record_dep(FileDependency::kWAR, r.t - st.last_read);
+      st.last_write = r.t;
+      st.has_write = true;
+      break;
+    }
+    case ApiOp::kGetContent: {
+      NodeState& st = nodes_[r.node];
+      if (st.has_write && (!st.has_read || st.last_write >= st.last_read))
+        record_dep(FileDependency::kRAW, r.t - st.last_write);
+      else if (st.has_read)
+        record_dep(FileDependency::kRAR, r.t - st.last_read);
+      st.last_read = r.t;
+      st.has_read = true;
+      ++st.downloads;
+      break;
+    }
+    case ApiOp::kUnlink: {
+      const auto it = nodes_.find(r.node);
+      if (it == nodes_.end()) return;
+      const NodeState& st = it->second;
+      SimTime last_use = 0;
+      bool used = false;
+      if (st.has_write && (!st.has_read || st.last_write >= st.last_read)) {
+        record_dep(FileDependency::kDAW, r.t - st.last_write);
+        last_use = st.last_write;
+        used = true;
+      } else if (st.has_read) {
+        record_dep(FileDependency::kDAR, r.t - st.last_read);
+        last_use = st.last_read;
+        used = true;
+      }
+      if (used) {
+        ++deleted_files_;
+        if (r.t - last_use > kDay) ++dying_day_;
+        if (r.t - last_use > 8 * kHour) ++dying_8h_;
+      }
+      if (st.downloads > 0) downloads_of_deleted_.push_back(st.downloads);
+      nodes_.erase(it);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+double FileDependencyAnalyzer::family_share(FileDependency dep) const {
+  const bool after_write = dep == FileDependency::kWAW ||
+                           dep == FileDependency::kRAW ||
+                           dep == FileDependency::kDAW;
+  double family_total = 0;
+  if (after_write) {
+    family_total = static_cast<double>(count(FileDependency::kWAW) +
+                                       count(FileDependency::kRAW) +
+                                       count(FileDependency::kDAW));
+  } else {
+    family_total = static_cast<double>(count(FileDependency::kWAR) +
+                                       count(FileDependency::kRAR) +
+                                       count(FileDependency::kDAR));
+  }
+  if (family_total == 0) return 0.0;
+  return static_cast<double>(count(dep)) / family_total;
+}
+
+std::vector<double> FileDependencyAnalyzer::downloads_per_file() const {
+  std::vector<double> out;
+  out.reserve(downloads_of_deleted_.size() + nodes_.size());
+  for (const auto n : downloads_of_deleted_) out.push_back(n);
+  for (const auto& [id, st] : nodes_) {
+    if (st.downloads > 0) out.push_back(st.downloads);
+  }
+  return out;
+}
+
+}  // namespace u1

@@ -1,0 +1,91 @@
+#include "analysis/file_types.hpp"
+
+#include <algorithm>
+
+namespace u1 {
+
+std::uint16_t FileTypeAnalyzer::intern(const std::string& extension) {
+  const auto it = ext_index_.find(extension);
+  if (it != ext_index_.end()) return it->second;
+  const auto idx = static_cast<std::uint16_t>(extensions_.size());
+  extensions_.push_back(extension);
+  ext_index_.emplace(extension, idx);
+  return idx;
+}
+
+void FileTypeAnalyzer::append(const TraceRecord& r) {
+  if (r.type != RecordType::kStorageDone || r.failed || r.t < 0) return;
+  if (r.api_op != ApiOp::kPutContent || r.size_bytes == 0) return;
+  FileInfo& info = files_[r.node];
+  info.size = r.size_bytes;  // updates keep the latest size
+  info.ext_index = intern(r.extension);
+}
+
+std::vector<double> FileTypeAnalyzer::all_sizes() const {
+  std::vector<double> out;
+  out.reserve(files_.size());
+  for (const auto& [id, info] : files_)
+    out.push_back(static_cast<double>(info.size));
+  return out;
+}
+
+std::vector<double> FileTypeAnalyzer::sizes_of(
+    const std::string& extension) const {
+  std::vector<double> out;
+  const auto it = ext_index_.find(extension);
+  if (it == ext_index_.end()) return out;
+  for (const auto& [id, info] : files_) {
+    if (info.ext_index == it->second)
+      out.push_back(static_cast<double>(info.size));
+  }
+  return out;
+}
+
+double FileTypeAnalyzer::fraction_below(double bytes) const {
+  if (files_.empty()) return 0.0;
+  std::uint64_t below = 0;
+  for (const auto& [id, info] : files_)
+    if (static_cast<double>(info.size) < bytes) ++below;
+  return static_cast<double>(below) / static_cast<double>(files_.size());
+}
+
+std::vector<FileTypeAnalyzer::CategoryShare>
+FileTypeAnalyzer::category_shares() const {
+  std::array<double, kFileCategoryCount> count{};
+  std::array<double, kFileCategoryCount> bytes{};
+  double total_count = 0, total_bytes = 0;
+  for (const auto& [id, info] : files_) {
+    const auto cat =
+        static_cast<std::size_t>(category_of(extensions_[info.ext_index]));
+    count[cat] += 1;
+    bytes[cat] += static_cast<double>(info.size);
+    total_count += 1;
+    total_bytes += static_cast<double>(info.size);
+  }
+  std::vector<CategoryShare> out;
+  for (std::size_t c = 0; c < kFileCategoryCount; ++c) {
+    if (count[c] == 0) continue;
+    CategoryShare share;
+    share.category = static_cast<FileCategory>(c);
+    share.file_share = total_count > 0 ? count[c] / total_count : 0;
+    share.storage_share = total_bytes > 0 ? bytes[c] / total_bytes : 0;
+    out.push_back(share);
+  }
+  return out;
+}
+
+std::vector<std::string> FileTypeAnalyzer::popular_extensions(
+    std::size_t top_n) const {
+  std::vector<std::pair<std::string, std::uint64_t>> counts;
+  counts.reserve(extensions_.size());
+  for (const auto& ext : extensions_) counts.emplace_back(ext, 0);
+  for (const auto& [id, info] : files_) ++counts[info.ext_index].second;
+  std::sort(counts.begin(), counts.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < std::min(top_n, counts.size()); ++i)
+    out.push_back(counts[i].first);
+  return out;
+}
+
+}  // namespace u1

@@ -1,0 +1,54 @@
+// File size & type analysis (paper §5.3, Fig. 4b/4c): per-extension file
+// size distributions, the global "90% of files < 1MB" CDF, and the
+// count-share vs storage-share scatter of the 7 file categories. A file is
+// counted once, at its first upload (updates change the size in place).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "workload/file_model.hpp"
+
+namespace u1 {
+
+class FileTypeAnalyzer final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+
+  /// Sizes (bytes) of distinct files, overall and for one extension.
+  std::vector<double> all_sizes() const;
+  std::vector<double> sizes_of(const std::string& extension) const;
+
+  /// Fraction of files smaller than `bytes` (paper: 0.90 below 1MB).
+  double fraction_below(double bytes) const;
+
+  struct CategoryShare {
+    FileCategory category;
+    double file_share = 0;     // fraction of files
+    double storage_share = 0;  // fraction of bytes
+  };
+  /// The Fig. 4c scatter, one entry per category that appeared.
+  std::vector<CategoryShare> category_shares() const;
+
+  /// Extensions ordered by file count (most popular first).
+  std::vector<std::string> popular_extensions(std::size_t top_n) const;
+
+  std::uint64_t distinct_files() const noexcept { return files_.size(); }
+
+ private:
+  struct FileInfo {
+    std::uint64_t size = 0;
+    std::uint16_t ext_index = 0;
+  };
+  std::uint16_t intern(const std::string& extension);
+
+  std::unordered_map<NodeId, FileInfo> files_;
+  std::vector<std::string> extensions_;  // interned extension names
+  std::unordered_map<std::string, std::uint16_t> ext_index_;
+};
+
+}  // namespace u1

@@ -1,0 +1,116 @@
+#include "analysis/findings.hpp"
+
+namespace u1 {
+
+std::vector<Finding> extract_findings(const FileTypeAnalyzer& types,
+                                      const TrafficAnalyzer& traffic,
+                                      const DedupAnalyzer& dedup,
+                                      const DdosAnalyzer& ddos,
+                                      const UserActivityAnalyzer& users,
+                                      const BurstinessAnalyzer& bursts,
+                                      const RpcPerfAnalyzer& rpcs,
+                                      const LoadBalanceAnalyzer& load,
+                                      const SessionAnalyzer& sessions) {
+  std::vector<Finding> out;
+
+  {
+    Finding f;
+    f.id = "small-files";
+    f.statement = "90% of files are smaller than 1MByte";
+    f.paper_value = 0.90;
+    f.measured = types.fraction_below(1024.0 * 1024.0);
+    f.shape_holds = f.measured >= 0.80;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "update-traffic";
+    f.statement = "18.5% of upload traffic is caused by file updates";
+    f.paper_value = 0.185;
+    f.measured = traffic.update_traffic_fraction();
+    f.shape_holds = f.measured >= 0.08 && f.measured <= 0.35;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "dedup-ratio";
+    f.statement = "deduplication ratio of 17% in one month";
+    f.paper_value = 0.171;
+    f.measured = dedup.dedup_ratio();
+    f.shape_holds = f.measured >= 0.10 && f.measured <= 0.25;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "ddos-frequent";
+    f.statement = "3 DDoS attacks detected in one month";
+    f.paper_value = 3;
+    f.measured = static_cast<double>(ddos.attack_days());
+    f.shape_holds = f.measured >= 2;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "traffic-skew";
+    f.statement = "1% of users generate 65% of the traffic";
+    f.paper_value = 0.656;
+    f.measured = users.top_traffic_share(0.01);
+    f.shape_holds = f.measured >= 0.40;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "long-sequences";
+    f.statement = "data management operations run in long sequences "
+                  "(bursty, CV^2 >> 1)";
+    f.paper_value = 1.0;  // Poisson reference CV^2
+    f.measured = bursts.upload_cv2();
+    f.shape_holds = f.measured > 3.0;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "power-law-bursts";
+    f.statement = "user inter-op times approximated by a power law with "
+                  "1 < alpha < 2 (Upload: 1.54)";
+    f.paper_value = 1.54;
+    f.measured = bursts.upload_fit().alpha;
+    f.shape_holds = f.measured > 1.0 && f.measured < 2.0;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "rpc-long-tails";
+    f.statement = "RPC service time distributions exhibit long tails "
+                  "(7-22% far from median)";
+    f.paper_value = 0.145;  // midpoint of the 7-22% range
+    f.measured = rpcs.tail_fraction(RpcOp::kMakeFile);
+    f.shape_holds = f.measured >= 0.05 && f.measured <= 0.25;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "short-window-imbalance";
+    f.statement = "short-window load far from the mean; long-term shard "
+                  "imbalance only ~4.9%";
+    f.paper_value = 0.049;
+    f.measured = load.shard_long_term_cv();
+    // Shape: short-window balance is much worse than long-term balance.
+    // (The absolute long-term number shrinks with population; the paper's
+    // 4.9% was measured over 1.29M users.)
+    f.shape_holds = load.shard_short_term_cv() > 1.5 * f.measured;
+    out.push_back(f);
+  }
+  {
+    Finding f;
+    f.id = "cold-sessions";
+    f.statement = "only 5.57% of sessions perform storage operations";
+    f.paper_value = 0.0557;
+    f.measured = sessions.active_session_fraction();
+    f.shape_holds = f.measured < 0.25;
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace u1

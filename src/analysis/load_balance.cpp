@@ -1,0 +1,89 @@
+#include "analysis/load_balance.hpp"
+
+namespace u1 {
+
+LoadBalanceAnalyzer::LoadBalanceAnalyzer(SimTime start, SimTime end,
+                                         std::size_t machines,
+                                         std::size_t shards) {
+  api_.reserve(machines);
+  for (std::size_t m = 0; m < machines; ++m)
+    api_.emplace_back(start, end, kHour);
+  shard_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s)
+    shard_.emplace_back(start, end, kMinute);
+}
+
+void LoadBalanceAnalyzer::append(const TraceRecord& r) {
+  if (r.t < 0) return;
+  // API machine load: every request an API server handles (storage ops
+  // and session management).
+  if (r.type == RecordType::kStorage || r.type == RecordType::kSession) {
+    if (r.machine.value >= 1 && r.machine.value <= api_.size())
+      api_[r.machine.value - 1].add(r.t);
+  } else if (r.type == RecordType::kRpc) {
+    if (r.shard.value >= 1 && r.shard.value <= shard_.size())
+      shard_[r.shard.value - 1].add(r.t);
+  }
+}
+
+std::vector<LoadBalanceAnalyzer::BinLoad> LoadBalanceAnalyzer::bin_loads(
+    const std::vector<TimeBinSeries>& series) const {
+  std::vector<BinLoad> out;
+  if (series.empty()) return out;
+  const std::size_t bins = series.front().bins();
+  out.reserve(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    RunningStats rs;
+    for (const TimeBinSeries& s : series) rs.add(s.value(b));
+    out.push_back(BinLoad{rs.mean(), rs.stddev()});
+  }
+  return out;
+}
+
+std::vector<LoadBalanceAnalyzer::BinLoad>
+LoadBalanceAnalyzer::api_load_hourly() const {
+  return bin_loads(api_);
+}
+
+std::vector<LoadBalanceAnalyzer::BinLoad>
+LoadBalanceAnalyzer::shard_load_minutely() const {
+  return bin_loads(shard_);
+}
+
+double LoadBalanceAnalyzer::short_term_cv(
+    const std::vector<TimeBinSeries>& series) const {
+  RunningStats cvs;
+  for (const BinLoad& bin : bin_loads(series)) {
+    if (bin.mean > 0) cvs.add(bin.stddev / bin.mean);
+  }
+  return cvs.mean();
+}
+
+double LoadBalanceAnalyzer::long_term_cv(
+    const std::vector<TimeBinSeries>& series) const {
+  RunningStats totals;
+  for (const TimeBinSeries& s : series) {
+    double total = 0;
+    for (std::size_t b = 0; b < s.bins(); ++b) total += s.value(b);
+    totals.add(total);
+  }
+  return totals.mean() > 0 ? totals.stddev() / totals.mean() : 0.0;
+}
+
+double LoadBalanceAnalyzer::api_short_term_cv() const {
+  return short_term_cv(api_);
+}
+
+double LoadBalanceAnalyzer::shard_short_term_cv() const {
+  return short_term_cv(shard_);
+}
+
+double LoadBalanceAnalyzer::shard_long_term_cv() const {
+  return long_term_cv(shard_);
+}
+
+double LoadBalanceAnalyzer::api_long_term_cv() const {
+  return long_term_cv(api_);
+}
+
+}  // namespace u1

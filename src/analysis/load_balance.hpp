@@ -1,0 +1,53 @@
+// Load balancing analysis (paper §7.2, Fig. 14): requests across API
+// server machines per hour and across metadata store shards per minute —
+// mean and standard deviation per time bin, plus the long-term imbalance
+// (the paper: shard stddev only 4.9% of the mean over the whole trace,
+// but large in short windows).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class LoadBalanceAnalyzer final : public TraceSink {
+ public:
+  LoadBalanceAnalyzer(SimTime start, SimTime end, std::size_t machines = 6,
+                      std::size_t shards = 10);
+
+  void append(const TraceRecord& record) override;
+
+  struct BinLoad {
+    double mean = 0;
+    double stddev = 0;
+  };
+  /// Per-hour load across API machines (the Fig. 14 top panel).
+  std::vector<BinLoad> api_load_hourly() const;
+  /// Per-minute load across shards (the Fig. 14 bottom panel).
+  std::vector<BinLoad> shard_load_minutely() const;
+
+  /// Average short-window coefficient of variation (stddev/mean) across
+  /// non-empty bins — the "high variance across servers" statement.
+  double api_short_term_cv() const;
+  double shard_short_term_cv() const;
+
+  /// Long-term imbalance: stddev/mean of total per-shard counts over the
+  /// whole window (paper: 0.049).
+  double shard_long_term_cv() const;
+  double api_long_term_cv() const;
+
+ private:
+  std::vector<BinLoad> bin_loads(const std::vector<TimeBinSeries>& series)
+      const;
+  double short_term_cv(const std::vector<TimeBinSeries>& series) const;
+  double long_term_cv(const std::vector<TimeBinSeries>& series) const;
+
+  std::vector<TimeBinSeries> api_;    // one hourly series per machine
+  std::vector<TimeBinSeries> shard_;  // one minutely series per shard
+};
+
+}  // namespace u1

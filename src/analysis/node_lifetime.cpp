@@ -1,0 +1,83 @@
+#include "analysis/node_lifetime.hpp"
+
+#include <algorithm>
+
+namespace u1 {
+
+void NodeLifetimeAnalyzer::append(const TraceRecord& r) {
+  if (r.type != RecordType::kStorageDone || r.failed || r.t < 0) return;
+
+  if (r.api_op == ApiOp::kMake) {
+    Born born;
+    born.at = r.t;
+    born.parent = r.parent;
+    born.volume = r.volume;
+    born.is_dir = r.is_dir;
+    alive_[r.node] = born;
+    by_volume_[r.volume].push_back(r.node);
+    if (!r.parent.is_nil()) children_[r.parent].push_back(r.node);
+    if (r.is_dir) {
+      ++dirs_created_;
+    } else {
+      ++files_created_;
+    }
+    return;
+  }
+
+  if (r.api_op == ApiOp::kUnlink) {
+    if (r.is_dir) {
+      kill_subtree(r.node, r.t);
+    } else {
+      kill_node(r.node, r.t);
+    }
+    return;
+  }
+
+  if (r.api_op == ApiOp::kDeleteVolume) {
+    const auto it = by_volume_.find(r.volume);
+    if (it == by_volume_.end()) return;
+    // Copy: kill_node mutates by_volume_ bookkeeping indirectly.
+    const std::vector<NodeId> doomed = it->second;
+    for (const NodeId& n : doomed) kill_node(n, r.t);
+    by_volume_.erase(r.volume);
+  }
+}
+
+void NodeLifetimeAnalyzer::kill_node(NodeId node, SimTime at) {
+  const auto it = alive_.find(node);
+  if (it == alive_.end()) return;
+  const double life = to_seconds(at - it->second.at);
+  if (it->second.is_dir) {
+    dir_lifetimes_.push_back(life);
+  } else {
+    file_lifetimes_.push_back(life);
+  }
+  alive_.erase(it);
+}
+
+void NodeLifetimeAnalyzer::kill_subtree(NodeId dir, SimTime at) {
+  kill_node(dir, at);
+  const auto it = children_.find(dir);
+  if (it == children_.end()) return;
+  const std::vector<NodeId> kids = it->second;
+  children_.erase(it);
+  for (const NodeId& child : kids) kill_subtree(child, at);
+}
+
+double NodeLifetimeAnalyzer::file_deleted_fraction(SimTime within) const {
+  if (files_created_ == 0) return 0.0;
+  const double cutoff = to_seconds(within);
+  const auto n = std::count_if(file_lifetimes_.begin(), file_lifetimes_.end(),
+                               [&](double l) { return l <= cutoff; });
+  return static_cast<double>(n) / static_cast<double>(files_created_);
+}
+
+double NodeLifetimeAnalyzer::dir_deleted_fraction(SimTime within) const {
+  if (dirs_created_ == 0) return 0.0;
+  const double cutoff = to_seconds(within);
+  const auto n = std::count_if(dir_lifetimes_.begin(), dir_lifetimes_.end(),
+                               [&](double l) { return l <= cutoff; });
+  return static_cast<double>(n) / static_cast<double>(dirs_created_);
+}
+
+}  // namespace u1

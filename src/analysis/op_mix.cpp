@@ -1,0 +1,40 @@
+#include "analysis/op_mix.hpp"
+
+#include <algorithm>
+
+namespace u1 {
+
+void OpMixAnalyzer::append(const TraceRecord& r) {
+  if (r.t < 0) return;
+  if (r.type == RecordType::kSession) {
+    if (r.session_event == SessionEvent::kOpen) ++opens_;
+    if (r.session_event == SessionEvent::kClose) ++closes_;
+    return;
+  }
+  if (r.type != RecordType::kStorageDone || r.failed) return;
+  ++counts_[static_cast<std::size_t>(r.api_op)];
+  ++total_;
+}
+
+std::vector<std::pair<ApiOp, std::uint64_t>> OpMixAnalyzer::ranked() const {
+  std::vector<std::pair<ApiOp, std::uint64_t>> out;
+  for (const ApiOp op : all_api_ops()) {
+    const std::uint64_t c = count(op);
+    if (c > 0) out.emplace_back(op, c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+bool OpMixAnalyzer::data_ops_dominate() const {
+  const std::uint64_t transfers =
+      count(ApiOp::kPutContent) + count(ApiOp::kGetContent) +
+      count(ApiOp::kUnlink) + count(ApiOp::kMake);
+  const std::uint64_t bookkeeping =
+      count(ApiOp::kListVolumes) + count(ApiOp::kListShares) +
+      count(ApiOp::kQuerySetCaps);
+  return transfers > bookkeeping;
+}
+
+}  // namespace u1

@@ -1,0 +1,39 @@
+// Operation mix (paper §6.1, Fig. 7a): absolute number of each API
+// operation type, including session open/close, for one month.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class OpMixAnalyzer final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+
+  std::uint64_t count(ApiOp op) const noexcept {
+    return counts_[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t open_sessions() const noexcept { return opens_; }
+  std::uint64_t close_sessions() const noexcept { return closes_; }
+  std::uint64_t total_api_ops() const noexcept { return total_; }
+
+  /// Operations sorted by count, descending — the Fig. 7a bar order.
+  std::vector<std::pair<ApiOp, std::uint64_t>> ranked() const;
+
+  /// The paper's observation: data-management operations dominate, i.e.
+  /// session-bookkeeping ops (ListVolumes/ListShares/...) are NOT the top
+  /// of the ranking.
+  bool data_ops_dominate() const;
+
+ private:
+  std::array<std::uint64_t, kApiOpCount> counts_{};
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace u1

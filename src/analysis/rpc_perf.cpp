@@ -1,0 +1,67 @@
+#include "analysis/rpc_perf.hpp"
+
+#include <algorithm>
+
+#include "stats/summary.hpp"
+
+namespace u1 {
+namespace {
+
+template <std::size_t... Is>
+std::array<ReservoirSampler, sizeof...(Is)> make_samplers(
+    std::size_t cap, std::index_sequence<Is...>) {
+  return {ReservoirSampler(cap, 0x2e5e + Is)...};
+}
+
+}  // namespace
+
+RpcPerfAnalyzer::RpcPerfAnalyzer(std::size_t cap)
+    : samples_(make_samplers(cap, std::make_index_sequence<kRpcOpCount>{})) {}
+
+void RpcPerfAnalyzer::append(const TraceRecord& r) {
+  if (r.type != RecordType::kRpc || r.t < 0) return;
+  const auto idx = static_cast<std::size_t>(r.rpc_op);
+  samples_[idx].add(to_seconds(r.service_time));
+  ++counts_[idx];
+}
+
+std::vector<double> RpcPerfAnalyzer::service_times(RpcOp op) const {
+  const auto& s = samples_[static_cast<std::size_t>(op)].sample();
+  return {s.begin(), s.end()};
+}
+
+std::uint64_t RpcPerfAnalyzer::count(RpcOp op) const noexcept {
+  return counts_[static_cast<std::size_t>(op)];
+}
+
+double RpcPerfAnalyzer::median_s(RpcOp op) const {
+  const auto& s = samples_[static_cast<std::size_t>(op)].sample();
+  if (s.empty()) return 0.0;
+  return median_of(s);
+}
+
+double RpcPerfAnalyzer::tail_fraction(RpcOp op, double factor) const {
+  const auto& s = samples_[static_cast<std::size_t>(op)].sample();
+  if (s.empty()) return 0.0;
+  const double med = median_of(s);
+  const auto far = std::count_if(s.begin(), s.end(), [&](double x) {
+    return x > factor * med;
+  });
+  return static_cast<double>(far) / static_cast<double>(s.size());
+}
+
+std::vector<RpcPerfAnalyzer::ScatterPoint> RpcPerfAnalyzer::scatter() const {
+  std::vector<ScatterPoint> out;
+  for (const RpcOp op : all_rpc_ops()) {
+    if (count(op) == 0) continue;
+    ScatterPoint p;
+    p.op = op;
+    p.rpc_class = rpc_class(op);
+    p.count = count(op);
+    p.median_s = median_s(op);
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace u1

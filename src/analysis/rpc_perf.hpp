@@ -1,0 +1,47 @@
+// Metadata back-end RPC performance (paper §7.1): the per-RPC service-time
+// distributions of Fig. 12 (with their long tails) and the Fig. 13 scatter
+// of median service time vs operation count by RPC class.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "stats/reservoir.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class RpcPerfAnalyzer final : public TraceSink {
+ public:
+  /// cap: reservoir size per RPC type (memory bound for month traces).
+  explicit RpcPerfAnalyzer(std::size_t cap = 100000);
+
+  void append(const TraceRecord& record) override;
+
+  /// Uniform sample of service times (seconds) for one RPC.
+  std::vector<double> service_times(RpcOp op) const;
+  std::uint64_t count(RpcOp op) const noexcept;
+
+  /// Median service time in seconds (0 when the RPC never appeared).
+  double median_s(RpcOp op) const;
+
+  /// Fraction of samples beyond `factor` x median — the paper's "7% to
+  /// 22% of RPC service times are very far from the median".
+  double tail_fraction(RpcOp op, double factor = 8.0) const;
+
+  struct ScatterPoint {
+    RpcOp op;
+    RpcClass rpc_class;
+    std::uint64_t count = 0;
+    double median_s = 0;
+  };
+  /// One point per observed RPC — the Fig. 13 scatter.
+  std::vector<ScatterPoint> scatter() const;
+
+ private:
+  std::array<ReservoirSampler, kRpcOpCount> samples_;
+  std::array<std::uint64_t, kRpcOpCount> counts_{};
+};
+
+}  // namespace u1

@@ -1,0 +1,100 @@
+#include "analysis/sessions.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+namespace u1 {
+
+SessionAnalyzer::SessionAnalyzer(SimTime start, SimTime end)
+    : auth_(start, end, kHour), session_reqs_(start, end, kHour) {}
+
+void SessionAnalyzer::append(const TraceRecord& r) {
+  if (r.type == RecordType::kSession) {
+    if (r.t >= 0) session_reqs_.add(r.t);
+    switch (r.session_event) {
+      case SessionEvent::kAuthRequest:
+        if (r.t >= 0) {
+          auth_.add(r.t);
+          ++auth_requests_;
+        }
+        break;
+      case SessionEvent::kAuthFail:
+        if (r.t >= 0) ++auth_failures_;
+        break;
+      case SessionEvent::kOpen:
+        live_[r.session] = Live{r.t, 0};
+        break;
+      case SessionEvent::kClose: {
+        const auto it = live_.find(r.session);
+        if (it == live_.end()) break;
+        if (r.t >= 0) {
+          const double len = to_seconds(r.t - it->second.opened);
+          lengths_all_.push_back(len);
+          if (it->second.storage_ops > 0) {
+            lengths_active_.push_back(len);
+            ops_active_.push_back(
+                static_cast<double>(it->second.storage_ops));
+          }
+        }
+        live_.erase(it);
+        break;
+      }
+      default:
+        break;
+    }
+    return;
+  }
+  if (r.type == RecordType::kStorageDone && !r.failed &&
+      is_storage_op(r.api_op)) {
+    const auto it = live_.find(r.session);
+    if (it != live_.end()) ++it->second.storage_ops;
+  }
+}
+
+double SessionAnalyzer::auth_failure_fraction() const {
+  const std::uint64_t total = auth_requests_;
+  return total > 0 ? static_cast<double>(auth_failures_) /
+                         static_cast<double>(total)
+                   : 0.0;
+}
+
+double SessionAnalyzer::monday_weekend_peak_ratio() const {
+  std::array<double, 7> peak{};
+  for (std::size_t i = 0; i < auth_.bins(); ++i) {
+    const int wd = weekday(auth_.bin_start(i));
+    peak[static_cast<std::size_t>(wd)] =
+        std::max(peak[static_cast<std::size_t>(wd)], auth_.value(i));
+  }
+  const double weekend = std::max(peak[5], peak[6]);
+  return weekend > 0 ? peak[0] / weekend : 0.0;
+}
+
+double SessionAnalyzer::active_session_fraction() const {
+  if (lengths_all_.empty()) return 0.0;
+  return static_cast<double>(lengths_active_.size()) /
+         static_cast<double>(lengths_all_.size());
+}
+
+double SessionAnalyzer::fraction_shorter_than(SimTime limit) const {
+  if (lengths_all_.empty()) return 0.0;
+  const double cutoff = to_seconds(limit);
+  const auto n = std::count_if(lengths_all_.begin(), lengths_all_.end(),
+                               [&](double l) { return l < cutoff; });
+  return static_cast<double>(n) / static_cast<double>(lengths_all_.size());
+}
+
+double SessionAnalyzer::top_sessions_op_share(double top) const {
+  if (ops_active_.empty() || top <= 0 || top > 1) return 0.0;
+  std::vector<double> ops = ops_active_;
+  std::sort(ops.begin(), ops.end());
+  const double total = std::accumulate(ops.begin(), ops.end(), 0.0);
+  if (total <= 0) return 0.0;
+  const std::size_t k = static_cast<std::size_t>(
+      static_cast<double>(ops.size()) * (1.0 - top));
+  double top_sum = 0;
+  for (std::size_t i = k; i < ops.size(); ++i) top_sum += ops[i];
+  return top_sum / total;
+}
+
+}  // namespace u1

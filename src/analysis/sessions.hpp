@@ -1,0 +1,75 @@
+// Session & authentication analysis (paper §7.3, Fig. 15/16): auth and
+// session-management request time-series, auth failure fraction, session
+// length distribution (97% < 8h, 32% < 1s), active vs cold sessions
+// (5.57% active) and storage operations per active session (80% <= 92 ops,
+// top 20% of sessions = 96.7% of ops).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/timeseries.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class SessionAnalyzer final : public TraceSink {
+ public:
+  SessionAnalyzer(SimTime start, SimTime end);
+
+  void append(const TraceRecord& record) override;
+
+  // --- Fig. 15 ---------------------------------------------------------------
+  const TimeBinSeries& auth_requests_hourly() const noexcept {
+    return auth_;
+  }
+  const TimeBinSeries& session_requests_hourly() const noexcept {
+    return session_reqs_;
+  }
+  /// Fraction of auth requests that failed (paper: 2.76%).
+  double auth_failure_fraction() const;
+  /// Average weekday-vs-weekend peak difference (paper: Monday max ~15%
+  /// above weekends).
+  double monday_weekend_peak_ratio() const;
+
+  // --- Fig. 16 ---------------------------------------------------------------
+  /// Lengths (seconds) of sessions closed inside the window.
+  const std::vector<double>& session_lengths() const noexcept {
+    return lengths_all_;
+  }
+  const std::vector<double>& active_session_lengths() const noexcept {
+    return lengths_active_;
+  }
+  /// Storage ops per *active* session.
+  const std::vector<double>& ops_per_active_session() const noexcept {
+    return ops_active_;
+  }
+  /// Share of sessions that issued >= 1 storage op (paper: 5.57%).
+  double active_session_fraction() const;
+  double fraction_shorter_than(SimTime limit) const;
+  /// Share of all storage ops carried by the busiest `top` fraction of
+  /// active sessions (paper: top 20% -> 96.7%).
+  double top_sessions_op_share(double top) const;
+
+  std::uint64_t sessions_closed() const noexcept {
+    return static_cast<std::uint64_t>(lengths_all_.size());
+  }
+
+ private:
+  struct Live {
+    SimTime opened = 0;
+    std::uint64_t storage_ops = 0;
+  };
+
+  TimeBinSeries auth_;
+  TimeBinSeries session_reqs_;
+  std::uint64_t auth_requests_ = 0;
+  std::uint64_t auth_failures_ = 0;
+  std::unordered_map<SessionId, Live> live_;
+  std::vector<double> lengths_all_;
+  std::vector<double> lengths_active_;
+  std::vector<double> ops_active_;
+};
+
+}  // namespace u1

@@ -1,0 +1,45 @@
+#include "analysis/trace_summary.hpp"
+
+namespace u1 {
+
+void TraceSummaryAnalyzer::append(const TraceRecord& r) {
+  if (r.t < 0) return;
+  if (end_ > 0 && r.t >= end_) return;
+  ++records_;
+  if (!any_) {
+    first_ = last_ = r.t;
+    any_ = true;
+  } else {
+    if (r.t < first_) first_ = r.t;
+    if (r.t > last_) last_ = r.t;
+  }
+  if (r.user.valid()) users_.insert(r.user);
+  if (r.type == RecordType::kSession &&
+      r.session_event == SessionEvent::kOpen)
+    ++sessions_;
+  if (r.type == RecordType::kStorageDone && !r.failed) {
+    if (r.api_op == ApiOp::kPutContent) {
+      ++transfer_ops_;
+      files_.insert(r.node);
+      upload_bytes_ += r.transferred_bytes;
+    } else if (r.api_op == ApiOp::kGetContent) {
+      ++transfer_ops_;
+      download_bytes_ += r.transferred_bytes;
+    }
+  }
+}
+
+TraceSummaryAnalyzer::Summary TraceSummaryAnalyzer::summary() const {
+  Summary s;
+  if (any_) s.days = day_index(last_) - day_index(first_) + 1;
+  s.unique_users = users_.size();
+  s.unique_files = files_.size();
+  s.sessions = sessions_;
+  s.transfer_ops = transfer_ops_;
+  s.upload_bytes = upload_bytes_;
+  s.download_bytes = download_bytes_;
+  s.records = records_;
+  return s;
+}
+
+}  // namespace u1

@@ -1,0 +1,46 @@
+// Trace summary (paper Table 3): duration, unique users, unique files,
+// user sessions, transfer operations and total transferred traffic.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class TraceSummaryAnalyzer final : public TraceSink {
+ public:
+  /// Only records in [0, end) are summarized; `end` <= 0 means unbounded
+  /// (the real collection cut logfiles at the trace end date).
+  explicit TraceSummaryAnalyzer(SimTime end = 0) : end_(end) {}
+
+  void append(const TraceRecord& record) override;
+
+  struct Summary {
+    int days = 0;
+    std::uint64_t unique_users = 0;
+    std::uint64_t unique_files = 0;
+    std::uint64_t sessions = 0;
+    std::uint64_t transfer_ops = 0;
+    std::uint64_t upload_bytes = 0;
+    std::uint64_t download_bytes = 0;
+    std::uint64_t records = 0;
+  };
+  Summary summary() const;
+
+ private:
+  std::unordered_set<UserId> users_;
+  std::unordered_set<NodeId> files_;
+  std::uint64_t sessions_ = 0;
+  std::uint64_t transfer_ops_ = 0;
+  std::uint64_t upload_bytes_ = 0;
+  std::uint64_t download_bytes_ = 0;
+  std::uint64_t records_ = 0;
+  SimTime end_ = 0;
+  SimTime first_ = 0;
+  SimTime last_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace u1

@@ -1,0 +1,88 @@
+// Macroscopic storage workload (paper §5.1): Fig. 2(a) traffic
+// time-series, Fig. 2(b) traffic/operations per file-size category and
+// Fig. 2(c) hourly R/W ratio with boxplot + autocorrelation.
+#pragma once
+
+#include <vector>
+
+#include "stats/acf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/timeseries.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class TrafficAnalyzer final : public TraceSink {
+ public:
+  /// Analyzes the window [start, end) with 1-hour bins.
+  TrafficAnalyzer(SimTime start, SimTime end);
+
+  void append(const TraceRecord& record) override;
+
+  // --- Fig. 2(a): GBytes per hour -----------------------------------------
+  const TimeBinSeries& upload_bytes_hourly() const noexcept {
+    return up_bytes_;
+  }
+  const TimeBinSeries& download_bytes_hourly() const noexcept {
+    return down_bytes_;
+  }
+  /// Peak-hour/trough-hour ratio of upload volume over an average day —
+  /// the "up to 10x higher in the central day hours" statement.
+  double diurnal_swing() const;
+
+  // --- Fig. 2(b): size categories ------------------------------------------
+  /// Paper bins in MB: <0.5, 0.5-1, 1-5, 5-25, >25.
+  const EdgeHistogram& upload_ops_by_size() const noexcept {
+    return up_ops_hist_;
+  }
+  const EdgeHistogram& download_ops_by_size() const noexcept {
+    return down_ops_hist_;
+  }
+  const EdgeHistogram& upload_bytes_by_size() const noexcept {
+    return up_bytes_hist_;
+  }
+  const EdgeHistogram& download_bytes_by_size() const noexcept {
+    return down_bytes_hist_;
+  }
+
+  // --- Fig. 2(c): R/W ratio -------------------------------------------------
+  /// Hourly down/up byte ratios (hours with no uploads are skipped).
+  std::vector<double> rw_ratios_hourly() const;
+  BoxplotStats rw_boxplot() const;
+  AcfResult rw_acf(std::size_t max_lag = 200) const;
+
+  // --- update-share finding (§5.1) -------------------------------------------
+  /// Fraction of upload operations that are updates (paper: 10.05%).
+  double update_op_fraction() const;
+  /// Fraction of upload wire traffic caused by updates (paper: 18.47%).
+  double update_traffic_fraction() const;
+
+  std::uint64_t upload_ops() const noexcept { return upload_ops_; }
+  std::uint64_t download_ops() const noexcept { return download_ops_; }
+  std::uint64_t upload_bytes() const noexcept { return upload_bytes_total_; }
+  /// Wire bytes actually transferred for uploads (dedup hits excluded).
+  std::uint64_t upload_wire_bytes() const noexcept {
+    return upload_wire_bytes_;
+  }
+  std::uint64_t download_bytes() const noexcept {
+    return download_bytes_total_;
+  }
+
+ private:
+  TimeBinSeries up_bytes_;
+  TimeBinSeries down_bytes_;
+  EdgeHistogram up_ops_hist_;
+  EdgeHistogram down_ops_hist_;
+  EdgeHistogram up_bytes_hist_;
+  EdgeHistogram down_bytes_hist_;
+  std::uint64_t upload_ops_ = 0;
+  std::uint64_t download_ops_ = 0;
+  std::uint64_t upload_bytes_total_ = 0;
+  std::uint64_t download_bytes_total_ = 0;
+  std::uint64_t update_ops_ = 0;
+  std::uint64_t update_wire_bytes_ = 0;
+  std::uint64_t upload_wire_bytes_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,57 @@
+#include "analysis/transition_graph.hpp"
+
+#include <algorithm>
+
+namespace u1 {
+
+void TransitionGraphAnalyzer::append(const TraceRecord& r) {
+  if (r.t < 0) return;
+  if (r.type == RecordType::kSession &&
+      r.session_event == SessionEvent::kClose) {
+    last_op_.erase(r.session);
+    return;
+  }
+  if (r.type != RecordType::kStorage || r.failed) return;
+  const auto it = last_op_.find(r.session);
+  if (it != last_op_.end()) {
+    ++matrix_[static_cast<std::size_t>(it->second)]
+             [static_cast<std::size_t>(r.api_op)];
+    ++total_;
+    it->second = r.api_op;
+  } else {
+    last_op_.emplace(r.session, r.api_op);
+  }
+}
+
+std::vector<TransitionGraphAnalyzer::Edge> TransitionGraphAnalyzer::edges()
+    const {
+  std::vector<Edge> out;
+  for (std::size_t from = 0; from < kApiOpCount; ++from) {
+    for (std::size_t to = 0; to < kApiOpCount; ++to) {
+      const std::uint64_t c = matrix_[from][to];
+      if (c == 0) continue;
+      Edge e;
+      e.from = static_cast<ApiOp>(from);
+      e.to = static_cast<ApiOp>(to);
+      e.count = c;
+      e.global_probability =
+          total_ > 0 ? static_cast<double>(c) / static_cast<double>(total_)
+                     : 0;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Edge& a, const Edge& b) { return a.count > b.count; });
+  return out;
+}
+
+double TransitionGraphAnalyzer::conditional(ApiOp from, ApiOp to) const {
+  const auto& row = matrix_[static_cast<std::size_t>(from)];
+  std::uint64_t row_total = 0;
+  for (const std::uint64_t c : row) row_total += c;
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(row[static_cast<std::size_t>(to)]) /
+         static_cast<double>(row_total);
+}
+
+}  // namespace u1

@@ -1,0 +1,44 @@
+// User-centric request graph (paper §6.2, Fig. 8): per-session operation
+// sequences aggregated into a transition matrix over API operations, with
+// global transition probabilities (edge weight = transitions on that edge
+// divided by all transitions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+class TransitionGraphAnalyzer final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+
+  struct Edge {
+    ApiOp from;
+    ApiOp to;
+    std::uint64_t count = 0;
+    double global_probability = 0;  // count / total transitions
+  };
+
+  /// All edges with non-zero count, heaviest first.
+  std::vector<Edge> edges() const;
+
+  /// Conditional probability P(to | from).
+  double conditional(ApiOp from, ApiOp to) const;
+
+  /// Self-transition probability of an op, P(op | op).
+  double self_loop(ApiOp op) const { return conditional(op, op); }
+
+  std::uint64_t total_transitions() const noexcept { return total_; }
+
+ private:
+  std::array<std::array<std::uint64_t, kApiOpCount>, kApiOpCount> matrix_{};
+  std::unordered_map<SessionId, ApiOp> last_op_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,154 @@
+#include "analysis/users.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace u1 {
+
+UserActivityAnalyzer::UserActivityAnalyzer(SimTime start, SimTime end)
+    : start_(start),
+      end_(end),
+      online_(start, end, kHour),
+      active_(start, end, kHour) {}
+
+void UserActivityAnalyzer::append(const TraceRecord& r) {
+  if (r.type == RecordType::kSession) {
+    if (r.session_event == SessionEvent::kOpen) {
+      open_sessions_[r.session] = OpenSession{r.user, r.t};
+      traffic_.try_emplace(r.user);  // user exists even if never transfers
+    } else if (r.session_event == SessionEvent::kClose) {
+      const auto it = open_sessions_.find(r.session);
+      if (it != open_sessions_.end()) {
+        if (r.t >= start_ && it->second.opened < end_) {
+          online_.add_interval(std::max(it->second.opened, start_),
+                               std::min(r.t, end_ - 1), r.user.value);
+        }
+        open_sessions_.erase(it);
+      }
+    }
+    return;
+  }
+  if (r.type != RecordType::kStorageDone || r.failed || r.t < 0) return;
+  if (is_storage_op(r.api_op)) active_.add(r.t, r.user.value);
+  if (r.api_op == ApiOp::kPutContent) {
+    traffic_[r.user].up += r.transferred_bytes;
+  } else if (r.api_op == ApiOp::kGetContent) {
+    traffic_[r.user].down += r.transferred_bytes;
+  }
+}
+
+void UserActivityAnalyzer::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  for (const auto& [sid, open] : open_sessions_) {
+    if (open.opened < end_) {
+      online_.add_interval(std::max(open.opened, start_), end_ - 1,
+                           open.user.value);
+    }
+  }
+  open_sessions_.clear();
+}
+
+std::vector<double> UserActivityAnalyzer::online_users_hourly() const {
+  if (!finalized_)
+    throw std::logic_error("UserActivityAnalyzer: call finalize() first");
+  return online_.counts();
+}
+
+std::vector<double> UserActivityAnalyzer::active_users_hourly() const {
+  return active_.counts();
+}
+
+std::pair<double, double> UserActivityAnalyzer::active_share_range() const {
+  const auto online = online_users_hourly();
+  const auto active = active_users_hourly();
+  double lo = 1.0, hi = 0.0;
+  bool any = false;
+  for (std::size_t i = 0; i < online.size(); ++i) {
+    if (online[i] < 20) continue;  // skip nearly-empty hours
+    // Skip hours where transfer completions outlive their sessions
+    // (attack churn): the share is undefined there.
+    if (active[i] > online[i]) continue;
+    const double share = active[i] / online[i];
+    lo = std::min(lo, share);
+    hi = std::max(hi, share);
+    any = true;
+  }
+  if (!any) return {0.0, 0.0};
+  return {lo, hi};
+}
+
+std::vector<double> UserActivityAnalyzer::upload_bytes_per_user() const {
+  std::vector<double> out;
+  out.reserve(traffic_.size());
+  for (const auto& [user, t] : traffic_)
+    out.push_back(static_cast<double>(t.up));
+  return out;
+}
+
+std::vector<double> UserActivityAnalyzer::download_bytes_per_user() const {
+  std::vector<double> out;
+  out.reserve(traffic_.size());
+  for (const auto& [user, t] : traffic_)
+    out.push_back(static_cast<double>(t.down));
+  return out;
+}
+
+double UserActivityAnalyzer::downloaders_fraction() const {
+  if (traffic_.empty()) return 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [user, t] : traffic_)
+    if (t.down > 0) ++n;
+  return static_cast<double>(n) / static_cast<double>(traffic_.size());
+}
+
+double UserActivityAnalyzer::uploaders_fraction() const {
+  if (traffic_.empty()) return 0.0;
+  std::uint64_t n = 0;
+  for (const auto& [user, t] : traffic_)
+    if (t.up > 0) ++n;
+  return static_cast<double>(n) / static_cast<double>(traffic_.size());
+}
+
+LorenzCurve UserActivityAnalyzer::upload_lorenz() const {
+  return lorenz(upload_bytes_per_user());
+}
+
+LorenzCurve UserActivityAnalyzer::download_lorenz() const {
+  return lorenz(download_bytes_per_user());
+}
+
+double UserActivityAnalyzer::top_traffic_share(double fraction) const {
+  std::vector<double> totals;
+  totals.reserve(traffic_.size());
+  for (const auto& [user, t] : traffic_)
+    totals.push_back(static_cast<double>(t.up + t.down));
+  return lorenz(totals).top_share(fraction);
+}
+
+UserActivityAnalyzer::ClassShares UserActivityAnalyzer::classify_users()
+    const {
+  ClassShares shares;
+  if (traffic_.empty()) return shares;
+  const double n = static_cast<double>(traffic_.size());
+  for (const auto& [user, t] : traffic_) {
+    const double up = static_cast<double>(t.up);
+    const double down = static_cast<double>(t.down);
+    if (up + down < 10.0 * 1024) {
+      shares.occasional += 1;
+    } else if (down <= 0 || (up > 0 && up / std::max(down, 1.0) >= 1000.0)) {
+      shares.upload_only += 1;
+    } else if (up <= 0 || down / std::max(up, 1.0) >= 1000.0) {
+      shares.download_only += 1;
+    } else {
+      shares.heavy += 1;
+    }
+  }
+  shares.occasional /= n;
+  shares.upload_only /= n;
+  shares.download_only /= n;
+  shares.heavy /= n;
+  return shares;
+}
+
+}  // namespace u1

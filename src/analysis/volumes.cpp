@@ -1,0 +1,63 @@
+#include "analysis/volumes.hpp"
+
+#include "stats/correlation.hpp"
+
+namespace u1 {
+
+VolumeContentStats analyze_volume_contents(const MetadataStore& store) {
+  VolumeContentStats stats;
+  std::size_t with_file = 0, with_dir = 0, heavy = 0, total = 0;
+  std::vector<double> files, dirs;
+  for (std::size_t s = 1; s <= store.shard_count(); ++s) {
+    const Shard& shard = store.shard(ShardId{s});
+    for (const auto& [vid, vol] : shard.volumes_map()) {
+      const auto [f, d] = shard.count_nodes(vid);
+      stats.files_dirs.emplace_back(static_cast<double>(f),
+                                    static_cast<double>(d));
+      files.push_back(static_cast<double>(f));
+      dirs.push_back(static_cast<double>(d));
+      ++total;
+      if (f > 0) ++with_file;
+      if (d > 0) ++with_dir;
+      if (f > 1000) ++heavy;
+    }
+  }
+  if (total > 0) {
+    stats.volumes_with_file_share =
+        static_cast<double>(with_file) / static_cast<double>(total);
+    stats.volumes_with_dir_share =
+        static_cast<double>(with_dir) / static_cast<double>(total);
+    stats.volumes_over_1000_files =
+        static_cast<double>(heavy) / static_cast<double>(total);
+  }
+  if (files.size() >= 2) stats.pearson_files_dirs = pearson(files, dirs);
+  return stats;
+}
+
+VolumeOwnershipStats analyze_volume_ownership(const MetadataStore& store,
+                                              std::uint64_t users) {
+  VolumeOwnershipStats stats;
+  std::size_t with_udf = 0, with_share = 0;
+  for (std::uint64_t u = 1; u <= users; ++u) {
+    const UserId user{u};
+    if (!store.has_user(user)) continue;
+    const Shard& shard = store.shard(store.shard_of(user));
+    std::size_t udfs = 0;
+    for (const Volume& vol : shard.list_volumes(user)) {
+      if (vol.kind == VolumeKind::kUdf) ++udfs;
+    }
+    const std::size_t shares = shard.share_grants(user).size();
+    stats.udfs_per_user.push_back(static_cast<double>(udfs));
+    stats.shares_per_user.push_back(static_cast<double>(shares));
+    if (udfs > 0) ++with_udf;
+    if (shares > 0) ++with_share;
+  }
+  const double n = static_cast<double>(stats.udfs_per_user.size());
+  if (n > 0) {
+    stats.users_with_udf = static_cast<double>(with_udf) / n;
+    stats.users_with_share = static_cast<double>(with_share) / n;
+  }
+  return stats;
+}
+
+}  // namespace u1

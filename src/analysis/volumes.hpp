@@ -1,0 +1,39 @@
+// Volume contents and sharing (paper §6.3, Fig. 10/11). These are
+// end-of-trace *state* analyses (the paper inspected the metadata store),
+// so this analyzer snapshots a MetadataStore rather than streaming the
+// trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "store/metadata_store.hpp"
+
+namespace u1 {
+
+struct VolumeContentStats {
+  /// Per-volume (file count, directory count) pairs — Fig. 10 scatter.
+  std::vector<std::pair<double, double>> files_dirs;
+  double pearson_files_dirs = 0;  // paper: 0.998
+  double volumes_with_file_share = 0;    // >= 1 file (paper: >60%)
+  double volumes_with_dir_share = 0;     // >= 1 subdir (paper: 32%)
+  double volumes_over_1000_files = 0;    // share (paper: ~5%)
+};
+
+struct VolumeOwnershipStats {
+  /// Per-user UDF volume counts (only users with >= 0 UDFs; all users).
+  std::vector<double> udfs_per_user;
+  std::vector<double> shares_per_user;
+  double users_with_udf = 0;     // share (paper: 58%)
+  double users_with_share = 0;   // share (paper: 1.8%)
+};
+
+/// Walks the store and derives the Fig. 10 statistics.
+VolumeContentStats analyze_volume_contents(const MetadataStore& store);
+
+/// Walks the store and derives the Fig. 11 statistics over `users` user
+/// ids 1..users (the simulation's population).
+VolumeOwnershipStats analyze_volume_ownership(const MetadataStore& store,
+                                              std::uint64_t users);
+
+}  // namespace u1

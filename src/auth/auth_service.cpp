@@ -1,0 +1,53 @@
+#include "auth/auth_service.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+AuthService::AuthService(std::uint64_t seed, double failure_rate)
+    : rng_(seed), failure_rate_(failure_rate) {
+  if (failure_rate < 0.0 || failure_rate >= 1.0)
+    throw std::invalid_argument("AuthService: failure_rate not in [0,1)");
+}
+
+std::optional<AuthToken> AuthService::issue_token(UserId user, SimTime now) {
+  ++stats_.issue_requests;
+  if (rng_.chance(failure_rate_)) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  AuthToken token;
+  token.id = Uuid::v4(rng_);
+  token.user = user;
+  token.issued_at = now;
+  tokens_.emplace(token.id, token);
+  return token;
+}
+
+std::optional<UserId> AuthService::verify_token(const TokenId& token,
+                                                SimTime /*now*/) {
+  ++stats_.verify_requests;
+  if (rng_.chance(failure_rate_)) {
+    ++stats_.failures;
+    return std::nullopt;
+  }
+  const auto it = tokens_.find(token);
+  if (it == tokens_.end() || it->second.revoked) {
+    ++stats_.rejects;
+    return std::nullopt;
+  }
+  return it->second.user;
+}
+
+bool AuthService::revoke_user_tokens(UserId user) {
+  bool any = false;
+  for (auto& [id, token] : tokens_) {
+    if (token.user == user && !token.revoked) {
+      token.revoked = true;
+      any = true;
+    }
+  }
+  return any;
+}
+
+}  // namespace u1

@@ -1,0 +1,65 @@
+// The Canonical OAuth-based single-sign-on service (§3.4.1): shared with
+// other Canonical services, 1 database server + 2 application servers.
+// First contact exchanges credentials for a token tied to a user id;
+// later connections verify the stored token. The paper measures this
+// subsystem's request rate (Fig. 15) and a 2.76% request failure rate,
+// which we model with an injectable failure probability.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "proto/ids.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+struct AuthToken {
+  TokenId id;
+  UserId user;
+  SimTime issued_at = 0;
+  bool revoked = false;
+};
+
+struct AuthStats {
+  std::uint64_t issue_requests = 0;
+  std::uint64_t verify_requests = 0;
+  std::uint64_t failures = 0;  // transient service failures (paper: 2.76%)
+  std::uint64_t rejects = 0;   // unknown/revoked tokens
+};
+
+class AuthService {
+ public:
+  /// failure_rate: probability that any request transiently fails (the
+  /// caller may retry); the paper measured 2.76% of authentication
+  /// requests from API servers failing.
+  explicit AuthService(std::uint64_t seed = 0xa17ed0c5,
+                       double failure_rate = 0.0276);
+
+  /// First-time flow: exchanges credentials for a token. Returns nullopt
+  /// on transient failure.
+  std::optional<AuthToken> issue_token(UserId user, SimTime now);
+
+  /// Returning-user flow: looks up the token, returns the associated user
+  /// id if valid. nullopt covers both transient failure and rejection;
+  /// stats() distinguishes them.
+  std::optional<UserId> verify_token(const TokenId& token, SimTime now);
+
+  /// Administrative revocation — the countermeasure U1 engineers applied
+  /// manually during DDoS attacks (§5.4).
+  bool revoke_user_tokens(UserId user);
+
+  const AuthStats& stats() const noexcept { return stats_; }
+  std::size_t live_tokens() const noexcept { return tokens_.size(); }
+  double failure_rate() const noexcept { return failure_rate_; }
+
+ private:
+  Rng rng_;
+  double failure_rate_;
+  std::unordered_map<TokenId, AuthToken> tokens_;
+  AuthStats stats_;
+};
+
+}  // namespace u1

@@ -1,0 +1,51 @@
+#include "auth/token_cache.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+TokenCache::TokenCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("TokenCache: capacity 0");
+}
+
+std::optional<UserId> TokenCache::get(const TokenId& token) {
+  const auto it = map_.find(token);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->user;
+}
+
+void TokenCache::put(const TokenId& token, UserId user) {
+  const auto it = map_.find(token);
+  if (it != map_.end()) {
+    it->second->user = user;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    const Entry& victim = lru_.back();
+    map_.erase(victim.token);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{token, user});
+  map_.emplace(token, lru_.begin());
+}
+
+void TokenCache::erase(const TokenId& token) {
+  const auto it = map_.find(token);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+double TokenCache::hit_rate() const noexcept {
+  const std::uint64_t total = hits_ + misses_;
+  return total > 0 ? static_cast<double>(hits_) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace u1

@@ -1,0 +1,46 @@
+// Per-API-server token cache (§3.4.1): "During the session, the token of
+// that client is cached to avoid overloading the authentication service."
+// A bounded LRU keyed by token id.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "proto/ids.hpp"
+
+namespace u1 {
+
+class TokenCache {
+ public:
+  explicit TokenCache(std::size_t capacity = 4096);
+
+  /// Returns the cached user for a token, promoting it to most-recent.
+  std::optional<UserId> get(const TokenId& token);
+
+  void put(const TokenId& token, UserId user);
+
+  /// Drops one token (e.g. on session close or revocation).
+  void erase(const TokenId& token);
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  double hit_rate() const noexcept;
+
+ private:
+  struct Entry {
+    TokenId token;
+    UserId user;
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<TokenId, std::list<Entry>::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace u1

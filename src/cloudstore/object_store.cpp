@@ -1,0 +1,88 @@
+#include "cloudstore/object_store.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+void ObjectStore::put(const std::string& key, std::uint64_t size_bytes,
+                      SimTime now) {
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    stored_bytes_ -= it->second.size_bytes;
+    it->second.size_bytes = size_bytes;
+    it->second.stored_at = now;
+  } else {
+    objects_.emplace(key, StoredObject{key, size_bytes, now});
+  }
+  stored_bytes_ += size_bytes;
+  ++puts_;
+}
+
+std::optional<StoredObject> ObjectStore::get(const std::string& key) const {
+  ++gets_;
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ObjectStore::remove(const std::string& key) {
+  const auto it = objects_.find(key);
+  if (it == objects_.end()) return false;
+  stored_bytes_ -= it->second.size_bytes;
+  objects_.erase(it);
+  ++deletes_;
+  return true;
+}
+
+bool ObjectStore::exists(const std::string& key) const {
+  return objects_.contains(key);
+}
+
+std::string ObjectStore::initiate_multipart(const std::string& key,
+                                            SimTime now) {
+  const std::string upload_id = "mpu-" + std::to_string(next_upload_seq_++);
+  multiparts_.emplace(upload_id, MultipartUpload{upload_id, key, 0, 0, now});
+  return upload_id;
+}
+
+void ObjectStore::upload_part(const std::string& upload_id,
+                              std::uint64_t part_bytes) {
+  if (part_bytes == 0)
+    throw std::invalid_argument("upload_part: zero-sized part");
+  auto it = multiparts_.find(upload_id);
+  if (it == multiparts_.end())
+    throw std::out_of_range("upload_part: unknown upload id");
+  ++it->second.parts;
+  it->second.bytes += part_bytes;
+}
+
+StoredObject ObjectStore::complete_multipart(const std::string& upload_id,
+                                             SimTime now) {
+  const auto it = multiparts_.find(upload_id);
+  if (it == multiparts_.end())
+    throw std::out_of_range("complete_multipart: unknown upload id");
+  if (it->second.parts == 0)
+    throw std::logic_error("complete_multipart: no parts uploaded");
+  put(it->second.key, it->second.bytes, now);
+  const StoredObject obj = objects_.at(it->second.key);
+  multiparts_.erase(it);
+  return obj;
+}
+
+bool ObjectStore::abort_multipart(const std::string& upload_id) {
+  return multiparts_.erase(upload_id) > 0;
+}
+
+std::optional<MultipartUpload> ObjectStore::multipart_state(
+    const std::string& upload_id) const {
+  const auto it = multiparts_.find(upload_id);
+  if (it == multiparts_.end()) return std::nullopt;
+  return it->second;
+}
+
+double ObjectStore::monthly_bill_usd(double usd_per_gb_month) const noexcept {
+  return static_cast<double>(stored_bytes_) / (1024.0 * 1024.0 * 1024.0) *
+         usd_per_gb_month;
+}
+
+}  // namespace u1

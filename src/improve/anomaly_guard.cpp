@@ -1,0 +1,79 @@
+#include "improve/anomaly_guard.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+AnomalyGuard::AnomalyGuard(const AnomalyGuardConfig& config)
+    : config_(config) {
+  if (config.window <= 0 || config.rate_threshold <= 1.0 ||
+      config.concentration_threshold <= 0 ||
+      config.concentration_threshold > 1 || config.baseline_alpha <= 0 ||
+      config.baseline_alpha > 1)
+    throw std::invalid_argument("AnomalyGuardConfig: invalid");
+}
+
+void AnomalyGuard::roll_window(SimTime now) {
+  while (!window_.empty() && window_.front().first <= now - config_.window) {
+    const UserId user = window_.front().second;
+    const auto it = per_user_.find(user);
+    if (it != per_user_.end()) {
+      if (--it->second == 0) per_user_.erase(it);
+    }
+    window_.pop_front();
+  }
+  // Fold completed windows into the baseline EWMA.
+  if (last_roll_ == 0) {
+    last_roll_ = now;
+    return;
+  }
+  while (now - last_roll_ >= config_.window) {
+    const double current = static_cast<double>(window_.size());
+    // Anomalous windows must not poison the baseline: an attacker who is
+    // allowed to run for a while would otherwise teach the detector that
+    // the flood is normal.
+    const bool anomalous =
+        baseline_ > 0 && current > config_.rate_threshold * baseline_;
+    if (!anomalous) {
+      baseline_ = (1.0 - config_.baseline_alpha) * baseline_ +
+                  config_.baseline_alpha * current;
+    }
+    last_roll_ += config_.window;
+  }
+}
+
+std::optional<UserId> AnomalyGuard::observe(const TraceRecord& record) {
+  if (record.type != RecordType::kSession) return std::nullopt;
+  if (record.session_event != SessionEvent::kAuthRequest &&
+      record.session_event != SessionEvent::kOpen)
+    return std::nullopt;
+
+  roll_window(record.t);
+  window_.emplace_back(record.t, record.user);
+  ++per_user_[record.user];
+
+  if (window_.size() < config_.min_requests) return std::nullopt;
+  if (baseline_ <= 0) return std::nullopt;
+  if (static_cast<double>(window_.size()) <
+      config_.rate_threshold * baseline_)
+    return std::nullopt;
+
+  // Rate anomaly: look for the concentrating account.
+  const double total = static_cast<double>(window_.size());
+  for (const auto& [user, count] : per_user_) {
+    if (static_cast<double>(count) / total <
+        config_.concentration_threshold)
+      continue;
+    // Debounce: one alert per user per hour.
+    const auto flagged = recently_flagged_.find(user);
+    if (flagged != recently_flagged_.end() &&
+        record.t - flagged->second < kHour)
+      return std::nullopt;
+    recently_flagged_[user] = record.t;
+    ++alerts_;
+    return user;
+  }
+  return std::nullopt;
+}
+
+}  // namespace u1

@@ -1,0 +1,59 @@
+// Automatic DDoS countermeasure — the research direction §5.4/§9 calls
+// for ("the reaction to these attacks was not automatic ... further
+// research is needed to automatically react to this kind of threats").
+//
+// The guard watches the same signal the operators did: session/auth
+// request rates. It keeps an exponentially-weighted baseline per hour and
+// a short sliding window per user id; when the global rate blows past the
+// baseline it searches the window for an account concentrating the spike
+// (the shared-credential signature) and recommends a purge.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "proto/ids.hpp"
+#include "trace/record.hpp"
+
+namespace u1 {
+
+struct AnomalyGuardConfig {
+  /// Baseline EWMA weight per observation window.
+  double baseline_alpha = 0.15;
+  /// Observation window length.
+  SimTime window = 10 * kMinute;
+  /// Alert when the window rate exceeds baseline by this factor.
+  double rate_threshold = 3.0;
+  /// Blame a user only if it holds at least this share of window requests.
+  double concentration_threshold = 0.25;
+  /// Minimum requests in a window before alerting (cold-start guard).
+  std::uint64_t min_requests = 50;
+};
+
+class AnomalyGuard {
+ public:
+  explicit AnomalyGuard(const AnomalyGuardConfig& config = {});
+
+  /// Feed every session-management event (auth requests and session
+  /// opens). Returns the user to purge when an attack is detected.
+  std::optional<UserId> observe(const TraceRecord& record);
+
+  /// Detection bookkeeping.
+  std::uint64_t alerts() const noexcept { return alerts_; }
+  double baseline_rate() const noexcept { return baseline_; }
+
+ private:
+  void roll_window(SimTime now);
+
+  AnomalyGuardConfig config_;
+  std::deque<std::pair<SimTime, UserId>> window_;
+  std::unordered_map<UserId, std::uint64_t> per_user_;
+  double baseline_ = 0;  // EWMA of requests per window
+  SimTime last_roll_ = 0;
+  std::uint64_t alerts_ = 0;
+  std::unordered_map<UserId, SimTime> recently_flagged_;
+};
+
+}  // namespace u1

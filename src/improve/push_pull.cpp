@@ -1,0 +1,46 @@
+#include "improve/push_pull.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+PushPullPolicy::PushPullPolicy(const PushPullConfig& config)
+    : config_(config) {
+  if (config.active_threshold < 0 || config.alpha <= 0 ||
+      config.alpha > 1 || config.poll_interval <= 0 ||
+      config.grace_sessions < 0)
+    throw std::invalid_argument("PushPullConfig: invalid");
+}
+
+SessionMode PushPullPolicy::decide(UserId user) const {
+  const auto it = users_.find(user);
+  if (it == users_.end()) return SessionMode::kPush;  // unknown: grace
+  if (it->second.sessions < config_.grace_sessions) return SessionMode::kPush;
+  return it->second.ewma_ops > config_.active_threshold ? SessionMode::kPush
+                                                        : SessionMode::kPull;
+}
+
+void PushPullPolicy::report_session(UserId user, std::uint64_t storage_ops,
+                                    SimTime length) {
+  const SessionMode mode = decide(user);
+  if (mode == SessionMode::kPull) {
+    ++pull_sessions_;
+    // The connection would have been dropped after the handshake; the
+    // entire remaining session length is a saved slot.
+    saved_hours_ += to_seconds(length) / 3600.0;
+    if (storage_ops > 0) ++mispredicted_;
+  } else {
+    ++push_sessions_;
+  }
+  UserState& state = users_[user];
+  state.ewma_ops = (1.0 - config_.alpha) * state.ewma_ops +
+                   config_.alpha * static_cast<double>(storage_ops);
+  ++state.sessions;
+}
+
+double PushPullPolicy::activity_estimate(UserId user) const {
+  const auto it = users_.find(user);
+  return it == users_.end() ? 0.0 : it->second.ewma_ops;
+}
+
+}  // namespace u1

@@ -1,0 +1,71 @@
+// Adaptive push/pull session policy (paper §7.3/§9, after Deolasee et
+// al.): 94% of U1 connections never issue a storage operation, yet every
+// one holds a push-capable TCP connection. The policy tracks per-user
+// activity and assigns each new session a mode:
+//   kPush — keep the persistent connection (active users, low latency);
+//   kPull — close after the handshake, poll periodically (cold users).
+// The tracker estimates the connection-slots saved and the notification
+// latency cost.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "proto/ids.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+enum class SessionMode : std::uint8_t { kPush, kPull };
+
+struct PushPullConfig {
+  /// A user stays in push mode while their EWMA of storage ops per
+  /// session is above this.
+  double active_threshold = 0.2;
+  /// EWMA weight for per-session activity.
+  double alpha = 0.3;
+  /// Pull-mode poll interval (notification latency bound).
+  SimTime poll_interval = 30 * kMinute;
+  /// New users start in push mode for this many sessions (grace).
+  int grace_sessions = 3;
+};
+
+class PushPullPolicy {
+ public:
+  explicit PushPullPolicy(const PushPullConfig& config = {});
+
+  /// Mode for the user's next session.
+  SessionMode decide(UserId user) const;
+
+  /// Report a finished session: how many storage ops it performed and how
+  /// long it stayed open. Updates the user's activity estimate and the
+  /// global savings accounting.
+  void report_session(UserId user, std::uint64_t storage_ops,
+                      SimTime length);
+
+  /// Connection-seconds that pull mode would not have held open.
+  double saved_connection_hours() const noexcept { return saved_hours_; }
+  /// Sessions that were in pull mode but turned out active — each one
+  /// paid up to poll_interval of extra sync latency.
+  std::uint64_t mispredicted_active() const noexcept {
+    return mispredicted_;
+  }
+  std::uint64_t pull_sessions() const noexcept { return pull_sessions_; }
+  std::uint64_t push_sessions() const noexcept { return push_sessions_; }
+  double activity_estimate(UserId user) const;
+
+ private:
+  struct UserState {
+    double ewma_ops = 0;
+    int sessions = 0;
+  };
+
+  PushPullConfig config_;
+  std::unordered_map<UserId, UserState> users_;
+  double saved_hours_ = 0;
+  std::uint64_t mispredicted_ = 0;
+  std::uint64_t pull_sessions_ = 0;
+  std::uint64_t push_sessions_ = 0;
+};
+
+}  // namespace u1

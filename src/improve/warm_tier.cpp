@@ -1,0 +1,91 @@
+#include "improve/warm_tier.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+WarmTierManager::WarmTierManager(const WarmTierConfig& config)
+    : config_(config) {
+  if (config.demote_after <= 0 || config.hot_usd_per_gb_month < 0 ||
+      config.cold_usd_per_gb_month < 0 || config.cold_read_penalty < 0)
+    throw std::invalid_argument("WarmTierConfig: invalid");
+}
+
+void WarmTierManager::on_store(const ContentId& id, std::uint64_t size_bytes,
+                               SimTime now) {
+  auto [it, inserted] = blobs_.try_emplace(id);
+  if (!inserted) {
+    // Overwrite: adjust the books for the old size/tier first.
+    if (it->second.tier == StorageTier::kHot) {
+      hot_bytes_ -= it->second.size;
+    } else {
+      cold_bytes_ -= it->second.size;
+    }
+  }
+  it->second.size = size_bytes;
+  it->second.last_access = now;
+  it->second.tier = StorageTier::kHot;
+  hot_bytes_ += size_bytes;
+}
+
+SimTime WarmTierManager::on_read(const ContentId& id, SimTime now) {
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end())
+    throw std::out_of_range("WarmTierManager::on_read: unknown blob");
+  it->second.last_access = now;
+  if (it->second.tier == StorageTier::kHot) return 0;
+  // Cold hit: promote and pay the retrieval penalty.
+  ++cold_reads_;
+  it->second.tier = StorageTier::kHot;
+  cold_bytes_ -= it->second.size;
+  hot_bytes_ += it->second.size;
+  return config_.cold_read_penalty;
+}
+
+void WarmTierManager::on_delete(const ContentId& id) {
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end()) return;
+  if (it->second.tier == StorageTier::kHot) {
+    hot_bytes_ -= it->second.size;
+  } else {
+    cold_bytes_ -= it->second.size;
+  }
+  blobs_.erase(it);
+}
+
+std::size_t WarmTierManager::sweep(SimTime now) {
+  std::size_t demoted = 0;
+  for (auto& [id, blob] : blobs_) {
+    if (blob.tier == StorageTier::kHot &&
+        now - blob.last_access >= config_.demote_after) {
+      blob.tier = StorageTier::kCold;
+      hot_bytes_ -= blob.size;
+      cold_bytes_ += blob.size;
+      ++demoted;
+    }
+  }
+  return demoted;
+}
+
+StorageTier WarmTierManager::tier_of(const ContentId& id) const {
+  const auto it = blobs_.find(id);
+  if (it == blobs_.end())
+    throw std::out_of_range("WarmTierManager::tier_of: unknown blob");
+  return it->second.tier;
+}
+
+double WarmTierManager::monthly_bill_usd() const noexcept {
+  constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+  return static_cast<double>(hot_bytes_) / kGB *
+             config_.hot_usd_per_gb_month +
+         static_cast<double>(cold_bytes_) / kGB *
+             config_.cold_usd_per_gb_month;
+}
+
+double WarmTierManager::monthly_bill_all_hot_usd() const noexcept {
+  constexpr double kGB = 1024.0 * 1024.0 * 1024.0;
+  return static_cast<double>(hot_bytes_ + cold_bytes_) / kGB *
+         config_.hot_usd_per_gb_month;
+}
+
+}  // namespace u1

@@ -1,0 +1,69 @@
+// Warm/cold storage tiering (paper §5.2/§9, after Amazon Glacier and
+// Facebook's f4): "around 12.5M files in U1 were completely unused for
+// more than 1 day before their deletion ... warm and/or cold data exists
+// in a Personal Cloud". The tier manager tracks last-access times per
+// content and periodically demotes idle blobs to a cheaper tier;
+// accessing a cold blob promotes it back at a retrieval latency penalty.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "proto/ids.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+enum class StorageTier : std::uint8_t { kHot, kCold };
+
+struct WarmTierConfig {
+  /// Demote content untouched for this long.
+  SimTime demote_after = 14 * kDay;
+  /// Monthly $/GB per tier (2014 list prices: S3 ~0.03, Glacier ~0.01).
+  double hot_usd_per_gb_month = 0.030;
+  double cold_usd_per_gb_month = 0.010;
+  /// Latency penalty when reading from the cold tier.
+  SimTime cold_read_penalty = 4 * kSecond;
+};
+
+class WarmTierManager {
+ public:
+  explicit WarmTierManager(const WarmTierConfig& config = {});
+
+  /// New blob lands hot.
+  void on_store(const ContentId& id, std::uint64_t size_bytes, SimTime now);
+  /// Read access: returns the latency penalty (0 when hot) and promotes
+  /// cold blobs back to the hot tier.
+  SimTime on_read(const ContentId& id, SimTime now);
+  /// Blob deleted.
+  void on_delete(const ContentId& id);
+
+  /// Periodic sweep: demotes blobs idle beyond the threshold. Returns how
+  /// many were demoted.
+  std::size_t sweep(SimTime now);
+
+  StorageTier tier_of(const ContentId& id) const;
+  std::uint64_t hot_bytes() const noexcept { return hot_bytes_; }
+  std::uint64_t cold_bytes() const noexcept { return cold_bytes_; }
+  std::uint64_t cold_reads() const noexcept { return cold_reads_; }
+  std::size_t tracked() const noexcept { return blobs_.size(); }
+
+  /// Monthly bill under tiering vs everything-hot.
+  double monthly_bill_usd() const noexcept;
+  double monthly_bill_all_hot_usd() const noexcept;
+
+ private:
+  struct Blob {
+    std::uint64_t size = 0;
+    SimTime last_access = 0;
+    StorageTier tier = StorageTier::kHot;
+  };
+
+  WarmTierConfig config_;
+  std::unordered_map<ContentId, Blob> blobs_;
+  std::uint64_t hot_bytes_ = 0;
+  std::uint64_t cold_bytes_ = 0;
+  std::uint64_t cold_reads_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,47 @@
+#include "mq/message_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace u1 {
+
+std::size_t MessageQueue::subscribe(ProcessId process, EventHandler handler) {
+  if (!handler) throw std::invalid_argument("subscribe: empty handler");
+  Subscriber sub;
+  sub.handle = next_handle_++;
+  sub.process = process;
+  sub.handler = std::move(handler);
+  sub.active = true;
+  subscribers_.push_back(std::move(sub));
+  return subscribers_.back().handle;
+}
+
+void MessageQueue::unsubscribe(std::size_t handle) {
+  for (auto& sub : subscribers_) {
+    if (sub.handle == handle) {
+      sub.active = false;
+      return;
+    }
+  }
+  throw std::out_of_range("unsubscribe: unknown handle");
+}
+
+std::size_t MessageQueue::publish(const VolumeEvent& event) {
+  ++published_;
+  std::size_t deliveries = 0;
+  for (const auto& sub : subscribers_) {
+    if (!sub.active || sub.process == event.origin_process) continue;
+    sub.handler(event);
+    ++deliveries;
+  }
+  delivered_ += deliveries;
+  return deliveries;
+}
+
+std::size_t MessageQueue::subscriber_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(subscribers_.begin(), subscribers_.end(),
+                    [](const Subscriber& s) { return s.active; }));
+}
+
+}  // namespace u1

@@ -1,0 +1,68 @@
+// RabbitMQ substitute (§3.4.2): U1 API servers publish change events to a
+// queue; every *other* subscribed API server consumes them and pushes
+// notifications to its connected clients over their persistent TCP
+// connections. When both affected clients hang off the same API process
+// the event short-circuits and never reaches the queue (paper footnote 4)
+// — the publish() contract below encodes exactly that.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+/// A change event fanned out between API servers.
+struct VolumeEvent {
+  enum class Kind : std::uint8_t {
+    kNodeCreated,
+    kNodeUpdated,
+    kNodeDeleted,
+    kVolumeDeleted,
+    kShareGranted,
+  };
+  Kind kind = Kind::kNodeUpdated;
+  UserId affected_user;     // whose replica must react
+  VolumeId volume;
+  NodeId node;              // nil for volume-level events
+  ProcessId origin_process; // API process that performed the change
+  SimTime at = 0;
+};
+
+/// Subscriber callback: invoked once per delivered event.
+using EventHandler = std::function<void(const VolumeEvent&)>;
+
+class MessageQueue {
+ public:
+  /// Subscribes an API process; returns a subscription handle.
+  std::size_t subscribe(ProcessId process, EventHandler handler);
+  void unsubscribe(std::size_t handle);
+
+  /// Fan-out to every subscriber except the origin process (which already
+  /// notified its local clients directly). Returns the number of
+  /// deliveries performed.
+  std::size_t publish(const VolumeEvent& event);
+
+  std::uint64_t published() const noexcept { return published_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+  std::size_t subscriber_count() const noexcept;
+
+ private:
+  struct Subscriber {
+    std::size_t handle = 0;
+    ProcessId process;
+    EventHandler handler;
+    bool active = false;
+  };
+  std::vector<Subscriber> subscribers_;
+  std::uint64_t published_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::size_t next_handle_ = 1;
+};
+
+}  // namespace u1

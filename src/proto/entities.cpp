@@ -1,0 +1,18 @@
+#include "proto/entities.hpp"
+
+namespace u1 {
+
+std::string_view to_string(NodeKind k) noexcept {
+  return k == NodeKind::kFile ? "file" : "dir";
+}
+
+std::string_view to_string(VolumeKind k) noexcept {
+  switch (k) {
+    case VolumeKind::kRoot: return "root";
+    case VolumeKind::kUdf: return "udf";
+    case VolumeKind::kShared: return "shared";
+  }
+  return "unknown";
+}
+
+}  // namespace u1

@@ -1,0 +1,55 @@
+// Strongly-typed identifiers for the protocol entities of §3.1.1. A UserId
+// can never be passed where a SessionId is expected; the compiler enforces
+// the data model. Node and content identifiers are UUIDs / SHA-1 digests,
+// as in the real U1 back-end.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+#include "util/sha1.hpp"
+#include "util/uuid.hpp"
+
+namespace u1 {
+
+/// CRTP-free strong integer id: Tag makes each instantiation a distinct
+/// type; value 0 is reserved as "invalid".
+template <typename Tag>
+struct StrongId {
+  std::uint64_t value = 0;
+
+  constexpr bool valid() const noexcept { return value != 0; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+using UserId = StrongId<struct UserIdTag>;
+using SessionId = StrongId<struct SessionIdTag>;
+using MachineId = StrongId<struct MachineIdTag>;
+using ProcessId = StrongId<struct ProcessIdTag>;
+using ShardId = StrongId<struct ShardIdTag>;
+
+/// Files and directories are "nodes" (paper §3.1.1); ids are back-end
+/// generated UUIDs.
+using NodeId = Uuid;
+/// Containers of nodes: root, user-defined (UDF), or shared.
+using VolumeId = Uuid;
+/// File contents are content-addressed by their SHA-1 (deduplication key).
+using ContentId = Sha1Digest;
+/// Server-side multipart upload state (appendix A).
+using UploadJobId = Uuid;
+/// OAuth token handle.
+using TokenId = Uuid;
+
+}  // namespace u1
+
+template <typename Tag>
+struct std::hash<u1::StrongId<Tag>> {
+  std::size_t operator()(const u1::StrongId<Tag>& id) const noexcept {
+    // Mix so that sequential ids spread across shard buckets.
+    std::uint64_t x = id.value;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

@@ -1,0 +1,156 @@
+#include "proto/operations.hpp"
+
+#include <array>
+
+namespace u1 {
+namespace {
+
+constexpr std::array<ApiOp, kApiOpCount> kAllApiOps = {
+    ApiOp::kListVolumes,  ApiOp::kListShares,   ApiOp::kPutContent,
+    ApiOp::kGetContent,   ApiOp::kMake,         ApiOp::kUnlink,
+    ApiOp::kMove,         ApiOp::kCreateUDF,    ApiOp::kDeleteVolume,
+    ApiOp::kGetDelta,     ApiOp::kAuthenticate, ApiOp::kOpenSession,
+    ApiOp::kCloseSession, ApiOp::kQuerySetCaps, ApiOp::kRescanFromScratch,
+};
+
+constexpr std::array<RpcOp, kRpcOpCount> kAllRpcOps = {
+    RpcOp::kListVolumes,
+    RpcOp::kListShares,
+    RpcOp::kMakeDir,
+    RpcOp::kMakeFile,
+    RpcOp::kUnlinkNode,
+    RpcOp::kMove,
+    RpcOp::kCreateUDF,
+    RpcOp::kDeleteVolume,
+    RpcOp::kGetDelta,
+    RpcOp::kGetVolumeId,
+    RpcOp::kMakeContent,
+    RpcOp::kMakeUploadJob,
+    RpcOp::kGetUploadJob,
+    RpcOp::kAddPartToUploadJob,
+    RpcOp::kSetUploadJobMultipartId,
+    RpcOp::kTouchUploadJob,
+    RpcOp::kDeleteUploadJob,
+    RpcOp::kGetReusableContent,
+    RpcOp::kGetUserIdFromToken,
+    RpcOp::kGetFromScratch,
+    RpcOp::kGetNode,
+    RpcOp::kGetRoot,
+    RpcOp::kGetUserData,
+};
+
+}  // namespace
+
+std::string_view to_string(ApiOp op) noexcept {
+  switch (op) {
+    case ApiOp::kListVolumes: return "ListVolumes";
+    case ApiOp::kListShares: return "ListShares";
+    case ApiOp::kPutContent: return "PutContent";
+    case ApiOp::kGetContent: return "GetContent";
+    case ApiOp::kMake: return "Make";
+    case ApiOp::kUnlink: return "Unlink";
+    case ApiOp::kMove: return "Move";
+    case ApiOp::kCreateUDF: return "CreateUDF";
+    case ApiOp::kDeleteVolume: return "DeleteVolume";
+    case ApiOp::kGetDelta: return "GetDelta";
+    case ApiOp::kAuthenticate: return "Authenticate";
+    case ApiOp::kOpenSession: return "OpenSession";
+    case ApiOp::kCloseSession: return "CloseSession";
+    case ApiOp::kQuerySetCaps: return "QuerySetCaps";
+    case ApiOp::kRescanFromScratch: return "RescanFromScratch";
+  }
+  return "Unknown";
+}
+
+std::optional<ApiOp> api_op_from_string(std::string_view name) noexcept {
+  for (const ApiOp op : kAllApiOps)
+    if (to_string(op) == name) return op;
+  return std::nullopt;
+}
+
+std::span<const ApiOp> all_api_ops() noexcept { return kAllApiOps; }
+
+RpcClass rpc_class(RpcOp op) noexcept {
+  switch (op) {
+    // Cascade: the two RPCs the paper singles out as "more than one order
+    // of magnitude slower" because they touch whole subtrees (Fig. 13).
+    case RpcOp::kDeleteVolume:
+    case RpcOp::kGetFromScratch:
+      return RpcClass::kCascade;
+    // Writes / updates / deletes.
+    case RpcOp::kMakeDir:
+    case RpcOp::kMakeFile:
+    case RpcOp::kUnlinkNode:
+    case RpcOp::kMove:
+    case RpcOp::kCreateUDF:
+    case RpcOp::kMakeContent:
+    case RpcOp::kMakeUploadJob:
+    case RpcOp::kAddPartToUploadJob:
+    case RpcOp::kSetUploadJobMultipartId:
+    case RpcOp::kTouchUploadJob:
+    case RpcOp::kDeleteUploadJob:
+      return RpcClass::kWrite;
+    // Reads exploit lockless parallel access to the shard replicas.
+    case RpcOp::kListVolumes:
+    case RpcOp::kListShares:
+    case RpcOp::kGetDelta:
+    case RpcOp::kGetVolumeId:
+    case RpcOp::kGetUploadJob:
+    case RpcOp::kGetReusableContent:
+    case RpcOp::kGetUserIdFromToken:
+    case RpcOp::kGetNode:
+    case RpcOp::kGetRoot:
+    case RpcOp::kGetUserData:
+      return RpcClass::kRead;
+  }
+  return RpcClass::kRead;
+}
+
+std::string_view to_string(RpcOp op) noexcept {
+  switch (op) {
+    case RpcOp::kListVolumes: return "dal.list_volumes";
+    case RpcOp::kListShares: return "dal.list_shares";
+    case RpcOp::kMakeDir: return "dal.make_dir";
+    case RpcOp::kMakeFile: return "dal.make_file";
+    case RpcOp::kUnlinkNode: return "dal.unlink_node";
+    case RpcOp::kMove: return "dal.move";
+    case RpcOp::kCreateUDF: return "dal.create_udf";
+    case RpcOp::kDeleteVolume: return "dal.delete_volume";
+    case RpcOp::kGetDelta: return "dal.get_delta";
+    case RpcOp::kGetVolumeId: return "dal.get_volume_id";
+    case RpcOp::kMakeContent: return "dal.make_content";
+    case RpcOp::kMakeUploadJob: return "dal.make_uploadjob";
+    case RpcOp::kGetUploadJob: return "dal.get_uploadjob";
+    case RpcOp::kAddPartToUploadJob: return "dal.add_part_to_uploadjob";
+    case RpcOp::kSetUploadJobMultipartId:
+      return "dal.set_uploadjob_multipart_id";
+    case RpcOp::kTouchUploadJob: return "dal.touch_uploadjob";
+    case RpcOp::kDeleteUploadJob: return "dal.delete_uploadjob";
+    case RpcOp::kGetReusableContent: return "dal.get_reusable_content";
+    case RpcOp::kGetUserIdFromToken: return "auth.get_user_id_from_token";
+    case RpcOp::kGetFromScratch: return "dal.get_from_scratch";
+    case RpcOp::kGetNode: return "dal.get_node";
+    case RpcOp::kGetRoot: return "dal.get_root";
+    case RpcOp::kGetUserData: return "dal.get_user_data";
+  }
+  return "dal.unknown";
+}
+
+std::string_view to_string(RpcClass c) noexcept {
+  switch (c) {
+    case RpcClass::kRead: return "read";
+    case RpcClass::kWrite: return "write";
+    case RpcClass::kCascade: return "cascade";
+  }
+  return "unknown";
+}
+
+std::optional<RpcOp> rpc_op_from_string(std::string_view name) noexcept {
+  for (const RpcOp op : kAllRpcOps)
+    if (to_string(op) == name) return op;
+  return std::nullopt;
+}
+
+std::span<const RpcOp> all_rpc_ops() noexcept { return kAllRpcOps; }
+
+}  // namespace u1

@@ -1,0 +1,104 @@
+// The U1 storage-protocol operation vocabulary: API operations executed by
+// desktop clients (Table 2) and the DAL RPCs they translate into
+// (Tables 2 and 4, plus the read-only RPCs of Fig. 12c). Fig. 13 groups
+// RPCs into read / write / cascade classes; that classification lives here
+// so the store, the analyzers and the benches all agree on it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace u1 {
+
+/// Client-visible API operations (paper Table 2 and Fig. 7a/8).
+enum class ApiOp : std::uint8_t {
+  kListVolumes,
+  kListShares,
+  kPutContent,   // Upload
+  kGetContent,   // Download
+  kMake,         // MakeFile / MakeDir ("touch")
+  kUnlink,
+  kMove,
+  kCreateUDF,
+  kDeleteVolume,
+  kGetDelta,
+  kAuthenticate,
+  kOpenSession,
+  kCloseSession,
+  kQuerySetCaps,        // capability negotiation at session start
+  kRescanFromScratch,   // full resync of a volume
+};
+inline constexpr std::size_t kApiOpCount = 15;
+
+/// True for operations that move file data (paper §3.1.2 calls these data
+/// management operations; everything else is metadata-only).
+constexpr bool is_data_op(ApiOp op) noexcept {
+  return op == ApiOp::kPutContent || op == ApiOp::kGetContent;
+}
+
+/// True for "storage management" operations a user actively performs on
+/// volumes; the paper's *active user* definition (§6.1) is "performs data
+/// management operations on his volumes".
+constexpr bool is_storage_op(ApiOp op) noexcept {
+  switch (op) {
+    case ApiOp::kPutContent:
+    case ApiOp::kGetContent:
+    case ApiOp::kMake:
+    case ApiOp::kUnlink:
+    case ApiOp::kMove:
+    case ApiOp::kCreateUDF:
+    case ApiOp::kDeleteVolume:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string_view to_string(ApiOp op) noexcept;
+std::optional<ApiOp> api_op_from_string(std::string_view name) noexcept;
+std::span<const ApiOp> all_api_ops() noexcept;
+
+/// DAL (data-access-layer) RPCs issued by RPC workers against the metadata
+/// store. Names mirror the paper's dal.* identifiers.
+enum class RpcOp : std::uint8_t {
+  // File-system management (Fig. 12a)
+  kListVolumes,       // dal.list_volumes
+  kListShares,        // dal.list_shares
+  kMakeDir,           // dal.make_dir
+  kMakeFile,          // dal.make_file
+  kUnlinkNode,        // dal.unlink_node
+  kMove,              // dal.move
+  kCreateUDF,         // dal.create_udf
+  kDeleteVolume,      // dal.delete_volume (cascade)
+  kGetDelta,          // dal.get_delta
+  kGetVolumeId,       // dal.get_volume_id
+  // Upload management (Table 4, Fig. 12b)
+  kMakeContent,            // dal.make_content
+  kMakeUploadJob,          // dal.make_uploadjob
+  kGetUploadJob,           // dal.get_uploadjob
+  kAddPartToUploadJob,     // dal.add_part_to_uploadjob
+  kSetUploadJobMultipartId,// dal.set_uploadjob_multipart_id
+  kTouchUploadJob,         // dal.touch_uploadjob
+  kDeleteUploadJob,        // dal.delete_uploadjob
+  kGetReusableContent,     // dal.get_reusable_content
+  // Other read-only RPCs (Fig. 12c)
+  kGetUserIdFromToken,  // auth.get_user_id_from_token
+  kGetFromScratch,      // dal.get_from_scratch (cascade)
+  kGetNode,             // dal.get_node
+  kGetRoot,             // dal.get_root
+  kGetUserData,         // dal.get_user_data
+};
+inline constexpr std::size_t kRpcOpCount = 23;
+
+/// Fig. 13 RPC classes; the class strongly determines service time.
+enum class RpcClass : std::uint8_t { kRead, kWrite, kCascade };
+
+RpcClass rpc_class(RpcOp op) noexcept;
+std::string_view to_string(RpcOp op) noexcept;
+std::string_view to_string(RpcClass c) noexcept;
+std::optional<RpcOp> rpc_op_from_string(std::string_view name) noexcept;
+std::span<const RpcOp> all_rpc_ops() noexcept;
+
+}  // namespace u1

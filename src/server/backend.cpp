@@ -1,0 +1,653 @@
+#include "server/backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace u1 {
+namespace {
+
+/// Small fixed cost for API-server work that involves no DAL RPC
+/// (parsing, capability negotiation).
+constexpr SimTime kApiOverhead = 300 * kMicrosecond;
+
+}  // namespace
+
+U1Backend::U1Backend(const BackendConfig& config, TraceSink& sink)
+    : config_(config),
+      sink_(&sink),
+      rng_(config.seed),
+      store_(config.shards, config.seed ^ 0x5707e),
+      auth_(config.seed ^ 0xa117, config.auth_failure_rate),
+      token_cache_(config.token_cache_capacity),
+      fleet_(config.fleet, config.seed ^ 0xf1ee7),
+      // "Idle since forever": pre-trace (negative-time) operations must
+      // not queue behind t=0.
+      shard_busy_until_(config.shards,
+                        std::numeric_limits<SimTime>::lowest() / 2) {
+  // Every API process subscribes to the notification queue (§3.4.2).
+  for (std::size_t p = 1; p <= fleet_.process_count(); ++p) {
+    mq_.subscribe(ProcessId{p},
+                  [this](const VolumeEvent&) { ++stats_.notifications; });
+  }
+}
+
+UserAccount U1Backend::register_user(UserId user, SimTime now) {
+  const Volume root = store_.create_user(user, now);
+  return UserAccount{user, root.id, root.root_dir};
+}
+
+U1Backend::SessionState& U1Backend::session_state(SessionId id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end())
+    throw std::out_of_range("U1Backend: unknown or closed session");
+  return it->second;
+}
+
+bool U1Backend::session_open(SessionId session) const {
+  return sessions_.contains(session);
+}
+
+SimTime U1Backend::s3_latency(SimTime at) {
+  // Log-normal one-way latency to us-east.
+  const double u1v = 1.0 - rng_.uniform();
+  const double u2 = rng_.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1v)) * std::cos(2 * M_PI * u2);
+  const double s = config_.s3_latency_s_median * std::exp(0.5 * z);
+  return at + from_seconds(std::clamp(s, 0.002, 5.0));
+}
+
+void U1Backend::emit_session_event(MachineId machine, ProcessId process,
+                                   UserId user, SessionId session,
+                                   SessionEvent event, SimTime at,
+                                   SimTime duration) {
+  TraceRecord r;
+  r.t = at;
+  r.type = RecordType::kSession;
+  r.machine = machine;
+  r.process = process;
+  r.user = user;
+  r.session = session;
+  r.session_event = event;
+  r.duration = duration;
+  sink_->append(r);
+}
+
+SimTime U1Backend::run_rpc_at(RpcOp op, MachineId machine, ProcessId process,
+                              UserId user, SessionId session, SimTime at) {
+  // Which shards the preceding store call touched (empty for auth RPCs).
+  const auto& touched = store_.shards_touched();
+  const RpcClass cls = rpc_class(op);
+  const SimTime service = service_model_.sample(op, rng_);
+
+  SimTime start = at;
+  if (cls != RpcClass::kRead) {
+    // Writes and cascades serialize on the shard master(s).
+    for (const ShardId s : touched)
+      start = std::max(start, shard_busy_until_[s.value - 1]);
+  }
+  const SimTime end = start + service;
+  if (cls != RpcClass::kRead) {
+    for (const ShardId s : touched) shard_busy_until_[s.value - 1] = end;
+  }
+
+  TraceRecord r;
+  r.t = start;
+  r.type = RecordType::kRpc;
+  r.machine = machine;
+  r.process = process;
+  r.user = user;
+  r.session = session;
+  r.rpc_op = op;
+  r.shard = touched.empty() ? ShardId{} : touched.front();
+  r.service_time = service;
+  sink_->append(r);
+  ++stats_.rpcs;
+  return end;
+}
+
+SimTime U1Backend::run_rpc(RpcOp op, const SessionState& ctx, SimTime at) {
+  return run_rpc_at(op, ctx.session.api_machine, ctx.session.api_process,
+                    ctx.session.user, ctx.session.id, at);
+}
+
+void U1Backend::emit_storage(const SessionState& ctx, ApiOp op, SimTime at,
+                             const TraceRecord& partial) {
+  TraceRecord r = partial;
+  r.t = at;
+  r.type = RecordType::kStorage;
+  r.machine = ctx.session.api_machine;
+  r.process = ctx.session.api_process;
+  r.user = ctx.session.user;
+  r.session = ctx.session.id;
+  r.api_op = op;
+  sink_->append(r);
+}
+
+void U1Backend::emit_storage_done(const SessionState& ctx, ApiOp op,
+                                  SimTime start, SimTime end,
+                                  const TraceRecord& partial) {
+  TraceRecord r = partial;
+  r.t = end;
+  r.type = RecordType::kStorageDone;
+  r.machine = ctx.session.api_machine;
+  r.process = ctx.session.api_process;
+  r.user = ctx.session.user;
+  r.session = ctx.session.id;
+  r.api_op = op;
+  r.duration = end - start;
+  sink_->append(r);
+}
+
+void U1Backend::publish_change(const SessionState& ctx,
+                               VolumeEvent::Kind kind, VolumeId volume,
+                               NodeId node, SimTime at) {
+  // Only volumes with shares have simultaneously-interested clients; other
+  // changes are picked up via generations on reconnect (§3.4.2).
+  if (!shared_volumes_.contains(volume)) return;
+  VolumeEvent event;
+  event.kind = kind;
+  event.affected_user = ctx.session.user;
+  event.volume = volume;
+  event.node = node;
+  event.origin_process = ctx.session.api_process;
+  event.at = at;
+  mq_.publish(event);
+}
+
+U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
+  const ServerFleet::Placement placement = fleet_.place_session();
+  const SessionId sid{next_session_++};
+
+  // Authenticate (Table 2): API server contacts the Canonical auth
+  // service; the token is cached per API server afterwards.
+  emit_session_event(placement.machine, placement.process, user, sid,
+                     SessionEvent::kAuthRequest, now);
+  store_.clear_touched();  // auth RPC hits no metadata shard
+  SimTime t = run_rpc_at(RpcOp::kGetUserIdFromToken, placement.machine,
+                         placement.process, user, sid, now);
+
+  bool ok;
+  if (banned_users_.contains(user)) {
+    ++stats_.auth_failures;
+    emit_session_event(placement.machine, placement.process, user, sid,
+                       SessionEvent::kAuthFail, t);
+    fleet_.end_session(placement.machine);
+    return ConnectResult{false, SessionId{}, t};
+  }
+  const auto tok_it = user_tokens_.find(user);
+  TokenId token;
+  if (tok_it == user_tokens_.end()) {
+    // First contact: exchange credentials for a fresh token.
+    const auto issued = auth_.issue_token(user, t);
+    ok = issued.has_value();
+    if (ok) {
+      token = issued->id;
+      user_tokens_.emplace(user, token);
+    }
+  } else {
+    token = tok_it->second;
+    // A new session always verifies against the Canonical auth service
+    // (§3.4.1); the per-API-server token cache only short-circuits checks
+    // *during* an established session.
+    (void)token_cache_.get(token);
+    ok = auth_.verify_token(token, t).has_value();
+  }
+
+  if (!ok) {
+    ++stats_.auth_failures;
+    emit_session_event(placement.machine, placement.process, user, sid,
+                       SessionEvent::kAuthFail, t);
+    fleet_.end_session(placement.machine);
+    return ConnectResult{false, SessionId{}, t};
+  }
+  token_cache_.put(token, user);
+  emit_session_event(placement.machine, placement.process, user, sid,
+                     SessionEvent::kAuthOk, t);
+
+  SessionState state;
+  state.session.id = sid;
+  state.session.user = user;
+  state.session.api_machine = placement.machine;
+  state.session.api_process = placement.process;
+  state.session.started_at = t;
+  state.token = token;
+  // Per-session wire speed (residential link), log-normal around medians.
+  auto draw_bw = [&](double median) {
+    const double u1v = 1.0 - rng_.uniform();
+    const double u2 = rng_.uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1v)) * std::cos(2 * M_PI * u2);
+    return median * std::exp(config_.bandwidth_sigma * z);
+  };
+  state.up_bw = std::max(8.0 * 1024, draw_bw(config_.upload_bytes_per_sec_median));
+  state.down_bw =
+      std::max(16.0 * 1024, draw_bw(config_.download_bytes_per_sec_median));
+
+  emit_session_event(placement.machine, placement.process, user, sid,
+                     SessionEvent::kOpen, t);
+  sessions_.emplace(sid, std::move(state));
+  user_sessions_[user].push_back(sid);
+  ++stats_.sessions_opened;
+  return ConnectResult{true, sid, t};
+}
+
+SimTime U1Backend::disconnect(SessionId session, SimTime now) {
+  auto& state = session_state(session);
+  state.session.ended_at = now;
+  emit_session_event(state.session.api_machine, state.session.api_process,
+                     state.session.user, session, SessionEvent::kClose, now,
+                     now - state.session.started_at);
+  fleet_.end_session(state.session.api_machine);
+  auto& list = user_sessions_[state.session.user];
+  list.erase(std::remove(list.begin(), list.end(), session), list.end());
+  sessions_.erase(session);
+  ++stats_.sessions_closed;
+  return now;
+}
+
+U1Backend::OpResult U1Backend::list_volumes(SessionId session, SimTime now) {
+  auto& ctx = session_state(session);
+  emit_storage(ctx, ApiOp::kListVolumes, now, {});
+  (void)store_.list_volumes(ctx.session.user);
+  const SimTime end = run_rpc(RpcOp::kListVolumes, ctx, now);
+  emit_storage_done(ctx, ApiOp::kListVolumes, now, end, {});
+  return OpResult{true, end};
+}
+
+U1Backend::OpResult U1Backend::list_shares(SessionId session, SimTime now) {
+  auto& ctx = session_state(session);
+  emit_storage(ctx, ApiOp::kListShares, now, {});
+  (void)store_.list_shares(ctx.session.user);
+  const SimTime end = run_rpc(RpcOp::kListShares, ctx, now);
+  emit_storage_done(ctx, ApiOp::kListShares, now, end, {});
+  return OpResult{true, end};
+}
+
+U1Backend::OpResult U1Backend::query_set_caps(SessionId session, SimTime now) {
+  auto& ctx = session_state(session);
+  emit_storage(ctx, ApiOp::kQuerySetCaps, now, {});
+  const SimTime end = now + kApiOverhead;
+  emit_storage_done(ctx, ApiOp::kQuerySetCaps, now, end, {});
+  return OpResult{true, end};
+}
+
+U1Backend::OpResult U1Backend::get_delta(SessionId session, VolumeId volume,
+                                         std::uint64_t since_generation,
+                                         SimTime now) {
+  auto& ctx = session_state(session);
+  TraceRecord partial;
+  partial.volume = volume;
+  emit_storage(ctx, ApiOp::kGetDelta, now, partial);
+  // Clients track generations and are normally almost in sync: a delta
+  // request covers only the most recent changes, not the whole volume.
+  std::uint64_t since = since_generation;
+  if (since == 0) {
+    const Shard& shard = store_.shard(store_.shard_of(ctx.session.user));
+    if (const Volume* vol = shard.find_volume(volume)) {
+      since = vol->generation > 8 ? vol->generation - 8 : 0;
+    }
+  }
+  (void)store_.get_delta(ctx.session.user, volume, since);
+  const SimTime end = run_rpc(RpcOp::kGetDelta, ctx, now);
+  emit_storage_done(ctx, ApiOp::kGetDelta, now, end, partial);
+  return OpResult{true, end};
+}
+
+U1Backend::OpResult U1Backend::rescan_from_scratch(SessionId session,
+                                                   VolumeId volume,
+                                                   SimTime now) {
+  auto& ctx = session_state(session);
+  TraceRecord partial;
+  partial.volume = volume;
+  emit_storage(ctx, ApiOp::kRescanFromScratch, now, partial);
+  (void)store_.get_from_scratch(ctx.session.user, volume);
+  const SimTime end = run_rpc(RpcOp::kGetFromScratch, ctx, now);
+  emit_storage_done(ctx, ApiOp::kRescanFromScratch, now, end, partial);
+  return OpResult{true, end};
+}
+
+U1Backend::MakeResult U1Backend::make_file(SessionId session, VolumeId volume,
+                                           NodeId parent,
+                                           std::string name_hash,
+                                           std::string extension,
+                                           SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  TraceRecord partial;
+  partial.volume = volume;
+  partial.parent = parent;
+  partial.extension = extension;
+  emit_storage(ctx, ApiOp::kMake, now, partial);
+  const Node node =
+      store_.make_file(ctx.session.user, volume, parent, std::move(name_hash),
+                       std::move(extension), now);
+  const SimTime end = run_rpc(RpcOp::kMakeFile, ctx, now);
+  partial.node = node.id;
+  emit_storage_done(ctx, ApiOp::kMake, now, end, partial);
+  publish_change(ctx, VolumeEvent::Kind::kNodeCreated, volume, node.id, end);
+  return MakeResult{true, node.id, end};
+}
+
+U1Backend::MakeResult U1Backend::make_dir(SessionId session, VolumeId volume,
+                                          NodeId parent,
+                                          std::string name_hash, SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  TraceRecord partial;
+  partial.volume = volume;
+  partial.parent = parent;
+  partial.is_dir = true;
+  emit_storage(ctx, ApiOp::kMake, now, partial);
+  const Node node = store_.make_dir(ctx.session.user, volume, parent,
+                                    std::move(name_hash), now);
+  const SimTime end = run_rpc(RpcOp::kMakeDir, ctx, now);
+  partial.node = node.id;
+  emit_storage_done(ctx, ApiOp::kMake, now, end, partial);
+  publish_change(ctx, VolumeEvent::Kind::kNodeCreated, volume, node.id, end);
+  return MakeResult{true, node.id, end};
+}
+
+U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
+                                      SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  const auto before = store_.get_node(ctx.session.user, node);
+  TraceRecord partial;
+  partial.node = node;
+  if (before) {
+    partial.volume = before->volume;
+    partial.parent = before->parent;
+    partial.is_dir = before->is_dir();
+    partial.extension = before->extension;
+    partial.size_bytes = before->size_bytes;
+    partial.content = before->content;
+  }
+  emit_storage(ctx, ApiOp::kUnlink, now, partial);
+  if (!before) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kUnlink, now, now + kApiOverhead, failed);
+    return OpResult{false, now + kApiOverhead};
+  }
+  const auto dead = store_.unlink_node(ctx.session.user, node);
+  SimTime end = run_rpc(RpcOp::kUnlinkNode, ctx, now);
+  // The API server finishes by deleting dead blobs from Amazon S3 (§3.2).
+  for (const ContentInfo& blob : dead) {
+    s3_.remove(blob.s3_key);
+    store_.purge_content(blob.id);
+    end = s3_latency(end);
+  }
+  emit_storage_done(ctx, ApiOp::kUnlink, now, end, partial);
+  publish_change(ctx, VolumeEvent::Kind::kNodeDeleted, partial.volume, node,
+                 end);
+  return OpResult{true, end};
+}
+
+U1Backend::OpResult U1Backend::move(SessionId session, NodeId node,
+                                    NodeId new_parent, SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  TraceRecord partial;
+  partial.node = node;
+  const auto before = store_.get_node(ctx.session.user, node);
+  if (before) partial.volume = before->volume;
+  emit_storage(ctx, ApiOp::kMove, now, partial);
+  if (!before) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kMove, now, now + kApiOverhead, failed);
+    return OpResult{false, now + kApiOverhead};
+  }
+  store_.move(ctx.session.user, node, new_parent);
+  const SimTime end = run_rpc(RpcOp::kMove, ctx, now);
+  emit_storage_done(ctx, ApiOp::kMove, now, end, partial);
+  publish_change(ctx, VolumeEvent::Kind::kNodeUpdated, partial.volume, node,
+                 end);
+  return OpResult{true, end};
+}
+
+U1Backend::VolumeResult U1Backend::create_udf(SessionId session, SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  emit_storage(ctx, ApiOp::kCreateUDF, now, {});
+  const Volume vol = store_.create_udf(ctx.session.user, now);
+  const SimTime end = run_rpc(RpcOp::kCreateUDF, ctx, now);
+  TraceRecord done;
+  done.volume = vol.id;
+  emit_storage_done(ctx, ApiOp::kCreateUDF, now, end, done);
+  return VolumeResult{true, vol.id, vol.root_dir, end};
+}
+
+U1Backend::OpResult U1Backend::delete_volume(SessionId session,
+                                             VolumeId volume, SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  TraceRecord partial;
+  partial.volume = volume;
+  emit_storage(ctx, ApiOp::kDeleteVolume, now, partial);
+  const auto dead = store_.delete_volume(ctx.session.user, volume);
+  SimTime end = run_rpc(RpcOp::kDeleteVolume, ctx, now);
+  for (const ContentInfo& blob : dead) {
+    s3_.remove(blob.s3_key);
+    store_.purge_content(blob.id);
+    end = s3_latency(end);
+  }
+  shared_volumes_.erase(volume);
+  emit_storage_done(ctx, ApiOp::kDeleteVolume, now, end, partial);
+  publish_change(ctx, VolumeEvent::Kind::kVolumeDeleted, volume, NodeId{},
+                 end);
+  return OpResult{true, end};
+}
+
+ContentId U1Backend::effective_content(const ContentId& content, NodeId node) {
+  if (config_.enable_dedup) return content;
+  // Dedup ablation: uniquify so every upload stores a distinct blob.
+  Sha1 h;
+  h.update(content.hex());
+  h.update(node.str());
+  h.update(std::to_string(dedup_off_seq_++));
+  return h.finish();
+}
+
+U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
+                                          const ContentId& content,
+                                          std::uint64_t size_bytes,
+                                          bool is_update, SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  const auto target = store_.get_node(ctx.session.user, node);
+  TraceRecord partial;
+  partial.node = node;
+  partial.size_bytes = size_bytes;
+  partial.content = content;
+  partial.is_update = is_update;
+  if (target) {
+    partial.volume = target->volume;
+    partial.extension = target->extension;
+  }
+  emit_storage(ctx, ApiOp::kPutContent, now, partial);
+  if (!target || target->is_dir() || size_bytes == 0) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kPutContent, now, now + kApiOverhead,
+                      failed);
+    return UploadResult{false, false, 0, now + kApiOverhead};
+  }
+
+  const ContentId eff = effective_content(content, node);
+  ++stats_.uploads;
+  stats_.upload_bytes_logical += size_bytes;
+
+  SimTime t = now;
+  bool dedup_hit = false;
+  std::uint64_t wire = 0;
+
+  if (config_.enable_dedup) {
+    // The client sends the SHA-1 first; the server checks for the blob.
+    const auto reusable = store_.get_reusable_content(eff, size_bytes);
+    t = run_rpc(RpcOp::kGetReusableContent, ctx, t);
+    dedup_hit = reusable.has_value();
+  }
+
+  if (dedup_hit) {
+    // Logical link only; no data crosses the wire (§3.3).
+    store_.make_content(ctx.session.user, node, eff, size_bytes, eff.hex());
+    t = run_rpc(RpcOp::kMakeContent, ctx, t);
+    ++stats_.dedup_hits;
+  } else {
+    wire = size_bytes;
+    if (config_.enable_delta_updates && is_update) {
+      // §9 ablation: a delta-aware client ships only the changed fraction.
+      wire = std::max<std::uint64_t>(
+          1024, static_cast<std::uint64_t>(
+                    static_cast<double>(size_bytes) *
+                    config_.delta_update_fraction));
+    }
+    const std::string s3_key = eff.hex();
+    if (wire > kMultipartChunkBytes) {
+      // Multipart upload state machine (appendix A, Fig. 17).
+      const UploadJob job =
+          store_.make_uploadjob(ctx.session.user, node, eff, wire, t);
+      t = run_rpc(RpcOp::kMakeUploadJob, ctx, t);
+      const std::string mpu = s3_.initiate_multipart(s3_key, t);
+      t = s3_latency(t);
+      store_.set_uploadjob_multipart_id(ctx.session.user, job.id, mpu);
+      t = run_rpc(RpcOp::kSetUploadJobMultipartId, ctx, t);
+      std::uint64_t remaining = wire;
+      while (remaining > 0) {
+        const std::uint64_t chunk = std::min(remaining, kMultipartChunkBytes);
+        remaining -= chunk;
+        // Client -> API transfer of the chunk, then forward to S3.
+        t += from_seconds(static_cast<double>(chunk) / ctx.up_bw);
+        s3_.upload_part(mpu, chunk);
+        t = s3_latency(t);
+        store_.add_part_to_uploadjob(ctx.session.user, job.id, chunk, t);
+        t = run_rpc(RpcOp::kAddPartToUploadJob, ctx, t);
+      }
+      s3_.complete_multipart(mpu, t);
+      t = s3_latency(t);
+      const auto dead = store_.make_content(ctx.session.user, node, eff,
+                                            size_bytes, s3_key);
+      t = run_rpc(RpcOp::kMakeContent, ctx, t);
+      store_.delete_uploadjob(ctx.session.user, job.id);
+      t = run_rpc(RpcOp::kDeleteUploadJob, ctx, t);
+      if (dead) {
+        s3_.remove(dead->s3_key);
+        store_.purge_content(dead->id);
+      }
+    } else {
+      // Single-shot upload.
+      t += from_seconds(static_cast<double>(wire) / ctx.up_bw);
+      s3_.put(s3_key, size_bytes, t);
+      t = s3_latency(t);
+      const auto dead = store_.make_content(ctx.session.user, node, eff,
+                                            size_bytes, s3_key);
+      t = run_rpc(RpcOp::kMakeContent, ctx, t);
+      if (dead) {
+        s3_.remove(dead->s3_key);
+        store_.purge_content(dead->id);
+      }
+    }
+  }
+
+  stats_.upload_bytes_wire += wire;
+  TraceRecord done = partial;
+  done.transferred_bytes = wire;
+  done.deduplicated = dedup_hit;
+  emit_storage_done(ctx, ApiOp::kPutContent, now, t, done);
+  publish_change(ctx,
+                 is_update ? VolumeEvent::Kind::kNodeUpdated
+                           : VolumeEvent::Kind::kNodeCreated,
+                 partial.volume, node, t);
+  return UploadResult{true, dedup_hit, wire, t};
+}
+
+U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
+                                              SimTime now) {
+  auto& ctx = session_state(session);
+  ctx.session.storage_ops++;
+  const auto target = store_.get_node(ctx.session.user, node);
+  TraceRecord partial;
+  partial.node = node;
+  if (target) {
+    partial.volume = target->volume;
+    partial.extension = target->extension;
+    partial.size_bytes = target->size_bytes;
+    partial.content = target->content;
+  }
+  emit_storage(ctx, ApiOp::kGetContent, now, partial);
+  SimTime t = run_rpc(RpcOp::kGetNode, ctx, now);
+  if (!target || target->is_dir() || target->size_bytes == 0) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kGetContent, now, t, failed);
+    return DownloadResult{false, 0, t};
+  }
+  // Single S3 request; the API process streams it to the client (§A).
+  t = s3_latency(t);
+  t += from_seconds(static_cast<double>(target->size_bytes) / ctx.down_bw);
+  ++stats_.downloads;
+  stats_.download_bytes += target->size_bytes;
+  TraceRecord done = partial;
+  done.transferred_bytes = target->size_bytes;
+  emit_storage_done(ctx, ApiOp::kGetContent, now, t, done);
+  return DownloadResult{true, target->size_bytes, t};
+}
+
+bool U1Backend::share_volume(UserId owner, VolumeId volume, UserId to,
+                             SimTime now) {
+  store_.share_volume(owner, volume, to, now);
+  shared_volumes_.insert(volume);
+  return true;
+}
+
+void U1Backend::maintenance(SimTime now) {
+  // Weekly uploadjob GC (appendix A): collect jobs idle for > 1 week.
+  if (now - last_gc_ >= kDay) {
+    last_gc_ = now;
+    store_.gc_uploadjobs(now - kWeek);
+  }
+  // Occasional process migration for load balancing (§3.4).
+  if (now - last_migration_ >= 6 * kHour) {
+    last_migration_ = now;
+    fleet_.migrate_processes(0.05);
+  }
+}
+
+void U1Backend::admin_purge_user(UserId user, SimTime now) {
+  // 1. Delete the fraudulent account and revoke its credentials so any
+  //    further connects fail (the paper: engineers "manually handled DDoS
+  //    by means of deleting fraudulent users and the content").
+  banned_users_.insert(user);
+  auth_.revoke_user_tokens(user);
+  const auto tok = user_tokens_.find(user);
+  if (tok != user_tokens_.end()) {
+    token_cache_.erase(tok->second);
+    user_tokens_.erase(tok);
+  }
+  // 2. Kick live sessions. A session that was still mid-handshake when
+  //    the operator acted closes right after it opened, never before.
+  const auto sess_it = user_sessions_.find(user);
+  if (sess_it != user_sessions_.end()) {
+    const std::vector<SessionId> open = sess_it->second;
+    for (const SessionId sid : open) {
+      const SimTime opened = session_state(sid).session.started_at;
+      disconnect(sid, std::max(now, opened));
+    }
+  }
+  // 3. Delete the distributed content (root-volume children).
+  if (store_.has_user(user)) {
+    const NodeId root = store_.get_root(user);
+    const Shard& shard = store_.shard(store_.shard_of(user));
+    for (const NodeId child : shard.children_of(root)) {
+      for (const ContentInfo& blob : store_.unlink_node(user, child)) {
+        s3_.remove(blob.s3_key);
+        store_.purge_content(blob.id);
+      }
+    }
+  }
+}
+
+}  // namespace u1

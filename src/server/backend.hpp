@@ -1,0 +1,233 @@
+// U1Backend wires the whole datacenter of Fig. 1 together: load balancer,
+// API server fleet, RPC workers, sharded metadata store, Amazon S3
+// substitute, Canonical auth service and the RabbitMQ notification fabric.
+// Client agents call the operation methods; every operation emits trace
+// records (storage / storage_done / rpc / session) exactly as the real
+// service logged them, and returns the virtual time at which it completed
+// so callers can chain requests.
+//
+// Time model: operations run to completion on the caller's timeline.
+// Write RPCs serialize on their shard master (busy-window queueing, which
+// produces the short-window shard load variance of Fig. 14); read RPCs hit
+// the replica pair and do not queue behind writes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "auth/auth_service.hpp"
+#include "auth/token_cache.hpp"
+#include "cloudstore/object_store.hpp"
+#include "mq/message_queue.hpp"
+#include "proto/entities.hpp"
+#include "server/fleet.hpp"
+#include "store/metadata_store.hpp"
+#include "store/service_time.hpp"
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+struct BackendConfig {
+  std::size_t shards = 10;          // paper: 10 master/slave shards
+  FleetConfig fleet;                // paper: 6 machines, 8-16 procs each
+  double auth_failure_rate = 0.0276;
+  std::size_t token_cache_capacity = 65536;
+
+  /// Client wire model: per-session bandwidth is log-normal around these
+  /// medians (residential asymmetric links of the 2014 user base).
+  double upload_bytes_per_sec_median = 350.0 * 1024;
+  double download_bytes_per_sec_median = 1.2 * 1024 * 1024;
+  double bandwidth_sigma = 0.8;
+
+  /// One-way latency charged per S3 API interaction.
+  double s3_latency_s_median = 0.025;
+
+  /// Feature toggles for the §9 ablations.
+  bool enable_dedup = true;          // file-based cross-user dedup (on in U1)
+  bool enable_delta_updates = false; // NOT implemented by the U1 client
+  double delta_update_fraction = 0.15;  // wire share when deltas are on
+
+  std::uint64_t seed = 0xc10ed;
+};
+
+struct BackendStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t auth_failures = 0;
+  std::uint64_t uploads = 0;
+  std::uint64_t downloads = 0;
+  std::uint64_t dedup_hits = 0;
+  std::uint64_t upload_bytes_logical = 0;
+  std::uint64_t upload_bytes_wire = 0;
+  std::uint64_t download_bytes = 0;
+  std::uint64_t rpcs = 0;
+  std::uint64_t notifications = 0;
+};
+
+/// Handle returned to a freshly-registered client.
+struct UserAccount {
+  UserId user;
+  VolumeId root_volume;
+  NodeId root_dir;
+};
+
+class U1Backend {
+ public:
+  U1Backend(const BackendConfig& config, TraceSink& sink);
+
+  // Non-copyable: owns the datacenter state.
+  U1Backend(const U1Backend&) = delete;
+  U1Backend& operator=(const U1Backend&) = delete;
+
+  // --- provisioning (out of band, no trace records) -------------------------
+  UserAccount register_user(UserId user, SimTime now);
+
+  // --- session management (Table 2: Authenticate) ----------------------------
+  struct ConnectResult {
+    bool ok = false;
+    SessionId session;
+    SimTime end = 0;
+  };
+  ConnectResult connect(UserId user, SimTime now);
+  SimTime disconnect(SessionId session, SimTime now);
+  bool session_open(SessionId session) const;
+
+  // --- metadata operations -----------------------------------------------------
+  struct OpResult {
+    bool ok = false;
+    SimTime end = 0;
+  };
+  OpResult list_volumes(SessionId session, SimTime now);
+  OpResult list_shares(SessionId session, SimTime now);
+  OpResult query_set_caps(SessionId session, SimTime now);
+  OpResult get_delta(SessionId session, VolumeId volume,
+                     std::uint64_t since_generation, SimTime now);
+  OpResult rescan_from_scratch(SessionId session, VolumeId volume,
+                               SimTime now);
+
+  struct MakeResult {
+    bool ok = false;
+    NodeId node;
+    SimTime end = 0;
+  };
+  MakeResult make_file(SessionId session, VolumeId volume, NodeId parent,
+                       std::string name_hash, std::string extension,
+                       SimTime now);
+  MakeResult make_dir(SessionId session, VolumeId volume, NodeId parent,
+                      std::string name_hash, SimTime now);
+
+  OpResult unlink(SessionId session, NodeId node, SimTime now);
+  OpResult move(SessionId session, NodeId node, NodeId new_parent,
+                SimTime now);
+
+  struct VolumeResult {
+    bool ok = false;
+    VolumeId volume;
+    NodeId root_dir;
+    SimTime end = 0;
+  };
+  VolumeResult create_udf(SessionId session, SimTime now);
+  OpResult delete_volume(SessionId session, VolumeId volume, SimTime now);
+
+  // --- data operations (appendix A upload FSM) -------------------------------
+  struct UploadResult {
+    bool ok = false;
+    bool deduplicated = false;
+    std::uint64_t transferred_bytes = 0;
+    SimTime end = 0;
+  };
+  /// Uploads `size_bytes` of content with the given SHA-1 to a file node.
+  /// is_update marks a PutContent over a node that already had content
+  /// (the paper's 10.05%-of-operations / 18.47%-of-traffic updates).
+  UploadResult upload(SessionId session, NodeId node, const ContentId& content,
+                      std::uint64_t size_bytes, bool is_update, SimTime now);
+
+  struct DownloadResult {
+    bool ok = false;
+    std::uint64_t transferred_bytes = 0;
+    SimTime end = 0;
+  };
+  DownloadResult download(SessionId session, NodeId node, SimTime now);
+
+  // --- sharing ------------------------------------------------------------------
+  /// Grants another user access to a volume (out-of-band of Table 2's
+  /// operation set; sharing in U1 was rare, §6.3).
+  bool share_volume(UserId owner, VolumeId volume, UserId to, SimTime now);
+
+  // --- maintenance -----------------------------------------------------------
+  /// Hourly/daily housekeeping: uploadjob GC (1-week cutoff) and process
+  /// migration; invoked by the simulation loop.
+  void maintenance(SimTime now);
+
+  /// Manual DDoS response (§5.4): revoke the abused account's tokens,
+  /// close its sessions and delete its content.
+  void admin_purge_user(UserId user, SimTime now);
+
+  // --- introspection -----------------------------------------------------------
+  const BackendStats& stats() const noexcept { return stats_; }
+  const MetadataStore& store() const noexcept { return store_; }
+  const ObjectStore& s3() const noexcept { return s3_; }
+  const AuthService& auth() const noexcept { return auth_; }
+  const MessageQueue& notifications() const noexcept { return mq_; }
+  const ServerFleet& fleet() const noexcept { return fleet_; }
+  ServiceTimeModel& service_model() noexcept { return service_model_; }
+  const BackendConfig& config() const noexcept { return config_; }
+
+ private:
+  struct SessionState {
+    Session session;
+    TokenId token;
+    double up_bw = 0;    // bytes/s
+    double down_bw = 0;  // bytes/s
+  };
+
+  SessionState& session_state(SessionId id);
+  /// Runs one DAL RPC: applies shard queueing, emits the rpc record and
+  /// returns the completion time.
+  SimTime run_rpc(RpcOp op, const SessionState& ctx, SimTime at);
+  /// Same, for RPCs that carry no session (auth path).
+  SimTime run_rpc_at(RpcOp op, MachineId machine, ProcessId process,
+                     UserId user, SessionId session, SimTime at);
+  void emit_storage(const SessionState& ctx, ApiOp op, SimTime at,
+                    const TraceRecord& partial);
+  void emit_storage_done(const SessionState& ctx, ApiOp op, SimTime start,
+                         SimTime end, const TraceRecord& partial);
+  void emit_session_event(MachineId machine, ProcessId process, UserId user,
+                          SessionId session, SessionEvent event, SimTime at,
+                          SimTime duration = 0);
+  SimTime s3_latency(SimTime at);
+  void publish_change(const SessionState& ctx, VolumeEvent::Kind kind,
+                      VolumeId volume, NodeId node, SimTime at);
+  /// Content id actually registered: uniquified when dedup is disabled so
+  /// every upload stores its own blob (ablation support).
+  ContentId effective_content(const ContentId& content, NodeId node);
+
+  BackendConfig config_;
+  TraceSink* sink_;
+  Rng rng_;
+  MetadataStore store_;
+  ObjectStore s3_;
+  AuthService auth_;
+  TokenCache token_cache_;
+  MessageQueue mq_;
+  ServerFleet fleet_;
+  ServiceTimeModel service_model_;
+
+  std::unordered_map<SessionId, SessionState> sessions_;
+  std::unordered_map<UserId, TokenId> user_tokens_;
+  std::unordered_map<UserId, std::vector<SessionId>> user_sessions_;
+  std::unordered_set<VolumeId> shared_volumes_;
+  std::unordered_set<UserId> banned_users_;  // deleted fraudulent accounts
+  std::vector<SimTime> shard_busy_until_;
+  std::uint64_t next_session_ = 1;
+  std::uint64_t dedup_off_seq_ = 0;
+  SimTime last_gc_ = 0;
+  SimTime last_migration_ = 0;
+  BackendStats stats_;
+};
+
+}  // namespace u1

@@ -1,0 +1,86 @@
+#include "server/fleet.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace u1 {
+
+ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed)
+    : machines_(config.machines), rng_(seed) {
+  if (config.machines == 0 || config.processes_per_machine == 0)
+    throw std::invalid_argument("ServerFleet: zero machines or processes");
+  machine_processes_.resize(machines_);
+  open_sessions_.assign(machines_, 0);
+  const std::size_t total = machines_ * config.processes_per_machine;
+  process_machine_.reserve(total);
+  for (std::size_t p = 0; p < total; ++p) {
+    const MachineId m{p % machines_ + 1};
+    process_machine_.push_back(m);
+    machine_processes_[m.value - 1].push_back(ProcessId{p + 1});
+  }
+}
+
+MachineId ServerFleet::machine_of(ProcessId process) const {
+  if (process.value == 0 || process.value > process_machine_.size())
+    throw std::out_of_range("ServerFleet::machine_of: bad process");
+  return process_machine_[process.value - 1];
+}
+
+ServerFleet::Placement ServerFleet::place_session() {
+  // Least-loaded machine wins; ties broken by lowest index (HAProxy
+  // leastconn behavior).
+  std::size_t best = 0;
+  for (std::size_t m = 1; m < machines_; ++m) {
+    if (open_sessions_[m] < open_sessions_[best]) best = m;
+  }
+  const auto& procs = machine_processes_[best];
+  if (procs.empty())
+    throw std::logic_error("ServerFleet: machine without processes");
+  const ProcessId proc = procs[rng_.below(procs.size())];
+  ++open_sessions_[best];
+  return Placement{MachineId{best + 1}, proc};
+}
+
+void ServerFleet::end_session(MachineId machine) {
+  if (machine.value == 0 || machine.value > machines_)
+    throw std::out_of_range("ServerFleet::end_session: bad machine");
+  auto& count = open_sessions_[machine.value - 1];
+  if (count == 0)
+    throw std::logic_error("ServerFleet::end_session: no open sessions");
+  --count;
+}
+
+std::uint64_t ServerFleet::open_sessions(MachineId machine) const {
+  if (machine.value == 0 || machine.value > machines_)
+    throw std::out_of_range("ServerFleet::open_sessions: bad machine");
+  return open_sessions_[machine.value - 1];
+}
+
+std::uint64_t ServerFleet::total_open_sessions() const noexcept {
+  return std::accumulate(open_sessions_.begin(), open_sessions_.end(),
+                         std::uint64_t{0});
+}
+
+std::size_t ServerFleet::migrate_processes(double fraction) {
+  if (fraction < 0.0 || fraction > 1.0)
+    throw std::invalid_argument("migrate_processes: fraction not in [0,1]");
+  std::size_t moved = 0;
+  for (std::size_t p = 0; p < process_machine_.size(); ++p) {
+    if (!rng_.chance(fraction)) continue;
+    const MachineId from = process_machine_[p];
+    const MachineId to{rng_.below(machines_) + 1};
+    if (to == from) continue;
+    auto& src = machine_processes_[from.value - 1];
+    // A machine must keep at least one process to stay placeable.
+    if (src.size() <= 1) continue;
+    src.erase(std::remove(src.begin(), src.end(), ProcessId{p + 1}),
+              src.end());
+    machine_processes_[to.value - 1].push_back(ProcessId{p + 1});
+    process_machine_[p] = to;
+    ++moved;
+  }
+  return moved;
+}
+
+}  // namespace u1

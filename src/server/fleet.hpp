@@ -1,0 +1,62 @@
+// The API/RPC server fleet (§3.4): 6 racked machines running 8-16 API/RPC
+// processes each, fronted by an HAProxy load balancer. Processes are more
+// numerous than machines and migrate between them for load balancing; a
+// session starts on the least-loaded machine and stays pinned to its
+// process until it ends (§4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "util/rng.hpp"
+
+namespace u1 {
+
+struct FleetConfig {
+  std::size_t machines = 6;
+  std::size_t processes_per_machine = 12;  // paper: 8-16
+};
+
+class ServerFleet {
+ public:
+  explicit ServerFleet(const FleetConfig& config, std::uint64_t seed);
+
+  std::size_t machine_count() const noexcept { return machines_; }
+  std::size_t process_count() const noexcept {
+    return process_machine_.size();
+  }
+
+  /// Machine currently hosting a process.
+  MachineId machine_of(ProcessId process) const;
+
+  /// Load-balancer placement: least-loaded machine (fewest open sessions),
+  /// then a uniformly random process on it. Records the session.
+  struct Placement {
+    MachineId machine;
+    ProcessId process;
+  };
+  Placement place_session();
+
+  /// Releases a session slot previously granted by place_session().
+  void end_session(MachineId machine);
+
+  std::uint64_t open_sessions(MachineId machine) const;
+  std::uint64_t total_open_sessions() const noexcept;
+
+  /// Migrates roughly `fraction` of processes to new machines — the
+  /// paper's dynamic process<->machine mapping ("they can migrate between
+  /// servers to balance load"). Sessions already pinned keep their
+  /// (machine, process) identity; only future placements see the change.
+  /// Returns how many processes moved.
+  std::size_t migrate_processes(double fraction);
+
+ private:
+  std::size_t machines_;
+  std::vector<MachineId> process_machine_;   // index = process id - 1
+  std::vector<std::vector<ProcessId>> machine_processes_;
+  std::vector<std::uint64_t> open_sessions_;
+  Rng rng_;
+};
+
+}  // namespace u1

@@ -1,0 +1,474 @@
+#include "sim/client_agent.hpp"
+
+#include <algorithm>
+
+namespace u1 {
+namespace {
+
+/// Short client-side pause between handshake steps.
+constexpr SimTime kThinkTime = 200 * kMillisecond;
+
+std::string random_name_hash(Rng& rng) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (char& c : out) c = kHex[rng.below(16)];
+  return out;
+}
+
+}  // namespace
+
+ClientAgent::ClientAgent(UserId user, UserProfile profile, UserAccount account,
+                         WorkloadContext ctx, Rng rng)
+    : user_(user),
+      profile_(profile),
+      account_(account),
+      ctx_(ctx),
+      rng_(rng) {
+  volumes_.push_back(VolRec{account.root_volume, account.root_dir, false});
+}
+
+SimTime ClientAgent::schedule_reconnect(SimTime now) {
+  return ctx_.diurnal->next_arrival(now, profile_.sessions_per_day, rng_);
+}
+
+SimTime ClientAgent::on_wake(U1Backend& backend, SimTime now) {
+  if (!connected_) return connect_and_handshake(backend, now);
+
+  // Connected: either keep working, idle out, or disconnect.
+  if (now >= session_ends_) {
+    backend.disconnect(session_, now);
+    connected_ = false;
+    return schedule_reconnect(now);
+  }
+  if (ops_left_ == 0) {
+    // Budget exhausted: idle (connection stays open) until session end.
+    return session_ends_;
+  }
+  last_batch_extra_ = 0;
+  const SimTime done = perform_action(backend, now);
+  const std::uint64_t spent = 1 + last_batch_extra_;
+  ops_left_ -= std::min(ops_left_, spent);
+  const SimTime next = done + ctx_.bursts->next_gap(rng_);
+  return std::min(next, std::max(done, session_ends_));
+}
+
+SimTime ClientAgent::connect_and_handshake(U1Backend& backend, SimTime now) {
+  const auto conn = backend.connect(user_, now);
+  if (!conn.ok) {
+    ++consecutive_auth_failures_;
+    // Exponential backoff, capped at ~4h; transient auth failures are
+    // retried quickly by the client daemon.
+    const double backoff_s = std::min(
+        14400.0, 60.0 * std::pow(2.0, consecutive_auth_failures_ - 1) *
+                     rng_.uniform(0.5, 1.5));
+    return conn.end + from_seconds(backoff_s);
+  }
+  consecutive_auth_failures_ = 0;
+  connected_ = true;
+  session_ = conn.session;
+
+  // Session handshake: caps negotiation + volume listing (Fig. 8's
+  // Authenticate -> ListVolumes -> ListShares flow).
+  SimTime t = conn.end;
+  t = backend.query_set_caps(session_, t).end + kThinkTime / 4;
+  t = backend.list_volumes(session_, t).end + kThinkTime / 4;
+  if (rng_.chance(0.85)) t = backend.list_shares(session_, t).end;
+  // Re-sync some volumes via generations; occasionally a client has lost
+  // its local metadata and rescans a volume from scratch (the cascade RPC
+  // of Fig. 12c/13).
+  for (const VolRec& vol : volumes_) {
+    if (rng_.chance(0.02)) {
+      t = backend.rescan_from_scratch(session_, vol.id, t + kThinkTime / 4)
+              .end;
+    } else if (rng_.chance(0.65)) {
+      t = backend.get_delta(session_, vol.id, 0, t + kThinkTime / 4).end;
+    }
+  }
+
+  // Cold or active session? (paper: only 5.57% of sessions are active.)
+  // The per-user activity multiplier concentrates storage work on the
+  // heavy tail of the population (1% of users -> 65% of traffic).
+  const double p_active = std::min(
+      0.65, profile_.active_session_prob * std::max(0.25, profile_.activity));
+  const bool active = rng_.chance(p_active);
+  SimTime length = ctx_.users->sample_session_length(rng_);
+  if (active) {
+    // Active sessions are much longer than cold ones (§7.3).
+    length = std::max(length, ctx_.users->sample_session_length(rng_));
+    length = std::max(length, ctx_.users->sample_session_length(rng_));
+    length = std::max(length, from_seconds(600.0));
+    ops_left_ = ctx_.users->sample_session_ops(profile_.user_class, rng_);
+    // A very large budget needs a session long enough to drain it (the
+    // heavy tail of ops/session, Fig. 16 inner plot). The mean inter-op
+    // gap of the burst process is ~25s.
+    const SimTime needed = from_seconds(
+        std::min(4.0 * 86400.0, static_cast<double>(ops_left_) * 25.0));
+    length = std::max(length, needed);
+    prev_action_ = ctx_.transitions->initial(profile_.user_class, rng_);
+  } else {
+    ops_left_ = 0;
+  }
+  // Even a NAT-killed connection lives until its in-flight handshake
+  // operations finish — the close record must not precede them.
+  session_ends_ = std::max(now + length, t);
+
+  if (ops_left_ > 0) {
+    const SimTime first = t + ctx_.bursts->next_gap(rng_) / 4;
+    return std::min(first, session_ends_);
+  }
+  return session_ends_;
+}
+
+SimTime ClientAgent::perform_action(U1Backend& backend, SimTime now) {
+  // Morning download bias (§5.1): clients that start with the work day
+  // sync down first, shifting the R/W ratio; decays linearly to 15:00.
+  // Upload-only users never sync down (their class definition).
+  if (profile_.user_class != UserClass::kUploadOnly && !files_.empty() &&
+      rng_.chance(ctx_.diurnal->download_bias(now))) {
+    prev_action_ = ClientAction::kDownload;
+    return act_download(backend, now);
+  }
+  prev_action_ =
+      ctx_.transitions->next(prev_action_, profile_.user_class, rng_);
+  switch (prev_action_) {
+    case ClientAction::kUploadNew: return act_upload_new(backend, now);
+    case ClientAction::kUploadUpdate: return act_upload_update(backend, now);
+    case ClientAction::kDownload: return act_download(backend, now);
+    case ClientAction::kUnlink: return act_unlink(backend, now);
+    case ClientAction::kMove: return act_move(backend, now);
+    case ClientAction::kMakeDir: return act_make_dir(backend, now);
+    case ClientAction::kCreateUdf: return act_create_udf(backend, now);
+    case ClientAction::kDeleteVolume: return act_delete_volume(backend, now);
+    case ClientAction::kGetDelta: return act_get_delta(backend, now);
+  }
+  return act_get_delta(backend, now);
+}
+
+const ClientAgent::VolRec& ClientAgent::pick_volume(Rng& rng) const {
+  // The root volume dominates day-to-day use.
+  if (volumes_.size() == 1 || rng.chance(0.7)) return volumes_.front();
+  return volumes_[1 + rng.below(volumes_.size() - 1)];
+}
+
+NodeId ClientAgent::pick_parent(const VolRec& vol, Rng& rng) const {
+  if (dirs_.empty() || rng.chance(0.5)) return vol.root;
+  // Try a few times to find a directory in this volume.
+  for (int i = 0; i < 4; ++i) {
+    const DirRec& d = dirs_[rng.below(dirs_.size())];
+    if (d.volume == vol.id) return d.node;
+  }
+  return vol.root;
+}
+
+std::size_t ClientAgent::pick_file(bool prefer_recent, Rng& rng) const {
+  if (files_.empty()) return npos;
+  if (prefer_recent && rng.chance(0.6)) {
+    // One of the ~12 most recently created files (directory-granularity
+    // sync touches what was just written).
+    const std::size_t window = std::min<std::size_t>(12, files_.size());
+    return files_.size() - 1 - rng.below(window);
+  }
+  return rng.below(files_.size());
+}
+
+void ClientAgent::remember_download(NodeId node) {
+  last_download_ = node;
+  for (const NodeId& n : recent_downloads_) {
+    if (n == node) return;
+  }
+  recent_downloads_.push_back(node);
+  if (recent_downloads_.size() > 12)
+    recent_downloads_.erase(recent_downloads_.begin());
+}
+
+NodeId ClientAgent::take_recent_download() {
+  while (!recent_downloads_.empty()) {
+    const NodeId node = recent_downloads_.back();
+    recent_downloads_.pop_back();
+    for (const FileRec& f : files_) {
+      if (f.node == node) return node;
+    }
+  }
+  return NodeId{};
+}
+
+SimTime ClientAgent::act_upload_new(U1Backend& backend, SimTime now) {
+  const VolRec& vol = pick_volume(rng_);
+  const NodeId parent = pick_parent(vol, rng_);
+  // Directory-granularity sync (§6.2): dropping a folder into a synced
+  // volume uploads a batch of files back to back — the Make...Make,
+  // Upload...Upload runs behind the heavy self-edges of Fig. 8.
+  std::size_t batch = 1;
+  if (rng_.chance(0.25)) batch = 2 + rng_.below(6);
+  // A folder sync spends budget proportional to its size.
+  last_batch_extra_ = batch - 1;
+
+  std::vector<std::pair<NodeId, ContentDraw>> staged;
+  SimTime t = now;
+  for (std::size_t i = 0; i < batch; ++i) {
+    FileSpec spec = ctx_.files->sample(rng_);
+    const ContentDraw content = ctx_.contents->draw(spec, rng_);
+    const auto mk = backend.make_file(session_, vol.id, parent,
+                                      random_name_hash(rng_),
+                                      spec.extension, t);
+    t = mk.end;
+    if (!mk.ok) continue;
+    FileRec rec;
+    rec.node = mk.node;
+    rec.volume = vol.id;
+    rec.parent = parent;
+    rec.extension = spec.extension;
+    rec.category = spec.category;
+    rec.content = content.id;
+    rec.size = content.size_bytes;
+    rec.update_affinity = spec.update_affinity;
+    rec.has_content = false;
+    files_.push_back(std::move(rec));
+    staged.emplace_back(mk.node, content);
+  }
+  for (const auto& [node, content] : staged) {
+    const auto up = backend.upload(session_, node, content.id,
+                                   content.size_bytes, false, t);
+    t = up.end;
+    if (up.ok) {
+      // The staged records are at the tail of files_.
+      for (auto it = files_.rbegin(); it != files_.rend(); ++it) {
+        if (it->node == node) {
+          it->has_content = true;
+          break;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+SimTime ClientAgent::act_upload_update(U1Backend& backend, SimTime now) {
+  // Prefer files that are edited often (code, docs) and concentrate on
+  // the handful touched most recently — editing sessions revisit the same
+  // file repeatedly (the WAW dominance of Fig. 3a).
+  std::size_t idx = npos;
+  if (!recent_downloads_.empty() && rng_.chance(0.45)) {
+    // Read-then-edit: open a document, change it, save (WAR).
+    const NodeId recent =
+        recent_downloads_[rng_.below(recent_downloads_.size())];
+    for (std::size_t i = files_.size(); i-- > 0;) {
+      if (files_[i].node == recent && files_[i].has_content) {
+        idx = i;
+        break;
+      }
+    }
+  }
+  for (int attempt = 0; attempt < 4 && idx == npos; ++attempt) {
+    std::size_t cand = npos;
+    if (!files_.empty()) {
+      const std::size_t window = std::min<std::size_t>(4, files_.size());
+      cand = rng_.chance(0.75)
+                 ? files_.size() - 1 - rng_.below(window)
+                 : pick_file(true, rng_);
+    }
+    if (cand == npos) break;
+    if (files_[cand].has_content &&
+        rng_.chance(std::max(0.15, files_[cand].update_affinity)))
+      idx = cand;
+  }
+  if (idx == npos) {
+    // Nothing worth editing: behave like a fresh upload.
+    return act_upload_new(backend, now);
+  }
+  FileRec& rec = files_[idx];
+  // A third of "writes" to existing files carry unchanged bytes — the
+  // client re-uploads after an mtime touch or a rescan; the server sees
+  // the same hash (dedup hit, zero wire traffic) and it is NOT an update
+  // in the paper's sense ("distinct hash/size").
+  if (rng_.chance(0.5) && !(rec.content == ContentId{})) {
+    const auto up = backend.upload(session_, rec.node, rec.content, rec.size,
+                                   /*is_update=*/false, now);
+    return up.end;
+  }
+  FileSpec spec;
+  spec.extension = rec.extension;
+  spec.category = rec.category;
+  spec.size_bytes = rec.size;
+  const std::uint64_t new_size = ctx_.files->sample_update_size(spec, rng_);
+  const ContentDraw content = ctx_.contents->draw_update(new_size, rng_);
+  const auto up = backend.upload(session_, rec.node, content.id, new_size,
+                                 /*is_update=*/true, now);
+  if (up.ok) {
+    rec.size = new_size;
+    rec.content = content.id;
+  }
+  return up.end;
+}
+
+SimTime ClientAgent::act_download(U1Backend& backend, SimTime now) {
+  // Downloads skew to small files even more than uploads (Fig. 2b: 89%
+  // of download ops touch files < 0.5MB) while the occasional large
+  // download still dominates download *bytes* (88% from >25MB files):
+  // mostly pick small files, but 15% of the time pick anything.
+  std::size_t idx = npos;
+  if (rng_.chance(0.10)) {
+    // Fetch of a big item (movie, backup archive): size-weighted pick —
+    // rare in ops, dominant in bytes (Fig. 2b). Weighted reservoir scan.
+    double cum = 0;
+    for (std::size_t i = 0; i < files_.size(); ++i) {
+      if (!files_[i].has_content || files_[i].size == 0) continue;
+      cum += static_cast<double>(files_[i].size);
+      if (rng_.uniform() < static_cast<double>(files_[i].size) / cum)
+        idx = i;
+    }
+  } else {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::size_t cand = pick_file(false, rng_);
+      if (cand == npos || !files_[cand].has_content) continue;
+      idx = cand;
+      if (files_[cand].size < 512 * 1024) break;
+    }
+  }
+  if (idx == npos) return act_get_delta(backend, now);
+  remember_download(files_[idx].node);
+  return backend.download(session_, files_[idx].node, now).end;
+}
+
+SimTime ClientAgent::act_unlink(U1Backend& backend, SimTime now) {
+  // Occasionally remove a whole directory (cascade); usually one file.
+  if (!dirs_.empty() && rng_.chance(0.14)) {
+    const std::size_t di = rng_.below(dirs_.size());
+    const NodeId dir = dirs_[di].node;
+    const auto res = backend.unlink(session_, dir, now);
+    forget_dir(dir);
+    return res.end;
+  }
+  std::size_t idx = npos;
+  if (rng_.chance(0.75)) {
+    // Read-then-delete: cleaning up something inspected earlier (DAR).
+    const NodeId recent = take_recent_download();
+    if (!recent.is_nil()) {
+      for (std::size_t i = files_.size(); i-- > 0;) {
+        if (files_[i].node == recent) {
+          idx = i;
+          break;
+        }
+      }
+    }
+  }
+  if (idx == npos) idx = pick_file(true, rng_);
+  if (idx == npos) return act_get_delta(backend, now);
+  const NodeId node = files_[idx].node;
+  if (node == last_download_) last_download_ = NodeId{};
+  const auto res = backend.unlink(session_, node, now);
+  files_.erase(files_.begin() + static_cast<std::ptrdiff_t>(idx));
+  return res.end;
+}
+
+SimTime ClientAgent::act_move(U1Backend& backend, SimTime now) {
+  const std::size_t idx = pick_file(false, rng_);
+  if (idx == npos) return act_get_delta(backend, now);
+  FileRec& rec = files_[idx];
+  // Find a destination directory in the same volume.
+  NodeId dest;
+  const VolRec* vol = nullptr;
+  for (const VolRec& v : volumes_) {
+    if (v.id == rec.volume) {
+      vol = &v;
+      break;
+    }
+  }
+  if (vol == nullptr) return act_get_delta(backend, now);
+  dest = pick_parent(*vol, rng_);
+  if (dest == rec.parent) dest = vol->root;
+  if (dest == rec.parent) return act_get_delta(backend, now);
+  const auto res = backend.move(session_, rec.node, dest, now);
+  if (res.ok) rec.parent = dest;
+  return res.end;
+}
+
+SimTime ClientAgent::act_make_dir(U1Backend& backend, SimTime now) {
+  const VolRec& vol = pick_volume(rng_);
+  const auto mk = backend.make_dir(session_, vol.id, vol.root,
+                                   random_name_hash(rng_), now);
+  if (mk.ok) dirs_.push_back(DirRec{mk.node, vol.id});
+  return mk.end;
+}
+
+SimTime ClientAgent::act_create_udf(U1Backend& backend, SimTime now) {
+  const std::size_t udfs = volumes_.size() - 1;
+  if (udfs >= profile_.udf_volumes) return act_make_dir(backend, now);
+  const auto res = backend.create_udf(session_, now);
+  if (res.ok) volumes_.push_back(VolRec{res.volume, res.root_dir, true});
+  return res.end;
+}
+
+SimTime ClientAgent::act_delete_volume(U1Backend& backend, SimTime now) {
+  // Only UDFs can be deleted, and users rarely do it.
+  std::vector<std::size_t> udf_indices;
+  for (std::size_t i = 1; i < volumes_.size(); ++i)
+    if (volumes_[i].is_udf) udf_indices.push_back(i);
+  if (udf_indices.empty() || !rng_.chance(0.5))
+    return act_unlink(backend, now);
+  const std::size_t vi = udf_indices[rng_.below(udf_indices.size())];
+  const VolumeId vol = volumes_[vi].id;
+  const auto res = backend.delete_volume(session_, vol, now);
+  forget_volume(vol);
+  return res.end;
+}
+
+SimTime ClientAgent::act_get_delta(U1Backend& backend, SimTime now) {
+  const VolRec& vol = pick_volume(rng_);
+  return backend.get_delta(session_, vol.id, 0, now).end;
+}
+
+void ClientAgent::forget_dir(NodeId dir) {
+  files_.erase(std::remove_if(files_.begin(), files_.end(),
+                              [&](const FileRec& f) {
+                                return f.parent == dir;
+                              }),
+               files_.end());
+  dirs_.erase(std::remove_if(dirs_.begin(), dirs_.end(),
+                             [&](const DirRec& d) { return d.node == dir; }),
+              dirs_.end());
+}
+
+void ClientAgent::forget_volume(VolumeId volume) {
+  files_.erase(std::remove_if(files_.begin(), files_.end(),
+                              [&](const FileRec& f) {
+                                return f.volume == volume;
+                              }),
+               files_.end());
+  dirs_.erase(std::remove_if(dirs_.begin(), dirs_.end(),
+                             [&](const DirRec& d) {
+                               return d.volume == volume;
+                             }),
+              dirs_.end());
+  volumes_.erase(std::remove_if(volumes_.begin(), volumes_.end(),
+                                [&](const VolRec& v) {
+                                  return v.id == volume;
+                                }),
+                 volumes_.end());
+}
+
+void ClientAgent::bootstrap(U1Backend& backend, SimTime now, std::size_t n) {
+  if (n == 0 && profile_.udf_volumes == 0) return;
+  const auto conn = backend.connect(user_, now);
+  if (!conn.ok) return;
+  connected_ = true;
+  session_ = conn.session;
+  SimTime t = conn.end;
+  // Pre-existing UDFs for users who have them.
+  const std::uint32_t pre_udfs =
+      std::min<std::uint32_t>(profile_.udf_volumes, 3);
+  for (std::uint32_t i = 0; i < pre_udfs; ++i) {
+    const auto res = backend.create_udf(session_, t);
+    if (res.ok) volumes_.push_back(VolRec{res.volume, res.root_dir, true});
+    t = res.end;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (t >= -2 * kHour) break;  // never bleed into the trace window
+    if (rng_.chance(0.15)) t = act_make_dir(backend, t);
+    t = act_upload_new(backend, t);
+  }
+  backend.disconnect(session_, std::min(t, -kHour));
+  connected_ = false;
+}
+
+}  // namespace u1

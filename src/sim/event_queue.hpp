@@ -1,0 +1,52 @@
+// Discrete-event core: a time-ordered queue with deterministic FIFO
+// tie-breaking (events at equal timestamps pop in insertion order, so a
+// simulation is reproducible bit-for-bit given a seed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;
+    Payload payload;
+  };
+
+  void push(SimTime t, Payload payload) {
+    heap_.push(Event{t, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const noexcept { return heap_.empty(); }
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the next event; only valid when !empty().
+  SimTime next_time() const { return heap_.top().t; }
+
+  /// Pops the earliest event.
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,264 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/sha1.hpp"
+
+namespace u1 {
+
+Simulation::Simulation(const SimulationConfig& config, TraceSink& sink)
+    : config_(config),
+      rng_(config.seed),
+      content_pool_(std::make_unique<ContentPool>(
+          config.content_duplicate_prob, config.content_zipf_s,
+          config.seed ^ 0xb10b)),
+      user_model_(config.user_model),
+      diurnal_(config.diurnal),
+      bursts_(config.burst) {
+  if (config.users == 0 || config.days <= 0)
+    throw std::invalid_argument("SimulationConfig: users/days must be > 0");
+  fan_.add(&sink);
+  if (config.auto_countermeasures) {
+    // Tap the record stream into the anomaly guard; purges are deferred
+    // to the event loop (never re-entrantly inside a back-end call).
+    guard_ = std::make_unique<AnomalyGuard>();
+    guard_tap_ = std::make_unique<CallbackSink>([this](const TraceRecord& r) {
+      if (pending_purge_.has_value() || r.t < 0) return;
+      if (const auto culprit = guard_->observe(r)) pending_purge_ = culprit;
+    });
+    fan_.add(guard_tap_.get());
+  }
+  BackendConfig backend_cfg = config.backend;
+  backend_cfg.seed = config.seed ^ 0xbac9;
+  backend_ = std::make_unique<U1Backend>(backend_cfg, fan_);
+}
+
+void Simulation::bootstrap_phase() {
+  // Pre-trace history: users join with existing namespaces so day 1 is
+  // not a cold start. Runs in the day before the trace window; analyzers
+  // window on [0, horizon) and ignore it.
+  WorkloadContext ctx;
+  ctx.files = &file_model_;
+  ctx.contents = content_pool_.get();
+  ctx.users = &user_model_;
+  ctx.transitions = &transition_model_;
+  ctx.diurnal = &diurnal_;
+  ctx.bursts = &bursts_;
+
+  agents_.reserve(config_.users);
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    const UserId uid{i + 1};
+    const UserProfile profile = user_model_.sample(rng_);
+    const UserAccount account = backend_->register_user(uid, -kDay);
+    agents_.push_back(std::make_unique<ClientAgent>(uid, profile, account,
+                                                    ctx, rng_.fork()));
+  }
+
+  // Sharing relationships (1.8% of users): owner shares the root volume
+  // with a random peer.
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    if (!agents_[i]->profile().sharer || config_.users < 2) continue;
+    std::size_t peer = rng_.below(config_.users);
+    if (peer == i) peer = (peer + 1) % config_.users;
+    backend_->share_volume(UserId{i + 1},
+                           backend_->store()
+                               .shard(backend_->store().shard_of(UserId{i + 1}))
+                               .list_volumes(UserId{i + 1})
+                               .front()
+                               .id,
+                           UserId{peer + 1}, -kDay);
+  }
+
+  // Seed namespaces. Heavier users arrive with more history.
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    auto& agent = *agents_[i];
+    double mean = config_.bootstrap_files_mean;
+    switch (agent.profile().user_class) {
+      case UserClass::kOccasional: mean *= 0.4; break;
+      case UserClass::kUploadOnly: mean *= 2.0; break;
+      case UserClass::kDownloadOnly: mean *= 1.5; break;
+      case UserClass::kHeavy: mean *= 4.0; break;
+    }
+    // Geometric-ish draw with heavy upper tail for loaded volumes
+    // (Fig. 10: ~5% of volumes hold more than 1,000 files).
+    double n = -mean * std::log(1.0 - rng_.uniform());
+    if (rng_.chance(0.025)) n *= 40.0;
+    const auto files = static_cast<std::size_t>(std::min(n, 4000.0));
+    // Start well before the trace window: large namespaces take hours of
+    // virtual time to upload and must not bleed into t >= 0.
+    const SimTime when =
+        -4 * kDay + static_cast<SimTime>(rng_.below(
+                        static_cast<std::uint64_t>(2 * kDay)));
+    agent.bootstrap(*backend_, when, files);
+    report_.bootstrap_files += files;
+  }
+}
+
+void Simulation::schedule_population_start() {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const SimTime first = diurnal_.next_arrival(
+        0, agents_[i]->profile().sessions_per_day, rng_);
+    queue_.push(first, Ev{Ev::Kind::kAgent, i});
+  }
+  queue_.push(kHour, Ev{Ev::Kind::kMaintenance, 0});
+  if (config_.enable_ddos) {
+    // Bot fleets scale with the simulated population so the relative
+    // spike magnitudes stay comparable at any simulation size.
+    const double population_scale =
+        static_cast<double>(config_.users) / 10000.0;
+    const auto schedule =
+        paper_attack_schedule(config_.ddos_bot_scale * population_scale);
+    for (std::size_t a = 0; a < schedule.size(); ++a) {
+      AttackRuntime rt;
+      rt.spec = schedule[a];
+      attacks_.push_back(rt);
+      queue_.push(schedule[a].start, Ev{Ev::Kind::kDdosStart, a});
+    }
+  }
+}
+
+void Simulation::launch_attack(std::size_t attack_index, SimTime now) {
+  AttackRuntime& attack = attacks_[attack_index];
+  ++report_.ddos_attacks;
+  // The abused account: a fresh registration distributing one payload.
+  const UserId account{1000000 + attack_index};
+  attack.account = account;
+  const UserAccount acc = backend_->register_user(account, now);
+  const auto conn = backend_->connect(account, now);
+  if (conn.ok) {
+    const auto mk = backend_->make_file(conn.session, acc.root_volume,
+                                        acc.root_dir, "payload", "avi",
+                                        conn.end);
+    SimTime t = mk.end;
+    if (mk.ok) {
+      t = backend_->upload(conn.session, mk.node,
+                           Sha1::of("ddos-payload-" +
+                                    std::to_string(attack_index)),
+                           attack.spec.payload_bytes, false, mk.end)
+              .end;
+      attack.payload_node = mk.node;
+    }
+    backend_->disconnect(conn.session, t + kMinute);
+  }
+  // Unleash the bots, arrivals spread over the first half hour.
+  const std::size_t first_bot = bots_.size();
+  for (std::uint32_t b = 0; b < attack.spec.bots; ++b) {
+    Bot bot;
+    bot.attack = attack_index;
+    bots_.push_back(bot);
+    const SimTime arrive =
+        now + static_cast<SimTime>(rng_.below(30ull * kMinute));
+    queue_.push(arrive, Ev{Ev::Kind::kBot, first_bot + b});
+  }
+  // Manual response after the detection delay (§5.4) — unless the
+  // automatic countermeasure is on duty.
+  if (!config_.auto_countermeasures) {
+    queue_.push(now + attack.spec.response_delay,
+                Ev{Ev::Kind::kDdosResponse, attack_index});
+  }
+}
+
+void Simulation::respond_to_attack(std::size_t attack_index, SimTime now) {
+  AttackRuntime& attack = attacks_[attack_index];
+  attack.purged = true;
+  backend_->admin_purge_user(attack.account, now);
+}
+
+SimTime Simulation::bot_wake(std::size_t bot_index, SimTime now) {
+  Bot& bot = bots_[bot_index];
+  const AttackRuntime& attack = attacks_[bot.attack];
+
+  if (bot.connected && !backend_->session_open(bot.session)) {
+    // The operator response force-closed this bot's session.
+    bot.connected = false;
+    return now + from_seconds(rng_.uniform(30.0, 120.0));
+  }
+  if (bot.connected) {
+    // Leech: re-download the payload a few times, then disconnect.
+    for (std::uint32_t d = 0; d < attack.spec.downloads_per_connection; ++d) {
+      if (attack.payload_node.is_nil()) break;
+      const auto res = backend_->download(bot.session, attack.payload_node,
+                                          now);
+      now = res.end;
+      if (!res.ok) break;
+    }
+    backend_->disconnect(bot.session, now);
+    bot.connected = false;
+    // Next connection attempt.
+    const double gap_s = 3600.0 / attack.spec.connects_per_hour *
+                         rng_.uniform(0.5, 1.5);
+    return now + from_seconds(gap_s);
+  }
+
+  // Try to connect with the shared credentials.
+  const auto conn = backend_->connect(attack.account, now);
+  if (!conn.ok) {
+    ++bot.failures;
+    if (attack.purged && bot.failures > 2) return 0;  // give up
+    return conn.end + from_seconds(rng_.uniform(30.0, 300.0));
+  }
+  bot.failures = 0;
+  bot.connected = true;
+  bot.session = conn.session;
+  return conn.end + from_seconds(rng_.uniform(1.0, 20.0));
+}
+
+SimulationReport Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run: already ran");
+  ran_ = true;
+
+  bootstrap_phase();
+  schedule_population_start();
+
+  const SimTime horizon = static_cast<SimTime>(config_.days) * kDay;
+  while (!queue_.empty() && queue_.next_time() < horizon) {
+    const auto event = queue_.pop();
+    const SimTime now = event.t;
+    switch (event.payload.kind) {
+      case Ev::Kind::kAgent: {
+        ++report_.agent_wakeups;
+        const SimTime next =
+            agents_[event.payload.index]->on_wake(*backend_, now);
+        if (next > now) queue_.push(next, event.payload);
+        break;
+      }
+      case Ev::Kind::kBot: {
+        const SimTime next = bot_wake(event.payload.index, now);
+        if (next > now) queue_.push(next, event.payload);
+        break;
+      }
+      case Ev::Kind::kMaintenance:
+        backend_->maintenance(now);
+        queue_.push(now + kHour, event.payload);
+        break;
+      case Ev::Kind::kDdosStart:
+        launch_attack(event.payload.index, now);
+        break;
+      case Ev::Kind::kDdosResponse:
+        respond_to_attack(event.payload.index, now);
+        break;
+    }
+    if (pending_purge_.has_value()) {
+      const UserId culprit = *pending_purge_;
+      pending_purge_.reset();
+      backend_->admin_purge_user(culprit, now);
+      ++report_.auto_purges;
+      for (std::size_t a = 0; a < attacks_.size(); ++a) {
+        if (attacks_[a].account == culprit && !attacks_[a].purged) {
+          attacks_[a].purged = true;
+          if (report_.first_auto_response_delay == 0)
+            report_.first_auto_response_delay = now - attacks_[a].spec.start;
+        }
+      }
+    }
+  }
+
+  report_.backend = backend_->stats();
+  report_.users = config_.users;
+  report_.horizon = horizon;
+  return report_;
+}
+
+}  // namespace u1

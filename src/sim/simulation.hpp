@@ -1,0 +1,123 @@
+// Month-scale simulation runner: builds the user population, bootstraps
+// their namespaces, then replays 30 days of diurnal, bursty client
+// activity against the simulated U1 back-end, including the paper's three
+// DDoS attacks and the manual operator response. Everything the back-end
+// observes is emitted to the TraceSink in the U1 logfile shape, ready for
+// the analyzers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "server/backend.hpp"
+#include "sim/client_agent.hpp"
+#include "sim/event_queue.hpp"
+#include "improve/anomaly_guard.hpp"
+#include "trace/sink.hpp"
+#include "workload/ddos.hpp"
+
+namespace u1 {
+
+struct SimulationConfig {
+  std::size_t users = 10000;
+  int days = 30;  // the paper's window: 2014-01-11 .. 2014-02-10
+  BackendConfig backend;
+  UserModelParams user_model;
+  BurstParams burst;
+  DiurnalParams diurnal;
+  /// Content duplication probability (drives the 0.171 dedup ratio).
+  double content_duplicate_prob = 0.12;
+  double content_zipf_s = 0.9;
+  /// Mean pre-trace files per bootstrapped user.
+  double bootstrap_files_mean = 14.0;
+  bool enable_ddos = true;
+  /// Bot population scale; 1.0 suits ~10k users.
+  double ddos_bot_scale = 1.0;
+  /// §9 extension: replace the manual operator response with the
+  /// AnomalyGuard automatic countermeasure (detect + purge in-line).
+  bool auto_countermeasures = false;
+  std::uint64_t seed = 20140111;
+};
+
+struct SimulationReport {
+  BackendStats backend;
+  std::size_t users = 0;
+  SimTime horizon = 0;
+  std::uint64_t agent_wakeups = 0;
+  std::uint64_t bootstrap_files = 0;
+  std::uint64_t ddos_attacks = 0;
+  /// Automatic countermeasure bookkeeping (auto_countermeasures only).
+  std::uint64_t auto_purges = 0;
+  SimTime first_auto_response_delay = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(const SimulationConfig& config, TraceSink& sink);
+
+  /// Runs to completion and returns the report. Call once.
+  SimulationReport run();
+
+  const U1Backend& backend() const noexcept { return *backend_; }
+
+ private:
+  struct Bot {
+    std::size_t attack = 0;  // index into attacks_
+    SessionId session;
+    bool connected = false;
+    int failures = 0;
+  };
+
+  void bootstrap_phase();
+  void schedule_population_start();
+  SimTime bot_wake(std::size_t bot_index, SimTime now);
+  void launch_attack(std::size_t attack_index, SimTime now);
+  void respond_to_attack(std::size_t attack_index, SimTime now);
+
+  struct AttackRuntime {
+    DdosAttackSpec spec;
+    UserId account;
+    NodeId payload_node;
+    bool purged = false;
+  };
+
+  // Event payload: which actor wants the CPU.
+  struct Ev {
+    enum class Kind : std::uint8_t {
+      kAgent,
+      kBot,
+      kMaintenance,
+      kDdosStart,
+      kDdosResponse,
+    };
+    Kind kind;
+    std::size_t index = 0;
+  };
+
+  SimulationConfig config_;
+  MultiSink fan_;
+  std::unique_ptr<CallbackSink> guard_tap_;
+  std::unique_ptr<AnomalyGuard> guard_;
+  std::optional<UserId> pending_purge_;
+  Rng rng_;
+
+  // Shared workload machinery (must outlive the agents).
+  FileModel file_model_;
+  std::unique_ptr<ContentPool> content_pool_;
+  UserModel user_model_;
+  TransitionModel transition_model_;
+  DiurnalModel diurnal_;
+  BurstProcess bursts_;
+
+  std::unique_ptr<U1Backend> backend_;
+  std::vector<std::unique_ptr<ClientAgent>> agents_;
+  std::vector<AttackRuntime> attacks_;
+  std::vector<Bot> bots_;
+  EventQueue<Ev> queue_;
+  SimulationReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace u1

@@ -1,0 +1,43 @@
+#include "stats/acf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+
+AcfResult autocorrelation(std::span<const double> series,
+                          std::size_t max_lag) {
+  const std::size_t n = series.size();
+  if (n < 2) throw std::invalid_argument("autocorrelation: series too short");
+  if (max_lag >= n)
+    throw std::invalid_argument("autocorrelation: max_lag >= length");
+
+  double mean = 0;
+  for (const double x : series) mean += x;
+  mean /= static_cast<double>(n);
+
+  double c0 = 0;
+  for (const double x : series) c0 += (x - mean) * (x - mean);
+  c0 /= static_cast<double>(n);
+
+  AcfResult r;
+  r.acf.resize(max_lag + 1);
+  r.confidence_bound = 2.0 / std::sqrt(static_cast<double>(n));
+  if (c0 == 0) {
+    // Constant series: define acf[0]=1, rest 0.
+    r.acf[0] = 1.0;
+    return r;
+  }
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double ck = 0;
+    for (std::size_t t = 0; t + k < n; ++t)
+      ck += (series[t] - mean) * (series[t + k] - mean);
+    ck /= static_cast<double>(n);
+    r.acf[k] = ck / c0;
+    if (k > 0 && std::abs(r.acf[k]) > r.confidence_bound)
+      ++r.significant_lags;
+  }
+  return r;
+}
+
+}  // namespace u1

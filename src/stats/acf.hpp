@@ -1,0 +1,25 @@
+// Sample autocorrelation function. Fig. 2(c) tests whether hourly R/W
+// ratios are independent: for an uncorrelated series the sample ACF is
+// ~N(0, 1/N) and the 95% confidence band is +/- 2/sqrt(N).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace u1 {
+
+struct AcfResult {
+  std::vector<double> acf;       // acf[k] for lag k = 0..max_lag (acf[0]=1)
+  double confidence_bound = 0;   // 2/sqrt(N), the 95% band half-width
+  /// Number of lags in 1..max_lag whose |acf| exceeds the band — the
+  /// paper's "most lags are outside 95% confidence intervals" evidence.
+  std::size_t significant_lags = 0;
+};
+
+/// Computes the biased sample ACF up to max_lag (inclusive).
+/// Throws std::invalid_argument if the series is shorter than 2 or
+/// max_lag >= series length.
+AcfResult autocorrelation(std::span<const double> series,
+                          std::size_t max_lag);
+
+}  // namespace u1

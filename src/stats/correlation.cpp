@@ -1,0 +1,69 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace u1 {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("pearson: length mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) throw std::invalid_argument("pearson: need n >= 2");
+
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0 || syy == 0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+std::vector<double> ranks_of(std::span<const double> v) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  std::vector<double> ranks(n);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && v[order[j]] == v[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j - 1)) /
+                           2.0 +
+                       1.0;  // 1-based mid-rank
+    for (std::size_t k = i; k < j; ++k) ranks[order[k]] = mid;
+    i = j;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("spearman: length mismatch");
+  const auto rx = ranks_of(x);
+  const auto ry = ranks_of(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace u1

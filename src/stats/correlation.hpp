@@ -1,0 +1,17 @@
+// Correlation coefficients. Fig. 10 reports a Pearson correlation of 0.998
+// between files and directories per volume.
+#pragma once
+
+#include <span>
+
+namespace u1 {
+
+/// Pearson product-moment correlation of two equal-length samples.
+/// Throws std::invalid_argument if lengths differ or n < 2.
+/// Returns 0 if either sample is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over ranks, mid-rank ties).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace u1

@@ -1,0 +1,77 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+
+Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
+  if (sorted_.empty()) throw std::invalid_argument("Ecdf: empty sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  if (q < 0.0 || q > 1.0) throw std::domain_error("Ecdf::quantile: q not in [0,1]");
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<double> Ecdf::evaluate(std::span<const double> xs) const {
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back(at(x));
+  return out;
+}
+
+std::vector<std::pair<double, double>> Ecdf::ccdf_points() const {
+  std::vector<std::pair<double, double>> out;
+  const double n = static_cast<double>(sorted_.size());
+  std::size_t i = 0;
+  while (i < sorted_.size()) {
+    std::size_t j = i;
+    while (j < sorted_.size() && sorted_[j] == sorted_[i]) ++j;
+    // P(X > x) with x = sorted_[i]: fraction of points strictly above.
+    out.emplace_back(sorted_[i], static_cast<double>(sorted_.size() - j) / n);
+    i = j;
+  }
+  return out;
+}
+
+std::vector<double> log_space(double lo, double hi, std::size_t n) {
+  if (lo <= 0 || hi <= lo || n < 2)
+    throw std::invalid_argument("log_space: need 0 < lo < hi, n >= 2");
+  std::vector<double> out;
+  out.reserve(n);
+  const double llo = std::log10(lo);
+  const double lhi = std::log10(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back(std::pow(10.0, llo + f * (lhi - llo)));
+  }
+  return out;
+}
+
+std::vector<double> lin_space(double lo, double hi, std::size_t n) {
+  if (hi <= lo || n < 2)
+    throw std::invalid_argument("lin_space: need lo < hi, n >= 2");
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(i) / static_cast<double>(n - 1);
+    out.push_back(lo + f * (hi - lo));
+  }
+  return out;
+}
+
+}  // namespace u1

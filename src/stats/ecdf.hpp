@@ -1,0 +1,50 @@
+// Empirical CDF — the workhorse behind almost every figure in the paper
+// (service-time CDFs, session-length CDFs, file-size CDFs, lifetime CDFs...).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace u1 {
+
+/// Immutable empirical distribution built from a sample.
+class Ecdf {
+ public:
+  Ecdf() = default;
+  /// Copies and sorts the sample. Throws std::invalid_argument if empty.
+  explicit Ecdf(std::vector<double> sample);
+
+  /// Fraction of the sample <= x, in [0, 1].
+  double at(double x) const noexcept;
+
+  /// q-quantile for q in [0, 1] (linear interpolation between order
+  /// statistics). Throws std::domain_error if q outside [0,1].
+  double quantile(double q) const;
+
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Sorted sample, ascending.
+  std::span<const double> sorted() const noexcept { return sorted_; }
+
+  /// Evaluate the CDF at each of the given x-points; used by the bench
+  /// harness to print figure series on a fixed grid.
+  std::vector<double> evaluate(std::span<const double> xs) const;
+
+  /// Complementary CDF P(X > x) on the sample's own support, one point per
+  /// distinct value — the log-log CCDF plot of Fig. 9(b).
+  std::vector<std::pair<double, double>> ccdf_points() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Convenience: x grid with n points log-spaced over [lo, hi].
+std::vector<double> log_space(double lo, double hi, std::size_t n);
+
+/// Convenience: x grid with n points linearly spaced over [lo, hi].
+std::vector<double> lin_space(double lo, double hi, std::size_t n);
+
+}  // namespace u1

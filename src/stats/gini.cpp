@@ -1,0 +1,58 @@
+#include "stats/gini.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace u1 {
+
+double LorenzCurve::top_share(double top_fraction) const {
+  if (top_fraction <= 0.0 || top_fraction > 1.0)
+    throw std::domain_error("LorenzCurve::top_share: fraction not in (0,1]");
+  const double x = 1.0 - top_fraction;
+  // Find the Lorenz value at population share x by linear interpolation.
+  auto it = std::lower_bound(
+      points.begin(), points.end(), x,
+      [](const std::pair<double, double>& p, double v) { return p.first < v; });
+  if (it == points.begin()) return 1.0 - it->second;
+  if (it == points.end()) return 0.0;
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  const double frac = span > 0 ? (x - lo.first) / span : 0.0;
+  const double value_at_x = lo.second + frac * (hi.second - lo.second);
+  return 1.0 - value_at_x;
+}
+
+LorenzCurve lorenz(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("lorenz: empty input");
+  std::vector<double> v(values.begin(), values.end());
+  for (const double x : v)
+    if (x < 0) throw std::invalid_argument("lorenz: negative value");
+  std::sort(v.begin(), v.end());
+
+  double total = 0;
+  for (const double x : v) total += x;
+
+  LorenzCurve curve;
+  curve.points.reserve(v.size() + 1);
+  curve.points.emplace_back(0.0, 0.0);
+  const double n = static_cast<double>(v.size());
+  double cum = 0;
+  // Gini via the trapezoid formula: G = 1 - 2 * area under Lorenz curve.
+  double area2 = 0;  // twice the area
+  double prev_share = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    cum += v[i];
+    const double pop = static_cast<double>(i + 1) / n;
+    const double share = total > 0 ? cum / total : pop;
+    curve.points.emplace_back(pop, share);
+    area2 += (share + prev_share) * (1.0 / n);
+    prev_share = share;
+  }
+  curve.gini = 1.0 - area2;
+  return curve;
+}
+
+double gini(std::span<const double> values) { return lorenz(values).gini; }
+
+}  // namespace u1

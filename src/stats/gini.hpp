@@ -1,0 +1,32 @@
+// Lorenz curve and Gini coefficient — Fig. 7(c) reports Gini ≈ 0.8966
+// (download) and 0.8943 (upload) over active users, i.e. 1% of users
+// account for 65.6% of U1's traffic.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace u1 {
+
+struct LorenzCurve {
+  /// Points (population share, cumulative value share), both in [0,1],
+  /// starting at (0,0) and ending at (1,1).
+  std::vector<std::pair<double, double>> points;
+  double gini = 0.0;
+
+  /// Cumulative value share owned by the *top* `top_fraction` of the
+  /// population (e.g. top_fraction = 0.01 for the paper's "1% of users
+  /// generate 65% of the traffic").
+  double top_share(double top_fraction) const;
+};
+
+/// Builds the Lorenz curve of non-negative values (users' traffic, ...).
+/// Zero-valued members count as population. Throws on empty input or any
+/// negative value.
+LorenzCurve lorenz(std::span<const double> values);
+
+/// Gini coefficient alone (same contract as lorenz()).
+double gini(std::span<const double> values);
+
+}  // namespace u1

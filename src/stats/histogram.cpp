@@ -1,0 +1,102 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace u1 {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi) {
+  if (!(lo < hi) || bins == 0)
+    throw std::invalid_argument("Histogram: need lo < hi and bins > 0");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  std::size_t idx;
+  if (x < lo_) {
+    ++underflow_;
+    idx = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_hi");
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[i];
+}
+
+EdgeHistogram::EdgeHistogram(std::vector<double> edges)
+    : edges_(std::move(edges)) {
+  if (edges_.empty()) throw std::invalid_argument("EdgeHistogram: no edges");
+  if (!std::is_sorted(edges_.begin(), edges_.end()))
+    throw std::invalid_argument("EdgeHistogram: edges must be sorted");
+  counts_.assign(edges_.size() + 1, 0.0);
+}
+
+std::size_t EdgeHistogram::bin_of(double x) const noexcept {
+  // bin i covers (edges[i-1], edges[i]]
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), x);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+void EdgeHistogram::add(double x, double weight) noexcept {
+  counts_[bin_of(x)] += weight;
+  total_ += weight;
+}
+
+double EdgeHistogram::count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("EdgeHistogram::count");
+  return counts_[i];
+}
+
+double EdgeHistogram::fraction(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("EdgeHistogram::fraction");
+  return total_ > 0 ? counts_[i] / total_ : 0.0;
+}
+
+std::string EdgeHistogram::label(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("EdgeHistogram::label");
+  char buf[64];
+  auto fmt = [](double v, char* out, std::size_t n) {
+    if (v == static_cast<std::int64_t>(v)) {
+      std::snprintf(out, n, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(out, n, "%g", v);
+    }
+  };
+  char a[24], b[24];
+  if (i == 0) {
+    fmt(edges_.front(), a, sizeof(a));
+    std::snprintf(buf, sizeof(buf), "x<%s", a);
+  } else if (i == counts_.size() - 1) {
+    fmt(edges_.back(), a, sizeof(a));
+    std::snprintf(buf, sizeof(buf), "%s<x", a);
+  } else {
+    fmt(edges_[i - 1], a, sizeof(a));
+    fmt(edges_[i], b, sizeof(b));
+    std::snprintf(buf, sizeof(buf), "%s<x<%s", a, b);
+  }
+  return buf;
+}
+
+}  // namespace u1

@@ -1,0 +1,63 @@
+// Histograms: fixed-width, logarithmic and categorical. The size-category
+// breakdown of Fig. 2(b) and the duplicates-per-hash CDF of Fig. 4(a) are
+// histogram reductions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace u1 {
+
+/// Fixed-width histogram over [lo, hi); samples outside are clamped into
+/// the first/last bin (under/overflow counts are tracked separately).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const;
+  double total() const noexcept { return total_; }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Histogram over explicit bin edges (e.g. the paper's file-size categories
+/// <0.5MB, 0.5-1MB, 1-5MB, 5-25MB, >25MB). Edges define bins
+/// (-inf, e0], (e0, e1], ..., (eN-1, +inf): edges.size()+1 bins.
+class EdgeHistogram {
+ public:
+  explicit EdgeHistogram(std::vector<double> edges);
+
+  void add(double x, double weight = 1.0) noexcept;
+  std::size_t bin_of(double x) const noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double count(std::size_t i) const;
+  double total() const noexcept { return total_; }
+  /// Fraction of the total weight in bin i (0 if total is 0).
+  double fraction(std::size_t i) const;
+  /// Label such as "x<0.5", "0.5<x<1", "25<x" matching the paper's axes.
+  std::string label(std::size_t i) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<double> counts_;
+  double total_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,109 @@
+#include "stats/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace u1 {
+
+double hill_alpha(std::span<const double> sample, double x_min) {
+  if (x_min <= 0) throw std::invalid_argument("hill_alpha: x_min <= 0");
+  double sum_log = 0;
+  std::size_t n = 0;
+  for (const double x : sample) {
+    if (x >= x_min) {
+      sum_log += std::log(x / x_min);
+      ++n;
+    }
+  }
+  if (n < 2 || sum_log <= 0)
+    throw std::invalid_argument("hill_alpha: insufficient tail");
+  return static_cast<double>(n) / sum_log;
+}
+
+double ks_distance(std::span<const double> sample, double x_min,
+                   double alpha) {
+  std::vector<double> tail;
+  for (const double x : sample)
+    if (x >= x_min) tail.push_back(x);
+  if (tail.empty()) throw std::invalid_argument("ks_distance: empty tail");
+  std::sort(tail.begin(), tail.end());
+  const double n = static_cast<double>(tail.size());
+  double ks = 0;
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    // Model CDF (of the conditional tail distribution).
+    const double model = 1.0 - std::pow(x_min / tail[i], alpha);
+    const double emp_hi = static_cast<double>(i + 1) / n;
+    const double emp_lo = static_cast<double>(i) / n;
+    ks = std::max(ks, std::max(std::abs(emp_hi - model),
+                               std::abs(emp_lo - model)));
+  }
+  return ks;
+}
+
+PowerLawFit fit_power_law(std::span<const double> sample,
+                          std::size_t max_candidates) {
+  std::vector<double> positive;
+  positive.reserve(sample.size());
+  for (const double x : sample)
+    if (x > 0) positive.push_back(x);
+  if (positive.size() < 10)
+    throw std::invalid_argument("fit_power_law: need >= 10 positive samples");
+  std::sort(positive.begin(), positive.end());
+
+  // Candidate x_min values: distinct sample values, subsampled evenly,
+  // excluding the top decile (a tail must retain enough mass to fit).
+  std::vector<double> candidates;
+  const std::size_t upper = positive.size() * 9 / 10;
+  const std::size_t step =
+      std::max<std::size_t>(1, upper / std::max<std::size_t>(1, max_candidates));
+  double last = -1;
+  for (std::size_t i = 0; i < upper; i += step) {
+    if (positive[i] != last) {
+      candidates.push_back(positive[i]);
+      last = positive[i];
+    }
+  }
+
+  PowerLawFit best;
+  best.ks = std::numeric_limits<double>::infinity();
+  for (const double xm : candidates) {
+    std::size_t tail_n =
+        positive.end() -
+        std::lower_bound(positive.begin(), positive.end(), xm);
+    if (tail_n < 10) continue;
+    double alpha;
+    try {
+      alpha = hill_alpha(positive, xm);
+    } catch (const std::invalid_argument&) {
+      continue;
+    }
+    const double ks = ks_distance(positive, xm, alpha);
+    if (ks < best.ks) {
+      best.alpha = alpha;
+      best.x_min = xm;
+      best.ks = ks;
+      best.tail_n = tail_n;
+    }
+  }
+  if (!std::isfinite(best.ks))
+    throw std::invalid_argument("fit_power_law: no viable x_min candidate");
+  return best;
+}
+
+double cv_squared(std::span<const double> sample) {
+  if (sample.size() < 2)
+    throw std::invalid_argument("cv_squared: need n >= 2");
+  double mean = 0;
+  for (const double x : sample) mean += x;
+  mean /= static_cast<double>(sample.size());
+  if (mean == 0) return 0;
+  double var = 0;
+  for (const double x : sample) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(sample.size() - 1);
+  return var / (mean * mean);
+}
+
+}  // namespace u1

@@ -1,0 +1,48 @@
+// Reservoir sampling (Vitter's algorithm R): bounded-memory uniform sample
+// of an unbounded stream. The streaming analyzers use it wherever a
+// distribution must be summarized without holding every observation of a
+// month-long trace.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(std::size_t capacity,
+                            std::uint64_t seed = 0x5ee0)
+      : capacity_(capacity), rng_(seed) {
+    if (capacity == 0)
+      throw std::invalid_argument("ReservoirSampler: capacity 0");
+    sample_.reserve(capacity);
+  }
+
+  void add(double x) noexcept {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(x);
+      return;
+    }
+    const std::uint64_t j = rng_.below(seen_);
+    if (j < capacity_) sample_[static_cast<std::size_t>(j)] = x;
+  }
+
+  std::span<const double> sample() const noexcept { return sample_; }
+  std::vector<double> take() && { return std::move(sample_); }
+  std::uint64_t seen() const noexcept { return seen_; }
+  std::size_t size() const noexcept { return sample_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<double> sample_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace u1

@@ -1,0 +1,93 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace u1 {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::cv() const noexcept {
+  return mean_ != 0.0 ? stddev() / mean_ : 0.0;
+}
+
+namespace {
+
+double quantile_sorted(const std::vector<double>& s, double q) {
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= s.size()) return s.back();
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[lo + 1] * frac;
+}
+
+}  // namespace
+
+BoxplotStats boxplot(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("boxplot: empty sample");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  BoxplotStats b;
+  b.min = s.front();
+  b.max = s.back();
+  b.q1 = quantile_sorted(s, 0.25);
+  b.median = quantile_sorted(s, 0.50);
+  b.q3 = quantile_sorted(s, 0.75);
+  double sum = 0;
+  for (const double x : s) sum += x;
+  b.mean = sum / static_cast<double>(s.size());
+  return b;
+}
+
+double mean_of(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("mean_of: empty sample");
+  double sum = 0;
+  for (const double x : sample) sum += x;
+  return sum / static_cast<double>(sample.size());
+}
+
+double median_of(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("median_of: empty sample");
+  std::vector<double> s(sample.begin(), sample.end());
+  std::sort(s.begin(), s.end());
+  return quantile_sorted(s, 0.5);
+}
+
+}  // namespace u1

@@ -1,0 +1,52 @@
+// Descriptive statistics and boxplot summaries (Fig. 2c uses a boxplot of
+// hourly R/W ratios; Fig. 14 reports mean/stddev load bars).
+#pragma once
+
+#include <span>
+
+namespace u1 {
+
+/// One-pass accumulator for mean / variance (Welford) plus min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  /// Coefficient of variation stddev/mean; 0 when mean is 0.
+  double cv() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Five-number summary + mean, as drawn in a boxplot.
+struct BoxplotStats {
+  double min = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double max = 0;
+  double mean = 0;
+  double iqr() const noexcept { return q3 - q1; }
+};
+
+/// Computes a boxplot summary from a sample (copies + sorts internally).
+/// Throws std::invalid_argument if the sample is empty.
+BoxplotStats boxplot(std::span<const double> sample);
+
+double mean_of(std::span<const double> sample);
+double median_of(std::span<const double> sample);
+
+}  // namespace u1

@@ -1,0 +1,100 @@
+#include "stats/timeseries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace u1 {
+
+TimeBinSeries::TimeBinSeries(SimTime start, SimTime end, SimTime bin_width)
+    : start_(start), width_(bin_width) {
+  if (end <= start || bin_width <= 0)
+    throw std::invalid_argument("TimeBinSeries: bad range");
+  const std::size_t n =
+      static_cast<std::size_t>((end - start + bin_width - 1) / bin_width);
+  values_.assign(n, 0.0);
+}
+
+void TimeBinSeries::add(SimTime t, double weight) noexcept {
+  const std::size_t i = bin_of(t);
+  if (i == npos) {
+    ++dropped_;
+    return;
+  }
+  values_[i] += weight;
+}
+
+std::size_t TimeBinSeries::bin_of(SimTime t) const noexcept {
+  if (t < start_) return npos;
+  const std::size_t i = static_cast<std::size_t>((t - start_) / width_);
+  return i < values_.size() ? i : npos;
+}
+
+double TimeBinSeries::value(std::size_t i) const {
+  if (i >= values_.size()) throw std::out_of_range("TimeBinSeries::value");
+  return values_[i];
+}
+
+SimTime TimeBinSeries::bin_start(std::size_t i) const {
+  if (i >= values_.size()) throw std::out_of_range("TimeBinSeries::bin_start");
+  return start_ + static_cast<SimTime>(i) * width_;
+}
+
+DistinctPerBin::DistinctPerBin(SimTime start, SimTime end, SimTime bin_width)
+    : start_(start), width_(bin_width) {
+  if (end <= start || bin_width <= 0)
+    throw std::invalid_argument("DistinctPerBin: bad range");
+  const std::size_t n =
+      static_cast<std::size_t>((end - start + bin_width - 1) / bin_width);
+  seen_.resize(n);
+  dirty_.assign(n, false);
+}
+
+void DistinctPerBin::add(SimTime t, std::uint64_t entity_id) {
+  if (t < start_) return;
+  const std::size_t i = static_cast<std::size_t>((t - start_) / width_);
+  if (i >= seen_.size()) return;
+  auto& v = seen_[i];
+  // Bursty workloads hit the same (bin, entity) repeatedly back-to-back.
+  if (!v.empty() && v.back() == entity_id) return;
+  v.push_back(entity_id);
+  dirty_[i] = true;
+}
+
+void DistinctPerBin::add_interval(SimTime a, SimTime b,
+                                  std::uint64_t entity_id) {
+  if (b < a) std::swap(a, b);
+  for (SimTime t = std::max(a, start_); t <= b; t += width_) {
+    add(t, entity_id);
+    if (t > b - width_ && t < b) add(b, entity_id);
+  }
+}
+
+std::size_t DistinctPerBin::bins() const noexcept { return seen_.size(); }
+
+void DistinctPerBin::dedup(std::size_t i) const {
+  if (!dirty_[i]) return;
+  auto& v = const_cast<std::vector<std::uint64_t>&>(seen_[i]);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  dirty_[i] = false;
+}
+
+double DistinctPerBin::count(std::size_t i) const {
+  if (i >= seen_.size()) throw std::out_of_range("DistinctPerBin::count");
+  dedup(i);
+  return static_cast<double>(seen_[i].size());
+}
+
+std::vector<double> DistinctPerBin::counts() const {
+  std::vector<double> out;
+  out.reserve(seen_.size());
+  for (std::size_t i = 0; i < seen_.size(); ++i) out.push_back(count(i));
+  return out;
+}
+
+SimTime DistinctPerBin::bin_start(std::size_t i) const {
+  if (i >= seen_.size()) throw std::out_of_range("DistinctPerBin::bin_start");
+  return start_ + static_cast<SimTime>(i) * width_;
+}
+
+}  // namespace u1

@@ -1,0 +1,102 @@
+#include "store/service_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+namespace {
+
+/// Medians in seconds, calibrated against the Fig. 13 scatter: reads
+/// cluster around 1-3ms, writes around 3-8ms and cascades beyond 50ms.
+ServiceTimeParams default_params(RpcOp op) {
+  ServiceTimeParams p;
+  switch (op) {
+    // --- reads (fast: lockless, parallel over the shard replica pair) ---
+    case RpcOp::kListVolumes:        p.median_s = 0.0013; break;
+    case RpcOp::kListShares:         p.median_s = 0.0019; break;
+    case RpcOp::kGetDelta:           p.median_s = 0.0042; break;
+    case RpcOp::kGetVolumeId:        p.median_s = 0.0010; break;
+    case RpcOp::kGetUploadJob:       p.median_s = 0.0016; break;
+    case RpcOp::kGetReusableContent: p.median_s = 0.0021; break;
+    case RpcOp::kGetUserIdFromToken: p.median_s = 0.0012; break;
+    case RpcOp::kGetNode:            p.median_s = 0.0011; break;
+    case RpcOp::kGetRoot:            p.median_s = 0.0010; break;
+    case RpcOp::kGetUserData:        p.median_s = 0.0017; break;
+    // --- writes / updates / deletes ---
+    case RpcOp::kMakeDir:            p.median_s = 0.0049; break;
+    case RpcOp::kMakeFile:           p.median_s = 0.0058; break;
+    case RpcOp::kUnlinkNode:         p.median_s = 0.0052; break;
+    case RpcOp::kMove:               p.median_s = 0.0061; break;
+    case RpcOp::kCreateUDF:          p.median_s = 0.0072; break;
+    case RpcOp::kMakeContent:        p.median_s = 0.0080; break;
+    case RpcOp::kMakeUploadJob:      p.median_s = 0.0063; break;
+    case RpcOp::kAddPartToUploadJob: p.median_s = 0.0038; break;
+    case RpcOp::kSetUploadJobMultipartId: p.median_s = 0.0031; break;
+    case RpcOp::kTouchUploadJob:     p.median_s = 0.0029; break;
+    case RpcOp::kDeleteUploadJob:    p.median_s = 0.0041; break;
+    // --- cascades: subtree walks, an order of magnitude slower ---
+    case RpcOp::kDeleteVolume:       p.median_s = 0.081; break;
+    case RpcOp::kGetFromScratch:     p.median_s = 0.052; break;
+  }
+  // Tail probability per class: the paper reports 7%-22% of samples far
+  // from the median, worst for writes that contend on the shard master.
+  switch (rpc_class(op)) {
+    case RpcClass::kRead:
+      p.tail_prob = 0.08;
+      p.sigma = 0.55;
+      break;
+    case RpcClass::kWrite:
+      p.tail_prob = 0.18;
+      p.sigma = 0.65;
+      break;
+    case RpcClass::kCascade:
+      p.tail_prob = 0.22;
+      p.sigma = 0.80;
+      break;
+  }
+  return p;
+}
+
+}  // namespace
+
+ServiceTimeModel::ServiceTimeModel() {
+  for (const RpcOp op : all_rpc_ops())
+    by_op_[static_cast<std::size_t>(op)] = default_params(op);
+}
+
+void ServiceTimeModel::set_params(RpcOp op, const ServiceTimeParams& params) {
+  if (params.median_s <= 0 || params.sigma <= 0 || params.tail_prob < 0 ||
+      params.tail_prob > 1 || params.tail_alpha <= 0 || params.tail_scale < 1)
+    throw std::invalid_argument("ServiceTimeModel: bad parameters");
+  by_op_[static_cast<std::size_t>(op)] = params;
+}
+
+const ServiceTimeParams& ServiceTimeModel::params(RpcOp op) const noexcept {
+  return by_op_[static_cast<std::size_t>(op)];
+}
+
+SimTime ServiceTimeModel::sample(RpcOp op, Rng& rng) const {
+  const ServiceTimeParams& p = by_op_[static_cast<std::size_t>(op)];
+  double seconds;
+  if (rng.chance(p.tail_prob)) {
+    // Tail draw: Pareto starting at tail_scale x median.
+    const double u = 1.0 - rng.uniform();
+    seconds = p.median_s * p.tail_scale / std::pow(u, 1.0 / p.tail_alpha);
+  } else {
+    // Body draw: log-normal around the median.
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2 * M_PI * u2);
+    seconds = p.median_s * std::exp(p.sigma * z);
+  }
+  // Clamp to a floor of 100us (queue hop + parse) and a ceiling of 100s
+  // (the paper's CDFs end at 10^2 s).
+  seconds = std::max(1e-4, std::min(seconds, 100.0));
+  return from_seconds(seconds);
+}
+
+SimTime ServiceTimeModel::median(RpcOp op) const noexcept {
+  return from_seconds(by_op_[static_cast<std::size_t>(op)].median_s);
+}
+
+}  // namespace u1

@@ -1,0 +1,49 @@
+// Empirical service-time model for DAL RPCs against the metadata store.
+//
+// Fig. 12 shows per-RPC service-time CDFs with pronounced long tails
+// ("from 7% to 22% of RPC service times are very far from the median") and
+// Fig. 13 shows that the RPC class (read / write / cascade) strongly
+// determines the median: cascades are more than an order of magnitude
+// slower than the fastest reads. We model each RPC as a log-normal body
+// around a calibrated median, mixed with a Pareto tail that engages with
+// a per-class probability — the standard shape for RPC latency in the
+// tail-latency literature the paper cites (Li et al., SoCC'14).
+#pragma once
+
+#include <array>
+
+#include "proto/operations.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+struct ServiceTimeParams {
+  double median_s = 0.002;   // body median, seconds
+  double sigma = 0.6;        // log-normal spread of the body
+  double tail_prob = 0.12;   // probability the sample comes from the tail
+  double tail_alpha = 1.3;   // Pareto exponent of the tail
+  double tail_scale = 8.0;   // tail starts at median * tail_scale
+};
+
+/// Calibrated latency model, one parameter set per RPC operation.
+class ServiceTimeModel {
+ public:
+  /// Default calibration reproducing the shape of Fig. 12/13.
+  ServiceTimeModel();
+
+  /// Overrides the parameters for a single RPC (used by ablations/tests).
+  void set_params(RpcOp op, const ServiceTimeParams& params);
+  const ServiceTimeParams& params(RpcOp op) const noexcept;
+
+  /// Draws a service time. Deterministic given the Rng state.
+  SimTime sample(RpcOp op, Rng& rng) const;
+
+  /// The body median as SimTime, handy for benches and assertions.
+  SimTime median(RpcOp op) const noexcept;
+
+ private:
+  std::array<ServiceTimeParams, kRpcOpCount> by_op_;
+};
+
+}  // namespace u1

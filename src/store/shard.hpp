@@ -1,0 +1,151 @@
+// One shard of the U1 metadata store. The real cluster was 20 PostgreSQL
+// servers in 10 master/slave shards; metadata of a user's files and folders
+// always lives in one shard (§3.4), which makes single-shard operations
+// lockless. A Shard owns the relational state for its users: volumes,
+// nodes (with a children index for directory cascades), upload jobs and
+// incoming share grants.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/entities.hpp"
+#include "proto/ids.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+/// Server-side multipart upload state (appendix A, Fig. 17).
+struct UploadJob {
+  UploadJobId id;
+  UserId user;
+  NodeId node;
+  ContentId content;
+  std::uint64_t declared_size = 0;
+  std::string multipart_id;  // assigned by the data store (S3)
+  std::uint32_t parts = 0;
+  std::uint64_t bytes_received = 0;
+  SimTime created_at = 0;
+  SimTime last_touched = 0;
+};
+
+/// A share grant visible to the recipient: (owner, volume) shared to user.
+struct ShareGrant {
+  VolumeId volume;
+  UserId shared_by;
+  UserId shared_to;
+  SimTime granted_at = 0;
+};
+
+class Shard {
+ public:
+  explicit Shard(ShardId id) : id_(id) {}
+
+  ShardId id() const noexcept { return id_; }
+
+  // --- users ------------------------------------------------------------
+  /// Registers a user and creates their root volume. Throws
+  /// std::logic_error if the user already exists on this shard.
+  Volume& create_user(UserId user, SimTime now, Rng& rng);
+  bool has_user(UserId user) const noexcept;
+  std::optional<User> get_user(UserId user) const;
+
+  // --- volumes ----------------------------------------------------------
+  Volume& create_udf(UserId user, SimTime now, Rng& rng);
+  std::vector<Volume> list_volumes(UserId user) const;
+  const Volume* find_volume(VolumeId id) const;
+  Volume* find_volume(VolumeId id);
+  /// Root volume of a user; throws std::out_of_range for unknown users.
+  Volume& root_volume(UserId user);
+
+  /// Deletes a volume and every node it contains (cascade). Returns the
+  /// content ids of all deleted file nodes so the caller can release
+  /// dedup references. Throws std::out_of_range for unknown volumes and
+  /// std::invalid_argument when deleting the root volume (the protocol
+  /// forbids it).
+  std::vector<ContentId> delete_volume(VolumeId id);
+
+  // --- nodes ------------------------------------------------------------
+  Node& make_node(UserId user, VolumeId volume, NodeId parent, NodeKind kind,
+                  std::string name_hash, std::string extension, SimTime now,
+                  Rng& rng);
+  const Node* find_node(NodeId id) const;
+  Node* find_node(NodeId id);
+  /// Children of a directory (ids), empty for unknown/leaf nodes.
+  std::vector<NodeId> children_of(NodeId dir) const;
+
+  /// Removes a node; directories cascade into their subtree. Returns the
+  /// content ids of all removed file nodes (possibly empty for fresh
+  /// files). Throws std::out_of_range for unknown nodes.
+  std::vector<ContentId> unlink_node(NodeId id);
+
+  /// Reparents a node within the same volume. Throws std::out_of_range
+  /// for unknown ids, std::invalid_argument for cross-volume moves, moving
+  /// a node into itself/its own subtree, or onto a non-directory parent.
+  void move_node(NodeId id, NodeId new_parent);
+
+  /// Attaches content to a file node (dal.make_content) and bumps the
+  /// volume generation. Returns the previous content id (all-zero if the
+  /// node had none) so the caller can release the old reference.
+  ContentId set_node_content(NodeId id, const ContentId& content,
+                             std::uint64_t size_bytes);
+
+  /// Nodes of a volume changed after `since_generation` (dal.get_delta).
+  std::vector<Node> get_delta(VolumeId volume,
+                              std::uint64_t since_generation) const;
+  /// All nodes of a volume (dal.get_from_scratch).
+  std::vector<Node> get_from_scratch(VolumeId volume) const;
+
+  // --- upload jobs --------------------------------------------------------
+  UploadJob& make_uploadjob(UserId user, NodeId node, const ContentId& content,
+                            std::uint64_t declared_size, SimTime now,
+                            Rng& rng);
+  UploadJob* find_uploadjob(UploadJobId id);
+  void delete_uploadjob(UploadJobId id);
+  /// Jobs not touched since `cutoff` — the weekly GC of appendix A.
+  std::vector<UploadJobId> stale_uploadjobs(SimTime cutoff) const;
+  std::size_t uploadjob_count() const noexcept { return uploadjobs_.size(); }
+
+  // --- shares -----------------------------------------------------------
+  /// Records an incoming grant on the *recipient's* shard.
+  void add_share_grant(const ShareGrant& grant);
+  std::vector<ShareGrant> share_grants(UserId user) const;
+  void remove_grants_for_volume(VolumeId volume);
+
+  // --- stats ------------------------------------------------------------
+  /// Read-only iteration hooks for state-snapshot analyses (Fig. 10/11).
+  const std::unordered_map<VolumeId, Volume>& volumes_map() const noexcept {
+    return volumes_;
+  }
+  const std::unordered_map<UserId, User>& users_map() const noexcept {
+    return users_;
+  }
+  /// (file count, directory count) of a volume, excluding its root dir.
+  std::pair<std::size_t, std::size_t> count_nodes(VolumeId volume) const;
+
+  std::size_t user_count() const noexcept { return users_.size(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t volume_count() const noexcept { return volumes_.size(); }
+
+ private:
+  void bump_generation(Node& node);
+  void collect_subtree(NodeId id, std::vector<NodeId>& out) const;
+
+  ShardId id_;
+  std::unordered_map<UserId, User> users_;
+  std::unordered_map<UserId, std::vector<VolumeId>> volumes_by_user_;
+  std::unordered_map<VolumeId, Volume> volumes_;
+  std::unordered_map<NodeId, Node> nodes_;
+  std::unordered_map<NodeId, std::vector<NodeId>> children_;
+  /// Secondary index: nodes per volume (keeps get_delta/get_from_scratch
+  /// proportional to the volume, not the shard).
+  std::unordered_map<VolumeId, std::vector<NodeId>> nodes_by_volume_;
+  std::unordered_map<UploadJobId, UploadJob> uploadjobs_;
+  std::unordered_map<UserId, std::vector<ShareGrant>> grants_;
+};
+
+}  // namespace u1

@@ -1,0 +1,87 @@
+#include "trace/logfile.hpp"
+
+#include <algorithm>
+
+#include "util/csv.hpp"
+
+namespace u1 {
+
+LogfileWriter::LogfileWriter(std::filesystem::path directory)
+    : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+LogfileWriter::~LogfileWriter() { close(); }
+
+void LogfileWriter::append(const TraceRecord& record) {
+  const std::string name = record.logname();
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    auto stream = std::make_unique<std::ofstream>(dir_ / (name + ".csv"));
+    if (!stream->is_open())
+      throw std::runtime_error("LogfileWriter: cannot open " + name);
+    CsvWriter header(*stream);
+    header.write_row(TraceRecord::csv_header());
+    it = files_.emplace(name, std::move(stream)).first;
+  }
+  CsvWriter writer(*it->second);
+  writer.write_row(record.to_csv());
+}
+
+void LogfileWriter::close() {
+  for (auto& [name, stream] : files_) stream->flush();
+  files_.clear();
+}
+
+ReadStats read_logfile(const std::filesystem::path& file,
+                       std::vector<TraceRecord>& out) {
+  ReadStats stats;
+  std::ifstream in(file);
+  if (!in.is_open())
+    throw std::runtime_error("read_logfile: cannot open " + file.string());
+  stats.files = 1;
+  CsvReader reader(in);
+  std::vector<std::string> fields;
+  bool first = true;
+  while (reader.next(fields)) {
+    ++stats.rows;
+    if (first) {
+      first = false;
+      if (!fields.empty() && fields[0] == "t_us") continue;  // header
+    }
+    if (auto rec = TraceRecord::from_csv(fields)) {
+      out.push_back(std::move(*rec));
+      ++stats.parsed;
+    } else {
+      ++stats.malformed;
+    }
+  }
+  stats.malformed += reader.error_count();
+  stats.rows += reader.error_count();
+  return stats;
+}
+
+ReadStats read_logfiles(const std::filesystem::path& directory,
+                        TraceSink& sink) {
+  ReadStats stats;
+  std::vector<TraceRecord> all;
+  for (const auto& entry : std::filesystem::directory_iterator(directory)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("production-")) continue;
+    const ReadStats one = read_logfile(entry.path(), all);
+    stats.rows += one.rows;
+    stats.parsed += one.parsed;
+    stats.malformed += one.malformed;
+    stats.files += 1;
+  }
+  // Stable sort keeps intra-process (already causal) order for ties.
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.t < b.t;
+                   });
+  for (const TraceRecord& r : all) sink.append(r);
+  return stats;
+}
+
+}  // namespace u1

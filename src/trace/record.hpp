@@ -1,0 +1,98 @@
+// The trace record format (§4). The U1 dataset is a merge of per-process
+// CSV logfiles with four request types:
+//   session      — session management (auth request/ok/fail, open, close)
+//   storage      — an API operation arriving at an API server
+//   storage_done — its completion (carries the duration)
+//   rpc          — the DAL call it translated into (carries shard + time)
+// Our simulated back-end emits exactly this shape so that the analyzers
+// are written as they would be for the real dataset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proto/entities.hpp"
+#include "proto/ids.hpp"
+#include "proto/operations.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+enum class RecordType : std::uint8_t {
+  kSession,
+  kStorage,
+  kStorageDone,
+  kRpc,
+};
+
+std::string_view to_string(RecordType t) noexcept;
+std::optional<RecordType> record_type_from_string(std::string_view s) noexcept;
+
+enum class SessionEvent : std::uint8_t {
+  kNone,
+  kAuthRequest,  // API server asked the auth service to verify/issue
+  kAuthOk,
+  kAuthFail,
+  kOpen,   // session established
+  kClose,  // session ended (client disconnect or server process down)
+};
+
+std::string_view to_string(SessionEvent e) noexcept;
+std::optional<SessionEvent> session_event_from_string(
+    std::string_view s) noexcept;
+
+/// One log line. Fields not applicable to the record type are left at
+/// their zero values and serialize to empty CSV cells.
+struct TraceRecord {
+  SimTime t = 0;
+  RecordType type = RecordType::kStorage;
+  MachineId machine;
+  ProcessId process;
+  UserId user;
+  SessionId session;
+
+  // type == kSession
+  SessionEvent session_event = SessionEvent::kNone;
+
+  // type == kStorage / kStorageDone
+  ApiOp api_op = ApiOp::kListVolumes;
+  NodeId node;
+  NodeId parent;  // parent directory (set on Make records)
+  VolumeId volume;
+  std::uint64_t size_bytes = 0;         // logical file size
+  std::uint64_t transferred_bytes = 0;  // wire bytes (0 on dedup hit)
+  ContentId content;                    // SHA-1 (files only)
+  std::string extension;                // lowercase, no dot
+  bool is_update = false;       // upload of an existing node w/ new content
+  bool is_dir = false;
+  bool deduplicated = false;    // upload satisfied by get_reusable_content
+  bool failed = false;
+  SimTime duration = 0;  // kStorageDone only: end-to-end op time
+
+  // type == kRpc
+  RpcOp rpc_op = RpcOp::kListVolumes;
+  ShardId shard;
+  SimTime service_time = 0;
+
+  /// The logfile this record belongs to, e.g.
+  /// "production-whitecurrant-23-20140128" (paper §4).
+  std::string logname() const;
+
+  /// CSV row (fixed column order, see kCsvHeader).
+  std::vector<std::string> to_csv() const;
+  /// Parses a row; std::nullopt for malformed rows (the paper reports ~1%
+  /// of trace lines failed to parse — the reader counts, not crashes).
+  static std::optional<TraceRecord> from_csv(
+      const std::vector<std::string>& fields);
+
+  static const std::vector<std::string>& csv_header();
+};
+
+/// Machine names used in lognames. The production fleet had 6 API/RPC
+/// machines; we keep Canonical's fruit-flavored naming style.
+std::string_view machine_name(MachineId id) noexcept;
+
+}  // namespace u1

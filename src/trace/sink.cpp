@@ -1,0 +1,30 @@
+#include "trace/sink.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+void MultiSink::add(TraceSink* sink) {
+  if (sink == nullptr) throw std::invalid_argument("MultiSink::add: null");
+  sinks_.push_back(sink);
+}
+
+void MultiSink::append(const TraceRecord& record) {
+  for (TraceSink* sink : sinks_) sink->append(record);
+}
+
+void CountingSink::append(const TraceRecord& record) {
+  ++total_;
+  ++by_type_[static_cast<std::size_t>(record.type)];
+}
+
+std::uint64_t CountingSink::count(RecordType type) const noexcept {
+  return by_type_[static_cast<std::size_t>(type)];
+}
+
+CallbackSink::CallbackSink(std::function<void(const TraceRecord&)> fn)
+    : fn_(std::move(fn)) {
+  if (!fn_) throw std::invalid_argument("CallbackSink: empty function");
+}
+
+}  // namespace u1

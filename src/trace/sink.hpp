@@ -1,0 +1,76 @@
+// Trace sinks. The back-end writes one record at a time; sinks decide what
+// happens to it: keep in memory (tests, small runs), stream to analyzers
+// (the production path — the real dataset is 758GB and must be reduced on
+// the fly), fan out, count, or drop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace u1 {
+
+/// Interface all record consumers implement.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void append(const TraceRecord& record) = 0;
+};
+
+/// Keeps everything; for tests and small simulations.
+class InMemorySink final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override {
+    records_.push_back(record);
+  }
+  const std::vector<TraceRecord>& records() const noexcept {
+    return records_;
+  }
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+/// Fans a record out to several sinks (none owned).
+class MultiSink final : public TraceSink {
+ public:
+  void add(TraceSink* sink);
+  void append(const TraceRecord& record) override;
+  std::size_t sink_count() const noexcept { return sinks_.size(); }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// Counts per record type; cheap sanity probe.
+class CountingSink final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count(RecordType type) const noexcept;
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t by_type_[4] = {0, 0, 0, 0};
+};
+
+/// Adapts a lambda to the sink interface.
+class CallbackSink final : public TraceSink {
+ public:
+  explicit CallbackSink(std::function<void(const TraceRecord&)> fn);
+  void append(const TraceRecord& record) override { fn_(record); }
+
+ private:
+  std::function<void(const TraceRecord&)> fn_;
+};
+
+/// Drops everything.
+class NullSink final : public TraceSink {
+ public:
+  void append(const TraceRecord&) override {}
+};
+
+}  // namespace u1

@@ -1,0 +1,89 @@
+#include "util/csv.hpp"
+
+#include <istream>
+#include <ostream>
+
+namespace u1 {
+namespace {
+
+bool needs_quoting(std::string_view field, char delim) {
+  for (const char c : field) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_->put(delim_);
+    const std::string& f = fields[i];
+    if (needs_quoting(f, delim_)) {
+      out_->put('"');
+      for (const char c : f) {
+        if (c == '"') out_->put('"');
+        out_->put(c);
+      }
+      out_->put('"');
+    } else {
+      out_->write(f.data(), static_cast<std::streamsize>(f.size()));
+    }
+  }
+  out_->put('\n');
+}
+
+bool parse_csv_line(std::string_view line, char delim,
+                    std::vector<std::string>& fields) {
+  fields.clear();
+  std::string current;
+  bool in_quotes = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"' && current.empty()) {
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) return false;  // unterminated quote
+  fields.push_back(std::move(current));
+  return true;
+}
+
+bool CsvReader::next(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    ++rows_;
+    if (parse_csv_line(line, delim_, fields)) return true;
+    ++errors_;
+  }
+  return false;
+}
+
+}  // namespace u1

@@ -1,0 +1,122 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace u1 {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = -n % n;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+ExponentialDist::ExponentialDist(double lambda) : lambda_(lambda) {
+  if (lambda <= 0) throw std::invalid_argument("ExponentialDist: lambda <= 0");
+}
+
+double ExponentialDist::sample(Rng& rng) const noexcept {
+  // Inverse CDF; 1 - U avoids log(0).
+  return -std::log(1.0 - rng.uniform()) / lambda_;
+}
+
+ParetoDist::ParetoDist(double alpha, double x_min)
+    : alpha_(alpha), x_min_(x_min) {
+  if (alpha <= 0) throw std::invalid_argument("ParetoDist: alpha <= 0");
+  if (x_min <= 0) throw std::invalid_argument("ParetoDist: x_min <= 0");
+}
+
+double ParetoDist::sample(Rng& rng) const noexcept {
+  return x_min_ / std::pow(1.0 - rng.uniform(), 1.0 / alpha_);
+}
+
+BoundedParetoDist::BoundedParetoDist(double alpha, double x_min, double x_max)
+    : alpha_(alpha), x_min_(x_min), x_max_(x_max) {
+  if (alpha <= 0) throw std::invalid_argument("BoundedParetoDist: alpha <= 0");
+  if (x_min <= 0 || x_max <= x_min)
+    throw std::invalid_argument("BoundedParetoDist: need 0 < x_min < x_max");
+}
+
+double BoundedParetoDist::sample(Rng& rng) const noexcept {
+  // Inverse CDF of the truncated Pareto.
+  const double u = rng.uniform();
+  const double la = std::pow(x_min_, alpha_);
+  const double ha = std::pow(x_max_, alpha_);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+LogNormalDist::LogNormalDist(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (sigma <= 0) throw std::invalid_argument("LogNormalDist: sigma <= 0");
+}
+
+LogNormalDist LogNormalDist::from_median(double median, double sigma) {
+  if (median <= 0)
+    throw std::invalid_argument("LogNormalDist: median <= 0");
+  return LogNormalDist(std::log(median), sigma);
+}
+
+double LogNormalDist::sample(Rng& rng) const noexcept {
+  // Box-Muller; one normal variate per call keeps the type stateless.
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+ZipfDist::ZipfDist(std::size_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDist: n == 0");
+  if (s <= 0) throw std::invalid_argument("ZipfDist: s <= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfDist::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+WeightedDiscrete::WeightedDiscrete(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("WeightedDiscrete: no weights");
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0)
+      throw std::invalid_argument("WeightedDiscrete: negative weight");
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  if (acc <= 0) throw std::invalid_argument("WeightedDiscrete: zero total");
+  for (auto& c : cdf_) c /= acc;
+}
+
+std::size_t WeightedDiscrete::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double WeightedDiscrete::probability(std::size_t i) const {
+  if (i >= cdf_.size())
+    throw std::out_of_range("WeightedDiscrete::probability");
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace u1

@@ -1,0 +1,187 @@
+// Deterministic random-number generation and the distributions used by the
+// workload models: every stochastic choice in u1sim flows through this file
+// so that a (seed, config) pair fully determines a simulation run.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace u1 {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA'14).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, 256-bit state.
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1). Uses the top 53 bits.
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Derive an independent child generator; used to give each simulated
+  /// user / component its own stream so event ordering cannot perturb
+  /// another component's randomness.
+  Rng fork() noexcept { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+// ---------------------------------------------------------------------------
+// Distributions. Each is a small value type: construct once, sample many.
+// ---------------------------------------------------------------------------
+
+/// Exponential with rate lambda (mean 1/lambda).
+class ExponentialDist {
+ public:
+  explicit ExponentialDist(double lambda);
+  double sample(Rng& rng) const noexcept;
+  double mean() const noexcept { return 1.0 / lambda_; }
+
+ private:
+  double lambda_;
+};
+
+/// Pareto (type I) with shape alpha and scale x_min:
+///   P(X > x) = (x_min / x)^alpha for x >= x_min.
+/// The paper fits user inter-operation times to P(x) ~ x^-alpha with
+/// 1 < alpha < 2 (Fig. 9), i.e. finite mean, infinite variance — the
+/// signature of bursty behavior.
+class ParetoDist {
+ public:
+  ParetoDist(double alpha, double x_min);
+  double sample(Rng& rng) const noexcept;
+  double alpha() const noexcept { return alpha_; }
+  double x_min() const noexcept { return x_min_; }
+
+ private:
+  double alpha_;
+  double x_min_;
+};
+
+/// Pareto truncated to [x_min, x_max]; used for file sizes where physical
+/// bounds exist (a .jpg is not 10TB).
+class BoundedParetoDist {
+ public:
+  BoundedParetoDist(double alpha, double x_min, double x_max);
+  double sample(Rng& rng) const noexcept;
+
+ private:
+  double alpha_;
+  double x_min_;
+  double x_max_;
+};
+
+/// Log-normal: body of RPC service times and most file-size models.
+class LogNormalDist {
+ public:
+  /// mu/sigma are the parameters of the underlying normal (of ln X).
+  LogNormalDist(double mu, double sigma);
+  /// Construct from the median and the multiplicative spread
+  /// (sigma of ln X), which is how service-time models are calibrated.
+  static LogNormalDist from_median(double median, double sigma);
+  double sample(Rng& rng) const noexcept;
+  double median() const noexcept { return std::exp(mu_); }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// Zipf over ranks 1..n with exponent s: P(rank k) ~ k^-s.
+/// Used for content popularity (duplicates-per-hash, Fig. 4a) and the
+/// downloads-per-file tail (Fig. 3b inner plot).
+class ZipfDist {
+ public:
+  ZipfDist(std::size_t n, double s);
+  /// Returns a rank in [1, n].
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t n() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cumulative, normalized
+};
+
+/// Discrete distribution over a fixed set of weighted alternatives; used for
+/// operation mixes, extension popularity and the client transition graph.
+class WeightedDiscrete {
+ public:
+  explicit WeightedDiscrete(std::span<const double> weights);
+  /// Returns an index in [0, weights.size()).
+  std::size_t sample(Rng& rng) const noexcept;
+  std::size_t size() const noexcept { return cdf_.size(); }
+  /// Normalized probability of alternative i.
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, normalized
+};
+
+}  // namespace u1

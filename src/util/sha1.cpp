@@ -1,0 +1,144 @@
+#include "util/sha1.hpp"
+
+#include <cstring>
+
+namespace u1 {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xF]);
+  }
+  return out;
+}
+
+std::uint64_t Sha1Digest::prefix64() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+void Sha1::reset() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  length_bits_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  length_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t need = 64 - buffered_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    offset += take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_, data.data() + offset, buffered_);
+  }
+}
+
+void Sha1::update(std::string_view data) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Sha1Digest Sha1::finish() noexcept {
+  const std::uint64_t total_bits = length_bits_;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  static constexpr std::uint8_t kPad[64] = {0x80};
+  const std::size_t rem = buffered_;
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  update(std::span<const std::uint8_t>(kPad, pad_len));
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i)
+    len_be[i] = static_cast<std::uint8_t>(total_bits >> (56 - 8 * i));
+  // update() also advances length_bits_, but we already captured the value.
+  update(std::span<const std::uint8_t>(len_be, 8));
+
+  Sha1Digest d;
+  for (int i = 0; i < 5; ++i) {
+    d.bytes[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    d.bytes[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    d.bytes[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    d.bytes[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return d;
+}
+
+Sha1Digest Sha1::of(std::string_view data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+}  // namespace u1

@@ -1,0 +1,60 @@
+// SHA-1, implemented from scratch (FIPS 180-1). The U1 desktop client sends
+// the SHA-1 of a file before uploading so the back-end can deduplicate at
+// file granularity (paper §3.3); our simulated clients do the same over
+// synthetic content identifiers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace u1 {
+
+/// A 160-bit SHA-1 digest.
+struct Sha1Digest {
+  std::array<std::uint8_t, 20> bytes{};
+
+  auto operator<=>(const Sha1Digest&) const = default;
+
+  /// Lowercase hex, 40 chars — the wire format used in U1 log records
+  /// ("sha1:<hex>").
+  std::string hex() const;
+
+  /// First 8 bytes as an integer; handy as a hash-table key.
+  std::uint64_t prefix64() const noexcept;
+};
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view data) noexcept;
+  /// Finalizes and returns the digest; the hasher must be reset() before
+  /// reuse.
+  Sha1Digest finish() noexcept;
+
+  /// One-shot convenience.
+  static Sha1Digest of(std::string_view data) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[5];
+  std::uint64_t length_bits_;
+  std::uint8_t buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace u1
+
+template <>
+struct std::hash<u1::Sha1Digest> {
+  std::size_t operator()(const u1::Sha1Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};

@@ -1,0 +1,86 @@
+#include "util/sim_time.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace u1 {
+namespace {
+
+struct CalendarDate {
+  int year;
+  int month;  // 1..12
+  int day;    // 1..31
+};
+
+bool is_leap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month == 2 && is_leap(year)) return 29;
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+/// Walk forward from the trace epoch (2014-01-11).
+CalendarDate date_of(SimTime t) {
+  CalendarDate d{2014, 1, 11};
+  int remaining = day_index(t);
+  while (remaining > 0) {
+    ++d.day;
+    if (d.day > days_in_month(d.year, d.month)) {
+      d.day = 1;
+      ++d.month;
+      if (d.month > 12) {
+        d.month = 1;
+        ++d.year;
+      }
+    }
+    --remaining;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::string trace_date(SimTime t) {
+  const CalendarDate d = date_of(t);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d%02d%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+std::string format_timestamp(SimTime t) {
+  const CalendarDate d = date_of(t);
+  const SimTime within = t % kDay;
+  const int h = static_cast<int>(within / kHour);
+  const int m = static_cast<int>((within % kHour) / kMinute);
+  const int s = static_cast<int>((within % kMinute) / kSecond);
+  const int ms = static_cast<int>((within % kSecond) / kMillisecond);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d", d.year,
+                d.month, d.day, h, m, s, ms);
+  return buf;
+}
+
+std::string format_duration(SimTime t) {
+  char buf[32];
+  const double s = to_seconds(t);
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(t));
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1e3);
+  } else if (s < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  } else if (s < 2.0 * 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", s / 60.0);
+  } else if (s < 2.0 * 86400.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fd", s / 86400.0);
+  }
+  return buf;
+}
+
+}  // namespace u1

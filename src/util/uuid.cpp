@@ -1,0 +1,78 @@
+#include "util/uuid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace u1 {
+namespace {
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool Uuid::is_nil() const noexcept {
+  return std::all_of(bytes.begin(), bytes.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+std::string Uuid::str() const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (i == 4 || i == 6 || i == 8 || i == 10) out.push_back('-');
+    out.push_back(kHex[bytes[i] >> 4]);
+    out.push_back(kHex[bytes[i] & 0xF]);
+  }
+  return out;
+}
+
+std::uint64_t Uuid::prefix64() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+Uuid Uuid::v4(Rng& rng) noexcept {
+  Uuid u;
+  const std::uint64_t hi = rng.next();
+  const std::uint64_t lo = rng.next();
+  for (int i = 0; i < 8; ++i) {
+    u.bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    u.bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  u.bytes[6] = static_cast<std::uint8_t>((u.bytes[6] & 0x0F) | 0x40);  // v4
+  u.bytes[8] = static_cast<std::uint8_t>((u.bytes[8] & 0x3F) | 0x80);  // RFC
+  return u;
+}
+
+Uuid Uuid::parse(const std::string& text) {
+  if (text.size() != 36)
+    throw std::invalid_argument("Uuid::parse: bad length");
+  Uuid u;
+  std::size_t bi = 0;
+  for (std::size_t i = 0; i < 36;) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (text[i] != '-')
+        throw std::invalid_argument("Uuid::parse: missing dash");
+      ++i;
+      continue;
+    }
+    const int hi = hex_value(text[i]);
+    const int lo = hex_value(text[i + 1]);
+    if (hi < 0 || lo < 0)
+      throw std::invalid_argument("Uuid::parse: bad hex digit");
+    u.bytes[bi++] = static_cast<std::uint8_t>((hi << 4) | lo);
+    i += 2;
+  }
+  return u;
+}
+
+}  // namespace u1

@@ -1,0 +1,44 @@
+// UUIDs for protocol entities. The U1 back-end assigns UUIDs to node
+// objects and their contents (paper §3.1.1); we generate version-4 UUIDs
+// from the simulation's deterministic RNG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+
+struct Uuid {
+  std::array<std::uint8_t, 16> bytes{};
+
+  auto operator<=>(const Uuid&) const = default;
+
+  bool is_nil() const noexcept;
+
+  /// Canonical 8-4-4-4-12 lowercase hex form.
+  std::string str() const;
+
+  /// First 8 bytes as an integer; used as a hash key.
+  std::uint64_t prefix64() const noexcept;
+
+  /// Random (version 4) UUID drawn from the given generator.
+  static Uuid v4(Rng& rng) noexcept;
+
+  /// The all-zero UUID.
+  static Uuid nil() noexcept { return Uuid{}; }
+
+  /// Parse the canonical form; throws std::invalid_argument on bad input.
+  static Uuid parse(const std::string& text);
+};
+
+}  // namespace u1
+
+template <>
+struct std::hash<u1::Uuid> {
+  std::size_t operator()(const u1::Uuid& u) const noexcept {
+    return static_cast<std::size_t>(u.prefix64());
+  }
+};

@@ -1,0 +1,30 @@
+#include "workload/burst.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+
+BurstProcess::BurstProcess(const BurstParams& params) : params_(params) {
+  if (params.in_burst_mean_s <= 0 || params.idle_theta_s <= 0 ||
+      params.idle_alpha <= 1.0 || params.continue_prob < 0 ||
+      params.continue_prob >= 1.0 || params.idle_cap_s <= params.idle_theta_s)
+    throw std::invalid_argument("BurstParams: invalid");
+}
+
+SimTime BurstProcess::next_gap(Rng& rng) const {
+  if (rng.chance(params_.continue_prob)) {
+    // In-burst: exponential around a couple of seconds.
+    const double gap =
+        -params_.in_burst_mean_s * std::log(1.0 - rng.uniform());
+    return from_seconds(std::max(0.05, gap));
+  }
+  // Idle: Pareto tail, P(X > x) = (theta/x)^alpha for x >= theta.
+  const double u = 1.0 - rng.uniform();
+  const double gap =
+      params_.idle_theta_s / std::pow(u, 1.0 / params_.idle_alpha);
+  return from_seconds(std::min(gap, params_.idle_cap_s));
+}
+
+}  // namespace u1

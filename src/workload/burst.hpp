@@ -1,0 +1,45 @@
+// Bursty inter-operation process (§6.2, Fig. 9). The paper shows that
+// user inter-operation times are far from Poisson: users alternate short,
+// very active periods with long idle ones, and the inter-op distribution
+// is approximated by a power law P(x) ~ x^-alpha with 1 < alpha < 2 (e.g.
+// Upload: alpha=1.54, theta=41.37s). We generate this with a two-state
+// renewal process: inside a burst, gaps are short and light-tailed;
+// between bursts, gaps are Pareto with the paper's exponents — the mixture
+// reproduces both the power-law tail and the "directory-granularity"
+// cascades of operations.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+struct BurstParams {
+  /// Mean in-burst gap (seconds): files of one directory sync in quick
+  /// succession.
+  double in_burst_mean_s = 2.0;
+  /// Probability the next operation continues the current burst.
+  double continue_prob = 0.82;
+  /// Pareto tail of idle gaps between bursts.
+  double idle_alpha = 1.5;     // the paper's 1<alpha<2 regime
+  double idle_theta_s = 40.0;  // where the tail starts (theta)
+  /// Idle gaps are capped (a month-long trace cannot observe longer).
+  double idle_cap_s = 14.0 * 86400.0;
+};
+
+class BurstProcess {
+ public:
+  explicit BurstProcess(const BurstParams& params = {});
+
+  /// Draws the gap to the next operation of the same user.
+  SimTime next_gap(Rng& rng) const;
+
+  /// True if a draw with this parameterization came from the idle tail
+  /// (exposed for tests/calibration).
+  const BurstParams& params() const noexcept { return params_; }
+
+ private:
+  BurstParams params_;
+};
+
+}  // namespace u1

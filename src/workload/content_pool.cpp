@@ -1,0 +1,83 @@
+#include "workload/content_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/sha1.hpp"
+
+namespace u1 {
+
+ContentPool::ContentPool(double duplicate_prob, double zipf_s,
+                         std::uint64_t seed)
+    : duplicate_prob_(duplicate_prob), zipf_s_(zipf_s), salt_(seed) {
+  if (duplicate_prob < 0.0 || duplicate_prob >= 1.0)
+    throw std::invalid_argument("ContentPool: duplicate_prob not in [0,1)");
+  if (zipf_s <= 0.0 || zipf_s >= 1.0)
+    throw std::invalid_argument("ContentPool: zipf_s must be in (0,1)");
+}
+
+ContentId ContentPool::fresh_id() {
+  Sha1 h;
+  h.update("u1sim-content");
+  h.update(std::to_string(salt_));
+  h.update(std::to_string(unique_seq_++));
+  return h.finish();
+}
+
+double ContentPool::duplicate_prob_for(FileCategory category) const noexcept {
+  // Calibrated to Fig. 4a: media/compressed/binary content circulates
+  // widely (songs, releases, packages); code and documents are personal.
+  double mult = 1.0;
+  switch (category) {
+    case FileCategory::kAudioVideo: mult = 1.8; break;
+    case FileCategory::kCompressed: mult = 1.5; break;
+    case FileCategory::kBinary: mult = 1.6; break;
+    case FileCategory::kPics: mult = 0.9; break;
+    case FileCategory::kDocs: mult = 0.6; break;
+    case FileCategory::kCode: mult = 0.5; break;
+    case FileCategory::kOther: mult = 0.6; break;
+  }
+  return std::min(0.95, duplicate_prob_ * mult);
+}
+
+ContentDraw ContentPool::draw(const FileSpec& spec, Rng& rng) {
+  auto& pool = by_category_[static_cast<std::size_t>(spec.category)];
+  // Whale guard: content beyond ~256MB is personal footage/backups that
+  // does not circulate between users; letting it join the duplicate pool
+  // makes the byte-level dedup ratio a lottery on a handful of files.
+  constexpr std::uint64_t kCirculationCap = 256ull * 1024 * 1024;
+  const bool circulates = spec.size_bytes <= kCirculationCap;
+  if (circulates && !pool.empty() &&
+      rng.chance(duplicate_prob_for(spec.category))) {
+    // Zipf-like rank over the circulating set: inverse-CDF of a bounded
+    // Pareto over ranks, cheap and heavy-headed.
+    const double u = rng.uniform();
+    const double n = static_cast<double>(pool.size());
+    const double rank = std::pow(u, 1.0 / (1.0 - zipf_s_)) * n;
+    const std::size_t idx =
+        std::min(pool.size() - 1, static_cast<std::size_t>(rank));
+    ++duplicates_;
+    return ContentDraw{pool[idx].id, pool[idx].size_bytes, true};
+  }
+  ContentDraw draw;
+  draw.id = fresh_id();
+  draw.size_bytes = spec.size_bytes;
+  draw.duplicate = false;
+  if (circulates) pool.push_back(Circulating{draw.id, draw.size_bytes});
+  return draw;
+}
+
+ContentDraw ContentPool::draw_update(std::uint64_t new_size, Rng& /*rng*/) {
+  ContentDraw draw;
+  draw.id = fresh_id();
+  draw.size_bytes = new_size;
+  draw.duplicate = false;
+  return draw;
+}
+
+std::size_t ContentPool::circulating(FileCategory category) const {
+  return by_category_[static_cast<std::size_t>(category)].size();
+}
+
+}  // namespace u1

@@ -1,0 +1,54 @@
+#include "workload/diurnal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+
+DiurnalModel::DiurnalModel(const DiurnalParams& params) : params_(params) {
+  if (params.night_floor <= 0 || params.night_floor > 1 ||
+      params.weekend_factor <= 0 || params.monday_factor <= 0 ||
+      params.morning_download_boost < 0 ||
+      params.morning_download_boost > 1)
+    throw std::invalid_argument("DiurnalParams: invalid");
+}
+
+double DiurnalModel::intensity(SimTime t) const noexcept {
+  const double h = frac_hour_of_day(t);
+  // Smooth day curve: cosine valley at ~4am, peak at ~14:00. Scaled into
+  // [night_floor, 1].
+  const double phase = (h - 14.0) / 24.0 * 2.0 * M_PI;
+  const double wave = 0.5 * (1.0 + std::cos(phase));  // 1 at 14:00
+  double v = params_.night_floor + (1.0 - params_.night_floor) * wave;
+  const int wd = weekday(t);
+  if (wd >= 5) {
+    v *= params_.weekend_factor;
+  } else if (wd == 0) {
+    v *= params_.monday_factor;
+  }
+  return v;
+}
+
+double DiurnalModel::download_bias(SimTime t) const noexcept {
+  const double h = frac_hour_of_day(t);
+  if (h < 6.0 || h >= 15.0) return 0.0;
+  // Linear decay from the 6am maximum to zero at 15:00.
+  return params_.morning_download_boost * (15.0 - h) / 9.0;
+}
+
+SimTime DiurnalModel::next_arrival(SimTime now, double per_day,
+                                   Rng& rng) const {
+  if (per_day <= 0) return now + 365 * kDay;  // effectively never
+  // Thinning with majorant rate = per_day * monday_factor.
+  const double max_rate_per_us =
+      per_day * params_.monday_factor / static_cast<double>(kDay);
+  SimTime t = now;
+  for (int guard = 0; guard < 100000; ++guard) {
+    const double gap = -std::log(1.0 - rng.uniform()) / max_rate_per_us;
+    t += static_cast<SimTime>(gap) + 1;
+    if (rng.uniform() * params_.monday_factor <= intensity(t)) return t;
+  }
+  return t;
+}
+
+}  // namespace u1

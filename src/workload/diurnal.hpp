@@ -1,0 +1,44 @@
+// Diurnal and weekly activity modulation (§5.1, §7.3):
+//  - hourly upload volume swings ~10x between night and mid-day (Fig. 2a);
+//  - desktop clients auto-start with the machine, so connections follow
+//    working habits; Mondays peak ~15% above weekends (Fig. 15);
+//  - the R/W ratio decays roughly linearly from 6am to 3pm: users download
+//    (sync down) when they start the client and upload as they work.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+struct DiurnalParams {
+  double night_floor = 0.10;   // activity at 4am relative to the peak
+  double weekend_factor = 0.80;
+  double monday_factor = 1.15;
+  /// Morning download bias: max extra download probability at 6am,
+  /// decaying linearly to 0 by 15:00 (drives the Fig. 2c R/W pattern).
+  double morning_download_boost = 0.45;
+};
+
+class DiurnalModel {
+ public:
+  explicit DiurnalModel(const DiurnalParams& params = {});
+
+  /// Relative activity intensity in (0, ~1.2]; peaks around 14:00 local.
+  double intensity(SimTime t) const noexcept;
+
+  /// Extra probability mass shifted from uploads to downloads at time t,
+  /// in [0, morning_download_boost].
+  double download_bias(SimTime t) const noexcept;
+
+  /// Samples the next arrival of a rate-`per_day` daily process thinned
+  /// by the diurnal intensity (non-homogeneous Poisson via thinning).
+  SimTime next_arrival(SimTime now, double per_day, Rng& rng) const;
+
+  const DiurnalParams& params() const noexcept { return params_; }
+
+ private:
+  DiurnalParams params_;
+};
+
+}  // namespace u1

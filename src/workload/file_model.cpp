@@ -1,0 +1,128 @@
+#include "workload/file_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace u1 {
+namespace {
+
+constexpr double KB = 1024.0;
+constexpr double MB = 1024.0 * 1024.0;
+
+/// Calibration notes. Popularity weights approximate the Fig. 4c category
+/// count shares (Code highest count, then Pics/Docs/Binary; Audio/Video
+/// few files but large sizes -> dominant storage share). Medians/sigmas
+/// approximate the per-extension CDFs of Fig. 4b; with these parameters
+/// ~90% of sampled files are < 1MB.
+constexpr std::array<FileModel::ExtensionParams, 30> kCatalog = {{
+    // ext       category                  pop    median        sigma  max            upd
+    {"jpg",  FileCategory::kPics,       0.090, 350.0 * KB,  1.10, 40.0 * MB,  0.02},
+    {"png",  FileCategory::kPics,       0.055, 120.0 * KB,  1.30, 20.0 * MB,  0.05},
+    {"gif",  FileCategory::kPics,       0.025,  40.0 * KB,  1.20, 8.0 * MB,   0.02},
+    {"c",    FileCategory::kCode,       0.050,   6.0 * KB,  1.20, 2.0 * MB,   0.60},
+    {"h",    FileCategory::kCode,       0.040,   3.0 * KB,  1.10, 1.0 * MB,   0.55},
+    {"py",   FileCategory::kCode,       0.055,   4.0 * KB,  1.20, 2.0 * MB,   0.65},
+    {"js",   FileCategory::kCode,       0.050,   8.0 * KB,  1.40, 4.0 * MB,   0.60},
+    {"php",  FileCategory::kCode,       0.040,   7.0 * KB,  1.30, 2.0 * MB,   0.60},
+    {"java", FileCategory::kCode,       0.035,   5.0 * KB,  1.20, 2.0 * MB,   0.60},
+    {"html", FileCategory::kCode,       0.035,  10.0 * KB,  1.40, 4.0 * MB,   0.50},
+    {"pdf",  FileCategory::kDocs,       0.035, 280.0 * KB,  1.50, 80.0 * MB,  0.05},
+    {"txt",  FileCategory::kDocs,       0.030,   4.0 * KB,  1.60, 4.0 * MB,   0.55},
+    {"doc",  FileCategory::kDocs,       0.022,  90.0 * KB,  1.30, 30.0 * MB,  0.45},
+    {"xls",  FileCategory::kDocs,       0.012,  60.0 * KB,  1.40, 20.0 * MB,  0.45},
+    {"odt",  FileCategory::kDocs,       0.008,  45.0 * KB,  1.30, 20.0 * MB,  0.45},
+    {"mp3",  FileCategory::kAudioVideo, 0.035,   4.2 * MB,  0.70, 60.0 * MB,  0.30},
+    {"ogg",  FileCategory::kAudioVideo, 0.010,   3.6 * MB,  0.70, 60.0 * MB,  0.20},
+    {"wav",  FileCategory::kAudioVideo, 0.006,   9.0 * MB,  1.00, 200.0 * MB, 0.03},
+    {"avi",  FileCategory::kAudioVideo, 0.006,  90.0 * MB,  1.20, 2048.0 * MB,0.01},
+    {"mp4",  FileCategory::kAudioVideo, 0.008,  50.0 * MB,  1.30, 2048.0 * MB,0.01},
+    {"o",    FileCategory::kBinary,     0.045,  30.0 * KB,  1.50, 20.0 * MB,  0.40},
+    {"jar",  FileCategory::kBinary,     0.020, 500.0 * KB,  1.40, 80.0 * MB,  0.10},
+    {"msf",  FileCategory::kBinary,     0.015,  60.0 * KB,  1.50, 20.0 * MB,  0.30},
+    {"bin",  FileCategory::kBinary,     0.020, 200.0 * KB,  1.80, 200.0 * MB, 0.10},
+    {"exe",  FileCategory::kBinary,     0.015, 800.0 * KB,  1.60, 300.0 * MB, 0.03},
+    {"zip",  FileCategory::kCompressed, 0.025,   1.8 * MB,  1.80, 1024.0 * MB,0.04},
+    {"gz",   FileCategory::kCompressed, 0.020,   0.9 * MB,  1.90, 1024.0 * MB,0.04},
+    {"rar",  FileCategory::kCompressed, 0.008,   4.0 * MB,  1.60, 1024.0 * MB,0.02},
+    {"xml",  FileCategory::kOther,      0.090,   9.0 * KB,  1.60, 8.0 * MB,   0.50},
+    {"cache",FileCategory::kOther,      0.095,  15.0 * KB,  1.80, 16.0 * MB,  0.55},
+}};
+
+std::array<std::string_view, kCatalog.size()> extension_names() {
+  std::array<std::string_view, kCatalog.size()> out{};
+  for (std::size_t i = 0; i < kCatalog.size(); ++i)
+    out[i] = kCatalog[i].extension;
+  return out;
+}
+
+const std::array<std::string_view, kCatalog.size()> kExtensionNames =
+    extension_names();
+
+std::vector<double> popularity_weights() {
+  std::vector<double> w;
+  w.reserve(kCatalog.size());
+  for (const auto& e : kCatalog) w.push_back(e.popularity);
+  return w;
+}
+
+double lognormal_sample(double median, double sigma, Rng& rng) {
+  const double u1 = 1.0 - rng.uniform();
+  const double u2 = rng.uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2 * M_PI * u2);
+  return median * std::exp(sigma * z);
+}
+
+}  // namespace
+
+std::string_view to_string(FileCategory c) noexcept {
+  switch (c) {
+    case FileCategory::kPics: return "Pics";
+    case FileCategory::kCode: return "Code";
+    case FileCategory::kDocs: return "Docs";
+    case FileCategory::kAudioVideo: return "Audio/Video";
+    case FileCategory::kBinary: return "Binary";
+    case FileCategory::kCompressed: return "Compressed";
+    case FileCategory::kOther: return "Other";
+  }
+  return "Other";
+}
+
+FileCategory category_of(std::string_view extension) noexcept {
+  for (const auto& e : kCatalog)
+    if (e.extension == extension) return e.category;
+  return FileCategory::kOther;
+}
+
+std::span<const FileModel::ExtensionParams> FileModel::catalog() noexcept {
+  return kCatalog;
+}
+
+FileModel::FileModel() : popularity_(popularity_weights()) {}
+
+FileSpec FileModel::sample(Rng& rng) const {
+  const auto& params = kCatalog[popularity_.sample(rng)];
+  FileSpec spec;
+  spec.extension = params.extension;
+  spec.category = params.category;
+  const double raw = lognormal_sample(params.median_bytes, params.sigma, rng);
+  spec.size_bytes = static_cast<std::uint64_t>(
+      std::clamp(raw, 64.0, params.max_bytes));
+  spec.update_affinity = params.update_affinity;
+  return spec;
+}
+
+std::uint64_t FileModel::sample_update_size(const FileSpec& original,
+                                            Rng& rng) const {
+  // Edits usually change size slightly: +/- up to 20%, floor of 64B.
+  const double factor = rng.uniform(0.85, 1.20);
+  const double bytes = static_cast<double>(original.size_bytes) * factor;
+  return static_cast<std::uint64_t>(std::max(64.0, bytes));
+}
+
+std::span<const std::string_view> FileModel::known_extensions()
+    const noexcept {
+  return kExtensionNames;
+}
+
+}  // namespace u1

@@ -1,0 +1,99 @@
+#include "workload/transitions.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace u1 {
+namespace {
+
+constexpr std::size_t idx(ClientAction a) {
+  return static_cast<std::size_t>(a);
+}
+
+}  // namespace
+
+std::string_view to_string(ClientAction a) noexcept {
+  switch (a) {
+    case ClientAction::kUploadNew: return "upload_new";
+    case ClientAction::kUploadUpdate: return "upload_update";
+    case ClientAction::kDownload: return "download";
+    case ClientAction::kUnlink: return "unlink";
+    case ClientAction::kMove: return "move";
+    case ClientAction::kMakeDir: return "make_dir";
+    case ClientAction::kCreateUdf: return "create_udf";
+    case ClientAction::kDeleteVolume: return "delete_volume";
+    case ClientAction::kGetDelta: return "get_delta";
+  }
+  return "unknown";
+}
+
+TransitionModel::TransitionModel() {
+  auto& m = matrix_;
+  // Strong self-transitions on transfers (Fig. 8: repeating a transfer is
+  // the most probable move — directory-granularity sync and file editing),
+  // Make/Upload mixing, deletions arriving in runs.
+  // Rows need not be normalized here; sampling normalizes.
+  //                      upN   upd   down  unl   move  mkdir udf   delV  delta
+  // Unlinks are nearly as frequent as uploads in the production mix
+  // (Fig. 7a); deletions also arrive in runs (folder cleanups).
+  m[idx(ClientAction::kUploadNew)]    = {0.38, 0.16, 0.12, 0.09, 0.02, 0.09, 0.01, 0.00, 0.08};
+  m[idx(ClientAction::kUploadUpdate)] = {0.10, 0.45, 0.12, 0.12, 0.02, 0.03, 0.00, 0.00, 0.16};
+  m[idx(ClientAction::kDownload)]     = {0.13, 0.08, 0.34, 0.13, 0.02, 0.05, 0.01, 0.00, 0.20};
+  m[idx(ClientAction::kUnlink)]       = {0.14, 0.06, 0.11, 0.46, 0.02, 0.04, 0.01, 0.02, 0.12};
+  m[idx(ClientAction::kMove)]         = {0.15, 0.06, 0.18, 0.10, 0.28, 0.10, 0.01, 0.00, 0.12};
+  m[idx(ClientAction::kMakeDir)]      = {0.52, 0.03, 0.10, 0.05, 0.03, 0.17, 0.01, 0.00, 0.09};
+  m[idx(ClientAction::kCreateUdf)]    = {0.40, 0.02, 0.10, 0.02, 0.02, 0.30, 0.05, 0.00, 0.09};
+  m[idx(ClientAction::kDeleteVolume)] = {0.15, 0.02, 0.15, 0.20, 0.02, 0.10, 0.06, 0.10, 0.20};
+  m[idx(ClientAction::kGetDelta)]     = {0.17, 0.08, 0.30, 0.10, 0.03, 0.07, 0.01, 0.00, 0.21};
+
+  // Session-start mix: after the ListVolumes/ListShares handshake users
+  // mostly re-sync (delta/download) or resume uploading.
+  initial_ = {0.22, 0.05, 0.24, 0.09, 0.02, 0.07, 0.02, 0.01, 0.25};
+}
+
+std::size_t TransitionModel::sample_row(
+    const std::array<double, kClientActionCount>& row, UserClass user_class,
+    Rng& rng) const {
+  std::array<double, kClientActionCount> biased = row;
+  // Class biases: upload-only users rarely download and vice versa;
+  // occasional users skew to light metadata ops.
+  switch (user_class) {
+    case UserClass::kUploadOnly:
+      biased[idx(ClientAction::kDownload)] *= 0.05;
+      biased[idx(ClientAction::kUploadNew)] *= 1.6;
+      biased[idx(ClientAction::kUploadUpdate)] *= 1.4;
+      break;
+    case UserClass::kDownloadOnly:
+      biased[idx(ClientAction::kUploadNew)] *= 0.05;
+      biased[idx(ClientAction::kUploadUpdate)] *= 0.05;
+      biased[idx(ClientAction::kDownload)] *= 1.8;
+      break;
+    case UserClass::kHeavy:
+      biased[idx(ClientAction::kUploadUpdate)] *= 1.3;
+      break;
+    case UserClass::kOccasional:
+      biased[idx(ClientAction::kGetDelta)] *= 1.3;
+      break;
+  }
+  const WeightedDiscrete dist(biased);
+  return dist.sample(rng);
+}
+
+ClientAction TransitionModel::initial(UserClass user_class, Rng& rng) const {
+  return static_cast<ClientAction>(sample_row(initial_, user_class, rng));
+}
+
+ClientAction TransitionModel::next(ClientAction previous,
+                                   UserClass user_class, Rng& rng) const {
+  return static_cast<ClientAction>(
+      sample_row(matrix_[idx(previous)], user_class, rng));
+}
+
+double TransitionModel::probability(ClientAction from, ClientAction to) const {
+  const auto& row = matrix_[idx(from)];
+  const double total = std::accumulate(row.begin(), row.end(), 0.0);
+  if (total <= 0) throw std::logic_error("TransitionModel: empty row");
+  return row[idx(to)] / total;
+}
+
+}  // namespace u1

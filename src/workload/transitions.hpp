@@ -1,0 +1,62 @@
+// Client operation transition model (Fig. 8). The paper's user-centric
+// request graph shows strong self-transitions on transfers (a client that
+// uploads tends to keep uploading — directory-granularity sync), the
+// regular session-start flow Authenticate -> ListVolumes -> ListShares,
+// and the Make -> Upload pairing. This Markov chain generates per-user
+// operation sequences with those properties; class-specific biases skew
+// upload-only users toward uploads etc.
+#pragma once
+
+#include <array>
+
+#include "proto/operations.hpp"
+#include "util/rng.hpp"
+#include "workload/user_model.hpp"
+
+namespace u1 {
+
+/// The storage operations the chain walks over. Session management and
+/// Make are generated implicitly (Make always precedes a new-file upload;
+/// list operations happen at session start).
+enum class ClientAction : std::uint8_t {
+  kUploadNew,     // Make + PutContent of a fresh file
+  kUploadUpdate,  // PutContent over an existing node (new hash)
+  kDownload,      // GetContent of an existing file
+  kUnlink,        // delete a file or directory
+  kMove,          // reorganize
+  kMakeDir,       // create a directory (sync of a new folder)
+  kCreateUdf,     // add a user-defined volume
+  kDeleteVolume,  // drop a UDF
+  kGetDelta,      // explicit re-sync
+};
+inline constexpr std::size_t kClientActionCount = 9;
+
+std::string_view to_string(ClientAction a) noexcept;
+
+class TransitionModel {
+ public:
+  TransitionModel();
+
+  /// First storage action of a session.
+  ClientAction initial(UserClass user_class, Rng& rng) const;
+
+  /// Next action given the previous one (row-stochastic chain), with the
+  /// user-class bias applied.
+  ClientAction next(ClientAction previous, UserClass user_class,
+                    Rng& rng) const;
+
+  /// Raw transition probability (before class bias), for tests and for
+  /// printing the Fig. 8 edge weights.
+  double probability(ClientAction from, ClientAction to) const;
+
+ private:
+  /// row = from, column = to.
+  std::array<std::array<double, kClientActionCount>, kClientActionCount>
+      matrix_{};
+  std::array<double, kClientActionCount> initial_{};
+
+  std::size_t sample_row(const std::array<double, kClientActionCount>& row,
+                         UserClass user_class, Rng& rng) const;
+};
+
+}  // namespace u1

@@ -1,0 +1,111 @@
+#include "workload/user_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+namespace {
+
+std::vector<double> class_weights(const UserModelParams& p) {
+  return {p.p_occasional, p.p_upload_only, p.p_download_only, p.p_heavy};
+}
+
+}  // namespace
+
+std::string_view to_string(UserClass c) noexcept {
+  switch (c) {
+    case UserClass::kOccasional: return "occasional";
+    case UserClass::kUploadOnly: return "upload-only";
+    case UserClass::kDownloadOnly: return "download-only";
+    case UserClass::kHeavy: return "heavy";
+  }
+  return "unknown";
+}
+
+UserModel::UserModel(const UserModelParams& params)
+    : params_(params), class_mix_(class_weights(params)) {
+  const double total = params.p_occasional + params.p_upload_only +
+                       params.p_download_only + params.p_heavy;
+  if (std::abs(total - 1.0) > 1e-6)
+    throw std::invalid_argument("UserModelParams: class mix must sum to 1");
+  if (params.activity_alpha <= 1.0)
+    throw std::invalid_argument(
+        "UserModelParams: activity_alpha must exceed 1 (finite mean)");
+}
+
+UserProfile UserModel::sample(Rng& rng) const {
+  UserProfile profile;
+  profile.user_class = static_cast<UserClass>(class_mix_.sample(rng));
+
+  // Pareto activity multiplier; heavy users draw from a shifted, heavier
+  // regime so the top 1% ends up with ~65% of the traffic (Fig. 7c).
+  const ParetoDist tail(params_.activity_alpha, 1.0);
+  switch (profile.user_class) {
+    case UserClass::kOccasional:
+      // Most of the population barely transfers anything in a month
+      // (paper: 85.8% of users moved < 10KB).
+      profile.activity = rng.uniform(0.5, 1.5);
+      profile.sessions_per_day = rng.uniform(0.4, 2.0);
+      profile.active_session_prob = 0.003;
+      break;
+    case UserClass::kUploadOnly:
+    case UserClass::kDownloadOnly:
+      profile.activity = tail.sample(rng);
+      profile.sessions_per_day = rng.uniform(0.8, 3.0);
+      profile.active_session_prob = 0.05;
+      break;
+    case UserClass::kHeavy:
+      profile.activity = 1.5 * tail.sample(rng);
+      profile.sessions_per_day = rng.uniform(1.0, 4.0);
+      profile.active_session_prob = 0.12;
+      break;
+  }
+
+  if (rng.chance(params_.p_has_udf)) {
+    // Most UDF owners have 1-3 volumes; a few have many (Fig. 11 tail).
+    profile.udf_volumes = 1;
+    while (profile.udf_volumes < 40 && rng.chance(0.30))
+      ++profile.udf_volumes;
+  }
+  profile.sharer = rng.chance(params_.p_sharer);
+  return profile;
+}
+
+SimTime UserModel::sample_session_length(Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < 0.32) {
+    // NAT/firewall-killed connections: well under a second.
+    return from_seconds(rng.uniform(0.01, 0.99));
+  }
+  if (u < 0.45) {
+    // Short restarts / flaky links: seconds to a couple of minutes.
+    return from_seconds(rng.uniform(1.0, 120.0));
+  }
+  if (u < 0.97) {
+    // Work-day sessions: log-normal body, median ~35 minutes, <= 8h.
+    const double u1 = 1.0 - rng.uniform();
+    const double u2 = rng.uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2 * M_PI * u2);
+    const double minutes = 35.0 * std::exp(1.1 * z);
+    return from_seconds(std::clamp(minutes, 2.0, 479.0) * 60.0);
+  }
+  // The 3% long tail: overnight / always-on machines, 8h .. 4 days.
+  return from_seconds(rng.uniform(8.0 * 3600.0, 96.0 * 3600.0));
+}
+
+std::uint64_t UserModel::sample_session_ops(UserClass user_class,
+                                            Rng& rng) const {
+  // Heavy-tailed ops budget: Pareto truncated at 20k, scaled by class.
+  // Calibrated so ~80% of active sessions stay below ~92 ops while the
+  // top 20% carries the bulk of operations (paper: 96.7%).
+  const double x_min = user_class == UserClass::kHeavy ? 12.0 : 3.0;
+  const double alpha = 0.80;
+  const double u = 1.0 - rng.uniform();
+  const double draw = x_min / std::pow(u, 1.0 / alpha);
+  return static_cast<std::uint64_t>(std::min(draw, 20000.0));
+}
+
+}  // namespace u1

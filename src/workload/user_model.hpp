@@ -1,0 +1,82 @@
+// The user population model (§6):
+//  - class mix measured in the paper: 85.82% occasional, 7.22% upload-only,
+//    2.34% download-only, 4.62% heavy;
+//  - activity across users is extremely skewed: 1% of users generate 65.6%
+//    of the traffic (Gini ≈ 0.89, Fig. 7c) — modeled with a Pareto
+//    activity multiplier;
+//  - 58% of users have user-defined volumes, 1.8% have shares (Fig. 11);
+//  - sessions: 97% shorter than 8h, 32% shorter than 1s (NAT/firewall
+//    resets), dominated by home-user working habits (Fig. 16);
+//  - only 5.57% of sessions perform any storage operation, and ops per
+//    active session are heavy-tailed (80% ≤ 92 ops, top 20% = 96.7%).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+enum class UserClass : std::uint8_t {
+  kOccasional,
+  kUploadOnly,
+  kDownloadOnly,
+  kHeavy,
+};
+inline constexpr std::size_t kUserClassCount = 4;
+
+std::string_view to_string(UserClass c) noexcept;
+
+/// Per-user static traits, drawn once at population build time.
+struct UserProfile {
+  UserClass user_class = UserClass::kOccasional;
+  /// Multiplies the base storage-op rate; Pareto-tailed so the top 1%
+  /// carries most of the traffic.
+  double activity = 1.0;
+  /// Sessions per day (connection habit, diurnal-modulated at runtime).
+  double sessions_per_day = 1.0;
+  /// Number of user-defined volumes this user will eventually create
+  /// (0 for the 42% who only use the root volume).
+  std::uint32_t udf_volumes = 0;
+  /// Whether this user shares a volume with someone (1.8% in the paper).
+  bool sharer = false;
+  /// Probability a given session of this user is active (issues storage
+  /// ops) rather than cold.
+  double active_session_prob = 0.05;
+};
+
+struct UserModelParams {
+  double p_occasional = 0.8582;
+  double p_upload_only = 0.0722;
+  double p_download_only = 0.0234;
+  double p_heavy = 0.0462;
+  /// Pareto shape of the activity multiplier (smaller -> heavier tail).
+  double activity_alpha = 1.25;
+  double p_has_udf = 0.58;
+  double p_sharer = 0.018;
+};
+
+class UserModel {
+ public:
+  explicit UserModel(const UserModelParams& params = {});
+
+  UserProfile sample(Rng& rng) const;
+
+  const UserModelParams& params() const noexcept { return params_; }
+
+  /// Session length sampler (Fig. 16): a mixture of instant NAT-killed
+  /// connections (~32% < 1s), short app restarts, and work-day sessions,
+  /// with 97% below 8 hours.
+  SimTime sample_session_length(Rng& rng) const;
+
+  /// Ops budget for an *active* session: heavy-tailed (inner Fig. 16).
+  std::uint64_t sample_session_ops(UserClass user_class, Rng& rng) const;
+
+ private:
+  UserModelParams params_;
+  WeightedDiscrete class_mix_;
+};
+
+}  // namespace u1

@@ -1,0 +1,308 @@
+// Unit tests with hand-crafted records, part 2: traffic, sessions,
+// load-balance, user-activity, DDoS detection and trace summary — exact
+// arithmetic on tiny inputs.
+#include <gtest/gtest.h>
+
+#include "analysis/ddos_detect.hpp"
+#include "analysis/load_balance.hpp"
+#include "analysis/sessions.hpp"
+#include "analysis/trace_summary.hpp"
+#include "analysis/traffic.hpp"
+#include "analysis/users.hpp"
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+Rng g_rng(7);
+
+TraceRecord transfer(ApiOp op, SimTime t, std::uint64_t size,
+                     std::uint64_t wire, std::uint64_t user = 1,
+                     bool update = false) {
+  TraceRecord r;
+  r.t = t;
+  r.type = RecordType::kStorageDone;
+  r.api_op = op;
+  r.node = Uuid::v4(g_rng);
+  r.size_bytes = size;
+  r.transferred_bytes = wire;
+  r.is_update = update;
+  r.user = UserId{user};
+  r.session = SessionId{user};
+  r.machine = MachineId{1};
+  r.process = ProcessId{1};
+  r.duration = kSecond;
+  return r;
+}
+
+TraceRecord session_event(SessionEvent e, SimTime t, std::uint64_t session,
+                          std::uint64_t user = 1) {
+  TraceRecord r;
+  r.t = t;
+  r.type = RecordType::kSession;
+  r.session_event = e;
+  r.session = SessionId{session};
+  r.user = UserId{user};
+  r.machine = MachineId{1};
+  r.process = ProcessId{1};
+  return r;
+}
+
+// --- TrafficAnalyzer ---------------------------------------------------------
+
+TEST(TrafficAnalyzer, ByteAndOpAccounting) {
+  TrafficAnalyzer traffic(0, kDay);
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 1000, 1000));
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 2000, 0));  // dedup
+  traffic.append(transfer(ApiOp::kGetContent, 2 * kHour, 1500, 1500));
+  EXPECT_EQ(traffic.upload_ops(), 2u);
+  EXPECT_EQ(traffic.download_ops(), 1u);
+  EXPECT_EQ(traffic.download_bytes(), 1500u);
+  // Hourly series: wire bytes only.
+  EXPECT_DOUBLE_EQ(traffic.upload_bytes_hourly().value(1), 1000.0);
+  EXPECT_DOUBLE_EQ(traffic.download_bytes_hourly().value(2), 1500.0);
+}
+
+TEST(TrafficAnalyzer, UpdateShares) {
+  TrafficAnalyzer traffic(0, kDay);
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 800, 800, 1, false));
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 200, 200, 1, true));
+  EXPECT_DOUBLE_EQ(traffic.update_op_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(traffic.update_traffic_fraction(), 0.2);
+}
+
+TEST(TrafficAnalyzer, IgnoresFailedAndBootstrap) {
+  TrafficAnalyzer traffic(0, kDay);
+  TraceRecord failed = transfer(ApiOp::kPutContent, kHour, 100, 100);
+  failed.failed = true;
+  traffic.append(failed);
+  traffic.append(transfer(ApiOp::kPutContent, -kHour, 100, 100));
+  EXPECT_EQ(traffic.upload_ops(), 0u);
+}
+
+TEST(TrafficAnalyzer, SizeCategoriesUseLogicalSize) {
+  TrafficAnalyzer traffic(0, kDay);
+  constexpr std::uint64_t MB = 1024 * 1024;
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 30 * MB, 30 * MB));
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 100 * 1024,
+                          100 * 1024));
+  EXPECT_DOUBLE_EQ(traffic.upload_ops_by_size().fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(traffic.upload_ops_by_size().fraction(4), 0.5);
+  // Bytes concentrate in the big bin.
+  EXPECT_GT(traffic.upload_bytes_by_size().fraction(4), 0.99);
+}
+
+TEST(TrafficAnalyzer, RwRatioSkipsUploadFreeHours) {
+  TrafficAnalyzer traffic(0, kDay);
+  traffic.append(transfer(ApiOp::kPutContent, kHour, 100, 100));
+  traffic.append(transfer(ApiOp::kGetContent, kHour, 200, 200));
+  traffic.append(transfer(ApiOp::kGetContent, 5 * kHour, 999, 999));
+  const auto ratios = traffic.rw_ratios_hourly();
+  ASSERT_EQ(ratios.size(), 1u);  // only the hour with uploads
+  EXPECT_DOUBLE_EQ(ratios[0], 2.0);
+}
+
+// --- SessionAnalyzer ---------------------------------------------------------
+
+TEST(SessionAnalyzer, LengthsAndActiveFraction) {
+  SessionAnalyzer sessions(0, kDay);
+  // Session 1: cold, 30 minutes.
+  sessions.append(session_event(SessionEvent::kOpen, kHour, 1));
+  sessions.append(session_event(SessionEvent::kClose, kHour + 30 * kMinute,
+                                1));
+  // Session 2: active (one upload), 2 hours.
+  sessions.append(session_event(SessionEvent::kOpen, 2 * kHour, 2));
+  TraceRecord up = transfer(ApiOp::kPutContent, 3 * kHour, 10, 10);
+  up.session = SessionId{2};
+  sessions.append(up);
+  sessions.append(session_event(SessionEvent::kClose, 4 * kHour, 2));
+  ASSERT_EQ(sessions.sessions_closed(), 2u);
+  EXPECT_DOUBLE_EQ(sessions.active_session_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(sessions.fraction_shorter_than(kHour), 0.5);
+  ASSERT_EQ(sessions.ops_per_active_session().size(), 1u);
+  EXPECT_DOUBLE_EQ(sessions.ops_per_active_session()[0], 1.0);
+}
+
+TEST(SessionAnalyzer, AuthFailureFraction) {
+  SessionAnalyzer sessions(0, kDay);
+  for (int i = 0; i < 97; ++i)
+    sessions.append(session_event(SessionEvent::kAuthRequest, kHour,
+                                  static_cast<std::uint64_t>(i) + 10));
+  for (int i = 0; i < 3; ++i)
+    sessions.append(session_event(SessionEvent::kAuthRequest, kHour, 5000u + i));
+  for (int i = 0; i < 3; ++i)
+    sessions.append(session_event(SessionEvent::kAuthFail, kHour, 5000u + i));
+  EXPECT_DOUBLE_EQ(sessions.auth_failure_fraction(), 0.03);
+}
+
+TEST(SessionAnalyzer, NonStorageOpsDontActivate) {
+  SessionAnalyzer sessions(0, kDay);
+  sessions.append(session_event(SessionEvent::kOpen, kHour, 1));
+  TraceRecord list = transfer(ApiOp::kListVolumes, kHour + kMinute, 0, 0);
+  list.session = SessionId{1};
+  sessions.append(list);
+  TraceRecord delta = transfer(ApiOp::kGetDelta, kHour + kMinute, 0, 0);
+  delta.session = SessionId{1};
+  sessions.append(delta);
+  sessions.append(session_event(SessionEvent::kClose, 2 * kHour, 1));
+  EXPECT_DOUBLE_EQ(sessions.active_session_fraction(), 0.0);
+}
+
+// --- LoadBalanceAnalyzer ------------------------------------------------------
+
+TEST(LoadBalanceAnalyzer, ApiAndShardAccounting) {
+  LoadBalanceAnalyzer load(0, 2 * kHour, 3, 2);
+  // API machine 1 gets 4 requests in hour 0, machines 2/3 get none.
+  for (int i = 0; i < 4; ++i) {
+    TraceRecord r;
+    r.t = 10 * kMinute;
+    r.type = RecordType::kStorage;
+    r.api_op = ApiOp::kMake;
+    r.machine = MachineId{1};
+    r.session = SessionId{1};
+    load.append(r);
+  }
+  const auto api = load.api_load_hourly();
+  ASSERT_EQ(api.size(), 2u);
+  EXPECT_NEAR(api[0].mean, 4.0 / 3.0, 1e-9);
+  EXPECT_GT(api[0].stddev, 0.0);
+
+  // Shard 2 gets 3 rpcs in minute 0.
+  for (int i = 0; i < 3; ++i) {
+    TraceRecord r;
+    r.t = 30 * kSecond;
+    r.type = RecordType::kRpc;
+    r.rpc_op = RpcOp::kMakeFile;
+    r.shard = ShardId{2};
+    load.append(r);
+  }
+  const auto shards = load.shard_load_minutely();
+  EXPECT_NEAR(shards[0].mean, 1.5, 1e-9);
+  // Totals (3, 0): mean 1.5, sample stddev sqrt(4.5) -> cv = sqrt(2).
+  EXPECT_NEAR(load.shard_long_term_cv(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(LoadBalanceAnalyzer, PerfectBalanceZeroCv) {
+  LoadBalanceAnalyzer load(0, kHour, 2, 2);
+  for (std::uint64_t s = 1; s <= 2; ++s) {
+    for (int i = 0; i < 5; ++i) {
+      TraceRecord r;
+      r.t = kMinute;
+      r.type = RecordType::kRpc;
+      r.shard = ShardId{s};
+      load.append(r);
+    }
+  }
+  EXPECT_DOUBLE_EQ(load.shard_long_term_cv(), 0.0);
+}
+
+// --- UserActivityAnalyzer -----------------------------------------------------
+
+TEST(UserActivityAnalyzer, OnlineIntervalsAndTraffic) {
+  UserActivityAnalyzer users(0, kDay);
+  users.append(session_event(SessionEvent::kOpen, kHour, 1, 42));
+  users.append(session_event(SessionEvent::kClose, 3 * kHour + kMinute, 1,
+                             42));
+  TraceRecord up = transfer(ApiOp::kPutContent, 2 * kHour, 500, 500, 42);
+  users.append(up);
+  users.finalize();
+  const auto online = users.online_users_hourly();
+  EXPECT_DOUBLE_EQ(online[1], 1.0);
+  EXPECT_DOUBLE_EQ(online[2], 1.0);
+  EXPECT_DOUBLE_EQ(online[3], 1.0);
+  EXPECT_DOUBLE_EQ(online[5], 0.0);
+  const auto active = users.active_users_hourly();
+  EXPECT_DOUBLE_EQ(active[2], 1.0);
+  EXPECT_DOUBLE_EQ(active[1], 0.0);
+  EXPECT_DOUBLE_EQ(users.uploaders_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(users.downloaders_fraction(), 0.0);
+}
+
+TEST(UserActivityAnalyzer, SessionOpenAtEndStillCounts) {
+  UserActivityAnalyzer users(0, kDay);
+  users.append(session_event(SessionEvent::kOpen, 22 * kHour, 9, 7));
+  // Never closed: finalize() extends it to the window end.
+  users.finalize();
+  const auto online = users.online_users_hourly();
+  EXPECT_DOUBLE_EQ(online[22], 1.0);
+  EXPECT_DOUBLE_EQ(online[23], 1.0);
+}
+
+TEST(UserActivityAnalyzer, ClassificationCorners) {
+  UserActivityAnalyzer users(0, kDay);
+  // User 1: 5KB -> occasional. User 2: 1GB up only -> upload-only.
+  // User 3: 1MB up + 1MB down -> heavy. User 4: 50MB down only.
+  users.append(transfer(ApiOp::kPutContent, kHour, 5000, 5000, 1));
+  users.append(transfer(ApiOp::kPutContent, kHour, 1 << 30, 1 << 30, 2));
+  users.append(transfer(ApiOp::kPutContent, kHour, 1 << 20, 1 << 20, 3));
+  users.append(transfer(ApiOp::kGetContent, kHour, 1 << 20, 1 << 20, 3));
+  users.append(transfer(ApiOp::kGetContent, kHour, 50 << 20, 50 << 20, 4));
+  users.finalize();
+  const auto classes = users.classify_users();
+  EXPECT_DOUBLE_EQ(classes.occasional, 0.25);
+  EXPECT_DOUBLE_EQ(classes.upload_only, 0.25);
+  EXPECT_DOUBLE_EQ(classes.heavy, 0.25);
+  EXPECT_DOUBLE_EQ(classes.download_only, 0.25);
+}
+
+TEST(UserActivityAnalyzer, FinalizeRequiredForOnline) {
+  UserActivityAnalyzer users(0, kDay);
+  EXPECT_THROW(users.online_users_hourly(), std::logic_error);
+}
+
+// --- DdosAnalyzer --------------------------------------------------------------
+
+TEST(DdosAnalyzer, DetectsInjectedSpike) {
+  DdosAnalyzer ddos(0, 3 * kDay);
+  Rng rng(3);
+  // Background: ~40 session events/hour for 3 days.
+  for (SimTime t = 0; t < 3 * kDay; t += 90 * kSecond) {
+    ddos.append(session_event(SessionEvent::kAuthRequest, t,
+                              rng.next() % 100000, rng.next() % 500));
+  }
+  // Spike: 50x for two hours on day 2.
+  const SimTime start = kDay + 10 * kHour;
+  for (SimTime t = start; t < start + 2 * kHour; t += 2 * kSecond) {
+    ddos.append(session_event(SessionEvent::kAuthRequest, t,
+                              rng.next() % 100000, 777));
+  }
+  const auto attacks = ddos.detect();
+  ASSERT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(ddos.attack_days(), 1u);
+  EXPECT_GT(attacks[0].peak_multiplier, 10.0);
+  const SimTime detected =
+      ddos.session_per_hour().bin_start(attacks[0].first_hour);
+  EXPECT_EQ(detected, start);
+}
+
+TEST(DdosAnalyzer, QuietTraceNoAttacks) {
+  DdosAnalyzer ddos(0, kDay);
+  Rng rng(4);
+  for (SimTime t = 0; t < kDay; t += 2 * kMinute) {
+    ddos.append(session_event(SessionEvent::kOpen, t, rng.next() % 10000,
+                              rng.next() % 100));
+  }
+  EXPECT_TRUE(ddos.detect().empty());
+  EXPECT_EQ(ddos.attack_days(), 0u);
+}
+
+// --- TraceSummaryAnalyzer -------------------------------------------------------
+
+TEST(TraceSummaryAnalyzer, CountsAndWindow) {
+  TraceSummaryAnalyzer summary(2 * kDay);
+  summary.append(session_event(SessionEvent::kOpen, kHour, 1));
+  summary.append(transfer(ApiOp::kPutContent, kHour, 100, 100, 1));
+  summary.append(transfer(ApiOp::kGetContent, kDay + kHour, 50, 50, 2));
+  summary.append(transfer(ApiOp::kPutContent, 3 * kDay, 999, 999, 3));  // out
+  const auto s = summary.summary();
+  EXPECT_EQ(s.days, 2);
+  EXPECT_EQ(s.unique_users, 2u);
+  EXPECT_EQ(s.unique_files, 1u);
+  EXPECT_EQ(s.sessions, 1u);
+  EXPECT_EQ(s.transfer_ops, 2u);
+  EXPECT_EQ(s.upload_bytes, 100u);
+  EXPECT_EQ(s.download_bytes, 50u);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,326 @@
+// Unit tests with hand-crafted records: exact semantics of the streaming
+// analyzers (dependency classification, lifetime cascades, dedup math,
+// transition graph bookkeeping).
+#include <gtest/gtest.h>
+
+#include "analysis/dedup.hpp"
+#include "analysis/file_dependencies.hpp"
+#include "analysis/node_lifetime.hpp"
+#include "analysis/op_mix.hpp"
+#include "analysis/transition_graph.hpp"
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+Rng g_rng(42);
+
+TraceRecord storage_done(ApiOp op, SimTime t, NodeId node,
+                         std::uint64_t session = 1) {
+  TraceRecord r;
+  r.t = t;
+  r.type = RecordType::kStorageDone;
+  r.api_op = op;
+  r.node = node;
+  r.user = UserId{1};
+  r.session = SessionId{session};
+  r.machine = MachineId{1};
+  r.process = ProcessId{1};
+  return r;
+}
+
+TEST(FileDependencyAnalyzer, ClassifiesAllSixDependencies) {
+  FileDependencyAnalyzer a;
+  const NodeId n1 = Uuid::v4(g_rng);
+  const NodeId n2 = Uuid::v4(g_rng);
+  // n1: write @1h, write @2h (WAW), read @3h (RAW), read @4h (RAR),
+  //     write @5h (WAR), unlink @6h (DAW, since last op was a write).
+  a.append(storage_done(ApiOp::kPutContent, 1 * kHour, n1));
+  a.append(storage_done(ApiOp::kPutContent, 2 * kHour, n1));
+  a.append(storage_done(ApiOp::kGetContent, 3 * kHour, n1));
+  a.append(storage_done(ApiOp::kGetContent, 4 * kHour, n1));
+  a.append(storage_done(ApiOp::kPutContent, 5 * kHour, n1));
+  a.append(storage_done(ApiOp::kUnlink, 6 * kHour, n1));
+  // n2: write @1h, read @2h (RAW), unlink @3h (DAR).
+  a.append(storage_done(ApiOp::kPutContent, 1 * kHour, n2));
+  a.append(storage_done(ApiOp::kGetContent, 2 * kHour, n2));
+  a.append(storage_done(ApiOp::kUnlink, 3 * kHour, n2));
+
+  EXPECT_EQ(a.count(FileDependency::kWAW), 1u);
+  EXPECT_EQ(a.count(FileDependency::kRAW), 2u);
+  EXPECT_EQ(a.count(FileDependency::kRAR), 1u);
+  EXPECT_EQ(a.count(FileDependency::kWAR), 1u);
+  EXPECT_EQ(a.count(FileDependency::kDAW), 1u);
+  EXPECT_EQ(a.count(FileDependency::kDAR), 1u);
+  // Inter-op gaps are one hour each.
+  EXPECT_DOUBLE_EQ(a.times(FileDependency::kWAW)[0], 3600.0);
+  EXPECT_DOUBLE_EQ(a.times(FileDependency::kDAR)[0], 3600.0);
+}
+
+TEST(FileDependencyAnalyzer, FamilySharesSumToOne) {
+  FileDependencyAnalyzer a;
+  const NodeId n = Uuid::v4(g_rng);
+  a.append(storage_done(ApiOp::kPutContent, kHour, n));
+  a.append(storage_done(ApiOp::kPutContent, 2 * kHour, n));
+  a.append(storage_done(ApiOp::kGetContent, 3 * kHour, n));
+  const double waw = a.family_share(FileDependency::kWAW);
+  const double raw = a.family_share(FileDependency::kRAW);
+  const double daw = a.family_share(FileDependency::kDAW);
+  EXPECT_NEAR(waw + raw + daw, 1.0, 1e-12);
+}
+
+TEST(FileDependencyAnalyzer, DyingFilesDetected) {
+  FileDependencyAnalyzer a;
+  const NodeId fresh = Uuid::v4(g_rng);
+  const NodeId stale = Uuid::v4(g_rng);
+  a.append(storage_done(ApiOp::kPutContent, 0, fresh));
+  a.append(storage_done(ApiOp::kUnlink, kHour, fresh));  // used recently
+  a.append(storage_done(ApiOp::kPutContent, 0, stale));
+  a.append(storage_done(ApiOp::kUnlink, 3 * kDay, stale));  // idle > 1 day
+  EXPECT_EQ(a.deleted_files(), 2u);
+  EXPECT_EQ(a.dying_files(kDay), 1u);
+}
+
+TEST(FileDependencyAnalyzer, DownloadsPerFileTracked) {
+  FileDependencyAnalyzer a;
+  const NodeId hot = Uuid::v4(g_rng);
+  const NodeId cold = Uuid::v4(g_rng);
+  a.append(storage_done(ApiOp::kPutContent, 0, hot));
+  for (int i = 1; i <= 5; ++i)
+    a.append(storage_done(ApiOp::kGetContent, i * kHour, hot));
+  a.append(storage_done(ApiOp::kPutContent, 0, cold));
+  const auto downloads = a.downloads_per_file();
+  ASSERT_EQ(downloads.size(), 1u);  // only files with >= 1 download
+  EXPECT_DOUBLE_EQ(downloads[0], 5.0);
+}
+
+TEST(FileDependencyAnalyzer, IgnoresDirsFailuresAndBootstrap) {
+  FileDependencyAnalyzer a;
+  const NodeId n = Uuid::v4(g_rng);
+  TraceRecord dir = storage_done(ApiOp::kPutContent, kHour, n);
+  dir.is_dir = true;
+  a.append(dir);
+  TraceRecord failed = storage_done(ApiOp::kPutContent, kHour, n);
+  failed.failed = true;
+  a.append(failed);
+  a.append(storage_done(ApiOp::kPutContent, -kHour, n));  // bootstrap
+  a.append(storage_done(ApiOp::kPutContent, 2 * kHour, n));
+  EXPECT_EQ(a.count(FileDependency::kWAW), 0u);
+}
+
+TraceRecord make_record(SimTime t, NodeId node, NodeId parent, VolumeId vol,
+                        bool is_dir) {
+  TraceRecord r;
+  r.t = t;
+  r.type = RecordType::kStorageDone;
+  r.api_op = ApiOp::kMake;
+  r.node = node;
+  r.parent = parent;
+  r.volume = vol;
+  r.is_dir = is_dir;
+  r.user = UserId{1};
+  r.session = SessionId{1};
+  return r;
+}
+
+TEST(NodeLifetimeAnalyzer, DirectLifetime) {
+  NodeLifetimeAnalyzer a;
+  Rng rng(1);
+  const VolumeId vol = Uuid::v4(rng);
+  const NodeId root = Uuid::v4(rng);
+  const NodeId f = Uuid::v4(rng);
+  a.append(make_record(kHour, f, root, vol, false));
+  a.append(storage_done(ApiOp::kUnlink, 5 * kHour, f));
+  ASSERT_EQ(a.file_lifetimes().size(), 1u);
+  EXPECT_DOUBLE_EQ(a.file_lifetimes()[0], 4 * 3600.0);
+  EXPECT_EQ(a.files_created(), 1u);
+}
+
+TEST(NodeLifetimeAnalyzer, DirectoryUnlinkCascades) {
+  NodeLifetimeAnalyzer a;
+  Rng rng(2);
+  const VolumeId vol = Uuid::v4(rng);
+  const NodeId root = Uuid::v4(rng);
+  const NodeId dir = Uuid::v4(rng);
+  const NodeId sub = Uuid::v4(rng);
+  const NodeId f1 = Uuid::v4(rng);
+  const NodeId f2 = Uuid::v4(rng);
+  a.append(make_record(kHour, dir, root, vol, true));
+  a.append(make_record(kHour, sub, dir, vol, true));
+  a.append(make_record(2 * kHour, f1, dir, vol, false));
+  a.append(make_record(2 * kHour, f2, sub, vol, false));
+  TraceRecord unlink = storage_done(ApiOp::kUnlink, 10 * kHour, dir);
+  unlink.is_dir = true;
+  a.append(unlink);
+  EXPECT_EQ(a.dir_lifetimes().size(), 2u);   // dir + sub
+  EXPECT_EQ(a.file_lifetimes().size(), 2u);  // f1 + f2
+  EXPECT_DOUBLE_EQ(a.file_lifetimes()[0], 8 * 3600.0);
+}
+
+TEST(NodeLifetimeAnalyzer, DeleteVolumeKillsAllNodes) {
+  NodeLifetimeAnalyzer a;
+  Rng rng(3);
+  const VolumeId vol = Uuid::v4(rng);
+  const NodeId root = Uuid::v4(rng);
+  const NodeId f1 = Uuid::v4(rng);
+  const NodeId f2 = Uuid::v4(rng);
+  a.append(make_record(kHour, f1, root, vol, false));
+  a.append(make_record(2 * kHour, f2, root, vol, false));
+  TraceRecord del;
+  del.t = kDay;
+  del.type = RecordType::kStorageDone;
+  del.api_op = ApiOp::kDeleteVolume;
+  del.volume = vol;
+  del.user = UserId{1};
+  del.session = SessionId{1};
+  a.append(del);
+  EXPECT_EQ(a.file_lifetimes().size(), 2u);
+}
+
+TEST(NodeLifetimeAnalyzer, DeletedFractions) {
+  NodeLifetimeAnalyzer a;
+  Rng rng(4);
+  const VolumeId vol = Uuid::v4(rng);
+  const NodeId root = Uuid::v4(rng);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 10; ++i) {
+    nodes.push_back(Uuid::v4(rng));
+    a.append(make_record(0, nodes.back(), root, vol, false));
+  }
+  // Delete 3 within 8h, 2 more within a month.
+  for (int i = 0; i < 3; ++i)
+    a.append(storage_done(ApiOp::kUnlink, 4 * kHour, nodes[static_cast<std::size_t>(i)]));
+  for (int i = 3; i < 5; ++i)
+    a.append(storage_done(ApiOp::kUnlink, 20 * kDay, nodes[static_cast<std::size_t>(i)]));
+  EXPECT_DOUBLE_EQ(a.file_deleted_fraction(8 * kHour), 0.3);
+  EXPECT_DOUBLE_EQ(a.file_deleted_fraction(30 * kDay), 0.5);
+}
+
+TraceRecord upload_record(SimTime t, NodeId node, const ContentId& c,
+                          std::uint64_t size, bool dedup) {
+  TraceRecord r;
+  r.t = t;
+  r.type = RecordType::kStorageDone;
+  r.api_op = ApiOp::kPutContent;
+  r.node = node;
+  r.content = c;
+  r.size_bytes = size;
+  r.transferred_bytes = dedup ? 0 : size;
+  r.deduplicated = dedup;
+  r.user = UserId{1};
+  r.session = SessionId{1};
+  return r;
+}
+
+TEST(DedupAnalyzer, RatioAndCopies) {
+  DedupAnalyzer a;
+  Rng rng(5);
+  const ContentId popular = Sha1::of("popular");
+  const ContentId unique = Sha1::of("unique");
+  a.append(upload_record(1, Uuid::v4(rng), popular, 1000, false));
+  a.append(upload_record(2, Uuid::v4(rng), popular, 1000, true));
+  a.append(upload_record(3, Uuid::v4(rng), popular, 1000, true));
+  a.append(upload_record(4, Uuid::v4(rng), unique, 1000, false));
+  // D_unique = 2000, D_total = 4000 -> dr = 0.5.
+  EXPECT_DOUBLE_EQ(a.dedup_ratio(), 0.5);
+  EXPECT_EQ(a.distinct_hashes(), 2u);
+  EXPECT_EQ(a.dedup_hits_seen(), 2u);
+  EXPECT_DOUBLE_EQ(a.unique_fraction(), 0.5);
+  auto copies = a.copies_per_hash();
+  std::sort(copies.begin(), copies.end());
+  EXPECT_DOUBLE_EQ(copies[0], 1.0);
+  EXPECT_DOUBLE_EQ(copies[1], 3.0);
+}
+
+TEST(DedupAnalyzer, EmptyIsZero) {
+  DedupAnalyzer a;
+  EXPECT_DOUBLE_EQ(a.dedup_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(a.unique_fraction(), 0.0);
+}
+
+TEST(OpMixAnalyzer, CountsAndRanking) {
+  OpMixAnalyzer a;
+  Rng rng(6);
+  const NodeId n = Uuid::v4(rng);
+  for (int i = 0; i < 5; ++i)
+    a.append(storage_done(ApiOp::kGetContent, i, n));
+  for (int i = 0; i < 3; ++i)
+    a.append(storage_done(ApiOp::kPutContent, i, n));
+  a.append(storage_done(ApiOp::kListVolumes, 1, n));
+  EXPECT_EQ(a.count(ApiOp::kGetContent), 5u);
+  EXPECT_EQ(a.total_api_ops(), 9u);
+  const auto ranked = a.ranked();
+  ASSERT_GE(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, ApiOp::kGetContent);
+  EXPECT_TRUE(a.data_ops_dominate());
+}
+
+TEST(OpMixAnalyzer, SessionEventsCounted) {
+  OpMixAnalyzer a;
+  TraceRecord open;
+  open.type = RecordType::kSession;
+  open.session_event = SessionEvent::kOpen;
+  open.t = 1;
+  a.append(open);
+  open.session_event = SessionEvent::kClose;
+  a.append(open);
+  a.append(open);
+  EXPECT_EQ(a.open_sessions(), 1u);
+  EXPECT_EQ(a.close_sessions(), 2u);
+}
+
+TEST(TransitionGraphAnalyzer, TracksPerSessionChains) {
+  TransitionGraphAnalyzer a;
+  Rng rng(7);
+  const NodeId n = Uuid::v4(rng);
+  auto storage = [&](ApiOp op, std::uint64_t session, SimTime t) {
+    TraceRecord r;
+    r.t = t;
+    r.type = RecordType::kStorage;
+    r.api_op = op;
+    r.node = n;
+    r.session = SessionId{session};
+    r.user = UserId{session};
+    return r;
+  };
+  // Session 1: Upload -> Upload -> Download.
+  a.append(storage(ApiOp::kPutContent, 1, 1));
+  a.append(storage(ApiOp::kPutContent, 1, 2));
+  a.append(storage(ApiOp::kGetContent, 1, 3));
+  // Session 2: Download -> Download. Interleaved in time.
+  a.append(storage(ApiOp::kGetContent, 2, 2));
+  a.append(storage(ApiOp::kGetContent, 2, 4));
+  EXPECT_EQ(a.total_transitions(), 3u);
+  EXPECT_DOUBLE_EQ(a.conditional(ApiOp::kPutContent, ApiOp::kPutContent),
+                   0.5);
+  EXPECT_DOUBLE_EQ(a.conditional(ApiOp::kPutContent, ApiOp::kGetContent),
+                   0.5);
+  EXPECT_DOUBLE_EQ(a.self_loop(ApiOp::kGetContent), 1.0);
+  const auto edges = a.edges();
+  ASSERT_FALSE(edges.empty());
+  double total_prob = 0;
+  for (const auto& e : edges) total_prob += e.global_probability;
+  EXPECT_NEAR(total_prob, 1.0, 1e-12);
+}
+
+TEST(TransitionGraphAnalyzer, SessionCloseResetsChain) {
+  TransitionGraphAnalyzer a;
+  TraceRecord s;
+  s.type = RecordType::kStorage;
+  s.api_op = ApiOp::kPutContent;
+  s.session = SessionId{1};
+  s.t = 1;
+  a.append(s);
+  TraceRecord close;
+  close.type = RecordType::kSession;
+  close.session_event = SessionEvent::kClose;
+  close.session = SessionId{1};
+  close.t = 2;
+  a.append(close);
+  s.t = 3;
+  a.append(s);  // same session id reused: no transition across the close
+  EXPECT_EQ(a.total_transitions(), 0u);
+}
+
+}  // namespace
+}  // namespace u1

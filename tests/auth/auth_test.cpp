@@ -1,0 +1,121 @@
+#include "auth/auth_service.hpp"
+#include "auth/token_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u1 {
+namespace {
+
+TEST(AuthService, IssueAndVerify) {
+  AuthService auth(1, 0.0);
+  const auto token = auth.issue_token(UserId{7}, kHour);
+  ASSERT_TRUE(token.has_value());
+  EXPECT_EQ(token->user, (UserId{7}));
+  const auto user = auth.verify_token(token->id, 2 * kHour);
+  ASSERT_TRUE(user.has_value());
+  EXPECT_EQ(*user, (UserId{7}));
+  EXPECT_EQ(auth.stats().issue_requests, 1u);
+  EXPECT_EQ(auth.stats().verify_requests, 1u);
+  EXPECT_EQ(auth.stats().failures, 0u);
+}
+
+TEST(AuthService, UnknownTokenRejected) {
+  AuthService auth(2, 0.0);
+  Rng rng(3);
+  EXPECT_FALSE(auth.verify_token(Uuid::v4(rng), 0).has_value());
+  EXPECT_EQ(auth.stats().rejects, 1u);
+}
+
+TEST(AuthService, RevocationBlocksVerification) {
+  AuthService auth(4, 0.0);
+  const auto t1 = auth.issue_token(UserId{1}, 0);
+  const auto t2 = auth.issue_token(UserId{1}, 0);
+  const auto t3 = auth.issue_token(UserId{2}, 0);
+  ASSERT_TRUE(t1 && t2 && t3);
+  EXPECT_TRUE(auth.revoke_user_tokens(UserId{1}));
+  EXPECT_FALSE(auth.verify_token(t1->id, 1).has_value());
+  EXPECT_FALSE(auth.verify_token(t2->id, 1).has_value());
+  EXPECT_TRUE(auth.verify_token(t3->id, 1).has_value());
+  EXPECT_FALSE(auth.revoke_user_tokens(UserId{1}));  // already revoked
+  EXPECT_FALSE(auth.revoke_user_tokens(UserId{99}));
+}
+
+TEST(AuthService, FailureRateNearConfigured) {
+  // The paper measured 2.76% of auth requests failing.
+  AuthService auth(5, 0.0276);
+  int failures = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (!auth.issue_token(UserId{1}, 0).has_value()) ++failures;
+  }
+  EXPECT_NEAR(static_cast<double>(failures) / n, 0.0276, 0.003);
+  EXPECT_EQ(auth.stats().failures, static_cast<std::uint64_t>(failures));
+}
+
+TEST(AuthService, RejectsBadFailureRate) {
+  EXPECT_THROW(AuthService(1, -0.1), std::invalid_argument);
+  EXPECT_THROW(AuthService(1, 1.0), std::invalid_argument);
+}
+
+TEST(TokenCache, HitAndMiss) {
+  TokenCache cache(4);
+  Rng rng(6);
+  const TokenId t = Uuid::v4(rng);
+  EXPECT_FALSE(cache.get(t).has_value());
+  cache.put(t, UserId{9});
+  const auto hit = cache.get(t);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, (UserId{9}));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(TokenCache, LruEviction) {
+  TokenCache cache(2);
+  Rng rng(7);
+  const TokenId a = Uuid::v4(rng);
+  const TokenId b = Uuid::v4(rng);
+  const TokenId c = Uuid::v4(rng);
+  cache.put(a, UserId{1});
+  cache.put(b, UserId{2});
+  (void)cache.get(a);   // promote a
+  cache.put(c, UserId{3});  // evicts b
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_FALSE(cache.get(b).has_value());
+  EXPECT_TRUE(cache.get(c).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(TokenCache, PutExistingUpdatesValue) {
+  TokenCache cache(2);
+  Rng rng(8);
+  const TokenId t = Uuid::v4(rng);
+  cache.put(t, UserId{1});
+  cache.put(t, UserId{2});
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(*cache.get(t), (UserId{2}));
+}
+
+TEST(TokenCache, Erase) {
+  TokenCache cache(2);
+  Rng rng(9);
+  const TokenId t = Uuid::v4(rng);
+  cache.put(t, UserId{1});
+  cache.erase(t);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(t).has_value());
+  cache.erase(t);  // idempotent
+}
+
+TEST(TokenCache, RejectsZeroCapacity) {
+  EXPECT_THROW(TokenCache(0), std::invalid_argument);
+}
+
+TEST(TokenCache, EmptyHitRateZero) {
+  TokenCache cache(4);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace u1

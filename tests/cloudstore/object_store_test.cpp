@@ -1,0 +1,101 @@
+#include "cloudstore/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u1 {
+namespace {
+
+TEST(ObjectStore, PutGetRemove) {
+  ObjectStore s3;
+  s3.put("k1", 100, kHour);
+  const auto obj = s3.get("k1");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->size_bytes, 100u);
+  EXPECT_EQ(obj->stored_at, kHour);
+  EXPECT_TRUE(s3.exists("k1"));
+  EXPECT_TRUE(s3.remove("k1"));
+  EXPECT_FALSE(s3.exists("k1"));
+  EXPECT_FALSE(s3.remove("k1"));
+  EXPECT_FALSE(s3.get("k1").has_value());
+}
+
+TEST(ObjectStore, OverwriteAdjustsBytes) {
+  ObjectStore s3;
+  s3.put("k", 100, 0);
+  s3.put("k", 40, 1);
+  EXPECT_EQ(s3.object_count(), 1u);
+  EXPECT_EQ(s3.stored_bytes(), 40u);
+}
+
+TEST(ObjectStore, ByteAccounting) {
+  ObjectStore s3;
+  s3.put("a", 10, 0);
+  s3.put("b", 20, 0);
+  EXPECT_EQ(s3.stored_bytes(), 30u);
+  s3.remove("a");
+  EXPECT_EQ(s3.stored_bytes(), 20u);
+}
+
+TEST(ObjectStore, MultipartHappyPath) {
+  ObjectStore s3;
+  const std::string id = s3.initiate_multipart("big", 0);
+  EXPECT_EQ(s3.open_multiparts(), 1u);
+  s3.upload_part(id, kMultipartChunkBytes);
+  s3.upload_part(id, kMultipartChunkBytes);
+  s3.upload_part(id, 1024);  // final short part
+  const auto state = s3.multipart_state(id);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->parts, 3u);
+  const StoredObject obj = s3.complete_multipart(id, kHour);
+  EXPECT_EQ(obj.size_bytes, 2 * kMultipartChunkBytes + 1024);
+  EXPECT_TRUE(s3.exists("big"));
+  EXPECT_EQ(s3.open_multiparts(), 0u);
+  EXPECT_FALSE(s3.multipart_state(id).has_value());
+}
+
+TEST(ObjectStore, MultipartAbortDiscards) {
+  ObjectStore s3;
+  const std::string id = s3.initiate_multipart("gone", 0);
+  s3.upload_part(id, 100);
+  EXPECT_TRUE(s3.abort_multipart(id));
+  EXPECT_FALSE(s3.exists("gone"));
+  EXPECT_FALSE(s3.abort_multipart(id));
+  EXPECT_EQ(s3.stored_bytes(), 0u);
+}
+
+TEST(ObjectStore, MultipartErrors) {
+  ObjectStore s3;
+  EXPECT_THROW(s3.upload_part("nope", 10), std::out_of_range);
+  EXPECT_THROW(s3.complete_multipart("nope", 0), std::out_of_range);
+  const std::string id = s3.initiate_multipart("k", 0);
+  EXPECT_THROW(s3.upload_part(id, 0), std::invalid_argument);
+  EXPECT_THROW(s3.complete_multipart(id, 0), std::logic_error);  // no parts
+}
+
+TEST(ObjectStore, DistinctUploadIds) {
+  ObjectStore s3;
+  const std::string a = s3.initiate_multipart("k1", 0);
+  const std::string b = s3.initiate_multipart("k2", 0);
+  EXPECT_NE(a, b);
+}
+
+TEST(ObjectStore, OperationCounters) {
+  ObjectStore s3;
+  s3.put("a", 1, 0);
+  (void)s3.get("a");
+  (void)s3.get("missing");
+  s3.remove("a");
+  EXPECT_EQ(s3.put_count(), 1u);
+  EXPECT_EQ(s3.get_count(), 2u);
+  EXPECT_EQ(s3.delete_count(), 1u);
+}
+
+TEST(ObjectStore, MonthlyBill) {
+  ObjectStore s3;
+  // 1 TB at $0.03/GB-month = $30.72.
+  s3.put("tb", 1024ull * 1024 * 1024 * 1024, 0);
+  EXPECT_NEAR(s3.monthly_bill_usd(), 30.72, 0.01);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,88 @@
+#include "mq/message_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace u1 {
+namespace {
+
+VolumeEvent make_event(std::uint64_t origin) {
+  VolumeEvent e;
+  e.kind = VolumeEvent::Kind::kNodeUpdated;
+  e.affected_user = UserId{10};
+  e.origin_process = ProcessId{origin};
+  e.at = kHour;
+  return e;
+}
+
+TEST(MessageQueue, FanOutSkipsOrigin) {
+  MessageQueue mq;
+  std::vector<std::uint64_t> received;
+  mq.subscribe(ProcessId{1}, [&](const VolumeEvent&) { received.push_back(1); });
+  mq.subscribe(ProcessId{2}, [&](const VolumeEvent&) { received.push_back(2); });
+  mq.subscribe(ProcessId{3}, [&](const VolumeEvent&) { received.push_back(3); });
+
+  const std::size_t n = mq.publish(make_event(2));
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], 1u);
+  EXPECT_EQ(received[1], 3u);
+  EXPECT_EQ(mq.published(), 1u);
+  EXPECT_EQ(mq.delivered(), 2u);
+}
+
+TEST(MessageQueue, UnsubscribeStopsDelivery) {
+  MessageQueue mq;
+  int count = 0;
+  const std::size_t h =
+      mq.subscribe(ProcessId{1}, [&](const VolumeEvent&) { ++count; });
+  mq.publish(make_event(9));
+  EXPECT_EQ(count, 1);
+  mq.unsubscribe(h);
+  mq.publish(make_event(9));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(mq.subscriber_count(), 0u);
+}
+
+TEST(MessageQueue, UnsubscribeUnknownThrows) {
+  MessageQueue mq;
+  EXPECT_THROW(mq.unsubscribe(123), std::out_of_range);
+}
+
+TEST(MessageQueue, EmptyHandlerRejected) {
+  MessageQueue mq;
+  EXPECT_THROW(mq.subscribe(ProcessId{1}, EventHandler{}),
+               std::invalid_argument);
+}
+
+TEST(MessageQueue, EventPayloadDelivered) {
+  MessageQueue mq;
+  VolumeEvent got;
+  mq.subscribe(ProcessId{1}, [&](const VolumeEvent& e) { got = e; });
+  VolumeEvent sent = make_event(5);
+  sent.kind = VolumeEvent::Kind::kShareGranted;
+  mq.publish(sent);
+  EXPECT_EQ(got.kind, VolumeEvent::Kind::kShareGranted);
+  EXPECT_EQ(got.affected_user, (UserId{10}));
+  EXPECT_EQ(got.at, kHour);
+}
+
+TEST(MessageQueue, NoSubscribersIsFine) {
+  MessageQueue mq;
+  EXPECT_EQ(mq.publish(make_event(1)), 0u);
+}
+
+TEST(MessageQueue, SameProcessShortCircuit) {
+  // Footnote 4: if both clients are on the same API process the event
+  // never reaches the queue. Modeled as publish returning 0 deliveries
+  // when the only subscriber is the origin.
+  MessageQueue mq;
+  int count = 0;
+  mq.subscribe(ProcessId{1}, [&](const VolumeEvent&) { ++count; });
+  EXPECT_EQ(mq.publish(make_event(1)), 0u);
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace u1

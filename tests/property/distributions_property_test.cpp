@@ -1,0 +1,184 @@
+// Property-style parameterized sweeps over the stochastic substrates:
+// every distribution must verify its defining invariants across a grid of
+// parameters and seeds, not just at one calibration point.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "stats/powerlaw.hpp"
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pareto: the fitted tail exponent must recover the generating alpha for
+// any (alpha, x_min) in the paper's regime.
+// ---------------------------------------------------------------------------
+struct ParetoCase {
+  double alpha;
+  double x_min;
+};
+
+class ParetoRecovery : public ::testing::TestWithParam<ParetoCase> {};
+
+TEST_P(ParetoRecovery, HillEstimatorRecoversAlpha) {
+  const auto [alpha, x_min] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(alpha * 1000 + x_min));
+  ParetoDist d(alpha, x_min);
+  std::vector<double> xs;
+  for (int i = 0; i < 40000; ++i) xs.push_back(d.sample(rng));
+  EXPECT_NEAR(hill_alpha(xs, x_min), alpha, 0.06 * alpha);
+}
+
+TEST_P(ParetoRecovery, SurvivalFunctionMatches) {
+  const auto [alpha, x_min] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(alpha * 777 + x_min));
+  ParetoDist d(alpha, x_min);
+  int above = 0;
+  const int n = 60000;
+  const double x = 3.0 * x_min;
+  for (int i = 0; i < n; ++i)
+    if (d.sample(rng) > x) ++above;
+  const double expected = std::pow(x_min / x, alpha);
+  EXPECT_NEAR(static_cast<double>(above) / n, expected, 0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRegime, ParetoRecovery,
+    ::testing::Values(ParetoCase{1.1, 1.0}, ParetoCase{1.44, 19.51},
+                      ParetoCase{1.54, 41.37}, ParetoCase{1.9, 5.0},
+                      ParetoCase{2.5, 100.0}));
+
+// ---------------------------------------------------------------------------
+// Log-normal: median invariance across (median, sigma).
+// ---------------------------------------------------------------------------
+struct LogNormalCase {
+  double median;
+  double sigma;
+};
+
+class LogNormalMedian : public ::testing::TestWithParam<LogNormalCase> {};
+
+TEST_P(LogNormalMedian, EmpiricalMedianMatches) {
+  const auto [median, sigma] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(median * 31 + sigma * 7));
+  const auto d = LogNormalDist::from_median(median, sigma);
+  std::vector<double> xs;
+  for (int i = 0; i < 60000; ++i) xs.push_back(d.sample(rng));
+  Ecdf e(std::move(xs));
+  EXPECT_NEAR(e.quantile(0.5) / median, 1.0, 0.05);
+  EXPECT_GT(e.min(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LogNormalMedian,
+    ::testing::Values(LogNormalCase{0.002, 0.5}, LogNormalCase{1.0, 1.0},
+                      LogNormalCase{350 * 1024.0, 0.8},
+                      LogNormalCase{4.2e6, 0.7}, LogNormalCase{8.0, 2.0}));
+
+// ---------------------------------------------------------------------------
+// Exponential: memorylessness P(X > s+t | X > s) = P(X > t).
+// ---------------------------------------------------------------------------
+class ExponentialMemoryless : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMemoryless, Holds) {
+  const double lambda = GetParam();
+  Rng rng(static_cast<std::uint64_t>(lambda * 1e4));
+  ExponentialDist d(lambda);
+  const double s = 1.0 / lambda;
+  const double t = 0.5 / lambda;
+  int beyond_s = 0, beyond_st = 0, beyond_t = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = d.sample(rng);
+    if (x > s) ++beyond_s;
+    if (x > s + t) ++beyond_st;
+    if (x > t) ++beyond_t;
+  }
+  ASSERT_GT(beyond_s, 1000);
+  const double conditional =
+      static_cast<double>(beyond_st) / static_cast<double>(beyond_s);
+  const double unconditional = static_cast<double>(beyond_t) / n;
+  EXPECT_NEAR(conditional, unconditional, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, ExponentialMemoryless,
+                         ::testing::Values(0.01, 0.5, 2.0, 140.0));
+
+// ---------------------------------------------------------------------------
+// Zipf: rank probabilities decay as k^-s for any (n, s).
+// ---------------------------------------------------------------------------
+struct ZipfCase {
+  std::size_t n;
+  double s;
+};
+
+class ZipfShape : public ::testing::TestWithParam<ZipfCase> {};
+
+TEST_P(ZipfShape, HeadToTailRatio) {
+  const auto [n, s] = GetParam();
+  Rng rng(n * 131 + static_cast<std::uint64_t>(s * 17));
+  ZipfDist d(n, s);
+  std::vector<int> counts(n + 1, 0);
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) counts[d.sample(rng)]++;
+  // P(1)/P(4) should be ~4^s.
+  ASSERT_GT(counts[4], 100);
+  const double ratio =
+      static_cast<double>(counts[1]) / static_cast<double>(counts[4]);
+  EXPECT_NEAR(ratio, std::pow(4.0, s), 0.25 * std::pow(4.0, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ZipfShape,
+                         ::testing::Values(ZipfCase{50, 0.7},
+                                           ZipfCase{100, 1.0},
+                                           ZipfCase{1000, 1.2}));
+
+// ---------------------------------------------------------------------------
+// Rng determinism and stream independence across seeds.
+// ---------------------------------------------------------------------------
+class RngSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeeds, DeterministicAndUniform) {
+  const std::uint64_t seed = GetParam();
+  Rng a(seed), b(seed);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t va = a.next();
+    ASSERT_EQ(va, b.next());
+    sum += static_cast<double>(va >> 11) * 0x1.0p-53;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST_P(RngSeeds, ForkDecorrelates) {
+  Rng parent(GetParam());
+  Rng child = parent.fork();
+  // Correlation between the two streams should be negligible.
+  double sum_xy = 0, sum_x = 0, sum_y = 0, sum_x2 = 0, sum_y2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = parent.uniform();
+    const double y = child.uniform();
+    sum_xy += x * y;
+    sum_x += x;
+    sum_y += y;
+    sum_x2 += x * x;
+    sum_y2 += y * y;
+  }
+  const double cov = sum_xy / n - (sum_x / n) * (sum_y / n);
+  const double vx = sum_x2 / n - (sum_x / n) * (sum_x / n);
+  const double vy = sum_y2 / n - (sum_y / n) * (sum_y / n);
+  EXPECT_LT(std::abs(cov / std::sqrt(vx * vy)), 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeeds,
+                         ::testing::Values(1ull, 42ull, 20140111ull,
+                                           0xdeadbeefull));
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,121 @@
+#include "proto/operations.hpp"
+
+#include <gtest/gtest.h>
+
+#include "proto/ids.hpp"
+
+#include <set>
+
+namespace u1 {
+namespace {
+
+TEST(ApiOp, RoundTripStrings) {
+  for (const ApiOp op : all_api_ops()) {
+    const auto back = api_op_from_string(to_string(op));
+    ASSERT_TRUE(back.has_value()) << to_string(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(ApiOp, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (const ApiOp op : all_api_ops()) names.insert(to_string(op));
+  EXPECT_EQ(names.size(), kApiOpCount);
+}
+
+TEST(ApiOp, UnknownNameRejected) {
+  EXPECT_FALSE(api_op_from_string("NotAnOp").has_value());
+  EXPECT_FALSE(api_op_from_string("").has_value());
+}
+
+TEST(ApiOp, DataOpClassification) {
+  EXPECT_TRUE(is_data_op(ApiOp::kPutContent));
+  EXPECT_TRUE(is_data_op(ApiOp::kGetContent));
+  EXPECT_FALSE(is_data_op(ApiOp::kUnlink));
+  EXPECT_FALSE(is_data_op(ApiOp::kListVolumes));
+}
+
+TEST(ApiOp, StorageOpMatchesPaperActiveDefinition) {
+  // Active users "perform data management operations on volumes, such as
+  // uploading a file or creating a new directory" (§6.1).
+  EXPECT_TRUE(is_storage_op(ApiOp::kPutContent));
+  EXPECT_TRUE(is_storage_op(ApiOp::kMake));
+  EXPECT_TRUE(is_storage_op(ApiOp::kUnlink));
+  EXPECT_TRUE(is_storage_op(ApiOp::kDeleteVolume));
+  EXPECT_FALSE(is_storage_op(ApiOp::kListVolumes));
+  EXPECT_FALSE(is_storage_op(ApiOp::kOpenSession));
+  EXPECT_FALSE(is_storage_op(ApiOp::kGetDelta));
+  EXPECT_FALSE(is_storage_op(ApiOp::kAuthenticate));
+}
+
+TEST(RpcOp, RoundTripStrings) {
+  for (const RpcOp op : all_rpc_ops()) {
+    const auto back = rpc_op_from_string(to_string(op));
+    ASSERT_TRUE(back.has_value()) << to_string(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(RpcOp, NamesCarryDalPrefix) {
+  for (const RpcOp op : all_rpc_ops()) {
+    const std::string_view name = to_string(op);
+    EXPECT_TRUE(name.starts_with("dal.") || name.starts_with("auth."))
+        << name;
+  }
+}
+
+TEST(RpcOp, PaperCascadeOps) {
+  // "cascade operations (delete_volume and get_from_scratch) are the
+  // slowest type of RPC" (Fig. 13).
+  EXPECT_EQ(rpc_class(RpcOp::kDeleteVolume), RpcClass::kCascade);
+  EXPECT_EQ(rpc_class(RpcOp::kGetFromScratch), RpcClass::kCascade);
+}
+
+TEST(RpcOp, ReadOpsClassified) {
+  EXPECT_EQ(rpc_class(RpcOp::kListVolumes), RpcClass::kRead);
+  EXPECT_EQ(rpc_class(RpcOp::kGetNode), RpcClass::kRead);
+  EXPECT_EQ(rpc_class(RpcOp::kGetUserIdFromToken), RpcClass::kRead);
+  EXPECT_EQ(rpc_class(RpcOp::kGetReusableContent), RpcClass::kRead);
+}
+
+TEST(RpcOp, WriteOpsClassified) {
+  EXPECT_EQ(rpc_class(RpcOp::kMakeFile), RpcClass::kWrite);
+  EXPECT_EQ(rpc_class(RpcOp::kMakeContent), RpcClass::kWrite);
+  EXPECT_EQ(rpc_class(RpcOp::kUnlinkNode), RpcClass::kWrite);
+  EXPECT_EQ(rpc_class(RpcOp::kTouchUploadJob), RpcClass::kWrite);
+}
+
+TEST(RpcOp, ExactlyTwoCascades) {
+  int cascades = 0;
+  for (const RpcOp op : all_rpc_ops())
+    if (rpc_class(op) == RpcClass::kCascade) ++cascades;
+  EXPECT_EQ(cascades, 2);
+}
+
+TEST(RpcClass, Names) {
+  EXPECT_EQ(to_string(RpcClass::kRead), "read");
+  EXPECT_EQ(to_string(RpcClass::kWrite), "write");
+  EXPECT_EQ(to_string(RpcClass::kCascade), "cascade");
+}
+
+TEST(StrongId, DistinctTypesAndValidity) {
+  UserId u{5};
+  SessionId s{5};
+  EXPECT_TRUE(u.valid());
+  EXPECT_FALSE(UserId{}.valid());
+  // UserId and SessionId are different types; equality only within type.
+  EXPECT_EQ(u, (UserId{5}));
+  EXPECT_NE(u, (UserId{6}));
+  EXPECT_LT((UserId{1}), (UserId{2}));
+  (void)s;
+}
+
+TEST(StrongId, HashSpreads) {
+  std::set<std::size_t> hashes;
+  for (std::uint64_t i = 1; i <= 1000; ++i)
+    hashes.insert(std::hash<UserId>{}(UserId{i}));
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,92 @@
+#include "server/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace u1 {
+namespace {
+
+TEST(ServerFleet, ConstructionLayout) {
+  ServerFleet fleet(FleetConfig{6, 12}, 1);
+  EXPECT_EQ(fleet.machine_count(), 6u);
+  EXPECT_EQ(fleet.process_count(), 72u);
+  // Every process maps to a valid machine.
+  for (std::size_t p = 1; p <= 72; ++p) {
+    const MachineId m = fleet.machine_of(ProcessId{p});
+    EXPECT_GE(m.value, 1u);
+    EXPECT_LE(m.value, 6u);
+  }
+}
+
+TEST(ServerFleet, RejectsZeroConfig) {
+  EXPECT_THROW(ServerFleet(FleetConfig{0, 4}, 1), std::invalid_argument);
+  EXPECT_THROW(ServerFleet(FleetConfig{4, 0}, 1), std::invalid_argument);
+}
+
+TEST(ServerFleet, PlacementPrefersLeastLoaded) {
+  ServerFleet fleet(FleetConfig{3, 2}, 2);
+  // First three placements land on three distinct machines (leastconn).
+  std::set<std::uint64_t> machines;
+  for (int i = 0; i < 3; ++i) machines.insert(fleet.place_session().machine.value);
+  EXPECT_EQ(machines.size(), 3u);
+  EXPECT_EQ(fleet.total_open_sessions(), 3u);
+}
+
+TEST(ServerFleet, PlacementProcessBelongsToMachine) {
+  ServerFleet fleet(FleetConfig{4, 8}, 3);
+  for (int i = 0; i < 100; ++i) {
+    const auto p = fleet.place_session();
+    EXPECT_EQ(fleet.machine_of(p.process), p.machine);
+  }
+}
+
+TEST(ServerFleet, EndSessionReleasesSlot) {
+  ServerFleet fleet(FleetConfig{2, 2}, 4);
+  const auto a = fleet.place_session();
+  EXPECT_EQ(fleet.open_sessions(a.machine), 1u);
+  fleet.end_session(a.machine);
+  EXPECT_EQ(fleet.open_sessions(a.machine), 0u);
+  EXPECT_THROW(fleet.end_session(a.machine), std::logic_error);
+}
+
+TEST(ServerFleet, BadIdsThrow) {
+  ServerFleet fleet(FleetConfig{2, 2}, 5);
+  EXPECT_THROW(fleet.machine_of(ProcessId{0}), std::out_of_range);
+  EXPECT_THROW(fleet.machine_of(ProcessId{99}), std::out_of_range);
+  EXPECT_THROW(fleet.open_sessions(MachineId{0}), std::out_of_range);
+  EXPECT_THROW(fleet.end_session(MachineId{9}), std::out_of_range);
+}
+
+TEST(ServerFleet, MigrationMovesProcessesButKeepsCoverage) {
+  ServerFleet fleet(FleetConfig{4, 10}, 6);
+  std::size_t moved_total = 0;
+  for (int i = 0; i < 10; ++i) moved_total += fleet.migrate_processes(0.5);
+  EXPECT_GT(moved_total, 0u);
+  // Machines must all keep at least one process: placements never throw.
+  for (int i = 0; i < 200; ++i) {
+    const auto p = fleet.place_session();
+    EXPECT_EQ(fleet.machine_of(p.process), p.machine);
+  }
+}
+
+TEST(ServerFleet, MigrationValidatesFraction) {
+  ServerFleet fleet(FleetConfig{2, 2}, 7);
+  EXPECT_THROW(fleet.migrate_processes(-0.1), std::invalid_argument);
+  EXPECT_THROW(fleet.migrate_processes(1.1), std::invalid_argument);
+  EXPECT_EQ(fleet.migrate_processes(0.0), 0u);
+}
+
+TEST(ServerFleet, LongRunBalancedPlacements) {
+  ServerFleet fleet(FleetConfig{6, 12}, 8);
+  std::vector<int> per_machine(6, 0);
+  for (int i = 0; i < 6000; ++i) {
+    const auto p = fleet.place_session();
+    per_machine[p.machine.value - 1]++;
+  }
+  // leastconn with no departures gives near-perfect balance.
+  for (const int c : per_machine) EXPECT_EQ(c, 1000);
+}
+
+}  // namespace
+}  // namespace u1

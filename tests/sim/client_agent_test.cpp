@@ -1,0 +1,176 @@
+// Direct tests of the desktop-client agent against a real backend:
+// handshake sequence, session lifecycle, bootstrap, namespace mirroring.
+#include "sim/client_agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "trace/sink.hpp"
+
+namespace u1 {
+namespace {
+
+class ClientAgentTest : public ::testing::Test {
+ protected:
+  ClientAgentTest()
+      : pool_(0.2, 0.9, 1),
+        backend_cfg_(make_backend_cfg()),
+        backend_(backend_cfg_, sink_) {
+    ctx_.files = &files_;
+    ctx_.contents = &pool_;
+    ctx_.users = &users_;
+    ctx_.transitions = &transitions_;
+    ctx_.diurnal = &diurnal_;
+    ctx_.bursts = &bursts_;
+  }
+
+  static BackendConfig make_backend_cfg() {
+    BackendConfig cfg;
+    cfg.auth_failure_rate = 0.0;
+    cfg.seed = 9;
+    return cfg;
+  }
+
+  ClientAgent make_agent(std::uint64_t uid, UserProfile profile) {
+    const UserAccount acc = backend_.register_user(UserId{uid}, 0);
+    return ClientAgent(UserId{uid}, profile, acc, ctx_, Rng(uid * 7 + 1));
+  }
+
+  static UserProfile heavy_profile() {
+    UserProfile p;
+    p.user_class = UserClass::kHeavy;
+    p.activity = 4.0;
+    p.sessions_per_day = 3.0;
+    p.active_session_prob = 0.9;  // make sessions reliably active
+    p.udf_volumes = 2;
+    return p;
+  }
+
+  FileModel files_;
+  ContentPool pool_;
+  UserModel users_;
+  TransitionModel transitions_;
+  DiurnalModel diurnal_;
+  BurstProcess bursts_;
+  WorkloadContext ctx_;
+  InMemorySink sink_;
+  BackendConfig backend_cfg_;
+  U1Backend backend_;
+};
+
+TEST_F(ClientAgentTest, BootstrapSeedsNamespaceBeforeTraceStart) {
+  ClientAgent agent = make_agent(1, heavy_profile());
+  agent.bootstrap(backend_, -3 * kDay, 25);
+  EXPECT_GE(agent.file_count(), 25u);
+  EXPECT_FALSE(agent.connected());
+  // All records strictly before the trace window.
+  for (const TraceRecord& r : sink_.records()) EXPECT_LT(r.t, 0);
+  // The store saw the files.
+  EXPECT_GE(backend_.store().total_nodes(), 25u);
+}
+
+TEST_F(ClientAgentTest, WakeConnectsAndRunsHandshake) {
+  ClientAgent agent = make_agent(1, heavy_profile());
+  const SimTime next = agent.on_wake(backend_, kHour);
+  EXPECT_TRUE(agent.connected());
+  EXPECT_GT(next, kHour);
+  // Handshake emitted the Fig. 8 start flow: caps + ListVolumes.
+  bool saw_caps = false, saw_list = false, saw_open = false;
+  for (const TraceRecord& r : sink_.records()) {
+    if (r.type == RecordType::kSession &&
+        r.session_event == SessionEvent::kOpen)
+      saw_open = true;
+    if (r.type == RecordType::kStorageDone) {
+      saw_caps |= r.api_op == ApiOp::kQuerySetCaps;
+      saw_list |= r.api_op == ApiOp::kListVolumes;
+    }
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_caps);
+  EXPECT_TRUE(saw_list);
+}
+
+TEST_F(ClientAgentTest, DrivenAgentEventuallyDisconnects) {
+  ClientAgent agent = make_agent(1, heavy_profile());
+  agent.bootstrap(backend_, -2 * kDay, 10);
+  SimTime t = kHour;
+  bool was_connected = false;
+  for (int i = 0; i < 10000 && t < 30 * kDay; ++i) {
+    t = agent.on_wake(backend_, t);
+    was_connected |= agent.connected();
+    if (was_connected && !agent.connected()) break;
+  }
+  EXPECT_TRUE(was_connected);
+  EXPECT_FALSE(agent.connected());
+  // The close record exists and sessions balance.
+  std::uint64_t opens = 0, closes = 0;
+  for (const TraceRecord& r : sink_.records()) {
+    if (r.type != RecordType::kSession) continue;
+    if (r.session_event == SessionEvent::kOpen) ++opens;
+    if (r.session_event == SessionEvent::kClose) ++closes;
+  }
+  EXPECT_GE(opens, 1u);
+  EXPECT_EQ(opens, closes);
+}
+
+TEST_F(ClientAgentTest, ActiveAgentPerformsStorageOps) {
+  ClientAgent agent = make_agent(1, heavy_profile());
+  agent.bootstrap(backend_, -2 * kDay, 10);
+  SimTime t = kHour;
+  for (int i = 0; i < 3000 && t < 20 * kDay; ++i) t = agent.on_wake(backend_, t);
+  std::uint64_t storage_ops = 0;
+  for (const TraceRecord& r : sink_.records()) {
+    if (r.t >= 0 && r.type == RecordType::kStorageDone &&
+        is_storage_op(r.api_op))
+      ++storage_ops;
+  }
+  EXPECT_GT(storage_ops, 10u);
+}
+
+TEST_F(ClientAgentTest, AuthFailureTriggersBackoff) {
+  BackendConfig cfg = make_backend_cfg();
+  cfg.auth_failure_rate = 0.999;
+  InMemorySink sink;
+  U1Backend failing(cfg, sink);
+  const UserAccount acc = failing.register_user(UserId{5}, 0);
+  ClientAgent agent(UserId{5}, heavy_profile(), acc, ctx_, Rng(3));
+  const SimTime t1 = agent.on_wake(failing, kHour);
+  EXPECT_FALSE(agent.connected());
+  EXPECT_GT(t1, kHour + 20 * kSecond);  // backoff applied
+  const SimTime t2 = agent.on_wake(failing, t1);
+  EXPECT_GT(t2 - t1, (t1 - kHour) / 2);  // grows (roughly) exponentially
+}
+
+TEST_F(ClientAgentTest, ColdProfileMostlyIdles) {
+  UserProfile cold;
+  cold.user_class = UserClass::kOccasional;
+  cold.activity = 1.0;
+  cold.sessions_per_day = 1.0;
+  cold.active_session_prob = 0.0;  // never active
+  ClientAgent agent = make_agent(2, cold);
+  SimTime t = kHour;
+  for (int i = 0; i < 500 && t < 20 * kDay; ++i) t = agent.on_wake(backend_, t);
+  for (const TraceRecord& r : sink_.records()) {
+    if (r.type == RecordType::kStorageDone) {
+      EXPECT_FALSE(is_storage_op(r.api_op))
+          << to_string(r.api_op) << " from a never-active profile";
+    }
+  }
+}
+
+TEST_F(ClientAgentTest, MirrorsServerNamespace) {
+  // After a long run, every file the agent believes in must exist in the
+  // metadata store (the agent's local mirror never drifts).
+  ClientAgent agent = make_agent(3, heavy_profile());
+  agent.bootstrap(backend_, -2 * kDay, 15);
+  SimTime t = kHour;
+  for (int i = 0; i < 2000 && t < 20 * kDay; ++i) t = agent.on_wake(backend_, t);
+  const auto& store = backend_.store();
+  const auto& shard = store.shard(store.shard_of(UserId{3}));
+  // node_count counts volume roots too; the mirror only tracks files/dirs.
+  EXPECT_GE(shard.node_count(), agent.file_count());
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,70 @@
+#include "stats/acf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(Acf, LagZeroIsOne) {
+  const std::vector<double> v = {1, 3, 2, 5, 4, 6, 2, 8};
+  const auto r = autocorrelation(v, 3);
+  EXPECT_DOUBLE_EQ(r.acf[0], 1.0);
+}
+
+TEST(Acf, WhiteNoiseMostlyInsideBand) {
+  Rng rng(1);
+  std::vector<double> v;
+  for (int i = 0; i < 2000; ++i) v.push_back(rng.uniform());
+  const auto r = autocorrelation(v, 50);
+  // For iid noise ~5% of lags may exceed the 95% band; allow some slack.
+  EXPECT_LE(r.significant_lags, 8u);
+  EXPECT_NEAR(r.confidence_bound, 2.0 / std::sqrt(2000.0), 1e-12);
+}
+
+TEST(Acf, PeriodicSignalShowsPeriodicAcf) {
+  // 24-sample period, like the diurnal R/W ratio pattern of Fig. 2(c).
+  std::vector<double> v;
+  for (int i = 0; i < 24 * 30; ++i)
+    v.push_back(std::sin(2 * M_PI * i / 24.0));
+  const auto r = autocorrelation(v, 48);
+  EXPECT_GT(r.acf[24], 0.9);       // in phase after one period
+  EXPECT_LT(r.acf[12], -0.9);      // anti-phase at half period
+  EXPECT_GT(r.significant_lags, 30u);
+}
+
+TEST(Acf, ConstantSeries) {
+  const std::vector<double> v(100, 3.0);
+  const auto r = autocorrelation(v, 10);
+  EXPECT_DOUBLE_EQ(r.acf[0], 1.0);
+  for (std::size_t k = 1; k <= 10; ++k) EXPECT_DOUBLE_EQ(r.acf[k], 0.0);
+  EXPECT_EQ(r.significant_lags, 0u);
+}
+
+TEST(Acf, RejectsDegenerateInputs) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(autocorrelation(one, 0), std::invalid_argument);
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_THROW(autocorrelation(v, 3), std::invalid_argument);
+}
+
+TEST(Acf, StrongPositiveCorrelationAtLagOne) {
+  // Random walk increments are correlated; use a slowly-varying series.
+  Rng rng(3);
+  std::vector<double> v;
+  double x = 0;
+  for (int i = 0; i < 1000; ++i) {
+    x = 0.95 * x + rng.uniform(-1, 1);
+    v.push_back(x);
+  }
+  const auto r = autocorrelation(v, 5);
+  EXPECT_GT(r.acf[1], 0.8);
+  EXPECT_GT(r.acf[1], r.acf[5]);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,75 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(Pearson, PerfectLinear) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentNearZero) {
+  Rng rng(9);
+  std::vector<double> x, y;
+  for (int i = 0; i < 20000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.03);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const std::vector<double> x = {3, 3, 3};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, RejectsMismatchedOrShort) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_THROW(pearson(a, b), std::invalid_argument);
+  const std::vector<double> one = {1};
+  EXPECT_THROW(pearson(one, one), std::invalid_argument);
+}
+
+TEST(Pearson, VolumeLikeStrongCorrelation) {
+  // Files vs directories per volume: dirs ≈ files/12 with noise, as in
+  // Fig. 10 (Pearson 0.998).
+  Rng rng(10);
+  std::vector<double> files, dirs;
+  for (int i = 0; i < 5000; ++i) {
+    const double f = rng.uniform(0, 10000);
+    files.push_back(f);
+    dirs.push_back(f / 12.0 + rng.uniform(-5, 5));
+  }
+  EXPECT_GT(pearson(files, dirs), 0.99);
+}
+
+TEST(Spearman, MonotoneNonlinearIsOne) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 8, 27, 64, 125};  // x^3: nonlinear
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace u1

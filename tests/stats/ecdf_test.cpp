@@ -1,0 +1,101 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(Ecdf, RejectsEmpty) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Ecdf, AtStepFunction) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesDuplicates) {
+  Ecdf e({5.0, 5.0, 5.0, 10.0});
+  EXPECT_DOUBLE_EQ(e.at(5.0), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(9.9), 0.75);
+  EXPECT_DOUBLE_EQ(e.at(10.0), 1.0);
+}
+
+TEST(Ecdf, QuantileInterpolates) {
+  Ecdf e({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 10.0);
+}
+
+TEST(Ecdf, QuantileRejectsOutOfRange) {
+  Ecdf e({1.0, 2.0});
+  EXPECT_THROW(e.quantile(-0.1), std::domain_error);
+  EXPECT_THROW(e.quantile(1.1), std::domain_error);
+}
+
+TEST(Ecdf, SingleElement) {
+  Ecdf e({7.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.3), 7.0);
+  EXPECT_DOUBLE_EQ(e.at(6.9), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(7.0), 1.0);
+}
+
+TEST(Ecdf, MedianOfUniformSampleNearHalf) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(rng.uniform());
+  Ecdf e(std::move(xs));
+  EXPECT_NEAR(e.quantile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(e.at(0.25), 0.25, 0.01);
+}
+
+TEST(Ecdf, EvaluateMatchesAt) {
+  Ecdf e({1, 2, 3, 4, 5});
+  const std::vector<double> xs = {0, 2.5, 5, 9};
+  const auto ys = e.evaluate(xs);
+  ASSERT_EQ(ys.size(), 4u);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_DOUBLE_EQ(ys[i], e.at(xs[i]));
+}
+
+TEST(Ecdf, CcdfPointsAreComplementary) {
+  Ecdf e({1.0, 1.0, 2.0, 3.0});
+  const auto pts = e.ccdf_points();
+  ASSERT_EQ(pts.size(), 3u);  // distinct values
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_DOUBLE_EQ(pts[0].second, 0.5);  // two of four strictly above 1
+  EXPECT_DOUBLE_EQ(pts[2].first, 3.0);
+  EXPECT_DOUBLE_EQ(pts[2].second, 0.0);
+}
+
+TEST(LogSpace, EndpointsAndMonotone) {
+  const auto g = log_space(0.001, 100.0, 26);
+  ASSERT_EQ(g.size(), 26u);
+  EXPECT_NEAR(g.front(), 0.001, 1e-9);
+  EXPECT_NEAR(g.back(), 100.0, 1e-9);
+  for (std::size_t i = 1; i < g.size(); ++i) EXPECT_GT(g[i], g[i - 1]);
+}
+
+TEST(LogSpace, RejectsBadArgs) {
+  EXPECT_THROW(log_space(0.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_space(1.0, 1.0, 5), std::invalid_argument);
+  EXPECT_THROW(log_space(1.0, 2.0, 1), std::invalid_argument);
+}
+
+TEST(LinSpace, EndpointsAndSpacing) {
+  const auto g = lin_space(0.0, 10.0, 11);
+  ASSERT_EQ(g.size(), 11u);
+  EXPECT_DOUBLE_EQ(g[0], 0.0);
+  EXPECT_DOUBLE_EQ(g[5], 5.0);
+  EXPECT_DOUBLE_EQ(g[10], 10.0);
+}
+
+}  // namespace
+}  // namespace u1

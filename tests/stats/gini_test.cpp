@@ -1,0 +1,89 @@
+#include "stats/gini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(Gini, PerfectEqualityIsZero) {
+  const std::vector<double> v(100, 5.0);
+  EXPECT_NEAR(gini(v), 0.0, 1e-9);
+}
+
+TEST(Gini, ExtremeInequalityApproachesOne) {
+  std::vector<double> v(1000, 0.0);
+  v.back() = 100.0;
+  EXPECT_NEAR(gini(v), 1.0, 2e-3);  // (n-1)/n
+}
+
+TEST(Gini, KnownSmallExample) {
+  // For {1,2,3}: Gini = 2/9 ≈ 0.2222.
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_NEAR(gini(v), 2.0 / 9.0, 1e-9);
+}
+
+TEST(Gini, ScaleInvariant) {
+  Rng rng(2);
+  std::vector<double> v, w;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0, 10);
+    v.push_back(x);
+    w.push_back(x * 1000.0);
+  }
+  EXPECT_NEAR(gini(v), gini(w), 1e-9);
+}
+
+TEST(Gini, RejectsNegativeAndEmpty) {
+  EXPECT_THROW(gini(std::vector<double>{}), std::invalid_argument);
+  const std::vector<double> neg = {1.0, -2.0};
+  EXPECT_THROW(gini(neg), std::invalid_argument);
+}
+
+TEST(Lorenz, CurveEndpointsAndMonotonicity) {
+  const std::vector<double> v = {5, 1, 3, 7, 9};
+  const auto c = lorenz(v);
+  ASSERT_GE(c.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.points.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(c.points.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(c.points.back().first, 1.0);
+  EXPECT_NEAR(c.points.back().second, 1.0, 1e-12);
+  for (std::size_t i = 1; i < c.points.size(); ++i) {
+    EXPECT_GE(c.points[i].first, c.points[i - 1].first);
+    EXPECT_GE(c.points[i].second, c.points[i - 1].second);
+    // Lorenz curve lies below the diagonal.
+    EXPECT_LE(c.points[i].second, c.points[i].first + 1e-12);
+  }
+}
+
+TEST(Lorenz, TopShareOfParetoLikeSample) {
+  // Construct a sample where the top 1% holds ~65% of the mass, mimicking
+  // the paper's "1% of users generate 65% of the traffic".
+  std::vector<double> v(990, 1.0);
+  // 10 heavy users share 65/35 * 990 total weight.
+  const double heavy_total = 990.0 * 65.0 / 35.0;
+  for (int i = 0; i < 10; ++i) v.push_back(heavy_total / 10.0);
+  const auto c = lorenz(v);
+  EXPECT_NEAR(c.top_share(0.01), 0.65, 0.01);
+  EXPECT_GT(c.gini, 0.6);
+}
+
+TEST(Lorenz, TopShareBounds) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  const auto c = lorenz(v);
+  EXPECT_NEAR(c.top_share(1.0), 1.0, 1e-12);
+  EXPECT_THROW(c.top_share(0.0), std::domain_error);
+  EXPECT_THROW(c.top_share(1.5), std::domain_error);
+}
+
+TEST(Lorenz, AllZeroValuesDegradeToEquality) {
+  const std::vector<double> v(10, 0.0);
+  const auto c = lorenz(v);
+  EXPECT_NEAR(c.gini, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,102 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u1 {
+namespace {
+
+TEST(Histogram, BinPlacement) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.count(0), 2);
+  EXPECT_DOUBLE_EQ(h.count(1), 1);
+  EXPECT_DOUBLE_EQ(h.count(4), 1);
+  EXPECT_DOUBLE_EQ(h.total(), 4);
+}
+
+TEST(Histogram, UnderOverflowClampedAndCounted) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_DOUBLE_EQ(h.count(0), 1);
+  EXPECT_DOUBLE_EQ(h.count(1), 1);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0, 2.5);
+  h.add(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 17.5);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+  EXPECT_THROW(h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// The paper's Fig. 2(b) size categories: <0.5, 0.5-1, 1-5, 5-25, >25 MB.
+TEST(EdgeHistogram, PaperSizeCategories) {
+  EdgeHistogram h({0.5, 1.0, 5.0, 25.0});
+  ASSERT_EQ(h.bins(), 5u);
+  h.add(0.1);    // bin 0
+  h.add(0.5);    // bin 0 (closed right edge)
+  h.add(0.75);   // bin 1
+  h.add(3.0);    // bin 2
+  h.add(20.0);   // bin 3
+  h.add(100.0);  // bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 2);
+  EXPECT_DOUBLE_EQ(h.count(1), 1);
+  EXPECT_DOUBLE_EQ(h.count(2), 1);
+  EXPECT_DOUBLE_EQ(h.count(3), 1);
+  EXPECT_DOUBLE_EQ(h.count(4), 1);
+}
+
+TEST(EdgeHistogram, FractionsSumToOne) {
+  EdgeHistogram h({1.0, 2.0});
+  h.add(0.5, 2.0);
+  h.add(1.5, 1.0);
+  h.add(9.0, 1.0);
+  double sum = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) sum += h.fraction(i);
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(EdgeHistogram, Labels) {
+  EdgeHistogram h({0.5, 1.0, 5.0, 25.0});
+  EXPECT_EQ(h.label(0), "x<0.5");
+  EXPECT_EQ(h.label(1), "0.5<x<1");
+  EXPECT_EQ(h.label(2), "1<x<5");
+  EXPECT_EQ(h.label(3), "5<x<25");
+  EXPECT_EQ(h.label(4), "25<x");
+}
+
+TEST(EdgeHistogram, RejectsUnsortedOrEmptyEdges) {
+  EXPECT_THROW(EdgeHistogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(EdgeHistogram(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(EdgeHistogram, ZeroTotalFractionIsZero) {
+  EdgeHistogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,96 @@
+#include "stats/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+std::vector<double> pareto_sample(double alpha, double x_min, int n,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  ParetoDist d(alpha, x_min);
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(d.sample(rng));
+  return v;
+}
+
+TEST(HillAlpha, RecoversKnownExponent) {
+  const auto v = pareto_sample(1.54, 41.37, 50000, 1);
+  EXPECT_NEAR(hill_alpha(v, 41.37), 1.54, 0.03);
+}
+
+TEST(HillAlpha, RecoversUnlinkParameters) {
+  // The paper's Unlink fit: alpha=1.44, theta=19.51.
+  const auto v = pareto_sample(1.44, 19.51, 50000, 2);
+  EXPECT_NEAR(hill_alpha(v, 19.51), 1.44, 0.03);
+}
+
+TEST(HillAlpha, RejectsBadInputs) {
+  const std::vector<double> v = {1.0, 2.0};
+  EXPECT_THROW(hill_alpha(v, 0.0), std::invalid_argument);
+  EXPECT_THROW(hill_alpha(v, 100.0), std::invalid_argument);  // empty tail
+}
+
+TEST(KsDistance, SmallForTrueModel) {
+  const auto v = pareto_sample(1.5, 10.0, 20000, 3);
+  EXPECT_LT(ks_distance(v, 10.0, 1.5), 0.02);
+}
+
+TEST(KsDistance, LargeForWrongModel) {
+  const auto v = pareto_sample(1.5, 10.0, 20000, 4);
+  EXPECT_GT(ks_distance(v, 10.0, 4.0), 0.2);
+}
+
+TEST(FitPowerLaw, RecoversPureParetoSample) {
+  const auto v = pareto_sample(1.54, 41.37, 30000, 5);
+  const auto fit = fit_power_law(v);
+  EXPECT_NEAR(fit.alpha, 1.54, 0.1);
+  EXPECT_LT(fit.ks, 0.03);
+  EXPECT_GT(fit.tail_n, 1000u);
+}
+
+TEST(FitPowerLaw, FindsTailOfMixedBody) {
+  // Exponential body below 50, Pareto tail above: fit should place x_min
+  // near the transition and recover the tail exponent.
+  Rng rng(6);
+  ExponentialDist body(1.0 / 10.0);
+  ParetoDist tail(1.7, 50.0);
+  std::vector<double> v;
+  for (int i = 0; i < 30000; ++i) {
+    v.push_back(rng.chance(0.7) ? body.sample(rng) : tail.sample(rng));
+  }
+  const auto fit = fit_power_law(v);
+  EXPECT_GT(fit.x_min, 10.0);
+  EXPECT_NEAR(fit.alpha, 1.7, 0.25);
+}
+
+TEST(FitPowerLaw, RejectsTinySamples) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_THROW(fit_power_law(v), std::invalid_argument);
+}
+
+TEST(CvSquared, PoissonLikeIsOne) {
+  Rng rng(7);
+  ExponentialDist d(2.0);
+  std::vector<double> v;
+  for (int i = 0; i < 100000; ++i) v.push_back(d.sample(rng));
+  EXPECT_NEAR(cv_squared(v), 1.0, 0.05);
+}
+
+TEST(CvSquared, ParetoIsBursty) {
+  const auto v = pareto_sample(1.6, 1.0, 100000, 8);
+  EXPECT_GT(cv_squared(v), 3.0);
+}
+
+TEST(CvSquared, ConstantIsZero) {
+  const std::vector<double> v(100, 5.0);
+  EXPECT_DOUBLE_EQ(cv_squared(v), 0.0);
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,97 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleValueZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0, 100);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean_before = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(Boxplot, FiveNumberSummary) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto b = boxplot(v);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 5);
+  EXPECT_DOUBLE_EQ(b.max, 9);
+  EXPECT_DOUBLE_EQ(b.q1, 3);
+  EXPECT_DOUBLE_EQ(b.q3, 7);
+  EXPECT_DOUBLE_EQ(b.mean, 5);
+  EXPECT_DOUBLE_EQ(b.iqr(), 4);
+}
+
+TEST(Boxplot, RejectsEmpty) {
+  EXPECT_THROW(boxplot(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Boxplot, UnsortedInput) {
+  const std::vector<double> v = {9, 1, 5, 3, 7};
+  const auto b = boxplot(v);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.max, 9);
+  EXPECT_DOUBLE_EQ(b.median, 5);
+}
+
+TEST(MeanMedian, Helpers) {
+  const std::vector<double> v = {1, 2, 3, 10};
+  EXPECT_DOUBLE_EQ(mean_of(v), 4.0);
+  EXPECT_DOUBLE_EQ(median_of(v), 2.5);
+  EXPECT_THROW(mean_of(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(median_of(std::vector<double>{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace u1

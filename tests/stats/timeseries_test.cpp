@@ -1,0 +1,98 @@
+#include "stats/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u1 {
+namespace {
+
+TEST(TimeBinSeries, BinAssignment) {
+  TimeBinSeries s(0, 3 * kHour, kHour);
+  ASSERT_EQ(s.bins(), 3u);
+  s.add(0);
+  s.add(kHour - 1);
+  s.add(kHour);
+  s.add(2 * kHour + 30 * kMinute, 2.0);
+  EXPECT_DOUBLE_EQ(s.value(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.value(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 2.0);
+}
+
+TEST(TimeBinSeries, OutOfRangeDropped) {
+  TimeBinSeries s(kHour, 2 * kHour, kHour);
+  s.add(0);
+  s.add(5 * kHour);
+  s.add(kHour);
+  EXPECT_EQ(s.dropped(), 2u);
+  EXPECT_DOUBLE_EQ(s.value(0), 1.0);
+}
+
+TEST(TimeBinSeries, PartialLastBin) {
+  // Range not divisible by width: last partial bin still exists.
+  TimeBinSeries s(0, kHour + kMinute, kHour);
+  ASSERT_EQ(s.bins(), 2u);
+  s.add(kHour + 30 * kSecond);
+  EXPECT_DOUBLE_EQ(s.value(1), 1.0);
+}
+
+TEST(TimeBinSeries, BinStart) {
+  TimeBinSeries s(kDay, 2 * kDay, kHour);
+  EXPECT_EQ(s.bin_start(0), kDay);
+  EXPECT_EQ(s.bin_start(5), kDay + 5 * kHour);
+  EXPECT_THROW(s.bin_start(24), std::out_of_range);
+}
+
+TEST(TimeBinSeries, RejectsBadRange) {
+  EXPECT_THROW(TimeBinSeries(10, 10, kHour), std::invalid_argument);
+  EXPECT_THROW(TimeBinSeries(0, kHour, 0), std::invalid_argument);
+}
+
+TEST(DistinctPerBin, CountsDistinctEntities) {
+  DistinctPerBin d(0, 2 * kHour, kHour);
+  d.add(0, 1);
+  d.add(1, 1);  // same entity, same bin -> still 1
+  d.add(2, 2);
+  d.add(kHour, 1);
+  EXPECT_DOUBLE_EQ(d.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(d.count(1), 1.0);
+}
+
+TEST(DistinctPerBin, NonAdjacentDuplicatesDeduped) {
+  DistinctPerBin d(0, kHour, kHour);
+  d.add(0, 7);
+  d.add(1, 9);
+  d.add(2, 7);  // 7 again after a 9 — must still count once
+  EXPECT_DOUBLE_EQ(d.count(0), 2.0);
+}
+
+TEST(DistinctPerBin, IntervalSpansBins) {
+  DistinctPerBin d(0, 5 * kHour, kHour);
+  // Session online from 00:30 to 03:30 → hours 0,1,2,3.
+  d.add_interval(30 * kMinute, 3 * kHour + 30 * kMinute, 42);
+  EXPECT_DOUBLE_EQ(d.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(d.count(2), 1.0);
+  EXPECT_DOUBLE_EQ(d.count(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.count(4), 0.0);
+}
+
+TEST(DistinctPerBin, IntervalWithinOneBin) {
+  DistinctPerBin d(0, 2 * kHour, kHour);
+  d.add_interval(10 * kMinute, 20 * kMinute, 5);
+  EXPECT_DOUBLE_EQ(d.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.count(1), 0.0);
+}
+
+TEST(DistinctPerBin, CountsVectorMatches) {
+  DistinctPerBin d(0, 3 * kHour, kHour);
+  d.add(0, 1);
+  d.add(kHour, 1);
+  d.add(kHour, 2);
+  const auto c = d.counts();
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+  EXPECT_DOUBLE_EQ(c[2], 0.0);
+}
+
+}  // namespace
+}  // namespace u1

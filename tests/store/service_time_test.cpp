@@ -1,0 +1,111 @@
+#include "store/service_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+
+namespace u1 {
+namespace {
+
+std::vector<double> sample_seconds(const ServiceTimeModel& model, RpcOp op,
+                                   int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    out.push_back(to_seconds(model.sample(op, rng)));
+  return out;
+}
+
+TEST(ServiceTimeModel, MedianRoughlyCalibrated) {
+  ServiceTimeModel model;
+  for (const RpcOp op : all_rpc_ops()) {
+    const auto xs = sample_seconds(model, op, 20000, 11);
+    Ecdf e(xs);
+    const double target = to_seconds(model.median(op));
+    // The tail mixture shifts the overall median slightly upward; accept
+    // a factor-1.5 envelope.
+    EXPECT_GT(e.quantile(0.5), target * 0.6) << to_string(op);
+    EXPECT_LT(e.quantile(0.5), target * 1.6) << to_string(op);
+  }
+}
+
+TEST(ServiceTimeModel, ClassOrderingMatchesFig13) {
+  ServiceTimeModel model;
+  // Reads < writes < cascades, by an order of magnitude at the extremes.
+  const auto read = sample_seconds(model, RpcOp::kListVolumes, 20000, 3);
+  const auto write = sample_seconds(model, RpcOp::kMakeContent, 20000, 4);
+  const auto cascade = sample_seconds(model, RpcOp::kDeleteVolume, 20000, 5);
+  const double m_read = Ecdf(read).quantile(0.5);
+  const double m_write = Ecdf(write).quantile(0.5);
+  const double m_cascade = Ecdf(cascade).quantile(0.5);
+  EXPECT_LT(m_read, m_write);
+  EXPECT_LT(m_write, m_cascade);
+  EXPECT_GT(m_cascade / m_read, 10.0);
+}
+
+TEST(ServiceTimeModel, LongTailPresent) {
+  // The paper: "from 7% to 22% of RPC service times are very far from the
+  // median". Count samples beyond 8x median.
+  ServiceTimeModel model;
+  for (const RpcOp op : {RpcOp::kListVolumes, RpcOp::kMakeFile,
+                         RpcOp::kDeleteVolume}) {
+    const auto xs = sample_seconds(model, op, 50000, 17);
+    const double median = Ecdf(xs).quantile(0.5);
+    const double far = static_cast<double>(
+                           std::count_if(xs.begin(), xs.end(),
+                                         [&](double x) {
+                                           return x > 8.0 * median;
+                                         })) /
+                       static_cast<double>(xs.size());
+    EXPECT_GE(far, 0.05) << to_string(op);
+    EXPECT_LE(far, 0.25) << to_string(op);
+  }
+}
+
+TEST(ServiceTimeModel, BoundsRespected) {
+  ServiceTimeModel model;
+  Rng rng(23);
+  for (int i = 0; i < 50000; ++i) {
+    const SimTime t = model.sample(RpcOp::kGetNode, rng);
+    EXPECT_GE(t, from_seconds(1e-4));
+    EXPECT_LE(t, from_seconds(100.0));
+  }
+}
+
+TEST(ServiceTimeModel, SetParamsOverrides) {
+  ServiceTimeModel model;
+  ServiceTimeParams p;
+  p.median_s = 1.0;
+  p.sigma = 0.1;
+  p.tail_prob = 0.0;
+  model.set_params(RpcOp::kGetNode, p);
+  const auto xs = sample_seconds(model, RpcOp::kGetNode, 5000, 29);
+  EXPECT_NEAR(Ecdf(xs).quantile(0.5), 1.0, 0.05);
+}
+
+TEST(ServiceTimeModel, SetParamsValidates) {
+  ServiceTimeModel model;
+  ServiceTimeParams p;
+  p.median_s = -1;
+  EXPECT_THROW(model.set_params(RpcOp::kGetNode, p), std::invalid_argument);
+  p = ServiceTimeParams{};
+  p.tail_prob = 1.5;
+  EXPECT_THROW(model.set_params(RpcOp::kGetNode, p), std::invalid_argument);
+  p = ServiceTimeParams{};
+  p.tail_scale = 0.5;
+  EXPECT_THROW(model.set_params(RpcOp::kGetNode, p), std::invalid_argument);
+}
+
+TEST(ServiceTimeModel, DeterministicGivenSeed) {
+  ServiceTimeModel model;
+  Rng a(31), b(31);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(model.sample(RpcOp::kMove, a), model.sample(RpcOp::kMove, b));
+}
+
+}  // namespace
+}  // namespace u1

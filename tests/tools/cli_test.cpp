@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "tools/u1trace_cli.hpp"
+
+namespace u1::cli {
+namespace {
+
+TEST(Args, ParsesPositionalsFlagsSwitches) {
+  const Args args = Args::parse({"dir1", "--users", "500", "--no-ddos",
+                                 "dir2"},
+                                {"users"}, {"no-ddos"});
+  ASSERT_TRUE(args.ok());
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "dir1");
+  EXPECT_EQ(args.int_flag("users"), 500);
+  EXPECT_TRUE(args.has_switch("no-ddos"));
+  EXPECT_FALSE(args.flag("days").has_value());
+}
+
+TEST(Args, RejectsUnknownAndDangling) {
+  const Args bad = Args::parse({"--bogus", "x"}, {"users"}, {});
+  EXPECT_FALSE(bad.ok());
+  const Args dangling = Args::parse({"--users"}, {"users"}, {});
+  EXPECT_FALSE(dangling.ok());
+}
+
+TEST(Args, NonNumericIntFlag) {
+  const Args args = Args::parse({"--users", "abc"}, {"users"}, {});
+  ASSERT_TRUE(args.ok());
+  EXPECT_FALSE(args.int_flag("users").has_value());
+}
+
+TEST(Run, UnknownCommandFails) {
+  std::ostringstream out, err;
+  EXPECT_NE(run({"frobnicate"}, out, err), 0);
+  EXPECT_NE(err.str().find("usage"), std::string::npos);
+}
+
+TEST(Run, NoArgsShowsUsage) {
+  std::ostringstream out, err;
+  EXPECT_NE(run({}, out, err), 0);
+}
+
+class CliPipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("u1trace_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(CliPipeline, GenerateSummarizeAnalyzeValidate) {
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"generate", "--out", dir_, "--users", "120", "--days", "2",
+                 "--seed", "7", "--no-ddos"},
+                out, err),
+            0)
+      << err.str();
+  EXPECT_NE(out.str().find("sessions"), std::string::npos);
+
+  std::ostringstream sum_out, sum_err;
+  ASSERT_EQ(run({"summarize", dir_}, sum_out, sum_err), 0) << sum_err.str();
+  EXPECT_NE(sum_out.str().find("unique users"), std::string::npos);
+
+  for (const char* figure :
+       {"traffic", "dedup", "sessions", "users", "ops", "ddos"}) {
+    std::ostringstream a_out, a_err;
+    EXPECT_EQ(run({"analyze", dir_, "--figure", figure}, a_out, a_err), 0)
+        << figure << ": " << a_err.str();
+    EXPECT_FALSE(a_out.str().empty()) << figure;
+  }
+
+  std::ostringstream v_out, v_err;
+  EXPECT_EQ(run({"validate", dir_}, v_out, v_err), 0) << v_err.str();
+  EXPECT_NE(v_out.str().find("TRACE SOUND"), std::string::npos)
+      << v_out.str();
+}
+
+TEST_F(CliPipeline, AnalyzeUnknownFigureFails) {
+  std::ostringstream out, err;
+  ASSERT_EQ(run({"generate", "--out", dir_, "--users", "50", "--days", "1",
+                 "--no-ddos"},
+                out, err),
+            0);
+  std::ostringstream a_out, a_err;
+  EXPECT_NE(run({"analyze", dir_, "--figure", "nope"}, a_out, a_err), 0);
+}
+
+TEST_F(CliPipeline, GenerateRequiresOut) {
+  std::ostringstream out, err;
+  EXPECT_NE(run({"generate", "--users", "10"}, out, err), 0);
+}
+
+TEST_F(CliPipeline, SummarizeRequiresDir) {
+  std::ostringstream out, err;
+  EXPECT_NE(run({"summarize"}, out, err), 0);
+}
+
+}  // namespace
+}  // namespace u1::cli

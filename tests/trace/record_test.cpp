@@ -1,0 +1,145 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+TraceRecord sample_storage_record() {
+  Rng rng(1);
+  TraceRecord r;
+  r.t = 3 * kDay + 7 * kHour + 123 * kMillisecond;
+  r.type = RecordType::kStorageDone;
+  r.machine = MachineId{2};
+  r.process = ProcessId{23};
+  r.user = UserId{99};
+  r.session = SessionId{1234};
+  r.api_op = ApiOp::kPutContent;
+  r.node = Uuid::v4(rng);
+  r.parent = Uuid::v4(rng);
+  r.volume = Uuid::v4(rng);
+  r.size_bytes = 123456;
+  r.transferred_bytes = 123456;
+  r.content = Sha1::of("content");
+  r.extension = "mp3";
+  r.is_update = true;
+  r.duration = 2 * kSecond;
+  return r;
+}
+
+TEST(TraceRecord, CsvRoundTripStorage) {
+  const TraceRecord r = sample_storage_record();
+  const auto parsed = TraceRecord::from_csv(r.to_csv());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->t, r.t);
+  EXPECT_EQ(parsed->type, r.type);
+  EXPECT_EQ(parsed->machine, r.machine);
+  EXPECT_EQ(parsed->process, r.process);
+  EXPECT_EQ(parsed->user, r.user);
+  EXPECT_EQ(parsed->session, r.session);
+  EXPECT_EQ(parsed->api_op, r.api_op);
+  EXPECT_EQ(parsed->node, r.node);
+  EXPECT_EQ(parsed->parent, r.parent);
+  EXPECT_EQ(parsed->volume, r.volume);
+  EXPECT_EQ(parsed->size_bytes, r.size_bytes);
+  EXPECT_EQ(parsed->transferred_bytes, r.transferred_bytes);
+  EXPECT_EQ(parsed->content, r.content);
+  EXPECT_EQ(parsed->extension, r.extension);
+  EXPECT_EQ(parsed->is_update, r.is_update);
+  EXPECT_EQ(parsed->duration, r.duration);
+}
+
+TEST(TraceRecord, CsvRoundTripRpc) {
+  TraceRecord r;
+  r.t = kHour;
+  r.type = RecordType::kRpc;
+  r.machine = MachineId{1};
+  r.process = ProcessId{5};
+  r.user = UserId{7};
+  r.session = SessionId{8};
+  r.rpc_op = RpcOp::kMakeContent;
+  r.shard = ShardId{4};
+  r.service_time = 8 * kMillisecond;
+  const auto parsed = TraceRecord::from_csv(r.to_csv());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->rpc_op, r.rpc_op);
+  EXPECT_EQ(parsed->shard, r.shard);
+  EXPECT_EQ(parsed->service_time, r.service_time);
+}
+
+TEST(TraceRecord, CsvRoundTripSession) {
+  TraceRecord r;
+  r.t = 2 * kHour;
+  r.type = RecordType::kSession;
+  r.machine = MachineId{3};
+  r.process = ProcessId{9};
+  r.user = UserId{11};
+  r.session = SessionId{12};
+  r.session_event = SessionEvent::kClose;
+  r.duration = 45 * kMinute;
+  const auto parsed = TraceRecord::from_csv(r.to_csv());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->session_event, SessionEvent::kClose);
+  EXPECT_EQ(parsed->duration, 45 * kMinute);
+}
+
+TEST(TraceRecord, FromCsvRejectsMalformed) {
+  EXPECT_FALSE(TraceRecord::from_csv({}).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv({"only", "two"}).has_value());
+  auto fields = sample_storage_record().to_csv();
+  fields[0] = "not-a-number";
+  EXPECT_FALSE(TraceRecord::from_csv(fields).has_value());
+  fields = sample_storage_record().to_csv();
+  fields[1] = "bogus_type";
+  EXPECT_FALSE(TraceRecord::from_csv(fields).has_value());
+  fields = sample_storage_record().to_csv();
+  fields[13] = "nothex";
+  EXPECT_FALSE(TraceRecord::from_csv(fields).has_value());
+}
+
+TEST(TraceRecord, HeaderMatchesColumnCount) {
+  const TraceRecord r = sample_storage_record();
+  EXPECT_EQ(r.to_csv().size(), TraceRecord::csv_header().size());
+}
+
+TEST(TraceRecord, LognameFormat) {
+  TraceRecord r;
+  r.t = 17 * kDay;  // 2014-01-28
+  r.machine = MachineId{1};
+  r.process = ProcessId{23};
+  EXPECT_EQ(r.logname(), "production-whitecurrant-23-20140128");
+}
+
+TEST(TraceRecord, MachineNamesStable) {
+  EXPECT_EQ(machine_name(MachineId{1}), "whitecurrant");
+  EXPECT_EQ(machine_name(MachineId{2}), "blackcurrant");
+  EXPECT_EQ(machine_name(MachineId{0}), "unassigned");
+}
+
+TEST(RecordType, StringRoundTrip) {
+  for (const RecordType t :
+       {RecordType::kSession, RecordType::kStorage, RecordType::kStorageDone,
+        RecordType::kRpc}) {
+    const auto back = record_type_from_string(to_string(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(record_type_from_string("nope").has_value());
+}
+
+TEST(SessionEvent, StringRoundTrip) {
+  for (const SessionEvent e :
+       {SessionEvent::kNone, SessionEvent::kAuthRequest,
+        SessionEvent::kAuthOk, SessionEvent::kAuthFail, SessionEvent::kOpen,
+        SessionEvent::kClose}) {
+    const auto back = session_event_from_string(to_string(e));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, e);
+  }
+  EXPECT_FALSE(session_event_from_string("garbage").has_value());
+}
+
+}  // namespace
+}  // namespace u1

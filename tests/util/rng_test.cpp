@@ -1,0 +1,206 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace u1 {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowIsInRangeAndRoughlyUniform) {
+  Rng rng(3);
+  std::array<int, 10> buckets{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    buckets[v]++;
+  }
+  for (const int c : buckets) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(9);
+  Rng child = parent.fork();
+  // The child stream should not simply replay the parent.
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(ExponentialDist, MeanMatchesRate) {
+  Rng rng(13);
+  ExponentialDist d(0.5);  // mean 2
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(ExponentialDist, RejectsBadRate) {
+  EXPECT_THROW(ExponentialDist(0.0), std::invalid_argument);
+  EXPECT_THROW(ExponentialDist(-1.0), std::invalid_argument);
+}
+
+TEST(ParetoDist, SamplesAboveXmin) {
+  Rng rng(17);
+  ParetoDist d(1.5, 10.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(d.sample(rng), 10.0);
+}
+
+TEST(ParetoDist, TailIndexRecoverable) {
+  // Empirical check: for Pareto(alpha), P(X > 2 x_min) = 2^-alpha.
+  Rng rng(19);
+  ParetoDist d(1.5, 1.0);
+  const int n = 200000;
+  int above = 0;
+  for (int i = 0; i < n; ++i)
+    if (d.sample(rng) > 2.0) ++above;
+  EXPECT_NEAR(static_cast<double>(above) / n, std::pow(2.0, -1.5), 0.01);
+}
+
+TEST(ParetoDist, RejectsBadParams) {
+  EXPECT_THROW(ParetoDist(0, 1), std::invalid_argument);
+  EXPECT_THROW(ParetoDist(1, 0), std::invalid_argument);
+}
+
+TEST(BoundedParetoDist, StaysWithinBounds) {
+  Rng rng(23);
+  BoundedParetoDist d(1.2, 1.0, 100.0);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(BoundedParetoDist, RejectsInvertedBounds) {
+  EXPECT_THROW(BoundedParetoDist(1.0, 5.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(BoundedParetoDist(1.0, 5.0, 1.0), std::invalid_argument);
+}
+
+TEST(LogNormalDist, MedianMatches) {
+  Rng rng(29);
+  const auto d = LogNormalDist::from_median(8.0, 1.0);
+  std::vector<double> xs;
+  const int n = 100001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(d.sample(rng));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 8.0, 0.3);
+}
+
+TEST(LogNormalDist, AllPositive) {
+  Rng rng(31);
+  LogNormalDist d(0.0, 2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(d.sample(rng), 0.0);
+}
+
+TEST(ZipfDist, RankOneMostPopular) {
+  Rng rng(37);
+  ZipfDist d(100, 1.0);
+  std::vector<int> counts(101, 0);
+  for (int i = 0; i < 100000; ++i) counts[d.sample(rng)]++;
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfDist, RanksWithinRange) {
+  Rng rng(41);
+  ZipfDist d(10, 1.5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto r = d.sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 10u);
+  }
+}
+
+TEST(WeightedDiscrete, MatchesWeights) {
+  Rng rng(43);
+  const std::array<double, 3> w = {1.0, 2.0, 7.0};
+  WeightedDiscrete d(w);
+  std::array<int, 3> counts{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[d.sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(WeightedDiscrete, ProbabilityAccessor) {
+  const std::array<double, 4> w = {2.0, 0.0, 3.0, 5.0};
+  WeightedDiscrete d(w);
+  EXPECT_DOUBLE_EQ(d.probability(0), 0.2);
+  EXPECT_DOUBLE_EQ(d.probability(1), 0.0);
+  EXPECT_DOUBLE_EQ(d.probability(2), 0.3);
+  EXPECT_DOUBLE_EQ(d.probability(3), 0.5);
+  EXPECT_THROW(d.probability(4), std::out_of_range);
+}
+
+TEST(WeightedDiscrete, ZeroWeightNeverSampled) {
+  Rng rng(47);
+  const std::array<double, 3> w = {1.0, 0.0, 1.0};
+  WeightedDiscrete d(w);
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(d.sample(rng), 1u);
+}
+
+TEST(WeightedDiscrete, RejectsDegenerateInputs) {
+  const std::vector<double> empty;
+  EXPECT_THROW(WeightedDiscrete{empty}, std::invalid_argument);
+  const std::array<double, 2> neg = {1.0, -0.5};
+  EXPECT_THROW(WeightedDiscrete{neg}, std::invalid_argument);
+  const std::array<double, 2> zeros = {0.0, 0.0};
+  EXPECT_THROW(WeightedDiscrete{zeros}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace u1

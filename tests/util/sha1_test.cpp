@@ -1,0 +1,97 @@
+#include "util/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace u1 {
+namespace {
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(Sha1::of("").hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(Sha1::of("abc").hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finish().hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "the 64-byte block boundary at an awkward offset.";
+  const auto oneshot = Sha1::of(msg);
+  for (std::size_t cut = 0; cut <= msg.size(); cut += 7) {
+    Sha1 h;
+    h.update(std::string_view(msg).substr(0, cut));
+    h.update(std::string_view(msg).substr(cut));
+    EXPECT_EQ(h.finish(), oneshot) << "cut at " << cut;
+  }
+}
+
+TEST(Sha1, ResetReusesHasher) {
+  Sha1 h;
+  h.update("first");
+  (void)h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finish().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, ExactBlockBoundary) {
+  // 64 bytes: the padding path where a full extra block is needed.
+  const std::string msg(64, 'x');
+  Sha1 h;
+  h.update(msg);
+  const auto a = h.finish();
+  // Cross-check by splitting.
+  Sha1 g;
+  g.update(std::string_view(msg).substr(0, 32));
+  g.update(std::string_view(msg).substr(32));
+  EXPECT_EQ(g.finish(), a);
+}
+
+TEST(Sha1Digest, HexIs40LowercaseChars) {
+  const auto d = Sha1::of("payload");
+  const std::string hex = d.hex();
+  ASSERT_EQ(hex.size(), 40u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(Sha1Digest, DistinctInputsDistinctDigests) {
+  std::unordered_set<Sha1Digest> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto [it, inserted] = seen.insert(Sha1::of("content-" + std::to_string(i)));
+    EXPECT_TRUE(inserted);
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Sha1Digest, ComparableAndHashable) {
+  const auto a = Sha1::of("a");
+  const auto b = Sha1::of("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, Sha1::of("a"));
+  EXPECT_NE(std::hash<Sha1Digest>{}(a), std::hash<Sha1Digest>{}(b));
+}
+
+}  // namespace
+}  // namespace u1

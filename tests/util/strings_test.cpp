@@ -1,0 +1,80 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace u1 {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  const auto f = split("a,b,,c", ',');
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "");
+  EXPECT_EQ(f[3], "c");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto f = split("alone", ',');
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "alone");
+}
+
+TEST(Split, LeadingAndTrailingDelimiters) {
+  const auto f = split(",x,", ',');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "");
+  EXPECT_EQ(f[1], "x");
+  EXPECT_EQ(f[2], "");
+}
+
+TEST(Join, RoundTrip) {
+  EXPECT_EQ(join({"a", "b", "c"}, "-"), "a-b-c");
+  EXPECT_EQ(join({}, "-"), "");
+  EXPECT_EQ(join({"only"}, ", "), "only");
+}
+
+TEST(Trim, StripsWhitespaceBothSides) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("nochange"), "nochange");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("production-whitecurrant-23", "production-"));
+  EXPECT_FALSE(starts_with("prod", "production"));
+  EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(ParseI64, StrictParsing) {
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_FALSE(parse_i64("42x").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("4.2").has_value());
+}
+
+TEST(ParseDouble, StrictParsing) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-0.25").value(), -0.25);
+  EXPECT_DOUBLE_EQ(parse_double("1e3").value(), 1000.0);
+  EXPECT_FALSE(parse_double("x").has_value());
+  EXPECT_FALSE(parse_double("1.5junk").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(FormatBytes, PicksUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(1.5 * 1024 * 1024), "1.50 MB");
+  EXPECT_EQ(format_bytes(3.0 * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("MiXeD.JPG"), "mixed.jpg");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,68 @@
+#include "util/uuid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace u1 {
+namespace {
+
+TEST(Uuid, NilIsNil) {
+  EXPECT_TRUE(Uuid::nil().is_nil());
+  EXPECT_EQ(Uuid::nil().str(), "00000000-0000-0000-0000-000000000000");
+}
+
+TEST(Uuid, V4HasVersionAndVariantBits) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const Uuid u = Uuid::v4(rng);
+    EXPECT_EQ(u.bytes[6] >> 4, 0x4);
+    EXPECT_EQ(u.bytes[8] >> 6, 0x2);
+    EXPECT_FALSE(u.is_nil());
+  }
+}
+
+TEST(Uuid, StrRoundTripsThroughParse) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const Uuid u = Uuid::v4(rng);
+    EXPECT_EQ(Uuid::parse(u.str()), u);
+  }
+}
+
+TEST(Uuid, StrHasCanonicalShape) {
+  Rng rng(3);
+  const std::string s = Uuid::v4(rng).str();
+  ASSERT_EQ(s.size(), 36u);
+  EXPECT_EQ(s[8], '-');
+  EXPECT_EQ(s[13], '-');
+  EXPECT_EQ(s[18], '-');
+  EXPECT_EQ(s[23], '-');
+}
+
+TEST(Uuid, ParseRejectsMalformed) {
+  EXPECT_THROW(Uuid::parse(""), std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("not-a-uuid"), std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("00000000:0000:0000:0000:000000000000"),
+               std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("0000000000000000000000000000000000000"),
+               std::invalid_argument);
+  EXPECT_THROW(Uuid::parse("zzzzzzzz-0000-0000-0000-000000000000"),
+               std::invalid_argument);
+}
+
+TEST(Uuid, CollisionFreeOverManyDraws) {
+  Rng rng(4);
+  std::unordered_set<Uuid> seen;
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(Uuid::v4(rng)).second);
+  }
+}
+
+TEST(Uuid, DeterministicGivenSeed) {
+  Rng a(77), b(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(Uuid::v4(a), Uuid::v4(b));
+}
+
+}  // namespace
+}  // namespace u1

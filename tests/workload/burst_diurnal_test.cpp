@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/powerlaw.hpp"
+#include "workload/burst.hpp"
+#include "workload/ddos.hpp"
+#include "workload/diurnal.hpp"
+#include "workload/transitions.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(BurstProcess, GapsArePositive) {
+  BurstProcess bursts;
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(bursts.next_gap(rng), 0);
+}
+
+TEST(BurstProcess, NotPoissonHighVariance) {
+  // Fig. 9: inter-op times are bursty (CV^2 >> 1), unlike Poisson.
+  BurstProcess bursts;
+  Rng rng(2);
+  std::vector<double> gaps;
+  for (int i = 0; i < 50000; ++i)
+    gaps.push_back(to_seconds(bursts.next_gap(rng)));
+  EXPECT_GT(cv_squared(gaps), 5.0);
+}
+
+TEST(BurstProcess, TailFitsPowerLawInPaperRange) {
+  // Fitting the generated inter-op times should recover alpha in the
+  // paper's 1 < alpha < 2 regime.
+  BurstParams params;
+  params.idle_alpha = 1.54;  // Upload calibration
+  BurstProcess bursts(params);
+  Rng rng(3);
+  std::vector<double> gaps;
+  for (int i = 0; i < 60000; ++i)
+    gaps.push_back(to_seconds(bursts.next_gap(rng)));
+  const PowerLawFit fit = fit_power_law(gaps);
+  EXPECT_GT(fit.alpha, 1.0);
+  EXPECT_LT(fit.alpha, 2.0);
+}
+
+TEST(BurstProcess, MostGapsShortSomeVeryLong) {
+  BurstProcess bursts;
+  Rng rng(4);
+  int short_gaps = 0, long_gaps = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime g = bursts.next_gap(rng);
+    if (g < 10 * kSecond) ++short_gaps;
+    if (g > 10 * kMinute) ++long_gaps;
+  }
+  EXPECT_GT(short_gaps, n / 2);  // bursts dominate counts
+  EXPECT_GT(long_gaps, 60);      // idle tail exists
+}
+
+TEST(BurstProcess, ValidatesParams) {
+  BurstParams p;
+  p.idle_alpha = 1.0;
+  EXPECT_THROW(BurstProcess{p}, std::invalid_argument);
+  p = BurstParams{};
+  p.continue_prob = 1.0;
+  EXPECT_THROW(BurstProcess{p}, std::invalid_argument);
+  p = BurstParams{};
+  p.idle_cap_s = 1.0;
+  EXPECT_THROW(BurstProcess{p}, std::invalid_argument);
+}
+
+TEST(DiurnalModel, DayNightSwing) {
+  DiurnalModel model;
+  // Peak around 14:00 on a weekday vs 4am: ~10x (Fig. 2a).
+  const SimTime monday = 2 * kDay;  // Jan 13 was a Monday
+  const double peak = model.intensity(monday + 14 * kHour);
+  const double night = model.intensity(monday + 4 * kHour);
+  EXPECT_GT(peak / night, 5.0);
+  EXPECT_LT(peak / night, 20.0);
+}
+
+TEST(DiurnalModel, MondayAboveWeekend) {
+  DiurnalModel model;
+  const double monday = model.intensity(2 * kDay + 10 * kHour);
+  const double saturday = model.intensity(0 * kDay + 10 * kHour);
+  EXPECT_GT(monday, saturday * 1.2);
+}
+
+TEST(DiurnalModel, DownloadBiasDecaysLinearlyMorning) {
+  // §5.1: R/W ratio decays linearly from 6am to 3pm.
+  DiurnalModel model;
+  const double at6 = model.download_bias(6 * kHour);
+  const double at10 = model.download_bias(10 * kHour + 30 * kMinute);
+  const double at15 = model.download_bias(15 * kHour);
+  const double at20 = model.download_bias(20 * kHour);
+  EXPECT_GT(at6, at10);
+  EXPECT_GT(at10, at15);
+  EXPECT_DOUBLE_EQ(at15, 0.0);
+  EXPECT_DOUBLE_EQ(at20, 0.0);
+  EXPECT_NEAR(at6, model.params().morning_download_boost, 1e-9);
+}
+
+TEST(DiurnalModel, ArrivalsFollowIntensity) {
+  DiurnalModel model;
+  Rng rng(5);
+  // Generate arrivals for one synthetic user over many days and check
+  // day-hours beat night-hours.
+  std::vector<int> by_hour(24, 0);
+  SimTime t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    t = model.next_arrival(t, 24.0, rng);  // ~1/hour baseline
+    by_hour[static_cast<std::size_t>(hour_of_day(t))]++;
+  }
+  EXPECT_GT(by_hour[14], by_hour[4] * 3);
+}
+
+TEST(DiurnalModel, NextArrivalMovesForward) {
+  DiurnalModel model;
+  Rng rng(6);
+  SimTime t = kHour;
+  for (int i = 0; i < 100; ++i) {
+    const SimTime next = model.next_arrival(t, 5.0, rng);
+    EXPECT_GT(next, t);
+    t = next;
+  }
+}
+
+TEST(DiurnalModel, ZeroRateNeverFires) {
+  DiurnalModel model;
+  Rng rng(7);
+  EXPECT_GE(model.next_arrival(0, 0.0, rng), 300 * kDay);
+}
+
+TEST(TransitionModel, TransfersSelfRepeat) {
+  // Fig. 8: after a transfer, another transfer is the most likely move.
+  TransitionModel model;
+  const double down_down =
+      model.probability(ClientAction::kDownload, ClientAction::kDownload);
+  const double down_up =
+      model.probability(ClientAction::kDownload, ClientAction::kUploadNew);
+  EXPECT_GT(down_down, down_up);
+  EXPECT_GT(down_down, 0.3);
+  const double up_self =
+      model.probability(ClientAction::kUploadNew, ClientAction::kUploadNew);
+  EXPECT_GT(up_self, 0.3);
+}
+
+TEST(TransitionModel, RowsAreNormalized) {
+  TransitionModel model;
+  for (std::size_t from = 0; from < kClientActionCount; ++from) {
+    double sum = 0;
+    for (std::size_t to = 0; to < kClientActionCount; ++to)
+      sum += model.probability(static_cast<ClientAction>(from),
+                               static_cast<ClientAction>(to));
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(TransitionModel, UploadOnlyUsersRarelyDownload) {
+  TransitionModel model;
+  Rng rng(8);
+  int downloads = 0;
+  ClientAction a = model.initial(UserClass::kUploadOnly, rng);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    a = model.next(a, UserClass::kUploadOnly, rng);
+    if (a == ClientAction::kDownload) ++downloads;
+  }
+  EXPECT_LT(downloads / static_cast<double>(n), 0.08);
+}
+
+TEST(TransitionModel, DownloadOnlyUsersRarelyUpload) {
+  TransitionModel model;
+  Rng rng(9);
+  int uploads = 0;
+  ClientAction a = model.initial(UserClass::kDownloadOnly, rng);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    a = model.next(a, UserClass::kDownloadOnly, rng);
+    if (a == ClientAction::kUploadNew || a == ClientAction::kUploadUpdate)
+      ++uploads;
+  }
+  EXPECT_LT(uploads / static_cast<double>(n), 0.05);
+}
+
+TEST(TransitionModel, MakeDirLeadsToUploads) {
+  // Folder sync: creating a directory is usually followed by uploads.
+  TransitionModel model;
+  EXPECT_GT(model.probability(ClientAction::kMakeDir,
+                              ClientAction::kUploadNew),
+            0.4);
+}
+
+TEST(DdosSchedule, PaperAttacksOnCorrectDays) {
+  const auto attacks = paper_attack_schedule();
+  ASSERT_EQ(attacks.size(), 3u);
+  EXPECT_EQ(day_index(attacks[0].start), 4);   // Jan 15
+  EXPECT_EQ(day_index(attacks[1].start), 5);   // Jan 16
+  EXPECT_EQ(day_index(attacks[2].start), 26);  // Feb 6
+  // Attack 2 is by far the largest (245x in the paper): compare the
+  // request pressure (bots x connects/h x downloads per connection).
+  auto pressure = [](const DdosAttackSpec& a) {
+    return a.bots * a.connects_per_hour * a.downloads_per_connection;
+  };
+  EXPECT_GT(pressure(attacks[1]), 10 * pressure(attacks[0]));
+  EXPECT_GT(pressure(attacks[1]), 10 * pressure(attacks[2]));
+  EXPECT_GT(pressure(attacks[2]), pressure(attacks[0]));
+}
+
+TEST(DdosSchedule, ScalesBots) {
+  const auto small = paper_attack_schedule(0.1);
+  const auto big = paper_attack_schedule(2.0);
+  EXPECT_LT(small[1].bots, big[1].bots);
+  EXPECT_THROW(paper_attack_schedule(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace u1

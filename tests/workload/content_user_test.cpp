@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "workload/content_pool.hpp"
+#include "workload/user_model.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(ContentPool, FreshDrawsAreUnique) {
+  ContentPool pool(0.0, 0.9, 1);  // no duplication
+  FileModel files;
+  Rng rng(1);
+  std::unordered_map<ContentId, int> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const FileSpec spec = files.sample(rng);
+    const ContentDraw draw = pool.draw(spec, rng);
+    EXPECT_FALSE(draw.duplicate);
+    seen[draw.id]++;
+  }
+  EXPECT_EQ(seen.size(), 5000u);
+}
+
+TEST(ContentPool, DuplicateFractionMatchesPerCategoryProbability) {
+  // The pool skews duplication by category (media circulates, code does
+  // not); each category's empirical rate must match its configured one.
+  ContentPool pool(0.25, 0.9, 2);
+  Rng rng(2);
+  for (const FileCategory cat :
+       {FileCategory::kCode, FileCategory::kAudioVideo,
+        FileCategory::kDocs}) {
+    ContentPool fresh(0.25, 0.9, static_cast<std::uint64_t>(cat) + 3);
+    FileSpec spec;
+    spec.category = cat;
+    spec.extension = "x";
+    spec.size_bytes = 1000;
+    int dups = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+      if (fresh.draw(spec, rng).duplicate) ++dups;
+    }
+    EXPECT_NEAR(static_cast<double>(dups) / n,
+                fresh.duplicate_prob_for(cat), 0.02)
+        << to_string(cat);
+  }
+}
+
+TEST(ContentPool, DuplicatesKeepOriginalSize) {
+  ContentPool pool(0.9, 0.9, 3);
+  FileModel files;
+  Rng rng(3);
+  std::unordered_map<ContentId, std::uint64_t> size_of;
+  for (int i = 0; i < 20000; ++i) {
+    const FileSpec spec = files.sample(rng);
+    const ContentDraw draw = pool.draw(spec, rng);
+    const auto it = size_of.find(draw.id);
+    if (it != size_of.end()) {
+      EXPECT_EQ(it->second, draw.size_bytes);
+    } else {
+      size_of.emplace(draw.id, draw.size_bytes);
+    }
+  }
+}
+
+TEST(ContentPool, PopularityIsLongTailed) {
+  // Fig. 4a: a small number of contents accounts for very many duplicates
+  // while most have none.
+  ContentPool pool(0.30, 0.9, 4);
+  FileModel files;
+  Rng rng(4);
+  std::unordered_map<ContentId, int> copies;
+  for (int i = 0; i < 60000; ++i) {
+    const FileSpec spec = files.sample(rng);
+    copies[pool.draw(spec, rng).id]++;
+  }
+  int max_copies = 0;
+  int singletons = 0;
+  for (const auto& [id, n] : copies) {
+    max_copies = std::max(max_copies, n);
+    if (n == 1) ++singletons;
+  }
+  EXPECT_GT(max_copies, 50);  // hot content exists
+  EXPECT_GT(static_cast<double>(singletons) / copies.size(), 0.6);
+}
+
+TEST(ContentPool, UpdatesAlwaysFresh) {
+  ContentPool pool(0.9, 0.9, 5);
+  Rng rng(5);
+  const ContentDraw a = pool.draw_update(1000, rng);
+  const ContentDraw b = pool.draw_update(1000, rng);
+  EXPECT_FALSE(a.duplicate);
+  EXPECT_FALSE(b.duplicate);
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(ContentPool, ValidatesParams) {
+  EXPECT_THROW(ContentPool(1.0, 0.9, 1), std::invalid_argument);
+  EXPECT_THROW(ContentPool(-0.1, 0.9, 1), std::invalid_argument);
+  EXPECT_THROW(ContentPool(0.2, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(ContentPool(0.2, 0.0, 1), std::invalid_argument);
+}
+
+TEST(UserModel, ClassMixMatchesPaper) {
+  UserModel model;
+  Rng rng(6);
+  std::array<int, kUserClassCount> counts{};
+  const int n = 200000;
+  for (int i = 0; i < n; ++i)
+    counts[static_cast<std::size_t>(model.sample(rng).user_class)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.8582, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.0722, 0.005);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.0234, 0.005);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.0462, 0.005);
+}
+
+TEST(UserModel, UdfAndSharerRates) {
+  UserModel model;
+  Rng rng(7);
+  int with_udf = 0, sharers = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const UserProfile p = model.sample(rng);
+    if (p.udf_volumes > 0) ++with_udf;
+    if (p.sharer) ++sharers;
+  }
+  EXPECT_NEAR(with_udf / static_cast<double>(n), 0.58, 0.01);
+  EXPECT_NEAR(sharers / static_cast<double>(n), 0.018, 0.004);
+}
+
+TEST(UserModel, ActivityIsHeavyTailed) {
+  // Effective storage work of a user ~ activity x active-session
+  // probability; the top 1% should hold a large chunk of that mass
+  // (paper: 1% of users generate 65% of the traffic).
+  UserModel model;
+  Rng rng(8);
+  std::vector<double> work;
+  const int n = 100000;
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    const UserProfile p = model.sample(rng);
+    const double w = p.activity * p.active_session_prob;
+    work.push_back(w);
+    total += w;
+  }
+  std::sort(work.begin(), work.end());
+  double top1 = 0;
+  for (std::size_t i = work.size() - work.size() / 100; i < work.size(); ++i)
+    top1 += work[i];
+  EXPECT_GT(top1 / total, 0.30);
+}
+
+TEST(UserModel, SessionLengthDistributionShape) {
+  UserModel model;
+  Rng rng(9);
+  int under_1s = 0, under_8h = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const SimTime len = model.sample_session_length(rng);
+    EXPECT_GT(len, 0);
+    if (len < kSecond) ++under_1s;
+    if (len < 8 * kHour) ++under_8h;
+  }
+  // Paper: 32% < 1s, 97% < 8h.
+  EXPECT_NEAR(under_1s / static_cast<double>(n), 0.32, 0.02);
+  EXPECT_NEAR(under_8h / static_cast<double>(n), 0.97, 0.01);
+}
+
+TEST(UserModel, SessionOpsHeavyTail) {
+  UserModel model;
+  Rng rng(10);
+  std::vector<double> ops;
+  const int n = 50000;
+  double total = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(
+        model.sample_session_ops(UserClass::kHeavy, rng));
+    ops.push_back(v);
+    total += v;
+  }
+  std::sort(ops.begin(), ops.end());
+  // 80th percentile below ~92 ops, top 20% carrying the bulk (Fig. 16).
+  EXPECT_LT(ops[static_cast<std::size_t>(0.8 * n)], 120.0);
+  double top20 = 0;
+  for (std::size_t i = static_cast<std::size_t>(0.8 * n); i < ops.size();
+       ++i)
+    top20 += ops[i];
+  EXPECT_GT(top20 / total, 0.80);
+}
+
+TEST(UserModel, ValidatesParams) {
+  UserModelParams p;
+  p.p_occasional = 0.5;  // mix no longer sums to 1
+  EXPECT_THROW(UserModel{p}, std::invalid_argument);
+  UserModelParams q;
+  q.activity_alpha = 0.9;
+  EXPECT_THROW(UserModel{q}, std::invalid_argument);
+}
+
+TEST(UserClass, Names) {
+  EXPECT_EQ(to_string(UserClass::kOccasional), "occasional");
+  EXPECT_EQ(to_string(UserClass::kHeavy), "heavy");
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,132 @@
+#include "workload/file_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace u1 {
+namespace {
+
+TEST(FileModel, NinetyPercentUnderOneMegabyte) {
+  // The paper's headline file-size finding (Fig. 4b inner plot).
+  FileModel model;
+  Rng rng(1);
+  int small = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (model.sample(rng).size_bytes < 1024 * 1024) ++small;
+  }
+  const double frac = static_cast<double>(small) / n;
+  EXPECT_GE(frac, 0.85);
+  EXPECT_LE(frac, 0.95);
+}
+
+TEST(FileModel, SizesArePositiveAndBounded) {
+  FileModel model;
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const FileSpec spec = model.sample(rng);
+    EXPECT_GE(spec.size_bytes, 64u);
+    EXPECT_LE(spec.size_bytes, 2048ull * 1024 * 1024);
+    EXPECT_FALSE(spec.extension.empty());
+  }
+}
+
+TEST(FileModel, CategoryCountSharesMatchFig4c) {
+  FileModel model;
+  Rng rng(3);
+  std::map<FileCategory, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[model.sample(rng).category]++;
+  // Code has the highest fraction of files (paper: ~0.3 of classified).
+  EXPECT_GT(counts[FileCategory::kCode], counts[FileCategory::kAudioVideo]);
+  EXPECT_GT(counts[FileCategory::kCode], counts[FileCategory::kCompressed]);
+  EXPECT_GT(counts[FileCategory::kPics], counts[FileCategory::kAudioVideo]);
+  // Audio/Video is a small fraction of files...
+  EXPECT_LT(static_cast<double>(counts[FileCategory::kAudioVideo]) / n, 0.12);
+}
+
+TEST(FileModel, AudioVideoDominatesStorageShare) {
+  // ...but a dominant share of bytes (Fig. 4c).
+  FileModel model;
+  Rng rng(4);
+  std::map<FileCategory, double> bytes;
+  double total = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const FileSpec s = model.sample(rng);
+    bytes[s.category] += static_cast<double>(s.size_bytes);
+    total += static_cast<double>(s.size_bytes);
+  }
+  EXPECT_GT(bytes[FileCategory::kAudioVideo] / total, 0.15);
+  // Code files are numerous but consume minimal storage.
+  EXPECT_LT(bytes[FileCategory::kCode] / total, 0.05);
+}
+
+TEST(FileModel, MediaLargerThanCode) {
+  FileModel model;
+  Rng rng(5);
+  double mp3_sum = 0, code_sum = 0;
+  int mp3_n = 0, code_n = 0;
+  for (int i = 0; i < 200000 && (mp3_n < 500 || code_n < 500); ++i) {
+    const FileSpec s = model.sample(rng);
+    if (s.extension == "mp3") {
+      mp3_sum += static_cast<double>(s.size_bytes);
+      ++mp3_n;
+    } else if (s.category == FileCategory::kCode) {
+      code_sum += static_cast<double>(s.size_bytes);
+      ++code_n;
+    }
+  }
+  ASSERT_GT(mp3_n, 100);
+  ASSERT_GT(code_n, 100);
+  EXPECT_GT(mp3_sum / mp3_n, 50.0 * (code_sum / code_n));
+}
+
+TEST(FileModel, CodeHasHighUpdateAffinity) {
+  FileModel model;
+  Rng rng(6);
+  for (int i = 0; i < 50000; ++i) {
+    const FileSpec s = model.sample(rng);
+    if (s.category == FileCategory::kCode) EXPECT_GE(s.update_affinity, 0.4);
+    if (s.extension == "jpg") EXPECT_LE(s.update_affinity, 0.1);
+  }
+}
+
+TEST(FileModel, UpdateSizePerturbsGently) {
+  FileModel model;
+  Rng rng(7);
+  FileSpec spec;
+  spec.size_bytes = 100000;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t updated = model.sample_update_size(spec, rng);
+    EXPECT_GE(updated, 80000u);
+    EXPECT_LE(updated, 125000u);
+  }
+}
+
+TEST(CategoryOf, KnownAndUnknownExtensions) {
+  EXPECT_EQ(category_of("jpg"), FileCategory::kPics);
+  EXPECT_EQ(category_of("py"), FileCategory::kCode);
+  EXPECT_EQ(category_of("pdf"), FileCategory::kDocs);
+  EXPECT_EQ(category_of("mp3"), FileCategory::kAudioVideo);
+  EXPECT_EQ(category_of("zip"), FileCategory::kCompressed);
+  EXPECT_EQ(category_of("o"), FileCategory::kBinary);
+  EXPECT_EQ(category_of("weird"), FileCategory::kOther);
+  EXPECT_EQ(category_of(""), FileCategory::kOther);
+}
+
+TEST(FileCategory, NamesMatchPaper) {
+  EXPECT_EQ(to_string(FileCategory::kAudioVideo), "Audio/Video");
+  EXPECT_EQ(to_string(FileCategory::kPics), "Pics");
+}
+
+TEST(FileModel, KnownExtensionsNonEmptyAndCategorized) {
+  FileModel model;
+  EXPECT_GE(model.known_extensions().size(), 25u);
+  for (const auto ext : model.known_extensions()) {
+    EXPECT_FALSE(ext.empty());
+  }
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,313 @@
+#include "tools/u1trace_cli.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/ddos_detect.hpp"
+#include "analysis/dedup.hpp"
+#include "analysis/op_mix.hpp"
+#include "analysis/sessions.hpp"
+#include "analysis/trace_summary.hpp"
+#include "analysis/traffic.hpp"
+#include "analysis/users.hpp"
+#include "sim/simulation.hpp"
+#include "trace/logfile.hpp"
+#include "util/strings.hpp"
+
+namespace u1::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: u1trace <command> [options]\n"
+    "  generate  --out DIR [--users N] [--days D] [--seed S] [--no-ddos]\n"
+    "  summarize DIR\n"
+    "  analyze   DIR --figure {traffic|dedup|sessions|ddos|users|ops}\n"
+    "  validate  DIR\n";
+
+/// Reads every logfile into memory, time-ordered; prints parse stats.
+std::vector<TraceRecord> load(const std::string& dir, std::ostream& out,
+                              ReadStats* stats_out = nullptr) {
+  InMemorySink sink;
+  const ReadStats stats = read_logfiles(dir, sink);
+  out << "# read " << stats.parsed << " records from " << stats.files
+      << " logfiles (" << stats.malformed << " malformed rows)\n";
+  if (stats_out != nullptr) *stats_out = stats;
+  return sink.records();
+}
+
+SimTime horizon_of(const std::vector<TraceRecord>& records) {
+  SimTime max_t = kDay;
+  for (const TraceRecord& r : records) max_t = std::max(max_t, r.t);
+  return max_t + 1;
+}
+
+}  // namespace
+
+Args Args::parse(const std::vector<std::string>& argv,
+                 const std::vector<std::string>& known_flags,
+                 const std::vector<std::string>& known_switches) {
+  Args out;
+  for (std::size_t i = 0; i < argv.size(); ++i) {
+    const std::string& token = argv[i];
+    if (!starts_with(token, "--")) {
+      out.positionals_.push_back(token);
+      continue;
+    }
+    const std::string name = token.substr(2);
+    if (std::find(known_switches.begin(), known_switches.end(), name) !=
+        known_switches.end()) {
+      out.switches_.push_back(name);
+      continue;
+    }
+    if (std::find(known_flags.begin(), known_flags.end(), name) !=
+        known_flags.end()) {
+      if (i + 1 >= argv.size()) {
+        out.errors_.push_back("--" + name + " needs a value");
+        continue;
+      }
+      out.flags_[name] = argv[++i];
+      continue;
+    }
+    out.errors_.push_back("unknown option --" + name);
+  }
+  return out;
+}
+
+std::optional<std::string> Args::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::int64_t> Args::int_flag(const std::string& name) const {
+  const auto value = flag(name);
+  if (!value) return std::nullopt;
+  return parse_i64(*value);
+}
+
+bool Args::has_switch(const std::string& name) const {
+  return std::find(switches_.begin(), switches_.end(), name) !=
+         switches_.end();
+}
+
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
+  const auto dir = args.flag("out");
+  if (!dir) {
+    err << "generate: --out DIR is required\n";
+    return 2;
+  }
+  SimulationConfig cfg;
+  cfg.users = static_cast<std::size_t>(args.int_flag("users").value_or(2000));
+  cfg.days = static_cast<int>(args.int_flag("days").value_or(7));
+  cfg.seed =
+      static_cast<std::uint64_t>(args.int_flag("seed").value_or(20140111));
+  cfg.enable_ddos = !args.has_switch("no-ddos");
+  out << "# generating: users=" << cfg.users << " days=" << cfg.days
+      << " seed=" << cfg.seed << " ddos=" << (cfg.enable_ddos ? "on" : "off")
+      << "\n";
+  LogfileWriter writer(*dir);
+  Simulation sim(cfg, writer);
+  const SimulationReport report = sim.run();
+  writer.close();
+  out << "# done: " << report.backend.sessions_opened << " sessions, "
+      << report.backend.uploads << " uploads, " << report.backend.downloads
+      << " downloads -> " << *dir << "\n";
+  return 0;
+}
+
+int cmd_summarize(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().empty()) {
+    err << "summarize: trace directory required\n";
+    return 2;
+  }
+  const auto records = load(args.positionals()[0], out);
+  TraceSummaryAnalyzer summary;
+  for (const TraceRecord& r : records) summary.append(r);
+  const auto s = summary.summary();
+  out << "trace duration:   " << s.days << " days\n";
+  out << "unique users:     " << s.unique_users << "\n";
+  out << "unique files:     " << s.unique_files << "\n";
+  out << "user sessions:    " << s.sessions << "\n";
+  out << "transfer ops:     " << s.transfer_ops << "\n";
+  out << "upload traffic:   "
+      << format_bytes(static_cast<double>(s.upload_bytes)) << "\n";
+  out << "download traffic: "
+      << format_bytes(static_cast<double>(s.download_bytes)) << "\n";
+  return 0;
+}
+
+int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().empty()) {
+    err << "analyze: trace directory required\n";
+    return 2;
+  }
+  const std::string figure = args.flag("figure").value_or("traffic");
+  const auto records = load(args.positionals()[0], out);
+  if (records.empty()) {
+    err << "analyze: no records\n";
+    return 1;
+  }
+  const SimTime horizon = horizon_of(records);
+
+  if (figure == "traffic") {
+    TrafficAnalyzer traffic(0, horizon);
+    for (const TraceRecord& r : records) traffic.append(r);
+    out << "upload:   " << traffic.upload_ops() << " ops, "
+        << format_bytes(static_cast<double>(traffic.upload_bytes())) << "\n";
+    out << "download: " << traffic.download_ops() << " ops, "
+        << format_bytes(static_cast<double>(traffic.download_bytes()))
+        << "\n";
+    out << "R/W ratio median: " << traffic.rw_boxplot().median << "\n";
+    out << "update ops share: " << traffic.update_op_fraction() << "\n";
+    out << "update traffic share: " << traffic.update_traffic_fraction()
+        << "\n";
+    return 0;
+  }
+  if (figure == "dedup") {
+    DedupAnalyzer dedup;
+    for (const TraceRecord& r : records) dedup.append(r);
+    out << "dedup ratio:     " << dedup.dedup_ratio() << "\n";
+    out << "distinct hashes: " << dedup.distinct_hashes() << "\n";
+    out << "unique fraction: " << dedup.unique_fraction() << "\n";
+    return 0;
+  }
+  if (figure == "sessions") {
+    SessionAnalyzer sessions(0, horizon);
+    for (const TraceRecord& r : records) sessions.append(r);
+    out << "sessions closed:  " << sessions.sessions_closed() << "\n";
+    out << "under 1 second:   " << sessions.fraction_shorter_than(kSecond)
+        << "\n";
+    out << "under 8 hours:    "
+        << sessions.fraction_shorter_than(8 * kHour) << "\n";
+    out << "active fraction:  " << sessions.active_session_fraction()
+        << "\n";
+    out << "auth failures:    " << sessions.auth_failure_fraction() << "\n";
+    return 0;
+  }
+  if (figure == "ddos") {
+    DdosAnalyzer ddos(0, horizon);
+    for (const TraceRecord& r : records) ddos.append(r);
+    const auto attacks = ddos.detect();
+    out << "attack windows: " << attacks.size() << " over "
+        << ddos.attack_days() << " days\n";
+    for (const auto& a : attacks) {
+      out << "  " << format_timestamp(
+                         ddos.session_per_hour().bin_start(a.first_hour))
+          << "  " << (a.last_hour - a.first_hour + 1) << "h  session spike "
+          << a.peak_multiplier << "x\n";
+    }
+    return 0;
+  }
+  if (figure == "users") {
+    UserActivityAnalyzer users(0, horizon);
+    for (const TraceRecord& r : records) users.append(r);
+    users.finalize();
+    const auto classes = users.classify_users();
+    out << "users seen:     " << users.users_seen() << "\n";
+    out << "occasional:     " << classes.occasional << "\n";
+    out << "upload-only:    " << classes.upload_only << "\n";
+    out << "download-only:  " << classes.download_only << "\n";
+    out << "heavy:          " << classes.heavy << "\n";
+    out << "upload Gini:    " << users.upload_lorenz().gini << "\n";
+    out << "top 1% share:   " << users.top_traffic_share(0.01) << "\n";
+    return 0;
+  }
+  if (figure == "ops") {
+    OpMixAnalyzer mix;
+    for (const TraceRecord& r : records) mix.append(r);
+    for (const auto& [op, count] : mix.ranked()) {
+      out << "  " << to_string(op) << ": " << count << "\n";
+    }
+    out << "  OpenSession: " << mix.open_sessions() << "\n";
+    out << "  CloseSession: " << mix.close_sessions() << "\n";
+    return 0;
+  }
+  err << "analyze: unknown figure '" << figure << "'\n";
+  return 2;
+}
+
+int cmd_validate(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().empty()) {
+    err << "validate: trace directory required\n";
+    return 2;
+  }
+  ReadStats stats;
+  const auto records = load(args.positionals()[0], out, &stats);
+
+  std::uint64_t storage = 0, done = 0, violations = 0;
+  std::unordered_map<std::uint64_t, SimTime> last_per_session;
+  std::unordered_set<std::uint64_t> open;
+  std::uint64_t opens = 0, closes = 0;
+  for (const TraceRecord& r : records) {
+    if (r.session.valid()) {
+      const auto [it, fresh] =
+          last_per_session.try_emplace(r.session.value, r.t);
+      if (!fresh) {
+        if (it->second > r.t) ++violations;
+        it->second = r.t;
+      }
+    }
+    if (r.type == RecordType::kStorage) ++storage;
+    if (r.type == RecordType::kStorageDone) ++done;
+    if (r.type == RecordType::kSession) {
+      if (r.session_event == SessionEvent::kOpen) {
+        ++opens;
+        open.insert(r.session.value);
+      }
+      if (r.session_event == SessionEvent::kClose) {
+        ++closes;
+        open.erase(r.session.value);
+      }
+    }
+  }
+  const double malformed_share =
+      stats.rows > 0
+          ? static_cast<double>(stats.malformed) /
+                static_cast<double>(stats.rows)
+          : 0.0;
+  out << "records:               " << records.size() << "\n";
+  out << "malformed row share:   " << malformed_share << "\n";
+  out << "storage/done pairing:  " << storage << " / " << done << "\n";
+  out << "sessions open/closed:  " << opens << " / " << closes << " ("
+      << open.size() << " still open at trace end)\n";
+  out << "per-session order violations: " << violations << "\n";
+  const bool sound = storage == done && violations == 0;
+  out << (sound ? "TRACE SOUND\n" : "TRACE UNSOUND\n");
+  if (!sound) err << "validate: structural problems found\n";
+  return sound ? 0 : 1;
+}
+
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err) {
+  if (argv.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string command = argv[0];
+  const std::vector<std::string> rest(argv.begin() + 1, argv.end());
+
+  if (command == "generate") {
+    const Args args = Args::parse(rest, {"out", "users", "days", "seed"},
+                                  {"no-ddos"});
+    if (!args.ok()) {
+      for (const auto& e : args.errors()) err << "generate: " << e << "\n";
+      return 2;
+    }
+    return cmd_generate(args, out, err);
+  }
+  if (command == "summarize" || command == "analyze" ||
+      command == "validate") {
+    const Args args = Args::parse(rest, {"figure"}, {});
+    if (!args.ok()) {
+      for (const auto& e : args.errors()) err << command << ": " << e << "\n";
+      return 2;
+    }
+    if (command == "summarize") return cmd_summarize(args, out, err);
+    if (command == "analyze") return cmd_analyze(args, out, err);
+    return cmd_validate(args, out, err);
+  }
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace u1::cli

@@ -1,0 +1,57 @@
+// u1trace: command-line tooling over U1-format traces.
+//
+//   u1trace generate  --out DIR [--users N] [--days D] [--seed S] [--no-ddos]
+//   u1trace summarize DIR            Table-3 style trace summary
+//   u1trace analyze   DIR --figure F one analyzer (traffic|dedup|sessions|
+//                                    ddos|users|ops)
+//   u1trace validate  DIR            structural soundness + parse stats
+//
+// The command implementations live in this library so they are unit-
+// testable; the binary is a thin main().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace u1::cli {
+
+/// Minimal flag parser: positionals plus --key value / --switch flags.
+class Args {
+ public:
+  /// Parses argv-style input (without the program name). Unknown flags
+  /// are collected as errors.
+  static Args parse(const std::vector<std::string>& argv,
+                    const std::vector<std::string>& known_flags,
+                    const std::vector<std::string>& known_switches);
+
+  const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+  std::optional<std::string> flag(const std::string& name) const;
+  std::optional<std::int64_t> int_flag(const std::string& name) const;
+  bool has_switch(const std::string& name) const;
+  const std::vector<std::string>& errors() const noexcept { return errors_; }
+  bool ok() const noexcept { return errors_.empty(); }
+
+ private:
+  std::vector<std::string> positionals_;
+  std::unordered_map<std::string, std::string> flags_;
+  std::vector<std::string> switches_;
+  std::vector<std::string> errors_;
+};
+
+/// Entry point used by main() and by the tests. Returns the exit code.
+int run(const std::vector<std::string>& argv, std::ostream& out,
+        std::ostream& err);
+
+// Individual commands (argv excludes the command word).
+int cmd_generate(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_summarize(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_validate(const Args& args, std::ostream& out, std::ostream& err);
+
+}  // namespace u1::cli

@@ -1,0 +1,11 @@
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/u1trace_cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return u1::cli::run(args, std::cout, std::cerr);
+}
