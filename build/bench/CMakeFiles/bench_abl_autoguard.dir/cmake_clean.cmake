@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_autoguard.dir/bench_abl_autoguard.cpp.o"
+  "CMakeFiles/bench_abl_autoguard.dir/bench_abl_autoguard.cpp.o.d"
+  "bench_abl_autoguard"
+  "bench_abl_autoguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_autoguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_cold_sessions.dir/bench_abl_cold_sessions.cpp.o"
+  "CMakeFiles/bench_abl_cold_sessions.dir/bench_abl_cold_sessions.cpp.o.d"
+  "bench_abl_cold_sessions"
+  "bench_abl_cold_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_cold_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_delta_updates.dir/bench_abl_delta_updates.cpp.o"
+  "CMakeFiles/bench_abl_delta_updates.dir/bench_abl_delta_updates.cpp.o.d"
+  "bench_abl_delta_updates"
+  "bench_abl_delta_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_delta_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_shards.dir/bench_abl_shards.cpp.o"
+  "CMakeFiles/bench_abl_shards.dir/bench_abl_shards.cpp.o.d"
+  "bench_abl_shards"
+  "bench_abl_shards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_shards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

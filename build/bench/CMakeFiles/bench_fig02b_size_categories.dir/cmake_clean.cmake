@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02b_size_categories.dir/bench_fig02b_size_categories.cpp.o"
+  "CMakeFiles/bench_fig02b_size_categories.dir/bench_fig02b_size_categories.cpp.o.d"
+  "bench_fig02b_size_categories"
+  "bench_fig02b_size_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02b_size_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03a_after_write.dir/bench_fig03a_after_write.cpp.o"
+  "CMakeFiles/bench_fig03a_after_write.dir/bench_fig03a_after_write.cpp.o.d"
+  "bench_fig03a_after_write"
+  "bench_fig03a_after_write.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03a_after_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03b_after_read.dir/bench_fig03b_after_read.cpp.o"
+  "CMakeFiles/bench_fig03b_after_read.dir/bench_fig03b_after_read.cpp.o.d"
+  "bench_fig03b_after_read"
+  "bench_fig03b_after_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03b_after_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04a_dedup.dir/bench_fig04a_dedup.cpp.o"
+  "CMakeFiles/bench_fig04a_dedup.dir/bench_fig04a_dedup.cpp.o.d"
+  "bench_fig04a_dedup"
+  "bench_fig04a_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04a_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

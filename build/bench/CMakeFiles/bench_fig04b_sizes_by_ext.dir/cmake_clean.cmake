@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04b_sizes_by_ext.dir/bench_fig04b_sizes_by_ext.cpp.o"
+  "CMakeFiles/bench_fig04b_sizes_by_ext.dir/bench_fig04b_sizes_by_ext.cpp.o.d"
+  "bench_fig04b_sizes_by_ext"
+  "bench_fig04b_sizes_by_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04b_sizes_by_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04c_type_shares.dir/bench_fig04c_type_shares.cpp.o"
+  "CMakeFiles/bench_fig04c_type_shares.dir/bench_fig04c_type_shares.cpp.o.d"
+  "bench_fig04c_type_shares"
+  "bench_fig04c_type_shares.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04c_type_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_ddos.dir/bench_fig05_ddos.cpp.o"
+  "CMakeFiles/bench_fig05_ddos.dir/bench_fig05_ddos.cpp.o.d"
+  "bench_fig05_ddos"
+  "bench_fig05_ddos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ddos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_online_active.dir/bench_fig06_online_active.cpp.o"
+  "CMakeFiles/bench_fig06_online_active.dir/bench_fig06_online_active.cpp.o.d"
+  "bench_fig06_online_active"
+  "bench_fig06_online_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_online_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

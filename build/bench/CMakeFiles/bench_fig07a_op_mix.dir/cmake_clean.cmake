@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07a_op_mix.dir/bench_fig07a_op_mix.cpp.o"
+  "CMakeFiles/bench_fig07a_op_mix.dir/bench_fig07a_op_mix.cpp.o.d"
+  "bench_fig07a_op_mix"
+  "bench_fig07a_op_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07a_op_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

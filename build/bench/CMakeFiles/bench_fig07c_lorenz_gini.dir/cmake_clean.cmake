@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07c_lorenz_gini.dir/bench_fig07c_lorenz_gini.cpp.o"
+  "CMakeFiles/bench_fig07c_lorenz_gini.dir/bench_fig07c_lorenz_gini.cpp.o.d"
+  "bench_fig07c_lorenz_gini"
+  "bench_fig07c_lorenz_gini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07c_lorenz_gini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07c_lorenz_gini.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_burstiness.dir/bench_fig09_burstiness.cpp.o"
+  "CMakeFiles/bench_fig09_burstiness.dir/bench_fig09_burstiness.cpp.o.d"
+  "bench_fig09_burstiness"
+  "bench_fig09_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_volume_contents.dir/bench_fig10_volume_contents.cpp.o"
+  "CMakeFiles/bench_fig10_volume_contents.dir/bench_fig10_volume_contents.cpp.o.d"
+  "bench_fig10_volume_contents"
+  "bench_fig10_volume_contents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_volume_contents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_rpc_cdfs.dir/bench_fig12_rpc_cdfs.cpp.o"
+  "CMakeFiles/bench_fig12_rpc_cdfs.dir/bench_fig12_rpc_cdfs.cpp.o.d"
+  "bench_fig12_rpc_cdfs"
+  "bench_fig12_rpc_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rpc_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

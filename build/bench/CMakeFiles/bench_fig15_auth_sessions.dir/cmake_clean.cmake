@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_auth_sessions.dir/bench_fig15_auth_sessions.cpp.o"
+  "CMakeFiles/bench_fig15_auth_sessions.dir/bench_fig15_auth_sessions.cpp.o.d"
+  "bench_fig15_auth_sessions"
+  "bench_fig15_auth_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_auth_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_session_lengths.dir/bench_fig16_session_lengths.cpp.o"
+  "CMakeFiles/bench_fig16_session_lengths.dir/bench_fig16_session_lengths.cpp.o.d"
+  "bench_fig16_session_lengths"
+  "bench_fig16_session_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_session_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab01_findings.dir/bench_tab01_findings.cpp.o"
+  "CMakeFiles/bench_tab01_findings.dir/bench_tab01_findings.cpp.o.d"
+  "bench_tab01_findings"
+  "bench_tab01_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddos_forensics.dir/ddos_forensics.cpp.o"
+  "CMakeFiles/ddos_forensics.dir/ddos_forensics.cpp.o.d"
+  "ddos_forensics"
+  "ddos_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddos_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_study.dir/dedup_study.cpp.o"
+  "CMakeFiles/dedup_study.dir/dedup_study.cpp.o.d"
+  "dedup_study"
+  "dedup_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

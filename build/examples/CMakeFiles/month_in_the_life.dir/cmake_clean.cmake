@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/month_in_the_life.dir/month_in_the_life.cpp.o"
+  "CMakeFiles/month_in_the_life.dir/month_in_the_life.cpp.o.d"
+  "month_in_the_life"
+  "month_in_the_life.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/month_in_the_life.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("proto")
+subdirs("store")
+subdirs("cloudstore")
+subdirs("auth")
+subdirs("mq")
+subdirs("trace")
+subdirs("server")
+subdirs("workload")
+subdirs("sim")
+subdirs("analysis")
+subdirs("improve")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/burstiness.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/burstiness.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/burstiness.cpp.o.d"
+  "/root/repo/src/analysis/ddos_detect.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/ddos_detect.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/ddos_detect.cpp.o.d"
+  "/root/repo/src/analysis/dedup.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/dedup.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/dedup.cpp.o.d"
+  "/root/repo/src/analysis/file_dependencies.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/file_dependencies.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/file_dependencies.cpp.o.d"
+  "/root/repo/src/analysis/file_types.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/file_types.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/file_types.cpp.o.d"
+  "/root/repo/src/analysis/findings.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/findings.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/findings.cpp.o.d"
+  "/root/repo/src/analysis/load_balance.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/load_balance.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/load_balance.cpp.o.d"
+  "/root/repo/src/analysis/node_lifetime.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/node_lifetime.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/node_lifetime.cpp.o.d"
+  "/root/repo/src/analysis/op_mix.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/op_mix.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/op_mix.cpp.o.d"
+  "/root/repo/src/analysis/rpc_perf.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/rpc_perf.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/rpc_perf.cpp.o.d"
+  "/root/repo/src/analysis/sessions.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/sessions.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/sessions.cpp.o.d"
+  "/root/repo/src/analysis/trace_summary.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/trace_summary.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/trace_summary.cpp.o.d"
+  "/root/repo/src/analysis/traffic.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/traffic.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/traffic.cpp.o.d"
+  "/root/repo/src/analysis/transition_graph.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/transition_graph.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/transition_graph.cpp.o.d"
+  "/root/repo/src/analysis/users.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/users.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/users.cpp.o.d"
+  "/root/repo/src/analysis/volumes.cpp" "src/analysis/CMakeFiles/u1_analysis.dir/volumes.cpp.o" "gcc" "src/analysis/CMakeFiles/u1_analysis.dir/volumes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/u1_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/u1_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/u1_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/u1_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_auth.dir/auth_service.cpp.o"
+  "CMakeFiles/u1_auth.dir/auth_service.cpp.o.d"
+  "CMakeFiles/u1_auth.dir/token_cache.cpp.o"
+  "CMakeFiles/u1_auth.dir/token_cache.cpp.o.d"
+  "libu1_auth.a"
+  "libu1_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_cloudstore.dir/object_store.cpp.o"
+  "CMakeFiles/u1_cloudstore.dir/object_store.cpp.o.d"
+  "libu1_cloudstore.a"
+  "libu1_cloudstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_cloudstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_improve.dir/anomaly_guard.cpp.o"
+  "CMakeFiles/u1_improve.dir/anomaly_guard.cpp.o.d"
+  "CMakeFiles/u1_improve.dir/content_cache.cpp.o"
+  "CMakeFiles/u1_improve.dir/content_cache.cpp.o.d"
+  "CMakeFiles/u1_improve.dir/push_pull.cpp.o"
+  "CMakeFiles/u1_improve.dir/push_pull.cpp.o.d"
+  "CMakeFiles/u1_improve.dir/warm_tier.cpp.o"
+  "CMakeFiles/u1_improve.dir/warm_tier.cpp.o.d"
+  "libu1_improve.a"
+  "libu1_improve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_improve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

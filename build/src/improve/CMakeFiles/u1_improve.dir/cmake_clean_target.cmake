@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libu1_improve.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_mq.dir/message_queue.cpp.o"
+  "CMakeFiles/u1_mq.dir/message_queue.cpp.o.d"
+  "libu1_mq.a"
+  "libu1_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

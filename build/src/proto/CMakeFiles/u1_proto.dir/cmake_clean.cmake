@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_proto.dir/entities.cpp.o"
+  "CMakeFiles/u1_proto.dir/entities.cpp.o.d"
+  "CMakeFiles/u1_proto.dir/operations.cpp.o"
+  "CMakeFiles/u1_proto.dir/operations.cpp.o.d"
+  "libu1_proto.a"
+  "libu1_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_server.dir/backend.cpp.o"
+  "CMakeFiles/u1_server.dir/backend.cpp.o.d"
+  "CMakeFiles/u1_server.dir/fleet.cpp.o"
+  "CMakeFiles/u1_server.dir/fleet.cpp.o.d"
+  "libu1_server.a"
+  "libu1_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

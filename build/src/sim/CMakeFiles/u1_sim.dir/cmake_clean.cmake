@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_sim.dir/client_agent.cpp.o"
+  "CMakeFiles/u1_sim.dir/client_agent.cpp.o.d"
+  "CMakeFiles/u1_sim.dir/simulation.cpp.o"
+  "CMakeFiles/u1_sim.dir/simulation.cpp.o.d"
+  "libu1_sim.a"
+  "libu1_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

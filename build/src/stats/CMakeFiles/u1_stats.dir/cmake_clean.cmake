@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_stats.dir/acf.cpp.o"
+  "CMakeFiles/u1_stats.dir/acf.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/correlation.cpp.o"
+  "CMakeFiles/u1_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/u1_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/gini.cpp.o"
+  "CMakeFiles/u1_stats.dir/gini.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/histogram.cpp.o"
+  "CMakeFiles/u1_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/powerlaw.cpp.o"
+  "CMakeFiles/u1_stats.dir/powerlaw.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/summary.cpp.o"
+  "CMakeFiles/u1_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/u1_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/u1_stats.dir/timeseries.cpp.o.d"
+  "libu1_stats.a"
+  "libu1_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/content_registry.cpp" "src/store/CMakeFiles/u1_store.dir/content_registry.cpp.o" "gcc" "src/store/CMakeFiles/u1_store.dir/content_registry.cpp.o.d"
+  "/root/repo/src/store/metadata_store.cpp" "src/store/CMakeFiles/u1_store.dir/metadata_store.cpp.o" "gcc" "src/store/CMakeFiles/u1_store.dir/metadata_store.cpp.o.d"
+  "/root/repo/src/store/service_time.cpp" "src/store/CMakeFiles/u1_store.dir/service_time.cpp.o" "gcc" "src/store/CMakeFiles/u1_store.dir/service_time.cpp.o.d"
+  "/root/repo/src/store/shard.cpp" "src/store/CMakeFiles/u1_store.dir/shard.cpp.o" "gcc" "src/store/CMakeFiles/u1_store.dir/shard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

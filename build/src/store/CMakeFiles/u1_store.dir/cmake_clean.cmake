@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_store.dir/content_registry.cpp.o"
+  "CMakeFiles/u1_store.dir/content_registry.cpp.o.d"
+  "CMakeFiles/u1_store.dir/metadata_store.cpp.o"
+  "CMakeFiles/u1_store.dir/metadata_store.cpp.o.d"
+  "CMakeFiles/u1_store.dir/service_time.cpp.o"
+  "CMakeFiles/u1_store.dir/service_time.cpp.o.d"
+  "CMakeFiles/u1_store.dir/shard.cpp.o"
+  "CMakeFiles/u1_store.dir/shard.cpp.o.d"
+  "libu1_store.a"
+  "libu1_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_trace.dir/logfile.cpp.o"
+  "CMakeFiles/u1_trace.dir/logfile.cpp.o.d"
+  "CMakeFiles/u1_trace.dir/record.cpp.o"
+  "CMakeFiles/u1_trace.dir/record.cpp.o.d"
+  "CMakeFiles/u1_trace.dir/sink.cpp.o"
+  "CMakeFiles/u1_trace.dir/sink.cpp.o.d"
+  "libu1_trace.a"
+  "libu1_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

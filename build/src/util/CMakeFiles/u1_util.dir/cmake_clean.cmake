@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_util.dir/csv.cpp.o"
+  "CMakeFiles/u1_util.dir/csv.cpp.o.d"
+  "CMakeFiles/u1_util.dir/rng.cpp.o"
+  "CMakeFiles/u1_util.dir/rng.cpp.o.d"
+  "CMakeFiles/u1_util.dir/sha1.cpp.o"
+  "CMakeFiles/u1_util.dir/sha1.cpp.o.d"
+  "CMakeFiles/u1_util.dir/sim_time.cpp.o"
+  "CMakeFiles/u1_util.dir/sim_time.cpp.o.d"
+  "CMakeFiles/u1_util.dir/strings.cpp.o"
+  "CMakeFiles/u1_util.dir/strings.cpp.o.d"
+  "CMakeFiles/u1_util.dir/uuid.cpp.o"
+  "CMakeFiles/u1_util.dir/uuid.cpp.o.d"
+  "libu1_util.a"
+  "libu1_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

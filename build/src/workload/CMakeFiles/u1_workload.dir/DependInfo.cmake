@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/burst.cpp" "src/workload/CMakeFiles/u1_workload.dir/burst.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/burst.cpp.o.d"
+  "/root/repo/src/workload/content_pool.cpp" "src/workload/CMakeFiles/u1_workload.dir/content_pool.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/content_pool.cpp.o.d"
+  "/root/repo/src/workload/ddos.cpp" "src/workload/CMakeFiles/u1_workload.dir/ddos.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/ddos.cpp.o.d"
+  "/root/repo/src/workload/diurnal.cpp" "src/workload/CMakeFiles/u1_workload.dir/diurnal.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/diurnal.cpp.o.d"
+  "/root/repo/src/workload/file_model.cpp" "src/workload/CMakeFiles/u1_workload.dir/file_model.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/file_model.cpp.o.d"
+  "/root/repo/src/workload/transitions.cpp" "src/workload/CMakeFiles/u1_workload.dir/transitions.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/transitions.cpp.o.d"
+  "/root/repo/src/workload/user_model.cpp" "src/workload/CMakeFiles/u1_workload.dir/user_model.cpp.o" "gcc" "src/workload/CMakeFiles/u1_workload.dir/user_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1_workload.dir/burst.cpp.o"
+  "CMakeFiles/u1_workload.dir/burst.cpp.o.d"
+  "CMakeFiles/u1_workload.dir/content_pool.cpp.o"
+  "CMakeFiles/u1_workload.dir/content_pool.cpp.o.d"
+  "CMakeFiles/u1_workload.dir/ddos.cpp.o"
+  "CMakeFiles/u1_workload.dir/ddos.cpp.o.d"
+  "CMakeFiles/u1_workload.dir/diurnal.cpp.o"
+  "CMakeFiles/u1_workload.dir/diurnal.cpp.o.d"
+  "CMakeFiles/u1_workload.dir/file_model.cpp.o"
+  "CMakeFiles/u1_workload.dir/file_model.cpp.o.d"
+  "CMakeFiles/u1_workload.dir/transitions.cpp.o"
+  "CMakeFiles/u1_workload.dir/transitions.cpp.o.d"
+  "CMakeFiles/u1_workload.dir/user_model.cpp.o"
+  "CMakeFiles/u1_workload.dir/user_model.cpp.o.d"
+  "libu1_workload.a"
+  "libu1_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

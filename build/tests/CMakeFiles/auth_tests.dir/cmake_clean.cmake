@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auth_tests.dir/auth/auth_test.cpp.o"
+  "CMakeFiles/auth_tests.dir/auth/auth_test.cpp.o.d"
+  "auth_tests"
+  "auth_tests.pdb"
+  "auth_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auth_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudstore_tests.dir/cloudstore/object_store_test.cpp.o"
+  "CMakeFiles/cloudstore_tests.dir/cloudstore/object_store_test.cpp.o.d"
+  "cloudstore_tests"
+  "cloudstore_tests.pdb"
+  "cloudstore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudstore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

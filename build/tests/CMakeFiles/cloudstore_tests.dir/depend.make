@@ -1,0 +1,2 @@
+# Empty dependencies file for cloudstore_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/improve/improve_test.cpp" "tests/CMakeFiles/improve_tests.dir/improve/improve_test.cpp.o" "gcc" "tests/CMakeFiles/improve_tests.dir/improve/improve_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/improve/CMakeFiles/u1_improve.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/u1_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

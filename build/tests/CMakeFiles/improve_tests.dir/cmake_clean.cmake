@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/improve_tests.dir/improve/improve_test.cpp.o"
+  "CMakeFiles/improve_tests.dir/improve/improve_test.cpp.o.d"
+  "improve_tests"
+  "improve_tests.pdb"
+  "improve_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/improve_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

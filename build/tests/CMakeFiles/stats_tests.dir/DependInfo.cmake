@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/acf_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/acf_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/acf_test.cpp.o.d"
+  "/root/repo/tests/stats/correlation_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/correlation_test.cpp.o.d"
+  "/root/repo/tests/stats/ecdf_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/ecdf_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/ecdf_test.cpp.o.d"
+  "/root/repo/tests/stats/gini_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/gini_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/gini_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/powerlaw_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/powerlaw_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/powerlaw_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/timeseries_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/timeseries_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/u1_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

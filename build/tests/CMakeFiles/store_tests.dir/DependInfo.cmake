@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/store/content_registry_test.cpp" "tests/CMakeFiles/store_tests.dir/store/content_registry_test.cpp.o" "gcc" "tests/CMakeFiles/store_tests.dir/store/content_registry_test.cpp.o.d"
+  "/root/repo/tests/store/metadata_store_test.cpp" "tests/CMakeFiles/store_tests.dir/store/metadata_store_test.cpp.o" "gcc" "tests/CMakeFiles/store_tests.dir/store/metadata_store_test.cpp.o.d"
+  "/root/repo/tests/store/service_time_test.cpp" "tests/CMakeFiles/store_tests.dir/store/service_time_test.cpp.o" "gcc" "tests/CMakeFiles/store_tests.dir/store/service_time_test.cpp.o.d"
+  "/root/repo/tests/store/shard_test.cpp" "tests/CMakeFiles/store_tests.dir/store/shard_test.cpp.o" "gcc" "tests/CMakeFiles/store_tests.dir/store/shard_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/u1_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/u1_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cpp" "tests/CMakeFiles/util_tests.dir/util/csv_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/csv_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/sha1_test.cpp" "tests/CMakeFiles/util_tests.dir/util/sha1_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/sha1_test.cpp.o.d"
+  "/root/repo/tests/util/sim_time_test.cpp" "tests/CMakeFiles/util_tests.dir/util/sim_time_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/sim_time_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/uuid_test.cpp" "tests/CMakeFiles/util_tests.dir/util/uuid_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/uuid_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

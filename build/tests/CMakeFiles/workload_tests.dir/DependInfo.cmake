@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/burst_diurnal_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/burst_diurnal_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/burst_diurnal_test.cpp.o.d"
+  "/root/repo/tests/workload/content_user_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/content_user_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/content_user_test.cpp.o.d"
+  "/root/repo/tests/workload/file_model_test.cpp" "tests/CMakeFiles/workload_tests.dir/workload/file_model_test.cpp.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/file_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/u1_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/u1_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_tests[1]_include.cmake")
+include("/root/repo/build/tests/stats_tests[1]_include.cmake")
+include("/root/repo/build/tests/proto_tests[1]_include.cmake")
+include("/root/repo/build/tests/store_tests[1]_include.cmake")
+include("/root/repo/build/tests/cloudstore_tests[1]_include.cmake")
+include("/root/repo/build/tests/auth_tests[1]_include.cmake")
+include("/root/repo/build/tests/mq_tests[1]_include.cmake")
+include("/root/repo/build/tests/trace_tests[1]_include.cmake")
+include("/root/repo/build/tests/server_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/improve_tests[1]_include.cmake")
+include("/root/repo/build/tests/tools_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1trace.dir/u1trace_main.cpp.o"
+  "CMakeFiles/u1trace.dir/u1trace_main.cpp.o.d"
+  "u1trace"
+  "u1trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

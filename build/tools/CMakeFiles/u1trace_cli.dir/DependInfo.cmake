@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/u1trace_cli.cpp" "tools/CMakeFiles/u1trace_cli.dir/u1trace_cli.cpp.o" "gcc" "tools/CMakeFiles/u1trace_cli.dir/u1trace_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/u1_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/u1_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/u1_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/u1_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/u1_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/u1_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstore/CMakeFiles/u1_cloudstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/auth/CMakeFiles/u1_auth.dir/DependInfo.cmake"
+  "/root/repo/build/src/mq/CMakeFiles/u1_mq.dir/DependInfo.cmake"
+  "/root/repo/build/src/improve/CMakeFiles/u1_improve.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/u1_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/u1_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/u1_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

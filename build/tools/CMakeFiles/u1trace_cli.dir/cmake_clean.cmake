@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/u1trace_cli.dir/u1trace_cli.cpp.o"
+  "CMakeFiles/u1trace_cli.dir/u1trace_cli.cpp.o.d"
+  "libu1trace_cli.a"
+  "libu1trace_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/u1trace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
