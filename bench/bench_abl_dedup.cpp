@@ -22,7 +22,7 @@ int main() {
   auto cfg = standard_config(users, days, /*ddos=*/false);
   NullSink sink;
   auto sim = run_into(sink, cfg);
-  const auto& contents = sim->backend().store().contents();
+  const auto& contents = sim->contents();
   const double unique = static_cast<double>(contents.unique_bytes());
   const double logical = static_cast<double>(contents.logical_bytes());
 

@@ -31,7 +31,7 @@ int main() {
   }
   // Whole-service view (registry state includes pre-trace history).
   row("back-end registry dedup ratio", 0.171,
-      sim->backend().store().contents().dedup_ratio());
+      sim->contents().dedup_ratio());
   note("paper: a small number of contents accounts for very many "
        "duplicates (popular songs) — a dedup hot spot");
   return 0;

@@ -12,7 +12,7 @@ int main() {
   auto sim = run_into(sink, cfg);
 
   header("Fig 10", "Files and directories per volume (end-of-trace state)");
-  const auto stats = analyze_volume_contents(sim->backend().store());
+  const auto stats = analyze_volume_contents(sim->stores());
   row("Pearson correlation files vs dirs", 0.998, stats.pearson_files_dirs);
   row("volumes with at least one file", 0.60, stats.volumes_with_file_share);
   row("volumes with at least one dir", 0.32, stats.volumes_with_dir_share);

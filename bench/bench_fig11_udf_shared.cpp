@@ -12,8 +12,7 @@ int main() {
   auto sim = run_into(sink, cfg);
 
   header("Fig 11", "Shared / user-defined volumes across users");
-  const auto stats =
-      analyze_volume_ownership(sim->backend().store(), cfg.users);
+  const auto stats = analyze_volume_ownership(sim->stores(), cfg.users);
   row("users with at least one UDF volume", 0.58, stats.users_with_udf);
   row("users with at least one shared volume", 0.018,
       stats.users_with_share);

@@ -1,0 +1,126 @@
+// Shard-parallel engine throughput + determinism oracle.
+//
+// Runs the same (users, days, seed) simulation under the parallel engine
+// at 1, 2, 4 and 8 worker threads, hashing every emitted trace record in
+// stream order. The 1-thread run executes the identical epoch/merge
+// machinery inline and is the correctness oracle: all four SHA-1s must
+// match, byte for byte, or the engine is broken. Wall-clock and
+// records/sec per thread count are written to BENCH_throughput.json at
+// the repo root (honest numbers: the file records the machine's hardware
+// concurrency — speedups are bounded by the cores actually present).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "sim/parallel.hpp"
+#include "trace/sink.hpp"
+#include "util/sha1.hpp"
+
+namespace {
+
+struct RunResult {
+  std::size_t threads = 0;
+  double wall_seconds = 0;
+  std::uint64_t records = 0;
+  std::string trace_sha1;
+  u1::SimulationReport report;
+};
+
+RunResult run_once(const u1::SimulationConfig& cfg, std::size_t threads) {
+  u1::Sha1 hasher;
+  std::uint64_t records = 0;
+  u1::CallbackSink sink([&](const u1::TraceRecord& r) {
+    ++records;
+    for (const std::string& field : r.to_csv()) {
+      hasher.update(field);
+      hasher.update(",");
+    }
+    hasher.update("\n");
+  });
+
+  RunResult out;
+  out.threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  u1::ParallelSimulation sim(cfg, sink, threads);
+  out.report = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.records = records;
+  out.trace_sha1 = hasher.finish().hex();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  const auto cfg = standard_config(env_users(), env_days());
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  header("Throughput", "Deterministic shard-parallel engine scaling");
+  std::printf("  users=%zu days=%d seed=%llu hardware_concurrency=%u\n",
+              cfg.users, cfg.days,
+              static_cast<unsigned long long>(cfg.seed), hw);
+
+  std::vector<RunResult> runs;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    runs.push_back(run_once(cfg, threads));
+    const RunResult& r = runs.back();
+    std::printf("  threads=%zu  wall=%8.2fs  records=%llu  rec/s=%10.0f  "
+                "sha1=%s\n",
+                r.threads, r.wall_seconds,
+                static_cast<unsigned long long>(r.records),
+                static_cast<double>(r.records) / r.wall_seconds,
+                r.trace_sha1.c_str());
+  }
+
+  bool identical = true;
+  for (const RunResult& r : runs) {
+    if (r.trace_sha1 != runs.front().trace_sha1 ||
+        r.records != runs.front().records)
+      identical = false;
+  }
+  std::printf("  trace byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+
+#ifdef U1SIM_REPO_ROOT
+  const std::string path = std::string(U1SIM_REPO_ROOT) +
+                           "/BENCH_throughput.json";
+#else
+  const std::string path = "BENCH_throughput.json";
+#endif
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"shard_parallel_throughput\",\n");
+    std::fprintf(f, "  \"users\": %zu,\n", cfg.users);
+    std::fprintf(f, "  \"days\": %d,\n", cfg.days);
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(cfg.seed));
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(f, "  \"trace_byte_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& r = runs[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"wall_seconds\": %.3f, "
+                   "\"records\": %llu, \"records_per_sec\": %.0f, "
+                   "\"speedup_vs_1t\": %.3f, \"trace_sha1\": \"%s\"}%s\n",
+                   r.threads, r.wall_seconds,
+                   static_cast<unsigned long long>(r.records),
+                   static_cast<double>(r.records) / r.wall_seconds,
+                   runs.front().wall_seconds / r.wall_seconds,
+                   r.trace_sha1.c_str(),
+                   i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+  } else {
+    std::printf("  could not open %s for writing\n", path.c_str());
+  }
+  return identical ? 0 : 1;
+}

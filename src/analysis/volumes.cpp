@@ -4,22 +4,25 @@
 
 namespace u1 {
 
-VolumeContentStats analyze_volume_contents(const MetadataStore& store) {
+VolumeContentStats analyze_volume_contents(
+    const std::vector<const MetadataStore*>& stores) {
   VolumeContentStats stats;
   std::size_t with_file = 0, with_dir = 0, heavy = 0, total = 0;
   std::vector<double> files, dirs;
-  for (std::size_t s = 1; s <= store.shard_count(); ++s) {
-    const Shard& shard = store.shard(ShardId{s});
-    for (const auto& [vid, vol] : shard.volumes_map()) {
-      const auto [f, d] = shard.count_nodes(vid);
-      stats.files_dirs.emplace_back(static_cast<double>(f),
-                                    static_cast<double>(d));
-      files.push_back(static_cast<double>(f));
-      dirs.push_back(static_cast<double>(d));
-      ++total;
-      if (f > 0) ++with_file;
-      if (d > 0) ++with_dir;
-      if (f > 1000) ++heavy;
+  for (const MetadataStore* store : stores) {
+    for (std::size_t s = 1; s <= store->shard_count(); ++s) {
+      const Shard& shard = store->shard(ShardId{s});
+      for (const auto& [vid, vol] : shard.volumes_map()) {
+        const auto [f, d] = shard.count_nodes(vid);
+        stats.files_dirs.emplace_back(static_cast<double>(f),
+                                      static_cast<double>(d));
+        files.push_back(static_cast<double>(f));
+        dirs.push_back(static_cast<double>(d));
+        ++total;
+        if (f > 0) ++with_file;
+        if (d > 0) ++with_dir;
+        if (f > 1000) ++heavy;
+      }
     }
   }
   if (total > 0) {
@@ -34,19 +37,28 @@ VolumeContentStats analyze_volume_contents(const MetadataStore& store) {
   return stats;
 }
 
-VolumeOwnershipStats analyze_volume_ownership(const MetadataStore& store,
-                                              std::uint64_t users) {
+VolumeContentStats analyze_volume_contents(const MetadataStore& store) {
+  return analyze_volume_contents(std::vector<const MetadataStore*>{&store});
+}
+
+VolumeOwnershipStats analyze_volume_ownership(
+    const std::vector<const MetadataStore*>& stores, std::uint64_t users) {
   VolumeOwnershipStats stats;
   std::size_t with_udf = 0, with_share = 0;
   for (std::uint64_t u = 1; u <= users; ++u) {
     const UserId user{u};
-    if (!store.has_user(user)) continue;
-    const Shard& shard = store.shard(store.shard_of(user));
-    std::size_t udfs = 0;
-    for (const Volume& vol : shard.list_volumes(user)) {
-      if (vol.kind == VolumeKind::kUdf) ++udfs;
+    std::size_t udfs = 0, shares = 0;
+    bool found = false;
+    for (const MetadataStore* store : stores) {
+      if (!store->has_user(user)) continue;
+      found = true;
+      const Shard& shard = store->shard(store->shard_of(user));
+      for (const Volume& vol : shard.list_volumes(user)) {
+        if (vol.kind == VolumeKind::kUdf) ++udfs;
+      }
+      shares += shard.share_grants(user).size();
     }
-    const std::size_t shares = shard.share_grants(user).size();
+    if (!found) continue;
     stats.udfs_per_user.push_back(static_cast<double>(udfs));
     stats.shares_per_user.push_back(static_cast<double>(shares));
     if (udfs > 0) ++with_udf;
@@ -58,6 +70,12 @@ VolumeOwnershipStats analyze_volume_ownership(const MetadataStore& store,
     stats.users_with_share = static_cast<double>(with_share) / n;
   }
   return stats;
+}
+
+VolumeOwnershipStats analyze_volume_ownership(const MetadataStore& store,
+                                              std::uint64_t users) {
+  return analyze_volume_ownership(std::vector<const MetadataStore*>{&store},
+                                  users);
 }
 
 }  // namespace u1

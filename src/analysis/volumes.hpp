@@ -31,9 +31,21 @@ struct VolumeOwnershipStats {
 /// Walks the store and derives the Fig. 10 statistics.
 VolumeContentStats analyze_volume_contents(const MetadataStore& store);
 
+/// Multi-store variant for the shard-parallel engine: one store per shard
+/// group, walked in order (ParallelSimulation::stores()).
+VolumeContentStats analyze_volume_contents(
+    const std::vector<const MetadataStore*>& stores);
+
 /// Walks the store and derives the Fig. 11 statistics over `users` user
 /// ids 1..users (the simulation's population).
 VolumeOwnershipStats analyze_volume_ownership(const MetadataStore& store,
                                               std::uint64_t users);
+
+/// Multi-store variant: a user's UDF volumes and incoming share grants
+/// live in their home group's store; ghost registrations in other groups
+/// contribute only an (ignored) root volume, so summing across stores is
+/// exact for both per-user counts.
+VolumeOwnershipStats analyze_volume_ownership(
+    const std::vector<const MetadataStore*>& stores, std::uint64_t users);
 
 }  // namespace u1

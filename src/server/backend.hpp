@@ -66,6 +66,22 @@ struct BackendStats {
   std::uint64_t download_bytes = 0;
   std::uint64_t rpcs = 0;
   std::uint64_t notifications = 0;
+
+  /// Aggregation across per-group backends (shard-parallel engine).
+  BackendStats& operator+=(const BackendStats& other) noexcept {
+    sessions_opened += other.sessions_opened;
+    sessions_closed += other.sessions_closed;
+    auth_failures += other.auth_failures;
+    uploads += other.uploads;
+    downloads += other.downloads;
+    dedup_hits += other.dedup_hits;
+    upload_bytes_logical += other.upload_bytes_logical;
+    upload_bytes_wire += other.upload_bytes_wire;
+    download_bytes += other.download_bytes;
+    rpcs += other.rpcs;
+    notifications += other.notifications;
+    return *this;
+  }
 };
 
 /// Handle returned to a freshly-registered client.
@@ -166,6 +182,12 @@ class U1Backend {
   /// Manual DDoS response (§5.4): revoke the abused account's tokens,
   /// close its sessions and delete its content.
   void admin_purge_user(UserId user, SimTime now);
+
+  /// Shard-parallel engine hook: re-points this backend's store at a
+  /// shared dedup index (see MetadataStore::set_dedup_proxy).
+  void set_dedup_proxy(DedupProxy* proxy) noexcept {
+    store_.set_dedup_proxy(proxy);
+  }
 
   // --- introspection -----------------------------------------------------------
   const BackendStats& stats() const noexcept { return stats_; }

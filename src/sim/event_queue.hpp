@@ -1,11 +1,17 @@
 // Discrete-event core: a time-ordered queue with deterministic FIFO
 // tie-breaking (events at equal timestamps pop in insertion order, so a
 // simulation is reproducible bit-for-bit given a seed).
+//
+// Implemented over a raw std::vector binary heap rather than
+// std::priority_queue: top() of the adaptor is const, forcing pop() to
+// copy the element out. With the raw heap, pop_heap moves the minimum to
+// the back and we move it out — no copy on the hottest loop of the
+// simulator — and the backing vector can be reserve()d up front.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <optional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/sim_time.hpp"
@@ -21,20 +27,26 @@ class EventQueue {
     Payload payload;
   };
 
+  /// Pre-sizes the backing vector (e.g. one slot per scheduled agent).
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   void push(SimTime t, Payload payload) {
-    heap_.push(Event{t, next_seq_++, std::move(payload)});
+    heap_.push_back(Event{t, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   bool empty() const noexcept { return heap_.empty(); }
   std::size_t size() const noexcept { return heap_.size(); }
+  std::size_t capacity() const noexcept { return heap_.capacity(); }
 
   /// Timestamp of the next event; only valid when !empty().
-  SimTime next_time() const { return heap_.top().t; }
+  SimTime next_time() const { return heap_.front().t; }
 
-  /// Pops the earliest event.
+  /// Pops the earliest event (moved out of the heap, never copied).
   Event pop() {
-    Event e = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Event e = std::move(heap_.back());
+    heap_.pop_back();
     return e;
   }
 
@@ -45,7 +57,7 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

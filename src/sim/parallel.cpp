@@ -1,0 +1,454 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+/// Fibonacci-hash style per-group seed spreading: groups must get
+/// decorrelated streams, derived only from (config seed, group index) so
+/// the derivation is identical for any thread count.
+std::uint64_t group_mix(std::uint64_t seed, std::size_t group) {
+  return seed ^ ((group + 1) * 0x9e3779b97f4a7c15ull);
+}
+
+}  // namespace
+
+ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
+                                       TraceSink& sink, std::size_t threads)
+    : config_(config),
+      sink_(&sink),
+      rng_(config.seed),
+      content_pool_(std::make_unique<ContentPool>(
+          config.content_duplicate_prob, config.content_zipf_s,
+          config.seed ^ 0xb10b)),
+      user_model_(config.user_model),
+      diurnal_(config.diurnal),
+      bursts_(config.burst) {
+  if (config.users == 0 || config.days <= 0)
+    throw std::invalid_argument("SimulationConfig: users/days must be > 0");
+  if (config.backend.shards == 0)
+    throw std::invalid_argument("SimulationConfig: backend.shards must be > 0");
+  threads_ = threads != 0
+                 ? threads
+                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (config.auto_countermeasures) guard_ = std::make_unique<AnomalyGuard>();
+}
+
+ParallelSimulation::~ParallelSimulation() { stop_workers(); }
+
+std::size_t ParallelSimulation::group_of(UserId user) const noexcept {
+  // Same hash the metadata router uses (MetadataStore::shard_of), so one
+  // group's users are exactly one shard-population of the logical store.
+  return std::hash<UserId>{}(user) % groups_.size();
+}
+
+const U1Backend& ParallelSimulation::backend(std::size_t group) const {
+  if (group >= groups_.size())
+    throw std::out_of_range("ParallelSimulation::backend: bad group");
+  return *groups_[group]->backend;
+}
+
+std::vector<const MetadataStore*> ParallelSimulation::stores() const {
+  std::vector<const MetadataStore*> out;
+  out.reserve(groups_.size());
+  for (const auto& grp : groups_) out.push_back(&grp->backend->store());
+  return out;
+}
+
+const ContentRegistry& ParallelSimulation::contents() const noexcept {
+  return shared_dedup_->global();
+}
+
+void ParallelSimulation::build_groups() {
+  const std::size_t n_groups = config_.backend.shards;
+  shared_dedup_ = std::make_unique<SharedDedup>(n_groups);
+  groups_.reserve(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    auto grp = std::make_unique<Group>();
+    BackendConfig backend_cfg = config_.backend;
+    backend_cfg.seed = group_mix(config_.seed ^ 0xbac9, g);
+    grp->backend = std::make_unique<U1Backend>(backend_cfg, grp->trace);
+    grp->pool_view = std::make_unique<ContentPoolView>(
+        *content_pool_, group_mix(config_.seed ^ 0xb10b, g));
+    grp->rng = rng_.fork();
+    groups_.push_back(std::move(grp));
+  }
+}
+
+void ParallelSimulation::register_population() {
+  home_.resize(config_.users);
+  root_volume_.resize(config_.users);
+  for (auto& grp : groups_)
+    grp->agents.reserve(config_.users / groups_.size() + 8);
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    const UserId uid{i + 1};
+    const std::size_t g = group_of(uid);
+    Group& grp = *groups_[g];
+    const UserProfile profile = user_model_.sample(rng_);
+    const UserAccount account = grp.backend->register_user(uid, -kDay);
+    WorkloadContext ctx;
+    ctx.files = &file_model_;
+    ctx.contents = grp.pool_view.get();
+    ctx.users = &user_model_;
+    ctx.transitions = &transition_model_;
+    ctx.diurnal = &diurnal_;
+    ctx.bursts = &bursts_;
+    home_[i] = HomeRef{g, grp.agents.size()};
+    root_volume_[i] = account.root_volume;
+    grp.agents.push_back(std::make_unique<ClientAgent>(uid, profile, account,
+                                                       ctx, rng_.fork()));
+  }
+}
+
+void ParallelSimulation::grant_shares() {
+  // Sharing relationships (1.8% of users): owner shares the root volume
+  // with a random peer. When the peer lives in another group, the owner
+  // is ghost-registered in the peer's back-end so the grant resolves
+  // in-store — the documented cost is one extra (idle) user+root volume
+  // there, never any cross-group traffic during the run.
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    const ClientAgent& owner =
+        *groups_[home_[i].group]->agents[home_[i].index];
+    if (!owner.profile().sharer || config_.users < 2) continue;
+    std::size_t peer = rng_.below(config_.users);
+    if (peer == i) peer = (peer + 1) % config_.users;
+    const UserId owner_uid{i + 1};
+    const UserId peer_uid{peer + 1};
+    const std::size_t gp = group_of(peer_uid);
+    if (gp == home_[i].group) {
+      groups_[gp]->backend->share_volume(owner_uid, root_volume_[i], peer_uid,
+                                         -kDay);
+    } else {
+      const UserAccount ghost =
+          groups_[gp]->backend->register_user(owner_uid, -kDay);
+      groups_[gp]->backend->share_volume(owner_uid, ghost.root_volume,
+                                         peer_uid, -kDay);
+    }
+  }
+}
+
+void ParallelSimulation::bootstrap_phase() {
+  // Pre-trace history, sequential. The shared registry and pool are LIVE
+  // here (proxies point straight at the global structures), so bootstrap
+  // gets full cross-group dedup exactly like the sequential engine.
+  for (auto& grp : groups_) {
+    grp->backend->set_dedup_proxy(&shared_dedup_->global());
+    grp->pool_view->set_live(content_pool_.get());
+  }
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    ClientAgent& agent = *groups_[home_[i].group]->agents[home_[i].index];
+    double mean = config_.bootstrap_files_mean;
+    switch (agent.profile().user_class) {
+      case UserClass::kOccasional: mean *= 0.4; break;
+      case UserClass::kUploadOnly: mean *= 2.0; break;
+      case UserClass::kDownloadOnly: mean *= 1.5; break;
+      case UserClass::kHeavy: mean *= 4.0; break;
+    }
+    double n = -mean * std::log(1.0 - rng_.uniform());
+    if (rng_.chance(0.025)) n *= 40.0;
+    const auto files = static_cast<std::size_t>(std::min(n, 4000.0));
+    const SimTime when =
+        -4 * kDay + static_cast<SimTime>(rng_.below(
+                        static_cast<std::uint64_t>(2 * kDay)));
+    agent.bootstrap(*groups_[home_[i].group]->backend, when, files);
+    report_.bootstrap_files += files;
+  }
+  // Freeze: from here on workers only see epoch overlays.
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g]->backend->set_dedup_proxy(&shared_dedup_->overlay(g));
+    groups_[g]->pool_view->set_live(nullptr);
+  }
+}
+
+void ParallelSimulation::schedule_population_start() {
+  for (auto& grp : groups_) grp->queue.reserve(grp->agents.size() + 16);
+  for (std::size_t i = 0; i < config_.users; ++i) {
+    const HomeRef home = home_[i];
+    const ClientAgent& agent = *groups_[home.group]->agents[home.index];
+    const SimTime first =
+        diurnal_.next_arrival(0, agent.profile().sessions_per_day, rng_);
+    groups_[home.group]->queue.push(first, Ev{Ev::Kind::kAgent, home.index});
+  }
+  for (auto& grp : groups_)
+    grp->queue.push(kHour, Ev{Ev::Kind::kMaintenance, 0});
+  if (config_.enable_ddos) {
+    const double population_scale =
+        static_cast<double>(config_.users) / 10000.0;
+    const auto schedule =
+        paper_attack_schedule(config_.ddos_bot_scale * population_scale);
+    for (std::size_t a = 0; a < schedule.size(); ++a) {
+      AttackRuntime rt;
+      rt.spec = schedule[a];
+      rt.account = UserId{1000000 + a};
+      // The abused account pins the whole attack to one group: every bot
+      // operation targets that single account, so the traffic is
+      // group-local by construction.
+      rt.group = group_of(rt.account);
+      attacks_.push_back(rt);
+      groups_[rt.group]->queue.push(schedule[a].start,
+                                    Ev{Ev::Kind::kDdosStart, a});
+    }
+  }
+}
+
+void ParallelSimulation::launch_attack(Group& grp, std::size_t attack_index,
+                                       SimTime now) {
+  AttackRuntime& attack = attacks_[attack_index];
+  ++grp.ddos_attacks;
+  const UserAccount acc = grp.backend->register_user(attack.account, now);
+  const auto conn = grp.backend->connect(attack.account, now);
+  if (conn.ok) {
+    const auto mk = grp.backend->make_file(conn.session, acc.root_volume,
+                                           acc.root_dir, "payload", "avi",
+                                           conn.end);
+    SimTime t = mk.end;
+    if (mk.ok) {
+      t = grp.backend
+              ->upload(conn.session, mk.node,
+                       Sha1::of("ddos-payload-" +
+                                std::to_string(attack_index)),
+                       attack.spec.payload_bytes, false, mk.end)
+              .end;
+      attack.payload_node = mk.node;
+    }
+    grp.backend->disconnect(conn.session, t + kMinute);
+  }
+  const std::size_t first_bot = grp.bots.size();
+  for (std::uint32_t b = 0; b < attack.spec.bots; ++b) {
+    Bot bot;
+    bot.attack = attack_index;
+    grp.bots.push_back(bot);
+    const SimTime arrive =
+        now + static_cast<SimTime>(grp.rng.below(30ull * kMinute));
+    grp.queue.push(arrive, Ev{Ev::Kind::kBot, first_bot + b});
+  }
+  if (!config_.auto_countermeasures) {
+    grp.queue.push(now + attack.spec.response_delay,
+                   Ev{Ev::Kind::kDdosResponse, attack_index});
+  }
+}
+
+void ParallelSimulation::respond_to_attack(std::size_t attack_index,
+                                           SimTime now) {
+  AttackRuntime& attack = attacks_[attack_index];
+  attack.purged = true;
+  groups_[attack.group]->backend->admin_purge_user(attack.account, now);
+}
+
+SimTime ParallelSimulation::bot_wake(Group& grp, std::size_t bot_index,
+                                     SimTime now) {
+  Bot& bot = grp.bots[bot_index];
+  const AttackRuntime& attack = attacks_[bot.attack];
+
+  if (bot.connected && !grp.backend->session_open(bot.session)) {
+    bot.connected = false;
+    return now + from_seconds(grp.rng.uniform(30.0, 120.0));
+  }
+  if (bot.connected) {
+    for (std::uint32_t d = 0; d < attack.spec.downloads_per_connection; ++d) {
+      if (attack.payload_node.is_nil()) break;
+      const auto res =
+          grp.backend->download(bot.session, attack.payload_node, now);
+      now = res.end;
+      if (!res.ok) break;
+    }
+    grp.backend->disconnect(bot.session, now);
+    bot.connected = false;
+    const double gap_s = 3600.0 / attack.spec.connects_per_hour *
+                         grp.rng.uniform(0.5, 1.5);
+    return now + from_seconds(gap_s);
+  }
+
+  const auto conn = grp.backend->connect(attack.account, now);
+  if (!conn.ok) {
+    ++bot.failures;
+    if (attack.purged && bot.failures > 2) return 0;  // give up
+    return conn.end + from_seconds(grp.rng.uniform(30.0, 300.0));
+  }
+  bot.failures = 0;
+  bot.connected = true;
+  bot.session = conn.session;
+  return conn.end + from_seconds(grp.rng.uniform(1.0, 20.0));
+}
+
+void ParallelSimulation::run_group_epoch(std::size_t group, SimTime limit) {
+  Group& grp = *groups_[group];
+  while (!grp.queue.empty() && grp.queue.next_time() < limit) {
+    const auto event = grp.queue.pop();
+    const SimTime now = event.t;
+    switch (event.payload.kind) {
+      case Ev::Kind::kAgent: {
+        ++grp.agent_wakeups;
+        const SimTime next =
+            grp.agents[event.payload.index]->on_wake(*grp.backend, now);
+        if (next > now) grp.queue.push(next, event.payload);
+        break;
+      }
+      case Ev::Kind::kBot: {
+        const SimTime next = bot_wake(grp, event.payload.index, now);
+        if (next > now) grp.queue.push(next, event.payload);
+        break;
+      }
+      case Ev::Kind::kMaintenance:
+        grp.backend->maintenance(now);
+        grp.queue.push(now + kHour, event.payload);
+        break;
+      case Ev::Kind::kDdosStart:
+        launch_attack(grp, event.payload.index, now);
+        break;
+      case Ev::Kind::kDdosResponse:
+        respond_to_attack(event.payload.index, now);
+        break;
+    }
+  }
+}
+
+void ParallelSimulation::flush_traces() {
+  merge_scratch_.clear();
+  std::size_t total = 0;
+  for (const auto& grp : groups_) total += grp->trace.records().size();
+  merge_scratch_.reserve(total);
+  for (auto& grp : groups_) {
+    const auto& records = grp->trace.records();
+    merge_scratch_.insert(merge_scratch_.end(), records.begin(),
+                          records.end());
+    grp->trace.clear();
+  }
+  // Concatenation order is group order; a stable sort by timestamp alone
+  // therefore breaks ties by (group, emission order) — the same total
+  // order for any thread count.
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.t < b.t;
+                   });
+  for (const TraceRecord& r : merge_scratch_) {
+    if (guard_ && r.t >= 0) {
+      if (const auto culprit = guard_->observe(r)) {
+        Group& home = *groups_[group_of(*culprit)];
+        if (std::find(home.purge_mailbox.begin(), home.purge_mailbox.end(),
+                      *culprit) == home.purge_mailbox.end())
+          home.purge_mailbox.push_back(*culprit);
+      }
+    }
+    sink_->append(r);
+  }
+  merge_scratch_.clear();
+}
+
+void ParallelSimulation::merge_epoch(SimTime epoch_end) {
+  shared_dedup_->merge_epoch(
+      [this](const ContentInfo&) { ++cross_group_dead_blobs_; });
+  for (auto& grp : groups_) content_pool_->absorb(*grp->pool_view);
+  flush_traces();
+  // Deliver cross-group commands (guard purges) at the epoch boundary, in
+  // group order. The purge's own trace records flush with the next epoch.
+  for (auto& grp : groups_) {
+    for (const UserId culprit : grp->purge_mailbox) {
+      grp->backend->admin_purge_user(culprit, epoch_end);
+      ++report_.auto_purges;
+      for (auto& attack : attacks_) {
+        if (attack.account == culprit && !attack.purged) {
+          attack.purged = true;
+          if (report_.first_auto_response_delay == 0)
+            report_.first_auto_response_delay = epoch_end - attack.spec.start;
+        }
+      }
+    }
+    grp->purge_mailbox.clear();
+  }
+}
+
+void ParallelSimulation::start_workers(std::size_t n) {
+  epoch_start_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(n + 1));
+  epoch_done_ = std::make_unique<std::barrier<>>(
+      static_cast<std::ptrdiff_t>(n + 1));
+  stop_.store(false, std::memory_order_relaxed);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ParallelSimulation::worker_loop() {
+  for (;;) {
+    epoch_start_->arrive_and_wait();
+    if (stop_.load(std::memory_order_acquire)) return;
+    try {
+      for (std::size_t g;
+           (g = next_group_.fetch_add(1, std::memory_order_relaxed)) <
+           groups_.size();) {
+        run_group_epoch(g, epoch_limit_);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(worker_error_mu_);
+      if (!worker_error_) worker_error_ = std::current_exception();
+    }
+    epoch_done_->arrive_and_wait();
+  }
+}
+
+void ParallelSimulation::run_epoch_pooled(SimTime limit) {
+  epoch_limit_ = limit;
+  next_group_.store(0, std::memory_order_relaxed);
+  epoch_start_->arrive_and_wait();  // release the workers
+  epoch_done_->arrive_and_wait();   // the epoch barrier
+  if (worker_error_) {
+    stop_workers();
+    std::rethrow_exception(worker_error_);
+  }
+}
+
+void ParallelSimulation::stop_workers() {
+  if (workers_.empty()) return;
+  stop_.store(true, std::memory_order_release);
+  epoch_start_->arrive_and_wait();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  epoch_start_.reset();
+  epoch_done_.reset();
+}
+
+SimulationReport ParallelSimulation::run() {
+  if (ran_) throw std::logic_error("ParallelSimulation::run: already ran");
+  ran_ = true;
+
+  build_groups();
+  register_population();
+  grant_shares();
+  bootstrap_phase();
+  flush_traces();  // bootstrap records, merged once
+  schedule_population_start();
+
+  const SimTime horizon = static_cast<SimTime>(config_.days) * kDay;
+  const bool pooled = threads_ > 1 && groups_.size() > 1;
+  if (pooled) start_workers(std::min(threads_, groups_.size()));
+  for (SimTime epoch_end = kHour;; epoch_end += kHour) {
+    const SimTime limit = std::min(epoch_end, horizon);
+    if (pooled) {
+      run_epoch_pooled(limit);
+    } else {
+      for (std::size_t g = 0; g < groups_.size(); ++g)
+        run_group_epoch(g, limit);
+    }
+    merge_epoch(limit);
+    if (limit >= horizon) break;
+  }
+  if (pooled) stop_workers();
+
+  report_.users = config_.users;
+  report_.horizon = horizon;
+  for (const auto& grp : groups_) {
+    report_.agent_wakeups += grp->agent_wakeups;
+    report_.ddos_attacks += grp->ddos_attacks;
+    report_.backend += grp->backend->stats();
+  }
+  return report_;
+}
+
+}  // namespace u1

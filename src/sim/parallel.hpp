@@ -1,0 +1,200 @@
+// Deterministic shard-parallel simulation engine.
+//
+// The sequential Simulation runs every client against one global event
+// queue; at 10k+ users the queue and the single timeline are the
+// bottleneck. ParallelSimulation partitions the population into G shard
+// groups (G = backend.shards, same user-id hash the metadata router
+// uses), gives each group its own complete back-end, event queue, forked
+// RNG stream and trace buffer, and advances all groups over bounded time
+// epochs of one simulated hour:
+//
+//   epoch e:  workers claim groups and run their queues up to (e+1)*1h
+//   barrier:  (sequential) merge dedup op logs in group order,
+//             absorb content-pool views, merge + emit trace chunks,
+//             feed the anomaly guard, deliver cross-group commands
+//
+// Everything a worker touches during an epoch is group-private or frozen
+// (models are const and take the caller's RNG; the shared dedup registry
+// and content pool are epoch-frozen behind per-group overlays). The merge
+// at each barrier is a deterministic function of the per-group streams —
+// replayed in fixed group order — so the emitted trace and the final
+// report are byte-identical for ANY worker-thread count, including one.
+// The single-threaded run (threads <= 1 executes groups inline, in order)
+// is therefore the correctness oracle for every parallel run.
+//
+// Cross-group traffic and its cost:
+//  - share grants (~1.8% of users): resolved at setup by ghost-registering
+//    the owner in the recipient's group back-end (sequential, pre-trace);
+//  - global dedup: bounded staleness — a blob first seen by group A in
+//    epoch e dedups for other groups from e+1 (at most 1 simulated hour);
+//  - DDoS bot fleets: an attack's abused account pins the whole attack
+//    (launch, bots, manual response) to one group — single-account traffic
+//    is single-shard by construction;
+//  - AnomalyGuard purges: detected on the merged stream at the barrier,
+//    delivered through a per-group mailbox at the next epoch boundary.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "improve/anomaly_guard.hpp"
+#include "server/backend.hpp"
+#include "sim/client_agent.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulation.hpp"
+#include "store/dedup_overlay.hpp"
+#include "trace/sink.hpp"
+#include "workload/ddos.hpp"
+
+namespace u1 {
+
+class ParallelSimulation {
+ public:
+  /// threads == 0 resolves to std::thread::hardware_concurrency().
+  /// threads <= 1 runs the same epoch/merge machinery inline — the
+  /// deterministic oracle every multi-threaded run must match.
+  ParallelSimulation(const SimulationConfig& config, TraceSink& sink,
+                     std::size_t threads = 0);
+  ~ParallelSimulation();
+
+  ParallelSimulation(const ParallelSimulation&) = delete;
+  ParallelSimulation& operator=(const ParallelSimulation&) = delete;
+
+  /// Runs to completion and returns the report. Call once.
+  SimulationReport run();
+
+  std::size_t group_count() const noexcept { return groups_.size(); }
+  std::size_t threads() const noexcept { return threads_; }
+
+  /// Per-group back-end (post-run introspection).
+  const U1Backend& backend(std::size_t group) const;
+  /// All per-group metadata stores; analysis overloads aggregate these.
+  std::vector<const MetadataStore*> stores() const;
+  /// The merged global dedup registry (what contents() was on Simulation).
+  const ContentRegistry& contents() const noexcept;
+  /// Blobs whose last references were dropped by different groups within
+  /// one epoch (GC'd at the merge, invisible to any single group).
+  std::uint64_t cross_group_dead_blobs() const noexcept {
+    return cross_group_dead_blobs_;
+  }
+
+ private:
+  struct Bot {
+    std::size_t attack = 0;  // global attack index
+    SessionId session;
+    bool connected = false;
+    int failures = 0;
+  };
+
+  struct AttackRuntime {
+    DdosAttackSpec spec;
+    UserId account;
+    NodeId payload_node;
+    std::size_t group = 0;
+    bool purged = false;
+  };
+
+  struct Ev {
+    enum class Kind : std::uint8_t {
+      kAgent,        // index: group-local agent
+      kBot,          // index: group-local bot
+      kMaintenance,  // hourly housekeeping on this group's back-end
+      kDdosStart,    // index: global attack
+      kDdosResponse, // index: global attack (manual response path)
+    };
+    Kind kind;
+    std::size_t index = 0;
+  };
+
+  struct Group {
+    std::unique_ptr<U1Backend> backend;
+    std::unique_ptr<ContentPoolView> pool_view;
+    std::vector<std::unique_ptr<ClientAgent>> agents;
+    std::vector<Bot> bots;
+    EventQueue<Ev> queue;
+    Rng rng;
+    InMemorySink trace;
+    /// Cross-group commands delivered at the epoch boundary (currently:
+    /// anomaly-guard purges of accounts homed in this group).
+    std::vector<UserId> purge_mailbox;
+    std::uint64_t agent_wakeups = 0;
+    std::uint64_t ddos_attacks = 0;
+  };
+
+  std::size_t group_of(UserId user) const noexcept;
+  void build_groups();
+  void register_population();
+  void grant_shares();
+  void bootstrap_phase();
+  void schedule_population_start();
+  void run_group_epoch(std::size_t group, SimTime limit);
+
+  // Persistent worker pool (threads_ >= 2): workers park on the start
+  // barrier between epochs, claim groups via an atomic counter during an
+  // epoch, and meet the coordinator on the done barrier — the epoch
+  // barrier of the design.
+  void start_workers(std::size_t n);
+  void stop_workers();
+  void worker_loop();
+  void run_epoch_pooled(SimTime limit);
+  /// Sequential barrier work: dedup/pool/trace merge, guard, mailboxes.
+  void merge_epoch(SimTime epoch_end);
+  /// Concatenates the per-group trace chunks in group order, stable-sorts
+  /// by timestamp (ties resolve to group order, then emission order) and
+  /// streams the result to the user's sink.
+  void flush_traces();
+
+  SimTime bot_wake(Group& grp, std::size_t bot_index, SimTime now);
+  void launch_attack(Group& grp, std::size_t attack_index, SimTime now);
+  void respond_to_attack(std::size_t attack_index, SimTime now);
+
+  SimulationConfig config_;
+  TraceSink* sink_;
+  std::size_t threads_;
+  Rng rng_;  // master stream: sequential setup only
+
+  // Shared, frozen-during-epoch workload machinery.
+  FileModel file_model_;
+  std::unique_ptr<ContentPool> content_pool_;
+  UserModel user_model_;
+  TransitionModel transition_model_;
+  DiurnalModel diurnal_;
+  BurstProcess bursts_;
+
+  std::unique_ptr<SharedDedup> shared_dedup_;
+  std::vector<std::unique_ptr<Group>> groups_;
+  std::vector<AttackRuntime> attacks_;
+  std::unique_ptr<AnomalyGuard> guard_;
+  std::vector<TraceRecord> merge_scratch_;
+
+  /// Where each uid lives: (group, group-local agent index), uid-1 keyed.
+  struct HomeRef {
+    std::size_t group = 0;
+    std::size_t index = 0;
+  };
+  std::vector<HomeRef> home_;
+  std::vector<VolumeId> root_volume_;  // uid-1 keyed, for share grants
+
+  // Worker pool state.
+  std::vector<std::thread> workers_;
+  std::unique_ptr<std::barrier<>> epoch_start_;
+  std::unique_ptr<std::barrier<>> epoch_done_;
+  std::atomic<std::size_t> next_group_{0};
+  std::atomic<bool> stop_{false};
+  SimTime epoch_limit_ = 0;
+  std::exception_ptr worker_error_;
+  std::mutex worker_error_mu_;
+
+  SimulationReport report_;
+  std::uint64_t cross_group_dead_blobs_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace u1

@@ -97,6 +97,9 @@ void Simulation::bootstrap_phase() {
 }
 
 void Simulation::schedule_population_start() {
+  // One pending event per agent plus maintenance/attack extras; sizing the
+  // heap up front avoids the doubling reallocations during startup.
+  queue_.reserve(agents_.size() + 16);
   for (std::size_t i = 0; i < agents_.size(); ++i) {
     const SimTime first = diurnal_.next_arrival(
         0, agents_[i]->profile().sessions_per_day, rng_);

@@ -46,6 +46,16 @@ void ContentRegistry::erase(const ContentId& id) {
   table_.erase(it);
 }
 
+std::uint64_t ContentRegistry::refcount_of(const ContentId& id) const noexcept {
+  const ContentInfo* info = find(id);
+  return info == nullptr ? 0 : info->refcount;
+}
+
+const ContentInfo* ContentRegistry::find(const ContentId& id) const noexcept {
+  const auto it = table_.find(id);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
 double ContentRegistry::dedup_ratio() const noexcept {
   if (logical_bytes_ == 0) return 0.0;
   if (unique_bytes_ >= logical_bytes_) return 0.0;

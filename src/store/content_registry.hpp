@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "proto/ids.hpp"
+#include "store/dedup_proxy.hpp"
 
 namespace u1 {
 
@@ -23,32 +24,39 @@ struct ContentInfo {
   std::string s3_key;
 };
 
-class ContentRegistry {
+class ContentRegistry final : public DedupProxy {
  public:
   /// dal.get_reusable_content: is this (hash, size) already stored?
   /// Matching requires both hash and size to agree (a defensive check the
   /// real service performs against hash collisions / truncated uploads).
   std::optional<ContentInfo> lookup(const ContentId& id,
-                                    std::uint64_t size_bytes) const;
+                                    std::uint64_t size_bytes) const override;
 
   /// Registers new content (refcount starts at 0; link() attaches nodes).
   /// Returns false if the content already existed (caller should link()
   /// instead of uploading).
   bool insert(const ContentId& id, std::uint64_t size_bytes,
-              std::string s3_key);
+              std::string s3_key) override;
 
   /// Adds one reference. Throws std::out_of_range for unknown content.
-  void link(const ContentId& id);
+  void link(const ContentId& id) override;
 
   /// Drops one reference; returns the content's ContentInfo when the count
   /// hits zero (the caller must then delete the S3 object), nullopt
   /// otherwise. Throws std::out_of_range for unknown content and
   /// std::logic_error if the refcount is already zero.
-  std::optional<ContentInfo> unlink(const ContentId& id);
+  std::optional<ContentInfo> unlink(const ContentId& id) override;
 
   /// Physically removes an entry whose refcount is zero (post-S3-delete).
   /// Throws std::logic_error if still referenced.
-  void erase(const ContentId& id);
+  void erase(const ContentId& id) override;
+
+  /// Refcount as stored (0 for unknown ids) — used by the epoch overlay.
+  std::uint64_t refcount_of(const ContentId& id) const noexcept;
+
+  /// Raw entry pointer (nullptr for unknown ids) — used by the epoch
+  /// overlay to snapshot frozen state without the size check of lookup().
+  const ContentInfo* find(const ContentId& id) const noexcept;
 
   std::size_t unique_contents() const noexcept { return table_.size(); }
   /// Bytes of unique data (the D_unique of the paper's dedup ratio).

@@ -1,0 +1,114 @@
+#include "store/dedup_overlay.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+DedupOverlay::View& DedupOverlay::view_of(const ContentId& id) const {
+  const auto it = views_.find(id);
+  if (it != views_.end()) return it->second;
+  View v;
+  if (const ContentInfo* info = global_->find(id)) {
+    v.present = true;
+    v.refcount = info->refcount;
+    v.size_bytes = info->size_bytes;
+    v.s3_key = info->s3_key;
+  }
+  return views_.emplace(id, std::move(v)).first->second;
+}
+
+std::optional<ContentInfo> DedupOverlay::lookup(
+    const ContentId& id, std::uint64_t size_bytes) const {
+  const View& v = view_of(id);
+  if (!v.present || v.size_bytes != size_bytes) return std::nullopt;
+  return ContentInfo{id, v.size_bytes, v.refcount, v.s3_key};
+}
+
+bool DedupOverlay::insert(const ContentId& id, std::uint64_t size_bytes,
+                          std::string s3_key) {
+  View& v = view_of(id);
+  if (v.present) return false;
+  v.present = true;
+  v.refcount = 0;
+  v.size_bytes = size_bytes;
+  v.s3_key = s3_key;
+  log_.push_back(Op{OpKind::kInsert, id, size_bytes, std::move(s3_key)});
+  return true;
+}
+
+void DedupOverlay::link(const ContentId& id) {
+  View& v = view_of(id);
+  if (!v.present) throw std::out_of_range("DedupOverlay::link: unknown content");
+  ++v.refcount;
+  log_.push_back(Op{OpKind::kLink, id, v.size_bytes, v.s3_key});
+}
+
+std::optional<ContentInfo> DedupOverlay::unlink(const ContentId& id) {
+  View& v = view_of(id);
+  if (!v.present)
+    throw std::out_of_range("DedupOverlay::unlink: unknown content");
+  if (v.refcount == 0)
+    throw std::logic_error("DedupOverlay::unlink: refcount already zero");
+  --v.refcount;
+  log_.push_back(Op{OpKind::kUnlink, id, v.size_bytes, v.s3_key});
+  if (v.refcount == 0) return ContentInfo{id, v.size_bytes, 0, v.s3_key};
+  return std::nullopt;
+}
+
+void DedupOverlay::erase(const ContentId& id) {
+  View& v = view_of(id);
+  if (!v.present) throw std::out_of_range("DedupOverlay::erase: unknown content");
+  if (v.refcount != 0)
+    throw std::logic_error("DedupOverlay::erase: still referenced");
+  v.present = false;
+  log_.push_back(Op{OpKind::kErase, id, v.size_bytes, v.s3_key});
+}
+
+SharedDedup::SharedDedup(std::size_t groups) {
+  overlays_.reserve(groups);
+  for (std::size_t g = 0; g < groups; ++g)
+    overlays_.push_back(
+        std::unique_ptr<DedupOverlay>(new DedupOverlay(&global_)));
+}
+
+void SharedDedup::merge_epoch(const DeadBlobFn& on_dead_blob) {
+  // Replay in fixed group order. The replay is tolerant of cross-group
+  // interleavings the overlays could not see: two groups inserting the
+  // same blob, or jointly dropping a blob's last references.
+  for (auto& overlay : overlays_) {
+    for (DedupOverlay::Op& op : overlay->log_) {
+      switch (op.kind) {
+        case DedupOverlay::OpKind::kInsert:
+          global_.insert(op.id, op.size_bytes, std::move(op.s3_key));
+          break;
+        case DedupOverlay::OpKind::kLink:
+          // Re-materialize if another group erased it this epoch (the
+          // overlay validated the link against its own frozen view).
+          if (global_.find(op.id) == nullptr)
+            global_.insert(op.id, op.size_bytes, std::move(op.s3_key));
+          global_.link(op.id);
+          break;
+        case DedupOverlay::OpKind::kUnlink: {
+          const ContentInfo* info = global_.find(op.id);
+          if (info == nullptr || info->refcount == 0) break;  // already dead
+          if (auto dead = global_.unlink(op.id)) {
+            // Nobody observed the death in-line (the final references
+            // were spread over several groups): GC it here.
+            global_.erase(op.id);
+            if (on_dead_blob) on_dead_blob(*dead);
+          }
+          break;
+        }
+        case DedupOverlay::OpKind::kErase: {
+          const ContentInfo* info = global_.find(op.id);
+          if (info != nullptr && info->refcount == 0) global_.erase(op.id);
+          break;
+        }
+      }
+    }
+    overlay->log_.clear();
+    overlay->views_.clear();
+  }
+}
+
+}  // namespace u1

@@ -9,6 +9,7 @@ MetadataStore::MetadataStore(std::size_t n_shards, std::uint64_t seed)
     : rng_(seed) {
   if (n_shards == 0)
     throw std::invalid_argument("MetadataStore: n_shards == 0");
+  touched_.reserve(4);  // 1 shard for most ops, a handful for share fan-out.
   shards_.reserve(n_shards);
   for (std::size_t i = 0; i < n_shards; ++i)
     shards_.push_back(std::make_unique<Shard>(ShardId{i + 1}));
@@ -147,7 +148,7 @@ std::vector<ContentInfo> MetadataStore::unlink_node(UserId user, NodeId id) {
   touch(s.id());
   std::vector<ContentInfo> dead;
   for (const ContentId& cid : s.unlink_node(id)) {
-    if (auto info = contents_.unlink(cid)) dead.push_back(*info);
+    if (auto info = dedup().unlink(cid)) dead.push_back(*info);
   }
   return dead;
 }
@@ -173,7 +174,7 @@ std::vector<ContentInfo> MetadataStore::delete_volume(UserId user,
   touch(s.id());
   std::vector<ContentInfo> dead;
   for (const ContentId& cid : s.delete_volume(volume)) {
-    if (auto info = contents_.unlink(cid)) dead.push_back(*info);
+    if (auto info = dedup().unlink(cid)) dead.push_back(*info);
   }
   return dead;
 }
@@ -184,11 +185,11 @@ std::optional<ContentInfo> MetadataStore::get_reusable_content(
   // The dedup index is content-addressed; model it as hitting the shard
   // derived from the hash prefix (any shard can serve it).
   touch(ShardId{content.prefix64() % shards_.size() + 1});
-  return contents_.lookup(content, size_bytes);
+  return dedup().lookup(content, size_bytes);
 }
 
 void MetadataStore::purge_content(const ContentId& content) {
-  contents_.erase(content);
+  dedup().erase(content);
 }
 
 std::optional<ContentInfo> MetadataStore::make_content(
@@ -197,11 +198,11 @@ std::optional<ContentInfo> MetadataStore::make_content(
   reset_touched();
   Shard& s = route(user);
   touch(s.id());
-  contents_.insert(content, size_bytes, std::move(s3_key));
+  dedup().insert(content, size_bytes, std::move(s3_key));
   const ContentId previous = s.set_node_content(node, content, size_bytes);
-  contents_.link(content);
+  dedup().link(content);
   if (!(previous == ContentId{}) && !(previous == content)) {
-    if (auto dead = contents_.unlink(previous)) return dead;
+    if (auto dead = dedup().unlink(previous)) return dead;
   }
   return std::nullopt;
 }

@@ -110,6 +110,13 @@ class MetadataStore {
   /// users live on different shards, as in the paper).
   void share_volume(UserId owner, VolumeId volume, UserId to, SimTime now);
 
+  /// Re-points every dedup operation (lookup/insert/link/unlink/erase) at
+  /// an external index instead of the store-owned registry. The
+  /// shard-parallel engine uses this to share one global dedup registry
+  /// across per-group stores (live during sequential setup, epoch-overlay
+  /// during the parallel run). nullptr restores the owned registry.
+  void set_dedup_proxy(DedupProxy* proxy) noexcept { dedup_ = proxy; }
+
   // --- introspection -----------------------------------------------------------
   const ContentRegistry& contents() const noexcept { return contents_; }
   const Shard& shard(ShardId id) const;
@@ -121,9 +128,13 @@ class MetadataStore {
   Shard& shard_ref(ShardId id);
   void touch(ShardId id);
   void reset_touched() { touched_.clear(); }
+  DedupProxy& dedup() noexcept {
+    return dedup_ != nullptr ? *dedup_ : contents_;
+  }
 
   std::vector<std::unique_ptr<Shard>> shards_;
   ContentRegistry contents_;
+  DedupProxy* dedup_ = nullptr;
   Rng rng_;
   std::vector<ShardId> touched_;
 };

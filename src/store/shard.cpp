@@ -167,16 +167,24 @@ Node& Shard::make_node(UserId user, VolumeId volume, NodeId parent,
   node.parent = parent;
   node.kind = kind;
   node.owner = user;
-  node.name_hash = std::move(name_hash);
-  node.extension = std::move(extension);
+  node.name_hash = std::move(name_hash);  // unique per node — never interned
+  node.extension = intern_extension(std::move(extension));
   node.created_at = now;
   node.generation = ++vit->second.generation;
 
   auto [it, _] = nodes_.emplace(node.id, std::move(node));
-  nodes_by_volume_[volume].push_back(it->first);
-  children_[parent].push_back(it->first);
+  auto& vol_index = nodes_by_volume_[volume];
+  if (vol_index.capacity() == 0) vol_index.reserve(16);
+  vol_index.push_back(it->first);
+  auto& siblings = children_[parent];
+  if (siblings.capacity() == 0) siblings.reserve(8);
+  siblings.push_back(it->first);
   if (kind == NodeKind::kDirectory) children_[it->first];
   return it->second;
+}
+
+const std::string& Shard::intern_extension(std::string s) {
+  return *extensions_.emplace(std::move(s)).first;
 }
 
 const Node* Shard::find_node(NodeId id) const {

@@ -10,6 +10,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "proto/entities.hpp"
@@ -134,8 +135,13 @@ class Shard {
  private:
   void bump_generation(Node& node);
   void collect_subtree(NodeId id, std::vector<NodeId>& out) const;
+  /// Canonical copy of an extension string. Extensions come from the file
+  /// model's small closed set, so the interner stays tiny while every node
+  /// shares one heap buffer per distinct (non-SSO) extension.
+  const std::string& intern_extension(std::string s);
 
   ShardId id_;
+  std::unordered_set<std::string> extensions_;
   std::unordered_map<UserId, User> users_;
   std::unordered_map<UserId, std::vector<VolumeId>> volumes_by_user_;
   std::unordered_map<VolumeId, Volume> volumes_;

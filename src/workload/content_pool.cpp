@@ -7,6 +7,14 @@
 #include "util/sha1.hpp"
 
 namespace u1 {
+namespace {
+
+// Whale guard: content beyond ~256MB is personal footage/backups that
+// does not circulate between users; letting it join the duplicate pool
+// makes the byte-level dedup ratio a lottery on a handful of files.
+constexpr std::uint64_t kCirculationCap = 256ull * 1024 * 1024;
+
+}  // namespace
 
 ContentPool::ContentPool(double duplicate_prob, double zipf_s,
                          std::uint64_t seed)
@@ -43,10 +51,6 @@ double ContentPool::duplicate_prob_for(FileCategory category) const noexcept {
 
 ContentDraw ContentPool::draw(const FileSpec& spec, Rng& rng) {
   auto& pool = by_category_[static_cast<std::size_t>(spec.category)];
-  // Whale guard: content beyond ~256MB is personal footage/backups that
-  // does not circulate between users; letting it join the duplicate pool
-  // makes the byte-level dedup ratio a lottery on a handful of files.
-  constexpr std::uint64_t kCirculationCap = 256ull * 1024 * 1024;
   const bool circulates = spec.size_bytes <= kCirculationCap;
   if (circulates && !pool.empty() &&
       rng.chance(duplicate_prob_for(spec.category))) {
@@ -78,6 +82,55 @@ ContentDraw ContentPool::draw_update(std::uint64_t new_size, Rng& /*rng*/) {
 
 std::size_t ContentPool::circulating(FileCategory category) const {
   return by_category_[static_cast<std::size_t>(category)].size();
+}
+
+void ContentPool::absorb(ContentPoolView& view) {
+  for (std::size_t c = 0; c < kFileCategoryCount; ++c) {
+    auto& pending = view.by_category_[c];
+    auto& mine = by_category_[c];
+    mine.insert(mine.end(), pending.begin(), pending.end());
+    pending.clear();
+  }
+  absorbed_unique_ += view.unique_seq_ - view.reported_unique_;
+  absorbed_duplicates_ += view.duplicates_ - view.reported_duplicates_;
+  view.reported_unique_ = view.unique_seq_;
+  view.reported_duplicates_ = view.duplicates_;
+}
+
+ContentPoolView::ContentPoolView(const ContentPool& global, std::uint64_t salt)
+    : ContentPool(global.duplicate_prob_, global.zipf_s_, salt),
+      global_(&global) {}
+
+ContentDraw ContentPoolView::draw(const FileSpec& spec, Rng& rng) {
+  if (live_ != nullptr) return live_->draw(spec, rng);
+  const auto cat = static_cast<std::size_t>(spec.category);
+  const auto& frozen = global_->by_category_[cat];
+  auto& pending = by_category_[cat];
+  const std::size_t n = frozen.size() + pending.size();
+  const bool circulates = spec.size_bytes <= kCirculationCap;
+  if (circulates && n > 0 && rng.chance(duplicate_prob_for(spec.category))) {
+    // Same bounded-Pareto rank as the base pool, over the concatenation
+    // (frozen-global entries first, then this epoch's own fresh entries):
+    // the exact order the sequential merge produces.
+    const double u = rng.uniform();
+    const double rank = std::pow(u, 1.0 / (1.0 - zipf_s_)) * n;
+    const std::size_t idx = std::min(n - 1, static_cast<std::size_t>(rank));
+    const Circulating& hit =
+        idx < frozen.size() ? frozen[idx] : pending[idx - frozen.size()];
+    ++duplicates_;
+    return ContentDraw{hit.id, hit.size_bytes, true};
+  }
+  ContentDraw draw;
+  draw.id = fresh_id();
+  draw.size_bytes = spec.size_bytes;
+  draw.duplicate = false;
+  if (circulates) pending.push_back(Circulating{draw.id, draw.size_bytes});
+  return draw;
+}
+
+ContentDraw ContentPoolView::draw_update(std::uint64_t new_size, Rng& rng) {
+  if (live_ != nullptr) return live_->draw_update(new_size, rng);
+  return ContentPool::draw_update(new_size, rng);
 }
 
 }  // namespace u1

@@ -24,6 +24,8 @@ struct ContentDraw {
   bool duplicate = false;  // true when the pool reused circulating content
 };
 
+class ContentPoolView;
+
 class ContentPool {
  public:
   /// duplicate_prob: baseline probability a new file's content is a copy
@@ -35,22 +37,35 @@ class ContentPool {
   /// head (bigger -> heavier).
   explicit ContentPool(double duplicate_prob = 0.20, double zipf_s = 0.9,
                        std::uint64_t seed = 0xc0de);
+  virtual ~ContentPool() = default;
 
   /// Effective duplicate probability for a category.
   double duplicate_prob_for(FileCategory category) const noexcept;
 
   /// Draws content for a fresh file of the given spec.
-  ContentDraw draw(const FileSpec& spec, Rng& rng);
+  virtual ContentDraw draw(const FileSpec& spec, Rng& rng);
 
   /// Draws content for an *update*: always fresh bytes (an edit produces
   /// a new hash), sized by the caller.
-  ContentDraw draw_update(std::uint64_t new_size, Rng& rng);
+  virtual ContentDraw draw_update(std::uint64_t new_size, Rng& rng);
+
+  /// Epoch merge for the shard-parallel engine: moves the view's pending
+  /// circulating entries into this (global) pool and folds the view's draw
+  /// counters into the aggregate stats. Call only between epochs, in fixed
+  /// group order.
+  void absorb(ContentPoolView& view);
 
   std::size_t circulating(FileCategory category) const;
-  std::uint64_t unique_drawn() const noexcept { return unique_seq_; }
-  std::uint64_t duplicates_drawn() const noexcept { return duplicates_; }
+  std::uint64_t unique_drawn() const noexcept {
+    return unique_seq_ + absorbed_unique_;
+  }
+  std::uint64_t duplicates_drawn() const noexcept {
+    return duplicates_ + absorbed_duplicates_;
+  }
 
  private:
+  friend class ContentPoolView;
+
   struct Circulating {
     ContentId id;
     std::uint64_t size_bytes;
@@ -63,10 +78,44 @@ class ContentPool {
   std::uint64_t salt_;
   std::uint64_t unique_seq_ = 0;
   std::uint64_t duplicates_ = 0;
+  /// Draws performed through now-absorbed epoch views (stats only; never
+  /// feeds fresh_id, so absorbing cannot perturb this pool's id stream).
+  std::uint64_t absorbed_unique_ = 0;
+  std::uint64_t absorbed_duplicates_ = 0;
   /// Per-category circulating contents, insertion-ordered; popularity is
   /// rank-based over this order (early contents accumulate more copies —
   /// preferential attachment, which yields the long tail of Fig. 4a).
   std::vector<Circulating> by_category_[kFileCategoryCount];
+};
+
+/// One shard group's epoch-scoped view of a shared ContentPool. Duplicate
+/// draws rank over (frozen global entries) + (this view's own fresh entries
+/// this epoch); fresh ids come from the view's group-distinct salt so
+/// concurrent views can never mint colliding ContentIds. The engine calls
+/// ContentPool::absorb at each epoch barrier, in group order, making the
+/// merged pool a deterministic function of the per-group streams.
+class ContentPoolView final : public ContentPool {
+ public:
+  /// `salt` must be distinct per view and distinct from the global pool's
+  /// seed (the engine derives it from config.seed and the group index).
+  ContentPoolView(const ContentPool& global, std::uint64_t salt);
+
+  ContentDraw draw(const FileSpec& spec, Rng& rng) override;
+  ContentDraw draw_update(std::uint64_t new_size, Rng& rng) override;
+
+  /// Live mode (sequential setup only): forwards every draw straight to
+  /// `live`, mutating it — full cross-group dedup during bootstrap. Pass
+  /// nullptr before the parallel run starts to freeze the global pool and
+  /// switch to the epoch-overlay behavior above.
+  void set_live(ContentPool* live) noexcept { live_ = live; }
+
+ private:
+  friend class ContentPool;  // absorb drains pending entries and counters
+
+  const ContentPool* global_;
+  ContentPool* live_ = nullptr;
+  std::uint64_t reported_unique_ = 0;
+  std::uint64_t reported_duplicates_ = 0;
 };
 
 }  // namespace u1

@@ -10,6 +10,7 @@
 #include "analysis/trace_summary.hpp"
 #include "analysis/traffic.hpp"
 #include "analysis/users.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
 #include "trace/logfile.hpp"
 #include "util/strings.hpp"
@@ -19,7 +20,8 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: u1trace <command> [options]\n"
-    "  generate  --out DIR [--users N] [--days D] [--seed S] [--no-ddos]\n"
+    "  generate  --out DIR [--users N] [--days D] [--seed S]\n"
+    "            [--threads T] [--no-ddos]\n"
     "  summarize DIR\n"
     "  analyze   DIR --figure {traffic|dedup|sessions|ddos|users|ops}\n"
     "  validate  DIR\n";
@@ -102,12 +104,23 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
   cfg.seed =
       static_cast<std::uint64_t>(args.int_flag("seed").value_or(20140111));
   cfg.enable_ddos = !args.has_switch("no-ddos");
+  const auto threads =
+      static_cast<std::size_t>(args.int_flag("threads").value_or(1));
   out << "# generating: users=" << cfg.users << " days=" << cfg.days
       << " seed=" << cfg.seed << " ddos=" << (cfg.enable_ddos ? "on" : "off")
+      << " threads=" << (threads == 0 ? std::size_t{1} : threads)
+      << " engine=" << (threads > 1 ? "shard-parallel" : "sequential")
       << "\n";
   LogfileWriter writer(*dir);
-  Simulation sim(cfg, writer);
-  const SimulationReport report = sim.run();
+  SimulationReport report;
+  if (threads > 1) {
+    // Shard-parallel engine: same trace bytes as sequential, any T.
+    ParallelSimulation sim(cfg, writer, threads);
+    report = sim.run();
+  } else {
+    Simulation sim(cfg, writer);
+    report = sim.run();
+  }
   writer.close();
   out << "# done: " << report.backend.sessions_opened << " sessions, "
       << report.backend.uploads << " uploads, " << report.backend.downloads
@@ -287,8 +300,8 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   const std::vector<std::string> rest(argv.begin() + 1, argv.end());
 
   if (command == "generate") {
-    const Args args = Args::parse(rest, {"out", "users", "days", "seed"},
-                                  {"no-ddos"});
+    const Args args = Args::parse(
+        rest, {"out", "users", "days", "seed", "threads"}, {"no-ddos"});
     if (!args.ok()) {
       for (const auto& e : args.errors()) err << "generate: " << e << "\n";
       return 2;

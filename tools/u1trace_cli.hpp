@@ -1,6 +1,7 @@
 // u1trace: command-line tooling over U1-format traces.
 //
-//   u1trace generate  --out DIR [--users N] [--days D] [--seed S] [--no-ddos]
+//   u1trace generate  --out DIR [--users N] [--days D] [--seed S]
+//                     [--threads T] [--no-ddos]
 //   u1trace summarize DIR            Table-3 style trace summary
 //   u1trace analyze   DIR --figure F one analyzer (traffic|dedup|sessions|
 //                                    ddos|users|ops)
