@@ -1,0 +1,177 @@
+// Fault injection + recovery acceptance bench.
+//
+// Runs the standard fault plan (one auth brownout, process crash, S3
+// brownout, shard failover, MQ drop storm and machine outage inside one
+// week) against a 2,000-user population under the shard-parallel engine
+// at 1, 2, 4 and 8 worker threads. The 1-thread run is the determinism
+// oracle: the merged trace must stay byte-identical with faults ON at
+// every thread count. The trace is simultaneously fed to the
+// FaultRecoveryAnalyzer, and the availability / retry-amplification /
+// time-to-recover picture is written to BENCH_fault.json at the repo
+// root.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/fault_recovery.hpp"
+#include "bench/bench_util.hpp"
+#include "sim/parallel.hpp"
+#include "trace/sink.hpp"
+#include "util/sha1.hpp"
+
+namespace {
+
+struct RunResult {
+  std::size_t threads = 0;
+  double wall_seconds = 0;
+  std::uint64_t records = 0;
+  std::string trace_sha1;
+  u1::SimulationReport report;
+  u1::FaultRecoveryAnalyzer recovery;
+};
+
+std::unique_ptr<RunResult> run_once(const u1::SimulationConfig& cfg,
+                                    std::size_t threads) {
+  auto out = std::make_unique<RunResult>();
+  u1::Sha1 hasher;
+  u1::CallbackSink sink([&](const u1::TraceRecord& r) {
+    ++out->records;
+    for (const std::string& field : r.to_csv()) {
+      hasher.update(field);
+      hasher.update(",");
+    }
+    hasher.update("\n");
+    out->recovery.append(r);
+  });
+
+  out->threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  u1::ParallelSimulation sim(cfg, sink, threads);
+  out->report = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out->wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  out->trace_sha1 = hasher.finish().hex();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace u1;
+  using namespace u1::bench;
+  auto cfg = standard_config(env_users(2000), env_days(7));
+  if (cfg.faults.empty()) cfg.faults = standard_fault_plan();
+
+  header("Fault recovery", "Standard fault plan: availability & recovery");
+  std::printf("  users=%zu days=%d seed=%llu fault_specs=%zu\n", cfg.users,
+              cfg.days, static_cast<unsigned long long>(cfg.seed),
+              cfg.faults.specs.size());
+
+  std::vector<std::unique_ptr<RunResult>> runs;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    runs.push_back(run_once(cfg, threads));
+    const RunResult& r = *runs.back();
+    std::printf("  threads=%zu  wall=%8.2fs  records=%llu  sha1=%s\n",
+                r.threads, r.wall_seconds,
+                static_cast<unsigned long long>(r.records),
+                r.trace_sha1.c_str());
+  }
+
+  bool identical = true;
+  for (const auto& r : runs) {
+    if (r->trace_sha1 != runs.front()->trace_sha1 ||
+        r->records != runs.front()->records)
+      identical = false;
+  }
+  std::printf("  faulted trace byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — DETERMINISM BROKEN");
+
+  const RunResult& r = *runs.front();  // the 1-thread oracle
+  const FaultRecoveryAnalyzer& fr = r.recovery;
+  std::printf("  fault edges applied: %llu (scheduled: %llu)\n",
+              static_cast<unsigned long long>(fr.fault_edges()),
+              static_cast<unsigned long long>(r.report.fault_events));
+  std::printf("  availability=%.4f  retry_amplification=%.3f\n",
+              fr.availability(), fr.retry_amplification());
+  std::printf("  sessions dropped=%llu  load-shed connects=%llu  "
+              "interrupted uploads=%llu  resumed=%llu\n",
+              static_cast<unsigned long long>(fr.sessions_dropped()),
+              static_cast<unsigned long long>(fr.shed_connects()),
+              static_cast<unsigned long long>(
+                  r.report.backend.interrupted_uploads),
+              static_cast<unsigned long long>(
+                  r.report.backend.resumed_uploads));
+  for (const FaultWindowStats& w : fr.windows()) {
+    std::printf("  %-24s begin=%7.0fs dur=%6.0fs failed_ops=%6llu "
+                "recover=%+.1fs\n",
+                w.label.c_str(), to_seconds(w.begin),
+                to_seconds(w.end - w.begin),
+                static_cast<unsigned long long>(w.failed_ops_during),
+                w.time_to_recover < 0 ? -1.0 : to_seconds(w.time_to_recover));
+  }
+
+#ifdef U1SIM_REPO_ROOT
+  const std::string path = std::string(U1SIM_REPO_ROOT) + "/BENCH_fault.json";
+#else
+  const std::string path = "BENCH_fault.json";
+#endif
+  if (FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fault_recovery\",\n");
+    std::fprintf(f, "  \"users\": %zu,\n", cfg.users);
+    std::fprintf(f, "  \"days\": %d,\n", cfg.days);
+    std::fprintf(f, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(cfg.seed));
+    std::fprintf(f, "  \"fault_specs\": %zu,\n", cfg.faults.specs.size());
+    std::fprintf(f, "  \"trace_byte_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"fault_edges\": %llu,\n",
+                 static_cast<unsigned long long>(fr.fault_edges()));
+    std::fprintf(f, "  \"availability\": %.6f,\n", fr.availability());
+    std::fprintf(f, "  \"retry_amplification\": %.4f,\n",
+                 fr.retry_amplification());
+    std::fprintf(f, "  \"sessions_dropped\": %llu,\n",
+                 static_cast<unsigned long long>(fr.sessions_dropped()));
+    std::fprintf(f, "  \"shed_connects\": %llu,\n",
+                 static_cast<unsigned long long>(fr.shed_connects()));
+    std::fprintf(f, "  \"interrupted_uploads\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.report.backend.interrupted_uploads));
+    std::fprintf(f, "  \"resumed_uploads\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     r.report.backend.resumed_uploads));
+    std::fprintf(f, "  \"windows\": [\n");
+    const auto& windows = fr.windows();
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      const FaultWindowStats& w = windows[i];
+      std::fprintf(f,
+                   "    {\"label\": \"%s\", \"begin_s\": %.0f, "
+                   "\"duration_s\": %.0f, \"failed_ops\": %llu, "
+                   "\"time_to_recover_s\": %.3f}%s\n",
+                   w.label.c_str(), to_seconds(w.begin),
+                   to_seconds(w.end - w.begin),
+                   static_cast<unsigned long long>(w.failed_ops_during),
+                   w.time_to_recover < 0 ? -1.0
+                                         : to_seconds(w.time_to_recover),
+                   i + 1 < windows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& rr = *runs[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"wall_seconds\": %.3f, "
+                   "\"records\": %llu, \"trace_sha1\": \"%s\"}%s\n",
+                   rr.threads, rr.wall_seconds,
+                   static_cast<unsigned long long>(rr.records),
+                   rr.trace_sha1.c_str(), i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+  } else {
+    std::printf("  could not open %s for writing\n", path.c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -17,12 +17,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "fault/fault_plan.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
 #include "trace/sink.hpp"
@@ -57,6 +61,22 @@ inline std::size_t env_threads(std::size_t fallback = 0) {
   return hw == 0 ? 1 : hw;
 }
 
+/// Fault plan from the U1SIM_FAULTS environment knob: unset/""/"0" =
+/// faults off; "1"/"standard" = the standard acceptance plan; anything
+/// else = path to a fault-plan file (same grammar as --fault-plan).
+inline FaultPlan env_fault_plan() {
+  const char* v = std::getenv("U1SIM_FAULTS");
+  if (v == nullptr || *v == '\0' || std::string_view(v) == "0") return {};
+  if (std::string_view(v) == "1" || std::string_view(v) == "standard")
+    return standard_fault_plan();
+  std::ifstream in(v);
+  if (!in)
+    throw std::runtime_error(std::string("U1SIM_FAULTS: cannot open ") + v);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_fault_plan(text.str());
+}
+
 inline SimulationConfig standard_config(std::size_t users, int days,
                                         bool ddos = true) {
   SimulationConfig cfg;
@@ -64,6 +84,7 @@ inline SimulationConfig standard_config(std::size_t users, int days,
   cfg.days = days;
   cfg.seed = 20140111;
   cfg.enable_ddos = ddos;
+  cfg.faults = env_fault_plan();
   return cfg;
 }
 
@@ -118,12 +139,16 @@ inline std::unique_ptr<SimRun> run_into(TraceSink& sink,
                                         const SimulationConfig& cfg,
                                         std::size_t threads = 0) {
   if (threads == 0) threads = env_threads();
-  std::printf("# u1sim | users=%zu days=%d seed=%llu ddos=%s threads=%zu "
-              "engine=%s\n",
+  std::printf("# u1sim | users=%zu days=%d seed=%llu ddos=%s faults=%s "
+              "threads=%zu engine=%s\n",
               cfg.users, cfg.days,
               static_cast<unsigned long long>(cfg.seed),
-              cfg.enable_ddos ? "on" : "off", threads,
-              threads <= 1 ? "sequential" : "shard-parallel");
+              cfg.enable_ddos ? "on" : "off",
+              cfg.faults.empty()
+                  ? "off"
+                  : (std::to_string(cfg.faults.specs.size()) + "-spec plan")
+                        .c_str(),
+              threads, threads <= 1 ? "sequential" : "shard-parallel");
   std::unique_ptr<SimRun> run;
   if (threads <= 1) {
     run = std::make_unique<SimRun>(std::make_unique<Simulation>(cfg, sink));

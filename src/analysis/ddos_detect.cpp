@@ -27,6 +27,7 @@ void DdosAnalyzer::append(const TraceRecord& r) {
       storage_.add(r.t);
       break;
     case RecordType::kStorageDone:
+    case RecordType::kFault:
       break;
   }
 }

@@ -1,0 +1,75 @@
+#include "analysis/fault_recovery.hpp"
+
+#include "trace/record.hpp"
+
+namespace u1 {
+
+void FaultRecoveryAnalyzer::append(const TraceRecord& r) {
+  if (r.type == RecordType::kFault) {
+    ++fault_edges_;
+    // fault field: "<kind>#<id>:begin|end"; the label keys the window.
+    const std::size_t colon = r.fault.rfind(':');
+    if (colon == std::string::npos) return;
+    const std::string label = r.fault.substr(0, colon);
+    const bool begin = r.fault.compare(colon + 1, std::string::npos,
+                                       "begin") == 0;
+    if (begin) {
+      FaultWindowStats w;
+      w.label = label;
+      w.begin = r.t;
+      windows_.push_back(std::move(w));
+    } else {
+      for (auto it = windows_.rbegin(); it != windows_.rend(); ++it) {
+        if (it->label == label && it->end == 0) {
+          it->end = r.t;
+          break;
+        }
+      }
+    }
+    return;
+  }
+  if (r.type == RecordType::kSession) {
+    switch (r.session_event) {
+      case SessionEvent::kDropped: ++dropped_; break;
+      case SessionEvent::kTryAgain: ++shed_; break;
+      case SessionEvent::kAuthFail:
+        if (r.t >= 0) ++auth_failures_;
+        break;
+      default: break;
+    }
+    return;
+  }
+  if (r.type == RecordType::kStorage) {
+    if (r.t >= 0 && r.api_op == ApiOp::kPutContent) ++put_attempts_;
+    return;
+  }
+  if (r.type != RecordType::kStorageDone || r.t < 0) return;
+  ++done_total_;
+  if (r.failed) {
+    ++done_failed_;
+    for (auto& w : windows_) {
+      if (r.t >= w.begin && (w.end == 0 || r.t <= w.end))
+        ++w.failed_ops_during;
+    }
+    return;
+  }
+  if (r.api_op == ApiOp::kPutContent) ++put_successes_;
+  for (auto& w : windows_) {
+    if (w.end != 0 && w.time_to_recover < 0 && r.t >= w.end)
+      w.time_to_recover = r.t - w.end;
+  }
+}
+
+double FaultRecoveryAnalyzer::availability() const {
+  if (done_total_ == 0) return 1.0;
+  return 1.0 - static_cast<double>(done_failed_) /
+                   static_cast<double>(done_total_);
+}
+
+double FaultRecoveryAnalyzer::retry_amplification() const {
+  if (put_successes_ == 0) return put_attempts_ > 0 ? 0.0 : 1.0;
+  return static_cast<double>(put_attempts_) /
+         static_cast<double>(put_successes_);
+}
+
+}  // namespace u1

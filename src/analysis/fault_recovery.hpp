@@ -1,0 +1,59 @@
+// Fault & recovery analysis: consumes the trace of a fault-injected run
+// and reports the availability picture an operator would pull from the
+// incident log — overall success rate, retry amplification on uploads,
+// session drops / load-shed connects, and per-fault-window failure counts
+// plus time-to-recover (first successful storage op after the window).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/sink.hpp"
+
+namespace u1 {
+
+/// One fault window reconstructed from the kFault begin/end records.
+struct FaultWindowStats {
+  std::string label;  // "s3_brownout#2" (kind + schedule window id)
+  SimTime begin = 0;
+  SimTime end = 0;        // 0 while the :end edge has not been seen
+  std::uint64_t failed_ops_during = 0;  // failed storage_done in [begin,end]
+  /// Gap from the window's end to the first successful storage_done at or
+  /// after it; -1 when the trace ends before service recovered.
+  SimTime time_to_recover = -1;
+};
+
+class FaultRecoveryAnalyzer final : public TraceSink {
+ public:
+  void append(const TraceRecord& record) override;
+
+  /// 1 - failed/total over storage_done records at t >= 0.
+  double availability() const;
+  /// PutContent attempts per successful PutContent (1.0 = no retries).
+  double retry_amplification() const;
+
+  std::uint64_t storage_ops() const noexcept { return done_total_; }
+  std::uint64_t failed_ops() const noexcept { return done_failed_; }
+  std::uint64_t sessions_dropped() const noexcept { return dropped_; }
+  std::uint64_t shed_connects() const noexcept { return shed_; }
+  std::uint64_t auth_failures() const noexcept { return auth_failures_; }
+  std::uint64_t fault_edges() const noexcept { return fault_edges_; }
+
+  const std::vector<FaultWindowStats>& windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  std::uint64_t done_total_ = 0;
+  std::uint64_t done_failed_ = 0;
+  std::uint64_t put_attempts_ = 0;
+  std::uint64_t put_successes_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t auth_failures_ = 0;
+  std::uint64_t fault_edges_ = 0;
+  std::vector<FaultWindowStats> windows_;
+};
+
+}  // namespace u1

@@ -25,6 +25,7 @@ void SessionAnalyzer::append(const TraceRecord& r) {
       case SessionEvent::kOpen:
         live_[r.session] = Live{r.t, 0};
         break;
+      case SessionEvent::kDropped:  // crash-closed: still a session end
       case SessionEvent::kClose: {
         const auto it = live_.find(r.session);
         if (it == live_.end()) break;

@@ -45,24 +45,21 @@ std::string ObjectStore::initiate_multipart(const std::string& key,
   return upload_id;
 }
 
-void ObjectStore::upload_part(const std::string& upload_id,
+bool ObjectStore::upload_part(const std::string& upload_id,
                               std::uint64_t part_bytes) {
-  if (part_bytes == 0)
-    throw std::invalid_argument("upload_part: zero-sized part");
+  if (part_bytes == 0) return false;
   auto it = multiparts_.find(upload_id);
-  if (it == multiparts_.end())
-    throw std::out_of_range("upload_part: unknown upload id");
+  if (it == multiparts_.end()) return false;
   ++it->second.parts;
   it->second.bytes += part_bytes;
+  return true;
 }
 
-StoredObject ObjectStore::complete_multipart(const std::string& upload_id,
-                                             SimTime now) {
+std::optional<StoredObject> ObjectStore::complete_multipart(
+    const std::string& upload_id, SimTime now) {
   const auto it = multiparts_.find(upload_id);
-  if (it == multiparts_.end())
-    throw std::out_of_range("complete_multipart: unknown upload id");
-  if (it->second.parts == 0)
-    throw std::logic_error("complete_multipart: no parts uploaded");
+  if (it == multiparts_.end()) return std::nullopt;
+  if (it->second.parts == 0) return std::nullopt;
   put(it->second.key, it->second.bytes, now);
   const StoredObject obj = objects_.at(it->second.key);
   multiparts_.erase(it);

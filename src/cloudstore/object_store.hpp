@@ -49,12 +49,14 @@ class ObjectStore {
   // --- multipart upload (appendix A) ---------------------------------------
   /// InitiateMultipartUpload: returns the upload id.
   std::string initiate_multipart(const std::string& key, SimTime now);
-  /// UploadPart: throws std::out_of_range for unknown upload ids and
-  /// std::invalid_argument for zero-sized parts.
-  void upload_part(const std::string& upload_id, std::uint64_t part_bytes);
-  /// CompleteMultipartUpload: materializes the object; throws
-  /// std::out_of_range for unknown ids, std::logic_error if no parts.
-  StoredObject complete_multipart(const std::string& upload_id, SimTime now);
+  /// UploadPart: false for unknown upload ids or zero-sized parts. Bad
+  /// requests are service errors the caller retries or aborts — never a
+  /// crash (an injected fault can race an upload with its own teardown).
+  bool upload_part(const std::string& upload_id, std::uint64_t part_bytes);
+  /// CompleteMultipartUpload: materializes the object; nullopt for
+  /// unknown ids or uploads with no parts.
+  std::optional<StoredObject> complete_multipart(const std::string& upload_id,
+                                                 SimTime now);
   /// AbortMultipartUpload: discards state; false if id unknown.
   bool abort_multipart(const std::string& upload_id);
   std::optional<MultipartUpload> multipart_state(

@@ -1,0 +1,112 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace u1 {
+
+FaultInjector::FaultInjector(const FaultSchedule& schedule,
+                             std::uint64_t seed)
+    : schedule_(&schedule), rng_(seed) {}
+
+template <typename Pred, typename Get>
+double FaultInjector::window_max(SimTime now, double base, Pred pred,
+                                 Get get) const {
+  // Schedules are tiny (a handful of windows); a linear scan over begin
+  // events beats maintaining interval structures.
+  double best = base;
+  for (const FaultEvent& ev : *schedule_) {
+    if (!ev.begin || now < ev.at || now >= ev.at + ev.duration) continue;
+    if (!pred(ev)) continue;
+    best = std::max(best, get(ev));
+  }
+  return best;
+}
+
+double FaultInjector::s3_error_rate(SimTime now) const noexcept {
+  return window_max(
+      now, 0.0,
+      [](const FaultEvent& ev) { return ev.kind == FaultKind::kS3Brownout; },
+      [](const FaultEvent& ev) { return ev.error_rate; });
+}
+
+double FaultInjector::s3_latency_multiplier(SimTime now) const noexcept {
+  return window_max(
+      now, 1.0,
+      [](const FaultEvent& ev) { return ev.kind == FaultKind::kS3Brownout; },
+      [](const FaultEvent& ev) { return ev.slow_factor; });
+}
+
+double FaultInjector::auth_error_rate(SimTime now) const noexcept {
+  return window_max(
+      now, 0.0,
+      [](const FaultEvent& ev) {
+        return ev.kind == FaultKind::kAuthBrownout;
+      },
+      [](const FaultEvent& ev) { return ev.error_rate; });
+}
+
+double FaultInjector::mq_drop_prob(SimTime now) const noexcept {
+  return window_max(
+      now, 0.0,
+      [](const FaultEvent& ev) { return ev.kind == FaultKind::kMqDrop; },
+      [](const FaultEvent& ev) { return ev.drop_prob; });
+}
+
+double FaultInjector::shard_service_multiplier(std::uint64_t shard,
+                                               SimTime now) const noexcept {
+  return window_max(
+      now, 1.0,
+      [shard](const FaultEvent& ev) {
+        return ev.kind == FaultKind::kShardFailover && ev.shard == shard;
+      },
+      [](const FaultEvent& ev) { return ev.slow_factor; });
+}
+
+double FaultInjector::shard_reject_prob(std::uint64_t shard,
+                                        SimTime now) const noexcept {
+  return window_max(
+      now, 0.0,
+      [shard](const FaultEvent& ev) {
+        return ev.kind == FaultKind::kShardFailover && ev.shard == shard;
+      },
+      [](const FaultEvent& ev) { return ev.reject_prob; });
+}
+
+bool FaultInjector::s3_request_fails(SimTime now) {
+  const double p = s3_error_rate(now);
+  return p > 0 && rng_.chance(p);
+}
+
+bool FaultInjector::auth_brownout_fails(SimTime now) {
+  const double p = auth_error_rate(now);
+  return p > 0 && rng_.chance(p);
+}
+
+bool FaultInjector::mq_drops(SimTime now) {
+  const double p = mq_drop_prob(now);
+  return p > 0 && rng_.chance(p);
+}
+
+bool FaultInjector::shard_write_rejected(std::uint64_t shard, SimTime now) {
+  const double p = shard_reject_prob(shard, now);
+  return p > 0 && rng_.chance(p);
+}
+
+FaultInjector::Cut FaultInjector::next_machine_cut(
+    std::uint64_t machine, SimTime from, SimTime until) const noexcept {
+  Cut cut;
+  for (const FaultEvent& ev : *schedule_) {
+    if (!ev.begin || ev.machine != machine) continue;
+    if (ev.kind != FaultKind::kProcessCrash &&
+        ev.kind != FaultKind::kMachineOutage)
+      continue;
+    if (ev.at <= from || ev.at > until) continue;
+    if (cut.event == nullptr || ev.at < cut.at) {
+      cut.at = ev.at;
+      cut.event = &ev;
+    }
+  }
+  return cut;
+}
+
+}  // namespace u1

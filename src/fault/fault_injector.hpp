@@ -1,0 +1,63 @@
+// Per-backend fault delivery. The injector holds the (shared, immutable)
+// FaultSchedule plus its own RNG stream for the probabilistic draws made
+// inside fault windows. Window membership is a pure time lookup; RNG is
+// consumed ONLY while a matching window is active, so a faults-off run —
+// or any instant outside every window — draws nothing and the fault
+// subsystem is invisible to the simulation's random streams.
+//
+// Parallel engine: each shard group owns one injector seeded from its
+// group-mixed fault seed, pointing at the one schedule materialized at
+// setup. Because the schedule is static and each group replays every
+// fault event from its own queue, no runtime cross-group traffic is
+// needed and the merged trace is thread-count independent.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "util/rng.hpp"
+
+namespace u1 {
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSchedule& schedule, std::uint64_t seed);
+
+  const FaultSchedule& schedule() const noexcept { return *schedule_; }
+
+  // --- window lookups (const, no RNG) --------------------------------------
+  double s3_error_rate(SimTime now) const noexcept;
+  double s3_latency_multiplier(SimTime now) const noexcept;
+  double auth_error_rate(SimTime now) const noexcept;
+  double mq_drop_prob(SimTime now) const noexcept;
+  double shard_service_multiplier(std::uint64_t shard,
+                                  SimTime now) const noexcept;
+  double shard_reject_prob(std::uint64_t shard, SimTime now) const noexcept;
+
+  // --- probabilistic draws (consume RNG only inside a window) ---------------
+  bool s3_request_fails(SimTime now);
+  bool auth_brownout_fails(SimTime now);
+  bool mq_drops(SimTime now);
+  bool shard_write_rejected(std::uint64_t shard, SimTime now);
+
+  /// Earliest begin event in (from, until] that kills `machine` (process
+  /// crash or machine outage): the moment a transfer on that machine is
+  /// cut. Process crashes only count once their victim process is known
+  /// to be the session's — the caller filters via `process_matters`.
+  struct Cut {
+    SimTime at = 0;
+    const FaultEvent* event = nullptr;
+  };
+  Cut next_machine_cut(std::uint64_t machine, SimTime from,
+                       SimTime until) const noexcept;
+
+ private:
+  /// max of `value` over active begin-windows matching `pred`.
+  template <typename Pred, typename Get>
+  double window_max(SimTime now, double base, Pred pred, Get get) const;
+
+  const FaultSchedule* schedule_;
+  Rng rng_;
+};
+
+}  // namespace u1

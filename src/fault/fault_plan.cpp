@@ -1,0 +1,225 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+/// Parses "2d12h30m15s" (bare numbers are seconds) into SimTime.
+SimTime parse_duration(const std::string& text) {
+  SimTime total = 0;
+  std::uint64_t acc = 0;
+  bool have_digit = false;
+  for (const char c : text) {
+    if (c >= '0' && c <= '9') {
+      acc = acc * 10 + static_cast<std::uint64_t>(c - '0');
+      have_digit = true;
+      continue;
+    }
+    if (!have_digit) throw std::invalid_argument("bad duration: " + text);
+    SimTime unit;
+    switch (c) {
+      case 'd': unit = kDay; break;
+      case 'h': unit = kHour; break;
+      case 'm': unit = kMinute; break;
+      case 's': unit = kSecond; break;
+      default: throw std::invalid_argument("bad duration unit: " + text);
+    }
+    total += static_cast<SimTime>(acc) * unit;
+    acc = 0;
+    have_digit = false;
+  }
+  if (have_digit) total += static_cast<SimTime>(acc) * kSecond;
+  return total;
+}
+
+double parse_double(const std::string& text) {
+  std::size_t pos = 0;
+  const double v = std::stod(text, &pos);
+  if (pos != text.size()) throw std::invalid_argument("bad number: " + text);
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& text) {
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(text, &pos);
+  if (pos != text.size()) throw std::invalid_argument("bad integer: " + text);
+  return v;
+}
+
+FaultSpec parse_spec_line(const std::string& line, std::size_t line_no) {
+  std::istringstream in(line);
+  std::string kind_word;
+  in >> kind_word;
+  const auto kind = fault_kind_from_string(kind_word);
+  if (!kind) {
+    throw std::invalid_argument("fault plan line " + std::to_string(line_no) +
+                                ": unknown fault kind '" + kind_word + "'");
+  }
+  FaultSpec spec;
+  spec.kind = *kind;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("fault plan line " +
+                                  std::to_string(line_no) +
+                                  ": expected key=value, got '" + token + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string val = token.substr(eq + 1);
+    try {
+      if (key == "t") spec.at = parse_duration(val);
+      else if (key == "dur") spec.duration = parse_duration(val);
+      else if (key == "rate") spec.rate_per_day = parse_double(val);
+      else if (key == "machine") spec.machine = parse_u64(val);
+      else if (key == "shard") spec.shard = parse_u64(val);
+      else if (key == "slot") spec.slot = parse_u64(val);
+      else if (key == "error") spec.error_rate = parse_double(val);
+      else if (key == "slow") spec.slow_factor = parse_double(val);
+      else if (key == "reject") spec.reject_prob = parse_double(val);
+      else if (key == "drop") spec.drop_prob = parse_double(val);
+      else
+        throw std::invalid_argument("unknown key '" + key + "'");
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("fault plan line " +
+                                  std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  if (spec.duration <= 0) {
+    throw std::invalid_argument("fault plan line " + std::to_string(line_no) +
+                                ": dur= is required and must be > 0");
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kProcessCrash: return "process_crash";
+    case FaultKind::kMachineOutage: return "machine_outage";
+    case FaultKind::kShardFailover: return "shard_failover";
+    case FaultKind::kS3Brownout: return "s3_brownout";
+    case FaultKind::kMqDrop: return "mq_drop";
+    case FaultKind::kAuthBrownout: return "auth_brownout";
+  }
+  return "unknown";
+}
+
+std::optional<FaultKind> fault_kind_from_string(std::string_view s) noexcept {
+  if (s == "process_crash") return FaultKind::kProcessCrash;
+  if (s == "machine_outage") return FaultKind::kMachineOutage;
+  if (s == "shard_failover") return FaultKind::kShardFailover;
+  if (s == "s3_brownout") return FaultKind::kS3Brownout;
+  if (s == "mq_drop") return FaultKind::kMqDrop;
+  if (s == "auth_brownout") return FaultKind::kAuthBrownout;
+  return std::nullopt;
+}
+
+FaultPlan parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string line(text.substr(start, end - start));
+    start = end + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;  // blank / comment-only
+    plan.specs.push_back(parse_spec_line(line, line_no));
+  }
+  return plan;
+}
+
+FaultPlan standard_fault_plan() {
+  // One of everything inside a week, spaced so recovery windows do not
+  // overlap: the acceptance plan for bench_fault_recovery.
+  return parse_fault_plan(
+      "auth_brownout  t=1d12h dur=45m error=0.5\n"
+      "process_crash  t=2d    dur=2h  machine=3 slot=1\n"
+      "s3_brownout    t=3d    dur=1h  error=0.25 slow=4\n"
+      "shard_failover t=4d    dur=30m shard=4 slow=6 reject=0.35\n"
+      "mq_drop        t=4d12h dur=2h  drop=0.75\n"
+      "machine_outage t=5d    dur=40m machine=2\n");
+}
+
+FaultSchedule build_fault_schedule(const FaultPlan& plan, SimTime horizon,
+                                   std::size_t machine_count,
+                                   std::size_t shard_count,
+                                   std::uint64_t seed) {
+  FaultSchedule schedule;
+  std::size_t next_id = 0;
+  for (std::size_t s = 0; s < plan.specs.size(); ++s) {
+    const FaultSpec& spec = plan.specs[s];
+    // Per-spec stream: adding or reordering specs never perturbs the
+    // arrivals drawn for the others.
+    Rng rng(seed ^ ((s + 1) * 0x9e3779b97f4a7c15ull));
+    std::vector<SimTime> starts;
+    if (spec.rate_per_day > 0) {
+      const double mean_gap_s = 86400.0 / spec.rate_per_day;
+      double t_s = 0;
+      for (;;) {
+        t_s += -mean_gap_s * std::log(1.0 - rng.uniform());
+        const SimTime at = from_seconds(t_s);
+        if (at >= horizon) break;
+        starts.push_back(at);
+      }
+    } else if (spec.at < horizon) {
+      starts.push_back(spec.at);
+    }
+    for (const SimTime at : starts) {
+      FaultEvent ev;
+      ev.id = next_id++;
+      ev.kind = spec.kind;
+      ev.at = at;
+      ev.duration = spec.duration;
+      // Targets are only meaningful (and only drawn) for kinds that
+      // aim at a machine or shard; the rest keep 0 = "not applicable".
+      if (spec.kind == FaultKind::kProcessCrash ||
+          spec.kind == FaultKind::kMachineOutage) {
+        ev.machine = spec.machine != 0 ? spec.machine
+                                       : rng.below(machine_count) + 1;
+      }
+      if (spec.kind == FaultKind::kShardFailover) {
+        ev.shard = spec.shard != 0 ? spec.shard : rng.below(shard_count) + 1;
+      }
+      ev.slot = spec.slot;
+      ev.error_rate = spec.error_rate;
+      ev.slow_factor = spec.slow_factor;
+      ev.reject_prob = spec.reject_prob;
+      ev.drop_prob = spec.drop_prob;
+      ev.begin = true;
+      schedule.push_back(ev);
+      ev.begin = false;
+      ev.at = at + spec.duration;
+      schedule.push_back(ev);
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.id != b.id) return a.id < b.id;
+              return a.begin && !b.begin;
+            });
+  return schedule;
+}
+
+std::string fault_label(const FaultEvent& ev) {
+  std::string out(to_string(ev.kind));
+  out += '#';
+  out += std::to_string(ev.id);
+  out += ev.begin ? ":begin" : ":end";
+  return out;
+}
+
+}  // namespace u1

@@ -1,0 +1,101 @@
+// Deterministic fault model. A FaultPlan is a small script of failure
+// windows — process crashes, machine outages, shard master failovers, S3
+// brownouts, MQ notification drops and auth-service brownouts — either
+// pinned to absolute times or drawn as seeded Poisson arrivals. The plan
+// is materialized ONCE into a FaultSchedule (a sorted list of begin/end
+// events) before the simulation starts, so every engine and every worker
+// thread sees the same fault timeline; per-event randomness (victim
+// machine, shard, arrival times) is drawn here from the fault seed and
+// never from the simulation streams.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+enum class FaultKind : std::uint8_t {
+  kProcessCrash,   // one API process dies; its sessions drop
+  kMachineOutage,  // a whole machine (all its processes) goes dark
+  kShardFailover,  // shard master degraded until the slave is promoted
+  kS3Brownout,     // object-store error-rate + latency-spike window
+  kMqDrop,         // notification fabric drops a fraction of publishes
+  kAuthBrownout,   // auth service rejects a fraction of verifications
+};
+
+std::string_view to_string(FaultKind k) noexcept;
+std::optional<FaultKind> fault_kind_from_string(std::string_view s) noexcept;
+
+/// One scripted fault (or a stochastic family of them).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kS3Brownout;
+  SimTime at = 0;        // window start (ignored when rate_per_day > 0)
+  SimTime duration = 0;  // window length
+  /// > 0: seeded Poisson arrivals at this daily rate over the horizon,
+  /// each occurrence lasting `duration`, instead of one window at `at`.
+  double rate_per_day = 0;
+  std::uint64_t machine = 0;  // 1-based target; 0 = drawn from fault seed
+  std::uint64_t shard = 0;    // 1-based target shard; 0 = drawn
+  /// Which of the victim machine's live processes crashes (crash only);
+  /// taken modulo the live count when the event fires.
+  std::uint64_t slot = 0;
+  double error_rate = 0;   // s3/auth: P(request fails) inside the window
+  double slow_factor = 1;  // s3 latency / shard service-time multiplier
+  double reject_prob = 0;  // failover: P(write rejected at the shard)
+  double drop_prob = 0;    // mq: P(notification dropped)
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> specs;
+  bool empty() const noexcept { return specs.empty(); }
+};
+
+/// Parses the --fault-plan text format: one fault per line,
+///   <kind> key=value ...
+/// with keys t, dur, rate (per day), machine, shard, slot, error, slow,
+/// reject, drop. Times accept s/m/h/d suffixes ("36h", "90m", "2d12h").
+/// '#' starts a comment. Throws std::invalid_argument with the offending
+/// line on malformed input.
+FaultPlan parse_fault_plan(std::string_view text);
+
+/// The acceptance-criteria plan used by bench_fault_recovery and the
+/// U1SIM_FAULTS=standard knob: one of every fault kind inside a 7-day
+/// window (≥1 process crash, ≥1 shard failover, ≥1 S3 brownout).
+FaultPlan standard_fault_plan();
+
+/// One scheduled begin or end, delivered as a simulation event.
+struct FaultEvent {
+  std::size_t id = 0;  // pairs the begin with its end
+  FaultKind kind = FaultKind::kS3Brownout;
+  bool begin = true;
+  SimTime at = 0;
+  SimTime duration = 0;  // full window length (carried on both phases)
+  std::uint64_t machine = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t slot = 0;
+  double error_rate = 0;
+  double slow_factor = 1;
+  double reject_prob = 0;
+  double drop_prob = 0;
+};
+
+using FaultSchedule = std::vector<FaultEvent>;
+
+/// Materializes a plan against a horizon: expands Poisson specs, draws
+/// unset machine/shard targets, assigns window ids and returns begin/end
+/// events sorted by (time, id, begin-first). Pure function of its
+/// arguments — every group and engine derives the identical schedule.
+FaultSchedule build_fault_schedule(const FaultPlan& plan, SimTime horizon,
+                                   std::size_t machine_count,
+                                   std::size_t shard_count,
+                                   std::uint64_t seed);
+
+/// The trace `fault` column payload, e.g. "s3_brownout#2:begin".
+std::string fault_label(const FaultEvent& ev);
+
+}  // namespace u1

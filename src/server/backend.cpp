@@ -38,11 +38,9 @@ UserAccount U1Backend::register_user(UserId user, SimTime now) {
   return UserAccount{user, root.id, root.root_dir};
 }
 
-U1Backend::SessionState& U1Backend::session_state(SessionId id) {
+U1Backend::SessionState* U1Backend::find_session(SessionId id) noexcept {
   const auto it = sessions_.find(id);
-  if (it == sessions_.end())
-    throw std::out_of_range("U1Backend: unknown or closed session");
-  return it->second;
+  return it == sessions_.end() ? nullptr : &it->second;
 }
 
 bool U1Backend::session_open(SessionId session) const {
@@ -54,7 +52,9 @@ SimTime U1Backend::s3_latency(SimTime at) {
   const double u1v = 1.0 - rng_.uniform();
   const double u2 = rng_.uniform();
   const double z = std::sqrt(-2.0 * std::log(u1v)) * std::cos(2 * M_PI * u2);
-  const double s = config_.s3_latency_s_median * std::exp(0.5 * z);
+  double s = config_.s3_latency_s_median * std::exp(0.5 * z);
+  // Brownout windows stretch the S3 round trip (still capped at 5s).
+  if (injector_ != nullptr) s *= injector_->s3_latency_multiplier(at);
   return at + from_seconds(std::clamp(s, 0.002, 5.0));
 }
 
@@ -79,7 +79,16 @@ SimTime U1Backend::run_rpc_at(RpcOp op, MachineId machine, ProcessId process,
   // Which shards the preceding store call touched (empty for auth RPCs).
   const auto& touched = store_.shards_touched();
   const RpcClass cls = rpc_class(op);
-  const SimTime service = service_model_.sample(op, rng_);
+  SimTime service = service_model_.sample(op, rng_);
+  // A shard mid-failover serves writes from a catching-up slave: inflate
+  // the master-side service time (reads hit the replica pair unharmed).
+  if (injector_ != nullptr && cls != RpcClass::kRead) {
+    double mult = 1.0;
+    for (const ShardId s : touched)
+      mult = std::max(mult, injector_->shard_service_multiplier(s.value, at));
+    if (mult > 1.0)
+      service = static_cast<SimTime>(static_cast<double>(service) * mult);
+  }
 
   SimTime start = at;
   if (cls != RpcClass::kRead) {
@@ -146,6 +155,10 @@ void U1Backend::publish_change(const SessionState& ctx,
   // Only volumes with shares have simultaneously-interested clients; other
   // changes are picked up via generations on reconnect (§3.4.2).
   if (!shared_volumes_.contains(volume)) return;
+  if (injector_ != nullptr && injector_->mq_drops(at)) {
+    ++stats_.notifications_dropped;
+    return;
+  }
   VolumeEvent event;
   event.kind = kind;
   event.affected_user = ctx.session.user;
@@ -157,7 +170,19 @@ void U1Backend::publish_change(const SessionState& ctx,
 }
 
 U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
-  const ServerFleet::Placement placement = fleet_.place_session();
+  const auto placed = fleet_.place_session(config_.session_cap_per_process);
+  if (!placed) {
+    // Load shed: no live process with spare capacity. The balancer tells
+    // the client to come back later without ever engaging auth.
+    ++stats_.shed_connects;
+    emit_session_event(MachineId{}, ProcessId{}, user, SessionId{},
+                       SessionEvent::kTryAgain, now);
+    ConnectResult res;
+    res.end = now + kApiOverhead;
+    res.try_again = true;
+    return res;
+  }
+  const ServerFleet::Placement placement = *placed;
   const SessionId sid{next_session_++};
 
   // Authenticate (Table 2): API server contacts the Canonical auth
@@ -173,7 +198,16 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
     ++stats_.auth_failures;
     emit_session_event(placement.machine, placement.process, user, sid,
                        SessionEvent::kAuthFail, t);
-    fleet_.end_session(placement.machine);
+    fleet_.end_session(placement.machine, placement.process);
+    return ConnectResult{false, SessionId{}, t};
+  }
+  // Auth-service brownout: the SSO backend times out before any token
+  // work happens (indistinguishable from a failed verify to the client).
+  if (injector_ != nullptr && injector_->auth_brownout_fails(t)) {
+    ++stats_.auth_failures;
+    emit_session_event(placement.machine, placement.process, user, sid,
+                       SessionEvent::kAuthFail, t);
+    fleet_.end_session(placement.machine, placement.process);
     return ConnectResult{false, SessionId{}, t};
   }
   const auto tok_it = user_tokens_.find(user);
@@ -199,7 +233,7 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
     ++stats_.auth_failures;
     emit_session_event(placement.machine, placement.process, user, sid,
                        SessionEvent::kAuthFail, t);
-    fleet_.end_session(placement.machine);
+    fleet_.end_session(placement.machine, placement.process);
     return ConnectResult{false, SessionId{}, t};
   }
   token_cache_.put(token, user);
@@ -234,12 +268,14 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
 }
 
 SimTime U1Backend::disconnect(SessionId session, SimTime now) {
-  auto& state = session_state(session);
+  auto* statep = find_session(session);
+  if (statep == nullptr) return now;  // already dropped by a crash/outage
+  auto& state = *statep;
   state.session.ended_at = now;
   emit_session_event(state.session.api_machine, state.session.api_process,
                      state.session.user, session, SessionEvent::kClose, now,
                      now - state.session.started_at);
-  fleet_.end_session(state.session.api_machine);
+  fleet_.end_session(state.session.api_machine, state.session.api_process);
   auto& list = user_sessions_[state.session.user];
   list.erase(std::remove(list.begin(), list.end(), session), list.end());
   sessions_.erase(session);
@@ -248,7 +284,9 @@ SimTime U1Backend::disconnect(SessionId session, SimTime now) {
 }
 
 U1Backend::OpResult U1Backend::list_volumes(SessionId session, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   emit_storage(ctx, ApiOp::kListVolumes, now, {});
   (void)store_.list_volumes(ctx.session.user);
   const SimTime end = run_rpc(RpcOp::kListVolumes, ctx, now);
@@ -257,7 +295,9 @@ U1Backend::OpResult U1Backend::list_volumes(SessionId session, SimTime now) {
 }
 
 U1Backend::OpResult U1Backend::list_shares(SessionId session, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   emit_storage(ctx, ApiOp::kListShares, now, {});
   (void)store_.list_shares(ctx.session.user);
   const SimTime end = run_rpc(RpcOp::kListShares, ctx, now);
@@ -266,7 +306,9 @@ U1Backend::OpResult U1Backend::list_shares(SessionId session, SimTime now) {
 }
 
 U1Backend::OpResult U1Backend::query_set_caps(SessionId session, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   emit_storage(ctx, ApiOp::kQuerySetCaps, now, {});
   const SimTime end = now + kApiOverhead;
   emit_storage_done(ctx, ApiOp::kQuerySetCaps, now, end, {});
@@ -276,7 +318,9 @@ U1Backend::OpResult U1Backend::query_set_caps(SessionId session, SimTime now) {
 U1Backend::OpResult U1Backend::get_delta(SessionId session, VolumeId volume,
                                          std::uint64_t since_generation,
                                          SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   TraceRecord partial;
   partial.volume = volume;
   emit_storage(ctx, ApiOp::kGetDelta, now, partial);
@@ -298,7 +342,9 @@ U1Backend::OpResult U1Backend::get_delta(SessionId session, VolumeId volume,
 U1Backend::OpResult U1Backend::rescan_from_scratch(SessionId session,
                                                    VolumeId volume,
                                                    SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   TraceRecord partial;
   partial.volume = volume;
   emit_storage(ctx, ApiOp::kRescanFromScratch, now, partial);
@@ -313,13 +359,21 @@ U1Backend::MakeResult U1Backend::make_file(SessionId session, VolumeId volume,
                                            std::string name_hash,
                                            std::string extension,
                                            SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return MakeResult{false, NodeId{}, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
   partial.volume = volume;
   partial.parent = parent;
   partial.extension = extension;
   emit_storage(ctx, ApiOp::kMake, now, partial);
+  if (write_rejected(ctx, now)) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kMake, now, now + kApiOverhead, failed);
+    return MakeResult{false, NodeId{}, now + kApiOverhead};
+  }
   const Node node =
       store_.make_file(ctx.session.user, volume, parent, std::move(name_hash),
                        std::move(extension), now);
@@ -333,13 +387,21 @@ U1Backend::MakeResult U1Backend::make_file(SessionId session, VolumeId volume,
 U1Backend::MakeResult U1Backend::make_dir(SessionId session, VolumeId volume,
                                           NodeId parent,
                                           std::string name_hash, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return MakeResult{false, NodeId{}, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
   partial.volume = volume;
   partial.parent = parent;
   partial.is_dir = true;
   emit_storage(ctx, ApiOp::kMake, now, partial);
+  if (write_rejected(ctx, now)) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kMake, now, now + kApiOverhead, failed);
+    return MakeResult{false, NodeId{}, now + kApiOverhead};
+  }
   const Node node = store_.make_dir(ctx.session.user, volume, parent,
                                     std::move(name_hash), now);
   const SimTime end = run_rpc(RpcOp::kMakeDir, ctx, now);
@@ -351,7 +413,9 @@ U1Backend::MakeResult U1Backend::make_dir(SessionId session, VolumeId volume,
 
 U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
                                       SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto before = store_.get_node(ctx.session.user, node);
   TraceRecord partial;
@@ -365,7 +429,7 @@ U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
     partial.content = before->content;
   }
   emit_storage(ctx, ApiOp::kUnlink, now, partial);
-  if (!before) {
+  if (!before || write_rejected(ctx, now)) {
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kUnlink, now, now + kApiOverhead, failed);
@@ -387,14 +451,16 @@ U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
 
 U1Backend::OpResult U1Backend::move(SessionId session, NodeId node,
                                     NodeId new_parent, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
   partial.node = node;
   const auto before = store_.get_node(ctx.session.user, node);
   if (before) partial.volume = before->volume;
   emit_storage(ctx, ApiOp::kMove, now, partial);
-  if (!before) {
+  if (!before || write_rejected(ctx, now)) {
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kMove, now, now + kApiOverhead, failed);
@@ -409,9 +475,17 @@ U1Backend::OpResult U1Backend::move(SessionId session, NodeId node,
 }
 
 U1Backend::VolumeResult U1Backend::create_udf(SessionId session, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return VolumeResult{false, VolumeId{}, NodeId{}, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   emit_storage(ctx, ApiOp::kCreateUDF, now, {});
+  if (write_rejected(ctx, now)) {
+    TraceRecord failed;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kCreateUDF, now, now + kApiOverhead, failed);
+    return VolumeResult{false, VolumeId{}, NodeId{}, now + kApiOverhead};
+  }
   const Volume vol = store_.create_udf(ctx.session.user, now);
   const SimTime end = run_rpc(RpcOp::kCreateUDF, ctx, now);
   TraceRecord done;
@@ -422,11 +496,20 @@ U1Backend::VolumeResult U1Backend::create_udf(SessionId session, SimTime now) {
 
 U1Backend::OpResult U1Backend::delete_volume(SessionId session,
                                              VolumeId volume, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return OpResult{false, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
   partial.volume = volume;
   emit_storage(ctx, ApiOp::kDeleteVolume, now, partial);
+  if (write_rejected(ctx, now)) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kDeleteVolume, now, now + kApiOverhead,
+                      failed);
+    return OpResult{false, now + kApiOverhead};
+  }
   const auto dead = store_.delete_volume(ctx.session.user, volume);
   SimTime end = run_rpc(RpcOp::kDeleteVolume, ctx, now);
   for (const ContentInfo& blob : dead) {
@@ -455,7 +538,13 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
                                           const ContentId& content,
                                           std::uint64_t size_bytes,
                                           bool is_update, SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) {
+    UploadResult res;
+    res.end = now;
+    return res;
+  }
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto target = store_.get_node(ctx.session.user, node);
   TraceRecord partial;
@@ -468,17 +557,19 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
     partial.extension = target->extension;
   }
   emit_storage(ctx, ApiOp::kPutContent, now, partial);
-  if (!target || target->is_dir() || size_bytes == 0) {
+  if (!target || target->is_dir() || size_bytes == 0 ||
+      write_rejected(ctx, now)) {
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kPutContent, now, now + kApiOverhead,
                       failed);
-    return UploadResult{false, false, 0, now + kApiOverhead};
+    UploadResult res;
+    res.end = now + kApiOverhead;
+    return res;
   }
 
   const ContentId eff = effective_content(content, node);
   ++stats_.uploads;
-  stats_.upload_bytes_logical += size_bytes;
 
   SimTime t = now;
   bool dedup_hit = false;
@@ -515,16 +606,29 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
       t = s3_latency(t);
       store_.set_uploadjob_multipart_id(ctx.session.user, job.id, mpu);
       t = run_rpc(RpcOp::kSetUploadJobMultipartId, ctx, t);
-      std::uint64_t remaining = wire;
-      while (remaining > 0) {
-        const std::uint64_t chunk = std::min(remaining, kMultipartChunkBytes);
-        remaining -= chunk;
-        // Client -> API transfer of the chunk, then forward to S3.
-        t += from_seconds(static_cast<double>(chunk) / ctx.up_bw);
-        s3_.upload_part(mpu, chunk);
-        t = s3_latency(t);
-        store_.add_part_to_uploadjob(ctx.session.user, job.id, chunk, t);
-        t = run_rpc(RpcOp::kAddPartToUploadJob, ctx, t);
+      const PartsOutcome parts = push_parts(ctx, job.id, mpu, 0, wire, t);
+      t = parts.t;
+      bool complete_failed = false;
+      if (parts.ok && injector_ != nullptr && injector_->s3_request_fails(t)) {
+        ++stats_.s3_errors;
+        complete_failed = true;
+      }
+      if (!parts.ok || complete_failed) {
+        // Cut mid-flight: the committed parts stay in the uploadjob row
+        // and the open S3 multipart, ready for resume_upload().
+        stats_.upload_bytes_wire += parts.sent;
+        ++stats_.interrupted_uploads;
+        TraceRecord failed = partial;
+        failed.failed = true;
+        failed.transferred_bytes = parts.sent;
+        emit_storage_done(ctx, ApiOp::kPutContent, now, t, failed);
+        UploadResult res;
+        res.interrupted = true;
+        res.transferred_bytes = parts.sent;
+        res.committed_bytes = parts.sent;
+        res.job = job.id;
+        res.end = t;
+        return res;
       }
       s3_.complete_multipart(mpu, t);
       t = s3_latency(t);
@@ -538,8 +642,30 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
         store_.purge_content(dead->id);
       }
     } else {
-      // Single-shot upload.
-      t += from_seconds(static_cast<double>(wire) / ctx.up_bw);
+      // Single-shot upload: no uploadjob row, so an interruption means a
+      // from-scratch retry (nil job in the result).
+      const SimTime arrive =
+          t + from_seconds(static_cast<double>(wire) / ctx.up_bw);
+      const bool cut = crash_cut(ctx, t, arrive) != nullptr;
+      bool s3_fail = false;
+      SimTime fail_end = arrive;
+      if (!cut && injector_ != nullptr &&
+          injector_->s3_request_fails(arrive)) {
+        ++stats_.s3_errors;
+        s3_fail = true;
+        fail_end = s3_latency(arrive);
+      }
+      if (cut || s3_fail) {
+        ++stats_.interrupted_uploads;
+        TraceRecord failed = partial;
+        failed.failed = true;
+        emit_storage_done(ctx, ApiOp::kPutContent, now, fail_end, failed);
+        UploadResult res;
+        res.interrupted = true;
+        res.end = fail_end;
+        return res;
+      }
+      t = arrive;
       s3_.put(s3_key, size_bytes, t);
       t = s3_latency(t);
       const auto dead = store_.make_content(ctx.session.user, node, eff,
@@ -552,6 +678,7 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
     }
   }
 
+  stats_.upload_bytes_logical += size_bytes;
   stats_.upload_bytes_wire += wire;
   TraceRecord done = partial;
   done.transferred_bytes = wire;
@@ -561,12 +688,182 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
                  is_update ? VolumeEvent::Kind::kNodeUpdated
                            : VolumeEvent::Kind::kNodeCreated,
                  partial.volume, node, t);
-  return UploadResult{true, dedup_hit, wire, t};
+  UploadResult res;
+  res.ok = true;
+  res.deduplicated = dedup_hit;
+  res.transferred_bytes = wire;
+  res.committed_bytes = wire;
+  res.end = t;
+  return res;
+}
+
+U1Backend::PartsOutcome U1Backend::push_parts(SessionState& ctx,
+                                              UploadJobId job,
+                                              const std::string& mpu,
+                                              std::uint64_t offset,
+                                              std::uint64_t total, SimTime t) {
+  PartsOutcome out;
+  std::uint64_t remaining = total - offset;
+  while (remaining > 0) {
+    const std::uint64_t chunk = std::min(remaining, kMultipartChunkBytes);
+    const SimTime arrive =
+        t + from_seconds(static_cast<double>(chunk) / ctx.up_bw);
+    // A crash/outage hitting this session's process mid-transfer kills
+    // the connection; parts already added to the job row survive.
+    if (const FaultEvent* cut = crash_cut(ctx, t, arrive)) {
+      out.interrupted = true;
+      out.t = cut->at;
+      return out;
+    }
+    if (injector_ != nullptr && injector_->s3_request_fails(arrive)) {
+      ++stats_.s3_errors;
+      out.interrupted = true;
+      out.t = s3_latency(arrive);
+      return out;
+    }
+    t = arrive;
+    s3_.upload_part(mpu, chunk);
+    t = s3_latency(t);
+    store_.add_part_to_uploadjob(ctx.session.user, job, chunk, t);
+    t = run_rpc(RpcOp::kAddPartToUploadJob, ctx, t);
+    out.sent += chunk;
+    remaining -= chunk;
+  }
+  out.ok = true;
+  out.t = t;
+  return out;
+}
+
+U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
+                                                 NodeId node,
+                                                 const ContentId& content,
+                                                 std::uint64_t size_bytes,
+                                                 bool is_update,
+                                                 UploadJobId job_id,
+                                                 SimTime now) {
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) {
+    UploadResult res;
+    res.end = now;
+    return res;
+  }
+  auto& ctx = *ctxp;
+  ctx.session.storage_ops++;
+  const auto target = store_.get_node(ctx.session.user, node);
+  TraceRecord partial;
+  partial.node = node;
+  partial.size_bytes = size_bytes;
+  partial.content = content;
+  partial.is_update = is_update;
+  if (target) {
+    partial.volume = target->volume;
+    partial.extension = target->extension;
+  }
+  emit_storage(ctx, ApiOp::kPutContent, now, partial);
+
+  const auto fail_done = [&](SimTime end, std::uint64_t sent) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    failed.transferred_bytes = sent;
+    emit_storage_done(ctx, ApiOp::kPutContent, now, end, failed);
+  };
+
+  if (!target || target->is_dir()) {
+    // The node vanished while the client was offline; nothing to resume.
+    fail_done(now + kApiOverhead, 0);
+    UploadResult res;
+    res.end = now + kApiOverhead;
+    return res;
+  }
+  if (write_rejected(ctx, now)) {
+    // Transient shard-failover rejection: keep the job, retry later.
+    fail_done(now + kApiOverhead, 0);
+    UploadResult res;
+    res.interrupted = true;
+    res.job = job_id;
+    res.end = now + kApiOverhead;
+    return res;
+  }
+
+  // GetUploadJob: does the server still hold our committed parts?
+  const auto job = store_.get_uploadjob(ctx.session.user, job_id);
+  SimTime t = run_rpc(RpcOp::kGetUploadJob, ctx, now);
+  const bool usable = job && job->node == node &&
+                      !job->multipart_id.empty() &&
+                      s3_.multipart_state(job->multipart_id).has_value();
+  if (!usable) {
+    // GC reclaimed it (or the S3 multipart is gone): clean any leftover
+    // row and tell the client to start over from byte zero.
+    if (job) {
+      store_.delete_uploadjob(ctx.session.user, job_id);
+      t = run_rpc(RpcOp::kDeleteUploadJob, ctx, t);
+    }
+    fail_done(t, 0);
+    UploadResult res;
+    res.end = t;
+    return res;
+  }
+
+  const std::uint64_t offset = job->bytes_received;
+  const std::uint64_t total = job->declared_size;
+  store_.touch_uploadjob(ctx.session.user, job_id, t);
+  t = run_rpc(RpcOp::kTouchUploadJob, ctx, t);
+
+  const PartsOutcome parts =
+      push_parts(ctx, job_id, job->multipart_id, offset, total, t);
+  t = parts.t;
+  bool complete_failed = false;
+  if (parts.ok && injector_ != nullptr && injector_->s3_request_fails(t)) {
+    ++stats_.s3_errors;
+    complete_failed = true;
+  }
+  stats_.upload_bytes_wire += parts.sent;
+  if (!parts.ok || complete_failed) {
+    ++stats_.interrupted_uploads;
+    fail_done(t, parts.sent);
+    UploadResult res;
+    res.interrupted = true;
+    res.transferred_bytes = parts.sent;
+    res.committed_bytes = offset + parts.sent;
+    res.job = job_id;
+    res.end = t;
+    return res;
+  }
+
+  const std::string s3_key = job->content.hex();
+  s3_.complete_multipart(job->multipart_id, t);
+  t = s3_latency(t);
+  const auto dead = store_.make_content(ctx.session.user, node, job->content,
+                                        size_bytes, s3_key);
+  t = run_rpc(RpcOp::kMakeContent, ctx, t);
+  store_.delete_uploadjob(ctx.session.user, job_id);
+  t = run_rpc(RpcOp::kDeleteUploadJob, ctx, t);
+  if (dead) {
+    s3_.remove(dead->s3_key);
+    store_.purge_content(dead->id);
+  }
+  ++stats_.resumed_uploads;
+  stats_.upload_bytes_logical += size_bytes;
+  TraceRecord done = partial;
+  done.transferred_bytes = parts.sent;
+  emit_storage_done(ctx, ApiOp::kPutContent, now, t, done);
+  publish_change(ctx,
+                 is_update ? VolumeEvent::Kind::kNodeUpdated
+                           : VolumeEvent::Kind::kNodeCreated,
+                 partial.volume, node, t);
+  UploadResult res;
+  res.ok = true;
+  res.transferred_bytes = parts.sent;
+  res.committed_bytes = total;
+  res.end = t;
+  return res;
 }
 
 U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
                                               SimTime now) {
-  auto& ctx = session_state(session);
+  auto* ctxp = find_session(session);
+  if (ctxp == nullptr) return DownloadResult{false, 0, now};
+  auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto target = store_.get_node(ctx.session.user, node);
   TraceRecord partial;
@@ -586,8 +883,24 @@ U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
     return DownloadResult{false, 0, t};
   }
   // Single S3 request; the API process streams it to the client (§A).
+  if (injector_ != nullptr && injector_->s3_request_fails(t)) {
+    ++stats_.s3_errors;
+    const SimTime end = s3_latency(t);
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kGetContent, now, end, failed);
+    return DownloadResult{false, 0, end};
+  }
   t = s3_latency(t);
-  t += from_seconds(static_cast<double>(target->size_bytes) / ctx.down_bw);
+  const SimTime arrive =
+      t + from_seconds(static_cast<double>(target->size_bytes) / ctx.down_bw);
+  if (const FaultEvent* cut = crash_cut(ctx, t, arrive)) {
+    TraceRecord failed = partial;
+    failed.failed = true;
+    emit_storage_done(ctx, ApiOp::kGetContent, now, cut->at, failed);
+    return DownloadResult{false, 0, cut->at};
+  }
+  t = arrive;
   ++stats_.downloads;
   stats_.download_bytes += target->size_bytes;
   TraceRecord done = partial;
@@ -604,10 +917,13 @@ bool U1Backend::share_volume(UserId owner, VolumeId volume, UserId to,
 }
 
 void U1Backend::maintenance(SimTime now) {
-  // Weekly uploadjob GC (appendix A): collect jobs idle for > 1 week.
+  // Weekly uploadjob GC (appendix A): collect jobs idle for > 1 week and
+  // abort their in-flight S3 multiparts so the parts stop costing money.
   if (now - last_gc_ >= kDay) {
     last_gc_ = now;
-    store_.gc_uploadjobs(now - kWeek);
+    for (const UploadJob& job : store_.gc_uploadjobs(now - kWeek)) {
+      if (!job.multipart_id.empty()) s3_.abort_multipart(job.multipart_id);
+    }
   }
   // Occasional process migration for load balancing (§3.4).
   if (now - last_migration_ >= 6 * kHour) {
@@ -633,8 +949,9 @@ void U1Backend::admin_purge_user(UserId user, SimTime now) {
   if (sess_it != user_sessions_.end()) {
     const std::vector<SessionId> open = sess_it->second;
     for (const SessionId sid : open) {
-      const SimTime opened = session_state(sid).session.started_at;
-      disconnect(sid, std::max(now, opened));
+      const SessionState* state = find_session(sid);
+      if (state == nullptr) continue;  // already dropped by a fault
+      disconnect(sid, std::max(now, state->session.started_at));
     }
   }
   // 3. Delete the distributed content (root-volume children).
@@ -647,6 +964,122 @@ void U1Backend::admin_purge_user(UserId user, SimTime now) {
         store_.purge_content(blob.id);
       }
     }
+  }
+}
+
+// --- fault injection ---------------------------------------------------------
+
+bool U1Backend::write_rejected(const SessionState& ctx, SimTime now) {
+  if (injector_ == nullptr) return false;
+  const ShardId s = store_.shard_of(ctx.session.user);
+  if (!injector_->shard_write_rejected(s.value, now)) return false;
+  ++stats_.write_rejects;
+  return true;
+}
+
+const FaultEvent* U1Backend::crash_cut(const SessionState& ctx, SimTime from,
+                                       SimTime until) const {
+  if (injector_ == nullptr) return nullptr;
+  const FaultEvent* best = nullptr;
+  for (const FaultEvent& ev : injector_->schedule()) {
+    if (!ev.begin || ev.at <= from || ev.at > until) continue;
+    bool hits = false;
+    if (ev.kind == FaultKind::kMachineOutage) {
+      hits = ev.machine == ctx.session.api_machine.value;
+    } else if (ev.kind == FaultKind::kProcessCrash) {
+      const auto it = fault_victims_.find(ev.id);
+      hits = it != fault_victims_.end() &&
+             it->second == ctx.session.api_process;
+    }
+    if (hits && (best == nullptr || ev.at < best->at)) best = &ev;
+  }
+  return best;
+}
+
+void U1Backend::set_fault_injector(FaultInjector* injector) {
+  injector_ = injector;
+  fault_victims_.clear();
+  if (injector_ == nullptr) return;
+  for (const FaultEvent& ev : injector_->schedule()) {
+    if (ev.kind != FaultKind::kProcessCrash || !ev.begin) continue;
+    const auto procs = fleet_.live_processes_on(MachineId{ev.machine});
+    if (procs.empty()) continue;
+    fault_victims_.emplace(ev.id, procs[ev.slot % procs.size()]);
+  }
+}
+
+void U1Backend::drop_sessions(
+    SimTime now, const std::function<bool(const SessionState&)>& pred) {
+  std::vector<SessionId> doomed;
+  for (const auto& [sid, state] : sessions_) {
+    if (pred(state)) doomed.push_back(sid);
+  }
+  // Hash-map order is not deterministic across layouts; trace order is.
+  std::sort(doomed.begin(), doomed.end(),
+            [](SessionId a, SessionId b) { return a.value < b.value; });
+  for (const SessionId sid : doomed) {
+    SessionState& state = sessions_.at(sid);
+    state.session.ended_at = now;
+    emit_session_event(state.session.api_machine, state.session.api_process,
+                       state.session.user, sid, SessionEvent::kDropped, now,
+                       now - state.session.started_at);
+    fleet_.end_session(state.session.api_machine, state.session.api_process);
+    auto& list = user_sessions_[state.session.user];
+    list.erase(std::remove(list.begin(), list.end(), sid), list.end());
+    sessions_.erase(sid);
+    ++stats_.sessions_dropped;
+  }
+}
+
+void U1Backend::apply_fault(const FaultEvent& event, SimTime now,
+                            bool emit_record) {
+  switch (event.kind) {
+    case FaultKind::kProcessCrash: {
+      const auto it = fault_victims_.find(event.id);
+      if (it == fault_victims_.end()) break;
+      if (event.begin) {
+        fleet_.kill_process(it->second);
+        const ProcessId victim = it->second;
+        drop_sessions(now, [victim](const SessionState& st) {
+          return st.session.api_process == victim;
+        });
+      } else {
+        fleet_.respawn_process(it->second);
+      }
+      break;
+    }
+    case FaultKind::kMachineOutage: {
+      const MachineId m{event.machine};
+      if (event.begin) {
+        fleet_.kill_machine(m);
+        drop_sessions(now, [m](const SessionState& st) {
+          return st.session.api_machine == m;
+        });
+      } else {
+        fleet_.restore_machine(m);
+      }
+      break;
+    }
+    case FaultKind::kShardFailover:
+    case FaultKind::kS3Brownout:
+    case FaultKind::kMqDrop:
+    case FaultKind::kAuthBrownout:
+      // Window faults act through the injector's inline lookups.
+      break;
+  }
+  if (emit_record) {
+    TraceRecord r;
+    r.t = now;
+    r.type = RecordType::kFault;
+    r.fault = fault_label(event);
+    r.machine = MachineId{event.machine};
+    if (event.kind == FaultKind::kProcessCrash) {
+      const auto it = fault_victims_.find(event.id);
+      if (it != fault_victims_.end()) r.process = it->second;
+    }
+    r.shard = ShardId{event.shard};
+    r.duration = event.duration;
+    sink_->append(r);
   }
 }
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -22,6 +23,7 @@
 #include "auth/auth_service.hpp"
 #include "auth/token_cache.hpp"
 #include "cloudstore/object_store.hpp"
+#include "fault/fault_injector.hpp"
 #include "mq/message_queue.hpp"
 #include "proto/entities.hpp"
 #include "server/fleet.hpp"
@@ -51,6 +53,11 @@ struct BackendConfig {
   bool enable_delta_updates = false; // NOT implemented by the U1 client
   double delta_update_fraction = 0.15;  // wire share when deltas are on
 
+  /// Load shedding: a process at this many open sessions makes the
+  /// balancer answer "try again" instead of accepting (0 = unlimited,
+  /// the historical behavior).
+  std::uint64_t session_cap_per_process = 0;
+
   std::uint64_t seed = 0xc10ed;
 };
 
@@ -67,6 +74,15 @@ struct BackendStats {
   std::uint64_t rpcs = 0;
   std::uint64_t notifications = 0;
 
+  // Degraded-mode accounting (all zero in a fault-free run).
+  std::uint64_t sessions_dropped = 0;     // force-closed by crash/outage
+  std::uint64_t shed_connects = 0;        // balancer said "try again"
+  std::uint64_t interrupted_uploads = 0;  // transfers cut by a fault
+  std::uint64_t resumed_uploads = 0;      // finished via resume_upload
+  std::uint64_t write_rejects = 0;        // shard failover write rejections
+  std::uint64_t s3_errors = 0;            // brownout request failures
+  std::uint64_t notifications_dropped = 0;
+
   /// Aggregation across per-group backends (shard-parallel engine).
   BackendStats& operator+=(const BackendStats& other) noexcept {
     sessions_opened += other.sessions_opened;
@@ -80,6 +96,13 @@ struct BackendStats {
     download_bytes += other.download_bytes;
     rpcs += other.rpcs;
     notifications += other.notifications;
+    sessions_dropped += other.sessions_dropped;
+    shed_connects += other.shed_connects;
+    interrupted_uploads += other.interrupted_uploads;
+    resumed_uploads += other.resumed_uploads;
+    write_rejects += other.write_rejects;
+    s3_errors += other.s3_errors;
+    notifications_dropped += other.notifications_dropped;
     return *this;
   }
 };
@@ -107,6 +130,9 @@ class U1Backend {
     bool ok = false;
     SessionId session;
     SimTime end = 0;
+    /// Load-shed: no capacity right now — retry with backoff (not an
+    /// auth failure).
+    bool try_again = false;
   };
   ConnectResult connect(UserId user, SimTime now);
   SimTime disconnect(SessionId session, SimTime now);
@@ -153,7 +179,13 @@ class U1Backend {
   struct UploadResult {
     bool ok = false;
     bool deduplicated = false;
+    /// A fault cut the transfer mid-flight. When `job` is set, the
+    /// committed parts survive in the uploadjob row and the client can
+    /// resume_upload(); a nil job means restart from scratch.
+    bool interrupted = false;
     std::uint64_t transferred_bytes = 0;
+    std::uint64_t committed_bytes = 0;  // multipart bytes safe server-side
+    UploadJobId job;
     SimTime end = 0;
   };
   /// Uploads `size_bytes` of content with the given SHA-1 to a file node.
@@ -161,6 +193,16 @@ class U1Backend {
   /// (the paper's 10.05%-of-operations / 18.47%-of-traffic updates).
   UploadResult upload(SessionId session, NodeId node, const ContentId& content,
                       std::uint64_t size_bytes, bool is_update, SimTime now);
+
+  /// Re-enters the Fig. 17 uploadjob FSM at the last committed multipart
+  /// part (GetUploadJob → TouchUploadJob → remaining AddPart calls →
+  /// MakeContent). ok=false with interrupted=false means the job is gone
+  /// (GC'd, mismatched or its S3 multipart vanished) and the client must
+  /// re-upload from byte zero.
+  UploadResult resume_upload(SessionId session, NodeId node,
+                             const ContentId& content,
+                             std::uint64_t size_bytes, bool is_update,
+                             UploadJobId job, SimTime now);
 
   struct DownloadResult {
     bool ok = false;
@@ -189,6 +231,21 @@ class U1Backend {
     store_.set_dedup_proxy(proxy);
   }
 
+  // --- fault injection -------------------------------------------------------
+  /// Arms the backend with a fault injector (nullptr disarms). Crash
+  /// victims for the injector's whole schedule are resolved against the
+  /// *initial* process layout here, so every engine and thread count
+  /// picks identical victims.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Applies one scheduled fault window edge: crash/respawn a process,
+  /// take out/restore a machine (dropping the pinned sessions); window
+  /// kinds (brownouts, failover, MQ drops) only need the record — their
+  /// effect is applied inline by the injector's window lookups.
+  /// emit_record=false lets the shard-parallel engine apply state in
+  /// every group but trace the incident once.
+  void apply_fault(const FaultEvent& event, SimTime now, bool emit_record);
+
   // --- introspection -----------------------------------------------------------
   const BackendStats& stats() const noexcept { return stats_; }
   const MetadataStore& store() const noexcept { return store_; }
@@ -207,7 +264,9 @@ class U1Backend {
     double down_bw = 0;  // bytes/s
   };
 
-  SessionState& session_state(SessionId id);
+  /// nullptr for unknown or already-closed/dropped sessions; operations
+  /// on them fail with ok=false instead of throwing.
+  SessionState* find_session(SessionId id) noexcept;
   /// Runs one DAL RPC: applies shard queueing, emits the rpc record and
   /// returns the completion time.
   SimTime run_rpc(RpcOp op, const SessionState& ctx, SimTime at);
@@ -227,6 +286,28 @@ class U1Backend {
   /// Content id actually registered: uniquified when dedup is disabled so
   /// every upload stores its own blob (ablation support).
   ContentId effective_content(const ContentId& content, NodeId node);
+
+  /// True (and counted) when a shard-failover window rejects this
+  /// session's write at `now`.
+  bool write_rejected(const SessionState& ctx, SimTime now);
+  /// Earliest scheduled crash/outage in (from, until] that would kill
+  /// this session's API process; nullptr if the transfer survives.
+  const FaultEvent* crash_cut(const SessionState& ctx, SimTime from,
+                              SimTime until) const;
+  /// Force-closes every live session matching `pred`, ascending id order.
+  void drop_sessions(SimTime now,
+                     const std::function<bool(const SessionState&)>& pred);
+  struct PartsOutcome {
+    bool ok = false;
+    bool interrupted = false;
+    std::uint64_t sent = 0;  // wire bytes committed this attempt
+    SimTime t = 0;
+  };
+  /// Pushes the multipart parts in [offset, total) through S3 and the
+  /// uploadjob row, stopping at the first injected cut or S3 error.
+  PartsOutcome push_parts(SessionState& ctx, UploadJobId job,
+                          const std::string& mpu, std::uint64_t offset,
+                          std::uint64_t total, SimTime t);
 
   BackendConfig config_;
   TraceSink* sink_;
@@ -250,6 +331,10 @@ class U1Backend {
   SimTime last_gc_ = 0;
   SimTime last_migration_ = 0;
   BackendStats stats_;
+
+  FaultInjector* injector_ = nullptr;  // not owned
+  /// schedule event id → crash victim, resolved at set_fault_injector.
+  std::unordered_map<std::size_t, ProcessId> fault_victims_;
 };
 
 }  // namespace u1

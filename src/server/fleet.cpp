@@ -12,8 +12,11 @@ ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed)
     throw std::invalid_argument("ServerFleet: zero machines or processes");
   machine_processes_.resize(machines_);
   open_sessions_.assign(machines_, 0);
+  dead_on_machine_.assign(machines_, 0);
   const std::size_t total = machines_ * config.processes_per_machine;
   process_machine_.reserve(total);
+  proc_sessions_.assign(total, 0);
+  dead_.assign(total, 0);
   for (std::size_t p = 0; p < total; ++p) {
     const MachineId m{p % machines_ + 1};
     process_machine_.push_back(m);
@@ -21,40 +24,137 @@ ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed)
   }
 }
 
-MachineId ServerFleet::machine_of(ProcessId process) const {
+void ServerFleet::check_machine(MachineId machine, const char* what) const {
+  if (machine.value == 0 || machine.value > machines_)
+    throw std::out_of_range(what);
+}
+
+void ServerFleet::check_process(ProcessId process, const char* what) const {
   if (process.value == 0 || process.value > process_machine_.size())
-    throw std::out_of_range("ServerFleet::machine_of: bad process");
+    throw std::out_of_range(what);
+}
+
+MachineId ServerFleet::machine_of(ProcessId process) const {
+  check_process(process, "ServerFleet::machine_of: bad process");
   return process_machine_[process.value - 1];
 }
 
-ServerFleet::Placement ServerFleet::place_session() {
+std::optional<ServerFleet::Placement> ServerFleet::place_session(
+    std::uint64_t per_process_cap) {
   // Least-loaded machine wins; ties broken by lowest index (HAProxy
-  // leastconn behavior).
-  std::size_t best = 0;
-  for (std::size_t m = 1; m < machines_; ++m) {
-    if (open_sessions_[m] < open_sessions_[best]) best = m;
+  // leastconn behavior). Machines with nothing alive are skipped; if the
+  // chosen machine has no process with capacity, fall through to the
+  // next-least-loaded one.
+  std::vector<char> tried(machines_, 0);
+  for (std::size_t round = 0; round < machines_; ++round) {
+    std::size_t best = machines_;
+    for (std::size_t m = 0; m < machines_; ++m) {
+      if (tried[m]) continue;
+      if (machine_processes_[m].size() == dead_on_machine_[m]) continue;
+      if (best == machines_ || open_sessions_[m] < open_sessions_[best])
+        best = m;
+    }
+    if (best == machines_) return std::nullopt;
+    tried[best] = 1;
+    const auto& procs = machine_processes_[best];
+    // Healthy fast path: identical draw sequence to the fault-free fleet.
+    if (dead_on_machine_[best] == 0 && per_process_cap == 0) {
+      const ProcessId proc = procs[rng_.below(procs.size())];
+      ++open_sessions_[best];
+      ++proc_sessions_[proc.value - 1];
+      return Placement{MachineId{best + 1}, proc};
+    }
+    std::vector<ProcessId> candidates;
+    candidates.reserve(procs.size());
+    for (const ProcessId p : procs) {
+      if (dead_[p.value - 1]) continue;
+      if (per_process_cap != 0 && proc_sessions_[p.value - 1] >= per_process_cap)
+        continue;
+      candidates.push_back(p);
+    }
+    if (candidates.empty()) continue;
+    const ProcessId proc = candidates[rng_.below(candidates.size())];
+    ++open_sessions_[best];
+    ++proc_sessions_[proc.value - 1];
+    return Placement{MachineId{best + 1}, proc};
   }
-  const auto& procs = machine_processes_[best];
-  if (procs.empty())
-    throw std::logic_error("ServerFleet: machine without processes");
-  const ProcessId proc = procs[rng_.below(procs.size())];
-  ++open_sessions_[best];
-  return Placement{MachineId{best + 1}, proc};
+  return std::nullopt;
 }
 
-void ServerFleet::end_session(MachineId machine) {
-  if (machine.value == 0 || machine.value > machines_)
-    throw std::out_of_range("ServerFleet::end_session: bad machine");
+ServerFleet::Placement ServerFleet::place_session() {
+  auto placed = place_session(0);
+  if (!placed)
+    throw std::logic_error("ServerFleet::place_session: whole fleet down");
+  return *placed;
+}
+
+bool ServerFleet::end_session(MachineId machine, ProcessId process) {
+  check_machine(machine, "ServerFleet::end_session: bad machine");
+  check_process(process, "ServerFleet::end_session: bad process");
   auto& count = open_sessions_[machine.value - 1];
-  if (count == 0)
-    throw std::logic_error("ServerFleet::end_session: no open sessions");
+  auto& pcount = proc_sessions_[process.value - 1];
+  if (pcount > 0) --pcount;
+  if (count == 0) return false;
   --count;
+  return true;
+}
+
+void ServerFleet::kill_process(ProcessId process) {
+  check_process(process, "ServerFleet::kill_process: bad process");
+  auto& dead = dead_[process.value - 1];
+  if (dead) return;
+  dead = 1;
+  ++dead_on_machine_[process_machine_[process.value - 1].value - 1];
+}
+
+void ServerFleet::respawn_process(ProcessId process) {
+  check_process(process, "ServerFleet::respawn_process: bad process");
+  auto& dead = dead_[process.value - 1];
+  if (!dead) return;
+  dead = 0;
+  --dead_on_machine_[process_machine_[process.value - 1].value - 1];
+}
+
+void ServerFleet::kill_machine(MachineId machine) {
+  check_machine(machine, "ServerFleet::kill_machine: bad machine");
+  for (const ProcessId p : machine_processes_[machine.value - 1])
+    kill_process(p);
+}
+
+void ServerFleet::restore_machine(MachineId machine) {
+  check_machine(machine, "ServerFleet::restore_machine: bad machine");
+  for (const ProcessId p : machine_processes_[machine.value - 1])
+    respawn_process(p);
+}
+
+bool ServerFleet::process_alive(ProcessId process) const {
+  check_process(process, "ServerFleet::process_alive: bad process");
+  return !dead_[process.value - 1];
+}
+
+bool ServerFleet::machine_alive(MachineId machine) const {
+  check_machine(machine, "ServerFleet::machine_alive: bad machine");
+  return machine_processes_[machine.value - 1].size() >
+         dead_on_machine_[machine.value - 1];
+}
+
+std::vector<ProcessId> ServerFleet::live_processes_on(
+    MachineId machine) const {
+  check_machine(machine, "ServerFleet::live_processes_on: bad machine");
+  std::vector<ProcessId> out;
+  for (const ProcessId p : machine_processes_[machine.value - 1])
+    if (!dead_[p.value - 1]) out.push_back(p);
+  return out;
 }
 
 std::uint64_t ServerFleet::open_sessions(MachineId machine) const {
-  if (machine.value == 0 || machine.value > machines_)
-    throw std::out_of_range("ServerFleet::open_sessions: bad machine");
+  check_machine(machine, "ServerFleet::open_sessions: bad machine");
   return open_sessions_[machine.value - 1];
+}
+
+std::uint64_t ServerFleet::process_sessions(ProcessId process) const {
+  check_process(process, "ServerFleet::process_sessions: bad process");
+  return proc_sessions_[process.value - 1];
 }
 
 std::uint64_t ServerFleet::total_open_sessions() const noexcept {
@@ -68,6 +168,9 @@ std::size_t ServerFleet::migrate_processes(double fraction) {
   std::size_t moved = 0;
   for (std::size_t p = 0; p < process_machine_.size(); ++p) {
     if (!rng_.chance(fraction)) continue;
+    // Dead processes stay where they died (checked after the chance draw
+    // so the migration RNG stream matches the fault-free fleet).
+    if (dead_[p]) continue;
     const MachineId from = process_machine_[p];
     const MachineId to{rng_.below(machines_) + 1};
     if (to == from) continue;

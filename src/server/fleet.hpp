@@ -3,9 +3,15 @@
 // numerous than machines and migrate between them for load balancing; a
 // session starts on the least-loaded machine and stays pinned to its
 // process until it ends (§4).
+//
+// Fault support: processes (or whole machines) can be killed and later
+// respawned; placement skips dead processes and machines with nothing
+// alive, and an optional per-process session cap models load shedding
+// (the balancer returns "try again" instead of overloading a process).
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "proto/ids.hpp"
@@ -36,26 +42,59 @@ class ServerFleet {
     MachineId machine;
     ProcessId process;
   };
+  /// nullopt when no live process has capacity (every machine dead, or —
+  /// with per_process_cap > 0 — every live process is at the cap): the
+  /// balancer's "try again later". With a healthy fleet and cap 0 this
+  /// never fails and draws exactly one random number, preserving the
+  /// faults-off placement stream.
+  std::optional<Placement> place_session(std::uint64_t per_process_cap);
+  /// Healthy-fleet convenience (cap 0); throws std::logic_error if the
+  /// whole fleet is down.
   Placement place_session();
 
   /// Releases a session slot previously granted by place_session().
-  void end_session(MachineId machine);
+  /// Idempotent under fault races: returns false (instead of throwing)
+  /// when the slot was already released — e.g. a disconnect arriving
+  /// after a crash already dropped the session. Still throws
+  /// std::out_of_range for ids that never existed (programmer error).
+  bool end_session(MachineId machine, ProcessId process);
+
+  // --- fault hooks ---------------------------------------------------------
+  /// Marks a process dead; its sessions must be dropped by the caller
+  /// (the back-end owns session state). No-op if already dead.
+  void kill_process(ProcessId process);
+  void respawn_process(ProcessId process);
+  /// Kills / restores every process currently on a machine.
+  void kill_machine(MachineId machine);
+  void restore_machine(MachineId machine);
+  bool process_alive(ProcessId process) const;
+  /// A machine is placeable while it has >= 1 live process.
+  bool machine_alive(MachineId machine) const;
+  /// Live processes currently hosted on `machine`, in slot order.
+  std::vector<ProcessId> live_processes_on(MachineId machine) const;
 
   std::uint64_t open_sessions(MachineId machine) const;
+  std::uint64_t process_sessions(ProcessId process) const;
   std::uint64_t total_open_sessions() const noexcept;
 
   /// Migrates roughly `fraction` of processes to new machines — the
   /// paper's dynamic process<->machine mapping ("they can migrate between
   /// servers to balance load"). Sessions already pinned keep their
   /// (machine, process) identity; only future placements see the change.
-  /// Returns how many processes moved.
+  /// Dead processes do not move. Returns how many processes moved.
   std::size_t migrate_processes(double fraction);
 
  private:
+  void check_machine(MachineId machine, const char* what) const;
+  void check_process(ProcessId process, const char* what) const;
+
   std::size_t machines_;
   std::vector<MachineId> process_machine_;   // index = process id - 1
   std::vector<std::vector<ProcessId>> machine_processes_;
   std::vector<std::uint64_t> open_sessions_;
+  std::vector<std::uint64_t> proc_sessions_;  // index = process id - 1
+  std::vector<char> dead_;                    // index = process id - 1
+  std::vector<std::size_t> dead_on_machine_;  // dead procs per machine
   Rng rng_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/client_agent.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace u1 {
 namespace {
@@ -32,6 +33,16 @@ SimTime ClientAgent::schedule_reconnect(SimTime now) {
 }
 
 SimTime ClientAgent::on_wake(U1Backend& backend, SimTime now) {
+  if (connected_ && !backend.session_open(session_)) {
+    // The server dropped us (process crash / machine outage): reconnect
+    // after a short capped-exponential pause with seeded jitter.
+    connected_ = false;
+    ++reconnect_failures_;
+    const double backoff_s =
+        std::min(600.0, 5.0 * std::pow(2.0, reconnect_failures_ - 1) *
+                            rng_.uniform(0.5, 1.5));
+    return now + from_seconds(backoff_s);
+  }
   if (!connected_) return connect_and_handshake(backend, now);
 
   // Connected: either keep working, idle out, or disconnect.
@@ -39,6 +50,13 @@ SimTime ClientAgent::on_wake(U1Backend& backend, SimTime now) {
     backend.disconnect(session_, now);
     connected_ = false;
     return schedule_reconnect(now);
+  }
+  if (pending_.active) {
+    // Finish the interrupted upload before anything else; retries do not
+    // consume the session's op budget (they are the same logical op).
+    const SimTime done = retry_pending_upload(backend, now);
+    const SimTime next = done + ctx_.bursts->next_gap(rng_);
+    return std::min(next, std::max(done, session_ends_));
   }
   if (ops_left_ == 0) {
     // Budget exhausted: idle (connection stays open) until session end.
@@ -55,6 +73,15 @@ SimTime ClientAgent::on_wake(U1Backend& backend, SimTime now) {
 SimTime ClientAgent::connect_and_handshake(U1Backend& backend, SimTime now) {
   const auto conn = backend.connect(user_, now);
   if (!conn.ok) {
+    if (conn.try_again) {
+      // Load-shed by the balancer: come back sooner than after an auth
+      // failure, still with capped-exponential jittered backoff.
+      ++reconnect_failures_;
+      const double backoff_s =
+          std::min(300.0, 3.0 * std::pow(2.0, reconnect_failures_ - 1) *
+                              rng_.uniform(0.5, 1.5));
+      return conn.end + from_seconds(backoff_s);
+    }
     ++consecutive_auth_failures_;
     // Exponential backoff, capped at ~4h; transient auth failures are
     // retried quickly by the client daemon.
@@ -64,6 +91,7 @@ SimTime ClientAgent::connect_and_handshake(U1Backend& backend, SimTime now) {
     return conn.end + from_seconds(backoff_s);
   }
   consecutive_auth_failures_ = 0;
+  reconnect_failures_ = 0;
   connected_ = true;
   session_ = conn.session;
 
@@ -112,11 +140,70 @@ SimTime ClientAgent::connect_and_handshake(U1Backend& backend, SimTime now) {
   // operations finish — the close record must not precede them.
   session_ends_ = std::max(now + length, t);
 
-  if (ops_left_ > 0) {
+  if (ops_left_ > 0 || pending_.active) {
     const SimTime first = t + ctx_.bursts->next_gap(rng_) / 4;
     return std::min(first, session_ends_);
   }
   return session_ends_;
+}
+
+SimTime ClientAgent::retry_pending_upload(U1Backend& backend, SimTime now) {
+  ++pending_.attempts;
+  U1Backend::UploadResult up;
+  if (!pending_.job.is_nil()) {
+    // Re-enter the uploadjob FSM at the last committed part.
+    up = backend.resume_upload(session_, pending_.node, pending_.content,
+                               pending_.size, pending_.is_update,
+                               pending_.job, now);
+    if (!up.ok && !up.interrupted) {
+      // The job is gone (GC'd / invalid): from-scratch re-upload.
+      pending_.job = UploadJobId{};
+      up = backend.upload(session_, pending_.node, pending_.content,
+                          pending_.size, pending_.is_update, up.end);
+    }
+  } else {
+    up = backend.upload(session_, pending_.node, pending_.content,
+                        pending_.size, pending_.is_update, now);
+  }
+  if (up.ok) {
+    apply_upload_success(pending_.node, pending_.content, pending_.size);
+    pending_ = PendingUpload{};
+    return up.end;
+  }
+  if (up.interrupted && pending_.attempts < kMaxUploadAttempts) {
+    pending_.job = up.job;  // refreshed, or nil for single-shot retries
+    return up.end;
+  }
+  // Permanent failure (node gone) or attempts exhausted: give up; a
+  // leftover uploadjob parks until the weekly GC reclaims it.
+  pending_ = PendingUpload{};
+  return up.end;
+}
+
+void ClientAgent::note_interrupted_upload(const U1Backend::UploadResult& up,
+                                          NodeId node,
+                                          const ContentId& content,
+                                          std::uint64_t size, bool is_update) {
+  if (!up.interrupted || pending_.active) return;
+  pending_.active = true;
+  pending_.node = node;
+  pending_.content = content;
+  pending_.size = size;
+  pending_.is_update = is_update;
+  pending_.job = up.job;
+  pending_.attempts = 1;
+}
+
+void ClientAgent::apply_upload_success(NodeId node, const ContentId& content,
+                                       std::uint64_t size) {
+  for (auto it = files_.rbegin(); it != files_.rend(); ++it) {
+    if (it->node == node) {
+      it->has_content = true;
+      it->content = content;
+      it->size = size;
+      return;
+    }
+  }
 }
 
 SimTime ClientAgent::perform_action(U1Backend& backend, SimTime now) {
@@ -238,6 +325,9 @@ SimTime ClientAgent::act_upload_new(U1Backend& backend, SimTime now) {
           break;
         }
       }
+    } else {
+      note_interrupted_upload(up, node, content.id, content.size_bytes,
+                              false);
     }
   }
   return t;
@@ -284,6 +374,8 @@ SimTime ClientAgent::act_upload_update(U1Backend& backend, SimTime now) {
   if (rng_.chance(0.5) && !(rec.content == ContentId{})) {
     const auto up = backend.upload(session_, rec.node, rec.content, rec.size,
                                    /*is_update=*/false, now);
+    if (!up.ok)
+      note_interrupted_upload(up, rec.node, rec.content, rec.size, false);
     return up.end;
   }
   FileSpec spec;
@@ -297,6 +389,8 @@ SimTime ClientAgent::act_upload_update(U1Backend& backend, SimTime now) {
   if (up.ok) {
     rec.size = new_size;
     rec.content = content.id;
+  } else {
+    note_interrupted_upload(up, rec.node, content.id, new_size, true);
   }
   return up.end;
 }

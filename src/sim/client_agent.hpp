@@ -75,6 +75,24 @@ class ClientAgent {
   SimTime perform_action(U1Backend& backend, SimTime now);
   SimTime schedule_reconnect(SimTime now);
 
+  /// An upload a fault cut mid-transfer; retried (resume or restart)
+  /// before any new work on the next wakes, up to kMaxUploadAttempts.
+  struct PendingUpload {
+    bool active = false;
+    NodeId node;
+    ContentId content;
+    std::uint64_t size = 0;
+    bool is_update = false;
+    UploadJobId job;  // nil = no committed parts, restart from scratch
+    int attempts = 0;
+  };
+  SimTime retry_pending_upload(U1Backend& backend, SimTime now);
+  void note_interrupted_upload(const U1Backend::UploadResult& up, NodeId node,
+                               const ContentId& content, std::uint64_t size,
+                               bool is_update);
+  void apply_upload_success(NodeId node, const ContentId& content,
+                            std::uint64_t size);
+
   // Action realizations; each returns the completion time.
   SimTime act_upload_new(U1Backend& backend, SimTime now);
   SimTime act_upload_update(U1Backend& backend, SimTime now);
@@ -113,6 +131,10 @@ class ClientAgent {
   std::uint64_t ops_left_ = 0;
   ClientAction prev_action_ = ClientAction::kGetDelta;
   int consecutive_auth_failures_ = 0;
+  /// Dropped-session / load-shed streak, reset on a successful connect.
+  int reconnect_failures_ = 0;
+  PendingUpload pending_;
+  static constexpr int kMaxUploadAttempts = 8;
   /// Extra ops spent by the last action beyond one (batch uploads).
   std::uint64_t last_batch_extra_ = 0;
   /// Recently downloaded files: deletes and edits often follow a read on

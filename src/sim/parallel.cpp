@@ -38,6 +38,12 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
                  ? threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
   if (config.auto_countermeasures) guard_ = std::make_unique<AnomalyGuard>();
+  if (!config.faults.empty()) {
+    fault_schedule_ = build_fault_schedule(
+        config.faults, static_cast<SimTime>(config.days) * kDay,
+        config.backend.fleet.machines, config.backend.shards,
+        effective_fault_seed(config));
+  }
 }
 
 ParallelSimulation::~ParallelSimulation() { stop_workers(); }
@@ -77,6 +83,15 @@ void ParallelSimulation::build_groups() {
     grp->pool_view = std::make_unique<ContentPoolView>(
         *content_pool_, group_mix(config_.seed ^ 0xb10b, g));
     grp->rng = rng_.fork();
+    if (!fault_schedule_.empty()) {
+      // Same schedule everywhere; the injector's probabilistic draws are
+      // group-local, so they depend only on (config, g) — never on thread
+      // interleaving. Matches the sequential engine's `fseed ^ 0x1f4a7`.
+      grp->injector = std::make_unique<FaultInjector>(
+          fault_schedule_,
+          group_mix(effective_fault_seed(config_) ^ 0x1f4a7, g));
+      grp->backend->set_fault_injector(grp->injector.get());
+    }
     groups_.push_back(std::move(grp));
   }
 }
@@ -177,6 +192,12 @@ void ParallelSimulation::schedule_population_start() {
   }
   for (auto& grp : groups_)
     grp->queue.push(kHour, Ev{Ev::Kind::kMaintenance, 0});
+  for (std::size_t i = 0; i < fault_schedule_.size(); ++i) {
+    // Every group gets every edge: fleet/window state must flip in every
+    // back-end replica. Only group 0 emits the kFault trace record.
+    for (auto& grp : groups_)
+      grp->queue.push(fault_schedule_[i].at, Ev{Ev::Kind::kFault, i});
+  }
   if (config_.enable_ddos) {
     const double population_scale =
         static_cast<double>(config_.users) / 10000.0;
@@ -304,6 +325,10 @@ void ParallelSimulation::run_group_epoch(std::size_t group, SimTime limit) {
         break;
       case Ev::Kind::kDdosResponse:
         respond_to_attack(event.payload.index, now);
+        break;
+      case Ev::Kind::kFault:
+        grp.backend->apply_fault(fault_schedule_[event.payload.index], now,
+                                 /*emit_record=*/group == 0);
         break;
     }
   }
@@ -443,6 +468,8 @@ SimulationReport ParallelSimulation::run() {
 
   report_.users = config_.users;
   report_.horizon = horizon;
+  for (const auto& ev : fault_schedule_)
+    if (ev.at < horizon) ++report_.fault_events;
   for (const auto& grp : groups_) {
     report_.agent_wakeups += grp->agent_wakeups;
     report_.ddos_attacks += grp->ddos_attacks;

@@ -108,6 +108,7 @@ class ParallelSimulation {
       kMaintenance,  // hourly housekeeping on this group's back-end
       kDdosStart,    // index: global attack
       kDdosResponse, // index: global attack (manual response path)
+      kFault,        // index: into fault_schedule_ (delivered to EVERY group)
     };
     Kind kind;
     std::size_t index = 0;
@@ -116,6 +117,9 @@ class ParallelSimulation {
   struct Group {
     std::unique_ptr<U1Backend> backend;
     std::unique_ptr<ContentPoolView> pool_view;
+    /// Per-group fault stream, forked from the schedule seed so the
+    /// in-window probabilistic draws are group-local (thread-invariant).
+    std::unique_ptr<FaultInjector> injector;
     std::vector<std::unique_ptr<ClientAgent>> agents;
     std::vector<Bot> bots;
     EventQueue<Ev> queue;
@@ -167,6 +171,10 @@ class ParallelSimulation {
   TransitionModel transition_model_;
   DiurnalModel diurnal_;
   BurstProcess bursts_;
+
+  /// One schedule, shared by all groups; every group applies every event
+  /// to its own back-end (group 0 alone emits the kFault trace records).
+  FaultSchedule fault_schedule_;
 
   std::unique_ptr<SharedDedup> shared_dedup_;
   std::vector<std::unique_ptr<Group>> groups_;

@@ -33,6 +33,16 @@ Simulation::Simulation(const SimulationConfig& config, TraceSink& sink)
   BackendConfig backend_cfg = config.backend;
   backend_cfg.seed = config.seed ^ 0xbac9;
   backend_ = std::make_unique<U1Backend>(backend_cfg, fan_);
+
+  if (!config.faults.empty()) {
+    const std::uint64_t fseed = effective_fault_seed(config);
+    fault_schedule_ = build_fault_schedule(
+        config.faults, static_cast<SimTime>(config.days) * kDay,
+        backend_cfg.fleet.machines, backend_cfg.shards, fseed);
+    injector_ = std::make_unique<FaultInjector>(fault_schedule_,
+                                                fseed ^ 0x1f4a7);
+    backend_->set_fault_injector(injector_.get());
+  }
 }
 
 void Simulation::bootstrap_phase() {
@@ -106,6 +116,10 @@ void Simulation::schedule_population_start() {
     queue_.push(first, Ev{Ev::Kind::kAgent, i});
   }
   queue_.push(kHour, Ev{Ev::Kind::kMaintenance, 0});
+  for (std::size_t i = 0; i < fault_schedule_.size(); ++i) {
+    // End events past the horizon never fire; the run is over anyway.
+    queue_.push(fault_schedule_[i].at, Ev{Ev::Kind::kFault, i});
+  }
   if (config_.enable_ddos) {
     // Bot fleets scale with the simulated population so the relative
     // spike magnitudes stay comparable at any simulation size.
@@ -241,6 +255,11 @@ SimulationReport Simulation::run() {
         break;
       case Ev::Kind::kDdosResponse:
         respond_to_attack(event.payload.index, now);
+        break;
+      case Ev::Kind::kFault:
+        backend_->apply_fault(fault_schedule_[event.payload.index], now,
+                              /*emit_record=*/true);
+        ++report_.fault_events;
         break;
     }
     if (pending_purge_.has_value()) {

@@ -11,6 +11,8 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "server/backend.hpp"
 #include "sim/client_agent.hpp"
 #include "sim/event_queue.hpp"
@@ -38,8 +40,18 @@ struct SimulationConfig {
   /// §9 extension: replace the manual operator response with the
   /// AnomalyGuard automatic countermeasure (detect + purge in-line).
   bool auto_countermeasures = false;
+  /// Fault injection: empty plan = faults off (and the fault subsystem
+  /// consumes zero randomness — traces are byte-identical to pre-fault
+  /// builds). fault_seed 0 derives the stream from `seed`.
+  FaultPlan faults;
+  std::uint64_t fault_seed = 0;
   std::uint64_t seed = 20140111;
 };
+
+/// The RNG stream the fault schedule/injectors derive from.
+inline std::uint64_t effective_fault_seed(const SimulationConfig& c) noexcept {
+  return c.fault_seed != 0 ? c.fault_seed : (c.seed ^ 0xfa5e17);
+}
 
 struct SimulationReport {
   BackendStats backend;
@@ -48,6 +60,8 @@ struct SimulationReport {
   std::uint64_t agent_wakeups = 0;
   std::uint64_t bootstrap_files = 0;
   std::uint64_t ddos_attacks = 0;
+  /// Scheduled fault window edges (begins + ends) inside the horizon.
+  std::uint64_t fault_events = 0;
   /// Automatic countermeasure bookkeeping (auto_countermeasures only).
   std::uint64_t auto_purges = 0;
   SimTime first_auto_response_delay = 0;
@@ -91,6 +105,7 @@ class Simulation {
       kMaintenance,
       kDdosStart,
       kDdosResponse,
+      kFault,  // index into fault_schedule_
     };
     Kind kind;
     std::size_t index = 0;
@@ -110,6 +125,9 @@ class Simulation {
   TransitionModel transition_model_;
   DiurnalModel diurnal_;
   BurstProcess bursts_;
+
+  FaultSchedule fault_schedule_;
+  std::unique_ptr<FaultInjector> injector_;
 
   std::unique_ptr<U1Backend> backend_;
   std::vector<std::unique_ptr<ClientAgent>> agents_;

@@ -270,14 +270,15 @@ void MetadataStore::delete_uploadjob(UserId user, UploadJobId id) {
   s.delete_uploadjob(id);
 }
 
-std::size_t MetadataStore::gc_uploadjobs(SimTime cutoff) {
+std::vector<UploadJob> MetadataStore::gc_uploadjobs(SimTime cutoff) {
   reset_touched();
-  std::size_t collected = 0;
+  std::vector<UploadJob> collected;
   for (auto& shard : shards_) {
     touch(shard->id());
     for (const UploadJobId& jid : shard->stale_uploadjobs(cutoff)) {
+      if (const UploadJob* job = shard->find_uploadjob(jid))
+        collected.push_back(*job);
       shard->delete_uploadjob(jid);
-      ++collected;
     }
   }
   return collected;

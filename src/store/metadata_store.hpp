@@ -102,8 +102,9 @@ class MetadataStore {
   void touch_uploadjob(UserId user, UploadJobId id, SimTime now);
   void delete_uploadjob(UserId user, UploadJobId id);
   /// Weekly GC sweep (appendix A): deletes jobs idle since `cutoff`
-  /// across all shards; returns how many were collected.
-  std::size_t gc_uploadjobs(SimTime cutoff);
+  /// across all shards; returns the collected jobs so the caller can
+  /// abort their in-flight S3 multipart uploads.
+  std::vector<UploadJob> gc_uploadjobs(SimTime cutoff);
 
   // --- sharing ---------------------------------------------------------------
   /// Grants `to` access to an owner's volume (cross-shard when the two

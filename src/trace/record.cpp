@@ -18,7 +18,7 @@ const std::vector<std::string> kCsvHeader = {
     "volume",
     "size",     "wire",    "hash",    "ext",      "update",
     "dir",      "dedup",   "failed",  "dur_us",   "rpc",
-    "shard",    "svc_us",
+    "shard",    "svc_us",  "fault",
 };
 
 std::string u64s(std::uint64_t v) { return std::to_string(v); }
@@ -39,6 +39,7 @@ std::string_view to_string(RecordType t) noexcept {
     case RecordType::kStorage: return "storage";
     case RecordType::kStorageDone: return "storage_done";
     case RecordType::kRpc: return "rpc";
+    case RecordType::kFault: return "fault";
   }
   return "unknown";
 }
@@ -49,6 +50,7 @@ std::optional<RecordType> record_type_from_string(
   if (s == "storage") return RecordType::kStorage;
   if (s == "storage_done") return RecordType::kStorageDone;
   if (s == "rpc") return RecordType::kRpc;
+  if (s == "fault") return RecordType::kFault;
   return std::nullopt;
 }
 
@@ -60,6 +62,8 @@ std::string_view to_string(SessionEvent e) noexcept {
     case SessionEvent::kAuthFail: return "auth_fail";
     case SessionEvent::kOpen: return "open";
     case SessionEvent::kClose: return "close";
+    case SessionEvent::kDropped: return "dropped";
+    case SessionEvent::kTryAgain: return "try_again";
   }
   return "";
 }
@@ -72,6 +76,8 @@ std::optional<SessionEvent> session_event_from_string(
   if (s == "auth_fail") return SessionEvent::kAuthFail;
   if (s == "open") return SessionEvent::kOpen;
   if (s == "close") return SessionEvent::kClose;
+  if (s == "dropped") return SessionEvent::kDropped;
+  if (s == "try_again") return SessionEvent::kTryAgain;
   return std::nullopt;
 }
 
@@ -132,6 +138,7 @@ std::vector<std::string> TraceRecord::to_csv() const {
   f.push_back(service_time > 0
                   ? u64s(static_cast<std::uint64_t>(service_time))
                   : std::string{});
+  f.push_back(fault);
   return f;
 }
 
@@ -218,6 +225,7 @@ std::optional<TraceRecord> TraceRecord::from_csv(
     if (!v) return std::nullopt;
     r.service_time = *v;
   }
+  r.fault = f[23];
   return r;
 }
 

@@ -26,6 +26,7 @@ enum class RecordType : std::uint8_t {
   kStorage,
   kStorageDone,
   kRpc,
+  kFault,  // fault-injection window begin/end (operator's incident log)
 };
 
 std::string_view to_string(RecordType t) noexcept;
@@ -36,8 +37,10 @@ enum class SessionEvent : std::uint8_t {
   kAuthRequest,  // API server asked the auth service to verify/issue
   kAuthOk,
   kAuthFail,
-  kOpen,   // session established
-  kClose,  // session ended (client disconnect or server process down)
+  kOpen,     // session established
+  kClose,    // session ended by a client disconnect
+  kDropped,  // session force-closed (process crash / machine outage)
+  kTryAgain, // load-shed: balancer had no process with capacity
 };
 
 std::string_view to_string(SessionEvent e) noexcept;
@@ -76,6 +79,10 @@ struct TraceRecord {
   RpcOp rpc_op = RpcOp::kListVolumes;
   ShardId shard;
   SimTime service_time = 0;
+
+  // type == kFault: "<kind>#<window-id>:begin|end" (see fault_label);
+  // machine/shard carry the target, duration the window length.
+  std::string fault;
 
   /// The logfile this record belongs to, e.g.
   /// "production-whitecurrant-23-20140128" (paper §4).

@@ -46,8 +46,9 @@ TEST(ObjectStore, MultipartHappyPath) {
   const auto state = s3.multipart_state(id);
   ASSERT_TRUE(state.has_value());
   EXPECT_EQ(state->parts, 3u);
-  const StoredObject obj = s3.complete_multipart(id, kHour);
-  EXPECT_EQ(obj.size_bytes, 2 * kMultipartChunkBytes + 1024);
+  const auto obj = s3.complete_multipart(id, kHour);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->size_bytes, 2 * kMultipartChunkBytes + 1024);
   EXPECT_TRUE(s3.exists("big"));
   EXPECT_EQ(s3.open_multiparts(), 0u);
   EXPECT_FALSE(s3.multipart_state(id).has_value());
@@ -64,12 +65,18 @@ TEST(ObjectStore, MultipartAbortDiscards) {
 }
 
 TEST(ObjectStore, MultipartErrors) {
+  // Bad multipart requests are status returns, not exceptions: injected
+  // faults can race an upload with its own teardown, and the back-end's
+  // hot path treats these as retryable service errors.
   ObjectStore s3;
-  EXPECT_THROW(s3.upload_part("nope", 10), std::out_of_range);
-  EXPECT_THROW(s3.complete_multipart("nope", 0), std::out_of_range);
+  EXPECT_FALSE(s3.upload_part("nope", 10));
+  EXPECT_FALSE(s3.complete_multipart("nope", 0).has_value());
   const std::string id = s3.initiate_multipart("k", 0);
-  EXPECT_THROW(s3.upload_part(id, 0), std::invalid_argument);
-  EXPECT_THROW(s3.complete_multipart(id, 0), std::logic_error);  // no parts
+  EXPECT_FALSE(s3.upload_part(id, 0));  // zero-sized part
+  EXPECT_FALSE(s3.complete_multipart(id, 0).has_value());  // no parts
+  // The failed complete leaves the upload open; parts can still land.
+  EXPECT_TRUE(s3.upload_part(id, 100));
+  EXPECT_TRUE(s3.complete_multipart(id, 0).has_value());
 }
 
 TEST(ObjectStore, DistinctUploadIds) {

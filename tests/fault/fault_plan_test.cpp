@@ -1,0 +1,181 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "fault/fault_injector.hpp"
+
+namespace u1 {
+namespace {
+
+TEST(FaultPlanParse, DurationsAndKeys) {
+  const FaultPlan plan = parse_fault_plan(
+      "s3_brownout t=2d12h30m dur=45m error=0.25 slow=4\n"
+      "# a comment line\n"
+      "process_crash t=90s dur=1h machine=3 slot=2\n"
+      "\n"
+      "mq_drop rate=0.5 dur=10m drop=0.9  # trailing comment\n");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].kind, FaultKind::kS3Brownout);
+  EXPECT_EQ(plan.specs[0].at, 2 * kDay + 12 * kHour + 30 * kMinute);
+  EXPECT_EQ(plan.specs[0].duration, 45 * kMinute);
+  EXPECT_DOUBLE_EQ(plan.specs[0].error_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.specs[0].slow_factor, 4.0);
+  EXPECT_EQ(plan.specs[1].at, 90 * kSecond);
+  EXPECT_EQ(plan.specs[1].machine, 3u);
+  EXPECT_EQ(plan.specs[1].slot, 2u);
+  EXPECT_DOUBLE_EQ(plan.specs[2].rate_per_day, 0.5);
+  EXPECT_DOUBLE_EQ(plan.specs[2].drop_prob, 0.9);
+}
+
+TEST(FaultPlanParse, BareNumbersAreSeconds) {
+  const FaultPlan plan = parse_fault_plan("s3_brownout t=30 dur=60\n");
+  EXPECT_EQ(plan.specs[0].at, 30 * kSecond);
+  EXPECT_EQ(plan.specs[0].duration, kMinute);
+}
+
+TEST(FaultPlanParse, RejectsMalformedInput) {
+  EXPECT_THROW(parse_fault_plan("martian_attack t=1h dur=1h\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("s3_brownout t=1h\n"),  // missing dur
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("s3_brownout t=1x dur=1h\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("s3_brownout bogus dur=1h\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("s3_brownout wat=3 dur=1h\n"),
+               std::invalid_argument);
+}
+
+TEST(FaultSchedule, PairsBeginAndEndSorted) {
+  const FaultPlan plan = parse_fault_plan(
+      "s3_brownout t=1h dur=30m error=0.5\n"
+      "machine_outage t=2h dur=15m machine=1\n");
+  const FaultSchedule sched = build_fault_schedule(plan, kDay, 6, 10, 7);
+  ASSERT_EQ(sched.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(sched.begin(), sched.end(),
+                             [](const FaultEvent& a, const FaultEvent& b) {
+                               return a.at < b.at;
+                             }));
+  // Every id appears exactly twice: one begin, one end, end = begin + dur.
+  std::set<std::size_t> ids;
+  for (const FaultEvent& ev : sched) ids.insert(ev.id);
+  for (const std::size_t id : ids) {
+    const auto begin = std::find_if(sched.begin(), sched.end(),
+                                    [&](const FaultEvent& e) {
+                                      return e.id == id && e.begin;
+                                    });
+    const auto end = std::find_if(sched.begin(), sched.end(),
+                                  [&](const FaultEvent& e) {
+                                    return e.id == id && !e.begin;
+                                  });
+    ASSERT_NE(begin, sched.end());
+    ASSERT_NE(end, sched.end());
+    EXPECT_EQ(end->at, begin->at + begin->duration);
+  }
+}
+
+TEST(FaultSchedule, DeterministicAndSeedSensitive) {
+  const FaultPlan plan =
+      parse_fault_plan("process_crash rate=3 dur=1h\n");  // drawn arrivals
+  const FaultSchedule a = build_fault_schedule(plan, 7 * kDay, 6, 10, 42);
+  const FaultSchedule b = build_fault_schedule(plan, 7 * kDay, 6, 10, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].machine, b[i].machine);
+    EXPECT_EQ(a[i].begin, b[i].begin);
+  }
+  const FaultSchedule c = build_fault_schedule(plan, 7 * kDay, 6, 10, 43);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].at != c[i].at || a[i].machine != c[i].machine;
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSchedule, DrawnTargetsStayInRange) {
+  const FaultPlan plan = parse_fault_plan(
+      "machine_outage rate=5 dur=10m\n"
+      "shard_failover rate=5 dur=10m reject=0.3\n");
+  const FaultSchedule sched = build_fault_schedule(plan, 7 * kDay, 6, 10, 9);
+  ASSERT_FALSE(sched.empty());
+  for (const FaultEvent& ev : sched) {
+    if (ev.kind == FaultKind::kMachineOutage) {
+      EXPECT_GE(ev.machine, 1u);
+      EXPECT_LE(ev.machine, 6u);
+    } else {
+      EXPECT_GE(ev.shard, 1u);
+      EXPECT_LE(ev.shard, 10u);
+    }
+  }
+}
+
+TEST(FaultSchedule, StandardPlanCoversAcceptanceKinds) {
+  const FaultPlan plan = standard_fault_plan();
+  const FaultSchedule sched =
+      build_fault_schedule(plan, 7 * kDay, 6, 10, 123);
+  std::set<FaultKind> kinds;
+  for (const FaultEvent& ev : sched)
+    if (ev.begin) kinds.insert(ev.kind);
+  EXPECT_TRUE(kinds.count(FaultKind::kProcessCrash));
+  EXPECT_TRUE(kinds.count(FaultKind::kShardFailover));
+  EXPECT_TRUE(kinds.count(FaultKind::kS3Brownout));
+  EXPECT_TRUE(kinds.count(FaultKind::kMachineOutage));
+  EXPECT_TRUE(kinds.count(FaultKind::kMqDrop));
+  EXPECT_TRUE(kinds.count(FaultKind::kAuthBrownout));
+  // Everything lands inside the 7-day acceptance horizon.
+  for (const FaultEvent& ev : sched) EXPECT_LT(ev.at, 7 * kDay);
+}
+
+TEST(FaultLabel, EncodesKindIdPhase) {
+  FaultEvent ev;
+  ev.id = 2;
+  ev.kind = FaultKind::kS3Brownout;
+  ev.begin = true;
+  EXPECT_EQ(fault_label(ev), "s3_brownout#2:begin");
+  ev.begin = false;
+  EXPECT_EQ(fault_label(ev), "s3_brownout#2:end");
+}
+
+TEST(FaultInjectorWindows, LookupsGateOnTimeAndTarget) {
+  const FaultPlan plan = parse_fault_plan(
+      "s3_brownout    t=1h dur=1h error=0.5 slow=4\n"
+      "shard_failover t=3h dur=1h shard=2 slow=6 reject=1.0\n"
+      "auth_brownout  t=5h dur=1h error=1.0\n"
+      "mq_drop        t=7h dur=1h drop=1.0\n");
+  const FaultSchedule sched = build_fault_schedule(plan, kDay, 6, 10, 1);
+  FaultInjector inj(sched, 99);
+
+  // Outside every window: base rates, and the draws consume no RNG (the
+  // draw helpers must return false without touching the stream).
+  EXPECT_DOUBLE_EQ(inj.s3_error_rate(0), 0.0);
+  EXPECT_DOUBLE_EQ(inj.s3_latency_multiplier(0), 1.0);
+  EXPECT_DOUBLE_EQ(inj.shard_service_multiplier(2, 0), 1.0);
+  EXPECT_FALSE(inj.s3_request_fails(0));
+  EXPECT_FALSE(inj.auth_brownout_fails(0));
+  EXPECT_FALSE(inj.mq_drops(0));
+  EXPECT_FALSE(inj.shard_write_rejected(2, 0));
+
+  // Inside the S3 brownout.
+  EXPECT_DOUBLE_EQ(inj.s3_error_rate(90 * kMinute), 0.5);
+  EXPECT_DOUBLE_EQ(inj.s3_latency_multiplier(90 * kMinute), 4.0);
+  // Inside the failover: only shard 2 is degraded, and with reject=1.0
+  // every write there is rejected.
+  EXPECT_DOUBLE_EQ(inj.shard_service_multiplier(2, 3 * kHour + kMinute),
+                   6.0);
+  EXPECT_DOUBLE_EQ(inj.shard_service_multiplier(3, 3 * kHour + kMinute),
+                   1.0);
+  EXPECT_TRUE(inj.shard_write_rejected(2, 3 * kHour + kMinute));
+  EXPECT_FALSE(inj.shard_write_rejected(3, 3 * kHour + kMinute));
+  // Deterministic certainties in the auth/mq windows.
+  EXPECT_TRUE(inj.auth_brownout_fails(5 * kHour + kMinute));
+  EXPECT_TRUE(inj.mq_drops(7 * kHour + kMinute));
+  // Windows close.
+  EXPECT_DOUBLE_EQ(inj.s3_error_rate(2 * kHour + kMinute), 0.0);
+  EXPECT_FALSE(inj.shard_write_rejected(2, 4 * kHour + kMinute));
+}
+
+}  // namespace
+}  // namespace u1

@@ -1,0 +1,345 @@
+// Failure-recovery paths through the backend: crash/outage session drops,
+// interrupted multipart uploads resuming from the last committed part,
+// GC-forced restarts, load shedding, auth brownouts, MQ drops and shard
+// failover write rejections. Everything is scripted through FaultSpec
+// windows, so each scenario is exact and deterministic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "server/backend.hpp"
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+class FaultBackendTest : public ::testing::Test {
+ protected:
+  FaultBackendTest() {
+    config_.auth_failure_rate = 0.0;
+    config_.bandwidth_sigma = 0.0;  // exact median wire speeds
+    config_.upload_bytes_per_sec_median = 1024.0 * 1024;  // 1 MiB/s
+    config_.seed = 42;
+  }
+
+  void build_backend() {
+    backend_ = std::make_unique<U1Backend>(config_, sink_);
+  }
+
+  /// Materializes the plan and arms the backend. Call after build_backend
+  /// (crash victims resolve against the live fleet layout).
+  void arm(const FaultPlan& plan) {
+    schedule_ = build_fault_schedule(plan, 30 * kDay, config_.fleet.machines,
+                                     config_.shards, /*seed=*/7);
+    injector_ = std::make_unique<FaultInjector>(schedule_, /*seed=*/99);
+    backend_->set_fault_injector(injector_.get());
+  }
+
+  static FaultSpec window(FaultKind kind, SimTime at, SimTime dur) {
+    FaultSpec spec;
+    spec.kind = kind;
+    spec.at = at;
+    spec.duration = dur;
+    return spec;
+  }
+
+  const FaultEvent& edge(std::size_t id, bool begin) const {
+    const auto it = std::find_if(schedule_.begin(), schedule_.end(),
+                                 [&](const FaultEvent& e) {
+                                   return e.id == id && e.begin == begin;
+                                 });
+    EXPECT_NE(it, schedule_.end());
+    return *it;
+  }
+
+  std::pair<UserAccount, SessionId> enroll(std::uint64_t uid, SimTime t) {
+    const UserAccount acc = backend_->register_user(UserId{uid}, t);
+    const auto conn = backend_->connect(UserId{uid}, t);
+    EXPECT_TRUE(conn.ok);
+    return {acc, conn.session};
+  }
+
+  std::uint64_t count_session_events(SessionEvent event) const {
+    return static_cast<std::uint64_t>(std::count_if(
+        sink_.records().begin(), sink_.records().end(),
+        [&](const TraceRecord& r) {
+          return r.type == RecordType::kSession && r.session_event == event;
+        }));
+  }
+
+  BackendConfig config_;
+  InMemorySink sink_;
+  std::unique_ptr<U1Backend> backend_;
+  FaultSchedule schedule_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+TEST_F(FaultBackendTest, ProcessCrashDropsSessionsAndRespawnRecovers) {
+  config_.fleet = FleetConfig{1, 1};  // the one process is the victim
+  build_backend();
+  FaultSpec crash = window(FaultKind::kProcessCrash, 2 * kHour, kHour);
+  crash.machine = 1;
+  crash.slot = 0;
+  FaultPlan plan;
+  plan.specs.push_back(crash);
+  arm(plan);
+
+  const auto [acc, sid] = enroll(1, kHour);
+  ASSERT_TRUE(backend_->session_open(sid));
+
+  backend_->apply_fault(edge(0, true), 2 * kHour, /*emit_record=*/true);
+  EXPECT_FALSE(backend_->session_open(sid));
+  EXPECT_EQ(backend_->stats().sessions_dropped, 1u);
+  EXPECT_EQ(backend_->fleet().total_open_sessions(), 0u);
+  EXPECT_EQ(count_session_events(SessionEvent::kDropped), 1u);
+
+  // Post-crash calls on the dead session fail gracefully (no throw).
+  EXPECT_FALSE(backend_->list_volumes(sid, 2 * kHour + kMinute).ok);
+  EXPECT_FALSE(backend_->upload(sid, acc.root_dir, Sha1::of("x"), 100, false,
+                                2 * kHour + kMinute)
+                   .ok);
+  EXPECT_EQ(backend_->disconnect(sid, 2 * kHour + kMinute),
+            2 * kHour + kMinute);
+
+  // While the only process is dead the balancer sheds new connects.
+  const auto during = backend_->connect(UserId{1}, 2 * kHour + 10 * kMinute);
+  EXPECT_FALSE(during.ok);
+  EXPECT_TRUE(during.try_again);
+  EXPECT_EQ(backend_->stats().shed_connects, 1u);
+
+  backend_->apply_fault(edge(0, false), 3 * kHour, /*emit_record=*/true);
+  const auto after = backend_->connect(UserId{1}, 4 * kHour);
+  EXPECT_TRUE(after.ok);
+
+  // Both window edges were traced.
+  const auto faults = std::count_if(
+      sink_.records().begin(), sink_.records().end(),
+      [](const TraceRecord& r) { return r.type == RecordType::kFault; });
+  EXPECT_EQ(faults, 2);
+}
+
+TEST_F(FaultBackendTest, OutageCutsMultipartUploadAndResumeFinishesIt) {
+  config_.fleet = FleetConfig{1, 1};  // session pinned to machine 1
+  build_backend();
+
+  const auto [acc, sid] = enroll(1, kHour);
+  const auto mk = backend_->make_file(sid, acc.root_volume, acc.root_dir,
+                                      "bulk", "iso", kHour);
+  ASSERT_TRUE(mk.ok);
+
+  // 20 MB at 1 MiB/s = four 5 MB parts, one every ~5s. An outage 12s into
+  // the transfer lands inside part 3: exactly two parts are committed.
+  FaultSpec outage =
+      window(FaultKind::kMachineOutage, mk.end + 12 * kSecond, 30 * kMinute);
+  outage.machine = 1;
+  FaultPlan plan;
+  plan.specs.push_back(outage);
+  arm(plan);
+
+  const std::uint64_t size = 4 * kMultipartChunkBytes;
+  const ContentId content = Sha1::of("bulk-content");
+  const auto cut = backend_->upload(sid, mk.node, content, size, false,
+                                    mk.end);
+  EXPECT_FALSE(cut.ok);
+  EXPECT_TRUE(cut.interrupted);
+  EXPECT_FALSE(cut.job.is_nil());
+  EXPECT_EQ(cut.committed_bytes, 2 * kMultipartChunkBytes);
+  EXPECT_EQ(backend_->stats().interrupted_uploads, 1u);
+  // The committed parts are parked server-side: open multipart + job row.
+  EXPECT_EQ(backend_->s3().open_multiparts(), 1u);
+  EXPECT_EQ(backend_->s3().object_count(), 0u);
+
+  // The outage edge drops the session; restore brings the machine back.
+  backend_->apply_fault(edge(0, true), outage.at, true);
+  EXPECT_FALSE(backend_->session_open(sid));
+  backend_->apply_fault(edge(0, false), outage.at + outage.duration, true);
+
+  const SimTime back = outage.at + outage.duration + kMinute;
+  const auto conn = backend_->connect(UserId{1}, back);
+  ASSERT_TRUE(conn.ok);
+
+  const auto done = backend_->resume_upload(conn.session, mk.node, content,
+                                            size, false, cut.job, conn.end);
+  EXPECT_TRUE(done.ok);
+  EXPECT_FALSE(done.interrupted);
+  // Only the remaining two parts crossed the wire; all four are committed.
+  EXPECT_EQ(done.transferred_bytes, 2 * kMultipartChunkBytes);
+  EXPECT_EQ(done.committed_bytes, size);
+  EXPECT_EQ(backend_->stats().resumed_uploads, 1u);
+  EXPECT_EQ(backend_->s3().open_multiparts(), 0u);
+  EXPECT_EQ(backend_->s3().stored_bytes(), size);
+  // Wire accounting counts each part exactly once across both attempts.
+  EXPECT_EQ(backend_->stats().upload_bytes_wire, size);
+}
+
+TEST_F(FaultBackendTest, GcReclaimedJobForcesRestartFromScratch) {
+  config_.fleet = FleetConfig{1, 1};
+  build_backend();
+
+  const auto [acc, sid] = enroll(1, kHour);
+  const auto mk = backend_->make_file(sid, acc.root_volume, acc.root_dir,
+                                      "bulk", "iso", kHour);
+  ASSERT_TRUE(mk.ok);
+
+  FaultSpec outage =
+      window(FaultKind::kMachineOutage, mk.end + 12 * kSecond, 30 * kMinute);
+  outage.machine = 1;
+  FaultPlan plan;
+  plan.specs.push_back(outage);
+  arm(plan);
+
+  const std::uint64_t size = 4 * kMultipartChunkBytes;
+  const ContentId content = Sha1::of("bulk-content");
+  const auto cut =
+      backend_->upload(sid, mk.node, content, size, false, mk.end);
+  ASSERT_TRUE(cut.interrupted);
+  backend_->apply_fault(edge(0, true), outage.at, true);
+  backend_->apply_fault(edge(0, false), outage.at + outage.duration, true);
+
+  // The client stays offline for over a week; the weekly GC reclaims the
+  // job row and aborts the dangling S3 multipart.
+  backend_->maintenance(10 * kDay);
+  EXPECT_EQ(backend_->s3().open_multiparts(), 0u);
+
+  const auto conn = backend_->connect(UserId{1}, 10 * kDay + kHour);
+  ASSERT_TRUE(conn.ok);
+  const auto resume = backend_->resume_upload(conn.session, mk.node, content,
+                                              size, false, cut.job, conn.end);
+  // Job gone, not interrupted: the client must restart from byte zero.
+  EXPECT_FALSE(resume.ok);
+  EXPECT_FALSE(resume.interrupted);
+
+  const auto fresh = backend_->upload(conn.session, mk.node, content, size,
+                                      false, resume.end);
+  EXPECT_TRUE(fresh.ok);
+  EXPECT_EQ(backend_->s3().stored_bytes(), size);
+}
+
+TEST_F(FaultBackendTest, SessionCapShedsConnectsUntilSlotFrees) {
+  config_.fleet = FleetConfig{1, 1};
+  config_.session_cap_per_process = 1;
+  build_backend();
+  backend_->register_user(UserId{1}, 0);
+  backend_->register_user(UserId{2}, 0);
+
+  const auto first = backend_->connect(UserId{1}, kHour);
+  ASSERT_TRUE(first.ok);
+  const auto shed = backend_->connect(UserId{2}, kHour + kMinute);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_TRUE(shed.try_again);
+  EXPECT_GT(shed.end, kHour + kMinute);  // only the API overhead elapsed
+  EXPECT_EQ(backend_->stats().shed_connects, 1u);
+  EXPECT_EQ(backend_->stats().auth_failures, 0u);  // never reached auth
+  EXPECT_EQ(count_session_events(SessionEvent::kTryAgain), 1u);
+
+  backend_->disconnect(first.session, 2 * kHour);
+  const auto retry = backend_->connect(UserId{2}, 2 * kHour + kMinute);
+  EXPECT_TRUE(retry.ok);
+}
+
+TEST_F(FaultBackendTest, AuthBrownoutRejectsConnects) {
+  build_backend();
+  FaultSpec brown = window(FaultKind::kAuthBrownout, kHour, kHour);
+  brown.error_rate = 1.0;
+  FaultPlan plan;
+  plan.specs.push_back(brown);
+  arm(plan);
+  backend_->register_user(UserId{1}, 0);
+
+  const auto during = backend_->connect(UserId{1}, 90 * kMinute);
+  EXPECT_FALSE(during.ok);
+  EXPECT_FALSE(during.try_again);
+  EXPECT_EQ(backend_->stats().auth_failures, 1u);
+  EXPECT_EQ(backend_->fleet().total_open_sessions(), 0u);
+  EXPECT_EQ(count_session_events(SessionEvent::kAuthFail), 1u);
+
+  const auto after = backend_->connect(UserId{1}, 3 * kHour);
+  EXPECT_TRUE(after.ok);
+}
+
+TEST_F(FaultBackendTest, MqDropWindowSuppressesNotifications) {
+  build_backend();
+  FaultSpec drop = window(FaultKind::kMqDrop, kHour, kHour);
+  drop.drop_prob = 1.0;
+  FaultPlan plan;
+  plan.specs.push_back(drop);
+  arm(plan);
+
+  const auto [acc, sid] = enroll(1, 0);
+  backend_->register_user(UserId{2}, 0);
+  backend_->share_volume(acc.user, acc.root_volume, UserId{2}, 0);
+
+  const auto in_window = backend_->make_file(sid, acc.root_volume,
+                                             acc.root_dir, "a", "txt",
+                                             90 * kMinute);
+  ASSERT_TRUE(in_window.ok);
+  EXPECT_EQ(backend_->stats().notifications_dropped, 1u);
+  EXPECT_EQ(backend_->notifications().published(), 0u);
+
+  const auto after = backend_->make_file(sid, acc.root_volume, acc.root_dir,
+                                         "b", "txt", 3 * kHour);
+  ASSERT_TRUE(after.ok);
+  EXPECT_EQ(backend_->stats().notifications_dropped, 1u);
+  EXPECT_EQ(backend_->notifications().published(), 1u);
+}
+
+TEST_F(FaultBackendTest, ShardFailoverRejectsWritesInWindow) {
+  config_.shards = 1;  // every user lands on the failed-over shard
+  build_backend();
+  FaultSpec failover = window(FaultKind::kShardFailover, kHour, kHour);
+  failover.shard = 1;
+  failover.reject_prob = 1.0;
+  failover.slow_factor = 6.0;
+  FaultPlan plan;
+  plan.specs.push_back(failover);
+  arm(plan);
+
+  const auto [acc, sid] = enroll(1, 0);
+  const auto mk =
+      backend_->make_file(sid, acc.root_volume, acc.root_dir, "f", "jpg", 0);
+  ASSERT_TRUE(mk.ok);
+
+  const auto rejected = backend_->upload(sid, mk.node, Sha1::of("p"),
+                                         256 * 1024, false, 90 * kMinute);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_FALSE(rejected.interrupted);
+  EXPECT_EQ(backend_->stats().write_rejects, 1u);
+
+  const auto accepted = backend_->upload(sid, mk.node, Sha1::of("p"),
+                                         256 * 1024, false, 3 * kHour);
+  EXPECT_TRUE(accepted.ok);
+}
+
+TEST_F(FaultBackendTest, S3BrownoutFailsRequestsAndRecovers) {
+  build_backend();
+  FaultSpec brown = window(FaultKind::kS3Brownout, kHour, kHour);
+  brown.error_rate = 1.0;
+  brown.slow_factor = 4.0;
+  FaultPlan plan;
+  plan.specs.push_back(brown);
+  arm(plan);
+
+  const auto [acc, sid] = enroll(1, 0);
+  const auto mk =
+      backend_->make_file(sid, acc.root_volume, acc.root_dir, "f", "jpg", 0);
+  ASSERT_TRUE(mk.ok);
+
+  // Single-shot upload inside the window: the S3 PUT fails after the
+  // bytes crossed the wire, so the attempt is interrupted with no job.
+  const auto failed = backend_->upload(sid, mk.node, Sha1::of("p"),
+                                       256 * 1024, false, 90 * kMinute);
+  EXPECT_FALSE(failed.ok);
+  EXPECT_TRUE(failed.interrupted);
+  EXPECT_TRUE(failed.job.is_nil());
+  EXPECT_GE(backend_->stats().s3_errors, 1u);
+
+  const auto after = backend_->upload(sid, mk.node, Sha1::of("p"),
+                                      256 * 1024, false, 3 * kHour);
+  EXPECT_TRUE(after.ok);
+}
+
+}  // namespace
+}  // namespace u1

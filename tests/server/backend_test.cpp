@@ -89,12 +89,21 @@ TEST_F(BackendTest, AuthFailureBlocksSession) {
   EXPECT_TRUE(saw_fail);
 }
 
-TEST_F(BackendTest, OperationsOnClosedSessionThrow) {
+TEST_F(BackendTest, OperationsOnClosedSessionFailGracefully) {
+  // A crash can drop a session while the client still believes it is
+  // connected; the next op must come back ok=false, never throw.
   const auto [acc, sid] = enroll(1, kHour);
   backend_->disconnect(sid, 2 * kHour);
-  EXPECT_THROW(backend_->list_volumes(sid, 3 * kHour), std::out_of_range);
-  EXPECT_THROW(backend_->download(sid, acc.root_dir, 3 * kHour),
-               std::out_of_range);
+  EXPECT_FALSE(backend_->list_volumes(sid, 3 * kHour).ok);
+  EXPECT_FALSE(backend_->download(sid, acc.root_dir, 3 * kHour).ok);
+  EXPECT_FALSE(backend_->make_file(sid, acc.root_volume, acc.root_dir, "f",
+                                   "", 3 * kHour)
+                   .ok);
+  EXPECT_FALSE(backend_->upload(sid, acc.root_dir, Sha1::of("x"), 100, false,
+                                3 * kHour)
+                   .ok);
+  // Double disconnect is a no-op, not a crash.
+  EXPECT_EQ(backend_->disconnect(sid, 4 * kHour), 4 * kHour);
 }
 
 TEST_F(BackendTest, SmallUploadSingleShot) {

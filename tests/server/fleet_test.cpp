@@ -45,9 +45,12 @@ TEST(ServerFleet, EndSessionReleasesSlot) {
   ServerFleet fleet(FleetConfig{2, 2}, 4);
   const auto a = fleet.place_session();
   EXPECT_EQ(fleet.open_sessions(a.machine), 1u);
-  fleet.end_session(a.machine);
+  EXPECT_EQ(fleet.process_sessions(a.process), 1u);
+  EXPECT_TRUE(fleet.end_session(a.machine, a.process));
   EXPECT_EQ(fleet.open_sessions(a.machine), 0u);
-  EXPECT_THROW(fleet.end_session(a.machine), std::logic_error);
+  // Idempotent under fault races: a disconnect after a crash already
+  // dropped the session is a no-op, not a crash.
+  EXPECT_FALSE(fleet.end_session(a.machine, a.process));
 }
 
 TEST(ServerFleet, BadIdsThrow) {
@@ -55,7 +58,52 @@ TEST(ServerFleet, BadIdsThrow) {
   EXPECT_THROW(fleet.machine_of(ProcessId{0}), std::out_of_range);
   EXPECT_THROW(fleet.machine_of(ProcessId{99}), std::out_of_range);
   EXPECT_THROW(fleet.open_sessions(MachineId{0}), std::out_of_range);
-  EXPECT_THROW(fleet.end_session(MachineId{9}), std::out_of_range);
+  EXPECT_THROW(fleet.end_session(MachineId{9}, ProcessId{1}),
+               std::out_of_range);
+  EXPECT_THROW(fleet.end_session(MachineId{1}, ProcessId{99}),
+               std::out_of_range);
+}
+
+TEST(ServerFleet, KillAndRespawnProcess) {
+  ServerFleet fleet(FleetConfig{2, 2}, 9);
+  const ProcessId victim{1};
+  EXPECT_TRUE(fleet.process_alive(victim));
+  fleet.kill_process(victim);
+  EXPECT_FALSE(fleet.process_alive(victim));
+  // Placement skips the dead process.
+  for (int i = 0; i < 50; ++i) {
+    const auto p = fleet.place_session();
+    EXPECT_NE(p.process.value, victim.value);
+  }
+  fleet.respawn_process(victim);
+  EXPECT_TRUE(fleet.process_alive(victim));
+}
+
+TEST(ServerFleet, MachineOutageRedirectsPlacements) {
+  ServerFleet fleet(FleetConfig{3, 2}, 10);
+  fleet.kill_machine(MachineId{2});
+  EXPECT_FALSE(fleet.machine_alive(MachineId{2}));
+  EXPECT_TRUE(fleet.live_processes_on(MachineId{2}).empty());
+  for (int i = 0; i < 60; ++i) {
+    const auto p = fleet.place_session();
+    EXPECT_NE(p.machine.value, 2u);
+  }
+  fleet.restore_machine(MachineId{2});
+  EXPECT_TRUE(fleet.machine_alive(MachineId{2}));
+  EXPECT_EQ(fleet.live_processes_on(MachineId{2}).size(), 2u);
+}
+
+TEST(ServerFleet, PerProcessCapShedsLoad) {
+  ServerFleet fleet(FleetConfig{2, 1}, 11);
+  // Two processes, cap 1: the third concurrent session has nowhere to go.
+  ASSERT_TRUE(fleet.place_session(1).has_value());
+  ASSERT_TRUE(fleet.place_session(1).has_value());
+  EXPECT_FALSE(fleet.place_session(1).has_value());
+  // Whole fleet dead: capacity-0 placement also sheds.
+  fleet.kill_machine(MachineId{1});
+  fleet.kill_machine(MachineId{2});
+  EXPECT_FALSE(fleet.place_session(0).has_value());
+  EXPECT_THROW(fleet.place_session(), std::logic_error);
 }
 
 TEST(ServerFleet, MigrationMovesProcessesButKeepsCoverage) {

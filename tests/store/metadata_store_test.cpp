@@ -166,12 +166,49 @@ TEST_F(MetadataStoreTest, UploadJobGc) {
   const Volume v = add_user(1);
   const Node f = store_.make_file(UserId{1}, v.id, v.root_dir, "f", "",
                                   kHour);
-  store_.make_uploadjob(UserId{1}, f.id, Sha1::of("a"), 1, kDay);
+  const UploadJob stale =
+      store_.make_uploadjob(UserId{1}, f.id, Sha1::of("a"), 1, kDay);
+  store_.set_uploadjob_multipart_id(UserId{1}, stale.id, "mpu-stale");
   const UploadJob fresh = store_.make_uploadjob(UserId{1}, f.id,
                                                 Sha1::of("b"), 1, 10 * kDay);
-  // GC with the paper's one-week cutoff.
-  EXPECT_EQ(store_.gc_uploadjobs(9 * kDay), 1u);
+  // GC with the paper's one-week cutoff; the collected rows come back so
+  // the caller (U1Backend::maintenance) can abort their S3 multiparts.
+  const auto collected = store_.gc_uploadjobs(9 * kDay);
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].id, stale.id);
+  EXPECT_EQ(collected[0].multipart_id, "mpu-stale");
+  EXPECT_FALSE(store_.get_uploadjob(UserId{1}, stale.id).has_value());
   EXPECT_TRUE(store_.get_uploadjob(UserId{1}, fresh.id).has_value());
+}
+
+TEST_F(MetadataStoreTest, UploadJobGcCutoffIsStrict) {
+  const Volume v = add_user(1);
+  const Node f = store_.make_file(UserId{1}, v.id, v.root_dir, "f", "",
+                                  kHour);
+  // last_touched == cutoff survives: the GC predicate is strictly-older.
+  const UploadJob at_cutoff =
+      store_.make_uploadjob(UserId{1}, f.id, Sha1::of("a"), 1, kDay);
+  EXPECT_TRUE(store_.gc_uploadjobs(kDay).empty());
+  EXPECT_TRUE(store_.get_uploadjob(UserId{1}, at_cutoff.id).has_value());
+  EXPECT_EQ(store_.gc_uploadjobs(kDay + 1).size(), 1u);
+}
+
+TEST_F(MetadataStoreTest, TouchedUploadJobSurvivesGcAndKeepsParts) {
+  const Volume v = add_user(1);
+  const Node f = store_.make_file(UserId{1}, v.id, v.root_dir, "f", "",
+                                  kHour);
+  const UploadJob job = store_.make_uploadjob(UserId{1}, f.id, Sha1::of("a"),
+                                              20 << 20, kDay);
+  store_.set_uploadjob_multipart_id(UserId{1}, job.id, "mpu-1");
+  store_.add_part_to_uploadjob(UserId{1}, job.id, 5 << 20, kDay);
+  // A resume touches the row; the job then outlives a cutoff that would
+  // otherwise have collected it, parts intact.
+  store_.touch_uploadjob(UserId{1}, job.id, 9 * kDay);
+  EXPECT_TRUE(store_.gc_uploadjobs(8 * kDay).empty());
+  const auto fetched = store_.get_uploadjob(UserId{1}, job.id);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->parts, 1u);
+  EXPECT_EQ(fetched->bytes_received, 5u << 20);
 }
 
 TEST_F(MetadataStoreTest, UnknownIdsThrow) {

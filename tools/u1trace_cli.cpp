@@ -1,7 +1,12 @@
 #include "tools/u1trace_cli.hpp"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 #include <unordered_set>
+
+#include "fault/fault_plan.hpp"
 
 #include "analysis/ddos_detect.hpp"
 #include "analysis/dedup.hpp"
@@ -22,6 +27,7 @@ constexpr const char* kUsage =
     "usage: u1trace <command> [options]\n"
     "  generate  --out DIR [--users N] [--days D] [--seed S]\n"
     "            [--threads T] [--no-ddos]\n"
+    "            [--fault-plan standard|FILE] [--fault-seed S]\n"
     "  summarize DIR\n"
     "  analyze   DIR --figure {traffic|dedup|sessions|ddos|users|ops}\n"
     "  validate  DIR\n";
@@ -104,10 +110,32 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
   cfg.seed =
       static_cast<std::uint64_t>(args.int_flag("seed").value_or(20140111));
   cfg.enable_ddos = !args.has_switch("no-ddos");
+  if (const auto plan = args.flag("fault-plan")) {
+    if (*plan == "standard") {
+      cfg.faults = standard_fault_plan();
+    } else {
+      std::ifstream in(*plan);
+      if (!in) {
+        err << "generate: --fault-plan: cannot open '" << *plan << "'\n";
+        return 2;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      try {
+        cfg.faults = parse_fault_plan(text.str());
+      } catch (const std::invalid_argument& e) {
+        err << "generate: --fault-plan: " << e.what() << "\n";
+        return 2;
+      }
+    }
+  }
+  cfg.fault_seed =
+      static_cast<std::uint64_t>(args.int_flag("fault-seed").value_or(0));
   const auto threads =
       static_cast<std::size_t>(args.int_flag("threads").value_or(1));
   out << "# generating: users=" << cfg.users << " days=" << cfg.days
       << " seed=" << cfg.seed << " ddos=" << (cfg.enable_ddos ? "on" : "off")
+      << " faults=" << (cfg.faults.empty() ? "off" : "on")
       << " threads=" << (threads == 0 ? std::size_t{1} : threads)
       << " engine=" << (threads > 1 ? "shard-parallel" : "sequential")
       << "\n";
@@ -301,7 +329,9 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
 
   if (command == "generate") {
     const Args args = Args::parse(
-        rest, {"out", "users", "days", "seed", "threads"}, {"no-ddos"});
+        rest, {"out", "users", "days", "seed", "threads", "fault-plan",
+               "fault-seed"},
+        {"no-ddos"});
     if (!args.ok()) {
       for (const auto& e : args.errors()) err << "generate: " << e << "\n";
       return 2;
