@@ -1,10 +1,20 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
+#include <numeric>
 #include <stdexcept>
+#include <string_view>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "sim/trace_merge.hpp"
 #include "util/sha1.hpp"
 
 namespace u1 {
@@ -17,6 +27,39 @@ std::uint64_t group_mix(std::uint64_t seed, std::size_t group) {
   return seed ^ ((group + 1) * 0x9e3779b97f4a7c15ull);
 }
 
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+ParallelSimulation::Scheduling env_scheduling() {
+  if (const char* v = std::getenv("U1SIM_SCHED")) {
+    if (std::string_view(v) == "counter")
+      return ParallelSimulation::Scheduling::kCounter;
+  }
+  return ParallelSimulation::Scheduling::kSticky;
+}
+
+bool env_pin_workers() {
+  const char* v = std::getenv("U1SIM_PIN");
+  return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+}
+
+void pin_thread_to_core(std::thread& thread, std::size_t core) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % hw), &set);
+  pthread_setaffinity_np(thread.native_handle(), sizeof(set), &set);
+#else
+  (void)thread;
+  (void)core;
+#endif
+}
+
 }  // namespace
 
 ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
@@ -24,6 +67,9 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
     : config_(config),
       sink_(&sink),
       rng_(config.seed),
+      scheduling_(env_scheduling()),
+      queue_impl_(engine_queue_impl()),
+      pin_workers_(env_pin_workers()),
       content_pool_(std::make_unique<ContentPool>(
           config.content_duplicate_prob, config.content_zipf_s,
           config.seed ^ 0xb10b)),
@@ -46,7 +92,10 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
   }
 }
 
-ParallelSimulation::~ParallelSimulation() { stop_workers(); }
+ParallelSimulation::~ParallelSimulation() {
+  stop_flusher();
+  stop_workers();
+}
 
 std::size_t ParallelSimulation::group_of(UserId user) const noexcept {
   // Same hash the metadata router uses (MetadataStore::shard_of), so one
@@ -83,6 +132,7 @@ void ParallelSimulation::build_groups() {
     grp->pool_view = std::make_unique<ContentPoolView>(
         *content_pool_, group_mix(config_.seed ^ 0xb10b, g));
     grp->rng = rng_.fork();
+    grp->queue.set_impl(queue_impl_);
     if (!fault_schedule_.empty()) {
       // Same schedule everywhere; the injector's probabilistic draws are
       // group-local, so they depend only on (config, g) — never on thread
@@ -94,6 +144,9 @@ void ParallelSimulation::build_groups() {
     }
     groups_.push_back(std::move(grp));
   }
+  flush_chunks_.resize(n_groups);
+  purge_seen_.resize(n_groups);
+  purge_mail_.reset(n_groups, /*lane_capacity=*/64);
 }
 
 void ParallelSimulation::register_population() {
@@ -303,6 +356,7 @@ void ParallelSimulation::run_group_epoch(std::size_t group, SimTime limit) {
   while (!grp.queue.empty() && grp.queue.next_time() < limit) {
     const auto event = grp.queue.pop();
     const SimTime now = event.t;
+    ++grp.epoch_events;
     switch (event.payload.kind) {
       case Ev::Kind::kAgent: {
         ++grp.agent_wakeups;
@@ -334,59 +388,194 @@ void ParallelSimulation::run_group_epoch(std::size_t group, SimTime limit) {
   }
 }
 
-void ParallelSimulation::flush_traces() {
-  merge_scratch_.clear();
-  std::size_t total = 0;
-  for (const auto& grp : groups_) total += grp->trace.records().size();
-  merge_scratch_.reserve(total);
-  for (auto& grp : groups_) {
-    const auto& records = grp->trace.records();
-    merge_scratch_.insert(merge_scratch_.end(), records.begin(),
-                          records.end());
-    grp->trace.clear();
+// ---------------------------------------------------------------------------
+// Pipelined flush.
+
+void ParallelSimulation::collect_chunks() {
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    // flush_chunks_[g] was cleared (capacity kept) by the previous
+    // run_flush, so this swap hands the group an empty, pre-sized
+    // buffer — the double buffer in steady state allocates nothing.
+    groups_[g]->trace.swap_records(flush_chunks_[g]);
   }
-  // Concatenation order is group order; a stable sort by timestamp alone
-  // therefore breaks ties by (group, emission order) — the same total
-  // order for any thread count.
-  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
-                   [](const TraceRecord& a, const TraceRecord& b) {
-                     return a.t < b.t;
-                   });
-  for (const TraceRecord& r : merge_scratch_) {
+}
+
+void ParallelSimulation::run_flush(
+    std::vector<std::vector<TraceRecord>>& chunks) {
+  const auto t0 = Clock::now();
+  for (auto& chunk : chunks) sort_trace_chunk(chunk);
+  merge_trace_chunks(chunks, [this](const TraceRecord& r) {
     if (guard_ && r.t >= 0) {
       if (const auto culprit = guard_->observe(r)) {
-        Group& home = *groups_[group_of(*culprit)];
-        if (std::find(home.purge_mailbox.begin(), home.purge_mailbox.end(),
-                      *culprit) == home.purge_mailbox.end())
-          home.purge_mailbox.push_back(*culprit);
+        const std::size_t g = group_of(*culprit);
+        if (purge_seen_[g].insert(*culprit).second)
+          purge_mail_.post(g, *culprit);
       }
     }
     sink_->append(r);
+  });
+  for (auto& chunk : chunks) chunk.clear();
+  phases_.flush_s += secs_since(t0);
+}
+
+void ParallelSimulation::start_flusher() {
+  flusher_stop_ = false;
+  flush_pending_ = false;
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+void ParallelSimulation::flusher_loop() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    flush_cv_.wait(lock, [this] { return flush_pending_ || flusher_stop_; });
+    if (flush_pending_) {
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        run_flush(flush_chunks_);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !flush_error_) flush_error_ = error;
+      flush_pending_ = false;
+      flush_cv_.notify_all();
+      continue;
+    }
+    if (flusher_stop_) return;
   }
-  merge_scratch_.clear();
+}
+
+void ParallelSimulation::submit_flush() {
+  if (!flusher_.joinable()) {
+    // Inline (oracle) mode: same work, same point in the pipeline — the
+    // flush of epoch E still completes before the purges it detected are
+    // delivered at barrier E+1, so the observable order is identical.
+    run_flush(flush_chunks_);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(flush_mu_);
+    flush_pending_ = true;
+  }
+  flush_cv_.notify_all();
+}
+
+void ParallelSimulation::join_flusher() {
+  if (!flusher_.joinable()) return;
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [this] { return !flush_pending_; });
+    if (flush_error_) {
+      error = flush_error_;
+      flush_error_ = nullptr;
+    }
+  }
+  if (error) {
+    stop_flusher();
+    stop_workers();
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelSimulation::stop_flusher() {
+  if (!flusher_.joinable()) return;
+  {
+    const std::lock_guard<std::mutex> lock(flush_mu_);
+    flusher_stop_ = true;
+  }
+  flush_cv_.notify_all();
+  flusher_.join();
+  flusher_stop_ = false;
+}
+
+void ParallelSimulation::deliver_purges(SimTime when) {
+  purge_mail_.drain([this, when](std::size_t g, UserId culprit) {
+    groups_[g]->backend->admin_purge_user(culprit, when);
+    ++report_.auto_purges;
+    for (auto& attack : attacks_) {
+      if (attack.account == culprit && !attack.purged) {
+        attack.purged = true;
+        if (report_.first_auto_response_delay == 0)
+          report_.first_auto_response_delay = when - attack.spec.start;
+      }
+    }
+  });
+  for (auto& seen : purge_seen_) seen.clear();
 }
 
 void ParallelSimulation::merge_epoch(SimTime epoch_end) {
+  const auto t0 = Clock::now();
+  // The flush of the previous epoch must have retired: its sink writes
+  // must stay ahead of ours and its purge posts are about to deliver.
+  // With the compute phase longer than the flush this wait is ~zero —
+  // the whole point of the pipeline.
+  join_flusher();
+  const auto t1 = Clock::now();
+  phases_.flush_stall_s += std::chrono::duration<double>(t1 - t0).count();
   shared_dedup_->merge_epoch(
       [this](const ContentInfo&) { ++cross_group_dead_blobs_; });
   for (auto& grp : groups_) content_pool_->absorb(*grp->pool_view);
-  flush_traces();
-  // Deliver cross-group commands (guard purges) at the epoch boundary, in
-  // group order. The purge's own trace records flush with the next epoch.
-  for (auto& grp : groups_) {
-    for (const UserId culprit : grp->purge_mailbox) {
-      grp->backend->admin_purge_user(culprit, epoch_end);
-      ++report_.auto_purges;
-      for (auto& attack : attacks_) {
-        if (attack.account == culprit && !attack.purged) {
-          attack.purged = true;
-          if (report_.first_auto_response_delay == 0)
-            report_.first_auto_response_delay = epoch_end - attack.spec.start;
-        }
-      }
-    }
-    grp->purge_mailbox.clear();
+  // Cross-group commands detected in the previous epoch's merged stream,
+  // in group-index order. Their trace records join the chunk collected
+  // below (same barrier), stamped with this barrier's epoch_end.
+  deliver_purges(epoch_end);
+  collect_chunks();
+  phases_.merge_s += secs_since(t1);
+  submit_flush();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool + sticky scheduling.
+
+void ParallelSimulation::prepare_epoch_plan(std::size_t workers) {
+  if (scheduling_ != Scheduling::kSticky) return;
+  // Cost weights: last epoch's per-group event counts — a seed-
+  // deterministic signal of where the simulation currently burns time
+  // (first epoch: the scheduled queue sizes). The weights steer only the
+  // wall clock; any plan yields the identical trace.
+  std::vector<std::uint64_t> cost(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    cost[g] = plan_.empty() ? groups_[g]->queue.size() + 1
+                            : groups_[g]->epoch_events + 1;
+    groups_[g]->epoch_events = 0;
   }
+  // LPT greedy candidate: heaviest group first onto the least-loaded
+  // worker. Cheap (G log G, G = shard count), so recompute it every
+  // epoch and use its makespan as the *achievable* baseline — comparing
+  // against total/workers would force a rebuild whenever G/workers
+  // doesn't divide evenly, which is exactly the common case.
+  std::vector<std::size_t> order(groups_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (cost[a] != cost[b]) return cost[a] > cost[b];
+    return a < b;
+  });
+  std::vector<std::vector<std::size_t>> candidate(workers);
+  std::vector<std::uint64_t> load(workers, 0);
+  for (const std::size_t g : order) {
+    const std::size_t w = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    candidate[w].push_back(g);
+    load[w] += cost[g];
+  }
+  const std::uint64_t candidate_max =
+      *std::max_element(load.begin(), load.end());
+  if (!plan_.empty()) {
+    // Sticky: keep the current assignment while its makespan stays
+    // within 25% of what repartitioning would buy — moving a group
+    // evicts every cache line it owns, so only a real win justifies it.
+    std::uint64_t current_max = 0;
+    for (const auto& assigned : plan_) {
+      std::uint64_t worker_load = 0;
+      for (const std::size_t g : assigned) worker_load += cost[g];
+      current_max = std::max(current_max, worker_load);
+    }
+    if (current_max * 4 <= candidate_max * 5) return;
+  }
+  plan_ = std::move(candidate);
+  ++phases_.plan_rebuilds;
 }
 
 void ParallelSimulation::start_workers(std::size_t n) {
@@ -396,19 +585,25 @@ void ParallelSimulation::start_workers(std::size_t n) {
       static_cast<std::ptrdiff_t>(n + 1));
   stop_.store(false, std::memory_order_relaxed);
   workers_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+    if (pin_workers_) pin_thread_to_core(workers_.back(), i);
+  }
 }
 
-void ParallelSimulation::worker_loop() {
+void ParallelSimulation::worker_loop(std::size_t id) {
   for (;;) {
     epoch_start_->arrive_and_wait();
     if (stop_.load(std::memory_order_acquire)) return;
     try {
-      for (std::size_t g;
-           (g = next_group_.fetch_add(1, std::memory_order_relaxed)) <
-           groups_.size();) {
-        run_group_epoch(g, epoch_limit_);
+      if (scheduling_ == Scheduling::kSticky) {
+        for (const std::size_t g : plan_[id]) run_group_epoch(g, epoch_limit_);
+      } else {
+        for (std::size_t g;
+             (g = next_group_.fetch_add(1, std::memory_order_relaxed)) <
+             groups_.size();) {
+          run_group_epoch(g, epoch_limit_);
+        }
       }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(worker_error_mu_);
@@ -424,6 +619,7 @@ void ParallelSimulation::run_epoch_pooled(SimTime limit) {
   epoch_start_->arrive_and_wait();  // release the workers
   epoch_done_->arrive_and_wait();   // the epoch barrier
   if (worker_error_) {
+    stop_flusher();
     stop_workers();
     std::rethrow_exception(worker_error_);
   }
@@ -447,24 +643,46 @@ SimulationReport ParallelSimulation::run() {
   register_population();
   grant_shares();
   bootstrap_phase();
-  flush_traces();  // bootstrap records, merged once
+  collect_chunks();
+  run_flush(flush_chunks_);  // bootstrap records, merged once, pre-pipeline
   schedule_population_start();
 
   const SimTime horizon = static_cast<SimTime>(config_.days) * kDay;
   const bool pooled = threads_ > 1 && groups_.size() > 1;
-  if (pooled) start_workers(std::min(threads_, groups_.size()));
+  const std::size_t n_workers = std::min(threads_, groups_.size());
+  if (pooled) {
+    start_workers(n_workers);
+    start_flusher();
+  }
   for (SimTime epoch_end = kHour;; epoch_end += kHour) {
     const SimTime limit = std::min(epoch_end, horizon);
+    const auto t0 = Clock::now();
     if (pooled) {
+      prepare_epoch_plan(n_workers);
       run_epoch_pooled(limit);
     } else {
       for (std::size_t g = 0; g < groups_.size(); ++g)
         run_group_epoch(g, limit);
     }
+    phases_.compute_s += secs_since(t0);
     merge_epoch(limit);
+    ++phases_.epochs;
     if (limit >= horizon) break;
   }
-  if (pooled) stop_workers();
+  // Drain the pipeline tail: the last epoch's flush is still in flight;
+  // its purges deliver at the horizon and the records they emit get one
+  // final synchronous flush (any purges *that* flush detects are applied
+  // too, but — like the pre-pipeline engine — their records are not
+  // re-flushed).
+  join_flusher();
+  deliver_purges(horizon);
+  collect_chunks();
+  run_flush(flush_chunks_);
+  deliver_purges(horizon);
+  if (pooled) {
+    stop_flusher();
+    stop_workers();
+  }
 
   report_.users = config_.users;
   report_.horizon = horizon;

@@ -8,10 +8,33 @@
 // RNG stream and trace buffer, and advances all groups over bounded time
 // epochs of one simulated hour:
 //
-//   epoch e:  workers claim groups and run their queues up to (e+1)*1h
-//   barrier:  (sequential) merge dedup op logs in group order,
-//             absorb content-pool views, merge + emit trace chunks,
-//             feed the anomaly guard, deliver cross-group commands
+//   epoch e:   workers run their assigned groups up to (e+1)*1h, while
+//              the flusher thread merges + emits epoch e-1's trace
+//   barrier:   (sequential, O(new blobs + commands)) join the flusher,
+//              merge dedup op logs in group order, absorb content-pool
+//              views, drain the inter-epoch mailbox, freeze the epoch's
+//              trace chunks and hand them to the flusher
+//
+// The barrier's serial section is deliberately tiny: the expensive trace
+// work — per-group chunk sort, k-way merge, AnomalyGuard scan, sink
+// writes — happens on a dedicated flusher thread and overlaps the next
+// epoch's compute (the "pipelined flush"). Merge input is frozen at the
+// barrier, so the flushed stream is a deterministic function of the
+// per-group chunks regardless of what the workers are computing
+// concurrently; guard purges detected in epoch e's stream are delivered
+// through the mailbox at the *following* barrier (timestamp (e+2)*1h) —
+// one epoch later than the pre-pipeline engine, identically so for every
+// thread count.
+//
+// Workers no longer claim groups from a shared counter: a sticky,
+// cost-weighted plan (weights = the previous epoch's per-group event
+// counts, which are seed-deterministic) binds each group to one worker
+// so its backend/queue/agents stay hot in that worker's cache, and is
+// rebuilt (LPT greedy) only when the load imbalance drifts past 25%.
+// U1SIM_PIN=1 additionally pins worker i to core i. The plan never
+// affects the trace — groups are isolated during an epoch — only the
+// wall clock; tests assert trace equality between sticky and counter
+// scheduling and across thread counts.
 //
 // Everything a worker touches during an epoch is group-private or frozen
 // (models are const and take the caller's RNG; the shared dedup registry
@@ -19,8 +42,9 @@
 // at each barrier is a deterministic function of the per-group streams —
 // replayed in fixed group order — so the emitted trace and the final
 // report are byte-identical for ANY worker-thread count, including one.
-// The single-threaded run (threads <= 1 executes groups inline, in order)
-// is therefore the correctness oracle for every parallel run.
+// The single-threaded run (threads <= 1 executes groups inline, in order,
+// with the same pipeline schedule) is therefore the correctness oracle
+// for every parallel run.
 //
 // Cross-group traffic and its cost:
 //  - share grants (~1.8% of users): resolved at setup by ghost-registering
@@ -30,24 +54,28 @@
 //  - DDoS bot fleets: an attack's abused account pins the whole attack
 //    (launch, bots, manual response) to one group — single-account traffic
 //    is single-shard by construction;
-//  - AnomalyGuard purges: detected on the merged stream at the barrier,
-//    delivered through a per-group mailbox at the next epoch boundary.
+//  - AnomalyGuard purges: detected on the merged stream by the flusher,
+//    posted to a bounded MPSC mailbox (EpochMailbox), and delivered in
+//    group-index order at the next barrier.
 #pragma once
 
 #include <atomic>
 #include <barrier>
+#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "improve/anomaly_guard.hpp"
 #include "server/backend.hpp"
 #include "sim/client_agent.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
 #include "sim/simulation.hpp"
 #include "store/dedup_overlay.hpp"
 #include "trace/sink.hpp"
@@ -57,6 +85,25 @@ namespace u1 {
 
 class ParallelSimulation {
  public:
+  /// How workers pick up groups each epoch.
+  enum class Scheduling : std::uint8_t {
+    kSticky,   // static cost-weighted plan, cache-affine (default)
+    kCounter,  // legacy shared atomic counter (perf baseline / tests)
+  };
+
+  /// Wall-clock decomposition of the epoch pipeline, accumulated over
+  /// the whole run. With the pipelined flusher, flush_s overlaps
+  /// compute_s; the serial fraction per epoch is merge_s plus whatever
+  /// part of flush_s the compute could not hide (flush_stall_s).
+  struct EpochPhases {
+    std::uint64_t epochs = 0;
+    double compute_s = 0;      // parallel group execution
+    double merge_s = 0;        // serial barrier work (dedup/pool/mailbox)
+    double flush_s = 0;        // chunk sort + k-way merge + guard + sink
+    double flush_stall_s = 0;  // barrier time spent waiting on the flusher
+    std::uint64_t plan_rebuilds = 0;  // sticky-scheduler LPT repartitions
+  };
+
   /// threads == 0 resolves to std::thread::hardware_concurrency().
   /// threads <= 1 runs the same epoch/merge machinery inline — the
   /// deterministic oracle every multi-threaded run must match.
@@ -72,6 +119,16 @@ class ParallelSimulation {
 
   std::size_t group_count() const noexcept { return groups_.size(); }
   std::size_t threads() const noexcept { return threads_; }
+
+  /// Scheduling/queue overrides; call before run(). Defaults come from
+  /// the environment (U1SIM_SCHED=sticky|counter, U1SIM_QUEUE=
+  /// calendar|heap) and neither choice can change the trace.
+  void set_scheduling(Scheduling s) noexcept { scheduling_ = s; }
+  Scheduling scheduling() const noexcept { return scheduling_; }
+  void set_queue_impl(QueueImpl impl) noexcept { queue_impl_ = impl; }
+
+  /// Per-phase wall-clock breakdown of the finished run.
+  const EpochPhases& phases() const noexcept { return phases_; }
 
   /// Per-group back-end (post-run introspection).
   const U1Backend& backend(std::size_t group) const;
@@ -125,9 +182,9 @@ class ParallelSimulation {
     EventQueue<Ev> queue;
     Rng rng;
     InMemorySink trace;
-    /// Cross-group commands delivered at the epoch boundary (currently:
-    /// anomaly-guard purges of accounts homed in this group).
-    std::vector<UserId> purge_mailbox;
+    /// Events executed in the current epoch — the (seed-deterministic)
+    /// cost weight the sticky scheduler plans the next epoch with.
+    std::uint64_t epoch_events = 0;
     std::uint64_t agent_wakeups = 0;
     std::uint64_t ddos_attacks = 0;
   };
@@ -141,19 +198,38 @@ class ParallelSimulation {
   void run_group_epoch(std::size_t group, SimTime limit);
 
   // Persistent worker pool (threads_ >= 2): workers park on the start
-  // barrier between epochs, claim groups via an atomic counter during an
+  // barrier between epochs, execute their planned groups during an
   // epoch, and meet the coordinator on the done barrier — the epoch
   // barrier of the design.
   void start_workers(std::size_t n);
   void stop_workers();
-  void worker_loop();
+  void worker_loop(std::size_t id);
   void run_epoch_pooled(SimTime limit);
-  /// Sequential barrier work: dedup/pool/trace merge, guard, mailboxes.
+  /// (Re)builds the sticky group->worker plan when the cost-weighted
+  /// load imbalance under the current plan exceeds 25% (LPT greedy,
+  /// deterministic). Called between barriers, workers parked.
+  void prepare_epoch_plan(std::size_t workers);
+  /// Sequential barrier work: join flusher, dedup/pool merge, purge
+  /// delivery, chunk hand-off. The trace heavy lifting lives in
+  /// run_flush on the flusher thread.
   void merge_epoch(SimTime epoch_end);
-  /// Concatenates the per-group trace chunks in group order, stable-sorts
-  /// by timestamp (ties resolve to group order, then emission order) and
-  /// streams the result to the user's sink.
-  void flush_traces();
+
+  // Pipelined flush: sort per-group chunks, k-way merge, guard scan,
+  // sink writes. Runs on flusher_ when pooled, inline otherwise — the
+  // observable order (chunk E scanned before purges of E deliver at
+  // barrier E+1) is identical either way.
+  void start_flusher();
+  void stop_flusher();
+  void submit_flush();
+  void join_flusher();
+  void flusher_loop();
+  void run_flush(std::vector<std::vector<TraceRecord>>& chunks);
+  /// Swaps every group's trace buffer into flush_chunks_ (capacity
+  /// recycles both ways — the double buffer).
+  void collect_chunks();
+  /// Drains the purge mailbox in group-index order, applying each purge
+  /// at `when`.
+  void deliver_purges(SimTime when);
 
   SimTime bot_wake(Group& grp, std::size_t bot_index, SimTime now);
   void launch_attack(Group& grp, std::size_t attack_index, SimTime now);
@@ -163,6 +239,10 @@ class ParallelSimulation {
   TraceSink* sink_;
   std::size_t threads_;
   Rng rng_;  // master stream: sequential setup only
+
+  Scheduling scheduling_ = Scheduling::kSticky;
+  QueueImpl queue_impl_ = QueueImpl::kCalendar;
+  bool pin_workers_ = false;  // U1SIM_PIN
 
   // Shared, frozen-during-epoch workload machinery.
   FileModel file_model_;
@@ -180,7 +260,6 @@ class ParallelSimulation {
   std::vector<std::unique_ptr<Group>> groups_;
   std::vector<AttackRuntime> attacks_;
   std::unique_ptr<AnomalyGuard> guard_;
-  std::vector<TraceRecord> merge_scratch_;
 
   /// Where each uid lives: (group, group-local agent index), uid-1 keyed.
   struct HomeRef {
@@ -194,12 +273,33 @@ class ParallelSimulation {
   std::vector<std::thread> workers_;
   std::unique_ptr<std::barrier<>> epoch_start_;
   std::unique_ptr<std::barrier<>> epoch_done_;
-  std::atomic<std::size_t> next_group_{0};
+  std::atomic<std::size_t> next_group_{0};  // kCounter scheduling only
   std::atomic<bool> stop_{false};
   SimTime epoch_limit_ = 0;
   std::exception_ptr worker_error_;
   std::mutex worker_error_mu_;
+  /// Sticky plan: plan_[worker] = ordered groups it runs each epoch.
+  std::vector<std::vector<std::size_t>> plan_;
 
+  // Flusher state. The coordinator and the flusher hand the chunk set
+  // back and forth under flush_mu_; everything the flusher touches
+  // (chunks, guard, sink, purge mailbox posts, flush_s) is exclusively
+  // its own between submit_flush() and the matching join_flusher().
+  std::thread flusher_;
+  std::mutex flush_mu_;
+  std::condition_variable flush_cv_;
+  bool flush_pending_ = false;
+  bool flusher_stop_ = false;
+  std::exception_ptr flush_error_;
+  std::vector<std::vector<TraceRecord>> flush_chunks_;
+  /// Cross-group purge commands: posted by the guard scan (lane = the
+  /// culprit's home group), drained at the barrier in group-index order.
+  EpochMailbox<UserId> purge_mail_;
+  /// Per-group dedup of pending purges (the old O(n^2) std::find over
+  /// the mailbox, replaced); cleared at every delivery.
+  std::vector<std::unordered_set<UserId>> purge_seen_;
+
+  EpochPhases phases_;
   SimulationReport report_;
   std::uint64_t cross_group_dead_blobs_ = 0;
   bool ran_ = false;

@@ -19,6 +19,7 @@ Simulation::Simulation(const SimulationConfig& config, TraceSink& sink)
       bursts_(config.burst) {
   if (config.users == 0 || config.days <= 0)
     throw std::invalid_argument("SimulationConfig: users/days must be > 0");
+  queue_.set_impl(engine_queue_impl());  // U1SIM_QUEUE=heap|calendar
   fan_.add(&sink);
   if (config.auto_countermeasures) {
     // Tap the record stream into the anomaly guard; purges are deferred

@@ -1,0 +1,69 @@
+// Epoch trace merging: turns the per-group epoch chunks into the single
+// deterministic stream the sinks and analyzers see.
+//
+// Contract (the total order every engine build must reproduce): ascending
+// timestamp; ties break by group index, then by within-group emission
+// order. That is exactly what the original concat-in-group-order +
+// stable_sort-by-timestamp produced, but a k-way merge over per-group
+// sorted chunks is O(N log G) instead of O(N log N) — and the per-chunk
+// sorts can run off the simulation's critical path (the flusher thread),
+// while the chunks are nearly sorted to begin with (only bounded
+// service-time lookahead runs ahead of the event clock).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace u1 {
+
+/// Stable-sorts one group's epoch chunk by timestamp, preserving the
+/// emission order of equal-timestamp records. The common case — an
+/// already-sorted chunk — costs one is_sorted scan and no moves.
+inline void sort_trace_chunk(std::vector<TraceRecord>& chunk) {
+  const auto by_time = [](const TraceRecord& a, const TraceRecord& b) {
+    return a.t < b.t;
+  };
+  if (!std::is_sorted(chunk.begin(), chunk.end(), by_time))
+    std::stable_sort(chunk.begin(), chunk.end(), by_time);
+}
+
+/// K-way merge over per-group chunks, each individually stable-sorted by
+/// timestamp (see sort_trace_chunk). Calls emit(record) once per record
+/// in the contract order above. The chunks are left in place (sorted);
+/// the caller recycles their capacity.
+template <typename Emit>
+void merge_trace_chunks(std::vector<std::vector<TraceRecord>>& chunks,
+                        Emit&& emit) {
+  struct Head {
+    SimTime t;
+    std::size_t group;
+  };
+  // Min-heap on (t, group): equal timestamps pop lowest group first, and
+  // within one group the cursor preserves emission order — together the
+  // (t, group, emission) total order of the old stable_sort.
+  const auto later = [](const Head& a, const Head& b) noexcept {
+    if (a.t != b.t) return a.t > b.t;
+    return a.group > b.group;
+  };
+  std::vector<Head> heads;
+  std::vector<std::size_t> cursor(chunks.size(), 0);
+  heads.reserve(chunks.size());
+  for (std::size_t g = 0; g < chunks.size(); ++g)
+    if (!chunks[g].empty()) heads.push_back(Head{chunks[g].front().t, g});
+  std::make_heap(heads.begin(), heads.end(), later);
+  while (!heads.empty()) {
+    std::pop_heap(heads.begin(), heads.end(), later);
+    const std::size_t g = heads.back().group;
+    heads.pop_back();
+    emit(chunks[g][cursor[g]]);
+    if (++cursor[g] < chunks[g].size()) {
+      heads.push_back(Head{chunks[g][cursor[g]].t, g});
+      std::push_heap(heads.begin(), heads.end(), later);
+    }
+  }
+}
+
+}  // namespace u1

@@ -29,6 +29,13 @@ class InMemorySink final : public TraceSink {
     return records_;
   }
   void clear() noexcept { records_.clear(); }
+  /// Exchanges the backing store with `other` — the double-buffer hook
+  /// the parallel engine's pipelined flusher uses to freeze an epoch's
+  /// records while the next epoch keeps appending (both vectors keep
+  /// their capacity, so steady state allocates nothing).
+  void swap_records(std::vector<TraceRecord>& other) noexcept {
+    records_.swap(other);
+  }
 
  private:
   std::vector<TraceRecord> records_;

@@ -1,0 +1,320 @@
+// Epoch-pipeline overhaul invariants: the k-way trace merge must
+// reproduce the old stable_sort total order exactly; the calendar queue
+// must pop in the binary heap's exact order (FIFO ties included); the
+// sticky scheduler and the pipelined flusher must leave the merged trace
+// byte-identical; and the bounded MPSC mailbox must drain
+// deterministically.
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/parallel.hpp"
+#include "sim/trace_merge.hpp"
+#include "trace/sink.hpp"
+#include "util/rng.hpp"
+
+namespace u1 {
+namespace {
+
+// --------------------------------------------------------------------------
+// K-way merge vs the old concat + stable_sort.
+
+TraceRecord record_at(SimTime t, std::uint64_t tag) {
+  TraceRecord r;
+  r.t = t;
+  r.user = UserId{tag};  // payload marker so order mix-ups are visible
+  return r;
+}
+
+std::string key(const TraceRecord& r) {
+  return std::to_string(r.t) + "/" + std::to_string(r.user.value);
+}
+
+TEST(TraceMerge, MatchesStableSortOnTieHeavyChunks) {
+  // Heavy ties: timestamps drawn from just 16 values across 7 chunks, so
+  // nearly every pop breaks a tie. The old pipeline concatenated chunks
+  // in group order and stable_sorted by t; the k-way merge must emit the
+  // exact same sequence.
+  Rng rng(7u);
+  std::vector<std::vector<TraceRecord>> chunks(7);
+  std::uint64_t tag = 0;
+  for (auto& chunk : chunks) {
+    const std::size_t n = rng.below(400);
+    for (std::size_t i = 0; i < n; ++i)
+      chunk.push_back(record_at(static_cast<SimTime>(rng.below(16)), tag++));
+  }
+
+  std::vector<TraceRecord> reference;
+  for (const auto& chunk : chunks)
+    reference.insert(reference.end(), chunk.begin(), chunk.end());
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const TraceRecord& a, const TraceRecord& b) {
+                     return a.t < b.t;
+                   });
+
+  for (auto& chunk : chunks) sort_trace_chunk(chunk);
+  std::vector<TraceRecord> merged;
+  merge_trace_chunks(chunks, [&](const TraceRecord& r) {
+    merged.push_back(r);
+  });
+
+  ASSERT_EQ(merged.size(), reference.size());
+  for (std::size_t i = 0; i < merged.size(); ++i)
+    ASSERT_EQ(key(merged[i]), key(reference[i])) << "divergence at " << i;
+}
+
+TEST(TraceMerge, HandlesUnsortedChunksAndEmptyChunks) {
+  // Per-group chunks are only *nearly* sorted (service-time lookahead
+  // stamps records ahead of the event clock); sort_trace_chunk must
+  // restore order without disturbing equal-timestamp emission order.
+  std::vector<std::vector<TraceRecord>> chunks(4);
+  chunks[1] = {record_at(50, 0), record_at(10, 1), record_at(50, 2),
+               record_at(10, 3)};
+  chunks[3] = {record_at(10, 4), record_at(50, 5)};
+  for (auto& chunk : chunks) sort_trace_chunk(chunk);
+  std::vector<std::string> got;
+  merge_trace_chunks(chunks, [&](const TraceRecord& r) {
+    got.push_back(key(r));
+  });
+  // t=10: chunk 1 keeps (1,3) emission order, then chunk 3's 4;
+  // t=50: chunk 1's (0,2), then chunk 3's 5.
+  const std::vector<std::string> want = {"10/1", "10/3", "10/4",
+                                         "50/0", "50/2", "50/5"};
+  EXPECT_EQ(got, want);
+}
+
+// --------------------------------------------------------------------------
+// Calendar queue vs binary heap: identical pop order, FIFO ties included.
+
+void expect_same_pop_order(const std::vector<SimTime>& pushes,
+                           double pop_prob, std::uint64_t seed) {
+  EventQueue<std::uint64_t> heap(QueueImpl::kBinaryHeap);
+  EventQueue<std::uint64_t> calendar(QueueImpl::kCalendar);
+  Rng rng(seed);
+  std::uint64_t tag = 0;
+  std::size_t checked = 0;
+  const auto pop_both = [&] {
+    const SimTime t_heap = heap.next_time();
+    const SimTime t_cal = calendar.next_time();
+    ASSERT_EQ(t_heap, t_cal) << "next_time diverged after " << checked;
+    const auto a = heap.pop();
+    const auto b = calendar.pop();
+    ASSERT_EQ(a.t, b.t) << "timestamp diverged at pop " << checked;
+    ASSERT_EQ(a.payload, b.payload)
+        << "FIFO tie-break diverged at pop " << checked << " (t=" << a.t
+        << ")";
+    ++checked;
+  };
+  for (const SimTime t : pushes) {
+    heap.push(t, tag);
+    calendar.push(t, tag);
+    ++tag;
+    // Interleave pops so the calendar's cursor/resize machinery runs in
+    // mid-stream states, not just on a fully built queue.
+    if (!heap.empty() && rng.chance(pop_prob)) pop_both();
+  }
+  while (!heap.empty()) pop_both();
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(checked, pushes.size());
+}
+
+TEST(CalendarQueue, MatchesHeapOnDenseTies) {
+  // 5k events over 40 distinct timestamps: ties dominate, the FIFO seq
+  // tie-break carries the whole order.
+  Rng rng(11u);
+  std::vector<SimTime> pushes;
+  for (int i = 0; i < 5000; ++i)
+    pushes.push_back(static_cast<SimTime>(rng.below(40)) * kSecond);
+  expect_same_pop_order(pushes, 0.4, 99u);
+}
+
+TEST(CalendarQueue, MatchesHeapOnMixedWorkload) {
+  // Simulation-shaped: a drifting "now" with exponential-ish forward
+  // jumps, occasional far-future events (maintenance, attacks).
+  Rng rng(12u);
+  std::vector<SimTime> pushes;
+  SimTime now = 0;
+  for (int i = 0; i < 8000; ++i) {
+    now += static_cast<SimTime>(rng.below(30 * kSecond));
+    SimTime t = now;
+    if (rng.chance(0.05)) t += static_cast<SimTime>(rng.below(2 * kDay));
+    pushes.push_back(t);
+  }
+  expect_same_pop_order(pushes, 0.5, 100u);
+}
+
+TEST(CalendarQueue, MatchesHeapOnSparseGaps) {
+  // Huge gaps force the calendar's empty-year fallback scan and width
+  // re-estimation.
+  Rng rng(13u);
+  std::vector<SimTime> pushes;
+  for (int i = 0; i < 600; ++i)
+    pushes.push_back(static_cast<SimTime>(rng.below(400) * 90 * kDay));
+  expect_same_pop_order(pushes, 0.2, 101u);
+}
+
+TEST(CalendarQueue, MatchesHeapOnNegativeTimestamps) {
+  // Bootstrap events run at t < 0; floor division must keep negative
+  // buckets ordered.
+  Rng rng(14u);
+  std::vector<SimTime> pushes;
+  for (int i = 0; i < 3000; ++i)
+    pushes.push_back(static_cast<SimTime>(rng.below(8 * kDay)) - 4 * kDay);
+  expect_same_pop_order(pushes, 0.3, 102u);
+}
+
+TEST(CalendarQueue, SetImplRequiresEmptyQueue) {
+  EventQueue<int> q(QueueImpl::kBinaryHeap);
+  q.push(1, 0);
+  EXPECT_THROW(q.set_impl(QueueImpl::kCalendar), std::logic_error);
+  q.pop();
+  EXPECT_NO_THROW(q.set_impl(QueueImpl::kCalendar));
+  EXPECT_EQ(q.impl(), QueueImpl::kCalendar);
+}
+
+// --------------------------------------------------------------------------
+// Engine-level invariance: scheduling policy and queue implementation are
+// pure performance knobs — the merged trace must not move a byte.
+
+SimulationConfig small_config(bool auto_guard = false) {
+  SimulationConfig cfg;
+  cfg.users = 200;
+  cfg.days = 2;
+  cfg.seed = 20140111;
+  cfg.enable_ddos = true;
+  cfg.auto_countermeasures = auto_guard;
+  return cfg;
+}
+
+std::vector<std::string> run_trace_with(
+    const SimulationConfig& cfg, std::size_t threads,
+    ParallelSimulation::Scheduling sched, QueueImpl queue) {
+  InMemorySink sink;
+  ParallelSimulation sim(cfg, sink, threads);
+  sim.set_scheduling(sched);
+  sim.set_queue_impl(queue);
+  sim.run();
+  std::vector<std::string> lines;
+  lines.reserve(sink.records().size());
+  for (const TraceRecord& rec : sink.records()) {
+    std::string line;
+    for (const std::string& field : rec.to_csv()) {
+      line += field;
+      line += ',';
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+void expect_traces_equal(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b,
+                         const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << ": first divergence at row " << i;
+}
+
+TEST(EpochPipeline, StickySchedulingMatchesCounterAndInline) {
+  const auto cfg = small_config(/*auto_guard=*/true);
+  using S = ParallelSimulation::Scheduling;
+  const auto inline1 =
+      run_trace_with(cfg, 1, S::kSticky, QueueImpl::kCalendar);
+  const auto sticky4 =
+      run_trace_with(cfg, 4, S::kSticky, QueueImpl::kCalendar);
+  const auto counter4 =
+      run_trace_with(cfg, 4, S::kCounter, QueueImpl::kCalendar);
+  ASSERT_FALSE(inline1.empty());
+  expect_traces_equal(inline1, sticky4, "sticky@4 vs inline");
+  expect_traces_equal(inline1, counter4, "counter@4 vs inline");
+}
+
+TEST(EpochPipeline, QueueImplDoesNotChangeTrace) {
+  const auto cfg = small_config();
+  using S = ParallelSimulation::Scheduling;
+  const auto heap2 =
+      run_trace_with(cfg, 2, S::kSticky, QueueImpl::kBinaryHeap);
+  const auto cal2 =
+      run_trace_with(cfg, 2, S::kSticky, QueueImpl::kCalendar);
+  ASSERT_FALSE(heap2.empty());
+  expect_traces_equal(heap2, cal2, "calendar vs heap");
+}
+
+TEST(EpochPipeline, PhaseBreakdownCoversEveryEpoch) {
+  const auto cfg = small_config();
+  InMemorySink sink;
+  ParallelSimulation sim(cfg, sink, 2);
+  sim.run();
+  const auto& p = sim.phases();
+  // One epoch per simulated hour over the whole horizon.
+  EXPECT_EQ(p.epochs, static_cast<std::uint64_t>(cfg.days) * 24u);
+  EXPECT_GT(p.compute_s, 0.0);
+  EXPECT_GT(p.flush_s, 0.0);
+  EXPECT_GE(p.merge_s, 0.0);
+  EXPECT_GE(p.flush_stall_s, 0.0);
+  EXPECT_GE(p.plan_rebuilds, 1u);  // the first epoch always builds a plan
+}
+
+// --------------------------------------------------------------------------
+// Bounded MPSC mailbox.
+
+TEST(EpochMailbox, DrainsLanesInIndexOrderAndPostOrder) {
+  EpochMailbox<int> mail(3, /*lane_capacity=*/4);
+  mail.post(2, 20);
+  mail.post(0, 1);
+  mail.post(1, 10);
+  mail.post(0, 2);
+  EXPECT_EQ(mail.pending(), 4u);
+  std::vector<std::pair<std::size_t, int>> got;
+  mail.drain([&](std::size_t lane, int v) { got.emplace_back(lane, v); });
+  const std::vector<std::pair<std::size_t, int>> want = {
+      {0, 1}, {0, 2}, {1, 10}, {2, 20}};
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(mail.pending(), 0u);
+}
+
+TEST(EpochMailbox, OverflowSpillsWithoutLoss) {
+  EpochMailbox<int> mail(1, /*lane_capacity=*/2);
+  for (int i = 0; i < 7; ++i) mail.post(0, i);
+  std::vector<int> got;
+  mail.drain([&](std::size_t, int v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6}));
+  // The lane is reusable after a drain that touched the spill path.
+  mail.post(0, 42);
+  got.clear();
+  mail.drain([&](std::size_t, int v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{42}));
+}
+
+TEST(EpochMailbox, ConcurrentPostsAllArrive) {
+  // Producers race onto every lane; the drain must see every value
+  // exactly once (order across producers is unspecified, totals are not).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  EpochMailbox<int> mail(kProducers, /*lane_capacity=*/64);
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&mail, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        mail.post(static_cast<std::size_t>((p + i) % kProducers),
+                  p * kPerProducer + i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  std::vector<int> got;
+  mail.drain([&](std::size_t, int v) { got.push_back(v); });
+  ASSERT_EQ(got.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::sort(got.begin(), got.end());
+  for (int i = 0; i < kProducers * kPerProducer; ++i)
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], i) << "lost or duplicated";
+}
+
+}  // namespace
+}  // namespace u1
