@@ -131,13 +131,35 @@ void BM_TraceRecordCsvRoundTrip(benchmark::State& state) {
   r.volume = Uuid::v4(rng);
   r.content = Sha1::of("content");
   r.size_bytes = 123456;
-  r.extension = "mp3";
+  r.set_extension("mp3");
   for (auto _ : state) {
     const auto fields = r.to_csv();
     benchmark::DoNotOptimize(TraceRecord::from_csv(fields));
   }
 }
 BENCHMARK(BM_TraceRecordCsvRoundTrip);
+
+void BM_TraceRecordAppendCsvRow(benchmark::State& state) {
+  // The flush hot path: one reused buffer, no per-field strings.
+  Rng rng(9);
+  TraceRecord r;
+  r.t = kHour;
+  r.type = RecordType::kStorageDone;
+  r.api_op = ApiOp::kPutContent;
+  r.node = Uuid::v4(rng);
+  r.volume = Uuid::v4(rng);
+  r.content = Sha1::of("content");
+  r.size_bytes = 123456;
+  r.set_extension("mp3");
+  std::string row;
+  for (auto _ : state) {
+    row.clear();
+    r.append_csv_row(row);
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordAppendCsvRow);
 
 }  // namespace
 

@@ -37,6 +37,7 @@ struct RunResult {
   std::vector<double> walls;  // one per repeat, run order
   std::uint64_t records = 0;
   std::string trace_sha1;
+  std::size_t flush_depth = 0;  // ring depth K the engine resolved
   u1::ParallelSimulation::EpochPhases phases;  // first repeat
   u1::SimulationReport report;
 
@@ -59,13 +60,16 @@ RunResult run_once(const u1::SimulationConfig& cfg, std::size_t threads,
   for (int rep = 0; rep < repeats; ++rep) {
     u1::Sha1 hasher;
     std::uint64_t records = 0;
+    // One reused row buffer: append_csv_row produces the same byte
+    // stream the old per-field to_csv() loop hashed (every field
+    // followed by ',', then '\n') without materializing 24 strings per
+    // record — the sink IS the flush hot path being measured.
+    std::string row;
     u1::CallbackSink sink([&](const u1::TraceRecord& r) {
       ++records;
-      for (const std::string& field : r.to_csv()) {
-        hasher.update(field);
-        hasher.update(",");
-      }
-      hasher.update("\n");
+      row.clear();
+      r.append_csv_row(row);
+      hasher.update(row);
     });
     const auto t0 = std::chrono::steady_clock::now();
     u1::ParallelSimulation sim(cfg, sink, threads);
@@ -76,6 +80,7 @@ RunResult run_once(const u1::SimulationConfig& cfg, std::size_t threads,
     if (rep == 0) {
       out.records = records;
       out.trace_sha1 = sha;
+      out.flush_depth = sim.flush_depth();
       out.phases = sim.phases();
       out.report = report;
     } else if (sha != out.trace_sha1 || records != out.records) {
@@ -89,10 +94,19 @@ RunResult run_once(const u1::SimulationConfig& cfg, std::size_t threads,
 
 void print_phases(const u1::ParallelSimulation::EpochPhases& p) {
   std::printf("    phases: epochs=%llu compute=%.2fs merge=%.2fs "
-              "flush=%.2fs flush_stall=%.2fs plan_rebuilds=%llu\n",
+              "flush=%.2fs write=%.2fs flush_stall=%.2fs ring_stall=%.2fs "
+              "plan_rebuilds=%llu\n",
               static_cast<unsigned long long>(p.epochs), p.compute_s,
-              p.merge_s, p.flush_s, p.flush_stall_s,
+              p.merge_s, p.flush_s, p.write_s, p.flush_stall_s,
+              p.ring_stall_s,
               static_cast<unsigned long long>(p.plan_rebuilds));
+  const double per_find = p.cal_finds > 0
+                              ? static_cast<double>(p.cal_scanned) /
+                                    static_cast<double>(p.cal_finds)
+                              : 0.0;
+  std::printf("    calendar: rebuilds=%llu finds=%llu scanned_per_find=%.2f\n",
+              static_cast<unsigned long long>(p.cal_rebuilds),
+              static_cast<unsigned long long>(p.cal_finds), per_find);
 }
 
 }  // namespace
@@ -171,6 +185,8 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(cfg.seed));
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
     std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(f, "  \"flush_depth\": %zu,\n",
+                 runs.empty() ? std::size_t{0} : runs.front().flush_depth);
     std::fprintf(f, "  \"single_core_host\": %s,\n",
                  single_core ? "true" : "false");
     std::fprintf(f, "  \"flat_scaling_expected\": %s,\n",
@@ -188,15 +204,20 @@ int main(int argc, char** argv) {
           "\"records_per_sec\": %.0f, \"speedup_vs_1t\": %.3f, "
           "\"trace_sha1\": \"%s\",\n"
           "     \"phases\": {\"epochs\": %llu, \"compute_s\": %.3f, "
-          "\"merge_s\": %.3f, \"flush_s\": %.3f, \"flush_stall_s\": %.3f, "
-          "\"plan_rebuilds\": %llu}}%s\n",
+          "\"merge_s\": %.3f, \"flush_s\": %.3f, \"write_s\": %.3f, "
+          "\"flush_stall_s\": %.3f, \"ring_stall_s\": %.3f, "
+          "\"plan_rebuilds\": %llu, \"cal_rebuilds\": %llu, "
+          "\"cal_finds\": %llu, \"cal_scanned\": %llu}}%s\n",
           r.threads, r.wall_min(), r.wall_median(),
           static_cast<unsigned long long>(r.records),
           static_cast<double>(r.records) / r.wall_min(),
           runs.front().wall_min() / r.wall_min(), r.trace_sha1.c_str(),
           static_cast<unsigned long long>(p.epochs), p.compute_s, p.merge_s,
-          p.flush_s, p.flush_stall_s,
+          p.flush_s, p.write_s, p.flush_stall_s, p.ring_stall_s,
           static_cast<unsigned long long>(p.plan_rebuilds),
+          static_cast<unsigned long long>(p.cal_rebuilds),
+          static_cast<unsigned long long>(p.cal_finds),
+          static_cast<unsigned long long>(p.cal_scanned),
           i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

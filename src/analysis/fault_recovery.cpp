@@ -8,11 +8,11 @@ void FaultRecoveryAnalyzer::append(const TraceRecord& r) {
   if (r.type == RecordType::kFault) {
     ++fault_edges_;
     // fault field: "<kind>#<id>:begin|end"; the label keys the window.
-    const std::size_t colon = r.fault.rfind(':');
-    if (colon == std::string::npos) return;
-    const std::string label = r.fault.substr(0, colon);
-    const bool begin = r.fault.compare(colon + 1, std::string::npos,
-                                       "begin") == 0;
+    const std::string_view fault = r.fault();
+    const std::size_t colon = fault.rfind(':');
+    if (colon == std::string_view::npos) return;
+    const std::string label(fault.substr(0, colon));
+    const bool begin = fault.substr(colon + 1) == "begin";
     if (begin) {
       FaultWindowStats w;
       w.label = label;

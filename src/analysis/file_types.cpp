@@ -4,12 +4,24 @@
 
 namespace u1 {
 
-std::uint16_t FileTypeAnalyzer::intern(const std::string& extension) {
-  const auto it = ext_index_.find(extension);
-  if (it != ext_index_.end()) return it->second;
-  const auto idx = static_cast<std::uint16_t>(extensions_.size());
-  extensions_.push_back(extension);
-  ext_index_.emplace(extension, idx);
+std::uint16_t FileTypeAnalyzer::intern(Symbol label,
+                                       std::string_view extension) {
+  const auto hit = label_index_.find(label);
+  if (hit != label_index_.end()) return hit->second;
+  // First sighting of this symbol: fall back to the string key (distinct
+  // symbols resolving to one string cannot happen within a process, but
+  // the string map also serves sizes_of()).
+  const std::string key(extension);
+  std::uint16_t idx;
+  const auto it = ext_index_.find(key);
+  if (it != ext_index_.end()) {
+    idx = it->second;
+  } else {
+    idx = static_cast<std::uint16_t>(extensions_.size());
+    extensions_.push_back(key);
+    ext_index_.emplace(key, idx);
+  }
+  label_index_.emplace(label, idx);
   return idx;
 }
 
@@ -18,7 +30,7 @@ void FileTypeAnalyzer::append(const TraceRecord& r) {
   if (r.api_op != ApiOp::kPutContent || r.size_bytes == 0) return;
   FileInfo& info = files_[r.node];
   info.size = r.size_bytes;  // updates keep the latest size
-  info.ext_index = intern(r.extension);
+  info.ext_index = intern(r.label, r.extension());
 }
 
 std::vector<double> FileTypeAnalyzer::all_sizes() const {

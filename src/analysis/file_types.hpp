@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "trace/sink.hpp"
+#include "trace/symbols.hpp"
 #include "workload/file_model.hpp"
 
 namespace u1 {
@@ -44,11 +45,14 @@ class FileTypeAnalyzer final : public TraceSink {
     std::uint64_t size = 0;
     std::uint16_t ext_index = 0;
   };
-  std::uint16_t intern(const std::string& extension);
+  std::uint16_t intern(Symbol label, std::string_view extension);
 
   std::unordered_map<NodeId, FileInfo> files_;
   std::vector<std::string> extensions_;  // interned extension names
   std::unordered_map<std::string, std::uint16_t> ext_index_;
+  /// Record label -> ext_index fast path: the hot append never hashes
+  /// the extension string, only its global symbol id.
+  std::unordered_map<Symbol, std::uint16_t> label_index_;
 };
 
 }  // namespace u1

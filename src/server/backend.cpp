@@ -366,7 +366,7 @@ U1Backend::MakeResult U1Backend::make_file(SessionId session, VolumeId volume,
   TraceRecord partial;
   partial.volume = volume;
   partial.parent = parent;
-  partial.extension = extension;
+  partial.label = symbols_.intern(extension);
   emit_storage(ctx, ApiOp::kMake, now, partial);
   if (write_rejected(ctx, now)) {
     TraceRecord failed = partial;
@@ -424,7 +424,7 @@ U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
     partial.volume = before->volume;
     partial.parent = before->parent;
     partial.is_dir = before->is_dir();
-    partial.extension = before->extension;
+    partial.label = symbols_.intern(before->extension);
     partial.size_bytes = before->size_bytes;
     partial.content = before->content;
   }
@@ -554,7 +554,7 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
   partial.is_update = is_update;
   if (target) {
     partial.volume = target->volume;
-    partial.extension = target->extension;
+    partial.label = symbols_.intern(target->extension);
   }
   emit_storage(ctx, ApiOp::kPutContent, now, partial);
   if (!target || target->is_dir() || size_bytes == 0 ||
@@ -757,7 +757,7 @@ U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
   partial.is_update = is_update;
   if (target) {
     partial.volume = target->volume;
-    partial.extension = target->extension;
+    partial.label = symbols_.intern(target->extension);
   }
   emit_storage(ctx, ApiOp::kPutContent, now, partial);
 
@@ -870,7 +870,7 @@ U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
   partial.node = node;
   if (target) {
     partial.volume = target->volume;
-    partial.extension = target->extension;
+    partial.label = symbols_.intern(target->extension);
     partial.size_bytes = target->size_bytes;
     partial.content = target->content;
   }
@@ -1071,7 +1071,7 @@ void U1Backend::apply_fault(const FaultEvent& event, SimTime now,
     TraceRecord r;
     r.t = now;
     r.type = RecordType::kFault;
-    r.fault = fault_label(event);
+    r.label = symbols_.intern(fault_label(event));
     r.machine = MachineId{event.machine};
     if (event.kind == FaultKind::kProcessCrash) {
       const auto it = fault_victims_.find(event.id);

@@ -30,6 +30,7 @@
 #include "store/metadata_store.hpp"
 #include "store/service_time.hpp"
 #include "trace/sink.hpp"
+#include "trace/symbols.hpp"
 
 namespace u1 {
 
@@ -255,6 +256,10 @@ class U1Backend {
   const ServerFleet& fleet() const noexcept { return fleet_; }
   ServiceTimeModel& service_model() noexcept { return service_model_; }
   const BackendConfig& config() const noexcept { return config_; }
+  /// Interner for the record label column (`ext`/`fault`). Eager (global
+  /// ids) by default; the shard-parallel engine flips it to deferred so
+  /// emit paths never touch the global table from a worker thread.
+  GroupSymbols& symbols() noexcept { return symbols_; }
 
  private:
   struct SessionState {
@@ -311,6 +316,7 @@ class U1Backend {
 
   BackendConfig config_;
   TraceSink* sink_;
+  GroupSymbols symbols_;
   Rng rng_;
   MetadataStore store_;
   ObjectStore s3_;

@@ -69,6 +69,17 @@ class EventQueue {
 
   QueueImpl impl() const noexcept { return impl_; }
 
+  /// Lifetime calendar-bucket statistics (all zero under kBinaryHeap).
+  /// Unlike scan_cost_/finds_ — which the self-tuning policy resets —
+  /// these only grow, so scanned/finds is the true average number of
+  /// events inspected per minimum-location over the whole run.
+  struct CalendarStats {
+    std::uint64_t rebuilds = 0;  // bucket-array resizes / re-estimates
+    std::uint64_t finds = 0;     // minimum locations (next_time/pop)
+    std::uint64_t scanned = 0;   // events inspected across all finds
+  };
+  CalendarStats calendar_stats() const noexcept { return stats_; }
+
   /// Switches the implementation; only legal while the queue is empty
   /// (the engines call it once, right after constructing each group).
   void set_impl(QueueImpl impl) {
@@ -170,11 +181,13 @@ class EventQueue {
   void cal_find_min() {
     if (min_valid_) return;
     ++finds_;
+    ++stats_.finds;
     const std::size_t n_buckets = buckets_.size();
     for (std::size_t pass = 0; pass < n_buckets; ++pass) {
       const std::int64_t d = cur_div_ + static_cast<std::int64_t>(pass);
       const auto& bucket = buckets_[bucket_of(d)];
       scan_cost_ += bucket.size() + 1;
+      stats_.scanned += bucket.size() + 1;
       std::size_t best = bucket.size();
       for (std::size_t i = 0; i < bucket.size(); ++i) {
         if (fdiv(bucket[i].t, width_) != d) continue;
@@ -193,6 +206,7 @@ class EventQueue {
     bool have = false;
     for (std::size_t b = 0; b < n_buckets; ++b) {
       scan_cost_ += buckets_[b].size();
+      stats_.scanned += buckets_[b].size();
       for (std::size_t i = 0; i < buckets_[b].size(); ++i) {
         if (!have || Sooner{}(buckets_[b][i], buckets_[bb][bi])) {
           bb = b;
@@ -235,6 +249,7 @@ class EventQueue {
   /// mean gap among the nearest events), so one bucket holds a handful
   /// of events regardless of how the workload's time scale drifts.
   void cal_rebuild(std::size_t new_buckets) {
+    ++stats_.rebuilds;
     std::vector<Event> all;
     all.reserve(count_);
     for (auto& bucket : buckets_) {
@@ -288,6 +303,7 @@ class EventQueue {
   std::size_t min_index_ = 0;
   std::uint64_t scan_cost_ = 0;  // events inspected since last re-estimate
   std::uint64_t finds_ = 0;
+  CalendarStats stats_;  // cumulative, never reset
 };
 
 }  // namespace u1

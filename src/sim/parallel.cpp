@@ -46,6 +46,14 @@ bool env_pin_workers() {
   return v != nullptr && *v != '\0' && std::string_view(v) != "0";
 }
 
+std::size_t env_flush_depth() {
+  if (const char* v = std::getenv("U1SIM_FLUSH_DEPTH")) {
+    const long k = std::atol(v);
+    if (k >= 1) return static_cast<std::size_t>(k);
+  }
+  return 2;
+}
+
 void pin_thread_to_core(std::thread& thread, std::size_t core) {
 #if defined(__linux__)
   const unsigned hw = std::thread::hardware_concurrency();
@@ -83,6 +91,7 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
   threads_ = threads != 0
                  ? threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  set_flush_depth(env_flush_depth());
   if (config.auto_countermeasures) guard_ = std::make_unique<AnomalyGuard>();
   if (!config.faults.empty()) {
     fault_schedule_ = build_fault_schedule(
@@ -93,7 +102,7 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
 }
 
 ParallelSimulation::~ParallelSimulation() {
-  stop_flusher();
+  stop_flush_pipeline();
   stop_workers();
 }
 
@@ -133,6 +142,11 @@ void ParallelSimulation::build_groups() {
         *content_pool_, group_mix(config_.seed ^ 0xb10b, g));
     grp->rng = rng_.fork();
     grp->queue.set_impl(queue_impl_);
+    // Deferred symbol interning: labels get dense group-local ids during
+    // the epoch (no lock, no cross-group coordination) and are merged
+    // into the global table in group-index order at each barrier — the
+    // global ids depend only on the seed, never on the thread count.
+    grp->backend->symbols().set_deferred(true);
     if (!fault_schedule_.empty()) {
       // Same schedule everywhere; the injector's probabilistic draws are
       // group-local, so they depend only on (config, g) — never on thread
@@ -144,7 +158,13 @@ void ParallelSimulation::build_groups() {
     }
     groups_.push_back(std::move(grp));
   }
-  flush_chunks_.resize(n_groups);
+  slots_.clear();
+  for (std::size_t k = 0; k < flush_depth_; ++k) {
+    auto slot = std::make_unique<FlushSlot>();
+    slot->chunks.resize(n_groups);
+    slot->sym_map.resize(n_groups);
+    slots_.push_back(std::move(slot));
+  }
   purge_seen_.resize(n_groups);
   purge_mail_.reset(n_groups, /*lane_capacity=*/64);
 }
@@ -389,56 +409,176 @@ void ParallelSimulation::run_group_epoch(std::size_t group, SimTime limit) {
 }
 
 // ---------------------------------------------------------------------------
-// Pipelined flush.
+// Flush ring: stage A (sort + remap + plan + guard) / stage B (writes).
 
-void ParallelSimulation::collect_chunks() {
+void ParallelSimulation::fill_slot(FlushSlot& slot) {
   for (std::size_t g = 0; g < groups_.size(); ++g) {
-    // flush_chunks_[g] was cleared (capacity kept) by the previous
-    // run_flush, so this swap hands the group an empty, pre-sized
-    // buffer — the double buffer in steady state allocates nothing.
-    groups_[g]->trace.swap_records(flush_chunks_[g]);
+    // Deterministic symbol merge: each group's new local symbols enter
+    // the global table here, in group-index order with the workers
+    // parked — the global ids are a pure function of the seed. The
+    // mapping snapshot lets stage A remap this chunk while the next
+    // epoch's compute keeps interning into the same group.
+    GroupSymbols& symbols = groups_[g]->backend->symbols();
+    symbols.publish();
+    slot.sym_map[g] = symbols.mapping();
+    // slot.chunks[g] was cleared (capacity kept) by the previous stage
+    // B, so this swap hands the group an empty, pre-sized buffer — in
+    // steady state the ring allocates nothing.
+    groups_[g]->trace.swap_records(slot.chunks[g]);
   }
 }
 
-void ParallelSimulation::run_flush(
-    std::vector<std::vector<TraceRecord>>& chunks) {
+void ParallelSimulation::prep_chunk(FlushSlot& slot, std::size_t group) {
+  std::vector<TraceRecord>& chunk = slot.chunks[group];
+  sort_trace_chunk(chunk);
+  const std::vector<Symbol>& map = slot.sym_map[group];
+  for (TraceRecord& r : chunk) r.label = map[r.label];
+}
+
+void ParallelSimulation::run_stage_a(FlushSlot& slot) {
   const auto t0 = Clock::now();
-  for (auto& chunk : chunks) sort_trace_chunk(chunk);
-  merge_trace_chunks(chunks, [this](const TraceRecord& r) {
-    if (guard_ && r.t >= 0) {
+  if (!sort_workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(sort_mu_);
+      sort_slot_ = &slot;
+      sort_next_.store(0, std::memory_order_relaxed);
+      sort_remaining_ = groups_.size();
+      ++sort_gen_;
+    }
+    sort_cv_.notify_all();
+    // Participate: claim whole chunks alongside the helpers. Chunk
+    // ownership is exclusive per claim, so parallel prepping cannot
+    // affect the merged stream.
+    std::size_t done = 0;
+    for (std::size_t g;
+         (g = sort_next_.fetch_add(1, std::memory_order_relaxed)) <
+         groups_.size();) {
+      prep_chunk(slot, g);
+      ++done;
+    }
+    std::unique_lock<std::mutex> lock(sort_mu_);
+    sort_remaining_ -= done;
+    sort_cv_.wait(lock, [this] { return sort_remaining_ == 0; });
+  } else {
+    for (std::size_t g = 0; g < groups_.size(); ++g) prep_chunk(slot, g);
+  }
+  build_merge_plan(slot.chunks, slot.plan);
+  // Guard scan over the merged permutation — the same total order the
+  // writer will emit, so detection points match the sequential engine.
+  if (guard_) {
+    for (const MergeRef ref : slot.plan) {
+      const TraceRecord& r = slot.chunks[ref.group][ref.offset];
+      if (r.t < 0) continue;
       if (const auto culprit = guard_->observe(r)) {
         const std::size_t g = group_of(*culprit);
         if (purge_seen_[g].insert(*culprit).second)
           purge_mail_.post(g, *culprit);
       }
     }
-    sink_->append(r);
-  });
-  for (auto& chunk : chunks) chunk.clear();
+  }
   phases_.flush_s += secs_since(t0);
 }
 
-void ParallelSimulation::start_flusher() {
+void ParallelSimulation::run_stage_b(FlushSlot& slot) {
+  const auto t0 = Clock::now();
+  for (const MergeRef ref : slot.plan)
+    sink_->append(slot.chunks[ref.group][ref.offset]);
+  for (auto& chunk : slot.chunks) chunk.clear();
+  slot.plan.clear();
+  phases_.write_s += secs_since(t0);
+}
+
+void ParallelSimulation::sort_worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(sort_mu_);
+  for (;;) {
+    sort_cv_.wait(lock,
+                  [&] { return sort_stop_ || sort_gen_ != seen; });
+    if (sort_stop_) return;
+    seen = sort_gen_;
+    FlushSlot* slot = sort_slot_;
+    lock.unlock();
+    std::size_t done = 0;
+    for (std::size_t g;
+         (g = sort_next_.fetch_add(1, std::memory_order_relaxed)) <
+         groups_.size();) {
+      prep_chunk(*slot, g);
+      ++done;
+    }
+    lock.lock();
+    sort_remaining_ -= done;
+    if (sort_remaining_ == 0) sort_cv_.notify_all();
+  }
+}
+
+void ParallelSimulation::start_flush_pipeline() {
   flusher_stop_ = false;
-  flush_pending_ = false;
+  writer_stop_ = false;
+  sort_stop_ = false;
+  stage_a_slot_ = nullptr;
   flusher_ = std::thread([this] { flusher_loop(); });
+  writer_ = std::thread([this] { writer_loop(); });
+  // A few sort helpers (the flusher itself participates): per-group
+  // sorts dominate stage A, and a handful of threads already hides them
+  // behind the compute phase.
+  const std::size_t helpers =
+      std::min<std::size_t>(3, groups_.size() > 0 ? groups_.size() - 1 : 0);
+  sort_workers_.reserve(helpers);
+  for (std::size_t i = 0; i < helpers; ++i)
+    sort_workers_.emplace_back([this] { sort_worker_loop(); });
+}
+
+void ParallelSimulation::stop_flush_pipeline() {
+  if (flusher_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(flush_mu_);
+      flusher_stop_ = true;
+      writer_stop_ = true;
+    }
+    flush_cv_.notify_all();
+    flusher_.join();
+    writer_.join();
+    flusher_stop_ = false;
+    writer_stop_ = false;
+  }
+  if (!sort_workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(sort_mu_);
+      sort_stop_ = true;
+    }
+    sort_cv_.notify_all();
+    for (auto& worker : sort_workers_) worker.join();
+    sort_workers_.clear();
+    sort_stop_ = false;
+  }
 }
 
 void ParallelSimulation::flusher_loop() {
   std::unique_lock<std::mutex> lock(flush_mu_);
   for (;;) {
-    flush_cv_.wait(lock, [this] { return flush_pending_ || flusher_stop_; });
-    if (flush_pending_) {
+    flush_cv_.wait(lock,
+                   [this] { return stage_a_slot_ != nullptr || flusher_stop_; });
+    if (stage_a_slot_ != nullptr) {
+      FlushSlot* slot = stage_a_slot_;
       lock.unlock();
       std::exception_ptr error;
       try {
-        run_flush(flush_chunks_);
+        run_stage_a(*slot);
       } catch (...) {
         error = std::current_exception();
       }
       lock.lock();
-      if (error && !flush_error_) flush_error_ = error;
-      flush_pending_ = false;
+      if (error) {
+        // A half-prepped slot must not reach the writer — its plan may
+        // be stale. The coordinator sees flush_error_ at the next join.
+        if (!flush_error_) flush_error_ = error;
+        slot->plan.clear();
+        slot->state = FlushSlot::State::kFree;
+      } else {
+        slot->state = FlushSlot::State::kStageB;
+        write_queue_.push_back(slot);
+      }
+      stage_a_slot_ = nullptr;
       flush_cv_.notify_all();
       continue;
     }
@@ -446,48 +586,106 @@ void ParallelSimulation::flusher_loop() {
   }
 }
 
-void ParallelSimulation::submit_flush() {
+void ParallelSimulation::writer_loop() {
+  std::unique_lock<std::mutex> lock(flush_mu_);
+  for (;;) {
+    flush_cv_.wait(lock,
+                   [this] { return !write_queue_.empty() || writer_stop_; });
+    if (!write_queue_.empty()) {
+      // FIFO by submission — epoch order, for every K.
+      FlushSlot* slot = write_queue_.front();
+      write_queue_.pop_front();
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        run_stage_b(*slot);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !flush_error_) flush_error_ = error;
+      slot->state = FlushSlot::State::kFree;
+      flush_cv_.notify_all();
+      continue;
+    }
+    if (writer_stop_) return;  // queue drained first — see the predicate
+  }
+}
+
+ParallelSimulation::FlushSlot& ParallelSimulation::acquire_slot() {
+  FlushSlot& slot = *slots_[slot_cursor_];
+  slot_cursor_ = (slot_cursor_ + 1) % slots_.size();
+  if (!writer_.joinable()) return slot;  // inline mode: always free
+  const auto t0 = Clock::now();
+  bool failed = false;
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [&] {
+      return slot.state == FlushSlot::State::kFree || flush_error_ != nullptr;
+    });
+    failed = flush_error_ != nullptr;
+  }
+  phases_.ring_stall_s += secs_since(t0);
+  if (failed) rethrow_flush_error();
+  return slot;
+}
+
+void ParallelSimulation::submit_flush(FlushSlot& slot) {
   if (!flusher_.joinable()) {
-    // Inline (oracle) mode: same work, same point in the pipeline — the
-    // flush of epoch E still completes before the purges it detected are
-    // delivered at barrier E+1, so the observable order is identical.
-    run_flush(flush_chunks_);
+    // Inline (oracle) mode: same work at the same pipeline points — the
+    // flush of epoch E still completes before the purges it detected
+    // are delivered at barrier E+1, and the writes retire in the same
+    // FIFO order, so the observable stream is identical.
+    run_stage_a(slot);
+    run_stage_b(slot);
     return;
   }
   {
     const std::lock_guard<std::mutex> lock(flush_mu_);
-    flush_pending_ = true;
+    slot.state = FlushSlot::State::kStageA;
+    stage_a_slot_ = &slot;
   }
   flush_cv_.notify_all();
 }
 
 void ParallelSimulation::join_flusher() {
   if (!flusher_.joinable()) return;
-  std::exception_ptr error;
+  bool failed = false;
   {
     std::unique_lock<std::mutex> lock(flush_mu_);
-    flush_cv_.wait(lock, [this] { return !flush_pending_; });
-    if (flush_error_) {
-      error = flush_error_;
-      flush_error_ = nullptr;
-    }
+    flush_cv_.wait(lock, [this] { return stage_a_slot_ == nullptr; });
+    failed = flush_error_ != nullptr;
   }
-  if (error) {
-    stop_flusher();
-    stop_workers();
-    std::rethrow_exception(error);
-  }
+  if (failed) rethrow_flush_error();
 }
 
-void ParallelSimulation::stop_flusher() {
-  if (!flusher_.joinable()) return;
+void ParallelSimulation::drain_writer() {
+  if (!writer_.joinable()) return;
+  bool failed = false;
+  {
+    std::unique_lock<std::mutex> lock(flush_mu_);
+    flush_cv_.wait(lock, [this] {
+      if (flush_error_) return true;
+      if (stage_a_slot_ != nullptr || !write_queue_.empty()) return false;
+      for (const auto& slot : slots_)
+        if (slot->state != FlushSlot::State::kFree) return false;
+      return true;
+    });
+    failed = flush_error_ != nullptr;
+  }
+  if (failed) rethrow_flush_error();
+}
+
+void ParallelSimulation::rethrow_flush_error() {
+  std::exception_ptr error;
   {
     const std::lock_guard<std::mutex> lock(flush_mu_);
-    flusher_stop_ = true;
+    error = flush_error_;
+    flush_error_ = nullptr;
   }
-  flush_cv_.notify_all();
-  flusher_.join();
-  flusher_stop_ = false;
+  stop_flush_pipeline();
+  stop_workers();
+  std::rethrow_exception(error);
 }
 
 void ParallelSimulation::deliver_purges(SimTime when) {
@@ -507,10 +705,11 @@ void ParallelSimulation::deliver_purges(SimTime when) {
 
 void ParallelSimulation::merge_epoch(SimTime epoch_end) {
   const auto t0 = Clock::now();
-  // The flush of the previous epoch must have retired: its sink writes
-  // must stay ahead of ours and its purge posts are about to deliver.
-  // With the compute phase longer than the flush this wait is ~zero —
-  // the whole point of the pipeline.
+  // Stage A of the previous epoch must have retired: its purge posts
+  // are about to deliver, on the same barrier schedule for every K and
+  // every thread count. With the compute phase longer than stage A this
+  // wait is ~zero — the point of the pipeline. Stage B (sink writes)
+  // is NOT waited on here; it may lag up to K epochs.
   join_flusher();
   const auto t1 = Clock::now();
   phases_.flush_stall_s += std::chrono::duration<double>(t1 - t0).count();
@@ -521,9 +720,13 @@ void ParallelSimulation::merge_epoch(SimTime epoch_end) {
   // in group-index order. Their trace records join the chunk collected
   // below (same barrier), stamped with this barrier's epoch_end.
   deliver_purges(epoch_end);
-  collect_chunks();
-  phases_.merge_s += secs_since(t1);
-  submit_flush();
+  const auto t2 = Clock::now();
+  phases_.merge_s += std::chrono::duration<double>(t2 - t1).count();
+  FlushSlot& slot = acquire_slot();  // ring_stall_s while all K busy
+  const auto t3 = Clock::now();
+  fill_slot(slot);
+  phases_.merge_s += secs_since(t3);
+  submit_flush(slot);
 }
 
 // ---------------------------------------------------------------------------
@@ -619,7 +822,7 @@ void ParallelSimulation::run_epoch_pooled(SimTime limit) {
   epoch_start_->arrive_and_wait();  // release the workers
   epoch_done_->arrive_and_wait();   // the epoch barrier
   if (worker_error_) {
-    stop_flusher();
+    stop_flush_pipeline();
     stop_workers();
     std::rethrow_exception(worker_error_);
   }
@@ -643,8 +846,14 @@ SimulationReport ParallelSimulation::run() {
   register_population();
   grant_shares();
   bootstrap_phase();
-  collect_chunks();
-  run_flush(flush_chunks_);  // bootstrap records, merged once, pre-pipeline
+  {
+    // Bootstrap records: merged and written once, pre-pipeline (the
+    // threads are not running yet, so the slot runs both stages inline).
+    FlushSlot& slot = acquire_slot();
+    fill_slot(slot);
+    run_stage_a(slot);
+    run_stage_b(slot);
+  }
   schedule_population_start();
 
   const SimTime horizon = static_cast<SimTime>(config_.days) * kDay;
@@ -652,7 +861,7 @@ SimulationReport ParallelSimulation::run() {
   const std::size_t n_workers = std::min(threads_, groups_.size());
   if (pooled) {
     start_workers(n_workers);
-    start_flusher();
+    start_flush_pipeline();
   }
   for (SimTime epoch_end = kHour;; epoch_end += kHour) {
     const SimTime limit = std::min(epoch_end, horizon);
@@ -669,21 +878,32 @@ SimulationReport ParallelSimulation::run() {
     ++phases_.epochs;
     if (limit >= horizon) break;
   }
-  // Drain the pipeline tail: the last epoch's flush is still in flight;
-  // its purges deliver at the horizon and the records they emit get one
-  // final synchronous flush (any purges *that* flush detects are applied
-  // too, but — like the pre-pipeline engine — their records are not
-  // re-flushed).
+  // Drain the pipeline tail: the last epoch's stage A is still in
+  // flight; its purges deliver at the horizon, the writer retires every
+  // queued epoch, and the records the purges emit get one final
+  // synchronous flush (any purges *that* flush detects are applied too,
+  // but — like the pre-ring engine — their records are not re-flushed).
   join_flusher();
   deliver_purges(horizon);
-  collect_chunks();
-  run_flush(flush_chunks_);
+  drain_writer();
+  {
+    FlushSlot& slot = acquire_slot();  // all free after the drain
+    fill_slot(slot);
+    run_stage_a(slot);
+    run_stage_b(slot);
+  }
   deliver_purges(horizon);
   if (pooled) {
-    stop_flusher();
+    stop_flush_pipeline();
     stop_workers();
   }
 
+  for (const auto& grp : groups_) {
+    const auto queue_stats = grp->queue.calendar_stats();
+    phases_.cal_rebuilds += queue_stats.rebuilds;
+    phases_.cal_finds += queue_stats.finds;
+    phases_.cal_scanned += queue_stats.scanned;
+  }
   report_.users = config_.users;
   report_.horizon = horizon;
   for (const auto& ev : fault_schedule_)

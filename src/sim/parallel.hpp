@@ -16,15 +16,28 @@
 //              trace chunks and hand them to the flusher
 //
 // The barrier's serial section is deliberately tiny: the expensive trace
-// work — per-group chunk sort, k-way merge, AnomalyGuard scan, sink
-// writes — happens on a dedicated flusher thread and overlaps the next
-// epoch's compute (the "pipelined flush"). Merge input is frozen at the
-// barrier, so the flushed stream is a deterministic function of the
-// per-group chunks regardless of what the workers are computing
-// concurrently; guard purges detected in epoch e's stream are delivered
-// through the mailbox at the *following* barrier (timestamp (e+2)*1h) —
-// one epoch later than the pre-pipeline engine, identically so for every
-// thread count.
+// work happens off the critical path in a two-stage flush pipeline over
+// a ring of K in-flight epoch slots (K = U1SIM_FLUSH_DEPTH, default 2):
+//
+//   stage A (flusher thread + small sort pool): per-group chunk sorts in
+//     parallel, symbol remap (group-local -> global label ids), the
+//     k-way index merge producing the (group, offset) permutation, and
+//     the AnomalyGuard scan over that permutation. Stage A of epoch e is
+//     ALWAYS joined at barrier e+1 — for every K and every thread count
+//     — so guard purges keep the exact pre-ring delivery schedule
+//     (timestamp (e+2)*1h).
+//
+//   stage B (writer thread): walks the permutation and hands records to
+//     the sink, strictly FIFO in epoch order. Writes may lag up to K
+//     epochs behind the barrier; the coordinator only stalls when every
+//     ring slot is still being written (ring_stall_s). K=1 reproduces
+//     the old one-epoch-deep flusher's synchronization exactly.
+//
+// Merge input is frozen at the barrier, so the flushed stream is a
+// deterministic function of the per-group chunks regardless of what the
+// workers are computing concurrently, and the write order (epoch FIFO,
+// contract order within an epoch) is independent of K. The trace is
+// byte-identical for every thread count and every flush depth.
 //
 // Workers no longer claim groups from a shared counter: a sticky,
 // cost-weighted plan (weights = the previous epoch's per-group event
@@ -63,6 +76,7 @@
 #include <barrier>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <memory>
 #include <mutex>
@@ -77,8 +91,10 @@
 #include "sim/event_queue.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/simulation.hpp"
+#include "sim/trace_merge.hpp"
 #include "store/dedup_overlay.hpp"
 #include "trace/sink.hpp"
+#include "trace/symbols.hpp"
 #include "workload/ddos.hpp"
 
 namespace u1 {
@@ -92,16 +108,27 @@ class ParallelSimulation {
   };
 
   /// Wall-clock decomposition of the epoch pipeline, accumulated over
-  /// the whole run. With the pipelined flusher, flush_s overlaps
-  /// compute_s; the serial fraction per epoch is merge_s plus whatever
-  /// part of flush_s the compute could not hide (flush_stall_s).
+  /// the whole run. With the pipelined flush ring, flush_s (stage A) and
+  /// write_s (stage B) overlap compute_s; the serial fraction per epoch
+  /// is merge_s plus whatever the compute could not hide (flush_stall_s
+  /// waiting on stage A, ring_stall_s waiting for a free write slot).
   struct EpochPhases {
     std::uint64_t epochs = 0;
     double compute_s = 0;      // parallel group execution
     double merge_s = 0;        // serial barrier work (dedup/pool/mailbox)
-    double flush_s = 0;        // chunk sort + k-way merge + guard + sink
-    double flush_stall_s = 0;  // barrier time spent waiting on the flusher
+    double flush_s = 0;        // stage A: sorts + remap + merge plan + guard
+    double write_s = 0;        // stage B: sink writes (FIFO, up to K behind)
+    double flush_stall_s = 0;  // barrier wait on the previous stage A
+    double ring_stall_s = 0;   // barrier wait for a free ring slot
     std::uint64_t plan_rebuilds = 0;  // sticky-scheduler LPT repartitions
+    /// Calendar-queue bucket statistics, aggregated over every group
+    /// queue at the end of the run (all zero under U1SIM_QUEUE=heap).
+    /// scanned/finds is the average events inspected per pop — a
+    /// degenerate bucket width shows up here long before it shows up in
+    /// wall clock.
+    std::uint64_t cal_rebuilds = 0;
+    std::uint64_t cal_finds = 0;
+    std::uint64_t cal_scanned = 0;
   };
 
   /// threads == 0 resolves to std::thread::hardware_concurrency().
@@ -126,6 +153,15 @@ class ParallelSimulation {
   void set_scheduling(Scheduling s) noexcept { scheduling_ = s; }
   Scheduling scheduling() const noexcept { return scheduling_; }
   void set_queue_impl(QueueImpl impl) noexcept { queue_impl_ = impl; }
+
+  /// Flush-ring depth K: how many epochs of sink writes may be in
+  /// flight behind the barrier. Call before run(). Default comes from
+  /// U1SIM_FLUSH_DEPTH (clamped to [1, 8], default 2); the trace is
+  /// byte-identical for every K.
+  void set_flush_depth(std::size_t k) noexcept {
+    flush_depth_ = k < 1 ? 1 : (k > 8 ? 8 : k);
+  }
+  std::size_t flush_depth() const noexcept { return flush_depth_; }
 
   /// Per-phase wall-clock breakdown of the finished run.
   const EpochPhases& phases() const noexcept { return phases_; }
@@ -209,24 +245,53 @@ class ParallelSimulation {
   /// load imbalance under the current plan exceeds 25% (LPT greedy,
   /// deterministic). Called between barriers, workers parked.
   void prepare_epoch_plan(std::size_t workers);
-  /// Sequential barrier work: join flusher, dedup/pool merge, purge
-  /// delivery, chunk hand-off. The trace heavy lifting lives in
-  /// run_flush on the flusher thread.
+  /// Sequential barrier work: join stage A, dedup/pool merge, purge
+  /// delivery, symbol publication, slot hand-off. The trace heavy
+  /// lifting lives in run_stage_a/run_stage_b on the pipeline threads.
   void merge_epoch(SimTime epoch_end);
 
-  // Pipelined flush: sort per-group chunks, k-way merge, guard scan,
-  // sink writes. Runs on flusher_ when pooled, inline otherwise — the
-  // observable order (chunk E scanned before purges of E deliver at
-  // barrier E+1) is identical either way.
-  void start_flusher();
-  void stop_flusher();
-  void submit_flush();
+  /// One in-flight epoch of trace output. Lifecycle:
+  ///   kFree  -> coordinator publishes symbols, snapshots the per-group
+  ///             local->global maps and swaps the trace chunks in
+  ///   kStageA-> flusher sorts/remaps/plans/guard-scans (joined at the
+  ///             next barrier)
+  ///   kStageB-> writer walks the plan into the sink, then frees the
+  ///             slot (chunk capacity recycles K-deep)
+  struct FlushSlot {
+    enum class State : std::uint8_t { kFree, kStageA, kStageB };
+    State state = State::kFree;
+    std::vector<std::vector<TraceRecord>> chunks;  // per group
+    std::vector<std::vector<Symbol>> sym_map;      // local -> global ids
+    std::vector<MergeRef> plan;                    // merged permutation
+  };
+
+  // Flush ring machinery. Runs on flusher_/writer_ when pooled, inline
+  // otherwise — the observable order (chunk E scanned before purges of
+  // E deliver at barrier E+1; sink writes FIFO by epoch) is identical
+  // either way and for every K.
+  void start_flush_pipeline();
+  void stop_flush_pipeline();
+  /// Next ring slot (round-robin); blocks until its writes finish
+  /// (ring_stall_s). Inline mode never waits — slots are always free.
+  FlushSlot& acquire_slot();
+  /// Publishes every group's new symbols into the global table in
+  /// group-index order (deterministic ids), snapshots the mappings and
+  /// swaps the group trace buffers into the slot. Workers must be
+  /// parked.
+  void fill_slot(FlushSlot& slot);
+  void submit_flush(FlushSlot& slot);
+  /// Blocks until no stage A is in flight (purges all posted).
   void join_flusher();
+  /// Blocks until the writer has drained every slot (run tail only).
+  void drain_writer();
   void flusher_loop();
-  void run_flush(std::vector<std::vector<TraceRecord>>& chunks);
-  /// Swaps every group's trace buffer into flush_chunks_ (capacity
-  /// recycles both ways — the double buffer).
-  void collect_chunks();
+  void writer_loop();
+  void sort_worker_loop();
+  void run_stage_a(FlushSlot& slot);
+  void run_stage_b(FlushSlot& slot);
+  /// Stage A per-group work: stable sort + label remap of one chunk.
+  void prep_chunk(FlushSlot& slot, std::size_t group);
+  [[noreturn]] void rethrow_flush_error();
   /// Drains the purge mailbox in group-index order, applying each purge
   /// at `when`.
   void deliver_purges(SimTime when);
@@ -281,17 +346,37 @@ class ParallelSimulation {
   /// Sticky plan: plan_[worker] = ordered groups it runs each epoch.
   std::vector<std::vector<std::size_t>> plan_;
 
-  // Flusher state. The coordinator and the flusher hand the chunk set
-  // back and forth under flush_mu_; everything the flusher touches
-  // (chunks, guard, sink, purge mailbox posts, flush_s) is exclusively
-  // its own between submit_flush() and the matching join_flusher().
+  // Flush-ring state. Slot ownership hands off under flush_mu_:
+  // coordinator (fill, while kFree) -> flusher (stage A: chunks,
+  // sym_map, plan, guard, purge posts, flush_s) -> writer (stage B:
+  // sink, write_s) -> free. At most one stage A is in flight by
+  // construction (joined every barrier); the writer drains a FIFO of up
+  // to K epochs. Slots live behind unique_ptr so queued pointers stay
+  // stable.
+  std::size_t flush_depth_ = 2;  // K, from U1SIM_FLUSH_DEPTH
+  std::vector<std::unique_ptr<FlushSlot>> slots_;
+  std::size_t slot_cursor_ = 0;  // round-robin acquire order
   std::thread flusher_;
+  std::thread writer_;
   std::mutex flush_mu_;
   std::condition_variable flush_cv_;
-  bool flush_pending_ = false;
+  FlushSlot* stage_a_slot_ = nullptr;
+  std::deque<FlushSlot*> write_queue_;
   bool flusher_stop_ = false;
+  bool writer_stop_ = false;
   std::exception_ptr flush_error_;
-  std::vector<std::vector<TraceRecord>> flush_chunks_;
+
+  // Stage-A sort pool: a few helpers that parallelize the per-group
+  // chunk sorts/remaps inside one stage A. Purely a wall-clock lever —
+  // each helper owns whole chunks, so the merged stream is unaffected.
+  std::vector<std::thread> sort_workers_;
+  std::mutex sort_mu_;
+  std::condition_variable sort_cv_;
+  std::uint64_t sort_gen_ = 0;         // bumped to start a round
+  FlushSlot* sort_slot_ = nullptr;
+  std::atomic<std::size_t> sort_next_{0};
+  std::size_t sort_remaining_ = 0;     // groups not yet prepped
+  bool sort_stop_ = false;
   /// Cross-group purge commands: posted by the guard scan (lane = the
   /// culprit's home group), drained at the barrier in group-index order.
   EpochMailbox<UserId> purge_mail_;

@@ -5,19 +5,30 @@
 // timestamp; ties break by group index, then by within-group emission
 // order. That is exactly what the original concat-in-group-order +
 // stable_sort-by-timestamp produced, but a k-way merge over per-group
-// sorted chunks is O(N log G) instead of O(N log N) — and the per-chunk
-// sorts can run off the simulation's critical path (the flusher thread),
-// while the chunks are nearly sorted to begin with (only bounded
-// service-time lookahead runs ahead of the event clock).
+// sorted chunks is O(N log G) instead of O(N log N).
+//
+// The merge produces an index permutation — (group, offset) refs — not a
+// record stream. Records stay where the workers wrote them; the
+// AnomalyGuard scan (flush stage A) and the sink writes (flush stage B)
+// each walk the same plan over the in-place chunks, so the two stages
+// can run on different threads at different times without either pass
+// copying or re-merging 128-byte records.
 #pragma once
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "trace/record.hpp"
 
 namespace u1 {
+
+/// One entry of a merge plan: chunks[group][offset].
+struct MergeRef {
+  std::uint32_t group;
+  std::uint32_t offset;
+};
 
 /// Stable-sorts one group's epoch chunk by timestamp, preserving the
 /// emission order of equal-timestamp records. The common case — an
@@ -31,15 +42,35 @@ inline void sort_trace_chunk(std::vector<TraceRecord>& chunk) {
 }
 
 /// K-way merge over per-group chunks, each individually stable-sorted by
-/// timestamp (see sort_trace_chunk). Calls emit(record) once per record
-/// in the contract order above. The chunks are left in place (sorted);
-/// the caller recycles their capacity.
-template <typename Emit>
-void merge_trace_chunks(std::vector<std::vector<TraceRecord>>& chunks,
-                        Emit&& emit) {
+/// timestamp (see sort_trace_chunk). Fills `plan` (cleared first;
+/// capacity recycles across epochs) with one ref per record in the
+/// contract order above. The chunks are never touched beyond reading
+/// timestamps.
+template <typename Chunks>
+void build_merge_plan(const Chunks& chunks, std::vector<MergeRef>& plan) {
+  plan.clear();
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  plan.reserve(total);
+
+  // Single-producer epoch (and the sequential tail): the plan is the
+  // identity walk — skip the heap entirely.
+  std::size_t non_empty = 0, only = 0;
+  for (std::size_t g = 0; g < chunks.size(); ++g)
+    if (!chunks[g].empty()) {
+      ++non_empty;
+      only = g;
+    }
+  if (non_empty == 0) return;
+  if (non_empty == 1) {
+    for (std::uint32_t i = 0; i < chunks[only].size(); ++i)
+      plan.push_back(MergeRef{static_cast<std::uint32_t>(only), i});
+    return;
+  }
+
   struct Head {
     SimTime t;
-    std::size_t group;
+    std::uint32_t group;
   };
   // Min-heap on (t, group): equal timestamps pop lowest group first, and
   // within one group the cursor preserves emission order — together the
@@ -49,21 +80,33 @@ void merge_trace_chunks(std::vector<std::vector<TraceRecord>>& chunks,
     return a.group > b.group;
   };
   std::vector<Head> heads;
-  std::vector<std::size_t> cursor(chunks.size(), 0);
+  std::vector<std::uint32_t> cursor(chunks.size(), 0);
   heads.reserve(chunks.size());
   for (std::size_t g = 0; g < chunks.size(); ++g)
-    if (!chunks[g].empty()) heads.push_back(Head{chunks[g].front().t, g});
+    if (!chunks[g].empty())
+      heads.push_back(Head{chunks[g].front().t,
+                           static_cast<std::uint32_t>(g)});
   std::make_heap(heads.begin(), heads.end(), later);
   while (!heads.empty()) {
     std::pop_heap(heads.begin(), heads.end(), later);
-    const std::size_t g = heads.back().group;
+    const std::uint32_t g = heads.back().group;
     heads.pop_back();
-    emit(chunks[g][cursor[g]]);
+    plan.push_back(MergeRef{g, cursor[g]});
     if (++cursor[g] < chunks[g].size()) {
       heads.push_back(Head{chunks[g][cursor[g]].t, g});
       std::push_heap(heads.begin(), heads.end(), later);
     }
   }
+}
+
+/// Convenience for tests and one-pass callers: builds the plan and walks
+/// it, calling emit(record) once per record in contract order.
+template <typename Emit>
+void merge_trace_chunks(std::vector<std::vector<TraceRecord>>& chunks,
+                        Emit&& emit) {
+  std::vector<MergeRef> plan;
+  build_merge_plan(chunks, plan);
+  for (const MergeRef ref : plan) emit(chunks[ref.group][ref.offset]);
 }
 
 }  // namespace u1

@@ -1,6 +1,8 @@
 #include "trace/record.hpp"
 
 #include <array>
+#include <charconv>
+#include <cstring>
 
 #include "util/strings.hpp"
 
@@ -29,6 +31,39 @@ std::string uuid_or_empty(const Uuid& u) {
 
 std::string hash_or_empty(const ContentId& c) {
   return c == ContentId{} ? std::string{} : c.hex();
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+// --- allocation-free appenders for append_csv_row ---------------------------
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[20];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_hex_bytes(std::string& out, const std::uint8_t* bytes,
+                      std::size_t n) {
+  char buf[40];
+  for (std::size_t i = 0; i < n; ++i) {
+    buf[2 * i] = kHexDigits[bytes[i] >> 4];
+    buf[2 * i + 1] = kHexDigits[bytes[i] & 0xf];
+  }
+  out.append(buf, 2 * n);
+}
+
+/// Canonical 8-4-4-4-12 form, byte-identical to Uuid::str().
+void append_uuid(std::string& out, const Uuid& u) {
+  append_hex_bytes(out, u.bytes.data(), 4);
+  out.push_back('-');
+  append_hex_bytes(out, u.bytes.data() + 4, 2);
+  out.push_back('-');
+  append_hex_bytes(out, u.bytes.data() + 6, 2);
+  out.push_back('-');
+  append_hex_bytes(out, u.bytes.data() + 8, 2);
+  out.push_back('-');
+  append_hex_bytes(out, u.bytes.data() + 10, 6);
 }
 
 }  // namespace
@@ -122,7 +157,7 @@ std::vector<std::string> TraceRecord::to_csv() const {
   f.push_back(transferred_bytes > 0 ? u64s(transferred_bytes)
                                     : std::string{});
   f.push_back(hash_or_empty(content));
-  f.push_back(extension);
+  f.emplace_back(extension());
   f.emplace_back(is_update ? "1" : "");
   f.emplace_back(is_dir ? "1" : "");
   f.emplace_back(deduplicated ? "1" : "");
@@ -135,11 +170,66 @@ std::vector<std::string> TraceRecord::to_csv() const {
     f.emplace_back();
   }
   f.push_back(shard.value > 0 ? u64s(shard.value) : std::string{});
-  f.push_back(service_time > 0
-                  ? u64s(static_cast<std::uint64_t>(service_time))
-                  : std::string{});
-  f.push_back(fault);
+  f.push_back(service_time > 0 ? u64s(service_time) : std::string{});
+  f.emplace_back(fault());
   return f;
+}
+
+void TraceRecord::append_csv_row(std::string& out) const {
+  // Field order and formatting mirror to_csv() exactly; every field is
+  // followed by ',' and the row by '\n' (the historical hashing format —
+  // note the trailing comma before the newline).
+  append_u64(out, static_cast<std::uint64_t>(t));
+  out.push_back(',');
+  out.append(to_string(type));
+  out.push_back(',');
+  append_u64(out, machine.value);
+  out.push_back(',');
+  append_u64(out, process.value);
+  out.push_back(',');
+  append_u64(out, user.value);
+  out.push_back(',');
+  append_u64(out, session.value);
+  out.push_back(',');
+  out.append(to_string(session_event));
+  out.push_back(',');
+  if (type == RecordType::kStorage || type == RecordType::kStorageDone)
+    out.append(to_string(api_op));
+  out.push_back(',');
+  if (!node.is_nil()) append_uuid(out, node);
+  out.push_back(',');
+  if (!parent.is_nil()) append_uuid(out, parent);
+  out.push_back(',');
+  if (!volume.is_nil()) append_uuid(out, volume);
+  out.push_back(',');
+  if (size_bytes > 0) append_u64(out, size_bytes);
+  out.push_back(',');
+  if (transferred_bytes > 0) append_u64(out, transferred_bytes);
+  out.push_back(',');
+  if (!(content == ContentId{}))
+    append_hex_bytes(out, content.bytes.data(), content.bytes.size());
+  out.push_back(',');
+  out.append(extension());
+  out.push_back(',');
+  if (is_update) out.push_back('1');
+  out.push_back(',');
+  if (is_dir) out.push_back('1');
+  out.push_back(',');
+  if (deduplicated) out.push_back('1');
+  out.push_back(',');
+  if (failed) out.push_back('1');
+  out.push_back(',');
+  if (duration > 0) append_u64(out, static_cast<std::uint64_t>(duration));
+  out.push_back(',');
+  if (type == RecordType::kRpc) out.append(to_string(rpc_op));
+  out.push_back(',');
+  if (shard.value > 0) append_u64(out, shard.value);
+  out.push_back(',');
+  if (service_time > 0) append_u64(out, service_time);
+  out.push_back(',');
+  out.append(fault());
+  out.push_back(',');
+  out.push_back('\n');
 }
 
 std::optional<TraceRecord> TraceRecord::from_csv(
@@ -157,6 +247,14 @@ std::optional<TraceRecord> TraceRecord::from_csv(
   const auto user = parse_i64(f[4]);
   const auto session = parse_i64(f[5]);
   if (!machine || !process || !user || !session) return std::nullopt;
+  // Ids overflowing their packed in-record width are malformed, not
+  // silently truncated.
+  const auto fits = [](std::int64_t v, std::uint64_t max) {
+    return v >= 0 && static_cast<std::uint64_t>(v) <= max;
+  };
+  if (!fits(*machine, 0xff) || !fits(*process, 0xffff) ||
+      !fits(*user, 0xffffffff) || !fits(*session, 0xffffffff))
+    return std::nullopt;
   r.machine = MachineId{static_cast<std::uint64_t>(*machine)};
   r.process = ProcessId{static_cast<std::uint64_t>(*process)};
   r.user = UserId{static_cast<std::uint64_t>(*user)};
@@ -200,11 +298,6 @@ std::optional<TraceRecord> TraceRecord::from_csv(
       r.content.bytes[i] = static_cast<std::uint8_t>((hi << 4) | lo);
     }
   }
-  r.extension = f[14];
-  r.is_update = f[15] == "1";
-  r.is_dir = f[16] == "1";
-  r.deduplicated = f[17] == "1";
-  r.failed = f[18] == "1";
   if (!f[19].empty()) {
     const auto v = parse_i64(f[19]);
     if (!v) return std::nullopt;
@@ -218,14 +311,30 @@ std::optional<TraceRecord> TraceRecord::from_csv(
   if (!f[21].empty()) {
     const auto v = parse_i64(f[21]);
     if (!v) return std::nullopt;
+    if (!fits(*v, 0xffff)) return std::nullopt;
     r.shard = ShardId{static_cast<std::uint64_t>(*v)};
   }
   if (!f[22].empty()) {
     const auto v = parse_i64(f[22]);
     if (!v) return std::nullopt;
-    r.service_time = *v;
+    if (!fits(*v, 0xffffffff)) return std::nullopt;
+    r.service_time = static_cast<std::uint32_t>(*v);
   }
-  r.fault = f[23];
+  // ext and fault share the interned label slot; a row claiming both is
+  // internally inconsistent (no record type carries both columns).
+  if (!f[14].empty() && !f[23].empty()) return std::nullopt;
+  if (!f[14].empty()) {
+    if (r.type == RecordType::kFault) return std::nullopt;
+    r.set_extension(f[14]);
+  }
+  if (!f[23].empty()) {
+    if (r.type != RecordType::kFault) return std::nullopt;
+    r.set_fault(f[23]);
+  }
+  r.is_update = f[15] == "1";
+  r.is_dir = f[16] == "1";
+  r.deduplicated = f[17] == "1";
+  r.failed = f[18] == "1";
   return r;
 }
 

@@ -61,7 +61,9 @@ class CountingSink final : public TraceSink {
 
  private:
   std::uint64_t total_ = 0;
-  std::uint64_t by_type_[4] = {0, 0, 0, 0};
+  // Sized from the enum: a literal here once lost kFault its slot and
+  // sent its counts past the end of the array.
+  std::uint64_t by_type_[kRecordTypeCount] = {};
 };
 
 /// Adapts a lambda to the sink interface.

@@ -1,0 +1,49 @@
+#include "trace/symbols.hpp"
+
+#include <stdexcept>
+
+namespace u1 {
+
+SymbolTable::SymbolTable() {
+  chunks_.resize(kMaxChunks);  // directory never reallocates after this
+  chunks_[0] = std::make_unique<Chunk>();
+  index_.emplace(std::string{}, kEmptySymbol);
+  count_ = 1;  // symbol 0: the empty string
+}
+
+Symbol SymbolTable::intern(std::string_view text) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(text);
+  if (it != index_.end()) return it->second;
+  if (count_ >= kMaxChunks * kChunkSize)
+    throw std::length_error("SymbolTable: symbol space exhausted");
+  const auto sym = static_cast<Symbol>(count_);
+  auto& chunk = chunks_[sym >> kChunkShift];
+  if (!chunk) chunk = std::make_unique<Chunk>();
+  (*chunk)[sym & (kChunkSize - 1)] = std::string(text);
+  // Publish only after the string is in place: a reader that got `sym`
+  // via a record handoff observes a fully-written slot.
+  index_.emplace(std::string(text), sym);
+  ++count_;
+  return sym;
+}
+
+std::string_view SymbolTable::resolve(Symbol symbol) const noexcept {
+  if (symbol == kEmptySymbol) return {};
+  if ((symbol >> kChunkShift) >= kMaxChunks) return {};  // garbage id
+  const Chunk* chunk = chunks_[symbol >> kChunkShift].get();
+  if (chunk == nullptr) return {};  // never-published id: defensive
+  return (*chunk)[symbol & (kChunkSize - 1)];
+}
+
+std::size_t SymbolTable::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+SymbolTable& global_symbols() {
+  static SymbolTable table;
+  return table;
+}
+
+}  // namespace u1

@@ -79,6 +79,8 @@ TEST_P(SimInvariants, TraceIsStructurallySound) {
       case RecordType::kRpc:
         EXPECT_GT(r.service_time, 0);
         break;
+      case RecordType::kFault:
+        break;
     }
   }
   // Records pair up and sessions balance (some may stay open at horizon).

@@ -37,7 +37,7 @@ TraceRecord random_record(Rng& rng, RecordType type) {
       r.transferred_bytes = rng.chance(0.8) ? r.size_bytes : 0;
       if (rng.chance(0.7))
         r.content = Sha1::of("c" + std::to_string(rng.next()));
-      r.extension = rng.chance(0.5) ? "mp3" : "";
+      if (rng.chance(0.5)) r.set_extension("mp3");
       r.is_update = rng.chance(0.2);
       r.is_dir = rng.chance(0.1);
       r.deduplicated = rng.chance(0.15);
@@ -50,9 +50,15 @@ TraceRecord random_record(Rng& rng, RecordType type) {
       const auto ops = all_rpc_ops();
       r.rpc_op = ops[rng.below(ops.size())];
       r.shard = ShardId{rng.below(10) + 1};
-      r.service_time = static_cast<SimTime>(rng.below(1000000)) + 1;
+      r.service_time = static_cast<std::uint32_t>(rng.below(1000000)) + 1;
       break;
     }
+    case RecordType::kFault:
+      r.user = UserId{};
+      r.session = SessionId{};
+      r.set_fault("fault#" + std::to_string(rng.below(8)) + ":" +
+                  (rng.chance(0.5) ? "begin" : "end"));
+      break;
   }
   return r;
 }
@@ -81,7 +87,7 @@ TEST_P(RecordRoundTrip, CsvIsLossless) {
       EXPECT_EQ(parsed->size_bytes, r.size_bytes);
       EXPECT_EQ(parsed->transferred_bytes, r.transferred_bytes);
       EXPECT_EQ(parsed->content, r.content);
-      EXPECT_EQ(parsed->extension, r.extension);
+      EXPECT_EQ(parsed->extension(), r.extension());
       EXPECT_EQ(parsed->is_update, r.is_update);
       EXPECT_EQ(parsed->is_dir, r.is_dir);
       EXPECT_EQ(parsed->deduplicated, r.deduplicated);
@@ -92,6 +98,7 @@ TEST_P(RecordRoundTrip, CsvIsLossless) {
       EXPECT_EQ(parsed->shard, r.shard);
       EXPECT_EQ(parsed->service_time, r.service_time);
     }
+    if (r.type == RecordType::kFault) EXPECT_EQ(parsed->fault(), r.fault());
     EXPECT_EQ(parsed->duration, r.duration);
   }
 }
@@ -100,7 +107,8 @@ INSTANTIATE_TEST_SUITE_P(AllTypes, RecordRoundTrip,
                          ::testing::Values(RecordType::kSession,
                                            RecordType::kStorage,
                                            RecordType::kStorageDone,
-                                           RecordType::kRpc),
+                                           RecordType::kRpc,
+                                           RecordType::kFault),
                          [](const auto& info) {
                            return std::string(to_string(info.param));
                          });
@@ -117,7 +125,7 @@ TEST_P(LogfileRoundTrip, MergePreservesEveryRecordInOrder) {
   {
     LogfileWriter writer(dir);
     for (int i = 0; i < n; ++i) {
-      const auto type = static_cast<RecordType>(rng.below(4));
+      const auto type = static_cast<RecordType>(rng.below(kRecordTypeCount));
       writer.append(random_record(rng, type));
     }
   }

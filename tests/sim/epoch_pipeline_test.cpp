@@ -6,6 +6,7 @@
 // deterministically.
 #include <algorithm>
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -87,6 +88,39 @@ TEST(TraceMerge, HandlesUnsortedChunksAndEmptyChunks) {
   const std::vector<std::string> want = {"10/1", "10/3", "10/4",
                                          "50/0", "50/2", "50/5"};
   EXPECT_EQ(got, want);
+}
+
+TEST(TraceMerge, PlanIsIndexPermutationOverChunks) {
+  // The plan must reference every record exactly once, in the contract
+  // order, without touching the chunks — stage A (guard scan) and stage
+  // B (sink writes) both walk it independently.
+  Rng rng(21u);
+  std::vector<std::vector<TraceRecord>> chunks(5);
+  std::uint64_t tag = 0;
+  for (auto& chunk : chunks) {
+    const std::size_t n = rng.below(200);
+    for (std::size_t i = 0; i < n; ++i)
+      chunk.push_back(record_at(static_cast<SimTime>(rng.below(32)), tag++));
+  }
+  for (auto& chunk : chunks) sort_trace_chunk(chunk);
+  std::vector<MergeRef> plan;
+  build_merge_plan(chunks, plan);
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) total += chunk.size();
+  ASSERT_EQ(plan.size(), total);
+  std::vector<std::vector<bool>> seen(chunks.size());
+  for (std::size_t g = 0; g < chunks.size(); ++g)
+    seen[g].assign(chunks[g].size(), false);
+  SimTime last = std::numeric_limits<SimTime>::min();
+  for (const MergeRef ref : plan) {
+    ASSERT_LT(ref.group, chunks.size());
+    ASSERT_LT(ref.offset, chunks[ref.group].size());
+    EXPECT_FALSE(seen[ref.group][ref.offset]) << "duplicate ref";
+    seen[ref.group][ref.offset] = true;
+    const SimTime t = chunks[ref.group][ref.offset].t;
+    EXPECT_LE(last, t) << "plan not time-ordered";
+    last = t;
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -194,11 +228,13 @@ SimulationConfig small_config(bool auto_guard = false) {
 
 std::vector<std::string> run_trace_with(
     const SimulationConfig& cfg, std::size_t threads,
-    ParallelSimulation::Scheduling sched, QueueImpl queue) {
+    ParallelSimulation::Scheduling sched, QueueImpl queue,
+    std::size_t flush_depth = 0) {
   InMemorySink sink;
   ParallelSimulation sim(cfg, sink, threads);
   sim.set_scheduling(sched);
   sim.set_queue_impl(queue);
+  if (flush_depth != 0) sim.set_flush_depth(flush_depth);
   sim.run();
   std::vector<std::string> lines;
   lines.reserve(sink.records().size());
@@ -235,6 +271,42 @@ TEST(EpochPipeline, StickySchedulingMatchesCounterAndInline) {
   expect_traces_equal(inline1, counter4, "counter@4 vs inline");
 }
 
+TEST(EpochPipeline, FlushDepthDoesNotChangeTrace) {
+  // The ring depth K only decides how far sink writes may lag the
+  // barrier; the guard purge schedule is pinned to stage A (joined
+  // every barrier) so every (threads, K) combination must emit the
+  // byte-identical trace. auto_guard on: purge timing is exactly the
+  // thing a buggy ring would move.
+  const auto cfg = small_config(/*auto_guard=*/true);
+  using S = ParallelSimulation::Scheduling;
+  const auto baseline =
+      run_trace_with(cfg, 1, S::kSticky, QueueImpl::kCalendar, 1);
+  ASSERT_FALSE(baseline.empty());
+  for (const std::size_t depth : {std::size_t{2}, std::size_t{4}}) {
+    const auto inline_k =
+        run_trace_with(cfg, 1, S::kSticky, QueueImpl::kCalendar, depth);
+    expect_traces_equal(baseline, inline_k, "inline depth vs depth 1");
+  }
+  for (const std::size_t depth :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const auto pooled =
+        run_trace_with(cfg, 4, S::kSticky, QueueImpl::kCalendar, depth);
+    expect_traces_equal(baseline, pooled, "4-thread ring vs inline K=1");
+  }
+}
+
+TEST(EpochPipeline, FlushDepthClampsToValidRange) {
+  SimulationConfig cfg = small_config();
+  InMemorySink sink;
+  ParallelSimulation sim(cfg, sink, 1);
+  sim.set_flush_depth(0);
+  EXPECT_EQ(sim.flush_depth(), 1u);
+  sim.set_flush_depth(64);
+  EXPECT_EQ(sim.flush_depth(), 8u);
+  sim.set_flush_depth(3);
+  EXPECT_EQ(sim.flush_depth(), 3u);
+}
+
 TEST(EpochPipeline, QueueImplDoesNotChangeTrace) {
   const auto cfg = small_config();
   using S = ParallelSimulation::Scheduling;
@@ -256,9 +328,15 @@ TEST(EpochPipeline, PhaseBreakdownCoversEveryEpoch) {
   EXPECT_EQ(p.epochs, static_cast<std::uint64_t>(cfg.days) * 24u);
   EXPECT_GT(p.compute_s, 0.0);
   EXPECT_GT(p.flush_s, 0.0);
+  EXPECT_GT(p.write_s, 0.0);
   EXPECT_GE(p.merge_s, 0.0);
   EXPECT_GE(p.flush_stall_s, 0.0);
+  EXPECT_GE(p.ring_stall_s, 0.0);
   EXPECT_GE(p.plan_rebuilds, 1u);  // the first epoch always builds a plan
+  // The default engine queue is the calendar; its bucket stats must have
+  // accumulated over the run.
+  EXPECT_GT(p.cal_finds, 0u);
+  EXPECT_GT(p.cal_scanned, 0u);
 }
 
 // --------------------------------------------------------------------------

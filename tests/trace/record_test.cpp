@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <type_traits>
+#include <vector>
+
 #include "util/sha1.hpp"
 
 namespace u1 {
@@ -23,10 +27,16 @@ TraceRecord sample_storage_record() {
   r.size_bytes = 123456;
   r.transferred_bytes = 123456;
   r.content = Sha1::of("content");
-  r.extension = "mp3";
+  r.set_extension("mp3");
   r.is_update = true;
   r.duration = 2 * kSecond;
   return r;
+}
+
+std::vector<std::string> csv_with(std::size_t index, std::string value) {
+  auto fields = sample_storage_record().to_csv();
+  fields[index] = std::move(value);
+  return fields;
 }
 
 TEST(TraceRecord, CsvRoundTripStorage) {
@@ -46,9 +56,48 @@ TEST(TraceRecord, CsvRoundTripStorage) {
   EXPECT_EQ(parsed->size_bytes, r.size_bytes);
   EXPECT_EQ(parsed->transferred_bytes, r.transferred_bytes);
   EXPECT_EQ(parsed->content, r.content);
-  EXPECT_EQ(parsed->extension, r.extension);
+  EXPECT_EQ(parsed->extension(), r.extension());
   EXPECT_EQ(parsed->is_update, r.is_update);
   EXPECT_EQ(parsed->duration, r.duration);
+}
+
+TEST(TraceRecord, PodLayout) {
+  // The flush pipeline sorts/merges records by memcpy-able moves; both
+  // properties are also enforced at compile time in record.hpp.
+  EXPECT_TRUE(std::is_trivially_copyable_v<TraceRecord>);
+  EXPECT_LE(sizeof(TraceRecord), 128u);
+}
+
+TEST(TraceRecord, ExtensionIsInternedSymbol) {
+  TraceRecord a, b;
+  a.type = RecordType::kStorage;
+  b.type = RecordType::kStorageDone;
+  a.set_extension("odt");
+  b.set_extension("odt");
+  EXPECT_NE(a.label, kEmptySymbol);
+  EXPECT_EQ(a.label, b.label);  // same string, same global symbol
+  EXPECT_EQ(a.extension(), "odt");
+  a.set_extension("");
+  EXPECT_EQ(a.label, kEmptySymbol);
+  EXPECT_EQ(a.extension(), "");
+}
+
+TEST(TraceRecord, CsvRoundTripFault) {
+  TraceRecord r;
+  r.t = 5 * kHour;
+  r.type = RecordType::kFault;
+  r.machine = MachineId{4};
+  r.process = ProcessId{2};
+  r.set_fault("switch_outage#1:begin");
+  const auto parsed = TraceRecord::from_csv(r.to_csv());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, RecordType::kFault);
+  EXPECT_EQ(parsed->fault(), "switch_outage#1:begin");
+  // The label is type-gated: a fault record has no extension and a
+  // storage record has no fault string, even though both share `label`.
+  EXPECT_EQ(parsed->extension(), "");
+  const TraceRecord storage = sample_storage_record();
+  EXPECT_EQ(storage.fault(), "");
 }
 
 TEST(TraceRecord, CsvRoundTripRpc) {
@@ -88,15 +137,65 @@ TEST(TraceRecord, CsvRoundTripSession) {
 TEST(TraceRecord, FromCsvRejectsMalformed) {
   EXPECT_FALSE(TraceRecord::from_csv({}).has_value());
   EXPECT_FALSE(TraceRecord::from_csv({"only", "two"}).has_value());
-  auto fields = sample_storage_record().to_csv();
-  fields[0] = "not-a-number";
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(0, "not-a-number")).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(1, "bogus_type")).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(13, "nothex")).has_value());
+}
+
+TEST(TraceRecord, FromCsvRejectsOverflowingIds) {
+  // The packed record stores narrow ids; values a valid writer can never
+  // emit (the fleet has 19 machines, 8 workers, 32-bit users/sessions)
+  // are malformed input, not silent truncations.
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(2, "256")).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(3, "65536")).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(4, "4294967296")).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(5, "4294967296")).has_value());
+  EXPECT_FALSE(TraceRecord::from_csv(csv_with(2, "-1")).has_value());
+  // In-range values still parse.
+  EXPECT_TRUE(TraceRecord::from_csv(csv_with(2, "255")).has_value());
+}
+
+TEST(TraceRecord, FromCsvRejectsLabelOnWrongType) {
+  // extension and fault share one symbol slot, gated by the record type:
+  // a row carrying both, or carrying the wrong one, is malformed.
+  const auto both = csv_with(23, "power#0:begin");  // storage row + fault col
+  EXPECT_FALSE(TraceRecord::from_csv(both).has_value());
+  TraceRecord f;
+  f.t = kHour;
+  f.type = RecordType::kFault;
+  f.set_fault("power#0:begin");
+  auto fields = f.to_csv();
+  fields[14] = "mp3";  // extension on a fault row
+  fields[23] = "";
   EXPECT_FALSE(TraceRecord::from_csv(fields).has_value());
-  fields = sample_storage_record().to_csv();
-  fields[1] = "bogus_type";
-  EXPECT_FALSE(TraceRecord::from_csv(fields).has_value());
-  fields = sample_storage_record().to_csv();
-  fields[13] = "nothex";
-  EXPECT_FALSE(TraceRecord::from_csv(fields).has_value());
+}
+
+TEST(TraceRecord, AppendCsvRowMatchesToCsv) {
+  // The hashing/serialization fast path must produce exactly the bytes
+  // the historical per-field loop produced: every to_csv field followed
+  // by ',', then '\n'. The trace SHA-1 baseline depends on this.
+  std::vector<TraceRecord> samples;
+  samples.push_back(sample_storage_record());
+  TraceRecord boot = sample_storage_record();
+  boot.t = -3 * kDay;  // bootstrap records carry negative timestamps
+  samples.push_back(boot);
+  TraceRecord fault;
+  fault.t = kHour;
+  fault.type = RecordType::kFault;
+  fault.machine = MachineId{3};
+  fault.set_fault("db_failover#2:end");
+  samples.push_back(fault);
+  for (const TraceRecord& r : samples) {
+    std::string expected;
+    for (const std::string& field : r.to_csv()) {
+      expected += field;
+      expected += ',';
+    }
+    expected += '\n';
+    std::string actual;
+    r.append_csv_row(actual);
+    EXPECT_EQ(actual, expected);
+  }
 }
 
 TEST(TraceRecord, HeaderMatchesColumnCount) {
@@ -121,7 +220,7 @@ TEST(TraceRecord, MachineNamesStable) {
 TEST(RecordType, StringRoundTrip) {
   for (const RecordType t :
        {RecordType::kSession, RecordType::kStorage, RecordType::kStorageDone,
-        RecordType::kRpc}) {
+        RecordType::kRpc, RecordType::kFault}) {
     const auto back = record_type_from_string(to_string(t));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, t);

@@ -59,6 +59,22 @@ TEST(Sinks, CountingByType) {
   EXPECT_EQ(sink.count(RecordType::kSession), 0u);
 }
 
+// Regression: by_type_ used to have 4 slots while RecordType has 5
+// values — appending a kFault record indexed past the array. The array
+// is now sized from the enum; every type must count without UB.
+TEST(Sinks, CountingCoversEveryRecordType) {
+  CountingSink sink;
+  TraceRecord r = record_at(1);
+  for (std::size_t i = 0; i < kRecordTypeCount; ++i) {
+    r.type = static_cast<RecordType>(i);
+    sink.append(r);
+  }
+  EXPECT_EQ(sink.total(), kRecordTypeCount);
+  for (std::size_t i = 0; i < kRecordTypeCount; ++i)
+    EXPECT_EQ(sink.count(static_cast<RecordType>(i)), 1u);
+  EXPECT_EQ(sink.count(RecordType::kFault), 1u);
+}
+
 TEST(Sinks, CallbackInvoked) {
   int calls = 0;
   CallbackSink sink([&](const TraceRecord&) { ++calls; });
