@@ -18,15 +18,30 @@
 //                honest one)
 //   --out PATH   write the JSON somewhere else (the perf ctest smoke
 //                uses this to avoid clobbering the repo-root artifact)
+//
+// Environment:
+//   U1SIM_TRACE_FORMAT=csv|bin   what the write path serializes. csv
+//       (default) hashes the historical CSV row stream — the SHA every
+//       engine version must reproduce. bin writes real .u1b files to a
+//       scratch directory and hashes the output bytes (sorted by name),
+//       the determinism oracle for the binary format; write_s then
+//       measures binary serialization.
+//   U1SIM_CAL_SCAN_BAND=X        calendar-queue regression band: the run
+//       fails (exit 1) if scanned-per-find exceeds X (default 24.0) on
+//       any run with enough finds to be meaningful.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.hpp"
 #include "sim/parallel.hpp"
+#include "trace/binlog.hpp"
 #include "trace/sink.hpp"
 #include "util/sha1.hpp"
 
@@ -36,6 +51,7 @@ struct RunResult {
   std::size_t threads = 0;
   std::vector<double> walls;  // one per repeat, run order
   std::uint64_t records = 0;
+  std::uint64_t bytes = 0;  // serialized trace bytes (rows or .u1b files)
   std::string trace_sha1;
   std::size_t flush_depth = 0;  // ring depth K the engine resolved
   u1::ParallelSimulation::EpochPhases phases;  // first repeat
@@ -53,36 +69,89 @@ struct RunResult {
   }
 };
 
+/// SHA-1 over every regular file in `dir`, visited in name order: each
+/// file's name bytes, then its content bytes. Byte-identical output
+/// directories — the binary-format determinism oracle — hash equal.
+std::string hash_directory(const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  std::sort(paths.begin(), paths.end());
+  u1::Sha1 hasher;
+  std::vector<char> buf(1 << 20);
+  for (const auto& path : paths) {
+    hasher.update(std::string_view(path.filename().string()));
+    std::ifstream in(path, std::ios::binary);
+    while (in) {
+      in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+      const auto got = static_cast<std::size_t>(in.gcount());
+      if (got == 0) break;
+      hasher.update(std::string_view(buf.data(), got));
+    }
+  }
+  return hasher.finish().hex();
+}
+
 RunResult run_once(const u1::SimulationConfig& cfg, std::size_t threads,
-                   int repeats) {
+                   int repeats, u1::TraceFormat format,
+                   const std::filesystem::path& scratch_base) {
   RunResult out;
   out.threads = threads;
   for (int rep = 0; rep < repeats; ++rep) {
-    u1::Sha1 hasher;
     std::uint64_t records = 0;
-    // One reused row buffer: append_csv_row produces the same byte
-    // stream the old per-field to_csv() loop hashed (every field
-    // followed by ',', then '\n') without materializing 24 strings per
-    // record — the sink IS the flush hot path being measured.
-    std::string row;
-    u1::CallbackSink sink([&](const u1::TraceRecord& r) {
-      ++records;
-      row.clear();
-      r.append_csv_row(row);
-      hasher.update(row);
-    });
-    const auto t0 = std::chrono::steady_clock::now();
-    u1::ParallelSimulation sim(cfg, sink, threads);
-    const u1::SimulationReport report = sim.run();
-    const auto t1 = std::chrono::steady_clock::now();
-    out.walls.push_back(std::chrono::duration<double>(t1 - t0).count());
-    const std::string sha = hasher.finish().hex();
+    std::uint64_t bytes = 0;
+    std::string sha;
+    if (format == u1::TraceFormat::kCsv) {
+      u1::Sha1 hasher;
+      // One reused row buffer: append_csv_row produces the same byte
+      // stream the old per-field to_csv() loop hashed (every field
+      // followed by ',', then '\n') without materializing 24 strings per
+      // record — the sink IS the flush hot path being measured.
+      std::string row;
+      u1::CallbackSink sink([&](const u1::TraceRecord& r) {
+        ++records;
+        row.clear();
+        r.append_csv_row(row);
+        bytes += row.size();
+        hasher.update(row);
+      });
+      const auto t0 = std::chrono::steady_clock::now();
+      u1::ParallelSimulation sim(cfg, sink, threads);
+      const u1::SimulationReport report = sim.run();
+      const auto t1 = std::chrono::steady_clock::now();
+      out.walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+      sha = hasher.finish().hex();
+      if (rep == 0) {
+        out.flush_depth = sim.flush_depth();
+        out.phases = sim.phases();
+        out.report = report;
+      }
+    } else {
+      const std::filesystem::path dir =
+          scratch_base / ("t" + std::to_string(threads) + "_r" +
+                          std::to_string(rep));
+      std::filesystem::remove_all(dir);
+      u1::BinaryLogfileWriter writer(dir);
+      const auto t0 = std::chrono::steady_clock::now();
+      u1::ParallelSimulation sim(cfg, writer, threads);
+      const u1::SimulationReport report = sim.run();
+      writer.close();  // trailing stripes + sidecars belong to the run
+      const auto t1 = std::chrono::steady_clock::now();
+      out.walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+      records = writer.records_written();
+      bytes = writer.bytes_written();
+      sha = hash_directory(dir);
+      std::filesystem::remove_all(dir);
+      if (rep == 0) {
+        out.flush_depth = sim.flush_depth();
+        out.phases = sim.phases();
+        out.report = report;
+      }
+    }
     if (rep == 0) {
       out.records = records;
+      out.bytes = bytes;
       out.trace_sha1 = sha;
-      out.flush_depth = sim.flush_depth();
-      out.phases = sim.phases();
-      out.report = report;
     } else if (sha != out.trace_sha1 || records != out.records) {
       // Repeats of the same configuration must be bit-identical runs;
       // mark the result broken so the oracle check below fails loudly.
@@ -139,12 +208,24 @@ int main(int argc, char** argv) {
   const auto cfg = standard_config(env_users(), env_days());
   const unsigned hw = std::thread::hardware_concurrency();
   const bool single_core = hw <= 1;
+  const TraceFormat format = trace_format_from_env();
+  const std::filesystem::path scratch_base =
+      std::filesystem::temp_directory_path() /
+      ("u1bench_bin_" +
+       std::to_string(static_cast<unsigned long long>(
+           std::chrono::steady_clock::now().time_since_epoch().count())));
+  double cal_band = 24.0;
+  if (const char* v = std::getenv("U1SIM_CAL_SCAN_BAND")) {
+    const double parsed = std::atof(v);
+    if (parsed > 0.0) cal_band = parsed;
+  }
 
   header("Throughput", "Deterministic shard-parallel engine scaling");
   std::printf("  users=%zu days=%d seed=%llu hardware_concurrency=%u "
-              "repeats=%d\n",
+              "repeats=%d format=%s\n",
               cfg.users, cfg.days,
-              static_cast<unsigned long long>(cfg.seed), hw, repeats);
+              static_cast<unsigned long long>(cfg.seed), hw, repeats,
+              std::string(to_string(format)).c_str());
   if (single_core) {
     std::printf(
         "\n  *** WARNING: hardware_concurrency=%u — SINGLE-CORE HOST ***\n"
@@ -156,7 +237,7 @@ int main(int argc, char** argv) {
 
   std::vector<RunResult> runs;
   for (const std::size_t threads : {1, 2, 4, 8}) {
-    runs.push_back(run_once(cfg, threads, repeats));
+    runs.push_back(run_once(cfg, threads, repeats, format, scratch_base));
     const RunResult& r = runs.back();
     std::printf("  threads=%zu  wall_min=%8.2fs  wall_median=%8.2fs  "
                 "records=%llu  rec/s=%10.0f  sha1=%s\n",
@@ -176,6 +257,26 @@ int main(int argc, char** argv) {
   std::printf("  trace byte-identical across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM BROKEN");
 
+  // Calendar-queue regression band: scanned-per-find creeping up means
+  // the bucket-width heuristic degraded to linear scans. Only runs with
+  // enough finds to average out warm-up are held to the band.
+  constexpr std::uint64_t kCalMinFinds = 5000;
+  bool cal_ok = true;
+  for (const RunResult& r : runs) {
+    const auto& p = r.phases;
+    if (p.cal_finds < kCalMinFinds) continue;
+    const double per_find = static_cast<double>(p.cal_scanned) /
+                            static_cast<double>(p.cal_finds);
+    if (per_find > cal_band) {
+      cal_ok = false;
+      std::printf("  *** calendar-queue REGRESSION: threads=%zu "
+                  "scanned_per_find=%.2f exceeds band %.2f ***\n",
+                  r.threads, per_find, cal_band);
+    }
+  }
+  std::printf("  calendar scanned-per-find within band %.2f: %s\n", cal_band,
+              cal_ok ? "yes" : "NO — REGRESSION");
+
   if (FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"shard_parallel_throughput\",\n");
@@ -184,6 +285,10 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(cfg.seed));
     std::fprintf(f, "  \"repeats\": %d,\n", repeats);
+    std::fprintf(f, "  \"format\": \"%s\",\n",
+                 std::string(to_string(format)).c_str());
+    std::fprintf(f, "  \"cal_scan_band\": %.2f,\n", cal_band);
+    std::fprintf(f, "  \"cal_band_ok\": %s,\n", cal_ok ? "true" : "false");
     std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
     std::fprintf(f, "  \"flush_depth\": %zu,\n",
                  runs.empty() ? std::size_t{0} : runs.front().flush_depth);
@@ -201,15 +306,18 @@ int main(int argc, char** argv) {
           f,
           "    {\"threads\": %zu, \"wall_seconds_min\": %.3f, "
           "\"wall_seconds_median\": %.3f, \"records\": %llu, "
+          "\"bytes\": %llu, "
           "\"records_per_sec\": %.0f, \"speedup_vs_1t\": %.3f, "
           "\"trace_sha1\": \"%s\",\n"
           "     \"phases\": {\"epochs\": %llu, \"compute_s\": %.3f, "
           "\"merge_s\": %.3f, \"flush_s\": %.3f, \"write_s\": %.3f, "
           "\"flush_stall_s\": %.3f, \"ring_stall_s\": %.3f, "
           "\"plan_rebuilds\": %llu, \"cal_rebuilds\": %llu, "
-          "\"cal_finds\": %llu, \"cal_scanned\": %llu}}%s\n",
+          "\"cal_finds\": %llu, \"cal_scanned\": %llu, "
+          "\"cal_scanned_per_find\": %.2f}}%s\n",
           r.threads, r.wall_min(), r.wall_median(),
           static_cast<unsigned long long>(r.records),
+          static_cast<unsigned long long>(r.bytes),
           static_cast<double>(r.records) / r.wall_min(),
           runs.front().wall_min() / r.wall_min(), r.trace_sha1.c_str(),
           static_cast<unsigned long long>(p.epochs), p.compute_s, p.merge_s,
@@ -218,6 +326,9 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(p.cal_rebuilds),
           static_cast<unsigned long long>(p.cal_finds),
           static_cast<unsigned long long>(p.cal_scanned),
+          p.cal_finds > 0 ? static_cast<double>(p.cal_scanned) /
+                                static_cast<double>(p.cal_finds)
+                          : 0.0,
           i + 1 < runs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -226,5 +337,5 @@ int main(int argc, char** argv) {
   } else {
     std::printf("  could not open %s for writing\n", out_path.c_str());
   }
-  return identical ? 0 : 1;
+  return identical && cal_ok ? 0 : 1;
 }

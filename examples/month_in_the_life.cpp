@@ -5,8 +5,10 @@
 //
 // Usage: month_in_the_life [users] [logfile-dir]
 //   users       population size (default 3000)
-//   logfile-dir where production-<machine>-<proc>-<date>.csv files go
-//               (default: skip persistence, analyze in-process)
+//   logfile-dir where production-<machine>-<proc>-<date> logfiles go
+//               (default: skip persistence, analyze in-process).
+//               Set U1SIM_TRACE_FORMAT=bin for columnar .u1b files
+//               instead of CSV.
 #include <cstdio>
 #include <cstdlib>
 
@@ -15,6 +17,7 @@
 #include "analysis/trace_summary.hpp"
 #include "analysis/traffic.hpp"
 #include "sim/simulation.hpp"
+#include "trace/binlog.hpp"
 #include "trace/logfile.hpp"
 #include "util/strings.hpp"
 
@@ -39,9 +42,9 @@ int main(int argc, char** argv) {
   fanout.add(&sessions);
   fanout.add(&ddos);
 
-  std::unique_ptr<LogfileWriter> writer;
+  std::unique_ptr<LogfileSink> writer;
   if (logdir != nullptr) {
-    writer = std::make_unique<LogfileWriter>(logdir);
+    writer = make_logfile_writer(logdir, trace_format_from_env());
     fanout.add(writer.get());
   }
 

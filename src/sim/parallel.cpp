@@ -481,8 +481,22 @@ void ParallelSimulation::run_stage_a(FlushSlot& slot) {
 
 void ParallelSimulation::run_stage_b(FlushSlot& slot) {
   const auto t0 = Clock::now();
-  for (const MergeRef ref : slot.plan)
-    sink_->append(slot.chunks[ref.group][ref.offset]);
+  // The merge permutation is long runs of consecutive offsets within one
+  // group (each run is one group's records between two other-group
+  // timestamps); hand each maximal run to the sink as a single batch so
+  // the per-record virtual call disappears from the write path.
+  const MergeRef* refs = slot.plan.data();
+  const std::size_t n = slot.plan.size();
+  for (std::size_t i = 0; i < n;) {
+    const std::uint32_t group = refs[i].group;
+    const std::uint32_t first = refs[i].offset;
+    std::size_t j = i + 1;
+    while (j < n && refs[j].group == group &&
+           refs[j].offset == refs[j - 1].offset + 1)
+      ++j;
+    sink_->append_batch(&slot.chunks[group][first], j - i);
+    i = j;
+  }
   for (auto& chunk : slot.chunks) chunk.clear();
   slot.plan.clear();
   phases_.write_s += secs_since(t0);

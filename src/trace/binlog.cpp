@@ -1,0 +1,876 @@
+#include "trace/binlog.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/sim_time.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define U1SIM_HAVE_MMAP 1
+#endif
+
+namespace u1 {
+namespace {
+
+// --- format constants -------------------------------------------------------
+
+// PNG-style magic: a high byte no text encoding produces, the format
+// name, then CRLF/EOF/LF bytes that catch ASCII-mode mangling. Never a
+// valid CSV prefix, so the reader can sniff by the first 8 bytes.
+constexpr std::array<unsigned char, 8> kLogMagic = {
+    0x89, 'U', '1', 'B', 0x0D, 0x0A, 0x1A, 0x0A};
+constexpr std::array<unsigned char, 8> kSymMagic = {
+    0x89, 'U', '1', 'S', 0x0D, 0x0A, 0x1A, 0x0A};
+
+constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::size_t kFileHeaderBytes = 64;
+constexpr std::size_t kSidecarHeaderBytes = 48;
+// payload_bytes:u32 record_count:u32 type_counts:u32[kRecordTypeCount]
+constexpr std::size_t kStripeHeaderBytes = 8 + 4 * kRecordTypeCount;
+
+// --- little-endian + varint primitives --------------------------------------
+
+void put_le16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_le64(std::uint8_t* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t get_le16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_le32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Raw-pointer variant for the encode hot loop: the caller reserves the
+/// segment's worst case up front, so every write is unchecked.
+std::uint8_t* put_varint(std::uint8_t* p, std::uint64_t v) noexcept {
+  while (v >= 0x80) {
+    *p++ = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
+}
+
+// --- integrity checksum -----------------------------------------------------
+
+/// XXH64 (Yann Collet's xxHash64 algorithm): the `.u1b`/`.u1s`
+/// integrity checksum. It guards against torn writes and bit rot, not
+/// adversaries — so a non-cryptographic hash that runs at memory speed
+/// is the right tool; a SHA here would cost more than the entire
+/// columnar encode.
+class Xxh64 {
+ public:
+  Xxh64() noexcept { reset(); }
+
+  void reset(std::uint64_t seed = 0) noexcept {
+    v1_ = seed + kP1 + kP2;
+    v2_ = seed + kP2;
+    v3_ = seed;
+    v4_ = seed - kP1;
+    len_ = 0;
+    buf_used_ = 0;
+  }
+
+  void update(const std::uint8_t* data, std::size_t len) noexcept {
+    len_ += len;
+    if (buf_used_ + len < kBlock) {
+      std::memcpy(buf_ + buf_used_, data, len);
+      buf_used_ += len;
+      return;
+    }
+    if (buf_used_ > 0) {
+      const std::size_t fill = kBlock - buf_used_;
+      std::memcpy(buf_ + buf_used_, data, fill);
+      data += fill;
+      len -= fill;
+      round_block(buf_);
+      buf_used_ = 0;
+    }
+    while (len >= kBlock) {
+      round_block(data);
+      data += kBlock;
+      len -= kBlock;
+    }
+    std::memcpy(buf_, data, len);
+    buf_used_ = len;
+  }
+
+  std::uint64_t digest() const noexcept {
+    std::uint64_t h;
+    if (len_ >= kBlock) {
+      h = rotl(v1_, 1) + rotl(v2_, 7) + rotl(v3_, 12) + rotl(v4_, 18);
+      h = merge(h, v1_);
+      h = merge(h, v2_);
+      h = merge(h, v3_);
+      h = merge(h, v4_);
+    } else {
+      h = v3_ + kP5;  // v3_ holds the seed until the first full block
+    }
+    h += len_;
+    const std::uint8_t* p = buf_;
+    const std::uint8_t* end = buf_ + buf_used_;
+    for (; p + 8 <= end; p += 8) {
+      h ^= round1(0, get_le64(p));
+      h = rotl(h, 27) * kP1 + kP4;
+    }
+    if (p + 4 <= end) {
+      h ^= static_cast<std::uint64_t>(get_le32(p)) * kP1;
+      h = rotl(h, 23) * kP2 + kP3;
+      p += 4;
+    }
+    for (; p < end; ++p) {
+      h ^= *p * kP5;
+      h = rotl(h, 11) * kP1;
+    }
+    h ^= h >> 33;
+    h *= kP2;
+    h ^= h >> 29;
+    h *= kP3;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  static constexpr std::size_t kBlock = 32;
+  static constexpr std::uint64_t kP1 = 0x9E3779B185EBCA87ull;
+  static constexpr std::uint64_t kP2 = 0xC2B2AE3D27D4EB4Full;
+  static constexpr std::uint64_t kP3 = 0x165667B19E3779F9ull;
+  static constexpr std::uint64_t kP4 = 0x85EBCA77C2B2AE63ull;
+  static constexpr std::uint64_t kP5 = 0x27D4EB2F165667C5ull;
+
+  static constexpr std::uint64_t rotl(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+  static constexpr std::uint64_t round1(std::uint64_t acc,
+                                        std::uint64_t input) noexcept {
+    return rotl(acc + input * kP2, 31) * kP1;
+  }
+  static constexpr std::uint64_t merge(std::uint64_t h,
+                                       std::uint64_t v) noexcept {
+    return (h ^ round1(0, v)) * kP1 + kP4;
+  }
+  void round_block(const std::uint8_t* p) noexcept {
+    v1_ = round1(v1_, get_le64(p));
+    v2_ = round1(v2_, get_le64(p + 8));
+    v3_ = round1(v3_, get_le64(p + 16));
+    v4_ = round1(v4_, get_le64(p + 24));
+  }
+
+  std::uint64_t v1_, v2_, v3_, v4_;
+  std::uint64_t len_ = 0;
+  std::uint8_t buf_[kBlock];
+  std::size_t buf_used_ = 0;
+};
+
+std::uint64_t xxh64(const std::uint8_t* data, std::size_t len) noexcept {
+  Xxh64 h;
+  h.update(data, len);
+  return h.digest();
+}
+
+constexpr std::uint64_t zigzag(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t unzigzag(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Bounds-checked decode cursor. Every read sets ok=false instead of
+/// stepping past `end`; callers check ok once per stripe.
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool ok = true;
+
+  std::uint64_t varint() noexcept {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (p >= end) {
+        ok = false;
+        return 0;
+      }
+      const std::uint8_t b = *p++;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    ok = false;  // > 10 bytes: not a varint we ever write
+    return 0;
+  }
+
+  const std::uint8_t* take(std::size_t n) noexcept {
+    if (static_cast<std::size_t>(end - p) < n) {
+      ok = false;
+      return nullptr;
+    }
+    const std::uint8_t* r = p;
+    p += n;
+    return r;
+  }
+};
+
+// --- column codecs ----------------------------------------------------------
+//
+// A segment holds every record of one type in one stripe, column-major.
+// Encode and decode MUST walk the identical column order; keep the two
+// functions below in lockstep.
+//
+//   1. t                zigzag varint delta (prev starts at 0)
+//   2. duration         varint
+//   3. size_bytes       varint
+//   4. transferred_bytes varint
+//   5. service_time     varint
+//   6. user             varint
+//   7. session          varint
+//   8. label            varint (file-local SymbolDict id)
+//   9. shard            varint
+//  10. node             presence bitmap + 16 raw bytes per present
+//  11. parent           presence bitmap + 16 raw bytes per present
+//  12. volume           presence bitmap + 16 raw bytes per present
+//  13. content          presence bitmap + 20 raw bytes per present
+//  14. session_event    u8[n]
+//  15. api_op           u8[n]
+//  16. rpc_op           u8[n]
+//  17. flags            u8[n] (bit0 update, bit1 dir, bit2 dedup, bit3 failed)
+
+std::uint8_t* encode_uuid_column(const std::vector<TraceRecord>& recs,
+                                 const std::vector<std::uint32_t>& idx,
+                                 Uuid TraceRecord::* member,
+                                 std::uint8_t* p) {
+  std::uint8_t* bitmap = p;
+  const std::size_t bitmap_bytes = (idx.size() + 7) / 8;
+  std::memset(bitmap, 0, bitmap_bytes);
+  p += bitmap_bytes;
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    const Uuid& u = recs[idx[j]].*member;
+    if (u.is_nil()) continue;
+    bitmap[j >> 3] |= static_cast<std::uint8_t>(1u << (j & 7));
+    std::memcpy(p, u.bytes.data(), u.bytes.size());
+    p += u.bytes.size();
+  }
+  return p;
+}
+
+bool decode_uuid_column(Cursor& c, const std::vector<std::uint32_t>& idx,
+                        Uuid TraceRecord::* member, TraceRecord* recs) {
+  const std::uint8_t* bitmap = c.take((idx.size() + 7) / 8);
+  if (bitmap == nullptr) return false;
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    if (((bitmap[j >> 3] >> (j & 7)) & 1) == 0) continue;
+    const std::uint8_t* b = c.take(16);
+    if (b == nullptr) return false;
+    std::memcpy((recs[idx[j]].*member).bytes.data(), b, 16);
+  }
+  return true;
+}
+
+std::uint8_t pack_flags(const TraceRecord& r) noexcept {
+  return static_cast<std::uint8_t>(
+      (r.is_update ? 1u : 0u) | (r.is_dir ? 2u : 0u) |
+      (r.deduplicated ? 4u : 0u) | (r.failed ? 8u : 0u));
+}
+
+void encode_segment(const std::vector<TraceRecord>& recs,
+                    const std::vector<std::uint32_t>& idx, SymbolDict& dict,
+                    std::vector<std::uint8_t>& out) {
+  // One worst-case reservation, then unchecked raw-pointer writes: the
+  // per-byte push_back bounds checks were the encode hot spot. Worst
+  // case per record: 9 varints (≤63 B), 3 UUIDs + content (≤68 B),
+  // 4 enum/flag bytes; plus 4 presence bitmaps.
+  const std::size_t n = idx.size();
+  const std::size_t base = out.size();
+  out.resize(base + n * 136 + 4 * (n / 8 + 1));
+  std::uint8_t* p = out.data() + base;
+
+  SimTime prev = 0;
+  for (const std::uint32_t i : idx) {
+    p = put_varint(p, zigzag(recs[i].t - prev));
+    prev = recs[i].t;
+  }
+  for (const std::uint32_t i : idx)
+    p = put_varint(p, static_cast<std::uint64_t>(recs[i].duration));
+  for (const std::uint32_t i : idx) p = put_varint(p, recs[i].size_bytes);
+  for (const std::uint32_t i : idx)
+    p = put_varint(p, recs[i].transferred_bytes);
+  for (const std::uint32_t i : idx) p = put_varint(p, recs[i].service_time);
+  for (const std::uint32_t i : idx) p = put_varint(p, recs[i].user.value);
+  for (const std::uint32_t i : idx) p = put_varint(p, recs[i].session.value);
+  for (const std::uint32_t i : idx)
+    p = put_varint(p, dict.local_id(recs[i].label));
+  for (const std::uint32_t i : idx) p = put_varint(p, recs[i].shard.value);
+  p = encode_uuid_column(recs, idx, &TraceRecord::node, p);
+  p = encode_uuid_column(recs, idx, &TraceRecord::parent, p);
+  p = encode_uuid_column(recs, idx, &TraceRecord::volume, p);
+  {  // content: same presence scheme, 20-byte SHA-1 payload
+    std::uint8_t* bitmap = p;
+    const std::size_t bitmap_bytes = (n + 7) / 8;
+    std::memset(bitmap, 0, bitmap_bytes);
+    p += bitmap_bytes;
+    for (std::size_t j = 0; j < n; ++j) {
+      const ContentId& cid = recs[idx[j]].content;
+      if (cid == ContentId{}) continue;
+      bitmap[j >> 3] |= static_cast<std::uint8_t>(1u << (j & 7));
+      std::memcpy(p, cid.bytes.data(), cid.bytes.size());
+      p += cid.bytes.size();
+    }
+  }
+  for (const std::uint32_t i : idx)
+    *p++ = static_cast<std::uint8_t>(recs[i].session_event);
+  for (const std::uint32_t i : idx)
+    *p++ = static_cast<std::uint8_t>(recs[i].api_op);
+  for (const std::uint32_t i : idx)
+    *p++ = static_cast<std::uint8_t>(recs[i].rpc_op);
+  for (const std::uint32_t i : idx) *p++ = pack_flags(recs[i]);
+
+  out.resize(static_cast<std::size_t>(p - out.data()));
+}
+
+bool decode_segment(Cursor& c, RecordType type,
+                    const std::vector<std::uint32_t>& idx, TraceRecord* recs,
+                    const std::vector<Symbol>& local_to_global,
+                    std::uint8_t machine, std::uint16_t process) {
+  SimTime prev = 0;
+  for (const std::uint32_t i : idx) {
+    prev += unzigzag(c.varint());
+    recs[i].t = prev;
+  }
+  for (const std::uint32_t i : idx)
+    recs[i].duration = static_cast<SimTime>(c.varint());
+  for (const std::uint32_t i : idx) recs[i].size_bytes = c.varint();
+  for (const std::uint32_t i : idx) recs[i].transferred_bytes = c.varint();
+  for (const std::uint32_t i : idx) {
+    const std::uint64_t v = c.varint();
+    if (v > 0xffffffffu) return false;
+    recs[i].service_time = static_cast<std::uint32_t>(v);
+  }
+  for (const std::uint32_t i : idx) {
+    const std::uint64_t v = c.varint();
+    if (v > 0xffffffffu) return false;
+    recs[i].user = UserId{v};
+  }
+  for (const std::uint32_t i : idx) {
+    const std::uint64_t v = c.varint();
+    if (v > 0xffffffffu) return false;
+    recs[i].session = SessionId{v};
+  }
+  for (const std::uint32_t i : idx) {
+    const std::uint64_t local = c.varint();
+    if (local >= local_to_global.size()) return false;
+    recs[i].label = local_to_global[local];
+  }
+  for (const std::uint32_t i : idx) {
+    const std::uint64_t v = c.varint();
+    if (v > 0xffffu) return false;
+    recs[i].shard = ShardId{v};
+  }
+  if (!decode_uuid_column(c, idx, &TraceRecord::node, recs)) return false;
+  if (!decode_uuid_column(c, idx, &TraceRecord::parent, recs)) return false;
+  if (!decode_uuid_column(c, idx, &TraceRecord::volume, recs)) return false;
+  {
+    const std::uint8_t* bitmap = c.take((idx.size() + 7) / 8);
+    if (bitmap == nullptr) return false;
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+      if (((bitmap[j >> 3] >> (j & 7)) & 1) == 0) continue;
+      const std::uint8_t* b = c.take(20);
+      if (b == nullptr) return false;
+      std::memcpy(recs[idx[j]].content.bytes.data(), b, 20);
+    }
+  }
+  const std::uint8_t* events = c.take(idx.size());
+  const std::uint8_t* api_ops = c.take(idx.size());
+  const std::uint8_t* rpc_ops = c.take(idx.size());
+  const std::uint8_t* flags = c.take(idx.size());
+  if (!c.ok) return false;
+  constexpr auto kMaxEvent =
+      static_cast<std::uint8_t>(SessionEvent::kTryAgain);
+  for (std::size_t j = 0; j < idx.size(); ++j) {
+    if (events[j] > kMaxEvent || api_ops[j] >= kApiOpCount ||
+        rpc_ops[j] >= kRpcOpCount || (flags[j] & ~0x0fu) != 0)
+      return false;
+    TraceRecord& r = recs[idx[j]];
+    r.session_event = static_cast<SessionEvent>(events[j]);
+    r.api_op = static_cast<ApiOp>(api_ops[j]);
+    r.rpc_op = static_cast<RpcOp>(rpc_ops[j]);
+    r.is_update = (flags[j] & 1) != 0;
+    r.is_dir = (flags[j] & 2) != 0;
+    r.deduplicated = (flags[j] & 4) != 0;
+    r.failed = (flags[j] & 8) != 0;
+    r.type = type;
+    r.machine = MachineId{machine};
+    r.process = ProcessId{process};
+  }
+  return true;
+}
+
+// --- read-side file mapping -------------------------------------------------
+
+/// Read-only view of a whole file: mmap where available (the zero-parse
+/// path — columns decode straight out of the page cache), plain read
+/// otherwise. Unmaps/frees on destruction.
+struct Mapping {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+#ifdef U1SIM_HAVE_MMAP
+  void* mapped = MAP_FAILED;
+  std::size_t mapped_len = 0;
+#endif
+  std::vector<std::uint8_t> buffer;
+
+  Mapping() = default;
+  Mapping(const Mapping&) = delete;
+  Mapping& operator=(const Mapping&) = delete;
+  ~Mapping() {
+#ifdef U1SIM_HAVE_MMAP
+    if (mapped != MAP_FAILED) ::munmap(mapped, mapped_len);
+#endif
+  }
+};
+
+bool map_file(const std::filesystem::path& path, Mapping& out) {
+#ifdef U1SIM_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      const auto len = static_cast<std::size_t>(st.st_size);
+      if (len == 0) {
+        ::close(fd);
+        out.data = nullptr;
+        out.size = 0;
+        return true;
+      }
+      void* p = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (p != MAP_FAILED) {
+        out.mapped = p;
+        out.mapped_len = len;
+        out.data = static_cast<const std::uint8_t*>(p);
+        out.size = len;
+        return true;
+      }
+      // fall through to the buffered path below
+    } else {
+      ::close(fd);
+      return false;
+    }
+  } else {
+    return false;
+  }
+#endif
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  in.seekg(0, std::ios::end);
+  const auto len = static_cast<std::size_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  out.buffer.resize(len);
+  if (len > 0 &&
+      !in.read(reinterpret_cast<char*>(out.buffer.data()),
+               static_cast<std::streamsize>(len)))
+    return false;
+  out.data = out.buffer.data();
+  out.size = len;
+  return true;
+}
+
+std::filesystem::path sidecar_path(const std::filesystem::path& logfile) {
+  std::filesystem::path p = logfile;
+  p.replace_extension(kSymbolSidecarExt);
+  return p;
+}
+
+/// Loads and verifies a `.u1s` sidecar, interning every string into the
+/// global table. local_to_global[0] is the empty symbol. Adds the
+/// sidecar's bytes to `stats`; false on any integrity problem.
+bool load_sidecar(const std::filesystem::path& path,
+                  std::vector<Symbol>& local_to_global, ReadStats& stats) {
+  Mapping map;
+  if (!map_file(path, map)) return false;
+  stats.bytes_read += map.size;
+  if (map.size < kSidecarHeaderBytes ||
+      std::memcmp(map.data, kSymMagic.data(), kSymMagic.size()) != 0)
+    return false;
+  if (get_le32(map.data + 8) != kFormatVersion) return false;
+  const std::uint32_t count = get_le32(map.data + 12);
+  const std::uint64_t payload_bytes = get_le64(map.data + 16);
+  if (map.size - kSidecarHeaderBytes != payload_bytes) return false;
+  const std::uint8_t* payload = map.data + kSidecarHeaderBytes;
+  if (xxh64(payload, static_cast<std::size_t>(payload_bytes)) !=
+      get_le64(map.data + 24))
+    return false;
+  local_to_global.clear();
+  local_to_global.reserve(count + 1);
+  local_to_global.push_back(kEmptySymbol);
+  Cursor c{payload, payload + payload_bytes};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t len = c.varint();
+    const std::uint8_t* bytes = c.take(static_cast<std::size_t>(len));
+    if (!c.ok || len == 0) return false;  // the empty string is id 0, always
+    local_to_global.push_back(global_symbols().intern(
+        std::string_view(reinterpret_cast<const char*>(bytes),
+                         static_cast<std::size_t>(len))));
+  }
+  return c.p == c.end;
+}
+
+bool decode_stripe(const std::uint8_t* begin, const std::uint8_t* end,
+                   std::uint32_t count, const std::uint32_t* type_counts,
+                   std::uint8_t machine, std::uint16_t process,
+                   const std::vector<Symbol>& local_to_global,
+                   std::vector<TraceRecord>& out) {
+  const std::size_t base = out.size();
+  out.resize(base + count);
+  Cursor c{begin, end};
+  const std::uint8_t* type_seq = c.take(count);
+  if (type_seq == nullptr) {
+    out.resize(base);
+    return false;
+  }
+  std::array<std::vector<std::uint32_t>, kRecordTypeCount> slots;
+  for (std::size_t t = 0; t < kRecordTypeCount; ++t)
+    slots[t].reserve(type_counts[t]);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (type_seq[i] >= kRecordTypeCount) {
+      out.resize(base);
+      return false;
+    }
+    slots[type_seq[i]].push_back(i);
+  }
+  for (std::size_t t = 0; t < kRecordTypeCount; ++t) {
+    if (slots[t].size() != type_counts[t]) {
+      out.resize(base);
+      return false;
+    }
+  }
+  for (std::size_t t = 0; t < kRecordTypeCount; ++t) {
+    if (slots[t].empty()) continue;
+    if (!decode_segment(c, static_cast<RecordType>(t), slots[t],
+                        out.data() + base, local_to_global, machine,
+                        process) ||
+        !c.ok) {
+      out.resize(base);
+      return false;
+    }
+  }
+  if (c.p != c.end) {  // canonical encoding leaves no slack
+    out.resize(base);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- format selector --------------------------------------------------------
+
+std::string_view to_string(TraceFormat f) noexcept {
+  return f == TraceFormat::kBinary ? "bin" : "csv";
+}
+
+std::optional<TraceFormat> trace_format_from_string(
+    std::string_view s) noexcept {
+  if (s == "csv") return TraceFormat::kCsv;
+  if (s == "bin" || s == "binary") return TraceFormat::kBinary;
+  return std::nullopt;
+}
+
+TraceFormat trace_format_from_env() {
+  if (const char* v = std::getenv("U1SIM_TRACE_FORMAT")) {
+    if (const auto f = trace_format_from_string(v)) return *f;
+  }
+  return TraceFormat::kCsv;
+}
+
+bool is_binary_logfile_magic(const unsigned char* p, std::size_t n) noexcept {
+  return n >= kLogMagic.size() &&
+         std::memcmp(p, kLogMagic.data(), kLogMagic.size()) == 0;
+}
+
+// --- writer -----------------------------------------------------------------
+
+struct BinaryLogfileWriter::FileState {
+  std::ofstream out;
+  std::string logname;
+  std::uint8_t machine = 0;
+  std::uint16_t process = 0;
+  std::uint64_t record_count = 0;
+  std::uint32_t stripe_count = 0;
+  std::uint64_t payload_bytes = 0;
+  Xxh64 checksum;  // running digest over every payload byte written
+  SymbolDict dict;
+  std::vector<TraceRecord> pending;  // current stripe, arrival order
+};
+
+BinaryLogfileWriter::BinaryLogfileWriter(std::filesystem::path directory)
+    : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+BinaryLogfileWriter::~BinaryLogfileWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() reports errors.
+  }
+}
+
+BinaryLogfileWriter::FileState& BinaryLogfileWriter::file_for(
+    const TraceRecord& record) {
+  // (machine, process, day) packs into one integer key, so the hot path
+  // never materializes the logname string the CSV writer rebuilds per
+  // record. The day index must mirror trace_date(): pre-trace bootstrap
+  // records (t < 0) all land on the epoch date, so they must share the
+  // epoch file — a second key for the same logname would clobber it.
+  const std::int64_t day = record.t < 0 ? 0 : record.t / kDay;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(record.machine.value) << 48) |
+      (static_cast<std::uint64_t>(record.process.value) << 32) |
+      static_cast<std::uint32_t>(day);
+  const auto it = files_.find(key);
+  if (it != files_.end()) return *it->second;
+
+  auto file = std::make_unique<FileState>();
+  file->logname = record.logname();
+  file->machine = static_cast<std::uint8_t>(record.machine.value);
+  file->process = record.process.value;
+  const std::filesystem::path path =
+      dir_ / (file->logname + std::string(kBinaryLogfileExt));
+  file->out.open(path, std::ios::binary | std::ios::trunc);
+  if (!file->out.is_open())
+    throw std::runtime_error("BinaryLogfileWriter: cannot open " +
+                             path.string());
+  const std::array<char, kFileHeaderBytes> placeholder{};
+  file->out.write(placeholder.data(), placeholder.size());
+  bytes_written_ += kFileHeaderBytes;
+  file->pending.reserve(stripe_records_);
+  return *files_.emplace(key, std::move(file)).first->second;
+}
+
+void BinaryLogfileWriter::append(const TraceRecord& record) {
+  FileState& file = file_for(record);
+  file.pending.push_back(record);
+  ++records_;
+  if (file.pending.size() >= stripe_records_) flush_stripe(file);
+}
+
+void BinaryLogfileWriter::append_batch(const TraceRecord* records,
+                                       std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) append(records[i]);
+}
+
+void BinaryLogfileWriter::flush_stripe(FileState& file) {
+  if (file.pending.empty()) return;
+  const auto count = static_cast<std::uint32_t>(file.pending.size());
+
+  std::array<std::vector<std::uint32_t>, kRecordTypeCount> idx;
+  for (std::uint32_t i = 0; i < count; ++i)
+    idx[static_cast<std::size_t>(file.pending[i].type)].push_back(i);
+
+  scratch_.clear();
+  for (std::uint32_t i = 0; i < count; ++i)
+    scratch_.push_back(static_cast<std::uint8_t>(file.pending[i].type));
+  for (std::size_t t = 0; t < kRecordTypeCount; ++t)
+    if (!idx[t].empty())
+      encode_segment(file.pending, idx[t], file.dict, scratch_);
+
+  std::array<std::uint8_t, kStripeHeaderBytes> header{};
+  put_le32(header.data(), static_cast<std::uint32_t>(scratch_.size()));
+  put_le32(header.data() + 4, count);
+  for (std::size_t t = 0; t < kRecordTypeCount; ++t)
+    put_le32(header.data() + 8 + 4 * t,
+             static_cast<std::uint32_t>(idx[t].size()));
+
+  file.out.write(reinterpret_cast<const char*>(header.data()),
+                 static_cast<std::streamsize>(header.size()));
+  file.out.write(reinterpret_cast<const char*>(scratch_.data()),
+                 static_cast<std::streamsize>(scratch_.size()));
+  file.checksum.update(header.data(), header.size());
+  file.checksum.update(scratch_.data(), scratch_.size());
+  file.payload_bytes += header.size() + scratch_.size();
+  bytes_written_ += header.size() + scratch_.size();
+  file.record_count += count;
+  file.stripe_count += 1;
+  file.pending.clear();
+}
+
+void BinaryLogfileWriter::finalize(FileState& file) {
+  flush_stripe(file);
+
+  std::array<std::uint8_t, kFileHeaderBytes> header{};
+  std::memcpy(header.data(), kLogMagic.data(), kLogMagic.size());
+  put_le32(header.data() + 8, kFormatVersion);
+  put_le32(header.data() + 12, kFileHeaderBytes);
+  header[16] = file.machine;
+  put_le16(header.data() + 18, file.process);
+  put_le32(header.data() + 20, file.stripe_count);
+  put_le64(header.data() + 24, file.record_count);
+  put_le64(header.data() + 32, file.payload_bytes);
+  put_le64(header.data() + 40, file.checksum.digest());
+  file.out.seekp(0);
+  file.out.write(reinterpret_cast<const char*>(header.data()),
+                 static_cast<std::streamsize>(header.size()));
+  file.out.flush();
+  if (!file.out)
+    throw std::runtime_error("BinaryLogfileWriter: write failed for " +
+                             file.logname);
+
+  // Symbol sidecar: the strings this file references, in local-id order.
+  std::vector<std::uint8_t> payload;
+  for (const Symbol global : file.dict.globals()) {
+    const std::string_view text = global_symbols().resolve(global);
+    put_varint(payload, text.size());
+    payload.insert(payload.end(), text.begin(), text.end());
+  }
+  std::array<std::uint8_t, kSidecarHeaderBytes> sym_header{};
+  std::memcpy(sym_header.data(), kSymMagic.data(), kSymMagic.size());
+  put_le32(sym_header.data() + 8, kFormatVersion);
+  put_le32(sym_header.data() + 12,
+           static_cast<std::uint32_t>(file.dict.size()));
+  put_le64(sym_header.data() + 16, payload.size());
+  put_le64(sym_header.data() + 24, xxh64(payload.data(), payload.size()));
+  const std::filesystem::path path =
+      dir_ / (file.logname + std::string(kSymbolSidecarExt));
+  std::ofstream sidecar(path, std::ios::binary | std::ios::trunc);
+  if (!sidecar.is_open())
+    throw std::runtime_error("BinaryLogfileWriter: cannot open " +
+                             path.string());
+  sidecar.write(reinterpret_cast<const char*>(sym_header.data()),
+                static_cast<std::streamsize>(sym_header.size()));
+  sidecar.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+  sidecar.flush();
+  if (!sidecar)
+    throw std::runtime_error("BinaryLogfileWriter: write failed for " +
+                             path.string());
+  bytes_written_ += sym_header.size() + payload.size();
+}
+
+void BinaryLogfileWriter::close() {
+  for (auto& [key, file] : files_) finalize(*file);
+  files_.clear();
+}
+
+// --- reader -----------------------------------------------------------------
+
+ReadStats read_binary_logfile(const std::filesystem::path& file,
+                              std::vector<TraceRecord>& out) {
+  ReadStats stats;
+  stats.files = 1;
+  stats.files_binary = 1;
+
+  Mapping map;
+  if (!map_file(file, map))
+    throw std::runtime_error("read_binary_logfile: cannot open " +
+                             file.string());
+  stats.bytes_read += map.size;
+
+  // A file too short for a header, or with the wrong magic/version,
+  // carries no trustworthy record count: it is one malformed unit.
+  if (map.size < kFileHeaderBytes ||
+      !is_binary_logfile_magic(map.data, map.size) ||
+      get_le32(map.data + 8) != kFormatVersion ||
+      get_le32(map.data + 12) != kFileHeaderBytes) {
+    stats.rows = 1;
+    stats.malformed = 1;
+    return stats;
+  }
+  const std::uint8_t machine = map.data[16];
+  const std::uint16_t process = get_le16(map.data + 18);
+  const std::uint32_t stripe_count = get_le32(map.data + 20);
+  const std::uint64_t record_count = get_le64(map.data + 24);
+  const std::uint64_t payload_declared = get_le64(map.data + 32);
+  const std::uint8_t* payload = map.data + kFileHeaderBytes;
+  const std::uint64_t payload_actual = map.size - kFileHeaderBytes;
+  stats.rows = record_count;
+
+  // Truncated tails skip checksum verification (it cannot match) and
+  // decode whatever stripes survive intact; complete files must match
+  // their digest or every record is rejected.
+  const bool truncated = payload_actual < payload_declared;
+  if (!truncated) {
+    if (xxh64(payload, static_cast<std::size_t>(payload_declared)) !=
+        get_le64(map.data + 40)) {
+      stats.checksum_failures = 1;
+      stats.malformed = std::max<std::uint64_t>(record_count, 1);
+      stats.rows = stats.malformed;
+      return stats;
+    }
+  }
+
+  std::vector<Symbol> local_to_global;
+  if (!load_sidecar(sidecar_path(file), local_to_global, stats)) {
+    stats.malformed = std::max<std::uint64_t>(record_count, 1);
+    stats.rows = stats.malformed;
+    return stats;
+  }
+
+  const std::uint8_t* p = payload;
+  const std::uint8_t* end =
+      payload +
+      static_cast<std::size_t>(std::min(payload_actual, payload_declared));
+  std::uint64_t decoded = 0;
+  for (std::uint32_t s = 0; s < stripe_count; ++s) {
+    if (static_cast<std::size_t>(end - p) < kStripeHeaderBytes)
+      break;  // truncated tail: remaining stripes count as malformed
+    const std::uint32_t stripe_bytes = get_le32(p);
+    const std::uint32_t count = get_le32(p + 4);
+    std::uint32_t type_counts[kRecordTypeCount];
+    std::uint64_t type_total = 0;
+    for (std::size_t t = 0; t < kRecordTypeCount; ++t) {
+      type_counts[t] = get_le32(p + 8 + 4 * t);
+      type_total += type_counts[t];
+    }
+    if (type_total != count) break;  // header inconsistent: stop trusting
+    if (static_cast<std::size_t>(end - p) - kStripeHeaderBytes <
+        stripe_bytes)
+      break;  // stripe body truncated
+    const std::uint8_t* body = p + kStripeHeaderBytes;
+    if (decode_stripe(body, body + stripe_bytes, count, type_counts, machine,
+                      process, local_to_global, out))
+      decoded += count;
+    p += kStripeHeaderBytes + stripe_bytes;
+  }
+
+  stats.parsed = decoded;
+  stats.rows = std::max<std::uint64_t>(record_count, decoded);
+  stats.malformed = stats.rows - decoded;
+  return stats;
+}
+
+std::unique_ptr<LogfileSink> make_logfile_writer(
+    std::filesystem::path directory, TraceFormat format) {
+  if (format == TraceFormat::kBinary)
+    return std::make_unique<BinaryLogfileWriter>(std::move(directory));
+  return std::make_unique<LogfileWriter>(std::move(directory));
+}
+
+}  // namespace u1

@@ -1,0 +1,145 @@
+// The `.u1b` binary columnar trace format (DESIGN.md §8).
+//
+// CSV serialization is the single most expensive phase of a month-scale
+// run: every record costs ~24 formatted fields, and every re-read costs
+// the reverse parse. A TraceRecord is already a 128-byte POD with
+// interned labels, so persistence does not need formatting at all — it
+// needs a byte layout. One `.u1b` file corresponds to exactly one CSV
+// logfile (same per-(machine, process, day) sharding, same
+// "production-…" name), and holds the identical records; `u1trace
+// convert` round-trips a directory between the two formats
+// byte-faithfully in both directions.
+//
+// Layout (all integers little-endian; varint = LEB128):
+//
+//   file      := header stripe*
+//   header    := magic[8] version:u32 header_bytes:u32 machine:u8 pad:u8
+//                process:u16 stripe_count:u32 record_count:u64
+//                payload_bytes:u64 xxh64:u64 pad              (64 bytes)
+//   stripe    := payload_bytes:u32 record_count:u32
+//                type_counts:u32[kRecordTypeCount]           (28 bytes)
+//                type_seq:u8[record_count] segment*
+//   segment   := one per record type with type_counts[t] > 0, in
+//                RecordType order; column-major (see binlog.cpp for the
+//                exact column list): varint columns for the integer
+//                fields (timestamps zigzag-delta-encoded within the
+//                segment), presence bitmap + raw bytes for UUID/SHA-1
+//                columns, plain u8 arrays for the enum/flag columns
+//
+// Records are buffered per file and flushed as a stripe every
+// kStripeRecords appends, so writer memory stays bounded no matter how
+// long the run is. `machine` and `process` are file constants (the file
+// IS one process-day) and live in the header, never per record; `type`
+// is a segment constant. The SHA-1 in the header covers every byte after
+// the header and is patched in at close, together with the counts.
+//
+// Symbols: the `label` column stores file-local dictionary ids. The
+// dictionary — exactly the strings this one logfile references, in
+// first-use order — is written once to a `.u1s` sidecar next to the
+// file (magic, version, count, checksum, then length-prefixed strings).
+// The reader interns the sidecar strings back into the global
+// SymbolTable and rewrites labels to global ids, so decoded records are
+// indistinguishable from engine-emitted ones.
+//
+// The reader memory-maps the file (falling back to a plain read when
+// mmap is unavailable) and decodes columns straight out of the mapping —
+// no text tokenizing, no number parsing, no per-field strings. Every
+// access is bounds-checked against the mapping; hostile inputs (bad
+// magic, truncated tails, corrupt checksums, missing sidecars) are
+// rejected with counts in ReadStats, never UB.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/logfile.hpp"
+#include "trace/record.hpp"
+#include "trace/symbols.hpp"
+
+namespace u1 {
+
+/// On-disk trace format selector (U1SIM_TRACE_FORMAT=csv|bin).
+enum class TraceFormat : std::uint8_t { kCsv, kBinary };
+
+std::string_view to_string(TraceFormat f) noexcept;
+std::optional<TraceFormat> trace_format_from_string(
+    std::string_view s) noexcept;
+/// U1SIM_TRACE_FORMAT, defaulting to kCsv (the historical format; the
+/// full-scale trace SHA-1 contract is pinned to it).
+TraceFormat trace_format_from_env();
+
+/// File extensions: logfiles are "<logname>.u1b", the symbol sidecar is
+/// "<logname>.u1s".
+inline constexpr std::string_view kBinaryLogfileExt = ".u1b";
+inline constexpr std::string_view kSymbolSidecarExt = ".u1s";
+
+/// True when the 8 bytes at `p` (n >= 8) are the .u1b file magic.
+bool is_binary_logfile_magic(const unsigned char* p, std::size_t n) noexcept;
+
+/// Writes records into per-(machine, process, day) `.u1b` files plus one
+/// `.u1s` symbol sidecar each. Same sharding rule — and therefore the
+/// same file set — as the CSV LogfileWriter. Records must carry global
+/// label ids (every sink-visible record does).
+class BinaryLogfileWriter final : public LogfileSink {
+ public:
+  explicit BinaryLogfileWriter(std::filesystem::path directory);
+  ~BinaryLogfileWriter() override;
+
+  void append(const TraceRecord& record) override;
+  void append_batch(const TraceRecord* records, std::size_t count) override;
+  /// Flushes trailing stripes, patches headers/checksums, writes the
+  /// sidecars and closes every file.
+  void close() override;
+
+  /// Open files (0 after close()), mirroring LogfileWriter semantics.
+  std::size_t files_written() const noexcept override {
+    return files_.size();
+  }
+  std::uint64_t records_written() const noexcept { return records_; }
+  /// Bytes handed to the filesystem so far (headers, stripes, sidecars).
+  std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+  /// Records buffered per file before a stripe is cut. Tests shrink this
+  /// to exercise multi-stripe files without bulk data.
+  void set_stripe_records(std::size_t n) noexcept {
+    stripe_records_ = n < 1 ? 1 : n;
+  }
+
+ private:
+  struct FileState;
+
+  FileState& file_for(const TraceRecord& record);
+  void flush_stripe(FileState& file);
+  void finalize(FileState& file);
+
+  std::filesystem::path dir_;
+  // Keyed by (machine, process, day) packed into one integer — no
+  // logname string is built on the hot path.
+  std::unordered_map<std::uint64_t, std::unique_ptr<FileState>> files_;
+  std::vector<std::uint8_t> scratch_;  // stripe encode buffer, reused
+  std::size_t stripe_records_ = 8192;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Reads one `.u1b` logfile (and its `.u1s` sidecar), appending decoded
+/// records — labels rewritten to global symbol ids — to `out`. Integrity
+/// failures never throw: they are reported through the returned stats
+/// (`malformed` counts records lost to bad magic / version / truncation /
+/// checksum / sidecar problems; `checksum_failures` counts files whose
+/// payload digest did not match). A truncated tail loses only the
+/// stripes it overlaps: intact leading stripes still decode.
+ReadStats read_binary_logfile(const std::filesystem::path& file,
+                              std::vector<TraceRecord>& out);
+
+/// The writer for `format` behind the common LogfileSink interface.
+std::unique_ptr<LogfileSink> make_logfile_writer(
+    std::filesystem::path directory, TraceFormat format);
+
+}  // namespace u1

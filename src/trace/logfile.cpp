@@ -1,7 +1,9 @@
 #include "trace/logfile.hpp"
 
 #include <algorithm>
+#include <system_error>
 
+#include "trace/binlog.hpp"
 #include "util/csv.hpp"
 
 namespace u1 {
@@ -36,10 +38,25 @@ void LogfileWriter::close() {
 ReadStats read_logfile(const std::filesystem::path& file,
                        std::vector<TraceRecord>& out) {
   ReadStats stats;
-  std::ifstream in(file);
+  std::ifstream in(file, std::ios::binary);
   if (!in.is_open())
     throw std::runtime_error("read_logfile: cannot open " + file.string());
+  {  // sniff the leading magic: binary logfiles are never valid CSV
+    unsigned char magic[8] = {};
+    in.read(reinterpret_cast<char*>(magic),
+            static_cast<std::streamsize>(sizeof(magic)));
+    const auto got = static_cast<std::size_t>(in.gcount());
+    if (is_binary_logfile_magic(magic, got)) {
+      in.close();
+      return read_binary_logfile(file, out);
+    }
+    in.clear();
+    in.seekg(0);
+  }
   stats.files = 1;
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(file, ec);
+  if (!ec) stats.bytes_read += size;
   CsvReader reader(in);
   std::vector<std::string> fields;
   bool first = true;
@@ -64,23 +81,39 @@ ReadStats read_logfile(const std::filesystem::path& file,
 ReadStats read_logfiles(const std::filesystem::path& directory,
                         TraceSink& sink) {
   ReadStats stats;
-  std::vector<TraceRecord> all;
+  std::vector<std::filesystem::path> paths;
   for (const auto& entry : std::filesystem::directory_iterator(directory)) {
     if (!entry.is_regular_file()) continue;
     const std::string name = entry.path().filename().string();
     if (!name.starts_with("production-")) continue;
-    const ReadStats one = read_logfile(entry.path(), all);
-    stats.rows += one.rows;
-    stats.parsed += one.parsed;
-    stats.malformed += one.malformed;
-    stats.files += 1;
+    // Symbol sidecars ride along with their .u1b logfile; they are not
+    // logfiles themselves.
+    if (entry.path().extension() == kSymbolSidecarExt) continue;
+    paths.push_back(entry.path());
   }
+  // Directory iteration order is unspecified; name order makes the merge
+  // (and any tie-breaking below) deterministic across filesystems.
+  std::sort(paths.begin(), paths.end());
+  std::vector<TraceRecord> all;
+  for (const auto& path : paths) stats.add(read_logfile(path, all));
+  // CSV serialization prints t as unsigned, so pre-trace bootstrap
+  // records (t < 0) have never survived the text parse — they count as
+  // malformed rows. Binary files decode them losslessly; drop them here
+  // so analyzers see the identical stream whichever format the
+  // directory holds. (Raw per-file access — read_logfile, `u1trace
+  // convert` — still delivers every record.)
+  const auto dropped = static_cast<std::uint64_t>(
+      all.end() - std::remove_if(all.begin(), all.end(),
+                                 [](const TraceRecord& r) { return r.t < 0; }));
+  all.resize(all.size() - dropped);
+  stats.parsed -= dropped;
+  stats.malformed += dropped;
   // Stable sort keeps intra-process (already causal) order for ties.
   std::stable_sort(all.begin(), all.end(),
                    [](const TraceRecord& a, const TraceRecord& b) {
                      return a.t < b.t;
                    });
-  for (const TraceRecord& r : all) sink.append(r);
+  sink.append_batch(all.data(), all.size());
   return stats;
 }
 

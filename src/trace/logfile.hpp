@@ -5,6 +5,12 @@
 // The writer shards records into such files; the reader merges a directory
 // of them back into timestamp order, tolerating malformed lines (~1% in
 // the real dataset).
+//
+// Two on-disk formats share the sharding rule and the reader API: the
+// original CSV logfiles (this header) and the binary columnar `.u1b`
+// format (trace/binlog.hpp). read_logfile sniffs the leading magic, so a
+// directory may freely mix both; read_logfiles merges either kind into
+// one timestamp-ordered stream.
 #pragma once
 
 #include <cstdint>
@@ -20,18 +26,31 @@
 
 namespace u1 {
 
+/// Common interface of the per-(machine, process, day) logfile writers —
+/// CSV LogfileWriter and binary BinaryLogfileWriter — so engines, tools
+/// and benches select a trace format without caring which.
+class LogfileSink : public TraceSink {
+ public:
+  /// Flushes and closes all open files; idempotent.
+  virtual void close() = 0;
+  /// Files currently open (0 after close()).
+  virtual std::size_t files_written() const noexcept = 0;
+};
+
 /// Writes records into per-(machine, process, day) CSV logfiles under a
 /// directory. Files carry a header row.
-class LogfileWriter final : public TraceSink {
+class LogfileWriter final : public LogfileSink {
  public:
   explicit LogfileWriter(std::filesystem::path directory);
   ~LogfileWriter() override;
 
   void append(const TraceRecord& record) override;
   /// Flushes and closes all open files.
-  void close();
+  void close() override;
 
-  std::size_t files_written() const noexcept { return files_.size(); }
+  std::size_t files_written() const noexcept override {
+    return files_.size();
+  }
 
  private:
   std::filesystem::path dir_;
@@ -41,17 +60,33 @@ class LogfileWriter final : public TraceSink {
 struct ReadStats {
   std::uint64_t rows = 0;
   std::uint64_t parsed = 0;
-  std::uint64_t malformed = 0;  // CSV-level or field-level failures
-  std::uint64_t files = 0;
+  std::uint64_t malformed = 0;  // CSV/field failures, or binary records
+                                // lost to integrity errors
+  std::uint64_t files = 0;      // logfiles of either format
+  std::uint64_t files_binary = 0;      // .u1b logfiles among `files`
+  std::uint64_t bytes_read = 0;        // on-disk bytes, both formats
+  std::uint64_t checksum_failures = 0; // binary files failing their digest
+
+  void add(const ReadStats& other) noexcept {
+    rows += other.rows;
+    parsed += other.parsed;
+    malformed += other.malformed;
+    files += other.files;
+    files_binary += other.files_binary;
+    bytes_read += other.bytes_read;
+    checksum_failures += other.checksum_failures;
+  }
 };
 
-/// Reads every "production-*" logfile in a directory, merges the records
-/// and delivers them to `sink` in global timestamp order.
-/// Returns parsing statistics.
+/// Reads every "production-*" logfile in a directory — CSV, binary, or a
+/// mix (sniffed per file) — merges the records and delivers them to
+/// `sink` in global timestamp order (files visited in name order, so the
+/// merge is deterministic). Returns parsing statistics.
 ReadStats read_logfiles(const std::filesystem::path& directory,
                         TraceSink& sink);
 
-/// Reads a single logfile, appending to `out`.
+/// Reads a single logfile of either format (sniffed by leading magic),
+/// appending to `out`.
 ReadStats read_logfile(const std::filesystem::path& file,
                        std::vector<TraceRecord>& out);
 

@@ -17,6 +17,16 @@ class TraceSink {
  public:
   virtual ~TraceSink() = default;
   virtual void append(const TraceRecord& record) = 0;
+
+  /// Delivers `count` consecutive records. Semantically identical to
+  /// calling append() in order; exists so bulk producers (the parallel
+  /// engine's stage-B writer hands over whole same-group runs of the
+  /// merge permutation, read_logfiles hands over the merged vector) pay
+  /// one virtual dispatch per run instead of one per record. Sinks with
+  /// a cheaper bulk path may override.
+  virtual void append_batch(const TraceRecord* records, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) append(records[i]);
+  }
 };
 
 /// Keeps everything; for tests and small simulations.
@@ -24,6 +34,9 @@ class InMemorySink final : public TraceSink {
  public:
   void append(const TraceRecord& record) override {
     records_.push_back(record);
+  }
+  void append_batch(const TraceRecord* records, std::size_t count) override {
+    records_.insert(records_.end(), records, records + count);
   }
   const std::vector<TraceRecord>& records() const noexcept {
     return records_;

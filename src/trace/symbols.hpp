@@ -154,4 +154,29 @@ class GroupSymbols {
   std::vector<Symbol> map_;          // map_[local] == global
 };
 
+/// Dense per-logfile dictionary for the binary trace format
+/// (trace/binlog.hpp): assigns file-local ids (1-based; 0 stays the
+/// empty string) to global symbols in first-use order, so each `.u1b`
+/// symbol sidecar lists exactly the strings that one logfile references
+/// — the global table's id space never leaks to disk.
+class SymbolDict {
+ public:
+  /// File-local id for a global symbol, assigning the next dense id on
+  /// first sight.
+  std::uint32_t local_id(Symbol global) {
+    if (global == kEmptySymbol) return 0;
+    const auto [it, fresh] = to_local_.try_emplace(
+        global, static_cast<std::uint32_t>(globals_.size() + 1));
+    if (fresh) globals_.push_back(global);
+    return it->second;
+  }
+  /// Global ids in local-id order: globals()[i] has local id i+1.
+  const std::vector<Symbol>& globals() const noexcept { return globals_; }
+  std::size_t size() const noexcept { return globals_.size(); }
+
+ private:
+  std::unordered_map<Symbol, std::uint32_t> to_local_;
+  std::vector<Symbol> globals_;
+};
+
 }  // namespace u1

@@ -17,6 +17,7 @@
 #include "analysis/users.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
+#include "trace/binlog.hpp"
 #include "trace/logfile.hpp"
 #include "util/strings.hpp"
 
@@ -26,8 +27,9 @@ namespace {
 constexpr const char* kUsage =
     "usage: u1trace <command> [options]\n"
     "  generate  --out DIR [--users N] [--days D] [--seed S]\n"
-    "            [--threads T] [--no-ddos]\n"
+    "            [--threads T] [--no-ddos] [--format csv|bin]\n"
     "            [--fault-plan standard|FILE] [--fault-seed S]\n"
+    "  convert   SRC --out DIR [--to csv|bin]\n"
     "  summarize DIR\n"
     "  analyze   DIR --figure {traffic|dedup|sessions|ddos|users|ops}\n"
     "  validate  DIR\n";
@@ -38,7 +40,10 @@ std::vector<TraceRecord> load(const std::string& dir, std::ostream& out,
   InMemorySink sink;
   const ReadStats stats = read_logfiles(dir, sink);
   out << "# read " << stats.parsed << " records from " << stats.files
-      << " logfiles (" << stats.malformed << " malformed rows)\n";
+      << " logfiles (" << stats.files_binary << " binary, "
+      << stats.bytes_read << " bytes, " << stats.malformed
+      << " malformed rows, " << stats.checksum_failures
+      << " checksum failures)\n";
   if (stats_out != nullptr) *stats_out = stats;
   return sink.records();
 }
@@ -133,26 +138,85 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
       static_cast<std::uint64_t>(args.int_flag("fault-seed").value_or(0));
   const auto threads =
       static_cast<std::size_t>(args.int_flag("threads").value_or(1));
+  // --format wins; otherwise U1SIM_TRACE_FORMAT; otherwise CSV.
+  TraceFormat format = trace_format_from_env();
+  if (const auto f = args.flag("format")) {
+    const auto parsed = trace_format_from_string(*f);
+    if (!parsed) {
+      err << "generate: --format must be csv or bin\n";
+      return 2;
+    }
+    format = *parsed;
+  }
   out << "# generating: users=" << cfg.users << " days=" << cfg.days
       << " seed=" << cfg.seed << " ddos=" << (cfg.enable_ddos ? "on" : "off")
       << " faults=" << (cfg.faults.empty() ? "off" : "on")
       << " threads=" << (threads == 0 ? std::size_t{1} : threads)
       << " engine=" << (threads > 1 ? "shard-parallel" : "sequential")
-      << "\n";
-  LogfileWriter writer(*dir);
+      << " format=" << to_string(format) << "\n";
+  const std::unique_ptr<LogfileSink> writer = make_logfile_writer(*dir, format);
   SimulationReport report;
   if (threads > 1) {
     // Shard-parallel engine: same trace bytes as sequential, any T.
-    ParallelSimulation sim(cfg, writer, threads);
+    ParallelSimulation sim(cfg, *writer, threads);
     report = sim.run();
   } else {
-    Simulation sim(cfg, writer);
+    Simulation sim(cfg, *writer);
     report = sim.run();
   }
-  writer.close();
+  writer->close();
   out << "# done: " << report.backend.sessions_opened << " sessions, "
       << report.backend.uploads << " uploads, " << report.backend.downloads
       << " downloads -> " << *dir << "\n";
+  return 0;
+}
+
+int cmd_convert(const Args& args, std::ostream& out, std::ostream& err) {
+  if (args.positionals().empty()) {
+    err << "convert: source trace directory required\n";
+    return 2;
+  }
+  const auto dst = args.flag("out");
+  if (!dst) {
+    err << "convert: --out DIR is required\n";
+    return 2;
+  }
+  const std::string to = args.flag("to").value_or("csv");
+  const auto format = trace_format_from_string(to);
+  if (!format) {
+    err << "convert: --to must be csv or bin\n";
+    return 2;
+  }
+  const std::filesystem::path src = args.positionals()[0];
+  if (!std::filesystem::is_directory(src)) {
+    err << "convert: '" << src.string() << "' is not a directory\n";
+    return 2;
+  }
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("production-")) continue;
+    if (entry.path().extension() == kSymbolSidecarExt) continue;
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());
+  // One source logfile maps to exactly one target logfile (both formats
+  // shard by (machine, process, day)), so converting file-by-file keeps
+  // each file's record order — the converted bytes match what direct
+  // generation in the target format would have produced.
+  const std::unique_ptr<LogfileSink> writer = make_logfile_writer(*dst, *format);
+  ReadStats stats;
+  std::vector<TraceRecord> records;
+  for (const auto& path : paths) {
+    records.clear();
+    stats.add(read_logfile(path, records));
+    writer->append_batch(records.data(), records.size());
+  }
+  writer->close();
+  out << "# converted " << stats.parsed << " records from " << stats.files
+      << " logfiles to " << to_string(*format) << " -> " << *dst << " ("
+      << stats.malformed << " malformed rows dropped)\n";
   return 0;
 }
 
@@ -330,13 +394,21 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
   if (command == "generate") {
     const Args args = Args::parse(
         rest, {"out", "users", "days", "seed", "threads", "fault-plan",
-               "fault-seed"},
+               "fault-seed", "format"},
         {"no-ddos"});
     if (!args.ok()) {
       for (const auto& e : args.errors()) err << "generate: " << e << "\n";
       return 2;
     }
     return cmd_generate(args, out, err);
+  }
+  if (command == "convert") {
+    const Args args = Args::parse(rest, {"out", "to"}, {});
+    if (!args.ok()) {
+      for (const auto& e : args.errors()) err << "convert: " << e << "\n";
+      return 2;
+    }
+    return cmd_convert(args, out, err);
   }
   if (command == "summarize" || command == "analyze" ||
       command == "validate") {

@@ -1,7 +1,10 @@
 // u1trace: command-line tooling over U1-format traces.
 //
 //   u1trace generate  --out DIR [--users N] [--days D] [--seed S]
-//                     [--threads T] [--no-ddos]
+//                     [--threads T] [--no-ddos] [--format csv|bin]
+//   u1trace convert   SRC --out DIR [--to csv|bin]
+//                                    re-encode a trace directory between
+//                                    the CSV and binary columnar formats
 //   u1trace summarize DIR            Table-3 style trace summary
 //   u1trace analyze   DIR --figure F one analyzer (traffic|dedup|sessions|
 //                                    ddos|users|ops)
@@ -51,6 +54,7 @@ int run(const std::vector<std::string>& argv, std::ostream& out,
 
 // Individual commands (argv excludes the command word).
 int cmd_generate(const Args& args, std::ostream& out, std::ostream& err);
+int cmd_convert(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_summarize(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_analyze(const Args& args, std::ostream& out, std::ostream& err);
 int cmd_validate(const Args& args, std::ostream& out, std::ostream& err);
