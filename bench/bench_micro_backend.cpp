@@ -77,7 +77,7 @@ void BM_BackendConnectDisconnect(benchmark::State& state) {
   SimTime t = 0;
   for (auto _ : state) {
     const auto conn = backend.connect(UserId{1}, t);
-    t = backend.disconnect(conn.session, conn.end) + kSecond;
+    t = backend.disconnect(conn.session, conn.end).end + kSecond;
   }
 }
 BENCHMARK(BM_BackendConnectDisconnect);

@@ -1,0 +1,288 @@
+// Closed-loop load generator for u1d (DESIGN.md §9): N connections, each
+// a thread running the classic closed loop — issue one storage operation,
+// wait for the response, think, repeat. Per-op wall-clock latencies are
+// collected into percentile summaries and written to BENCH_net.json.
+//
+// This is the request-cloning playbook (arXiv:2002.04416) applied to the
+// reproduction: a bounded, self-paced burst against a real service
+// boundary, so concurrency/backpressure questions have a harness the
+// discrete-event simulation alone cannot provide.
+//
+// Usage:
+//   bench_net_closedloop --connect PORT [--connections N] [--think-ms M]
+//                        [--ops K] [--out FILE]
+//
+// Exit status is nonzero when any protocol error was observed — the CI
+// loopback smoke asserts a clean run.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "proto/envelope.hpp"
+#include "util/sha1.hpp"
+#include "util/sim_time.hpp"
+
+namespace {
+
+using namespace u1;
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::uint16_t port = 0;
+  std::size_t connections = 64;
+  int think_ms = 5;
+  std::size_t ops = 50;  // storage ops per connection after the handshake
+  std::string out = "BENCH_net.json";
+};
+
+struct OpSample {
+  ProtoOp op;
+  double micros;
+};
+
+struct WorkerResult {
+  std::vector<OpSample> samples;
+  std::uint64_t requests = 0;
+  std::uint64_t protocol_errors = 0;
+  bool connect_failed = false;
+};
+
+double elapsed_us(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+/// One timed envelope round trip; returns the response (nullopt = dead
+/// connection, counted as a protocol error by the caller).
+std::optional<Response> timed_call(BlockingClient& client, const Request& q,
+                                   WorkerResult& res) {
+  const auto t0 = Clock::now();
+  auto resp = client.call(q);
+  ++res.requests;
+  if (resp) res.samples.push_back({q.op, elapsed_us(t0)});
+  if (!resp || is_protocol_error(resp->status)) ++res.protocol_errors;
+  return resp;
+}
+
+WorkerResult run_worker(const Options& opt, std::size_t index) {
+  WorkerResult res;
+  BlockingClient client;
+  if (!client.connect_loopback(opt.port)) {
+    res.connect_failed = true;
+    return res;
+  }
+  std::mt19937_64 rng(20140111u + index);
+  const UserId uid{1000 + index};
+  SimTime vnow = kHour;  // per-connection virtual clock
+  const SimTime vthink = opt.think_ms * kMillisecond;
+  const auto think = [&] {
+    if (opt.think_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt.think_ms));
+    vnow += vthink;
+  };
+
+  // Provision + authenticate (Table 2 flow over the wire).
+  Request reg;
+  reg.op = ProtoOp::kRegisterUser;
+  reg.user = uid;
+  reg.now = vnow;
+  const auto acc = timed_call(client, reg, res);
+  if (!acc || !acc->ok()) return res;
+  const VolumeId volume = acc->volume;
+  const NodeId root = acc->root_dir;
+
+  Request conn;
+  conn.op = ProtoOp::kConnect;
+  conn.user = uid;
+  conn.now = vnow;
+  const auto sess = timed_call(client, conn, res);
+  if (!sess || !sess->ok()) return res;
+  const SessionId session = sess->session;
+  vnow = sess->end;
+  think();
+
+  std::vector<NodeId> files;  // uploaded nodes, downloadable
+  for (std::size_t i = 0; i < opt.ops; ++i) {
+    const double dice = std::uniform_real_distribution<>(0, 1)(rng);
+    if (dice < 0.40 || files.empty()) {
+      // MakeFile + PutContent (the dominant op pair, paper Table 3).
+      char name[9];
+      std::snprintf(name, sizeof name, "%08llx",
+                    static_cast<unsigned long long>(rng() & 0xffffffffu));
+      Request mk;
+      mk.op = ProtoOp::kMakeFile;
+      mk.session = session;
+      mk.volume = volume;
+      mk.parent = root;
+      mk.set_name_hash(name);
+      mk.set_extension("jpg");
+      mk.now = vnow;
+      const auto mkr = timed_call(client, mk, res);
+      if (!mkr) break;
+      vnow = mkr->end;
+      if (mkr->ok()) {
+        Request up;
+        up.op = ProtoOp::kUpload;
+        up.session = session;
+        up.node = mkr->node;
+        up.content = Sha1::of(std::string("blob-") + name);
+        up.size_bytes = 64 * 1024 + (rng() % (512 * 1024));
+        up.now = vnow;
+        const auto upr = timed_call(client, up, res);
+        if (!upr) break;
+        vnow = upr->end;
+        if (upr->ok()) files.push_back(mkr->node);
+      }
+    } else if (dice < 0.75) {
+      Request down;
+      down.op = ProtoOp::kDownload;
+      down.session = session;
+      down.node = files[rng() % files.size()];
+      down.now = vnow;
+      const auto dr = timed_call(client, down, res);
+      if (!dr) break;
+      vnow = dr->end;
+    } else {
+      Request delta;
+      delta.op = ProtoOp::kGetDelta;
+      delta.session = session;
+      delta.volume = volume;
+      delta.now = vnow;
+      const auto gr = timed_call(client, delta, res);
+      if (!gr) break;
+      vnow = gr->end;
+    }
+    think();
+  }
+
+  Request disc;
+  disc.op = ProtoOp::kDisconnect;
+  disc.session = session;
+  disc.now = vnow;
+  timed_call(client, disc, res);
+  return res;
+}
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect PORT [--connections N] [--think-ms M] "
+               "[--ops K] [--out FILE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--connect" && (v = next())) {
+      opt.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--connections" && (v = next())) {
+      opt.connections = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--think-ms" && (v = next())) {
+      opt.think_ms = std::atoi(v);
+    } else if (arg == "--ops" && (v = next())) {
+      opt.ops = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--out" && (v = next())) {
+      opt.out = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (opt.port == 0) return usage(argv[0]);
+
+  std::printf("# bench_net_closedloop | port=%u connections=%zu "
+              "think_ms=%d ops=%zu\n",
+              static_cast<unsigned>(opt.port), opt.connections, opt.think_ms,
+              opt.ops);
+
+  const auto t0 = Clock::now();
+  std::vector<WorkerResult> results(opt.connections);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opt.connections);
+    for (std::size_t i = 0; i < opt.connections; ++i) {
+      threads.emplace_back(
+          [&, i] { results[i] = run_worker(opt, i); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wall_s = elapsed_us(t0) / 1e6;
+
+  std::uint64_t requests = 0, protocol_errors = 0, failed_connects = 0;
+  std::map<ProtoOp, std::vector<double>> by_op;
+  for (const WorkerResult& r : results) {
+    requests += r.requests;
+    protocol_errors += r.protocol_errors;
+    failed_connects += r.connect_failed ? 1 : 0;
+    for (const OpSample& s : r.samples) by_op[s.op].push_back(s.micros);
+  }
+
+  FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", opt.out.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"connections\": %zu,\n  \"ops_per_connection\": %zu,\n"
+               "  \"think_ms\": %d,\n  \"requests\": %llu,\n"
+               "  \"protocol_errors\": %llu,\n  \"failed_connects\": %llu,\n"
+               "  \"wall_s\": %.3f,\n  \"throughput_rps\": %.1f,\n"
+               "  \"per_op\": {\n",
+               opt.connections, opt.ops, opt.think_ms,
+               static_cast<unsigned long long>(requests),
+               static_cast<unsigned long long>(protocol_errors),
+               static_cast<unsigned long long>(failed_connects), wall_s,
+               wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0);
+  bool first = true;
+  for (auto& [op, lat] : by_op) {
+    std::sort(lat.begin(), lat.end());
+    double sum = 0;
+    for (const double x : lat) sum += x;
+    std::fprintf(f,
+                 "%s    \"%.*s\": {\"count\": %zu, \"mean_us\": %.1f, "
+                 "\"p50_us\": %.1f, \"p90_us\": %.1f, \"p99_us\": %.1f}",
+                 first ? "" : ",\n",
+                 static_cast<int>(to_string(op).size()), to_string(op).data(),
+                 lat.size(), sum / static_cast<double>(lat.size()),
+                 percentile(lat, 0.50), percentile(lat, 0.90),
+                 percentile(lat, 0.99));
+    first = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+
+  std::printf("# %llu requests in %.2fs (%.0f rps), %llu protocol errors, "
+              "%llu failed connects -> %s\n",
+              static_cast<unsigned long long>(requests), wall_s,
+              wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0,
+              static_cast<unsigned long long>(protocol_errors),
+              static_cast<unsigned long long>(failed_connects),
+              opt.out.c_str());
+  return (protocol_errors == 0 && failed_connects == 0) ? 0 : 1;
+}

@@ -42,7 +42,7 @@ int main() {
                                      4 << 20, /*is_update=*/false, make.end);
   std::printf("uploaded 4MB in %s (dedup=%s)\n",
               format_duration(upload.end - make.end).c_str(),
-              upload.deduplicated ? "yes" : "no");
+              upload.deduplicated() ? "yes" : "no");
 
   // A second copy of the same song: file-based cross-user dedup kicks in.
   const auto make2 = backend.make_file(session.session, alice.root_volume,
@@ -52,7 +52,7 @@ int main() {
                                   false, make2.end);
   std::printf("second copy transferred %llu bytes (dedup=%s) in %s\n",
               static_cast<unsigned long long>(dup.transferred_bytes),
-              dup.deduplicated ? "yes" : "no",
+              dup.deduplicated() ? "yes" : "no",
               format_duration(dup.end - make2.end).c_str());
 
   const auto download =

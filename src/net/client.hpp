@@ -1,0 +1,47 @@
+// Minimal blocking client for the u1d wire protocol: one TCP connection,
+// synchronous call() (send a Request frame, read one Response frame).
+// Used by the closed-loop load generator and the loopback tests; the
+// raw send_bytes() escape hatch lets hostile-input tests push malformed
+// frames at a live server.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "proto/envelope.hpp"
+
+namespace u1 {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+
+  /// Connects to 127.0.0.1:port. False on failure.
+  bool connect_loopback(std::uint16_t port);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Sends one framed request and blocks for its response. nullopt when
+  /// the connection died mid-exchange.
+  std::optional<Response> call(const Request& request);
+
+  /// Raw bytes onto the socket (hostile-input tests).
+  bool send_bytes(const void* data, std::size_t n);
+  /// Blocks until one complete response frame decodes (or the peer
+  /// closes / sends an undecodable stream).
+  std::optional<Response> recv_response();
+
+ private:
+  int fd_ = -1;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace u1

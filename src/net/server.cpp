@@ -1,0 +1,220 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace u1 {
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+U1dServer::U1dServer(U1Backend& backend, const NetServerConfig& config)
+    : backend_(backend), config_(config) {}
+
+U1dServer::~U1dServer() {
+  for (const auto& [fd, conn] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (stop_pipe_[0] >= 0) ::close(stop_pipe_[0]);
+  if (stop_pipe_[1] >= 0) ::close(stop_pipe_[1]);
+}
+
+bool U1dServer::start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return false;
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(listen_fd_, config_.backlog) != 0 ||
+      !set_nonblocking(listen_fd_)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(stop_pipe_) != 0) return false;
+  set_nonblocking(stop_pipe_[0]);
+  set_nonblocking(stop_pipe_[1]);
+  return true;
+}
+
+void U1dServer::stop() noexcept {
+  if (stop_pipe_[1] >= 0) {
+    const char b = 1;
+    // Signal-safe: a single write to a pipe.
+    (void)!::write(stop_pipe_[1], &b, 1);
+  }
+}
+
+void U1dServer::arm_faults(const FaultSchedule* schedule) {
+  fault_schedule_ = schedule;
+  next_fault_ = 0;
+}
+
+void U1dServer::advance_virtual_time(SimTime now) {
+  if (now <= virtual_now_) return;
+  virtual_now_ = now;
+  if (fault_schedule_ == nullptr) return;
+  // Fire every armed edge the fleet-wide virtual clock has passed. The
+  // schedule is at-ordered, so a single cursor suffices.
+  while (next_fault_ < fault_schedule_->size() &&
+         (*fault_schedule_)[next_fault_].at <= now) {
+    const FaultEvent& ev = (*fault_schedule_)[next_fault_];
+    backend_.apply_fault(ev, ev.at, /*emit_record=*/true);
+    ++stats_.faults_applied;
+    ++next_fault_;
+  }
+}
+
+void U1dServer::accept_clients() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;  // EAGAIN: drained the backlog
+    set_nonblocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    conns_.emplace(fd, Conn{});
+    ++stats_.accepted;
+  }
+}
+
+bool U1dServer::read_from(int fd, Conn& conn) {
+  for (;;) {
+    std::uint8_t chunk[16 * 1024];
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), chunk, chunk + n);
+      stats_.bytes_in += static_cast<std::uint64_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // orderly shutdown
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+void U1dServer::serve_frames(Conn& conn) {
+  for (;;) {
+    const std::uint8_t* data = conn.in.data() + conn.consumed;
+    const std::size_t avail = conn.in.size() - conn.consumed;
+    if (avail == 0) break;
+    Request req;
+    const FrameDecode fd = decode_request_frame(data, avail, req);
+    if (fd.need_more) break;
+    Response resp;
+    if (fd.status == Status::kOk) {
+      ++stats_.requests;
+      advance_virtual_time(req.now);
+      resp = backend_.call(req);
+    } else {
+      // Typed rejection. Echo the op byte when it names a real op so the
+      // client can correlate; otherwise the default (kConnect) stands.
+      ++stats_.protocol_errors;
+      resp.status = fd.status;
+      if (fd.consumed >= 7) {  // header survived: len+version+op readable
+        if (const auto op = proto_op_from_wire(data[6])) resp.op = *op;
+      }
+      if (fd.consumed == 0) {
+        // Oversized length prefix: the stream has no recoverable frame
+        // boundary. Answer, flush, then drop the connection.
+        conn.close_after_flush = true;
+      }
+    }
+    append_response_frame(conn.out, resp);
+    ++stats_.responses;
+    if (conn.close_after_flush) break;
+    conn.consumed += fd.consumed;
+  }
+  if (conn.consumed > 0) {
+    conn.in.erase(conn.in.begin(),
+                  conn.in.begin() + static_cast<std::ptrdiff_t>(conn.consumed));
+    conn.consumed = 0;
+  }
+}
+
+bool U1dServer::flush(int fd, Conn& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n = ::write(fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      stats_.bytes_out += static_cast<std::uint64_t>(n);
+      conn.out.erase(conn.out.begin(), conn.out.begin() + n);
+      continue;
+    }
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+  return true;
+}
+
+void U1dServer::close_conn(int fd) {
+  ::close(fd);
+  conns_.erase(fd);
+  ++stats_.closed;
+}
+
+void U1dServer::run() {
+  std::vector<pollfd> fds;
+  std::vector<int> doomed;
+  for (;;) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    for (const auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.out.empty()) events |= POLLOUT;
+      fds.push_back({fd, events, 0});
+    }
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents & POLLIN) return;  // stop() fired
+    if (fds[0].revents & POLLIN) accept_clients();
+
+    doomed.clear();
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool alive = true;
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        alive = read_from(fd, conn);
+        serve_frames(conn);
+      }
+      if (alive || !conn.out.empty()) {
+        if (!flush(fd, conn)) alive = false;
+      }
+      if (!alive || (conn.close_after_flush && conn.out.empty())) {
+        doomed.push_back(fd);
+      }
+    }
+    for (const int fd : doomed) close_conn(fd);
+  }
+}
+
+}  // namespace u1

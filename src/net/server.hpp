@@ -1,0 +1,103 @@
+// u1d's network core: a poll(2)-based, single-threaded, multi-client TCP
+// server that feeds protocol-envelope frames (proto/envelope.hpp,
+// DESIGN.md §9) into U1Backend::call() — the exact dispatch the
+// in-process simulation engines use, so server mode and sim mode share
+// one backend implementation and one serialization path.
+//
+// Framing errors never crash the loop: a malformed frame earns a typed
+// error Response; only an unrecoverable stream (oversized length prefix,
+// where the frame boundary is unknowable) closes the connection, after
+// the error response has been flushed.
+//
+// Virtual time: every Request carries the client's virtual `now`. The
+// server tracks the high-water mark across all connections and applies
+// armed fault-schedule edges whose `at` falls at or below it, so the
+// FaultInjector drives live failover drills exactly as it does in the
+// discrete-event simulation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_injector.hpp"
+#include "proto/envelope.hpp"
+#include "server/backend.hpp"
+
+namespace u1 {
+
+struct NetServerConfig {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back via
+  /// port() after start()).
+  std::uint16_t port = 0;
+  int backlog = 128;
+};
+
+struct NetServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t faults_applied = 0;
+};
+
+class U1dServer {
+ public:
+  U1dServer(U1Backend& backend, const NetServerConfig& config);
+  ~U1dServer();
+
+  U1dServer(const U1dServer&) = delete;
+  U1dServer& operator=(const U1dServer&) = delete;
+
+  /// Binds and listens (loopback only). False on failure.
+  bool start();
+  /// The actually-bound port (resolves ephemeral 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Serves until stop() is called (from any thread / signal handler).
+  void run();
+  void stop() noexcept;
+
+  /// Arms a fault schedule: edges fire as the observed virtual time
+  /// (max Request::now across all clients) passes their `at`. Call
+  /// U1Backend::set_fault_injector separately for the window faults.
+  void arm_faults(const FaultSchedule* schedule);
+
+  const NetServerStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Conn {
+    std::vector<std::uint8_t> in;
+    std::vector<std::uint8_t> out;
+    std::size_t consumed = 0;  // decoded prefix of `in` not yet erased
+    bool close_after_flush = false;
+  };
+
+  void accept_clients();
+  /// Reads what's available; false when the peer hung up or errored.
+  bool read_from(int fd, Conn& conn);
+  /// Decodes every complete frame in conn.in and appends responses.
+  void serve_frames(Conn& conn);
+  /// Flushes conn.out; false on a dead peer.
+  bool flush(int fd, Conn& conn);
+  void close_conn(int fd);
+  void advance_virtual_time(SimTime now);
+
+  U1Backend& backend_;
+  NetServerConfig config_;
+  NetServerStats stats_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::unordered_map<int, Conn> conns_;
+
+  const FaultSchedule* fault_schedule_ = nullptr;
+  std::size_t next_fault_ = 0;
+  SimTime virtual_now_ = std::numeric_limits<SimTime>::lowest();
+};
+
+}  // namespace u1

@@ -1,0 +1,411 @@
+#include "proto/envelope.hpp"
+
+#include <array>
+
+namespace u1 {
+namespace {
+
+// --- little-endian / varint helpers (the binlog.cpp idioms) ---------------
+
+void put_le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t get_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint16_t get_le16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Bounds-checked payload reader; `ok` goes false on any overrun and
+/// every accessor returns a zero value afterwards.
+struct Cursor {
+  const std::uint8_t* p;
+  const std::uint8_t* end;
+  bool ok = true;
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (ok) {
+      if (p == end || shift > 63) {
+        ok = false;
+        return 0;
+      }
+      const std::uint8_t b = *p++;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+      shift += 7;
+    }
+    return 0;
+  }
+
+  std::uint8_t u8() {
+    if (!ok || p == end) {
+      ok = false;
+      return 0;
+    }
+    return *p++;
+  }
+
+  const std::uint8_t* take(std::size_t n) {
+    if (!ok || static_cast<std::size_t>(end - p) < n) {
+      ok = false;
+      return nullptr;
+    }
+    const std::uint8_t* r = p;
+    p += n;
+    return r;
+  }
+};
+
+void put_raw(std::vector<std::uint8_t>& out, const std::uint8_t* p,
+             std::size_t n) {
+  out.insert(out.end(), p, p + n);
+}
+
+void put_short_string(std::vector<std::uint8_t>& out, std::string_view s) {
+  out.push_back(static_cast<std::uint8_t>(s.size()));
+  put_raw(out, reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+// --- payload codecs --------------------------------------------------------
+
+void encode_request_payload(std::vector<std::uint8_t>& out,
+                            const Request& q) {
+  out.push_back(q.flags);
+  put_short_string(out, q.name_hash_view());
+  put_short_string(out, q.extension_view());
+  put_varint(out, q.user.value);
+  put_varint(out, q.peer.value);
+  put_varint(out, q.session.value);
+  put_raw(out, q.volume.bytes.data(), q.volume.bytes.size());
+  put_raw(out, q.node.bytes.data(), q.node.bytes.size());
+  put_raw(out, q.parent.bytes.data(), q.parent.bytes.size());
+  put_raw(out, q.content.bytes.data(), q.content.bytes.size());
+  put_raw(out, q.job.bytes.data(), q.job.bytes.size());
+  put_varint(out, q.size_bytes);
+  put_varint(out, q.since_generation);
+  put_varint(out, zigzag(q.now));
+}
+
+bool decode_request_payload(Cursor& c, ProtoOp op, Request& out) {
+  out = Request{};
+  out.op = op;
+  out.flags = c.u8();
+  const std::size_t name_len = c.u8();
+  if (name_len > sizeof out.name_hash) return false;
+  if (const std::uint8_t* p = c.take(name_len))
+    std::memcpy(out.name_hash, p, name_len);
+  const std::size_t ext_len = c.u8();
+  if (ext_len > sizeof out.extension) return false;
+  if (const std::uint8_t* p = c.take(ext_len))
+    std::memcpy(out.extension, p, ext_len);
+  out.user.value = c.varint();
+  out.peer.value = c.varint();
+  out.session.value = c.varint();
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.volume.bytes.data(), p, 16);
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.node.bytes.data(), p, 16);
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.parent.bytes.data(), p, 16);
+  if (const std::uint8_t* p = c.take(20))
+    std::memcpy(out.content.bytes.data(), p, 20);
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.job.bytes.data(), p, 16);
+  out.size_bytes = c.varint();
+  out.since_generation = c.varint();
+  out.now = unzigzag(c.varint());
+  return c.ok;
+}
+
+void encode_response_payload(std::vector<std::uint8_t>& out,
+                             const Response& r) {
+  out.push_back(static_cast<std::uint8_t>(r.status));
+  out.push_back(r.flags);
+  put_varint(out, zigzag(r.end));
+  put_varint(out, r.user.value);
+  put_varint(out, r.session.value);
+  put_raw(out, r.volume.bytes.data(), r.volume.bytes.size());
+  put_raw(out, r.node.bytes.data(), r.node.bytes.size());
+  put_raw(out, r.root_dir.bytes.data(), r.root_dir.bytes.size());
+  put_raw(out, r.job.bytes.data(), r.job.bytes.size());
+  put_varint(out, r.transferred_bytes);
+  put_varint(out, r.committed_bytes);
+}
+
+bool decode_response_payload(Cursor& c, ProtoOp op, Response& out) {
+  out = Response{};
+  out.op = op;
+  const auto status = status_from_wire(c.u8());
+  if (!status) return false;
+  out.status = *status;
+  out.flags = c.u8();
+  out.end = unzigzag(c.varint());
+  out.user.value = c.varint();
+  out.session.value = c.varint();
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.volume.bytes.data(), p, 16);
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.node.bytes.data(), p, 16);
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.root_dir.bytes.data(), p, 16);
+  if (const std::uint8_t* p = c.take(16))
+    std::memcpy(out.job.bytes.data(), p, 16);
+  out.transferred_bytes = c.varint();
+  out.committed_bytes = c.varint();
+  return c.ok;
+}
+
+// --- framing ---------------------------------------------------------------
+
+void append_frame(std::vector<std::uint8_t>& out, ProtoOp op,
+                  const std::vector<std::uint8_t>& payload) {
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(2 + 1 + payload.size());
+  put_le32(out, len);
+  put_le16(out, kProtoVersion);
+  out.push_back(static_cast<std::uint8_t>(op));
+  put_raw(out, payload.data(), payload.size());
+}
+
+/// Common frame-header walk for both directions. Returns kOk with the
+/// payload span when a whole well-versed frame is present.
+struct FrameHeader {
+  FrameDecode result;
+  std::uint8_t op_byte = 0;
+  const std::uint8_t* payload = nullptr;
+  std::size_t payload_len = 0;
+};
+
+FrameHeader split_frame(const std::uint8_t* data, std::size_t n) {
+  FrameHeader h;
+  if (n < 4) {
+    h.result.need_more = true;
+    return h;
+  }
+  const std::uint32_t len = get_le32(data);
+  if (len > kMaxFrameBytes) {
+    // The stream is unrecoverable: we cannot trust any later length
+    // prefix. consumed stays 0 — drop the connection.
+    h.result.status = Status::kOversizedFrame;
+    return h;
+  }
+  if (n < 4u + len) {
+    h.result.need_more = true;
+    return h;
+  }
+  h.result.consumed = 4u + len;
+  if (len < 3) {
+    h.result.status = Status::kBadFrame;
+    return h;
+  }
+  if (get_le16(data + 4) != kProtoVersion) {
+    h.result.status = Status::kVersionMismatch;
+    return h;
+  }
+  h.op_byte = data[6];
+  h.payload = data + 7;
+  h.payload_len = len - 3;
+  return h;
+}
+
+}  // namespace
+
+// --- enum tables -----------------------------------------------------------
+
+std::string_view to_string(ProtoOp op) noexcept {
+  switch (op) {
+    case ProtoOp::kConnect: return "Connect";
+    case ProtoOp::kDisconnect: return "Disconnect";
+    case ProtoOp::kListVolumes: return "ListVolumes";
+    case ProtoOp::kListShares: return "ListShares";
+    case ProtoOp::kQuerySetCaps: return "QuerySetCaps";
+    case ProtoOp::kGetDelta: return "GetDelta";
+    case ProtoOp::kRescanFromScratch: return "RescanFromScratch";
+    case ProtoOp::kMakeFile: return "MakeFile";
+    case ProtoOp::kMakeDir: return "MakeDir";
+    case ProtoOp::kUnlink: return "Unlink";
+    case ProtoOp::kMove: return "Move";
+    case ProtoOp::kCreateUDF: return "CreateUDF";
+    case ProtoOp::kDeleteVolume: return "DeleteVolume";
+    case ProtoOp::kUpload: return "Upload";
+    case ProtoOp::kResumeUpload: return "ResumeUpload";
+    case ProtoOp::kDownload: return "Download";
+    case ProtoOp::kRegisterUser: return "RegisterUser";
+    case ProtoOp::kShareVolume: return "ShareVolume";
+  }
+  return "UnknownOp";
+}
+
+std::span<const ProtoOp> all_proto_ops() noexcept {
+  static constexpr std::array<ProtoOp, kProtoOpCount> kAll = {
+      ProtoOp::kConnect,       ProtoOp::kDisconnect,
+      ProtoOp::kListVolumes,   ProtoOp::kListShares,
+      ProtoOp::kQuerySetCaps,  ProtoOp::kGetDelta,
+      ProtoOp::kRescanFromScratch, ProtoOp::kMakeFile,
+      ProtoOp::kMakeDir,       ProtoOp::kUnlink,
+      ProtoOp::kMove,          ProtoOp::kCreateUDF,
+      ProtoOp::kDeleteVolume,  ProtoOp::kUpload,
+      ProtoOp::kResumeUpload,  ProtoOp::kDownload,
+      ProtoOp::kRegisterUser,  ProtoOp::kShareVolume,
+  };
+  return kAll;
+}
+
+std::optional<ProtoOp> proto_op_from_string(std::string_view name) noexcept {
+  for (const ProtoOp op : all_proto_ops()) {
+    if (to_string(op) == name) return op;
+  }
+  return std::nullopt;
+}
+
+std::optional<ProtoOp> proto_op_from_wire(std::uint8_t value) noexcept {
+  if (value >= kProtoOpCount) return std::nullopt;
+  return static_cast<ProtoOp>(value);
+}
+
+std::string_view to_string(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kTryAgain: return "try_again";
+    case Status::kInterrupted: return "interrupted";
+    case Status::kBadFrame: return "bad_frame";
+    case Status::kVersionMismatch: return "version_mismatch";
+    case Status::kUnknownOp: return "unknown_op";
+    case Status::kOversizedFrame: return "oversized_frame";
+    case Status::kSlackPayload: return "slack_payload";
+  }
+  return "unknown_status";
+}
+
+std::span<const Status> all_statuses() noexcept {
+  static constexpr std::array<Status, kStatusCount> kAll = {
+      Status::kOk,           Status::kError,
+      Status::kTryAgain,     Status::kInterrupted,
+      Status::kBadFrame,     Status::kVersionMismatch,
+      Status::kUnknownOp,    Status::kOversizedFrame,
+      Status::kSlackPayload,
+  };
+  return kAll;
+}
+
+std::optional<Status> status_from_string(std::string_view name) noexcept {
+  for (const Status s : all_statuses()) {
+    if (to_string(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<Status> status_from_wire(std::uint8_t value) noexcept {
+  for (const Status s : all_statuses()) {
+    if (static_cast<std::uint8_t>(s) == value) return s;
+  }
+  return std::nullopt;
+}
+
+// --- public framing API ----------------------------------------------------
+
+void append_request_frame(std::vector<std::uint8_t>& out, const Request& q) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(192);
+  encode_request_payload(payload, q);
+  append_frame(out, q.op, payload);
+}
+
+void append_response_frame(std::vector<std::uint8_t>& out,
+                           const Response& r) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(160);
+  encode_response_payload(payload, r);
+  append_frame(out, r.op, payload);
+}
+
+std::vector<std::uint8_t> encode_request_frame(const Request& q) {
+  std::vector<std::uint8_t> out;
+  append_request_frame(out, q);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response_frame(const Response& r) {
+  std::vector<std::uint8_t> out;
+  append_response_frame(out, r);
+  return out;
+}
+
+FrameDecode decode_request_frame(const std::uint8_t* data, std::size_t n,
+                                 Request& out) {
+  const FrameHeader h = split_frame(data, n);
+  if (h.result.status != Status::kOk || h.result.need_more) return h.result;
+  FrameDecode result = h.result;
+  const auto op = proto_op_from_wire(h.op_byte);
+  if (!op) {
+    result.status = Status::kUnknownOp;
+    return result;
+  }
+  Cursor c{h.payload, h.payload + h.payload_len};
+  if (!decode_request_payload(c, *op, out)) {
+    result.status = Status::kBadFrame;
+    return result;
+  }
+  if (c.p != c.end) {
+    result.status = Status::kSlackPayload;
+    return result;
+  }
+  return result;
+}
+
+FrameDecode decode_response_frame(const std::uint8_t* data, std::size_t n,
+                                  Response& out) {
+  const FrameHeader h = split_frame(data, n);
+  if (h.result.status != Status::kOk || h.result.need_more) return h.result;
+  FrameDecode result = h.result;
+  const auto op = proto_op_from_wire(h.op_byte);
+  if (!op) {
+    result.status = Status::kUnknownOp;
+    return result;
+  }
+  Cursor c{h.payload, h.payload + h.payload_len};
+  if (!decode_response_payload(c, *op, out)) {
+    result.status = Status::kBadFrame;
+    return result;
+  }
+  if (c.p != c.end) {
+    result.status = Status::kSlackPayload;
+    return result;
+  }
+  return result;
+}
+
+}  // namespace u1

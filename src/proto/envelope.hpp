@@ -1,0 +1,215 @@
+// The wire-ready protocol envelope (DESIGN.md §9): one uniform
+// Request/Response surface for every Table-2 storage operation, shared by
+// the in-process simulation engines and the `u1d` socket server.
+//
+// U1Backend used to expose six ad-hoc result structs across ~20 method
+// signatures; everything now flows through a single tagged-union pair of
+// trivially-copyable POD structs with a stable Status enum, so a call is
+// the same object whether it crosses a function boundary or a TCP
+// connection. Frames are length-prefixed binary, encoded with the same
+// varint/fixed-width idioms as the `.u1b` trace format:
+//
+//   frame   := len:u32 version:u16 op:u8 payload
+//   len     — bytes after the length field (version + op + payload),
+//             little-endian, capped at kMaxFrameBytes
+//   version — kProtoVersion; a mismatch is rejected per frame, the
+//             connection survives (forward compatibility seam)
+//   op      — ProtoOp (stable wire values)
+//   payload — fixed field list per direction (see envelope.cpp); varint
+//             for integer ids/sizes, zigzag varint for SimTime (can be
+//             negative pre-trace), raw bytes for UUID/SHA-1 columns,
+//             length-prefixed short strings for name/extension
+//
+// Decoding is strict: every field bounds-checked, unknown ops and
+// out-of-range status codes rejected, slack payload bytes refused. A
+// hostile peer can never crash the decoder — it gets a typed error.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "proto/ids.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+/// Protocol version carried in every frame.
+inline constexpr std::uint16_t kProtoVersion = 1;
+/// Upper bound on `len`; anything larger is a hostile or corrupt peer.
+inline constexpr std::uint32_t kMaxFrameBytes = 64 * 1024;
+
+/// Operation selector for the envelope (superset of Table 2: the storage
+/// protocol plus the out-of-band provisioning/sharing calls the sim
+/// needs). Wire values are stable — append only, never renumber.
+enum class ProtoOp : std::uint8_t {
+  kConnect = 0,
+  kDisconnect = 1,
+  kListVolumes = 2,
+  kListShares = 3,
+  kQuerySetCaps = 4,
+  kGetDelta = 5,
+  kRescanFromScratch = 6,
+  kMakeFile = 7,
+  kMakeDir = 8,
+  kUnlink = 9,
+  kMove = 10,
+  kCreateUDF = 11,
+  kDeleteVolume = 12,
+  kUpload = 13,
+  kResumeUpload = 14,
+  kDownload = 15,
+  kRegisterUser = 16,
+  kShareVolume = 17,
+};
+inline constexpr std::size_t kProtoOpCount = 18;
+
+std::string_view to_string(ProtoOp op) noexcept;
+std::optional<ProtoOp> proto_op_from_string(std::string_view name) noexcept;
+std::span<const ProtoOp> all_proto_ops() noexcept;
+/// Range-checked wire decode; nullopt for any byte outside the enum.
+std::optional<ProtoOp> proto_op_from_wire(std::uint8_t value) noexcept;
+
+/// Result/error status. Wire values are stable: 0–15 are operation
+/// outcomes produced by the backend, 16+ are protocol-layer rejections
+/// produced by the frame decoder (a backend never returns those).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kError = 1,        // operation failed (bad session, missing node, ...)
+  kTryAgain = 2,     // load-shed by the balancer: retry with backoff
+  kInterrupted = 3,  // transfer cut mid-flight; job says if resumable
+
+  kBadFrame = 16,        // truncated/corrupt payload
+  kVersionMismatch = 17, // frame carried a different kProtoVersion
+  kUnknownOp = 18,       // op byte outside the ProtoOp range
+  kOversizedFrame = 19,  // length prefix beyond kMaxFrameBytes
+  kSlackPayload = 20,    // payload had trailing bytes after all fields
+};
+inline constexpr std::size_t kStatusCount = 9;
+
+std::string_view to_string(Status s) noexcept;
+std::optional<Status> status_from_string(std::string_view name) noexcept;
+std::span<const Status> all_statuses() noexcept;
+/// Range-checked wire decode; nullopt for any byte outside the enum.
+std::optional<Status> status_from_wire(std::uint8_t value) noexcept;
+/// True for the protocol-layer rejection codes (16+).
+constexpr bool is_protocol_error(Status s) noexcept {
+  return static_cast<std::uint8_t>(s) >= 16;
+}
+
+/// Request flag bits.
+inline constexpr std::uint8_t kRequestIsUpdate = 0x01;
+/// Response flag bits.
+inline constexpr std::uint8_t kResponseDeduplicated = 0x01;
+
+/// One envelope request: a flat POD with op-gated fields (the TraceRecord
+/// idiom — unused fields stay zero). Strings live in fixed NUL-padded
+/// arrays sized for the workload's short name hashes and extensions.
+struct Request {
+  ProtoOp op = ProtoOp::kConnect;
+  std::uint8_t flags = 0;   // kRequestIsUpdate
+  char name_hash[22] = {};  // MakeFile/MakeDir
+  char extension[8] = {};   // MakeFile
+  UserId user;              // Connect/RegisterUser/ShareVolume owner
+  UserId peer;              // ShareVolume recipient
+  SessionId session;
+  VolumeId volume;          // GetDelta/Rescan/Make*/DeleteVolume/Share
+  NodeId node;              // Unlink/Move/Upload/Resume/Download
+  NodeId parent;            // Make* parent; Move destination
+  ContentId content;        // Upload/Resume SHA-1
+  UploadJobId job;          // ResumeUpload
+  std::uint64_t size_bytes = 0;
+  std::uint64_t since_generation = 0;
+  SimTime now = 0;
+
+  bool is_update() const noexcept { return (flags & kRequestIsUpdate) != 0; }
+  void set_is_update(bool v) noexcept {
+    flags = v ? (flags | kRequestIsUpdate)
+              : (flags & static_cast<std::uint8_t>(~kRequestIsUpdate));
+  }
+
+  std::string_view name_hash_view() const noexcept {
+    return {name_hash, ::strnlen(name_hash, sizeof name_hash)};
+  }
+  std::string_view extension_view() const noexcept {
+    return {extension, ::strnlen(extension, sizeof extension)};
+  }
+  /// Copies (truncating at capacity — workload names are 8 hex chars,
+  /// extensions at most 5).
+  void set_name_hash(std::string_view s) noexcept {
+    const std::size_t n = s.size() < sizeof name_hash ? s.size()
+                                                      : sizeof name_hash;
+    std::memcpy(name_hash, s.data(), n);
+    if (n < sizeof name_hash) std::memset(name_hash + n, 0,
+                                          sizeof name_hash - n);
+  }
+  void set_extension(std::string_view s) noexcept {
+    const std::size_t n = s.size() < sizeof extension ? s.size()
+                                                      : sizeof extension;
+    std::memcpy(extension, s.data(), n);
+    if (n < sizeof extension) std::memset(extension + n, 0,
+                                          sizeof extension - n);
+  }
+
+  bool operator==(const Request&) const = default;
+};
+static_assert(std::is_trivially_copyable_v<Request>);
+
+/// One envelope response: the union of every per-op result the backend
+/// used to return through six separate structs.
+struct Response {
+  ProtoOp op = ProtoOp::kConnect;  // echoes the request op
+  Status status = Status::kError;
+  std::uint8_t flags = 0;  // kResponseDeduplicated
+  SimTime end = 0;         // virtual completion time (chainable)
+  UserId user;             // RegisterUser echo
+  SessionId session;       // Connect
+  VolumeId volume;         // CreateUDF/RegisterUser root volume
+  NodeId node;             // Make*
+  NodeId root_dir;         // CreateUDF/RegisterUser
+  UploadJobId job;         // resumable interrupted upload
+  std::uint64_t transferred_bytes = 0;
+  std::uint64_t committed_bytes = 0;
+
+  bool ok() const noexcept { return status == Status::kOk; }
+  bool try_again() const noexcept { return status == Status::kTryAgain; }
+  bool interrupted() const noexcept {
+    return status == Status::kInterrupted;
+  }
+  bool deduplicated() const noexcept {
+    return (flags & kResponseDeduplicated) != 0;
+  }
+
+  bool operator==(const Response&) const = default;
+};
+static_assert(std::is_trivially_copyable_v<Response>);
+
+/// Outcome of pulling one frame off a byte stream.
+struct FrameDecode {
+  Status status = Status::kOk;  // kOk, or a protocol-error code
+  bool need_more = false;       // buffer holds no complete frame yet
+  std::size_t consumed = 0;     // bytes to drop from the stream front
+};
+
+/// Appends one framed request/response to `out`.
+void append_request_frame(std::vector<std::uint8_t>& out, const Request& q);
+void append_response_frame(std::vector<std::uint8_t>& out,
+                           const Response& r);
+std::vector<std::uint8_t> encode_request_frame(const Request& q);
+std::vector<std::uint8_t> encode_response_frame(const Response& r);
+
+/// Decodes the frame at the front of [data, data+n). On kOk, `out` holds
+/// the message and `consumed` the frame size. On a protocol error,
+/// `consumed` covers the rejected frame when its extent is known
+/// (truncation inside a known length), and is 0 when the stream is
+/// unrecoverable (oversized length prefix) — drop the connection then.
+FrameDecode decode_request_frame(const std::uint8_t* data, std::size_t n,
+                                 Request& out);
+FrameDecode decode_response_frame(const std::uint8_t* data, std::size_t n,
+                                  Response& out);
+
+}  // namespace u1

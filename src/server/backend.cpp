@@ -12,6 +12,16 @@ namespace {
 /// (parsing, capability negotiation).
 constexpr SimTime kApiOverhead = 300 * kMicrosecond;
 
+/// Shorthand for the common "status + completion time, nothing else"
+/// responses.
+Response make_response(ProtoOp op, Status status, SimTime end) {
+  Response r;
+  r.op = op;
+  r.status = status;
+  r.end = end;
+  return r;
+}
+
 }  // namespace
 
 U1Backend::U1Backend(const BackendConfig& config, TraceSink& sink)
@@ -33,9 +43,281 @@ U1Backend::U1Backend(const BackendConfig& config, TraceSink& sink)
   }
 }
 
+// --- the envelope dispatch ---------------------------------------------------
+
+Response U1Backend::call(const Request& request) {
+  if (!config_.wire_check) return dispatch(request);
+  // Proof mode: push the request through the frame codec and dispatch the
+  // decoded copy, then do the same for the response. Divergence anywhere
+  // is a codec bug, not a workload condition — throw, don't trace.
+  const std::vector<std::uint8_t> qframe = encode_request_frame(request);
+  Request decoded_q;
+  const FrameDecode qd =
+      decode_request_frame(qframe.data(), qframe.size(), decoded_q);
+  if (qd.status != Status::kOk || qd.consumed != qframe.size() ||
+      !(decoded_q == request)) {
+    throw std::logic_error(
+        "wire_check: request round-trip diverged for op " +
+        std::string(to_string(request.op)));
+  }
+  const Response response = dispatch(decoded_q);
+  const std::vector<std::uint8_t> rframe = encode_response_frame(response);
+  Response decoded_r;
+  const FrameDecode rd =
+      decode_response_frame(rframe.data(), rframe.size(), decoded_r);
+  if (rd.status != Status::kOk || rd.consumed != rframe.size() ||
+      !(decoded_r == response)) {
+    throw std::logic_error(
+        "wire_check: response round-trip diverged for op " +
+        std::string(to_string(request.op)));
+  }
+  return decoded_r;
+}
+
+Response U1Backend::dispatch(const Request& q) {
+  switch (q.op) {
+    case ProtoOp::kConnect:
+      return do_connect(q);
+    case ProtoOp::kDisconnect:
+      return do_disconnect(q);
+    case ProtoOp::kListVolumes:
+    case ProtoOp::kListShares:
+    case ProtoOp::kQuerySetCaps:
+      return do_simple_meta(q);
+    case ProtoOp::kGetDelta:
+      return do_get_delta(q);
+    case ProtoOp::kRescanFromScratch:
+      return do_rescan_from_scratch(q);
+    case ProtoOp::kMakeFile:
+    case ProtoOp::kMakeDir:
+      return do_make(q);
+    case ProtoOp::kUnlink:
+      return do_unlink(q);
+    case ProtoOp::kMove:
+      return do_move(q);
+    case ProtoOp::kCreateUDF:
+      return do_create_udf(q);
+    case ProtoOp::kDeleteVolume:
+      return do_delete_volume(q);
+    case ProtoOp::kUpload:
+      return do_upload(q);
+    case ProtoOp::kResumeUpload:
+      return do_resume_upload(q);
+    case ProtoOp::kDownload:
+      return do_download(q);
+    case ProtoOp::kRegisterUser:
+      return do_register_user(q);
+    case ProtoOp::kShareVolume:
+      return do_share_volume(q);
+  }
+  // Op byte outside the enum (only reachable via a hand-built Request —
+  // the frame decoder already rejects these before dispatch).
+  Response r;
+  r.op = q.op;
+  r.status = Status::kUnknownOp;
+  r.end = q.now;
+  return r;
+}
+
+// --- typed wrappers (each packs a Request and lands in call()) ---------------
+
 UserAccount U1Backend::register_user(UserId user, SimTime now) {
-  const Volume root = store_.create_user(user, now);
-  return UserAccount{user, root.id, root.root_dir};
+  Request q;
+  q.op = ProtoOp::kRegisterUser;
+  q.user = user;
+  q.now = now;
+  const Response r = call(q);
+  return UserAccount{r.user, r.volume, r.root_dir};
+}
+
+Response U1Backend::connect(UserId user, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kConnect;
+  q.user = user;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::disconnect(SessionId session, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kDisconnect;
+  q.session = session;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::list_volumes(SessionId session, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kListVolumes;
+  q.session = session;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::list_shares(SessionId session, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kListShares;
+  q.session = session;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::query_set_caps(SessionId session, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kQuerySetCaps;
+  q.session = session;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::get_delta(SessionId session, VolumeId volume,
+                              std::uint64_t since_generation, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kGetDelta;
+  q.session = session;
+  q.volume = volume;
+  q.since_generation = since_generation;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::rescan_from_scratch(SessionId session, VolumeId volume,
+                                        SimTime now) {
+  Request q;
+  q.op = ProtoOp::kRescanFromScratch;
+  q.session = session;
+  q.volume = volume;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::make_file(SessionId session, VolumeId volume,
+                              NodeId parent, std::string_view name_hash,
+                              std::string_view extension, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kMakeFile;
+  q.session = session;
+  q.volume = volume;
+  q.parent = parent;
+  q.set_name_hash(name_hash);
+  q.set_extension(extension);
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::make_dir(SessionId session, VolumeId volume,
+                             NodeId parent, std::string_view name_hash,
+                             SimTime now) {
+  Request q;
+  q.op = ProtoOp::kMakeDir;
+  q.session = session;
+  q.volume = volume;
+  q.parent = parent;
+  q.set_name_hash(name_hash);
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::unlink(SessionId session, NodeId node, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kUnlink;
+  q.session = session;
+  q.node = node;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::move(SessionId session, NodeId node, NodeId new_parent,
+                         SimTime now) {
+  Request q;
+  q.op = ProtoOp::kMove;
+  q.session = session;
+  q.node = node;
+  q.parent = new_parent;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::create_udf(SessionId session, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kCreateUDF;
+  q.session = session;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::delete_volume(SessionId session, VolumeId volume,
+                                  SimTime now) {
+  Request q;
+  q.op = ProtoOp::kDeleteVolume;
+  q.session = session;
+  q.volume = volume;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::upload(SessionId session, NodeId node,
+                           const ContentId& content, std::uint64_t size_bytes,
+                           bool is_update, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kUpload;
+  q.session = session;
+  q.node = node;
+  q.content = content;
+  q.size_bytes = size_bytes;
+  q.set_is_update(is_update);
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::resume_upload(SessionId session, NodeId node,
+                                  const ContentId& content,
+                                  std::uint64_t size_bytes, bool is_update,
+                                  UploadJobId job, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kResumeUpload;
+  q.session = session;
+  q.node = node;
+  q.content = content;
+  q.size_bytes = size_bytes;
+  q.set_is_update(is_update);
+  q.job = job;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::download(SessionId session, NodeId node, SimTime now) {
+  Request q;
+  q.op = ProtoOp::kDownload;
+  q.session = session;
+  q.node = node;
+  q.now = now;
+  return call(q);
+}
+
+Response U1Backend::share_volume(UserId owner, VolumeId volume, UserId to,
+                                 SimTime now) {
+  Request q;
+  q.op = ProtoOp::kShareVolume;
+  q.user = owner;
+  q.peer = to;
+  q.volume = volume;
+  q.now = now;
+  return call(q);
+}
+
+// --- operation implementations ----------------------------------------------
+
+Response U1Backend::do_register_user(const Request& q) {
+  const Volume root = store_.create_user(q.user, q.now);
+  Response r;
+  r.op = q.op;
+  r.status = Status::kOk;
+  r.user = q.user;
+  r.volume = root.id;
+  r.root_dir = root.root_dir;
+  r.end = q.now;
+  return r;
 }
 
 U1Backend::SessionState* U1Backend::find_session(SessionId id) noexcept {
@@ -169,7 +451,9 @@ void U1Backend::publish_change(const SessionState& ctx,
   mq_.publish(event);
 }
 
-U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
+Response U1Backend::do_connect(const Request& q) {
+  const UserId user = q.user;
+  const SimTime now = q.now;
   const auto placed = fleet_.place_session(config_.session_cap_per_process);
   if (!placed) {
     // Load shed: no live process with spare capacity. The balancer tells
@@ -177,10 +461,7 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
     ++stats_.shed_connects;
     emit_session_event(MachineId{}, ProcessId{}, user, SessionId{},
                        SessionEvent::kTryAgain, now);
-    ConnectResult res;
-    res.end = now + kApiOverhead;
-    res.try_again = true;
-    return res;
+    return make_response(q.op, Status::kTryAgain, now + kApiOverhead);
   }
   const ServerFleet::Placement placement = *placed;
   const SessionId sid{next_session_++};
@@ -199,7 +480,7 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
     emit_session_event(placement.machine, placement.process, user, sid,
                        SessionEvent::kAuthFail, t);
     fleet_.end_session(placement.machine, placement.process);
-    return ConnectResult{false, SessionId{}, t};
+    return make_response(q.op, Status::kError, t);
   }
   // Auth-service brownout: the SSO backend times out before any token
   // work happens (indistinguishable from a failed verify to the client).
@@ -208,7 +489,7 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
     emit_session_event(placement.machine, placement.process, user, sid,
                        SessionEvent::kAuthFail, t);
     fleet_.end_session(placement.machine, placement.process);
-    return ConnectResult{false, SessionId{}, t};
+    return make_response(q.op, Status::kError, t);
   }
   const auto tok_it = user_tokens_.find(user);
   TokenId token;
@@ -234,7 +515,7 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
     emit_session_event(placement.machine, placement.process, user, sid,
                        SessionEvent::kAuthFail, t);
     fleet_.end_session(placement.machine, placement.process);
-    return ConnectResult{false, SessionId{}, t};
+    return make_response(q.op, Status::kError, t);
   }
   token_cache_.put(token, user);
   emit_session_event(placement.machine, placement.process, user, sid,
@@ -264,12 +545,19 @@ U1Backend::ConnectResult U1Backend::connect(UserId user, SimTime now) {
   sessions_.emplace(sid, std::move(state));
   user_sessions_[user].push_back(sid);
   ++stats_.sessions_opened;
-  return ConnectResult{true, sid, t};
+  Response res = make_response(q.op, Status::kOk, t);
+  res.session = sid;
+  return res;
 }
 
-SimTime U1Backend::disconnect(SessionId session, SimTime now) {
+Response U1Backend::do_disconnect(const Request& q) {
+  const SessionId session = q.session;
+  const SimTime now = q.now;
   auto* statep = find_session(session);
-  if (statep == nullptr) return now;  // already dropped by a crash/outage
+  if (statep == nullptr) {
+    // Already dropped by a crash/outage; completion time is still `now`.
+    return make_response(q.op, Status::kError, now);
+  }
   auto& state = *statep;
   state.session.ended_at = now;
   emit_session_event(state.session.api_machine, state.session.api_process,
@@ -280,46 +568,43 @@ SimTime U1Backend::disconnect(SessionId session, SimTime now) {
   list.erase(std::remove(list.begin(), list.end(), session), list.end());
   sessions_.erase(session);
   ++stats_.sessions_closed;
-  return now;
+  return make_response(q.op, Status::kOk, now);
 }
 
-U1Backend::OpResult U1Backend::list_volumes(SessionId session, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
+Response U1Backend::do_simple_meta(const Request& q) {
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
-  emit_storage(ctx, ApiOp::kListVolumes, now, {});
-  (void)store_.list_volumes(ctx.session.user);
-  const SimTime end = run_rpc(RpcOp::kListVolumes, ctx, now);
-  emit_storage_done(ctx, ApiOp::kListVolumes, now, end, {});
-  return OpResult{true, end};
+  SimTime end;
+  switch (q.op) {
+    case ProtoOp::kListVolumes:
+      emit_storage(ctx, ApiOp::kListVolumes, now, {});
+      (void)store_.list_volumes(ctx.session.user);
+      end = run_rpc(RpcOp::kListVolumes, ctx, now);
+      emit_storage_done(ctx, ApiOp::kListVolumes, now, end, {});
+      break;
+    case ProtoOp::kListShares:
+      emit_storage(ctx, ApiOp::kListShares, now, {});
+      (void)store_.list_shares(ctx.session.user);
+      end = run_rpc(RpcOp::kListShares, ctx, now);
+      emit_storage_done(ctx, ApiOp::kListShares, now, end, {});
+      break;
+    default:  // kQuerySetCaps: pure API-server work, no DAL RPC
+      emit_storage(ctx, ApiOp::kQuerySetCaps, now, {});
+      end = now + kApiOverhead;
+      emit_storage_done(ctx, ApiOp::kQuerySetCaps, now, end, {});
+      break;
+  }
+  return make_response(q.op, Status::kOk, end);
 }
 
-U1Backend::OpResult U1Backend::list_shares(SessionId session, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
-  auto& ctx = *ctxp;
-  emit_storage(ctx, ApiOp::kListShares, now, {});
-  (void)store_.list_shares(ctx.session.user);
-  const SimTime end = run_rpc(RpcOp::kListShares, ctx, now);
-  emit_storage_done(ctx, ApiOp::kListShares, now, end, {});
-  return OpResult{true, end};
-}
-
-U1Backend::OpResult U1Backend::query_set_caps(SessionId session, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
-  auto& ctx = *ctxp;
-  emit_storage(ctx, ApiOp::kQuerySetCaps, now, {});
-  const SimTime end = now + kApiOverhead;
-  emit_storage_done(ctx, ApiOp::kQuerySetCaps, now, end, {});
-  return OpResult{true, end};
-}
-
-U1Backend::OpResult U1Backend::get_delta(SessionId session, VolumeId volume,
-                                         std::uint64_t since_generation,
-                                         SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
+Response U1Backend::do_get_delta(const Request& q) {
+  const VolumeId volume = q.volume;
+  const std::uint64_t since_generation = q.since_generation;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   TraceRecord partial;
   partial.volume = volume;
@@ -336,14 +621,14 @@ U1Backend::OpResult U1Backend::get_delta(SessionId session, VolumeId volume,
   (void)store_.get_delta(ctx.session.user, volume, since);
   const SimTime end = run_rpc(RpcOp::kGetDelta, ctx, now);
   emit_storage_done(ctx, ApiOp::kGetDelta, now, end, partial);
-  return OpResult{true, end};
+  return make_response(q.op, Status::kOk, end);
 }
 
-U1Backend::OpResult U1Backend::rescan_from_scratch(SessionId session,
-                                                   VolumeId volume,
-                                                   SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
+Response U1Backend::do_rescan_from_scratch(const Request& q) {
+  const VolumeId volume = q.volume;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   TraceRecord partial;
   partial.volume = volume;
@@ -351,70 +636,54 @@ U1Backend::OpResult U1Backend::rescan_from_scratch(SessionId session,
   (void)store_.get_from_scratch(ctx.session.user, volume);
   const SimTime end = run_rpc(RpcOp::kGetFromScratch, ctx, now);
   emit_storage_done(ctx, ApiOp::kRescanFromScratch, now, end, partial);
-  return OpResult{true, end};
+  return make_response(q.op, Status::kOk, end);
 }
 
-U1Backend::MakeResult U1Backend::make_file(SessionId session, VolumeId volume,
-                                           NodeId parent,
-                                           std::string name_hash,
-                                           std::string extension,
-                                           SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return MakeResult{false, NodeId{}, now};
+Response U1Backend::do_make(const Request& q) {
+  const bool is_file = q.op == ProtoOp::kMakeFile;
+  const VolumeId volume = q.volume;
+  const NodeId parent = q.parent;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
   partial.volume = volume;
   partial.parent = parent;
-  partial.label = symbols_.intern(extension);
+  if (is_file) {
+    partial.label = symbols_.intern(q.extension_view());
+  } else {
+    partial.is_dir = true;
+  }
   emit_storage(ctx, ApiOp::kMake, now, partial);
   if (write_rejected(ctx, now)) {
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kMake, now, now + kApiOverhead, failed);
-    return MakeResult{false, NodeId{}, now + kApiOverhead};
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
   const Node node =
-      store_.make_file(ctx.session.user, volume, parent, std::move(name_hash),
-                       std::move(extension), now);
-  const SimTime end = run_rpc(RpcOp::kMakeFile, ctx, now);
+      is_file ? store_.make_file(ctx.session.user, volume, parent,
+                                 std::string(q.name_hash_view()),
+                                 std::string(q.extension_view()), now)
+              : store_.make_dir(ctx.session.user, volume, parent,
+                                std::string(q.name_hash_view()), now);
+  const SimTime end =
+      run_rpc(is_file ? RpcOp::kMakeFile : RpcOp::kMakeDir, ctx, now);
   partial.node = node.id;
   emit_storage_done(ctx, ApiOp::kMake, now, end, partial);
   publish_change(ctx, VolumeEvent::Kind::kNodeCreated, volume, node.id, end);
-  return MakeResult{true, node.id, end};
+  Response res = make_response(q.op, Status::kOk, end);
+  res.node = node.id;
+  return res;
 }
 
-U1Backend::MakeResult U1Backend::make_dir(SessionId session, VolumeId volume,
-                                          NodeId parent,
-                                          std::string name_hash, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return MakeResult{false, NodeId{}, now};
-  auto& ctx = *ctxp;
-  ctx.session.storage_ops++;
-  TraceRecord partial;
-  partial.volume = volume;
-  partial.parent = parent;
-  partial.is_dir = true;
-  emit_storage(ctx, ApiOp::kMake, now, partial);
-  if (write_rejected(ctx, now)) {
-    TraceRecord failed = partial;
-    failed.failed = true;
-    emit_storage_done(ctx, ApiOp::kMake, now, now + kApiOverhead, failed);
-    return MakeResult{false, NodeId{}, now + kApiOverhead};
-  }
-  const Node node = store_.make_dir(ctx.session.user, volume, parent,
-                                    std::move(name_hash), now);
-  const SimTime end = run_rpc(RpcOp::kMakeDir, ctx, now);
-  partial.node = node.id;
-  emit_storage_done(ctx, ApiOp::kMake, now, end, partial);
-  publish_change(ctx, VolumeEvent::Kind::kNodeCreated, volume, node.id, end);
-  return MakeResult{true, node.id, end};
-}
-
-U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
-                                      SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
+Response U1Backend::do_unlink(const Request& q) {
+  const NodeId node = q.node;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto before = store_.get_node(ctx.session.user, node);
@@ -433,7 +702,7 @@ U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kUnlink, now, now + kApiOverhead, failed);
-    return OpResult{false, now + kApiOverhead};
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
   const auto dead = store_.unlink_node(ctx.session.user, node);
   SimTime end = run_rpc(RpcOp::kUnlinkNode, ctx, now);
@@ -446,13 +715,15 @@ U1Backend::OpResult U1Backend::unlink(SessionId session, NodeId node,
   emit_storage_done(ctx, ApiOp::kUnlink, now, end, partial);
   publish_change(ctx, VolumeEvent::Kind::kNodeDeleted, partial.volume, node,
                  end);
-  return OpResult{true, end};
+  return make_response(q.op, Status::kOk, end);
 }
 
-U1Backend::OpResult U1Backend::move(SessionId session, NodeId node,
-                                    NodeId new_parent, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
+Response U1Backend::do_move(const Request& q) {
+  const NodeId node = q.node;
+  const NodeId new_parent = q.parent;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
@@ -464,19 +735,20 @@ U1Backend::OpResult U1Backend::move(SessionId session, NodeId node,
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kMove, now, now + kApiOverhead, failed);
-    return OpResult{false, now + kApiOverhead};
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
   store_.move(ctx.session.user, node, new_parent);
   const SimTime end = run_rpc(RpcOp::kMove, ctx, now);
   emit_storage_done(ctx, ApiOp::kMove, now, end, partial);
   publish_change(ctx, VolumeEvent::Kind::kNodeUpdated, partial.volume, node,
                  end);
-  return OpResult{true, end};
+  return make_response(q.op, Status::kOk, end);
 }
 
-U1Backend::VolumeResult U1Backend::create_udf(SessionId session, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return VolumeResult{false, VolumeId{}, NodeId{}, now};
+Response U1Backend::do_create_udf(const Request& q) {
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   emit_storage(ctx, ApiOp::kCreateUDF, now, {});
@@ -484,20 +756,24 @@ U1Backend::VolumeResult U1Backend::create_udf(SessionId session, SimTime now) {
     TraceRecord failed;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kCreateUDF, now, now + kApiOverhead, failed);
-    return VolumeResult{false, VolumeId{}, NodeId{}, now + kApiOverhead};
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
   const Volume vol = store_.create_udf(ctx.session.user, now);
   const SimTime end = run_rpc(RpcOp::kCreateUDF, ctx, now);
   TraceRecord done;
   done.volume = vol.id;
   emit_storage_done(ctx, ApiOp::kCreateUDF, now, end, done);
-  return VolumeResult{true, vol.id, vol.root_dir, end};
+  Response res = make_response(q.op, Status::kOk, end);
+  res.volume = vol.id;
+  res.root_dir = vol.root_dir;
+  return res;
 }
 
-U1Backend::OpResult U1Backend::delete_volume(SessionId session,
-                                             VolumeId volume, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return OpResult{false, now};
+Response U1Backend::do_delete_volume(const Request& q) {
+  const VolumeId volume = q.volume;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   TraceRecord partial;
@@ -508,7 +784,7 @@ U1Backend::OpResult U1Backend::delete_volume(SessionId session,
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kDeleteVolume, now, now + kApiOverhead,
                       failed);
-    return OpResult{false, now + kApiOverhead};
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
   const auto dead = store_.delete_volume(ctx.session.user, volume);
   SimTime end = run_rpc(RpcOp::kDeleteVolume, ctx, now);
@@ -521,7 +797,7 @@ U1Backend::OpResult U1Backend::delete_volume(SessionId session,
   emit_storage_done(ctx, ApiOp::kDeleteVolume, now, end, partial);
   publish_change(ctx, VolumeEvent::Kind::kVolumeDeleted, volume, NodeId{},
                  end);
-  return OpResult{true, end};
+  return make_response(q.op, Status::kOk, end);
 }
 
 ContentId U1Backend::effective_content(const ContentId& content, NodeId node) {
@@ -534,16 +810,14 @@ ContentId U1Backend::effective_content(const ContentId& content, NodeId node) {
   return h.finish();
 }
 
-U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
-                                          const ContentId& content,
-                                          std::uint64_t size_bytes,
-                                          bool is_update, SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) {
-    UploadResult res;
-    res.end = now;
-    return res;
-  }
+Response U1Backend::do_upload(const Request& q) {
+  const NodeId node = q.node;
+  const ContentId& content = q.content;
+  const std::uint64_t size_bytes = q.size_bytes;
+  const bool is_update = q.is_update();
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto target = store_.get_node(ctx.session.user, node);
@@ -563,9 +837,7 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kPutContent, now, now + kApiOverhead,
                       failed);
-    UploadResult res;
-    res.end = now + kApiOverhead;
-    return res;
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
 
   const ContentId eff = effective_content(content, node);
@@ -622,12 +894,10 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
         failed.failed = true;
         failed.transferred_bytes = parts.sent;
         emit_storage_done(ctx, ApiOp::kPutContent, now, t, failed);
-        UploadResult res;
-        res.interrupted = true;
+        Response res = make_response(q.op, Status::kInterrupted, t);
         res.transferred_bytes = parts.sent;
         res.committed_bytes = parts.sent;
         res.job = job.id;
-        res.end = t;
         return res;
       }
       s3_.complete_multipart(mpu, t);
@@ -660,10 +930,8 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
         TraceRecord failed = partial;
         failed.failed = true;
         emit_storage_done(ctx, ApiOp::kPutContent, now, fail_end, failed);
-        UploadResult res;
-        res.interrupted = true;
-        res.end = fail_end;
-        return res;
+        // Nil job: single-shot uploads leave nothing to resume.
+        return make_response(q.op, Status::kInterrupted, fail_end);
       }
       t = arrive;
       s3_.put(s3_key, size_bytes, t);
@@ -688,12 +956,10 @@ U1Backend::UploadResult U1Backend::upload(SessionId session, NodeId node,
                  is_update ? VolumeEvent::Kind::kNodeUpdated
                            : VolumeEvent::Kind::kNodeCreated,
                  partial.volume, node, t);
-  UploadResult res;
-  res.ok = true;
-  res.deduplicated = dedup_hit;
+  Response res = make_response(q.op, Status::kOk, t);
+  if (dedup_hit) res.flags |= kResponseDeduplicated;
   res.transferred_bytes = wire;
   res.committed_bytes = wire;
-  res.end = t;
   return res;
 }
 
@@ -734,19 +1000,15 @@ U1Backend::PartsOutcome U1Backend::push_parts(SessionState& ctx,
   return out;
 }
 
-U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
-                                                 NodeId node,
-                                                 const ContentId& content,
-                                                 std::uint64_t size_bytes,
-                                                 bool is_update,
-                                                 UploadJobId job_id,
-                                                 SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) {
-    UploadResult res;
-    res.end = now;
-    return res;
-  }
+Response U1Backend::do_resume_upload(const Request& q) {
+  const NodeId node = q.node;
+  const ContentId& content = q.content;
+  const std::uint64_t size_bytes = q.size_bytes;
+  const bool is_update = q.is_update();
+  const UploadJobId job_id = q.job;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto target = store_.get_node(ctx.session.user, node);
@@ -771,17 +1033,14 @@ U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
   if (!target || target->is_dir()) {
     // The node vanished while the client was offline; nothing to resume.
     fail_done(now + kApiOverhead, 0);
-    UploadResult res;
-    res.end = now + kApiOverhead;
-    return res;
+    return make_response(q.op, Status::kError, now + kApiOverhead);
   }
   if (write_rejected(ctx, now)) {
     // Transient shard-failover rejection: keep the job, retry later.
     fail_done(now + kApiOverhead, 0);
-    UploadResult res;
-    res.interrupted = true;
+    Response res =
+        make_response(q.op, Status::kInterrupted, now + kApiOverhead);
     res.job = job_id;
-    res.end = now + kApiOverhead;
     return res;
   }
 
@@ -799,9 +1058,7 @@ U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
       t = run_rpc(RpcOp::kDeleteUploadJob, ctx, t);
     }
     fail_done(t, 0);
-    UploadResult res;
-    res.end = t;
-    return res;
+    return make_response(q.op, Status::kError, t);
   }
 
   const std::uint64_t offset = job->bytes_received;
@@ -821,12 +1078,10 @@ U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
   if (!parts.ok || complete_failed) {
     ++stats_.interrupted_uploads;
     fail_done(t, parts.sent);
-    UploadResult res;
-    res.interrupted = true;
+    Response res = make_response(q.op, Status::kInterrupted, t);
     res.transferred_bytes = parts.sent;
     res.committed_bytes = offset + parts.sent;
     res.job = job_id;
-    res.end = t;
     return res;
   }
 
@@ -851,18 +1106,17 @@ U1Backend::UploadResult U1Backend::resume_upload(SessionId session,
                  is_update ? VolumeEvent::Kind::kNodeUpdated
                            : VolumeEvent::Kind::kNodeCreated,
                  partial.volume, node, t);
-  UploadResult res;
-  res.ok = true;
+  Response res = make_response(q.op, Status::kOk, t);
   res.transferred_bytes = parts.sent;
   res.committed_bytes = total;
-  res.end = t;
   return res;
 }
 
-U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
-                                              SimTime now) {
-  auto* ctxp = find_session(session);
-  if (ctxp == nullptr) return DownloadResult{false, 0, now};
+Response U1Backend::do_download(const Request& q) {
+  const NodeId node = q.node;
+  const SimTime now = q.now;
+  auto* ctxp = find_session(q.session);
+  if (ctxp == nullptr) return make_response(q.op, Status::kError, now);
   auto& ctx = *ctxp;
   ctx.session.storage_ops++;
   const auto target = store_.get_node(ctx.session.user, node);
@@ -880,7 +1134,7 @@ U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kGetContent, now, t, failed);
-    return DownloadResult{false, 0, t};
+    return make_response(q.op, Status::kError, t);
   }
   // Single S3 request; the API process streams it to the client (§A).
   if (injector_ != nullptr && injector_->s3_request_fails(t)) {
@@ -889,7 +1143,7 @@ U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kGetContent, now, end, failed);
-    return DownloadResult{false, 0, end};
+    return make_response(q.op, Status::kError, end);
   }
   t = s3_latency(t);
   const SimTime arrive =
@@ -898,7 +1152,7 @@ U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
     TraceRecord failed = partial;
     failed.failed = true;
     emit_storage_done(ctx, ApiOp::kGetContent, now, cut->at, failed);
-    return DownloadResult{false, 0, cut->at};
+    return make_response(q.op, Status::kError, cut->at);
   }
   t = arrive;
   ++stats_.downloads;
@@ -906,14 +1160,15 @@ U1Backend::DownloadResult U1Backend::download(SessionId session, NodeId node,
   TraceRecord done = partial;
   done.transferred_bytes = target->size_bytes;
   emit_storage_done(ctx, ApiOp::kGetContent, now, t, done);
-  return DownloadResult{true, target->size_bytes, t};
+  Response res = make_response(q.op, Status::kOk, t);
+  res.transferred_bytes = target->size_bytes;
+  return res;
 }
 
-bool U1Backend::share_volume(UserId owner, VolumeId volume, UserId to,
-                             SimTime now) {
-  store_.share_volume(owner, volume, to, now);
-  shared_volumes_.insert(volume);
-  return true;
+Response U1Backend::do_share_volume(const Request& q) {
+  store_.share_volume(q.user, q.volume, q.peer, q.now);
+  shared_volumes_.insert(q.volume);
+  return make_response(q.op, Status::kOk, q.now);
 }
 
 void U1Backend::maintenance(SimTime now) {

@@ -6,6 +6,15 @@
 // service logged them, and returns the virtual time at which it completed
 // so callers can chain requests.
 //
+// Every operation flows through the protocol envelope (proto/envelope.hpp,
+// DESIGN.md §9): the typed methods are thin wrappers that pack a Request
+// and hand it to call(), the single dispatch the `u1d` socket server uses
+// for frames off the wire — sim mode and server mode share one backend
+// implementation and one serialization surface. With
+// BackendConfig::wire_check on, call() additionally round-trips every
+// Request/Response through the frame codec and verifies field-identical
+// decode, so a simulation run doubles as an end-to-end codec proof.
+//
 // Time model: operations run to completion on the caller's timeline.
 // Write RPCs serialize on their shard master (busy-window queueing, which
 // produces the short-window shard load variance of Fig. 14); read RPCs hit
@@ -26,6 +35,7 @@
 #include "fault/fault_injector.hpp"
 #include "mq/message_queue.hpp"
 #include "proto/entities.hpp"
+#include "proto/envelope.hpp"
 #include "server/fleet.hpp"
 #include "store/metadata_store.hpp"
 #include "store/service_time.hpp"
@@ -58,6 +68,13 @@ struct BackendConfig {
   /// balancer answer "try again" instead of accepting (0 = unlimited,
   /// the historical behavior).
   std::uint64_t session_cap_per_process = 0;
+
+  /// Envelope-codec proof mode: call() round-trips every Request and
+  /// Response through the wire frame codec and verifies the decode is
+  /// field-identical before/after dispatch (throws std::logic_error on
+  /// divergence). The trace must be byte-identical with this on or off —
+  /// the equivalence tests assert exactly that.
+  bool wire_check = false;
 
   std::uint64_t seed = 0xc10ed;
 };
@@ -123,99 +140,75 @@ class U1Backend {
   U1Backend(const U1Backend&) = delete;
   U1Backend& operator=(const U1Backend&) = delete;
 
+  // --- the envelope dispatch --------------------------------------------------
+  /// Executes one envelope request — THE operation entry point. Every
+  /// typed method below packs a Request and lands here; `u1d` feeds
+  /// frames off the wire into the same switch. Unknown ops come back
+  /// with Status::kUnknownOp; a dead/foreign session is Status::kError.
+  Response call(const Request& request);
+
   // --- provisioning (out of band, no trace records) -------------------------
+  /// Typed convenience over ProtoOp::kRegisterUser: the response carries
+  /// the root volume in `volume` and its root directory in `root_dir`.
   UserAccount register_user(UserId user, SimTime now);
 
   // --- session management (Table 2: Authenticate) ----------------------------
-  struct ConnectResult {
-    bool ok = false;
-    SessionId session;
-    SimTime end = 0;
-    /// Load-shed: no capacity right now — retry with backoff (not an
-    /// auth failure).
-    bool try_again = false;
-  };
-  ConnectResult connect(UserId user, SimTime now);
-  SimTime disconnect(SessionId session, SimTime now);
+  /// kOk with `session` set, kTryAgain when load-shed (retry with
+  /// backoff — not an auth failure), kError on auth failure.
+  Response connect(UserId user, SimTime now);
+  Response disconnect(SessionId session, SimTime now);
   bool session_open(SessionId session) const;
 
   // --- metadata operations -----------------------------------------------------
-  struct OpResult {
-    bool ok = false;
-    SimTime end = 0;
-  };
-  OpResult list_volumes(SessionId session, SimTime now);
-  OpResult list_shares(SessionId session, SimTime now);
-  OpResult query_set_caps(SessionId session, SimTime now);
-  OpResult get_delta(SessionId session, VolumeId volume,
+  Response list_volumes(SessionId session, SimTime now);
+  Response list_shares(SessionId session, SimTime now);
+  Response query_set_caps(SessionId session, SimTime now);
+  Response get_delta(SessionId session, VolumeId volume,
                      std::uint64_t since_generation, SimTime now);
-  OpResult rescan_from_scratch(SessionId session, VolumeId volume,
+  Response rescan_from_scratch(SessionId session, VolumeId volume,
                                SimTime now);
 
-  struct MakeResult {
-    bool ok = false;
-    NodeId node;
-    SimTime end = 0;
-  };
-  MakeResult make_file(SessionId session, VolumeId volume, NodeId parent,
-                       std::string name_hash, std::string extension,
-                       SimTime now);
-  MakeResult make_dir(SessionId session, VolumeId volume, NodeId parent,
-                      std::string name_hash, SimTime now);
+  /// kOk responses carry the fresh node id in `node`.
+  Response make_file(SessionId session, VolumeId volume, NodeId parent,
+                     std::string_view name_hash, std::string_view extension,
+                     SimTime now);
+  Response make_dir(SessionId session, VolumeId volume, NodeId parent,
+                    std::string_view name_hash, SimTime now);
 
-  OpResult unlink(SessionId session, NodeId node, SimTime now);
-  OpResult move(SessionId session, NodeId node, NodeId new_parent,
+  Response unlink(SessionId session, NodeId node, SimTime now);
+  Response move(SessionId session, NodeId node, NodeId new_parent,
                 SimTime now);
 
-  struct VolumeResult {
-    bool ok = false;
-    VolumeId volume;
-    NodeId root_dir;
-    SimTime end = 0;
-  };
-  VolumeResult create_udf(SessionId session, SimTime now);
-  OpResult delete_volume(SessionId session, VolumeId volume, SimTime now);
+  /// kOk responses carry the new volume in `volume`/`root_dir`.
+  Response create_udf(SessionId session, SimTime now);
+  Response delete_volume(SessionId session, VolumeId volume, SimTime now);
 
   // --- data operations (appendix A upload FSM) -------------------------------
-  struct UploadResult {
-    bool ok = false;
-    bool deduplicated = false;
-    /// A fault cut the transfer mid-flight. When `job` is set, the
-    /// committed parts survive in the uploadjob row and the client can
-    /// resume_upload(); a nil job means restart from scratch.
-    bool interrupted = false;
-    std::uint64_t transferred_bytes = 0;
-    std::uint64_t committed_bytes = 0;  // multipart bytes safe server-side
-    UploadJobId job;
-    SimTime end = 0;
-  };
   /// Uploads `size_bytes` of content with the given SHA-1 to a file node.
   /// is_update marks a PutContent over a node that already had content
   /// (the paper's 10.05%-of-operations / 18.47%-of-traffic updates).
-  UploadResult upload(SessionId session, NodeId node, const ContentId& content,
-                      std::uint64_t size_bytes, bool is_update, SimTime now);
+  /// kInterrupted means a fault cut the transfer mid-flight: when `job`
+  /// is set the committed parts survive in the uploadjob row and the
+  /// client can resume_upload(); a nil job means restart from scratch.
+  Response upload(SessionId session, NodeId node, const ContentId& content,
+                  std::uint64_t size_bytes, bool is_update, SimTime now);
 
   /// Re-enters the Fig. 17 uploadjob FSM at the last committed multipart
   /// part (GetUploadJob → TouchUploadJob → remaining AddPart calls →
-  /// MakeContent). ok=false with interrupted=false means the job is gone
+  /// MakeContent). kError (not kInterrupted) means the job is gone
   /// (GC'd, mismatched or its S3 multipart vanished) and the client must
   /// re-upload from byte zero.
-  UploadResult resume_upload(SessionId session, NodeId node,
-                             const ContentId& content,
-                             std::uint64_t size_bytes, bool is_update,
-                             UploadJobId job, SimTime now);
+  Response resume_upload(SessionId session, NodeId node,
+                         const ContentId& content, std::uint64_t size_bytes,
+                         bool is_update, UploadJobId job, SimTime now);
 
-  struct DownloadResult {
-    bool ok = false;
-    std::uint64_t transferred_bytes = 0;
-    SimTime end = 0;
-  };
-  DownloadResult download(SessionId session, NodeId node, SimTime now);
+  Response download(SessionId session, NodeId node, SimTime now);
 
   // --- sharing ------------------------------------------------------------------
   /// Grants another user access to a volume (out-of-band of Table 2's
   /// operation set; sharing in U1 was rare, §6.3).
-  bool share_volume(UserId owner, VolumeId volume, UserId to, SimTime now);
+  Response share_volume(UserId owner, VolumeId volume, UserId to,
+                        SimTime now);
 
   // --- maintenance -----------------------------------------------------------
   /// Hourly/daily housekeeping: uploadjob GC (1-week cutoff) and process
@@ -269,8 +262,27 @@ class U1Backend {
     double down_bw = 0;  // bytes/s
   };
 
+  /// The op switch behind call(); the do_* methods hold the actual
+  /// operation implementations.
+  Response dispatch(const Request& q);
+  Response do_register_user(const Request& q);
+  Response do_connect(const Request& q);
+  Response do_disconnect(const Request& q);
+  Response do_simple_meta(const Request& q);  // ListVolumes/Shares/SetCaps
+  Response do_get_delta(const Request& q);
+  Response do_rescan_from_scratch(const Request& q);
+  Response do_make(const Request& q);  // MakeFile/MakeDir
+  Response do_unlink(const Request& q);
+  Response do_move(const Request& q);
+  Response do_create_udf(const Request& q);
+  Response do_delete_volume(const Request& q);
+  Response do_upload(const Request& q);
+  Response do_resume_upload(const Request& q);
+  Response do_download(const Request& q);
+  Response do_share_volume(const Request& q);
+
   /// nullptr for unknown or already-closed/dropped sessions; operations
-  /// on them fail with ok=false instead of throwing.
+  /// on them fail with Status::kError instead of throwing.
   SessionState* find_session(SessionId id) noexcept;
   /// Runs one DAL RPC: applies shard queueing, emits the rpc record and
   /// returns the completion time.

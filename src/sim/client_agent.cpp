@@ -72,8 +72,8 @@ SimTime ClientAgent::on_wake(U1Backend& backend, SimTime now) {
 
 SimTime ClientAgent::connect_and_handshake(U1Backend& backend, SimTime now) {
   const auto conn = backend.connect(user_, now);
-  if (!conn.ok) {
-    if (conn.try_again) {
+  if (!conn.ok()) {
+    if (conn.try_again()) {
       // Load-shed by the balancer: come back sooner than after an auth
       // failure, still with capped-exponential jittered backoff.
       ++reconnect_failures_;
@@ -149,13 +149,13 @@ SimTime ClientAgent::connect_and_handshake(U1Backend& backend, SimTime now) {
 
 SimTime ClientAgent::retry_pending_upload(U1Backend& backend, SimTime now) {
   ++pending_.attempts;
-  U1Backend::UploadResult up;
+  Response up;
   if (!pending_.job.is_nil()) {
     // Re-enter the uploadjob FSM at the last committed part.
     up = backend.resume_upload(session_, pending_.node, pending_.content,
                                pending_.size, pending_.is_update,
                                pending_.job, now);
-    if (!up.ok && !up.interrupted) {
+    if (!up.ok() && !up.interrupted()) {
       // The job is gone (GC'd / invalid): from-scratch re-upload.
       pending_.job = UploadJobId{};
       up = backend.upload(session_, pending_.node, pending_.content,
@@ -165,12 +165,12 @@ SimTime ClientAgent::retry_pending_upload(U1Backend& backend, SimTime now) {
     up = backend.upload(session_, pending_.node, pending_.content,
                         pending_.size, pending_.is_update, now);
   }
-  if (up.ok) {
+  if (up.ok()) {
     apply_upload_success(pending_.node, pending_.content, pending_.size);
     pending_ = PendingUpload{};
     return up.end;
   }
-  if (up.interrupted && pending_.attempts < kMaxUploadAttempts) {
+  if (up.interrupted() && pending_.attempts < kMaxUploadAttempts) {
     pending_.job = up.job;  // refreshed, or nil for single-shot retries
     return up.end;
   }
@@ -180,11 +180,11 @@ SimTime ClientAgent::retry_pending_upload(U1Backend& backend, SimTime now) {
   return up.end;
 }
 
-void ClientAgent::note_interrupted_upload(const U1Backend::UploadResult& up,
+void ClientAgent::note_interrupted_upload(const Response& up,
                                           NodeId node,
                                           const ContentId& content,
                                           std::uint64_t size, bool is_update) {
-  if (!up.interrupted || pending_.active) return;
+  if (!up.interrupted() || pending_.active) return;
   pending_.active = true;
   pending_.node = node;
   pending_.content = content;
@@ -299,7 +299,7 @@ SimTime ClientAgent::act_upload_new(U1Backend& backend, SimTime now) {
                                       random_name_hash(rng_),
                                       spec.extension, t);
     t = mk.end;
-    if (!mk.ok) continue;
+    if (!mk.ok()) continue;
     FileRec rec;
     rec.node = mk.node;
     rec.volume = vol.id;
@@ -317,7 +317,7 @@ SimTime ClientAgent::act_upload_new(U1Backend& backend, SimTime now) {
     const auto up = backend.upload(session_, node, content.id,
                                    content.size_bytes, false, t);
     t = up.end;
-    if (up.ok) {
+    if (up.ok()) {
       // The staged records are at the tail of files_.
       for (auto it = files_.rbegin(); it != files_.rend(); ++it) {
         if (it->node == node) {
@@ -374,7 +374,7 @@ SimTime ClientAgent::act_upload_update(U1Backend& backend, SimTime now) {
   if (rng_.chance(0.5) && !(rec.content == ContentId{})) {
     const auto up = backend.upload(session_, rec.node, rec.content, rec.size,
                                    /*is_update=*/false, now);
-    if (!up.ok)
+    if (!up.ok())
       note_interrupted_upload(up, rec.node, rec.content, rec.size, false);
     return up.end;
   }
@@ -386,7 +386,7 @@ SimTime ClientAgent::act_upload_update(U1Backend& backend, SimTime now) {
   const ContentDraw content = ctx_.contents->draw_update(new_size, rng_);
   const auto up = backend.upload(session_, rec.node, content.id, new_size,
                                  /*is_update=*/true, now);
-  if (up.ok) {
+  if (up.ok()) {
     rec.size = new_size;
     rec.content = content.id;
   } else {
@@ -473,7 +473,7 @@ SimTime ClientAgent::act_move(U1Backend& backend, SimTime now) {
   if (dest == rec.parent) dest = vol->root;
   if (dest == rec.parent) return act_get_delta(backend, now);
   const auto res = backend.move(session_, rec.node, dest, now);
-  if (res.ok) rec.parent = dest;
+  if (res.ok()) rec.parent = dest;
   return res.end;
 }
 
@@ -481,7 +481,7 @@ SimTime ClientAgent::act_make_dir(U1Backend& backend, SimTime now) {
   const VolRec& vol = pick_volume(rng_);
   const auto mk = backend.make_dir(session_, vol.id, vol.root,
                                    random_name_hash(rng_), now);
-  if (mk.ok) dirs_.push_back(DirRec{mk.node, vol.id});
+  if (mk.ok()) dirs_.push_back(DirRec{mk.node, vol.id});
   return mk.end;
 }
 
@@ -489,7 +489,7 @@ SimTime ClientAgent::act_create_udf(U1Backend& backend, SimTime now) {
   const std::size_t udfs = volumes_.size() - 1;
   if (udfs >= profile_.udf_volumes) return act_make_dir(backend, now);
   const auto res = backend.create_udf(session_, now);
-  if (res.ok) volumes_.push_back(VolRec{res.volume, res.root_dir, true});
+  if (res.ok()) volumes_.push_back(VolRec{res.volume, res.root_dir, true});
   return res.end;
 }
 
@@ -544,7 +544,7 @@ void ClientAgent::forget_volume(VolumeId volume) {
 void ClientAgent::bootstrap(U1Backend& backend, SimTime now, std::size_t n) {
   if (n == 0 && profile_.udf_volumes == 0) return;
   const auto conn = backend.connect(user_, now);
-  if (!conn.ok) return;
+  if (!conn.ok()) return;
   connected_ = true;
   session_ = conn.session;
   SimTime t = conn.end;
@@ -553,7 +553,7 @@ void ClientAgent::bootstrap(U1Backend& backend, SimTime now, std::size_t n) {
       std::min<std::uint32_t>(profile_.udf_volumes, 3);
   for (std::uint32_t i = 0; i < pre_udfs; ++i) {
     const auto res = backend.create_udf(session_, t);
-    if (res.ok) volumes_.push_back(VolRec{res.volume, res.root_dir, true});
+    if (res.ok()) volumes_.push_back(VolRec{res.volume, res.root_dir, true});
     t = res.end;
   }
   for (std::size_t i = 0; i < n; ++i) {

@@ -87,7 +87,7 @@ class ClientAgent {
     int attempts = 0;
   };
   SimTime retry_pending_upload(U1Backend& backend, SimTime now);
-  void note_interrupted_upload(const U1Backend::UploadResult& up, NodeId node,
+  void note_interrupted_upload(const Response& up, NodeId node,
                                const ContentId& content, std::uint64_t size,
                                bool is_update);
   void apply_upload_success(NodeId node, const ContentId& content,

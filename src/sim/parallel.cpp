@@ -297,12 +297,12 @@ void ParallelSimulation::launch_attack(Group& grp, std::size_t attack_index,
   ++grp.ddos_attacks;
   const UserAccount acc = grp.backend->register_user(attack.account, now);
   const auto conn = grp.backend->connect(attack.account, now);
-  if (conn.ok) {
+  if (conn.ok()) {
     const auto mk = grp.backend->make_file(conn.session, acc.root_volume,
                                            acc.root_dir, "payload", "avi",
                                            conn.end);
     SimTime t = mk.end;
-    if (mk.ok) {
+    if (mk.ok()) {
       t = grp.backend
               ->upload(conn.session, mk.node,
                        Sha1::of("ddos-payload-" +
@@ -350,7 +350,7 @@ SimTime ParallelSimulation::bot_wake(Group& grp, std::size_t bot_index,
       const auto res =
           grp.backend->download(bot.session, attack.payload_node, now);
       now = res.end;
-      if (!res.ok) break;
+      if (!res.ok()) break;
     }
     grp.backend->disconnect(bot.session, now);
     bot.connected = false;
@@ -360,7 +360,7 @@ SimTime ParallelSimulation::bot_wake(Group& grp, std::size_t bot_index,
   }
 
   const auto conn = grp.backend->connect(attack.account, now);
-  if (!conn.ok) {
+  if (!conn.ok()) {
     ++bot.failures;
     if (attack.purged && bot.failures > 2) return 0;  // give up
     return conn.end + from_seconds(grp.rng.uniform(30.0, 300.0));

@@ -145,12 +145,12 @@ void Simulation::launch_attack(std::size_t attack_index, SimTime now) {
   attack.account = account;
   const UserAccount acc = backend_->register_user(account, now);
   const auto conn = backend_->connect(account, now);
-  if (conn.ok) {
+  if (conn.ok()) {
     const auto mk = backend_->make_file(conn.session, acc.root_volume,
                                         acc.root_dir, "payload", "avi",
                                         conn.end);
     SimTime t = mk.end;
-    if (mk.ok) {
+    if (mk.ok()) {
       t = backend_->upload(conn.session, mk.node,
                            Sha1::of("ddos-payload-" +
                                     std::to_string(attack_index)),
@@ -200,7 +200,7 @@ SimTime Simulation::bot_wake(std::size_t bot_index, SimTime now) {
       const auto res = backend_->download(bot.session, attack.payload_node,
                                           now);
       now = res.end;
-      if (!res.ok) break;
+      if (!res.ok()) break;
     }
     backend_->disconnect(bot.session, now);
     bot.connected = false;
@@ -212,7 +212,7 @@ SimTime Simulation::bot_wake(std::size_t bot_index, SimTime now) {
 
   // Try to connect with the shared credentials.
   const auto conn = backend_->connect(attack.account, now);
-  if (!conn.ok) {
+  if (!conn.ok()) {
     ++bot.failures;
     if (attack.purged && bot.failures > 2) return 0;  // give up
     return conn.end + from_seconds(rng_.uniform(30.0, 300.0));

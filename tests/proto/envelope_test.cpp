@@ -1,0 +1,398 @@
+// Wire-envelope contract tests (DESIGN.md §9): stable enum wire values,
+// string round trips, bit-identical encode/decode for every op in both
+// directions, and the hostile-input battery — truncation at every prefix
+// length, oversized length prefixes, unknown ops, version mismatches and
+// slack payload bytes must all earn a typed error, never a crash.
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proto/envelope.hpp"
+
+namespace u1 {
+namespace {
+
+Uuid test_uuid(std::uint8_t seed) {
+  Uuid u;
+  for (std::size_t i = 0; i < u.bytes.size(); ++i)
+    u.bytes[i] = static_cast<std::uint8_t>(seed + i * 7);
+  return u;
+}
+
+Sha1Digest test_sha1(std::uint8_t seed) {
+  Sha1Digest d;
+  for (std::size_t i = 0; i < d.bytes.size(); ++i)
+    d.bytes[i] = static_cast<std::uint8_t>(seed ^ (i * 13));
+  return d;
+}
+
+/// A request with every field populated, varied per op so round trips
+/// can't pass by accident on shared zeroes.
+Request full_request(ProtoOp op) {
+  Request q;
+  q.op = op;
+  q.set_is_update(static_cast<std::uint8_t>(op) % 2 == 1);
+  q.set_name_hash("a1b2c3d4");
+  q.set_extension("jpeg");
+  q.user.value = 1000 + static_cast<std::uint64_t>(op);
+  q.peer.value = 2000 + static_cast<std::uint64_t>(op);
+  q.session.value = 3000 + static_cast<std::uint64_t>(op);
+  q.volume = test_uuid(static_cast<std::uint8_t>(op));
+  q.node = test_uuid(static_cast<std::uint8_t>(op) + 1);
+  q.parent = test_uuid(static_cast<std::uint8_t>(op) + 2);
+  q.content = test_sha1(static_cast<std::uint8_t>(op) + 3);
+  q.job = test_uuid(static_cast<std::uint8_t>(op) + 4);
+  q.size_bytes = 123456789ull * (1 + static_cast<std::uint64_t>(op));
+  q.since_generation = 42 + static_cast<std::uint64_t>(op);
+  q.now = -3 * kDay + static_cast<SimTime>(op) * kHour;  // negative: pre-trace
+  return q;
+}
+
+Response full_response(ProtoOp op, Status status) {
+  Response r;
+  r.op = op;
+  r.status = status;
+  r.flags = kResponseDeduplicated;
+  r.end = 17 * kDay + static_cast<SimTime>(op) * kMinute;
+  r.user.value = 7000 + static_cast<std::uint64_t>(op);
+  r.session.value = 8000 + static_cast<std::uint64_t>(op);
+  r.volume = test_uuid(static_cast<std::uint8_t>(op) + 5);
+  r.node = test_uuid(static_cast<std::uint8_t>(op) + 6);
+  r.root_dir = test_uuid(static_cast<std::uint8_t>(op) + 7);
+  r.job = test_uuid(static_cast<std::uint8_t>(op) + 8);
+  r.transferred_bytes = 5555 + static_cast<std::uint64_t>(op);
+  r.committed_bytes = 6666 + static_cast<std::uint64_t>(op);
+  return r;
+}
+
+// --- stable wire values (satellite: append-only enums) --------------------
+
+TEST(Envelope, ProtoOpWireValuesAreStable) {
+  // These values are on the wire; renumbering breaks deployed peers.
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kConnect), 0);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kDisconnect), 1);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kListVolumes), 2);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kListShares), 3);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kQuerySetCaps), 4);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kGetDelta), 5);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kRescanFromScratch), 6);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kMakeFile), 7);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kMakeDir), 8);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kUnlink), 9);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kMove), 10);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kCreateUDF), 11);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kDeleteVolume), 12);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kUpload), 13);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kResumeUpload), 14);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kDownload), 15);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kRegisterUser), 16);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kShareVolume), 17);
+  EXPECT_EQ(all_proto_ops().size(), kProtoOpCount);
+}
+
+TEST(Envelope, StatusWireValuesAreStable) {
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kOk), 0);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kError), 1);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kTryAgain), 2);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kInterrupted), 3);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kBadFrame), 16);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kVersionMismatch), 17);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kUnknownOp), 18);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kOversizedFrame), 19);
+  EXPECT_EQ(static_cast<std::uint8_t>(Status::kSlackPayload), 20);
+  EXPECT_EQ(all_statuses().size(), kStatusCount);
+}
+
+TEST(Envelope, ProtocolErrorPredicate) {
+  EXPECT_FALSE(is_protocol_error(Status::kOk));
+  EXPECT_FALSE(is_protocol_error(Status::kError));
+  EXPECT_FALSE(is_protocol_error(Status::kTryAgain));
+  EXPECT_FALSE(is_protocol_error(Status::kInterrupted));
+  EXPECT_TRUE(is_protocol_error(Status::kBadFrame));
+  EXPECT_TRUE(is_protocol_error(Status::kVersionMismatch));
+  EXPECT_TRUE(is_protocol_error(Status::kUnknownOp));
+  EXPECT_TRUE(is_protocol_error(Status::kOversizedFrame));
+  EXPECT_TRUE(is_protocol_error(Status::kSlackPayload));
+}
+
+// --- string round trips ----------------------------------------------------
+
+TEST(Envelope, ProtoOpStringRoundTrip) {
+  for (const ProtoOp op : all_proto_ops()) {
+    const auto back = proto_op_from_string(to_string(op));
+    ASSERT_TRUE(back.has_value()) << to_string(op);
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(proto_op_from_string("NotAnOp").has_value());
+  EXPECT_FALSE(proto_op_from_string("").has_value());
+}
+
+TEST(Envelope, StatusStringRoundTrip) {
+  for (const Status s : all_statuses()) {
+    const auto back = status_from_string(to_string(s));
+    ASSERT_TRUE(back.has_value()) << to_string(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(status_from_string("not_a_status").has_value());
+}
+
+TEST(Envelope, WireDecodersAreRangeChecked) {
+  for (const ProtoOp op : all_proto_ops()) {
+    const auto back = proto_op_from_wire(static_cast<std::uint8_t>(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  for (int v = static_cast<int>(kProtoOpCount); v < 256; ++v)
+    EXPECT_FALSE(proto_op_from_wire(static_cast<std::uint8_t>(v)).has_value())
+        << v;
+
+  for (const Status s : all_statuses()) {
+    const auto back = status_from_wire(static_cast<std::uint8_t>(s));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s);
+  }
+  // Every byte that is not an enumerated status must be rejected,
+  // including the 4..15 gap reserved for future operation outcomes.
+  for (int v = 0; v < 256; ++v) {
+    const bool enumerated = (v <= 3) || (v >= 16 && v <= 20);
+    EXPECT_EQ(status_from_wire(static_cast<std::uint8_t>(v)).has_value(),
+              enumerated)
+        << v;
+  }
+}
+
+// --- bit-identical round trips for every op --------------------------------
+
+TEST(Envelope, RequestRoundTripEveryOp) {
+  for (const ProtoOp op : all_proto_ops()) {
+    const Request q = full_request(op);
+    const std::vector<std::uint8_t> frame = encode_request_frame(q);
+    Request back;
+    const FrameDecode d = decode_request_frame(frame.data(), frame.size(),
+                                               back);
+    ASSERT_EQ(d.status, Status::kOk) << to_string(op);
+    EXPECT_FALSE(d.need_more);
+    EXPECT_EQ(d.consumed, frame.size()) << to_string(op);
+    EXPECT_EQ(back, q) << "field divergence for " << to_string(op);
+    // Re-encoding the decoded struct must reproduce the exact bytes.
+    EXPECT_EQ(encode_request_frame(back), frame) << to_string(op);
+  }
+}
+
+TEST(Envelope, ResponseRoundTripEveryOpAndStatus) {
+  for (const ProtoOp op : all_proto_ops()) {
+    for (const Status s : all_statuses()) {
+      const Response r = full_response(op, s);
+      const std::vector<std::uint8_t> frame = encode_response_frame(r);
+      Response back;
+      const FrameDecode d = decode_response_frame(frame.data(), frame.size(),
+                                                  back);
+      ASSERT_EQ(d.status, Status::kOk)
+          << to_string(op) << "/" << to_string(s);
+      EXPECT_EQ(d.consumed, frame.size());
+      EXPECT_EQ(back, r) << to_string(op) << "/" << to_string(s);
+      EXPECT_EQ(encode_response_frame(back), frame);
+    }
+  }
+}
+
+TEST(Envelope, DefaultConstructedRoundTrip) {
+  // All-zero messages (nil uuids, empty strings, t=0) are valid frames.
+  const Request q;
+  Request qb;
+  const auto qf = encode_request_frame(q);
+  EXPECT_EQ(decode_request_frame(qf.data(), qf.size(), qb).status,
+            Status::kOk);
+  EXPECT_EQ(qb, q);
+
+  const Response r;
+  Response rb;
+  const auto rf = encode_response_frame(r);
+  EXPECT_EQ(decode_response_frame(rf.data(), rf.size(), rb).status,
+            Status::kOk);
+  EXPECT_EQ(rb, r);
+}
+
+TEST(Envelope, NegativeTimesSurviveZigzag) {
+  Request q = full_request(ProtoOp::kConnect);
+  q.now = -37 * kDay - 1;
+  const auto frame = encode_request_frame(q);
+  Request back;
+  ASSERT_EQ(decode_request_frame(frame.data(), frame.size(), back).status,
+            Status::kOk);
+  EXPECT_EQ(back.now, q.now);
+}
+
+TEST(Envelope, TruncatingSettersNeverOverrun) {
+  Request q;
+  q.set_name_hash(std::string(100, 'x'));  // > capacity: truncates
+  q.set_extension(std::string(100, 'y'));
+  EXPECT_EQ(q.name_hash_view().size(), sizeof q.name_hash);
+  EXPECT_EQ(q.extension_view().size(), sizeof q.extension);
+  const auto frame = encode_request_frame(q);
+  Request back;
+  EXPECT_EQ(decode_request_frame(frame.data(), frame.size(), back).status,
+            Status::kOk);
+  EXPECT_EQ(back.name_hash_view(), q.name_hash_view());
+}
+
+// --- hostile input ---------------------------------------------------------
+
+TEST(Envelope, TruncatedAtEveryPrefixLengthWantsMoreBytes) {
+  // A prefix of a valid frame is simply an incomplete frame: the decoder
+  // must report need_more (consume nothing) and never read past n.
+  const Request q = full_request(ProtoOp::kUpload);
+  const auto frame = encode_request_frame(q);
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    Request out;
+    const FrameDecode d = decode_request_frame(frame.data(), n, out);
+    EXPECT_TRUE(d.need_more) << "prefix length " << n;
+    EXPECT_EQ(d.status, Status::kOk) << "prefix length " << n;
+    EXPECT_EQ(d.consumed, 0u) << "prefix length " << n;
+  }
+}
+
+TEST(Envelope, PayloadCutShortInsideDeclaredLengthIsBadFrame) {
+  // A frame whose length field claims more payload than the fields need
+  // to be *present* but whose payload bytes run out mid-field: complete
+  // by length, corrupt by content.
+  auto frame = encode_request_frame(full_request(ProtoOp::kMakeFile));
+  // Chop 10 payload bytes and patch the length prefix to match, so the
+  // frame is "complete" but its field list is truncated.
+  frame.resize(frame.size() - 10);
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size() - 4);
+  std::memcpy(frame.data(), &len, sizeof len);
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kBadFrame);
+  EXPECT_FALSE(d.need_more);
+  EXPECT_EQ(d.consumed, frame.size());  // recoverable: skip this frame
+}
+
+TEST(Envelope, OversizedLengthPrefixIsUnrecoverable) {
+  std::vector<std::uint8_t> frame(16, 0);
+  const std::uint32_t len = kMaxFrameBytes + 1;
+  std::memcpy(frame.data(), &len, sizeof len);
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kOversizedFrame);
+  EXPECT_EQ(d.consumed, 0u);  // stream boundary unknowable: drop the conn
+}
+
+TEST(Envelope, RuntFrameIsBadFrame) {
+  // len < 3 cannot even hold version+op.
+  std::vector<std::uint8_t> frame = {2, 0, 0, 0, 0xaa, 0xbb};
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kBadFrame);
+  EXPECT_EQ(d.consumed, frame.size());
+}
+
+TEST(Envelope, UnknownOpByteIsTypedError) {
+  auto frame = encode_request_frame(full_request(ProtoOp::kConnect));
+  frame[6] = 0xee;  // op byte far outside the enum
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kUnknownOp);
+  EXPECT_EQ(d.consumed, frame.size());
+}
+
+TEST(Envelope, VersionMismatchIsTypedErrorAndRecoverable) {
+  auto frame = encode_request_frame(full_request(ProtoOp::kConnect));
+  frame[4] = 0x02;  // version 2 instead of kProtoVersion=1
+  frame[5] = 0x00;
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kVersionMismatch);
+  EXPECT_EQ(d.consumed, frame.size());  // skip it; the connection survives
+}
+
+TEST(Envelope, SlackPayloadBytesAreRefused) {
+  auto frame = encode_request_frame(full_request(ProtoOp::kDownload));
+  frame.push_back(0x00);  // one trailing byte after all fields
+  const std::uint32_t len = static_cast<std::uint32_t>(frame.size() - 4);
+  std::memcpy(frame.data(), &len, sizeof len);
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kSlackPayload);
+  EXPECT_EQ(d.consumed, frame.size());
+}
+
+TEST(Envelope, OverlongNameLengthInsidePayloadIsBadFrame) {
+  // name_hash length byte larger than the struct capacity must be
+  // rejected before any memcpy.
+  auto frame = encode_request_frame(Request{});
+  frame[7 + 1] = 0xff;  // payload starts at 7: [flags][name_len]...
+  Request out;
+  const FrameDecode d = decode_request_frame(frame.data(), frame.size(), out);
+  EXPECT_EQ(d.status, Status::kBadFrame);
+}
+
+TEST(Envelope, OutOfRangeStatusByteIsBadFrame) {
+  auto frame = encode_response_frame(full_response(ProtoOp::kConnect,
+                                                   Status::kOk));
+  frame[7] = 9;  // status byte in the reserved 4..15 gap
+  Response out;
+  const FrameDecode d = decode_response_frame(frame.data(), frame.size(),
+                                              out);
+  EXPECT_EQ(d.status, Status::kBadFrame);
+}
+
+TEST(Envelope, RandomGarbageNeverCrashesDecoder) {
+  // Deterministic xorshift garbage, framed with plausible lengths: the
+  // decoder must return *something* typed for every buffer.
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint8_t> buf(8 + next() % 200);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(next());
+    // Half the rounds: patch in a believable length so we exercise the
+    // payload decoders, not just the header check.
+    if (round % 2 == 0) {
+      const std::uint32_t len = static_cast<std::uint32_t>(buf.size() - 4);
+      std::memcpy(buf.data(), &len, sizeof len);
+    }
+    Request q;
+    Response r;
+    const FrameDecode dq = decode_request_frame(buf.data(), buf.size(), q);
+    const FrameDecode dr = decode_response_frame(buf.data(), buf.size(), r);
+    // No assertion on the exact code — only that it is a typed outcome.
+    EXPECT_TRUE(dq.need_more || dq.status == Status::kOk ||
+                is_protocol_error(dq.status));
+    EXPECT_TRUE(dr.need_more || dr.status == Status::kOk ||
+                is_protocol_error(dr.status));
+  }
+}
+
+TEST(Envelope, BackToBackFramesDecodeInSequence) {
+  // Stream reassembly: two frames in one buffer, decoded by advancing
+  // `consumed` — exactly the server's read loop.
+  const Request a = full_request(ProtoOp::kMakeDir);
+  const Request b = full_request(ProtoOp::kUnlink);
+  std::vector<std::uint8_t> stream;
+  append_request_frame(stream, a);
+  append_request_frame(stream, b);
+
+  Request out;
+  const FrameDecode d1 = decode_request_frame(stream.data(), stream.size(),
+                                              out);
+  ASSERT_EQ(d1.status, Status::kOk);
+  EXPECT_EQ(out, a);
+  const FrameDecode d2 = decode_request_frame(stream.data() + d1.consumed,
+                                              stream.size() - d1.consumed,
+                                              out);
+  ASSERT_EQ(d2.status, Status::kOk);
+  EXPECT_EQ(out, b);
+  EXPECT_EQ(d1.consumed + d2.consumed, stream.size());
+}
+
+}  // namespace
+}  // namespace u1

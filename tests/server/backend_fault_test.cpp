@@ -58,7 +58,7 @@ class FaultBackendTest : public ::testing::Test {
   std::pair<UserAccount, SessionId> enroll(std::uint64_t uid, SimTime t) {
     const UserAccount acc = backend_->register_user(UserId{uid}, t);
     const auto conn = backend_->connect(UserId{uid}, t);
-    EXPECT_TRUE(conn.ok);
+    EXPECT_TRUE(conn.ok());
     return {acc, conn.session};
   }
 
@@ -97,22 +97,22 @@ TEST_F(FaultBackendTest, ProcessCrashDropsSessionsAndRespawnRecovers) {
   EXPECT_EQ(count_session_events(SessionEvent::kDropped), 1u);
 
   // Post-crash calls on the dead session fail gracefully (no throw).
-  EXPECT_FALSE(backend_->list_volumes(sid, 2 * kHour + kMinute).ok);
+  EXPECT_FALSE(backend_->list_volumes(sid, 2 * kHour + kMinute).ok());
   EXPECT_FALSE(backend_->upload(sid, acc.root_dir, Sha1::of("x"), 100, false,
                                 2 * kHour + kMinute)
-                   .ok);
-  EXPECT_EQ(backend_->disconnect(sid, 2 * kHour + kMinute),
+                   .ok());
+  EXPECT_EQ(backend_->disconnect(sid, 2 * kHour + kMinute).end,
             2 * kHour + kMinute);
 
   // While the only process is dead the balancer sheds new connects.
   const auto during = backend_->connect(UserId{1}, 2 * kHour + 10 * kMinute);
-  EXPECT_FALSE(during.ok);
-  EXPECT_TRUE(during.try_again);
+  EXPECT_FALSE(during.ok());
+  EXPECT_TRUE(during.try_again());
   EXPECT_EQ(backend_->stats().shed_connects, 1u);
 
   backend_->apply_fault(edge(0, false), 3 * kHour, /*emit_record=*/true);
   const auto after = backend_->connect(UserId{1}, 4 * kHour);
-  EXPECT_TRUE(after.ok);
+  EXPECT_TRUE(after.ok());
 
   // Both window edges were traced.
   const auto faults = std::count_if(
@@ -128,7 +128,7 @@ TEST_F(FaultBackendTest, OutageCutsMultipartUploadAndResumeFinishesIt) {
   const auto [acc, sid] = enroll(1, kHour);
   const auto mk = backend_->make_file(sid, acc.root_volume, acc.root_dir,
                                       "bulk", "iso", kHour);
-  ASSERT_TRUE(mk.ok);
+  ASSERT_TRUE(mk.ok());
 
   // 20 MB at 1 MiB/s = four 5 MB parts, one every ~5s. An outage 12s into
   // the transfer lands inside part 3: exactly two parts are committed.
@@ -143,8 +143,8 @@ TEST_F(FaultBackendTest, OutageCutsMultipartUploadAndResumeFinishesIt) {
   const ContentId content = Sha1::of("bulk-content");
   const auto cut = backend_->upload(sid, mk.node, content, size, false,
                                     mk.end);
-  EXPECT_FALSE(cut.ok);
-  EXPECT_TRUE(cut.interrupted);
+  EXPECT_FALSE(cut.ok());
+  EXPECT_TRUE(cut.interrupted());
   EXPECT_FALSE(cut.job.is_nil());
   EXPECT_EQ(cut.committed_bytes, 2 * kMultipartChunkBytes);
   EXPECT_EQ(backend_->stats().interrupted_uploads, 1u);
@@ -159,12 +159,12 @@ TEST_F(FaultBackendTest, OutageCutsMultipartUploadAndResumeFinishesIt) {
 
   const SimTime back = outage.at + outage.duration + kMinute;
   const auto conn = backend_->connect(UserId{1}, back);
-  ASSERT_TRUE(conn.ok);
+  ASSERT_TRUE(conn.ok());
 
   const auto done = backend_->resume_upload(conn.session, mk.node, content,
                                             size, false, cut.job, conn.end);
-  EXPECT_TRUE(done.ok);
-  EXPECT_FALSE(done.interrupted);
+  EXPECT_TRUE(done.ok());
+  EXPECT_FALSE(done.interrupted());
   // Only the remaining two parts crossed the wire; all four are committed.
   EXPECT_EQ(done.transferred_bytes, 2 * kMultipartChunkBytes);
   EXPECT_EQ(done.committed_bytes, size);
@@ -182,7 +182,7 @@ TEST_F(FaultBackendTest, GcReclaimedJobForcesRestartFromScratch) {
   const auto [acc, sid] = enroll(1, kHour);
   const auto mk = backend_->make_file(sid, acc.root_volume, acc.root_dir,
                                       "bulk", "iso", kHour);
-  ASSERT_TRUE(mk.ok);
+  ASSERT_TRUE(mk.ok());
 
   FaultSpec outage =
       window(FaultKind::kMachineOutage, mk.end + 12 * kSecond, 30 * kMinute);
@@ -195,7 +195,7 @@ TEST_F(FaultBackendTest, GcReclaimedJobForcesRestartFromScratch) {
   const ContentId content = Sha1::of("bulk-content");
   const auto cut =
       backend_->upload(sid, mk.node, content, size, false, mk.end);
-  ASSERT_TRUE(cut.interrupted);
+  ASSERT_TRUE(cut.interrupted());
   backend_->apply_fault(edge(0, true), outage.at, true);
   backend_->apply_fault(edge(0, false), outage.at + outage.duration, true);
 
@@ -205,16 +205,16 @@ TEST_F(FaultBackendTest, GcReclaimedJobForcesRestartFromScratch) {
   EXPECT_EQ(backend_->s3().open_multiparts(), 0u);
 
   const auto conn = backend_->connect(UserId{1}, 10 * kDay + kHour);
-  ASSERT_TRUE(conn.ok);
+  ASSERT_TRUE(conn.ok());
   const auto resume = backend_->resume_upload(conn.session, mk.node, content,
                                               size, false, cut.job, conn.end);
   // Job gone, not interrupted: the client must restart from byte zero.
-  EXPECT_FALSE(resume.ok);
-  EXPECT_FALSE(resume.interrupted);
+  EXPECT_FALSE(resume.ok());
+  EXPECT_FALSE(resume.interrupted());
 
   const auto fresh = backend_->upload(conn.session, mk.node, content, size,
                                       false, resume.end);
-  EXPECT_TRUE(fresh.ok);
+  EXPECT_TRUE(fresh.ok());
   EXPECT_EQ(backend_->s3().stored_bytes(), size);
 }
 
@@ -226,10 +226,10 @@ TEST_F(FaultBackendTest, SessionCapShedsConnectsUntilSlotFrees) {
   backend_->register_user(UserId{2}, 0);
 
   const auto first = backend_->connect(UserId{1}, kHour);
-  ASSERT_TRUE(first.ok);
+  ASSERT_TRUE(first.ok());
   const auto shed = backend_->connect(UserId{2}, kHour + kMinute);
-  EXPECT_FALSE(shed.ok);
-  EXPECT_TRUE(shed.try_again);
+  EXPECT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.try_again());
   EXPECT_GT(shed.end, kHour + kMinute);  // only the API overhead elapsed
   EXPECT_EQ(backend_->stats().shed_connects, 1u);
   EXPECT_EQ(backend_->stats().auth_failures, 0u);  // never reached auth
@@ -237,7 +237,7 @@ TEST_F(FaultBackendTest, SessionCapShedsConnectsUntilSlotFrees) {
 
   backend_->disconnect(first.session, 2 * kHour);
   const auto retry = backend_->connect(UserId{2}, 2 * kHour + kMinute);
-  EXPECT_TRUE(retry.ok);
+  EXPECT_TRUE(retry.ok());
 }
 
 TEST_F(FaultBackendTest, AuthBrownoutRejectsConnects) {
@@ -250,14 +250,14 @@ TEST_F(FaultBackendTest, AuthBrownoutRejectsConnects) {
   backend_->register_user(UserId{1}, 0);
 
   const auto during = backend_->connect(UserId{1}, 90 * kMinute);
-  EXPECT_FALSE(during.ok);
-  EXPECT_FALSE(during.try_again);
+  EXPECT_FALSE(during.ok());
+  EXPECT_FALSE(during.try_again());
   EXPECT_EQ(backend_->stats().auth_failures, 1u);
   EXPECT_EQ(backend_->fleet().total_open_sessions(), 0u);
   EXPECT_EQ(count_session_events(SessionEvent::kAuthFail), 1u);
 
   const auto after = backend_->connect(UserId{1}, 3 * kHour);
-  EXPECT_TRUE(after.ok);
+  EXPECT_TRUE(after.ok());
 }
 
 TEST_F(FaultBackendTest, MqDropWindowSuppressesNotifications) {
@@ -275,13 +275,13 @@ TEST_F(FaultBackendTest, MqDropWindowSuppressesNotifications) {
   const auto in_window = backend_->make_file(sid, acc.root_volume,
                                              acc.root_dir, "a", "txt",
                                              90 * kMinute);
-  ASSERT_TRUE(in_window.ok);
+  ASSERT_TRUE(in_window.ok());
   EXPECT_EQ(backend_->stats().notifications_dropped, 1u);
   EXPECT_EQ(backend_->notifications().published(), 0u);
 
   const auto after = backend_->make_file(sid, acc.root_volume, acc.root_dir,
                                          "b", "txt", 3 * kHour);
-  ASSERT_TRUE(after.ok);
+  ASSERT_TRUE(after.ok());
   EXPECT_EQ(backend_->stats().notifications_dropped, 1u);
   EXPECT_EQ(backend_->notifications().published(), 1u);
 }
@@ -300,17 +300,17 @@ TEST_F(FaultBackendTest, ShardFailoverRejectsWritesInWindow) {
   const auto [acc, sid] = enroll(1, 0);
   const auto mk =
       backend_->make_file(sid, acc.root_volume, acc.root_dir, "f", "jpg", 0);
-  ASSERT_TRUE(mk.ok);
+  ASSERT_TRUE(mk.ok());
 
   const auto rejected = backend_->upload(sid, mk.node, Sha1::of("p"),
                                          256 * 1024, false, 90 * kMinute);
-  EXPECT_FALSE(rejected.ok);
-  EXPECT_FALSE(rejected.interrupted);
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_FALSE(rejected.interrupted());
   EXPECT_EQ(backend_->stats().write_rejects, 1u);
 
   const auto accepted = backend_->upload(sid, mk.node, Sha1::of("p"),
                                          256 * 1024, false, 3 * kHour);
-  EXPECT_TRUE(accepted.ok);
+  EXPECT_TRUE(accepted.ok());
 }
 
 TEST_F(FaultBackendTest, S3BrownoutFailsRequestsAndRecovers) {
@@ -325,20 +325,20 @@ TEST_F(FaultBackendTest, S3BrownoutFailsRequestsAndRecovers) {
   const auto [acc, sid] = enroll(1, 0);
   const auto mk =
       backend_->make_file(sid, acc.root_volume, acc.root_dir, "f", "jpg", 0);
-  ASSERT_TRUE(mk.ok);
+  ASSERT_TRUE(mk.ok());
 
   // Single-shot upload inside the window: the S3 PUT fails after the
   // bytes crossed the wire, so the attempt is interrupted with no job.
   const auto failed = backend_->upload(sid, mk.node, Sha1::of("p"),
                                        256 * 1024, false, 90 * kMinute);
-  EXPECT_FALSE(failed.ok);
-  EXPECT_TRUE(failed.interrupted);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.interrupted());
   EXPECT_TRUE(failed.job.is_nil());
   EXPECT_GE(backend_->stats().s3_errors, 1u);
 
   const auto after = backend_->upload(sid, mk.node, Sha1::of("p"),
                                       256 * 1024, false, 3 * kHour);
-  EXPECT_TRUE(after.ok);
+  EXPECT_TRUE(after.ok());
 }
 
 }  // namespace

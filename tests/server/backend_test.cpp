@@ -21,7 +21,7 @@ class BackendTest : public ::testing::Test {
   std::pair<UserAccount, SessionId> enroll(std::uint64_t uid, SimTime t) {
     const UserAccount acc = backend_->register_user(UserId{uid}, t);
     const auto conn = backend_->connect(UserId{uid}, t);
-    EXPECT_TRUE(conn.ok);
+    EXPECT_TRUE(conn.ok());
     return {acc, conn.session};
   }
 
@@ -80,7 +80,7 @@ TEST_F(BackendTest, AuthFailureBlocksSession) {
   U1Backend backend(cfg, sink);
   backend.register_user(UserId{5}, 0);
   const auto conn = backend.connect(UserId{5}, kHour);
-  EXPECT_FALSE(conn.ok);
+  EXPECT_FALSE(conn.ok());
   EXPECT_EQ(backend.stats().auth_failures, 1u);
   EXPECT_EQ(backend.fleet().total_open_sessions(), 0u);
   bool saw_fail = false;
@@ -94,27 +94,27 @@ TEST_F(BackendTest, OperationsOnClosedSessionFailGracefully) {
   // connected; the next op must come back ok=false, never throw.
   const auto [acc, sid] = enroll(1, kHour);
   backend_->disconnect(sid, 2 * kHour);
-  EXPECT_FALSE(backend_->list_volumes(sid, 3 * kHour).ok);
-  EXPECT_FALSE(backend_->download(sid, acc.root_dir, 3 * kHour).ok);
+  EXPECT_FALSE(backend_->list_volumes(sid, 3 * kHour).ok());
+  EXPECT_FALSE(backend_->download(sid, acc.root_dir, 3 * kHour).ok());
   EXPECT_FALSE(backend_->make_file(sid, acc.root_volume, acc.root_dir, "f",
                                    "", 3 * kHour)
-                   .ok);
+                   .ok());
   EXPECT_FALSE(backend_->upload(sid, acc.root_dir, Sha1::of("x"), 100, false,
                                 3 * kHour)
-                   .ok);
+                   .ok());
   // Double disconnect is a no-op, not a crash.
-  EXPECT_EQ(backend_->disconnect(sid, 4 * kHour), 4 * kHour);
+  EXPECT_EQ(backend_->disconnect(sid, 4 * kHour).end, 4 * kHour);
 }
 
 TEST_F(BackendTest, SmallUploadSingleShot) {
   const auto [acc, sid] = enroll(1, kHour);
   const auto mk = backend_->make_file(sid, acc.root_volume, acc.root_dir,
                                       "f1", "jpg", kHour);
-  ASSERT_TRUE(mk.ok);
+  ASSERT_TRUE(mk.ok());
   const auto up = backend_->upload(sid, mk.node, Sha1::of("photo"),
                                    512 * 1024, false, mk.end);
-  ASSERT_TRUE(up.ok);
-  EXPECT_FALSE(up.deduplicated);
+  ASSERT_TRUE(up.ok());
+  EXPECT_FALSE(up.deduplicated());
   EXPECT_EQ(up.transferred_bytes, 512u * 1024);
   EXPECT_GT(up.end, mk.end);
   // Single-shot path: no uploadjob involved.
@@ -132,7 +132,7 @@ TEST_F(BackendTest, LargeUploadUsesMultipart) {
   const std::uint64_t size = 12ull * 1024 * 1024;  // 12MB -> 3 parts
   const auto up =
       backend_->upload(sid, mk.node, Sha1::of("big"), size, false, mk.end);
-  ASSERT_TRUE(up.ok);
+  ASSERT_TRUE(up.ok());
   EXPECT_EQ(count_rpcs(RpcOp::kMakeUploadJob), 1u);
   EXPECT_EQ(count_rpcs(RpcOp::kSetUploadJobMultipartId), 1u);
   EXPECT_EQ(count_rpcs(RpcOp::kAddPartToUploadJob), 3u);
@@ -155,8 +155,8 @@ TEST_F(BackendTest, DedupSecondUploadTransfersNothing) {
       backend_->upload(sid, f1.node, song, 4 << 20, false, 2 * kHour);
   const auto up2 =
       backend_->upload(sid, f2.node, song, 4 << 20, false, up1.end);
-  EXPECT_FALSE(up1.deduplicated);
-  EXPECT_TRUE(up2.deduplicated);
+  EXPECT_FALSE(up1.deduplicated());
+  EXPECT_TRUE(up2.deduplicated());
   EXPECT_EQ(up2.transferred_bytes, 0u);
   EXPECT_EQ(backend_->stats().dedup_hits, 1u);
   EXPECT_EQ(backend_->s3().object_count(), 1u);
@@ -220,7 +220,7 @@ TEST_F(BackendTest, DownloadTransfersBytes) {
                                       "f", "pdf", kHour);
   backend_->upload(sid, mk.node, Sha1::of("pdf"), 256 * 1024, false, kHour);
   const auto down = backend_->download(sid, mk.node, 3 * kHour);
-  ASSERT_TRUE(down.ok);
+  ASSERT_TRUE(down.ok());
   EXPECT_EQ(down.transferred_bytes, 256u * 1024);
   EXPECT_EQ(backend_->stats().download_bytes, 256u * 1024);
 }
@@ -230,7 +230,7 @@ TEST_F(BackendTest, DownloadOfEmptyFileFails) {
   const auto mk = backend_->make_file(sid, acc.root_volume, acc.root_dir,
                                       "empty", "", kHour);
   const auto down = backend_->download(sid, mk.node, 2 * kHour);
-  EXPECT_FALSE(down.ok);
+  EXPECT_FALSE(down.ok());
   bool saw_failed = false;
   for (const auto& r : sink_.records()) saw_failed |= r.failed;
   EXPECT_TRUE(saw_failed);
@@ -243,7 +243,7 @@ TEST_F(BackendTest, UnlinkDeletesFromS3) {
   backend_->upload(sid, mk.node, Sha1::of("x"), 1000, false, kHour);
   EXPECT_EQ(backend_->s3().object_count(), 1u);
   const auto res = backend_->unlink(sid, mk.node, 2 * kHour);
-  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.ok());
   EXPECT_EQ(backend_->s3().object_count(), 0u);
 }
 
@@ -266,12 +266,12 @@ TEST_F(BackendTest, StorageDoneCarriesDuration) {
 TEST_F(BackendTest, CreateUdfAndDeleteVolume) {
   const auto [acc, sid] = enroll(1, kHour);
   const auto udf = backend_->create_udf(sid, 2 * kHour);
-  ASSERT_TRUE(udf.ok);
+  ASSERT_TRUE(udf.ok());
   const auto mk = backend_->make_file(sid, udf.volume, udf.root_dir, "f", "",
                                       3 * kHour);
   backend_->upload(sid, mk.node, Sha1::of("z"), 100, false, 3 * kHour);
   const auto del = backend_->delete_volume(sid, udf.volume, 4 * kHour);
-  EXPECT_TRUE(del.ok);
+  EXPECT_TRUE(del.ok());
   EXPECT_EQ(backend_->s3().object_count(), 0u);
   EXPECT_EQ(count_rpcs(RpcOp::kDeleteVolume), 1u);
 }
@@ -283,7 +283,7 @@ TEST_F(BackendTest, MoveEmitsRpc) {
   const auto f = backend_->make_file(sid, acc.root_volume, acc.root_dir, "f",
                                      "", kHour);
   const auto res = backend_->move(sid, f.node, d.node, 2 * kHour);
-  EXPECT_TRUE(res.ok);
+  EXPECT_TRUE(res.ok());
   EXPECT_EQ(count_rpcs(RpcOp::kMove), 1u);
 }
 
@@ -309,10 +309,10 @@ TEST_F(BackendTest, GetDeltaAndRescan) {
   const auto [acc, sid] = enroll(1, kHour);
   backend_->make_file(sid, acc.root_volume, acc.root_dir, "f", "", kHour);
   const auto delta = backend_->get_delta(sid, acc.root_volume, 0, 2 * kHour);
-  EXPECT_TRUE(delta.ok);
+  EXPECT_TRUE(delta.ok());
   const auto rescan =
       backend_->rescan_from_scratch(sid, acc.root_volume, 2 * kHour);
-  EXPECT_TRUE(rescan.ok);
+  EXPECT_TRUE(rescan.ok());
   EXPECT_EQ(count_rpcs(RpcOp::kGetDelta), 1u);
   EXPECT_EQ(count_rpcs(RpcOp::kGetFromScratch), 1u);
 }
@@ -329,7 +329,7 @@ TEST_F(BackendTest, AdminPurgeKillsSessionsAndContent) {
   EXPECT_EQ(backend_->s3().object_count(), 0u);
   // Token revoked: reconnection fails.
   const auto again = backend_->connect(UserId{66}, 6 * kHour);
-  EXPECT_FALSE(again.ok);
+  EXPECT_FALSE(again.ok());
 }
 
 TEST_F(BackendTest, MaintenanceCollectsStaleUploadJobs) {

@@ -1,0 +1,79 @@
+// Envelope-path equivalence oracle (ISSUE 7 acceptance): running the
+// month-in-the-life simulation with every backend call round-tripped
+// through the wire codec (BackendConfig::wire_check) must produce a
+// byte-identical merged trace to the direct-call path, at every thread
+// count. Any divergence means the envelope drops or distorts a field the
+// simulation depends on — the API redesign would not be wire-ready.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/parallel.hpp"
+#include "sim/simulation.hpp"
+#include "trace/sink.hpp"
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+SimulationConfig small_config(bool wire_check) {
+  SimulationConfig cfg;
+  cfg.users = 200;
+  cfg.days = 3;
+  cfg.seed = 20140111;
+  cfg.enable_ddos = true;
+  cfg.backend.wire_check = wire_check;
+  return cfg;
+}
+
+/// SHA-1 over the CSV projection of the merged trace — the same digest
+/// discipline the perf smoke uses.
+Sha1Digest trace_sha1(const SimulationConfig& cfg, std::size_t threads,
+                      SimulationReport* report = nullptr) {
+  InMemorySink sink;
+  ParallelSimulation sim(cfg, sink, threads);
+  const SimulationReport r = sim.run();
+  if (report != nullptr) *report = r;
+  std::string all;
+  for (const TraceRecord& rec : sink.records()) {
+    for (const std::string& field : rec.to_csv()) {
+      all += field;
+      all += ',';
+    }
+    all += '\n';
+  }
+  EXPECT_FALSE(all.empty());
+  return Sha1::of(all);
+}
+
+TEST(EnvelopeEquivalence, WireCheckedTraceIdenticalAtEveryThreadCount) {
+  // One direct-call baseline, then the wire-checked path at 1/2/4/8
+  // threads: five runs, one hash.
+  const Sha1Digest direct = trace_sha1(small_config(false), 1);
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    SimulationReport report;
+    const Sha1Digest wired =
+        trace_sha1(small_config(true), threads, &report);
+    EXPECT_EQ(wired, direct)
+        << "wire_check trace diverged at " << threads << " threads";
+    EXPECT_GT(report.backend.rpcs, 0u);
+  }
+}
+
+TEST(EnvelopeEquivalence, WireCheckLeavesReportCountersUntouched) {
+  SimulationReport direct, wired;
+  (void)trace_sha1(small_config(false), 2, &direct);
+  (void)trace_sha1(small_config(true), 2, &wired);
+  EXPECT_EQ(direct.backend.sessions_opened, wired.backend.sessions_opened);
+  EXPECT_EQ(direct.backend.uploads, wired.backend.uploads);
+  EXPECT_EQ(direct.backend.downloads, wired.backend.downloads);
+  EXPECT_EQ(direct.backend.dedup_hits, wired.backend.dedup_hits);
+  EXPECT_EQ(direct.backend.upload_bytes_wire, wired.backend.upload_bytes_wire);
+  EXPECT_EQ(direct.backend.rpcs, wired.backend.rpcs);
+  EXPECT_EQ(direct.agent_wakeups, wired.agent_wakeups);
+}
+
+}  // namespace
+}  // namespace u1

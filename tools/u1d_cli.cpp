@@ -1,0 +1,156 @@
+// u1d — the UbuntuOne back-end as a real daemon. Serves the Table-2
+// storage protocol over the DESIGN.md §9 wire envelope on a loopback TCP
+// socket; every frame lands in the same U1Backend::call() dispatch the
+// in-process simulation uses, so this is the simulated datacenter behind
+// an actual service boundary.
+//
+// Usage:
+//   u1d [--listen PORT] [--shards N] [--seed S]
+//       [--fault-plan standard|FILE] [--fault-seed S] [--wire-check]
+//
+// Prints "u1d listening on <port>" once ready (PORT 0 = ephemeral, the
+// line reports the resolved port — test harnesses parse it). SIGINT or
+// SIGTERM drains and exits, dumping a JSON stats blob to stdout.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/server.hpp"
+#include "server/backend.hpp"
+#include "trace/sink.hpp"
+
+namespace {
+
+u1::U1dServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--listen PORT] [--shards N] [--seed S]\n"
+               "          [--fault-plan standard|FILE] [--fault-seed S]\n"
+               "          [--wire-check]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace u1;
+
+  NetServerConfig net_cfg;
+  BackendConfig backend_cfg;
+  std::string fault_plan_arg;
+  std::uint64_t fault_seed = 7;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--listen") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      net_cfg.port = static_cast<std::uint16_t>(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      backend_cfg.shards = static_cast<std::size_t>(std::atol(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      backend_cfg.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--fault-plan") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      fault_plan_arg = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--wire-check") {
+      backend_cfg.wire_check = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  NullSink sink;
+  U1Backend backend(backend_cfg, sink);
+
+  // Optional live failover drill: materialize the plan over a 30-day
+  // horizon; window faults act through the injector, crash/outage edges
+  // fire as client virtual time passes them.
+  FaultSchedule schedule;
+  std::unique_ptr<FaultInjector> injector;
+  if (!fault_plan_arg.empty()) {
+    FaultPlan plan;
+    if (fault_plan_arg == "standard") {
+      plan = standard_fault_plan();
+    } else {
+      std::ifstream in(fault_plan_arg);
+      if (!in) {
+        std::fprintf(stderr, "u1d: cannot open fault plan %s\n",
+                     fault_plan_arg.c_str());
+        return 1;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      plan = parse_fault_plan(text.str());
+    }
+    schedule = build_fault_schedule(plan, 30 * kDay,
+                                    backend_cfg.fleet.machines,
+                                    backend_cfg.shards, fault_seed);
+    injector = std::make_unique<FaultInjector>(schedule, fault_seed ^ 0x99);
+    backend.set_fault_injector(injector.get());
+  }
+
+  U1dServer server(backend, net_cfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "u1d: failed to bind 127.0.0.1:%u\n",
+                 static_cast<unsigned>(net_cfg.port));
+    return 1;
+  }
+  if (injector) server.arm_faults(&schedule);
+
+  g_server = &server;
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("u1d listening on %u\n", static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+  server.run();
+
+  const NetServerStats& ns = server.stats();
+  const BackendStats& bs = backend.stats();
+  std::printf(
+      "{\"accepted\": %llu, \"closed\": %llu, \"requests\": %llu, "
+      "\"responses\": %llu, \"protocol_errors\": %llu, \"bytes_in\": %llu, "
+      "\"bytes_out\": %llu, \"faults_applied\": %llu, "
+      "\"sessions_opened\": %llu, \"uploads\": %llu, \"downloads\": %llu, "
+      "\"rpcs\": %llu}\n",
+      static_cast<unsigned long long>(ns.accepted),
+      static_cast<unsigned long long>(ns.closed),
+      static_cast<unsigned long long>(ns.requests),
+      static_cast<unsigned long long>(ns.responses),
+      static_cast<unsigned long long>(ns.protocol_errors),
+      static_cast<unsigned long long>(ns.bytes_in),
+      static_cast<unsigned long long>(ns.bytes_out),
+      static_cast<unsigned long long>(ns.faults_applied),
+      static_cast<unsigned long long>(bs.sessions_opened),
+      static_cast<unsigned long long>(bs.uploads),
+      static_cast<unsigned long long>(bs.downloads),
+      static_cast<unsigned long long>(bs.rpcs));
+  return 0;
+}
