@@ -1,21 +1,37 @@
-// Fault injection + recovery acceptance bench.
+// Fault injection + recovery acceptance bench, in two modes.
 //
-// Runs the standard fault plan (one auth brownout, process crash, S3
-// brownout, shard failover, MQ drop storm and machine outage inside one
-// week) against a 2,000-user population under the shard-parallel engine
-// at 1, 2, 4 and 8 worker threads. The 1-thread run is the determinism
-// oracle: the merged trace must stay byte-identical with faults ON at
-// every thread count. The trace is simultaneously fed to the
-// FaultRecoveryAnalyzer, and the availability / retry-amplification /
-// time-to-recover picture is written to BENCH_fault.json at the repo
-// root.
+// Legacy mode (no --scenario): runs the standard fault plan (one auth
+// brownout, process crash, S3 brownout, shard failover, MQ drop storm
+// and machine outage inside one week) against a 2,000-user population
+// under the shard-parallel engine at 1, 2, 4 and 8 worker threads. The
+// 1-thread run is the determinism oracle: the merged trace must stay
+// byte-identical with faults ON at every thread count. The trace is
+// simultaneously fed to the FaultRecoveryAnalyzer, and the availability
+// / retry-amplification / time-to-recover picture is written to
+// BENCH_fault.json at the repo root.
+//
+// Chaos mode (--scenario <name>|all): replays canned incident scenarios
+// (cascading fault DAGs from src/fault/scenarios.cpp) at the reference
+// scale (1,000 users x 3 days), asserts the merged trace is
+// byte-identical across thread counts, and enforces each scenario's
+// expected-impact band: minimum availability, maximum retry
+// amplification, maximum per-window time-to-recover. Any band violation
+// exits nonzero — this is the chaos-CI gate. The fault seed is
+// randomized (and logged) unless pinned with --fault-seed, so CI walks
+// the seed space over time while every failure stays reproducible.
+//
+//   bench_fault_recovery [--scenario <name>|all] [--fault-seed S]
+//                        [--out PATH]
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "analysis/fault_recovery.hpp"
 #include "bench/bench_util.hpp"
+#include "fault/scenarios.hpp"
 #include "sim/parallel.hpp"
 #include "trace/sink.hpp"
 #include "util/sha1.hpp"
@@ -55,17 +71,290 @@ std::unique_ptr<RunResult> run_once(const u1::SimulationConfig& cfg,
   return out;
 }
 
-}  // namespace
+/// One scenario's verdict: measured metrics plus every band violation,
+/// phrased the way the CI log should show it.
+struct ScenarioVerdict {
+  std::string name;
+  std::string trace_sha1;
+  bool identical = true;
+  double availability = 0;
+  double retry_amplification = 0;
+  double worst_ttr_s = 0;  // -1 when some window never recovered
+  std::uint64_t fault_edges = 0;
+  std::uint64_t sessions_dropped = 0;
+  std::uint64_t shed_connects = 0;
+  std::vector<std::string> violations;
+  std::vector<u1::FaultWindowStats> windows;
+  std::vector<std::unique_ptr<RunResult>> runs;
+};
 
-int main() {
+ScenarioVerdict run_scenario(const u1::IncidentScenario& sc,
+                             std::uint64_t fault_seed) {
+  using namespace u1;
+  using namespace u1::bench;
+  ScenarioVerdict v;
+  v.name = std::string(sc.name);
+
+  auto cfg = standard_config(env_users(1000), env_days(3));
+  apply_incident_scenario(cfg, sc);
+  cfg.fault_seed = fault_seed;
+
+  std::printf("\n--- scenario %s — %s\n", v.name.c_str(),
+              std::string(sc.title).c_str());
+  std::printf("  %s\n", std::string(sc.narrative).c_str());
+  std::printf("  users=%zu days=%d seed=%llu fault_seed=%llu specs=%zu "
+              "slow_start=%.0fs cap=%llu\n",
+              cfg.users, cfg.days,
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(fault_seed),
+              cfg.faults.specs.size(), to_seconds(sc.slow_start),
+              static_cast<unsigned long long>(sc.session_cap));
+
+  for (const std::size_t threads : {1, 4}) {
+    v.runs.push_back(run_once(cfg, threads));
+    const RunResult& r = *v.runs.back();
+    std::printf("  threads=%zu  wall=%8.2fs  records=%llu  sha1=%s\n",
+                r.threads, r.wall_seconds,
+                static_cast<unsigned long long>(r.records),
+                r.trace_sha1.c_str());
+  }
+  for (const auto& r : v.runs)
+    if (r->trace_sha1 != v.runs.front()->trace_sha1) v.identical = false;
+  v.trace_sha1 = v.runs.front()->trace_sha1;
+  if (!v.identical)
+    v.violations.push_back("trace SHA-1 differs across thread counts");
+
+  const FaultRecoveryAnalyzer& fr = v.runs.front()->recovery;
+  v.availability = fr.availability();
+  v.retry_amplification = fr.retry_amplification();
+  v.fault_edges = fr.fault_edges();
+  v.sessions_dropped = fr.sessions_dropped();
+  v.shed_connects = fr.shed_connects();
+  v.windows = fr.windows();
+  for (const FaultWindowStats& w : v.windows) {
+    const double ttr =
+        w.time_to_recover < 0 ? -1.0 : to_seconds(w.time_to_recover);
+    if (ttr < 0) {
+      v.worst_ttr_s = -1.0;
+    } else if (v.worst_ttr_s >= 0 && ttr > v.worst_ttr_s) {
+      v.worst_ttr_s = ttr;
+    }
+  }
+
+  char buf[160];
+  const ScenarioBand& band = sc.band;
+  if (v.availability < band.min_availability) {
+    std::snprintf(buf, sizeof buf, "availability %.4f < band min %.4f",
+                  v.availability, band.min_availability);
+    v.violations.push_back(buf);
+  }
+  if (v.retry_amplification > band.max_retry_amplification) {
+    std::snprintf(buf, sizeof buf,
+                  "retry_amplification %.3f > band max %.3f",
+                  v.retry_amplification, band.max_retry_amplification);
+    v.violations.push_back(buf);
+  }
+  for (const FaultWindowStats& w : v.windows) {
+    const double ttr =
+        w.time_to_recover < 0 ? -1.0 : to_seconds(w.time_to_recover);
+    if (ttr < 0) {
+      std::snprintf(buf, sizeof buf, "window %s never recovered",
+                    w.label.c_str());
+      v.violations.push_back(buf);
+    } else if (ttr > band.max_time_to_recover_s) {
+      std::snprintf(buf, sizeof buf,
+                    "window %s time-to-recover %.1fs > band max %.1fs",
+                    w.label.c_str(), ttr, band.max_time_to_recover_s);
+      v.violations.push_back(buf);
+    }
+  }
+
+  std::printf("  fault edges applied: %llu\n",
+              static_cast<unsigned long long>(v.fault_edges));
+  std::printf("  availability=%.4f (band >= %.4f)  "
+              "retry_amplification=%.3f (band <= %.3f)\n",
+              v.availability, band.min_availability, v.retry_amplification,
+              band.max_retry_amplification);
+  for (const FaultWindowStats& w : v.windows)
+    std::printf("  %-26s begin=%8.0fs dur=%6.0fs failed_ops=%6llu "
+                "recover=%+.1fs\n",
+                w.label.c_str(), to_seconds(w.begin),
+                to_seconds(w.end - w.begin),
+                static_cast<unsigned long long>(w.failed_ops_during),
+                w.time_to_recover < 0 ? -1.0 : to_seconds(w.time_to_recover));
+  if (v.violations.empty()) {
+    std::printf("  band: PASS\n");
+  } else {
+    for (const std::string& viol : v.violations)
+      std::printf("  band: FAIL — %s\n", viol.c_str());
+  }
+  return v;
+}
+
+void write_windows(FILE* f, const std::vector<u1::FaultWindowStats>& windows,
+                   const char* indent) {
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const u1::FaultWindowStats& w = windows[i];
+    std::fprintf(f,
+                 "%s{\"label\": \"%s\", \"begin_s\": %.0f, "
+                 "\"duration_s\": %.0f, \"failed_ops\": %llu, "
+                 "\"time_to_recover_s\": %.3f}%s\n",
+                 indent, w.label.c_str(), u1::to_seconds(w.begin),
+                 u1::to_seconds(w.end - w.begin),
+                 static_cast<unsigned long long>(w.failed_ops_during),
+                 w.time_to_recover < 0 ? -1.0
+                                       : u1::to_seconds(w.time_to_recover),
+                 i + 1 < windows.size() ? "," : "");
+  }
+}
+
+void write_runs(FILE* f,
+                const std::vector<std::unique_ptr<RunResult>>& runs,
+                const char* indent) {
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const RunResult& rr = *runs[i];
+    std::fprintf(f,
+                 "%s{\"threads\": %zu, \"wall_seconds\": %.3f, "
+                 "\"records\": %llu, \"trace_sha1\": \"%s\"}%s\n",
+                 indent, rr.threads, rr.wall_seconds,
+                 static_cast<unsigned long long>(rr.records),
+                 rr.trace_sha1.c_str(), i + 1 < runs.size() ? "," : "");
+  }
+}
+
+std::string default_out_path() {
+#ifdef U1SIM_REPO_ROOT
+  return std::string(U1SIM_REPO_ROOT) + "/BENCH_fault.json";
+#else
+  return "BENCH_fault.json";
+#endif
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--scenario NAME|all] [--fault-seed S] "
+               "[--out PATH]\n",
+               argv0);
+  return 2;
+}
+
+int run_chaos_mode(const std::string& which, std::uint64_t fault_seed,
+                   bool seed_pinned, const std::string& out_path) {
+  using namespace u1;
+  using namespace u1::bench;
+
+  header("Chaos CI", "Canned incident scenarios vs expected-impact bands");
+  std::printf("  fault_seed=%llu (%s)\n",
+              static_cast<unsigned long long>(fault_seed),
+              seed_pinned ? "pinned via --fault-seed"
+                          : "randomized — rerun with --fault-seed to "
+                            "reproduce");
+
+  std::vector<const IncidentScenario*> selected;
+  if (which == "all") {
+    for (const IncidentScenario& sc : incident_scenarios())
+      selected.push_back(&sc);
+  } else {
+    const IncidentScenario* sc = find_incident_scenario(which);
+    if (sc == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (known:", which.c_str());
+      for (const IncidentScenario& s : incident_scenarios())
+        std::fprintf(stderr, " %s", std::string(s.name).c_str());
+      std::fprintf(stderr, " all)\n");
+      return 2;
+    }
+    selected.push_back(sc);
+  }
+
+  std::vector<ScenarioVerdict> verdicts;
+  for (const IncidentScenario* sc : selected)
+    verdicts.push_back(run_scenario(*sc, fault_seed));
+
+  bool all_pass = true;
+  std::printf("\n  %-28s %-12s %-6s\n", "scenario", "trace", "band");
+  for (const ScenarioVerdict& v : verdicts) {
+    if (!v.violations.empty()) all_pass = false;
+    std::printf("  %-28s %-12s %s\n", v.name.c_str(),
+                v.identical ? "identical" : "DIVERGED",
+                v.violations.empty() ? "PASS" : "FAIL");
+  }
+
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"fault_recovery_chaos\",\n");
+    std::fprintf(f, "  \"fault_seed\": %llu,\n",
+                 static_cast<unsigned long long>(fault_seed));
+    std::fprintf(f, "  \"fault_seed_pinned\": %s,\n",
+                 seed_pinned ? "true" : "false");
+    std::fprintf(f, "  \"all_bands_pass\": %s,\n",
+                 all_pass ? "true" : "false");
+    std::fprintf(f, "  \"scenarios\": [\n");
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      const ScenarioVerdict& v = verdicts[i];
+      const IncidentScenario* sc = find_incident_scenario(v.name);
+      std::fprintf(f, "    {\n");
+      std::fprintf(f, "      \"name\": \"%s\",\n", v.name.c_str());
+      std::fprintf(f, "      \"trace_byte_identical\": %s,\n",
+                   v.identical ? "true" : "false");
+      std::fprintf(f, "      \"trace_sha1\": \"%s\",\n",
+                   v.trace_sha1.c_str());
+      std::fprintf(f, "      \"fault_edges\": %llu,\n",
+                   static_cast<unsigned long long>(v.fault_edges));
+      std::fprintf(f, "      \"availability\": %.6f,\n", v.availability);
+      std::fprintf(f, "      \"retry_amplification\": %.4f,\n",
+                   v.retry_amplification);
+      std::fprintf(f, "      \"worst_time_to_recover_s\": %.3f,\n",
+                   v.worst_ttr_s);
+      std::fprintf(f, "      \"sessions_dropped\": %llu,\n",
+                   static_cast<unsigned long long>(v.sessions_dropped));
+      std::fprintf(f, "      \"shed_connects\": %llu,\n",
+                   static_cast<unsigned long long>(v.shed_connects));
+      std::fprintf(f,
+                   "      \"band\": {\"min_availability\": %.4f, "
+                   "\"max_retry_amplification\": %.4f, "
+                   "\"max_time_to_recover_s\": %.1f},\n",
+                   sc->band.min_availability,
+                   sc->band.max_retry_amplification,
+                   sc->band.max_time_to_recover_s);
+      std::fprintf(f, "      \"violations\": [");
+      for (std::size_t j = 0; j < v.violations.size(); ++j)
+        std::fprintf(f, "%s\"%s\"", j == 0 ? "" : ", ",
+                     v.violations[j].c_str());
+      std::fprintf(f, "],\n");
+      std::fprintf(f, "      \"windows\": [\n");
+      write_windows(f, v.windows, "        ");
+      std::fprintf(f, "      ],\n");
+      std::fprintf(f, "      \"runs\": [\n");
+      write_runs(f, v.runs, "        ");
+      std::fprintf(f, "      ]\n");
+      std::fprintf(f, "    }%s\n", i + 1 < verdicts.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("  could not open %s for writing\n", out_path.c_str());
+  }
+
+  if (!all_pass)
+    std::printf("\n  CHAOS GATE FAILED — reproduce with --fault-seed %llu\n",
+                static_cast<unsigned long long>(fault_seed));
+  return all_pass ? 0 : 1;
+}
+
+int run_legacy_mode(const std::string& out_path) {
   using namespace u1;
   using namespace u1::bench;
   auto cfg = standard_config(env_users(2000), env_days(7));
   if (cfg.faults.empty()) cfg.faults = standard_fault_plan();
+  const std::uint64_t fault_seed = effective_fault_seed(cfg);
 
   header("Fault recovery", "Standard fault plan: availability & recovery");
-  std::printf("  users=%zu days=%d seed=%llu fault_specs=%zu\n", cfg.users,
-              cfg.days, static_cast<unsigned long long>(cfg.seed),
+  std::printf("  users=%zu days=%d seed=%llu fault_seed=%llu "
+              "fault_specs=%zu\n",
+              cfg.users, cfg.days,
+              static_cast<unsigned long long>(cfg.seed),
+              static_cast<unsigned long long>(fault_seed),
               cfg.faults.specs.size());
 
   std::vector<std::unique_ptr<RunResult>> runs;
@@ -111,18 +400,15 @@ int main() {
                 w.time_to_recover < 0 ? -1.0 : to_seconds(w.time_to_recover));
   }
 
-#ifdef U1SIM_REPO_ROOT
-  const std::string path = std::string(U1SIM_REPO_ROOT) + "/BENCH_fault.json";
-#else
-  const std::string path = "BENCH_fault.json";
-#endif
-  if (FILE* f = std::fopen(path.c_str(), "w")) {
+  if (FILE* f = std::fopen(out_path.c_str(), "w")) {
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"fault_recovery\",\n");
     std::fprintf(f, "  \"users\": %zu,\n", cfg.users);
     std::fprintf(f, "  \"days\": %d,\n", cfg.days);
     std::fprintf(f, "  \"seed\": %llu,\n",
                  static_cast<unsigned long long>(cfg.seed));
+    std::fprintf(f, "  \"fault_seed\": %llu,\n",
+                 static_cast<unsigned long long>(fault_seed));
     std::fprintf(f, "  \"fault_specs\": %zu,\n", cfg.faults.specs.size());
     std::fprintf(f, "  \"trace_byte_identical\": %s,\n",
                  identical ? "true" : "false");
@@ -142,36 +428,60 @@ int main() {
                  static_cast<unsigned long long>(
                      r.report.backend.resumed_uploads));
     std::fprintf(f, "  \"windows\": [\n");
-    const auto& windows = fr.windows();
-    for (std::size_t i = 0; i < windows.size(); ++i) {
-      const FaultWindowStats& w = windows[i];
-      std::fprintf(f,
-                   "    {\"label\": \"%s\", \"begin_s\": %.0f, "
-                   "\"duration_s\": %.0f, \"failed_ops\": %llu, "
-                   "\"time_to_recover_s\": %.3f}%s\n",
-                   w.label.c_str(), to_seconds(w.begin),
-                   to_seconds(w.end - w.begin),
-                   static_cast<unsigned long long>(w.failed_ops_during),
-                   w.time_to_recover < 0 ? -1.0
-                                         : to_seconds(w.time_to_recover),
-                   i + 1 < windows.size() ? "," : "");
-    }
+    write_windows(f, fr.windows(), "    ");
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"runs\": [\n");
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const RunResult& rr = *runs[i];
-      std::fprintf(f,
-                   "    {\"threads\": %zu, \"wall_seconds\": %.3f, "
-                   "\"records\": %llu, \"trace_sha1\": \"%s\"}%s\n",
-                   rr.threads, rr.wall_seconds,
-                   static_cast<unsigned long long>(rr.records),
-                   rr.trace_sha1.c_str(), i + 1 < runs.size() ? "," : "");
-    }
+    write_runs(f, runs, "    ");
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
-    std::printf("  wrote %s\n", path.c_str());
+    std::printf("  wrote %s\n", out_path.c_str());
   } else {
-    std::printf("  could not open %s for writing\n", path.c_str());
+    std::printf("  could not open %s for writing\n", out_path.c_str());
   }
   return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::string out_path = default_out_path();
+  std::uint64_t fault_seed = 0;
+  bool seed_pinned = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      scenario = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      fault_seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+      seed_pinned = true;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      out_path = v;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (scenario.empty()) return run_legacy_mode(out_path);
+
+  if (!seed_pinned || fault_seed == 0) {
+    // Randomized-but-logged: walk the seed space across CI runs while
+    // keeping every failure reproducible from the log line.
+    const auto now = std::chrono::system_clock::now().time_since_epoch();
+    fault_seed =
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::seconds>(now).count()) |
+        1;  // fault_seed 0 means "derive from sim seed" — never emit it
+  }
+  return run_chaos_mode(scenario, fault_seed, seed_pinned, out_path);
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "fault/fault_plan.hpp"
+#include "fault/scenarios.hpp"
 #include "sim/parallel.hpp"
 #include "sim/simulation.hpp"
 #include "trace/sink.hpp"
@@ -62,19 +63,34 @@ inline std::size_t env_threads(std::size_t fallback = 0) {
 }
 
 /// Fault plan from the U1SIM_FAULTS environment knob: unset/""/"0" =
-/// faults off; "1"/"standard" = the standard acceptance plan; anything
-/// else = path to a fault-plan file (same grammar as --fault-plan).
+/// faults off; "1"/"standard" = the standard acceptance plan; a canned
+/// incident-scenario name (optionally @-prefixed, e.g. "retry_storm" or
+/// "@rolling_restart") = that scenario's plan; anything else = path to a
+/// fault-plan file (same grammar as --fault-plan).
 inline FaultPlan env_fault_plan() {
   const char* v = std::getenv("U1SIM_FAULTS");
   if (v == nullptr || *v == '\0' || std::string_view(v) == "0") return {};
   if (std::string_view(v) == "1" || std::string_view(v) == "standard")
     return standard_fault_plan();
+  std::string_view name(v);
+  if (!name.empty() && name.front() == '@') name.remove_prefix(1);
+  if (const IncidentScenario* sc = find_incident_scenario(name))
+    return parse_fault_plan(sc->plan_text);
   std::ifstream in(v);
   if (!in)
     throw std::runtime_error(std::string("U1SIM_FAULTS: cannot open ") + v);
   std::ostringstream text;
   text << in.rdbuf();
   return parse_fault_plan(text.str());
+}
+
+/// Applies a canned scenario to a config: its fault plan plus the
+/// backend posture it assumes (slow-start window, per-process cap).
+inline void apply_incident_scenario(SimulationConfig& cfg,
+                                    const IncidentScenario& sc) {
+  cfg.faults = parse_fault_plan(sc.plan_text);
+  cfg.backend.fleet.slow_start = sc.slow_start;
+  cfg.backend.session_cap_per_process = sc.session_cap;
 }
 
 inline SimulationConfig standard_config(std::size_t users, int days,
@@ -85,6 +101,15 @@ inline SimulationConfig standard_config(std::size_t users, int days,
   cfg.seed = 20140111;
   cfg.enable_ddos = ddos;
   cfg.faults = env_fault_plan();
+  // A scenario name in U1SIM_FAULTS also sets the posture it assumes.
+  if (const char* v = std::getenv("U1SIM_FAULTS")) {
+    std::string_view name(v);
+    if (!name.empty() && name.front() == '@') name.remove_prefix(1);
+    if (const IncidentScenario* sc = find_incident_scenario(name)) {
+      cfg.backend.fleet.slow_start = sc->slow_start;
+      cfg.backend.session_cap_per_process = sc->session_cap;
+    }
+  }
   return cfg;
 }
 

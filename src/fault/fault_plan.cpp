@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "util/rng.hpp"
 
@@ -52,6 +54,15 @@ std::uint64_t parse_u64(const std::string& text) {
   return v;
 }
 
+/// Probability keys (p, error, reject, drop) must be actual
+/// probabilities; an out-of-range value is a script bug, not a knob.
+double parse_prob(const std::string& text) {
+  const double v = parse_double(text);
+  if (v < 0.0 || v > 1.0)
+    throw std::invalid_argument("probability outside [0,1]: " + text);
+  return v;
+}
+
 FaultSpec parse_spec_line(const std::string& line, std::size_t line_no) {
   std::istringstream in(line);
   std::string kind_word;
@@ -63,6 +74,8 @@ FaultSpec parse_spec_line(const std::string& line, std::size_t line_no) {
   }
   FaultSpec spec;
   spec.kind = *kind;
+  spec.line = line_no;
+  std::set<std::string> seen;
   std::string token;
   while (in >> token) {
     const std::size_t eq = token.find('=');
@@ -74,18 +87,36 @@ FaultSpec parse_spec_line(const std::string& line, std::size_t line_no) {
     const std::string key = token.substr(0, eq);
     const std::string val = token.substr(eq + 1);
     try {
+      if (!seen.insert(key).second)
+        throw std::invalid_argument("duplicate key '" + key + "'");
       if (key == "t") spec.at = parse_duration(val);
       else if (key == "dur") spec.duration = parse_duration(val);
       else if (key == "rate") spec.rate_per_day = parse_double(val);
       else if (key == "machine") spec.machine = parse_u64(val);
       else if (key == "shard") spec.shard = parse_u64(val);
       else if (key == "slot") spec.slot = parse_u64(val);
-      else if (key == "error") spec.error_rate = parse_double(val);
+      else if (key == "error") spec.error_rate = parse_prob(val);
       else if (key == "slow") spec.slow_factor = parse_double(val);
-      else if (key == "reject") spec.reject_prob = parse_double(val);
-      else if (key == "drop") spec.drop_prob = parse_double(val);
-      else
+      else if (key == "reject") spec.reject_prob = parse_prob(val);
+      else if (key == "drop") spec.drop_prob = parse_prob(val);
+      else if (key == "id") {
+        if (val.empty()) throw std::invalid_argument("empty id=");
+        spec.id = val;
+      } else if (key == "after") {
+        if (val.empty()) throw std::invalid_argument("empty after=");
+        spec.after = val;
+      } else if (key == "p") {
+        spec.trigger_prob = parse_prob(val);
+      } else if (key == "delay") {
+        spec.trigger_delay = parse_duration(val);
+      } else if (key == "on") {
+        if (val == "begin") spec.after_end = false;
+        else if (val == "end") spec.after_end = true;
+        else throw std::invalid_argument("on= must be begin or end, got '" +
+                                         val + "'");
+      } else {
         throw std::invalid_argument("unknown key '" + key + "'");
+      }
     } catch (const std::invalid_argument& e) {
       throw std::invalid_argument("fault plan line " +
                                   std::to_string(line_no) + ": " + e.what());
@@ -95,7 +126,22 @@ FaultSpec parse_spec_line(const std::string& line, std::size_t line_no) {
     throw std::invalid_argument("fault plan line " + std::to_string(line_no) +
                                 ": dur= is required and must be > 0");
   }
+  if (spec.after.empty()) {
+    for (const char* key : {"p", "delay", "on"}) {
+      if (seen.count(key) != 0)
+        throw std::invalid_argument("fault plan line " +
+                                    std::to_string(line_no) + ": " + key +
+                                    "= requires after=");
+    }
+  }
   return spec;
+}
+
+/// "fault plan line 3" / "fault plan spec #2" (programmatic, line 0).
+std::string spec_where(const FaultSpec& spec, std::size_t index) {
+  if (spec.line != 0)
+    return "fault plan line " + std::to_string(spec.line);
+  return "fault plan spec #" + std::to_string(index + 1);
 }
 
 }  // namespace
@@ -138,7 +184,50 @@ FaultPlan parse_fault_plan(std::string_view text) {
     if (first == std::string::npos) continue;  // blank / comment-only
     plan.specs.push_back(parse_spec_line(line, line_no));
   }
+  (void)fault_plan_parents(plan);  // reject bad ids / cycles at parse time
   return plan;
+}
+
+std::vector<std::size_t> fault_plan_parents(const FaultPlan& plan) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t n = plan.specs.size();
+  std::unordered_map<std::string, std::size_t> by_id;
+  for (std::size_t s = 0; s < n; ++s) {
+    const FaultSpec& spec = plan.specs[s];
+    if (spec.id.empty()) continue;
+    if (!by_id.emplace(spec.id, s).second)
+      throw std::invalid_argument(spec_where(spec, s) + ": duplicate id '" +
+                                  spec.id + "'");
+  }
+  std::vector<std::size_t> parent(n, npos);
+  for (std::size_t s = 0; s < n; ++s) {
+    const FaultSpec& spec = plan.specs[s];
+    if (spec.after.empty()) continue;
+    if (spec.rate_per_day > 0)
+      throw std::invalid_argument(spec_where(spec, s) +
+                                  ": rate= cannot be combined with after=");
+    const auto it = by_id.find(spec.after);
+    if (it == by_id.end())
+      throw std::invalid_argument(spec_where(spec, s) +
+                                  ": after= references unknown id '" +
+                                  spec.after + "'");
+    if (it->second == s)
+      throw std::invalid_argument(spec_where(spec, s) + ": id '" + spec.id +
+                                  "' depends on itself");
+    parent[s] = it->second;
+  }
+  // Cycle check: walk each parent chain; a chain longer than n specs must
+  // have revisited one.
+  for (std::size_t s = 0; s < n; ++s) {
+    std::size_t hops = 0;
+    for (std::size_t q = parent[s]; q != npos; q = parent[q]) {
+      if (++hops > n)
+        throw std::invalid_argument(spec_where(plan.specs[s], s) +
+                                    ": dependency cycle through id '" +
+                                    plan.specs[s].after + "'");
+    }
+  }
+  return parent;
 }
 
 FaultPlan standard_fault_plan() {
@@ -157,27 +246,72 @@ FaultSchedule build_fault_schedule(const FaultPlan& plan, SimTime horizon,
                                    std::size_t machine_count,
                                    std::size_t shard_count,
                                    std::uint64_t seed) {
-  FaultSchedule schedule;
-  std::size_t next_id = 0;
-  for (std::size_t s = 0; s < plan.specs.size(); ++s) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  const std::size_t n = plan.specs.size();
+  const std::vector<std::size_t> parent = fault_plan_parents(plan);
+
+  // Parents must materialize before their children; Kahn's algorithm with
+  // lowest-index-first selection keeps the pass deterministic. (Cycles
+  // were rejected by fault_plan_parents.)
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  while (order.size() < n) {
+    for (std::size_t s = 0; s < n; ++s) {
+      if (placed[s] || (parent[s] != npos && !placed[parent[s]])) continue;
+      placed[s] = 1;
+      order.push_back(s);
+    }
+  }
+
+  // Per-spec streams: adding or reordering specs never perturbs the
+  // draws made for the others. Each stream is consumed in two phases —
+  // window starts (Poisson arrivals / edge-trigger draws) first, then
+  // per-occurrence target draws — so an edited p= or delay= can never
+  // shift a sibling's arrivals.
+  std::vector<Rng> rngs;
+  rngs.reserve(n);
+  for (std::size_t s = 0; s < n; ++s)
+    rngs.emplace_back(seed ^ ((s + 1) * 0x9e3779b97f4a7c15ull));
+
+  std::vector<std::vector<SimTime>> starts(n);
+  for (const std::size_t s : order) {
     const FaultSpec& spec = plan.specs[s];
-    // Per-spec stream: adding or reordering specs never perturbs the
-    // arrivals drawn for the others.
-    Rng rng(seed ^ ((s + 1) * 0x9e3779b97f4a7c15ull));
-    std::vector<SimTime> starts;
-    if (spec.rate_per_day > 0) {
+    Rng& rng = rngs[s];
+    if (parent[s] != npos) {
+      // One trigger draw per parent occurrence, fired or not, so the
+      // schedule beyond an edge stays stable when p= is tuned.
+      for (const SimTime pstart : starts[parent[s]]) {
+        const double u = rng.uniform();
+        if (u >= spec.trigger_prob) continue;
+        const SimTime anchor =
+            spec.after_end ? pstart + plan.specs[parent[s]].duration : pstart;
+        const SimTime at = anchor + spec.trigger_delay;
+        if (at >= horizon) continue;
+        starts[s].push_back(at);
+      }
+    } else if (spec.rate_per_day > 0) {
       const double mean_gap_s = 86400.0 / spec.rate_per_day;
       double t_s = 0;
       for (;;) {
         t_s += -mean_gap_s * std::log(1.0 - rng.uniform());
         const SimTime at = from_seconds(t_s);
         if (at >= horizon) break;
-        starts.push_back(at);
+        starts[s].push_back(at);
       }
     } else if (spec.at < horizon) {
-      starts.push_back(spec.at);
+      starts[s].push_back(spec.at);
     }
-    for (const SimTime at : starts) {
+  }
+
+  // Materialize in textual spec order so window ids (and the trace's
+  // fault labels) are independent of the topological pass above.
+  FaultSchedule schedule;
+  std::size_t next_id = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    const FaultSpec& spec = plan.specs[s];
+    Rng& rng = rngs[s];
+    for (const SimTime at : starts[s]) {
       FaultEvent ev;
       ev.id = next_id++;
       ev.kind = spec.kind;

@@ -1,14 +1,18 @@
 // Deterministic fault model. A FaultPlan is a small script of failure
 // windows — process crashes, machine outages, shard master failovers, S3
 // brownouts, MQ notification drops and auth-service brownouts — either
-// pinned to absolute times or drawn as seeded Poisson arrivals. The plan
-// is materialized ONCE into a FaultSchedule (a sorted list of begin/end
+// pinned to absolute times, drawn as seeded Poisson arrivals, or
+// triggered by another spec through a dependency edge (`after=<id>`),
+// which is how multi-stage incidents (an S3 brownout whose retry storm
+// later crashes API processes) are scripted as a DAG. The plan is
+// materialized ONCE into a FaultSchedule (a sorted list of begin/end
 // events) before the simulation starts, so every engine and every worker
 // thread sees the same fault timeline; per-event randomness (victim
-// machine, shard, arrival times) is drawn here from the fault seed and
-// never from the simulation streams.
+// machine, shard, arrival times, edge-trigger draws) is drawn here from
+// the fault seed and never from the simulation streams.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -39,6 +43,20 @@ struct FaultSpec {
   /// > 0: seeded Poisson arrivals at this daily rate over the horizon,
   /// each occurrence lasting `duration`, instead of one window at `at`.
   double rate_per_day = 0;
+  /// Optional label (`id=`) other specs can reference via `after=`.
+  std::string id;
+  /// Dependency edge: when set, this spec fires off every occurrence of
+  /// the spec labeled `after` instead of at `at` / Poisson arrivals.
+  /// Mutually exclusive with `rate=`.
+  std::string after;
+  /// Anchor of the edge: the parent window's begin (default) or its end
+  /// (`on=end`) — e.g. a failback stampede starts when the outage lifts.
+  bool after_end = false;
+  double trigger_prob = 1.0;   // `p=`: P(child fires per parent occurrence)
+  SimTime trigger_delay = 0;   // `delay=`: gap from the anchor to our begin
+  /// 1-based source line, kept for DAG-validation error messages
+  /// ("after= references unknown id ..."); 0 for programmatic specs.
+  std::size_t line = 0;
   std::uint64_t machine = 0;  // 1-based target; 0 = drawn from fault seed
   std::uint64_t shard = 0;    // 1-based target shard; 0 = drawn
   /// Which of the victim machine's live processes crashes (crash only);
@@ -58,10 +76,20 @@ struct FaultPlan {
 /// Parses the --fault-plan text format: one fault per line,
 ///   <kind> key=value ...
 /// with keys t, dur, rate (per day), machine, shard, slot, error, slow,
-/// reject, drop. Times accept s/m/h/d suffixes ("36h", "90m", "2d12h").
+/// reject, drop — plus the incident-DAG keys id, after, on (begin|end),
+/// p and delay. Times accept s/m/h/d suffixes ("36h", "90m", "2d12h").
 /// '#' starts a comment. Throws std::invalid_argument with the offending
-/// line on malformed input.
+/// line on malformed input: duplicate keys, probabilities outside [0,1],
+/// rate= mixed with after=, unknown after= ids and dependency cycles.
 FaultPlan parse_fault_plan(std::string_view text);
+
+/// Resolves each spec's `after` reference to a spec index
+/// (FaultPlan::specs order; npos for roots). Throws std::invalid_argument
+/// naming the offending line on duplicate ids, unknown references, edges
+/// mixed with rate=, or dependency cycles. parse_fault_plan calls this;
+/// build_fault_schedule re-validates so programmatic plans get the same
+/// guarantees.
+std::vector<std::size_t> fault_plan_parents(const FaultPlan& plan);
 
 /// The acceptance-criteria plan used by bench_fault_recovery and the
 /// U1SIM_FAULTS=standard knob: one of every fault kind inside a 7-day
@@ -86,10 +114,14 @@ struct FaultEvent {
 
 using FaultSchedule = std::vector<FaultEvent>;
 
-/// Materializes a plan against a horizon: expands Poisson specs, draws
+/// Materializes a plan against a horizon: expands Poisson specs, fires
+/// dependency edges (one trigger draw per parent occurrence, whether or
+/// not the edge fires, so editing p= never shifts later draws), draws
 /// unset machine/shard targets, assigns window ids and returns begin/end
 /// events sorted by (time, id, begin-first). Pure function of its
-/// arguments — every group and engine derives the identical schedule.
+/// arguments — every group, engine and the u1d live server derive the
+/// identical timeline. Throws std::invalid_argument on DAG violations
+/// (unknown after= ids, cycles).
 FaultSchedule build_fault_schedule(const FaultPlan& plan, SimTime horizon,
                                    std::size_t machine_count,
                                    std::size_t shard_count,

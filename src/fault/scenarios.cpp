@@ -1,0 +1,136 @@
+#include "fault/scenarios.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace u1 {
+namespace {
+
+// Scenario scripts live here as plan text (the same grammar users write)
+// so the registry doubles as documentation and the parser is exercised
+// on every load. Timelines fit inside a 3-day horizon — the chaos-CI
+// reference run — with every window ending well before the horizon so
+// time-to-recover is always observable.
+//
+// Bands were calibrated by sweeping fault seeds at the reference scale
+// (1,000 users × 3 days, bench_fault_recovery --scenario) and leaving
+// roughly 2× margin on the worst observation; they are meant to catch
+// regressions in the recovery paths (a stampeded failback, a retry loop
+// without backoff), not to pin exact values.
+
+const std::vector<IncidentScenario>& registry() {
+  static const std::vector<IncidentScenario> scenarios = {
+      {
+          "regional_outage_failback",
+          "Regional outage with slow-start failback",
+          "A rack power event takes machine 2 dark and, through the "
+          "shared uplink, browns out the regional S3 endpoint moments "
+          "later. Every session pinned to the machine drops at once and "
+          "reconnects elsewhere. When power returns the machine rejoins "
+          "with zero open sessions; the balancer's slow-start ramp "
+          "re-admits it gradually instead of stampeding the cold "
+          "processes — except one process that flaps during warm-up.",
+          "machine_outage id=outage t=1d10h dur=40m machine=2\n"
+          "s3_brownout   after=outage on=begin p=1 delay=2m dur=30m "
+          "error=0.2 slow=3\n"
+          "process_crash after=outage on=end p=1 delay=5m dur=15m "
+          "machine=2 slot=3\n",
+          15 * kMinute,
+          0,
+          {0.995, 1.10, 900.0},
+      },
+      {
+          "retry_storm",
+          "S3 brownout feeding a retry storm over the session cap",
+          "An S3 brownout inflates upload latencies and error rates; "
+          "clients retry with capped-exponential backoff, and the "
+          "amplified connection load pushes API processes over the "
+          "per-process session cap. The balancer sheds (try-again) while "
+          "two overloaded processes crash outright mid-window. Recovery "
+          "depends on backoff spreading the retries and the slow-start "
+          "ramp protecting the respawned processes.",
+          "s3_brownout   id=storm t=1d11h dur=1h error=0.45 slow=6\n"
+          "process_crash after=storm on=begin p=1 delay=20m dur=30m "
+          "machine=4 slot=2\n"
+          "process_crash after=storm on=begin p=0.7 delay=35m dur=25m "
+          "machine=5 slot=1\n",
+          10 * kMinute,
+          90,
+          {0.99, 1.10, 900.0},
+      },
+      {
+          "cache_stampede",
+          "Token-cache flush stampeding auth and the metadata shards",
+          "A token-cache flush forces every new session through the SSO "
+          "backend, which browns out under the herd. Sessions that do "
+          "get through arrive with cold metadata caches, driving two "
+          "shard masters into failover (inflated service times, rejected "
+          "writes). As the auth window lifts, the notification fabric "
+          "sheds a fraction of publishes while its queues drain.",
+          "auth_brownout  id=stampede t=12h dur=30m error=0.6\n"
+          "shard_failover after=stampede on=begin p=1 delay=10m dur=45m "
+          "shard=1 slow=8 reject=0.3\n"
+          "shard_failover after=stampede on=begin p=0.6 delay=15m dur=30m "
+          "shard=3 slow=4 reject=0.15\n"
+          "mq_drop        after=stampede on=end p=1 dur=20m drop=0.5\n",
+          0,
+          0,
+          {0.995, 1.10, 900.0},
+      },
+      {
+          "rolling_restart",
+          "Maintenance rolling a restart across the fleet",
+          "Planned maintenance restarts one process per machine, one "
+          "machine at a time, each wave starting a few minutes after the "
+          "previous one finishes. Sessions on the restarting process "
+          "drop and re-place; the slow-start ramp re-admits each "
+          "respawned process gradually. The availability dip should be "
+          "barely measurable — this scenario is the control that chaos "
+          "CI stays honest at the quiet end of the band.",
+          "process_crash id=r1 t=1d12h dur=12m machine=1 slot=0\n"
+          "process_crash id=r2 after=r1 on=end p=1 delay=3m dur=12m "
+          "machine=2 slot=0\n"
+          "process_crash id=r3 after=r2 on=end p=1 delay=3m dur=12m "
+          "machine=3 slot=0\n"
+          "process_crash id=r4 after=r3 on=end p=1 delay=3m dur=12m "
+          "machine=4 slot=0\n"
+          "process_crash id=r5 after=r4 on=end p=1 delay=3m dur=12m "
+          "machine=5 slot=0\n"
+          "process_crash id=r6 after=r5 on=end p=1 delay=3m dur=12m "
+          "machine=6 slot=0\n",
+          10 * kMinute,
+          0,
+          {0.998, 1.05, 600.0},
+      },
+  };
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<IncidentScenario>& incident_scenarios() {
+  return registry();
+}
+
+const IncidentScenario* find_incident_scenario(std::string_view name) {
+  for (const IncidentScenario& sc : registry())
+    if (sc.name == name) return &sc;
+  return nullptr;
+}
+
+FaultPlan incident_plan(std::string_view name) {
+  const IncidentScenario* sc = find_incident_scenario(name);
+  if (sc == nullptr) {
+    std::string known;
+    for (const IncidentScenario& s : registry()) {
+      if (!known.empty()) known += ", ";
+      known += s.name;
+    }
+    throw std::invalid_argument("unknown incident scenario '" +
+                                std::string(name) + "' (known: " + known +
+                                ")");
+  }
+  return parse_fault_plan(sc->plan_text);
+}
+
+}  // namespace u1

@@ -1,0 +1,58 @@
+// Canned incident scenarios: named, documented fault-plan scripts that
+// replay the compound production incidents the paper's back-end actually
+// suffered (§3.4, §8) — not isolated windows but cause→effect chains
+// expressed with the fault DAG's `after=` edges. Each scenario carries a
+// short operator narrative, the backend posture it assumes (per-process
+// session cap, balancer slow-start window) and an expected-impact band
+// at the chaos-CI reference scale (1,000 users × 3 days, any fault
+// seed); bench_fault_recovery --scenario enforces the band and exits
+// nonzero when a metric leaves it.
+//
+// Selection surfaces: `u1trace generate --fault-plan @<name>`,
+// `u1d --fault-plan @<name>`, the `U1SIM_FAULTS=<name>` bench knob and
+// `bench_fault_recovery --scenario <name>|all`.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+
+namespace u1 {
+
+/// Pass/fail band for the chaos-CI metrics, calibrated at the reference
+/// scale (1,000 users, 3 days) with margin for seed-to-seed variance.
+struct ScenarioBand {
+  double min_availability = 0;         // 1 - failed/total storage ops
+  double max_retry_amplification = 0;  // PutContent attempts per success
+  /// Worst per-window time-to-recover, seconds; windows that never
+  /// recover before the horizon also violate the band.
+  double max_time_to_recover_s = 0;
+};
+
+struct IncidentScenario {
+  std::string_view name;
+  std::string_view title;
+  /// The incident story, told the way a postmortem would tell it.
+  std::string_view narrative;
+  /// Fault-plan script (parse_fault_plan grammar, incl. after= edges).
+  std::string_view plan_text;
+  /// Balancer slow-start window the scenario assumes (0 = off).
+  SimTime slow_start = 0;
+  /// Per-process session cap (load shedding) the scenario assumes.
+  std::uint64_t session_cap = 0;
+  ScenarioBand band;
+};
+
+/// All canned scenarios, in registry order: regional_outage_failback,
+/// retry_storm, cache_stampede, rolling_restart.
+const std::vector<IncidentScenario>& incident_scenarios();
+
+/// nullptr when `name` is not a canned scenario.
+const IncidentScenario* find_incident_scenario(std::string_view name);
+
+/// The scenario's parsed fault plan; throws std::invalid_argument with
+/// the known names when `name` is unknown.
+FaultPlan incident_plan(std::string_view name);
+
+}  // namespace u1

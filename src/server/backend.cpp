@@ -454,7 +454,8 @@ void U1Backend::publish_change(const SessionState& ctx,
 Response U1Backend::do_connect(const Request& q) {
   const UserId user = q.user;
   const SimTime now = q.now;
-  const auto placed = fleet_.place_session(config_.session_cap_per_process);
+  const auto placed =
+      fleet_.place_session(config_.session_cap_per_process, now);
   if (!placed) {
     // Load shed: no live process with spare capacity. The balancer tells
     // the client to come back later without ever engaging auth.
@@ -1299,7 +1300,9 @@ void U1Backend::apply_fault(const FaultEvent& event, SimTime now,
           return st.session.api_process == victim;
         });
       } else {
-        fleet_.respawn_process(it->second);
+        // Respawn at `now` so the slow-start ramp (when configured)
+        // re-admits the process gradually instead of flooding it.
+        fleet_.respawn_process(it->second, now);
       }
       break;
     }
@@ -1311,7 +1314,7 @@ void U1Backend::apply_fault(const FaultEvent& event, SimTime now,
           return st.session.api_machine == m;
         });
       } else {
-        fleet_.restore_machine(m);
+        fleet_.restore_machine(m, now);
       }
       break;
     }

@@ -7,9 +7,12 @@
 namespace u1 {
 
 ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed)
-    : machines_(config.machines), rng_(seed) {
+    : machines_(config.machines), slow_start_(config.slow_start),
+      rng_(seed) {
   if (config.machines == 0 || config.processes_per_machine == 0)
     throw std::invalid_argument("ServerFleet: zero machines or processes");
+  if (config.slow_start < 0)
+    throw std::invalid_argument("ServerFleet: negative slow_start");
   machine_processes_.resize(machines_);
   open_sessions_.assign(machines_, 0);
   dead_on_machine_.assign(machines_, 0);
@@ -17,6 +20,7 @@ ServerFleet::ServerFleet(const FleetConfig& config, std::uint64_t seed)
   process_machine_.reserve(total);
   proc_sessions_.assign(total, 0);
   dead_.assign(total, 0);
+  ramp_start_.assign(total, kNoRamp);
   for (std::size_t p = 0; p < total; ++p) {
     const MachineId m{p % machines_ + 1};
     process_machine_.push_back(m);
@@ -39,26 +43,73 @@ MachineId ServerFleet::machine_of(ProcessId process) const {
   return process_machine_[process.value - 1];
 }
 
+double ServerFleet::ramp_fraction_at(std::size_t index, SimTime now) const {
+  if (slow_start_ == 0 || ramp_start_[index] == kNoRamp) return 1.0;
+  if (now <= ramp_start_[index]) return 0.0;
+  const SimTime elapsed = now - ramp_start_[index];
+  if (elapsed >= slow_start_) return 1.0;
+  return static_cast<double>(elapsed) / static_cast<double>(slow_start_);
+}
+
+void ServerFleet::expire_ramps(SimTime now) {
+  for (std::size_t p = 0; p < ramp_start_.size() && ramping_ > 0; ++p) {
+    if (ramp_start_[p] == kNoRamp) continue;
+    if (now - ramp_start_[p] >= slow_start_) {
+      ramp_start_[p] = kNoRamp;
+      --ramping_;
+    }
+  }
+}
+
 std::optional<ServerFleet::Placement> ServerFleet::place_session(
-    std::uint64_t per_process_cap) {
+    std::uint64_t per_process_cap, SimTime now) {
+  if (slow_start_ != 0 && ramping_ != 0) expire_ramps(now);
   // Least-loaded machine wins; ties broken by lowest index (HAProxy
   // leastconn behavior). Machines with nothing alive are skipped; if the
   // chosen machine has no process with capacity, fall through to the
   // next-least-loaded one.
+  //
+  // While slow-start ramps are active, "load" means effective load: real
+  // open sessions plus a phantom share for each ramping process that
+  // decays linearly to zero over the ramp window. The phantom share is
+  // the current fleet-average sessions per live process — what the
+  // process would be carrying had it never died — so a restored machine
+  // converges to parity instead of being flooded back to it.
+  const bool ramped = ramping_ != 0;
+  double avg_per_proc = 0;
+  if (ramped) {
+    std::size_t dead_total = 0;
+    for (const std::size_t d : dead_on_machine_) dead_total += d;
+    const std::size_t live = process_machine_.size() - dead_total;
+    if (live > 0)
+      avg_per_proc =
+          static_cast<double>(total_open_sessions()) / static_cast<double>(live);
+  }
   std::vector<char> tried(machines_, 0);
   for (std::size_t round = 0; round < machines_; ++round) {
     std::size_t best = machines_;
+    double best_load = 0;
     for (std::size_t m = 0; m < machines_; ++m) {
       if (tried[m]) continue;
       if (machine_processes_[m].size() == dead_on_machine_[m]) continue;
-      if (best == machines_ || open_sessions_[m] < open_sessions_[best])
+      double load = static_cast<double>(open_sessions_[m]);
+      if (ramped) {
+        for (const ProcessId p : machine_processes_[m]) {
+          const std::size_t i = p.value - 1;
+          if (dead_[i] || ramp_start_[i] == kNoRamp) continue;
+          load += (1.0 - ramp_fraction_at(i, now)) * avg_per_proc;
+        }
+      }
+      if (best == machines_ || load < best_load) {
         best = m;
+        best_load = load;
+      }
     }
     if (best == machines_) return std::nullopt;
     tried[best] = 1;
     const auto& procs = machine_processes_[best];
     // Healthy fast path: identical draw sequence to the fault-free fleet.
-    if (dead_on_machine_[best] == 0 && per_process_cap == 0) {
+    if (dead_on_machine_[best] == 0 && per_process_cap == 0 && !ramped) {
       const ProcessId proc = procs[rng_.below(procs.size())];
       ++open_sessions_[best];
       ++proc_sessions_[proc.value - 1];
@@ -67,9 +118,21 @@ std::optional<ServerFleet::Placement> ServerFleet::place_session(
     std::vector<ProcessId> candidates;
     candidates.reserve(procs.size());
     for (const ProcessId p : procs) {
-      if (dead_[p.value - 1]) continue;
-      if (per_process_cap != 0 && proc_sessions_[p.value - 1] >= per_process_cap)
+      const std::size_t i = p.value - 1;
+      if (dead_[i]) continue;
+      if (per_process_cap != 0 && proc_sessions_[i] >= per_process_cap)
         continue;
+      if (ramped && ramp_start_[i] != kNoRamp) {
+        // Ramped admission: a fresh process takes at most a ramp-scaled
+        // slice of its target load (the cap, or the fleet average when
+        // uncapped), but never refuses the very first session.
+        const double target = per_process_cap != 0
+                                  ? static_cast<double>(per_process_cap)
+                                  : avg_per_proc;
+        const auto cap = static_cast<std::uint64_t>(
+            std::max(1.0, ramp_fraction_at(i, now) * target));
+        if (proc_sessions_[i] >= cap) continue;
+      }
       candidates.push_back(p);
     }
     if (candidates.empty()) continue;
@@ -101,18 +164,29 @@ bool ServerFleet::end_session(MachineId machine, ProcessId process) {
 
 void ServerFleet::kill_process(ProcessId process) {
   check_process(process, "ServerFleet::kill_process: bad process");
-  auto& dead = dead_[process.value - 1];
+  const std::size_t i = process.value - 1;
+  auto& dead = dead_[i];
   if (dead) return;
   dead = 1;
-  ++dead_on_machine_[process_machine_[process.value - 1].value - 1];
+  ++dead_on_machine_[process_machine_[i].value - 1];
+  // A dying process forfeits its ramp; the respawn starts a fresh one.
+  if (ramp_start_[i] != kNoRamp) {
+    ramp_start_[i] = kNoRamp;
+    --ramping_;
+  }
 }
 
-void ServerFleet::respawn_process(ProcessId process) {
+void ServerFleet::respawn_process(ProcessId process, SimTime now) {
   check_process(process, "ServerFleet::respawn_process: bad process");
-  auto& dead = dead_[process.value - 1];
+  const std::size_t i = process.value - 1;
+  auto& dead = dead_[i];
   if (!dead) return;
   dead = 0;
-  --dead_on_machine_[process_machine_[process.value - 1].value - 1];
+  --dead_on_machine_[process_machine_[i].value - 1];
+  if (slow_start_ != 0) {
+    if (ramp_start_[i] == kNoRamp) ++ramping_;
+    ramp_start_[i] = now;
+  }
 }
 
 void ServerFleet::kill_machine(MachineId machine) {
@@ -121,10 +195,22 @@ void ServerFleet::kill_machine(MachineId machine) {
     kill_process(p);
 }
 
-void ServerFleet::restore_machine(MachineId machine) {
+void ServerFleet::restore_machine(MachineId machine, SimTime now) {
   check_machine(machine, "ServerFleet::restore_machine: bad machine");
   for (const ProcessId p : machine_processes_[machine.value - 1])
-    respawn_process(p);
+    respawn_process(p, now);
+}
+
+double ServerFleet::ramp_fraction(ProcessId process, SimTime now) const {
+  check_process(process, "ServerFleet::ramp_fraction: bad process");
+  return ramp_fraction_at(process.value - 1, now);
+}
+
+bool ServerFleet::in_slow_start(ProcessId process, SimTime now) const {
+  check_process(process, "ServerFleet::in_slow_start: bad process");
+  const std::size_t i = process.value - 1;
+  return !dead_[i] && ramp_start_[i] != kNoRamp &&
+         ramp_fraction_at(i, now) < 1.0;
 }
 
 bool ServerFleet::process_alive(ProcessId process) const {

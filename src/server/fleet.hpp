@@ -8,20 +8,39 @@
 // respawned; placement skips dead processes and machines with nothing
 // alive, and an optional per-process session cap models load shedding
 // (the balancer returns "try again" instead of overloading a process).
+//
+// Slow-start (HAProxy `slowstart`-style): with FleetConfig::slow_start
+// > 0, a freshly-respawned process re-enters the balancer gradually over
+// that window instead of counting as zero-load and absorbing every new
+// placement (which would invert the failback it models). Two linear
+// ramps drive this, both pure functions of (state, now):
+//   * leastconn sees an effective machine load — real open sessions plus
+//     a phantom load of (1 - ramp_fraction) x fleet-average sessions per
+//     live process for each ramping process — so a restored machine
+//     climbs back to parity instead of teleporting to "least loaded";
+//   * a ramping process admits at most
+//     max(1, floor(ramp_fraction x target)) sessions, target being the
+//     per-process cap (or the fleet average when uncapped).
+// With slow_start == 0, or while no process is ramping, placement takes
+// the exact legacy code path and consumes the identical RNG stream.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <vector>
 
 #include "proto/ids.hpp"
 #include "util/rng.hpp"
+#include "util/sim_time.hpp"
 
 namespace u1 {
 
 struct FleetConfig {
   std::size_t machines = 6;
   std::size_t processes_per_machine = 12;  // paper: 8-16
+  /// Slow-start ramp window for respawned processes (0 = off).
+  SimTime slow_start = 0;
 };
 
 class ServerFleet {
@@ -43,11 +62,14 @@ class ServerFleet {
     ProcessId process;
   };
   /// nullopt when no live process has capacity (every machine dead, or —
-  /// with per_process_cap > 0 — every live process is at the cap): the
+  /// with per_process_cap > 0 — every live process is at the cap, or
+  /// every candidate is held back by its slow-start ramp): the
   /// balancer's "try again later". With a healthy fleet and cap 0 this
   /// never fails and draws exactly one random number, preserving the
-  /// faults-off placement stream.
-  std::optional<Placement> place_session(std::uint64_t per_process_cap);
+  /// faults-off placement stream. `now` feeds the slow-start ramps and
+  /// is ignored while none are active.
+  std::optional<Placement> place_session(std::uint64_t per_process_cap,
+                                         SimTime now = 0);
   /// Healthy-fleet convenience (cap 0); throws std::logic_error if the
   /// whole fleet is down.
   Placement place_session();
@@ -61,13 +83,21 @@ class ServerFleet {
 
   // --- fault hooks ---------------------------------------------------------
   /// Marks a process dead; its sessions must be dropped by the caller
-  /// (the back-end owns session state). No-op if already dead.
+  /// (the back-end owns session state). No-op if already dead. A dying
+  /// process forfeits any slow-start ramp in progress.
   void kill_process(ProcessId process);
-  void respawn_process(ProcessId process);
+  /// Revives a process. `now` starts its slow-start ramp (when
+  /// FleetConfig::slow_start > 0); without it the process re-enters at
+  /// zero load and the next placements flood it.
+  void respawn_process(ProcessId process, SimTime now = 0);
   /// Kills / restores every process currently on a machine.
   void kill_machine(MachineId machine);
-  void restore_machine(MachineId machine);
+  void restore_machine(MachineId machine, SimTime now = 0);
   bool process_alive(ProcessId process) const;
+  /// Slow-start introspection: fraction of the ramp completed, in
+  /// [0, 1]; 1.0 for processes not ramping (incl. slow_start == 0).
+  double ramp_fraction(ProcessId process, SimTime now) const;
+  bool in_slow_start(ProcessId process, SimTime now) const;
   /// A machine is placeable while it has >= 1 live process.
   bool machine_alive(MachineId machine) const;
   /// Live processes currently hosted on `machine`, in slot order.
@@ -85,16 +115,25 @@ class ServerFleet {
   std::size_t migrate_processes(double fraction);
 
  private:
+  static constexpr SimTime kNoRamp = std::numeric_limits<SimTime>::min();
+
   void check_machine(MachineId machine, const char* what) const;
   void check_process(ProcessId process, const char* what) const;
+  double ramp_fraction_at(std::size_t index, SimTime now) const;
+  /// Retires ramps whose window has fully elapsed at `now`, restoring
+  /// the zero-overhead legacy placement path.
+  void expire_ramps(SimTime now);
 
   std::size_t machines_;
+  SimTime slow_start_;
   std::vector<MachineId> process_machine_;   // index = process id - 1
   std::vector<std::vector<ProcessId>> machine_processes_;
   std::vector<std::uint64_t> open_sessions_;
   std::vector<std::uint64_t> proc_sessions_;  // index = process id - 1
   std::vector<char> dead_;                    // index = process id - 1
   std::vector<std::size_t> dead_on_machine_;  // dead procs per machine
+  std::vector<SimTime> ramp_start_;           // kNoRamp = not ramping
+  std::size_t ramping_ = 0;                   // processes mid-ramp
   Rng rng_;
 };
 

@@ -3,9 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "fault/fault_injector.hpp"
+#include "fault/scenarios.hpp"
 
 namespace u1 {
 namespace {
@@ -47,6 +51,217 @@ TEST(FaultPlanParse, RejectsMalformedInput) {
                std::invalid_argument);
   EXPECT_THROW(parse_fault_plan("s3_brownout wat=3 dur=1h\n"),
                std::invalid_argument);
+}
+
+/// EXPECT that `fn` throws std::invalid_argument whose message contains
+/// every fragment — hostile plan input must name the offending line.
+template <typename Fn>
+void expect_throw_containing(Fn&& fn,
+                             std::initializer_list<const char*> fragments) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    for (const char* fragment : fragments)
+      EXPECT_NE(msg.find(fragment), std::string::npos)
+          << "message '" << msg << "' lacks '" << fragment << "'";
+  }
+}
+
+TEST(FaultPlanParse, DagKeysAndLineNumbers) {
+  const FaultPlan plan = parse_fault_plan(
+      "machine_outage id=outage t=1d dur=40m machine=2\n"
+      "# cause -> effect\n"
+      "s3_brownout after=outage on=begin p=0.5 delay=2m dur=30m error=0.2\n"
+      "process_crash after=outage on=end dur=15m machine=2 slot=3\n");
+  ASSERT_EQ(plan.specs.size(), 3u);
+  EXPECT_EQ(plan.specs[0].id, "outage");
+  EXPECT_EQ(plan.specs[0].line, 1u);
+  EXPECT_EQ(plan.specs[1].after, "outage");
+  EXPECT_FALSE(plan.specs[1].after_end);
+  EXPECT_DOUBLE_EQ(plan.specs[1].trigger_prob, 0.5);
+  EXPECT_EQ(plan.specs[1].trigger_delay, 2 * kMinute);
+  EXPECT_EQ(plan.specs[1].line, 3u);
+  EXPECT_TRUE(plan.specs[2].after_end);
+  EXPECT_DOUBLE_EQ(plan.specs[2].trigger_prob, 1.0);  // default
+  const std::vector<std::size_t> parents = fault_plan_parents(plan);
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  ASSERT_EQ(parents.size(), 3u);
+  EXPECT_EQ(parents[0], npos);
+  EXPECT_EQ(parents[1], 0u);
+  EXPECT_EQ(parents[2], 0u);
+}
+
+TEST(FaultPlanParse, RejectsUnknownAfterIdWithLine) {
+  expect_throw_containing(
+      [] {
+        parse_fault_plan(
+            "machine_outage id=outage t=1d dur=40m machine=2\n"
+            "s3_brownout after=typo dur=30m error=0.2\n");
+      },
+      {"fault plan line 2", "unknown id 'typo'"});
+}
+
+TEST(FaultPlanParse, RejectsDependencyCycleWithLine) {
+  expect_throw_containing(
+      [] {
+        parse_fault_plan(
+            "s3_brownout   id=a after=b dur=30m error=0.2\n"
+            "process_crash id=b after=a dur=15m machine=1 slot=0\n");
+      },
+      {"fault plan line", "dependency cycle"});
+  expect_throw_containing(
+      [] {
+        parse_fault_plan("s3_brownout id=a after=a dur=30m error=0.2\n");
+      },
+      {"fault plan line 1", "depends on itself"});
+}
+
+TEST(FaultPlanParse, RejectsProbabilityOutsideUnitInterval) {
+  expect_throw_containing(
+      [] {
+        parse_fault_plan(
+            "machine_outage id=o t=1d dur=40m machine=2\n"
+            "s3_brownout after=o p=1.5 dur=30m error=0.2\n");
+      },
+      {"fault plan line 2", "probability outside [0,1]"});
+  expect_throw_containing(
+      [] { parse_fault_plan("s3_brownout t=1h dur=30m error=-0.1\n"); },
+      {"fault plan line 1", "probability outside [0,1]"});
+}
+
+TEST(FaultPlanParse, RejectsDuplicateKeysWithLine) {
+  expect_throw_containing(
+      [] { parse_fault_plan("s3_brownout t=1h t=2h dur=30m error=0.2\n"); },
+      {"fault plan line 1", "duplicate key 't'"});
+}
+
+TEST(FaultPlanParse, RejectsRateCombinedWithAfter) {
+  expect_throw_containing(
+      [] {
+        parse_fault_plan(
+            "machine_outage id=o t=1d dur=40m machine=2\n"
+            "process_crash after=o rate=3 dur=15m\n");
+      },
+      {"fault plan line 2", "rate= cannot be combined with after="});
+}
+
+TEST(FaultPlanParse, RejectsTriggerKeysWithoutAfter) {
+  for (const char* bad :
+       {"s3_brownout t=1h p=0.5 dur=30m error=0.2\n",
+        "s3_brownout t=1h delay=2m dur=30m error=0.2\n",
+        "s3_brownout t=1h on=end dur=30m error=0.2\n"}) {
+    expect_throw_containing([bad] { parse_fault_plan(bad); },
+                            {"fault plan line 1", "requires after="});
+  }
+}
+
+TEST(FaultPlanParse, RejectsDuplicateIds) {
+  expect_throw_containing(
+      [] {
+        parse_fault_plan(
+            "s3_brownout   id=x t=1h dur=30m error=0.2\n"
+            "process_crash id=x t=2h dur=15m machine=1 slot=0\n");
+      },
+      {"fault plan line 2", "duplicate id 'x'"});
+}
+
+TEST(FaultPlanParse, ProgrammaticPlanReportsSpecIndex) {
+  // A plan assembled in code (line 0) still gets a usable location.
+  FaultPlan plan;
+  FaultSpec a;
+  a.kind = FaultKind::kS3Brownout;
+  a.id = "a";
+  a.after = "nope";
+  a.duration = kMinute;
+  plan.specs.push_back(a);
+  expect_throw_containing(
+      [&] { build_fault_schedule(plan, kDay, 6, 10, 1); },
+      {"fault plan spec #1", "unknown id 'nope'"});
+}
+
+TEST(FaultSchedule, TriggeredEdgesAnchorOnParentWindow) {
+  const FaultPlan plan = parse_fault_plan(
+      "machine_outage id=outage t=1h dur=40m machine=2\n"
+      "s3_brownout   after=outage on=begin delay=2m dur=30m error=0.2\n"
+      "process_crash after=outage on=end delay=5m dur=15m machine=2 "
+      "slot=3\n");
+  const FaultSchedule sched = build_fault_schedule(plan, kDay, 6, 10, 7);
+  ASSERT_EQ(sched.size(), 6u);  // 3 windows x begin+end
+  // Window ids follow textual order: outage=0, brownout=1, crash=2.
+  SimTime begin[3] = {0, 0, 0};
+  for (const FaultEvent& ev : sched)
+    if (ev.begin) begin[ev.id] = ev.at;
+  EXPECT_EQ(begin[0], kHour);
+  EXPECT_EQ(begin[1], kHour + 2 * kMinute);             // on=begin + 2m
+  EXPECT_EQ(begin[2], kHour + 40 * kMinute + 5 * kMinute);  // on=end + 5m
+}
+
+TEST(FaultSchedule, ChainedEdgesFireTransitively) {
+  const FaultPlan plan = parse_fault_plan(
+      "process_crash id=r1 t=1h dur=10m machine=1 slot=0\n"
+      "process_crash id=r2 after=r1 on=end delay=3m dur=10m machine=2 "
+      "slot=0\n"
+      "process_crash id=r3 after=r2 on=end delay=3m dur=10m machine=3 "
+      "slot=0\n");
+  const FaultSchedule sched = build_fault_schedule(plan, kDay, 6, 10, 7);
+  ASSERT_EQ(sched.size(), 6u);
+  SimTime begin[3] = {0, 0, 0};
+  for (const FaultEvent& ev : sched)
+    if (ev.begin) begin[ev.id] = ev.at;
+  EXPECT_EQ(begin[1], begin[0] + 13 * kMinute);
+  EXPECT_EQ(begin[2], begin[1] + 13 * kMinute);
+}
+
+TEST(FaultSchedule, ZeroProbabilityEdgeNeverFires) {
+  const FaultPlan plan = parse_fault_plan(
+      "machine_outage id=o t=1h dur=40m machine=2\n"
+      "s3_brownout after=o p=0 dur=30m error=0.2\n");
+  const FaultSchedule sched = build_fault_schedule(plan, kDay, 6, 10, 7);
+  ASSERT_EQ(sched.size(), 2u);  // parent only
+  for (const FaultEvent& ev : sched)
+    EXPECT_EQ(ev.kind, FaultKind::kMachineOutage);
+}
+
+TEST(FaultSchedule, TriggeredStartPastHorizonIsDropped) {
+  const FaultPlan plan = parse_fault_plan(
+      "machine_outage id=o t=20h dur=40m machine=2\n"
+      "s3_brownout after=o on=end delay=4h dur=30m error=0.2\n");
+  // Child would begin at 20h40m + 4h > 24h horizon.
+  const FaultSchedule sched = build_fault_schedule(plan, kDay, 6, 10, 7);
+  ASSERT_EQ(sched.size(), 2u);
+  for (const FaultEvent& ev : sched)
+    EXPECT_EQ(ev.kind, FaultKind::kMachineOutage);
+}
+
+TEST(FaultSchedule, TuningOneEdgeDoesNotPerturbSiblings) {
+  // Per-spec RNG streams: flipping sibling A's p= must not move the
+  // events of sibling B or of any Poisson spec.
+  const char* kSibling =
+      "process_crash rate=4 dur=10m\n"
+      "machine_outage id=o t=2h dur=40m machine=2\n"
+      "s3_brownout after=o p=%s dur=30m error=0.2\n"
+      "mq_drop after=o p=0.5 dur=20m drop=0.5\n";
+  char with_a[256], without_a[256];
+  std::snprintf(with_a, sizeof with_a, kSibling, "1");
+  std::snprintf(without_a, sizeof without_a, kSibling, "0");
+  const FaultSchedule a =
+      build_fault_schedule(parse_fault_plan(with_a), 7 * kDay, 6, 10, 42);
+  const FaultSchedule b =
+      build_fault_schedule(parse_fault_plan(without_a), 7 * kDay, 6, 10, 42);
+  // Drop s3_brownout events from `a`; everything left must match `b`
+  // except window ids (which renumber when a window disappears).
+  std::vector<const FaultEvent*> rest;
+  for (const FaultEvent& ev : a)
+    if (ev.kind != FaultKind::kS3Brownout) rest.push_back(&ev);
+  ASSERT_EQ(rest.size(), b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(rest[i]->at, b[i].at);
+    EXPECT_EQ(rest[i]->kind, b[i].kind);
+    EXPECT_EQ(rest[i]->machine, b[i].machine);
+    EXPECT_EQ(rest[i]->begin, b[i].begin);
+  }
 }
 
 TEST(FaultSchedule, PairsBeginAndEndSorted) {
@@ -127,6 +342,57 @@ TEST(FaultSchedule, StandardPlanCoversAcceptanceKinds) {
   EXPECT_TRUE(kinds.count(FaultKind::kAuthBrownout));
   // Everything lands inside the 7-day acceptance horizon.
   for (const FaultEvent& ev : sched) EXPECT_LT(ev.at, 7 * kDay);
+}
+
+TEST(IncidentScenarios, RegistryParsesAndSchedules) {
+  const auto& all = incident_scenarios();
+  ASSERT_EQ(all.size(), 4u);
+  std::set<std::string> names;
+  for (const IncidentScenario& sc : all) {
+    names.insert(std::string(sc.name));
+    EXPECT_FALSE(sc.title.empty());
+    EXPECT_FALSE(sc.narrative.empty());
+    // Plan text parses, schedules inside the 3-day reference horizon,
+    // and every window closes before it so recovery is observable.
+    const FaultPlan plan = incident_plan(sc.name);
+    EXPECT_FALSE(plan.specs.empty());
+    const FaultSchedule sched = build_fault_schedule(plan, 3 * kDay, 6, 10, 7);
+    EXPECT_FALSE(sched.empty());
+    for (const FaultEvent& ev : sched) EXPECT_LT(ev.at, 3 * kDay);
+    // Bands are populated (the chaos gate has something to enforce).
+    EXPECT_GT(sc.band.min_availability, 0.0);
+    EXPECT_GT(sc.band.max_retry_amplification, 1.0);
+    EXPECT_GT(sc.band.max_time_to_recover_s, 0.0);
+  }
+  EXPECT_TRUE(names.count("regional_outage_failback"));
+  EXPECT_TRUE(names.count("retry_storm"));
+  EXPECT_TRUE(names.count("cache_stampede"));
+  EXPECT_TRUE(names.count("rolling_restart"));
+}
+
+TEST(IncidentScenarios, ScenariosUseDependencyEdges) {
+  // The point of the library: every scenario is a cause->effect DAG,
+  // not a bag of independent windows.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  for (const IncidentScenario& sc : incident_scenarios()) {
+    const FaultPlan plan = incident_plan(sc.name);
+    const std::vector<std::size_t> parents = fault_plan_parents(plan);
+    EXPECT_TRUE(std::any_of(parents.begin(), parents.end(),
+                            [](std::size_t p) { return p != npos; }))
+        << std::string(sc.name);
+  }
+}
+
+TEST(IncidentScenarios, UnknownNameListsKnownOnes) {
+  EXPECT_EQ(find_incident_scenario("nope"), nullptr);
+  try {
+    incident_plan("nope");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("retry_storm"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rolling_restart"), std::string::npos) << msg;
+  }
 }
 
 TEST(FaultLabel, EncodesKindIdPhase) {

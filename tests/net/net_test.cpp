@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "fault/fault_plan.hpp"
+#include "fault/scenarios.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
 #include "proto/envelope.hpp"
@@ -387,6 +388,37 @@ TEST(U1dServer, ArmedFaultEdgesFireOnVirtualTime) {
   const NetServerStats& stats = live.stop();
   EXPECT_EQ(stats.faults_applied, 2u);
   EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(U1dServer, ScenarioScheduleFiresEveryEdgeLive) {
+  // Armed-edge parity for the canned incident scenarios: the DAG
+  // schedule is a pure function of (plan, horizon, fleet, shards, seed),
+  // so the live server must fire exactly the edges any engine would
+  // materialize — begin and end of every window, cascades included —
+  // once virtual time passes the horizon.
+  for (const IncidentScenario& sc : incident_scenarios()) {
+    const std::string name(sc.name);
+    BackendConfig cfg;
+    cfg.fleet.slow_start = sc.slow_start;
+    cfg.session_cap_per_process = sc.session_cap;
+    LiveServer live(cfg);
+    const FaultSchedule schedule = build_fault_schedule(
+        incident_plan(sc.name), 3 * kDay, cfg.fleet.machines, cfg.shards, 7);
+    ASSERT_FALSE(schedule.empty()) << name;
+    live.server().arm_faults(&schedule);
+
+    BlockingClient client;
+    ASSERT_TRUE(client.connect_loopback(live.port())) << name;
+    // Walk virtual time in two hops: half the horizon, then past it.
+    // The server's high-water mark must sweep every edge exactly once.
+    for (const SimTime now : {SimTime(3 * kDay) / 2, SimTime(3 * kDay)}) {
+      Request q = make_request(ProtoOp::kListVolumes, now);
+      ASSERT_TRUE(client.call(q).has_value()) << name;
+    }
+    const NetServerStats& stats = live.stop();
+    EXPECT_EQ(stats.faults_applied, schedule.size()) << name;
+    EXPECT_EQ(stats.protocol_errors, 0u) << name;
+  }
 }
 
 TEST(U1dServer, PipelinedFramesInOneWriteAllAnswered) {

@@ -125,6 +125,109 @@ TEST(ServerFleet, MigrationValidatesFraction) {
   EXPECT_EQ(fleet.migrate_processes(0.0), 0u);
 }
 
+TEST(ServerFleet, RampFractionTracksSlowStartWindow) {
+  ServerFleet fleet(FleetConfig{2, 1, 600 * kSecond}, 12);
+  const ProcessId p{2};
+  EXPECT_FALSE(fleet.in_slow_start(p, 0));
+  EXPECT_DOUBLE_EQ(fleet.ramp_fraction(p, 0), 1.0);
+  fleet.kill_process(p);
+  fleet.respawn_process(p, 1000 * kSecond);
+  EXPECT_TRUE(fleet.in_slow_start(p, 1000 * kSecond));
+  EXPECT_DOUBLE_EQ(fleet.ramp_fraction(p, 1000 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(fleet.ramp_fraction(p, 1300 * kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(fleet.ramp_fraction(p, 1600 * kSecond), 1.0);
+  EXPECT_FALSE(fleet.in_slow_start(p, 1600 * kSecond));
+  // A second death forfeits the ramp outright.
+  fleet.kill_process(p);
+  EXPECT_DOUBLE_EQ(fleet.ramp_fraction(p, 1200 * kSecond), 1.0);
+}
+
+TEST(ServerFleet, NegativeSlowStartThrows) {
+  EXPECT_THROW(ServerFleet(FleetConfig{2, 1, -1}, 1),
+               std::invalid_argument);
+}
+
+// The flood-on-failback regression: a restored machine re-enters
+// placement with zero open sessions, and without slow-start leastconn
+// funnels every new session into it until it reaches parity.
+TEST(ServerFleet, RestoredMachineFloodsWithoutSlowStart) {
+  ServerFleet fleet(FleetConfig{2, 1}, 13);
+  std::vector<ServerFleet::Placement> on2;
+  for (int i = 0; i < 10; ++i) {
+    const auto p = *fleet.place_session(0);
+    if (p.machine.value == 2) on2.push_back(p);
+  }
+  fleet.kill_machine(MachineId{2});
+  for (const auto& p : on2) fleet.end_session(p.machine, p.process);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(fleet.place_session(0));
+  ASSERT_EQ(fleet.open_sessions(MachineId{1}), 10u);
+  fleet.restore_machine(MachineId{2});
+  // All of the next 10 sessions stampede the cold machine.
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(fleet.place_session(0)->machine.value, 2u);
+}
+
+TEST(ServerFleet, SlowStartRampPreventsFailbackFlood) {
+  ServerFleet fleet(FleetConfig{2, 1, 600 * kSecond}, 13);
+  std::vector<ServerFleet::Placement> on2;
+  for (int i = 0; i < 10; ++i) {
+    const auto p = *fleet.place_session(0);
+    if (p.machine.value == 2) on2.push_back(p);
+  }
+  fleet.kill_machine(MachineId{2});
+  for (const auto& p : on2) fleet.end_session(p.machine, p.process);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(fleet.place_session(0));
+  ASSERT_EQ(fleet.open_sessions(MachineId{1}), 10u);
+
+  const SimTime now = 10000 * kSecond;
+  fleet.restore_machine(MachineId{2}, now);
+  // At ramp fraction 0 the restored process admits one session (never
+  // zero — it must make progress) and the rest stay away.
+  int to2 = 0;
+  for (int i = 0; i < 10; ++i)
+    if (fleet.place_session(0, now)->machine.value == 2) ++to2;
+  EXPECT_EQ(to2, 1);
+  // Halfway through the ramp it takes a partial share.
+  const SimTime mid = now + 300 * kSecond;
+  int to2_mid = 0;
+  for (int i = 0; i < 10; ++i)
+    if (fleet.place_session(0, mid)->machine.value == 2) ++to2_mid;
+  EXPECT_GT(to2_mid, 1);
+  EXPECT_LT(to2_mid, 10);
+  // Past the window the ramp expires and leastconn takes over fully.
+  const SimTime after = now + 600 * kSecond;
+  (void)fleet.place_session(0, after);
+  EXPECT_FALSE(fleet.in_slow_start(ProcessId{2}, after));
+}
+
+TEST(ServerFleet, RampedAdmissionHonorsSessionCap) {
+  ServerFleet fleet(FleetConfig{2, 1, 600 * kSecond}, 14);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(fleet.place_session(20));
+  fleet.kill_process(ProcessId{2});
+  const SimTime now = 5000 * kSecond;
+  fleet.respawn_process(ProcessId{2}, now);
+  // Halfway through the ramp the cap-derived target (20) is halved; the
+  // restored process stops admitting at 10 even though leastconn keeps
+  // nominating it.
+  const SimTime mid = now + 300 * kSecond;
+  std::uint64_t before = fleet.process_sessions(ProcessId{2});
+  for (int i = 0; i < 30; ++i) (void)fleet.place_session(20, mid);
+  EXPECT_LE(fleet.process_sessions(ProcessId{2}) - before, 10u);
+}
+
+TEST(ServerFleet, SlowStartIdleFleetMatchesLegacyPlacement) {
+  // With slow_start configured but no ramp active, the placement (and
+  // RNG draw) sequence must be byte-identical to the legacy fleet.
+  ServerFleet legacy(FleetConfig{4, 3}, 15);
+  ServerFleet ramped(FleetConfig{4, 3, 900 * kSecond}, 15);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = *legacy.place_session(0);
+    const auto b = *ramped.place_session(0, static_cast<SimTime>(i) * kSecond);
+    EXPECT_EQ(a.machine.value, b.machine.value);
+    EXPECT_EQ(a.process.value, b.process.value);
+  }
+}
+
 TEST(ServerFleet, LongRunBalancedPlacements) {
   ServerFleet fleet(FleetConfig{6, 12}, 8);
   std::vector<int> per_machine(6, 0);

@@ -1,0 +1,105 @@
+// Determinism oracle for the canned incident scenarios: every scenario
+// in the registry must produce a byte-identical merged trace at 1/2/4/8
+// worker threads, and the same trace again with every backend call
+// round-tripped through the wire codec (BackendConfig::wire_check — the
+// envelope-equivalence harness). A divergence means a cascading-fault
+// edge, slow-start ramp or load-shed path consumed RNG or ordered work
+// differently under a different engine — the incident library would not
+// be replayable.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/scenarios.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulation.hpp"
+#include "trace/sink.hpp"
+#include "util/sha1.hpp"
+
+namespace u1 {
+namespace {
+
+/// The scenario at CI scale: its fault plan plus the backend posture it
+/// assumes (slow-start window, per-process session cap).
+SimulationConfig scenario_config(const IncidentScenario& sc,
+                                 bool wire_check = false) {
+  SimulationConfig cfg;
+  cfg.users = 200;
+  cfg.days = 3;
+  cfg.seed = 20140111;
+  cfg.faults = parse_fault_plan(sc.plan_text);
+  cfg.backend.fleet.slow_start = sc.slow_start;
+  cfg.backend.session_cap_per_process = sc.session_cap;
+  cfg.backend.wire_check = wire_check;
+  return cfg;
+}
+
+Sha1Digest trace_sha1(const SimulationConfig& cfg, std::size_t threads,
+                      SimulationReport* report = nullptr) {
+  InMemorySink sink;
+  ParallelSimulation sim(cfg, sink, threads);
+  const SimulationReport r = sim.run();
+  if (report != nullptr) *report = r;
+  std::string all;
+  for (const TraceRecord& rec : sink.records()) {
+    for (const std::string& field : rec.to_csv()) {
+      all += field;
+      all += ',';
+    }
+    all += '\n';
+  }
+  EXPECT_FALSE(all.empty());
+  return Sha1::of(all);
+}
+
+TEST(ScenarioSimulation, EveryScenarioIdenticalAcrossThreadCounts) {
+  for (const IncidentScenario& sc : incident_scenarios()) {
+    const std::string name(sc.name);
+    SimulationReport oracle_report;
+    const Sha1Digest oracle =
+        trace_sha1(scenario_config(sc), 1, &oracle_report);
+    EXPECT_GT(oracle_report.fault_events, 0u) << name;
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      EXPECT_EQ(trace_sha1(scenario_config(sc), threads), oracle)
+          << name << " diverged at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ScenarioSimulation, WireCheckedRunMatchesDirectPath) {
+  // The envelope-equivalence harness, per scenario: the wire-checked
+  // run (every call serialized through the u1d envelope and back) must
+  // reproduce the direct-call trace byte for byte.
+  for (const IncidentScenario& sc : incident_scenarios()) {
+    const std::string name(sc.name);
+    const Sha1Digest direct = trace_sha1(scenario_config(sc, false), 2);
+    SimulationReport wired_report;
+    const Sha1Digest wired =
+        trace_sha1(scenario_config(sc, true), 2, &wired_report);
+    EXPECT_EQ(wired, direct) << name << " wire-checked trace diverged";
+    EXPECT_GT(wired_report.backend.rpcs, 0u) << name;
+  }
+}
+
+TEST(ScenarioSimulation, DependencyEdgesFireInsideHorizon) {
+  // Each scenario's deterministic (p=1) chain materializes: the run
+  // observes at least one begin+end pair per certain spec, and the
+  // population survives to keep working after the last window.
+  for (const IncidentScenario& sc : incident_scenarios()) {
+    const std::string name(sc.name);
+    std::size_t certain = 0;
+    const FaultPlan plan = parse_fault_plan(sc.plan_text);
+    for (const FaultSpec& spec : plan.specs)
+      if (spec.trigger_prob >= 1.0) ++certain;
+    SimulationReport report;
+    (void)trace_sha1(scenario_config(sc), 2, &report);
+    EXPECT_GE(report.fault_events, 2 * certain) << name;
+    EXPECT_GT(report.backend.sessions_opened, 0u) << name;
+    EXPECT_GT(report.backend.uploads, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace u1

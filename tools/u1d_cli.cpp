@@ -6,7 +6,8 @@
 //
 // Usage:
 //   u1d [--listen PORT] [--shards N] [--seed S]
-//       [--fault-plan standard|FILE] [--fault-seed S] [--wire-check]
+//       [--fault-plan standard|@SCENARIO|FILE] [--fault-seed S]
+//       [--wire-check]
 //
 // Prints "u1d listening on <port>" once ready (PORT 0 = ephemeral, the
 // line reports the resolved port — test harnesses parse it). SIGINT or
@@ -22,6 +23,7 @@
 
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
+#include "fault/scenarios.hpp"
 #include "net/server.hpp"
 #include "server/backend.hpp"
 #include "trace/sink.hpp"
@@ -37,8 +39,8 @@ void handle_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--listen PORT] [--shards N] [--seed S]\n"
-               "          [--fault-plan standard|FILE] [--fault-seed S]\n"
-               "          [--wire-check]\n",
+               "          [--fault-plan standard|@SCENARIO|FILE]\n"
+               "          [--fault-seed S] [--wire-check]\n",
                argv0);
   return 2;
 }
@@ -85,18 +87,27 @@ int main(int argc, char** argv) {
     }
   }
 
-  NullSink sink;
-  U1Backend backend(backend_cfg, sink);
-
-  // Optional live failover drill: materialize the plan over a 30-day
-  // horizon; window faults act through the injector, crash/outage edges
-  // fire as client virtual time passes them.
-  FaultSchedule schedule;
-  std::unique_ptr<FaultInjector> injector;
+  // Resolve the plan before the backend exists: a canned scenario
+  // (@name) also sets the backend posture it assumes — the balancer's
+  // slow-start window and the per-process session cap.
+  FaultPlan plan;
   if (!fault_plan_arg.empty()) {
-    FaultPlan plan;
     if (fault_plan_arg == "standard") {
       plan = standard_fault_plan();
+    } else if (fault_plan_arg.front() == '@') {
+      const IncidentScenario* sc =
+          find_incident_scenario(std::string_view(fault_plan_arg).substr(1));
+      if (sc == nullptr) {
+        std::fprintf(stderr, "u1d: unknown scenario %s (known:",
+                     fault_plan_arg.c_str());
+        for (const IncidentScenario& s : incident_scenarios())
+          std::fprintf(stderr, " @%s", std::string(s.name).c_str());
+        std::fprintf(stderr, ")\n");
+        return 1;
+      }
+      plan = parse_fault_plan(sc->plan_text);
+      backend_cfg.fleet.slow_start = sc->slow_start;
+      backend_cfg.session_cap_per_process = sc->session_cap;
     } else {
       std::ifstream in(fault_plan_arg);
       if (!in) {
@@ -108,6 +119,18 @@ int main(int argc, char** argv) {
       text << in.rdbuf();
       plan = parse_fault_plan(text.str());
     }
+  }
+
+  NullSink sink;
+  U1Backend backend(backend_cfg, sink);
+
+  // Optional live failover drill: materialize the plan over a 30-day
+  // horizon; window faults act through the injector, crash/outage edges
+  // (including DAG-triggered ones — the schedule is fully materialized
+  // up front) fire as client virtual time passes them.
+  FaultSchedule schedule;
+  std::unique_ptr<FaultInjector> injector;
+  if (!plan.empty()) {
     schedule = build_fault_schedule(plan, 30 * kDay,
                                     backend_cfg.fleet.machines,
                                     backend_cfg.shards, fault_seed);

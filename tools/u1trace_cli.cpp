@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "fault/fault_plan.hpp"
+#include "fault/scenarios.hpp"
 
 #include "analysis/ddos_detect.hpp"
 #include "analysis/dedup.hpp"
@@ -28,7 +29,7 @@ constexpr const char* kUsage =
     "usage: u1trace <command> [options]\n"
     "  generate  --out DIR [--users N] [--days D] [--seed S]\n"
     "            [--threads T] [--no-ddos] [--format csv|bin]\n"
-    "            [--fault-plan standard|FILE] [--fault-seed S]\n"
+    "            [--fault-plan standard|@SCENARIO|FILE] [--fault-seed S]\n"
     "  convert   SRC --out DIR [--to csv|bin]\n"
     "  summarize DIR\n"
     "  analyze   DIR --figure {traffic|dedup|sessions|ddos|users|ops}\n"
@@ -118,6 +119,22 @@ int cmd_generate(const Args& args, std::ostream& out, std::ostream& err) {
   if (const auto plan = args.flag("fault-plan")) {
     if (*plan == "standard") {
       cfg.faults = standard_fault_plan();
+    } else if (!plan->empty() && plan->front() == '@') {
+      // Canned incident scenario: its plan plus the backend posture
+      // (slow-start ramp, per-process session cap) it assumes.
+      const IncidentScenario* sc =
+          find_incident_scenario(std::string_view(*plan).substr(1));
+      if (sc == nullptr) {
+        err << "generate: --fault-plan: unknown scenario '" << *plan
+            << "' (known:";
+        for (const IncidentScenario& s : incident_scenarios())
+          err << " @" << s.name;
+        err << ")\n";
+        return 2;
+      }
+      cfg.faults = parse_fault_plan(sc->plan_text);
+      cfg.backend.fleet.slow_start = sc->slow_start;
+      cfg.backend.session_cap_per_process = sc->session_cap;
     } else {
       std::ifstream in(*plan);
       if (!in) {
