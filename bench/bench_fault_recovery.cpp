@@ -288,6 +288,10 @@ int run_chaos_mode(const std::string& which, std::uint64_t fault_seed,
                  seed_pinned ? "true" : "false");
     std::fprintf(f, "  \"all_bands_pass\": %s,\n",
                  all_pass ? "true" : "false");
+    std::fprintf(f, "  \"peak_rss_kb\": %llu,\n",
+                 static_cast<unsigned long long>(u1::bench::peak_rss_kb()));
+    std::fprintf(f, "  \"heap_in_use_kb\": %llu,\n",
+                 static_cast<unsigned long long>(u1::bench::heap_in_use_kb()));
     std::fprintf(f, "  \"scenarios\": [\n");
     for (std::size_t i = 0; i < verdicts.size(); ++i) {
       const ScenarioVerdict& v = verdicts[i];

@@ -22,9 +22,9 @@ int main() {
     row("RAR gaps within 1 day", 0.40, rar.at(86400.0));
   }
 
-  const auto downloads = deps.downloads_per_file();
+  auto downloads = deps.downloads_per_file();
   if (!downloads.empty()) {
-    Ecdf dl{std::vector<double>(downloads)};
+    Ecdf dl{std::move(downloads)};
     std::printf("\n  downloads-per-file CDF (inner plot):\n");
     for (const double x : {1.0, 2.0, 5.0, 10.0, 100.0}) {
       std::printf("    <= %-6.0f : %.3f\n", x, dl.at(x));

@@ -19,9 +19,9 @@ int main() {
                 static_cast<double>(dedup.upload_ops_seen())
           : 0.0);
 
-  const auto copies = dedup.copies_per_hash();
+  auto copies = dedup.copies_per_hash();
   if (!copies.empty()) {
-    Ecdf c{std::vector<double>(copies)};
+    Ecdf c{std::move(copies)};
     std::printf("\n  copies-per-hash CDF:\n");
     for (const double x : {1.0, 2.0, 5.0, 10.0, 100.0, 1000.0}) {
       std::printf("    <= %-6.0f : %.4f\n", x, c.at(x));

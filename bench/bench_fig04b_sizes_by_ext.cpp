@@ -19,9 +19,9 @@ int main() {
   std::printf("  %-6s %9s %9s %9s %9s %9s %12s\n", "ext", "10KB", "100KB",
               "1MB", "10MB", "100MB", "median");
   for (const char* ext : {"jpg", "mp3", "pdf", "doc", "java", "zip", "py"}) {
-    const auto sizes = types.sizes_of(ext);
+    auto sizes = types.sizes_of(ext);
     if (sizes.size() < 10) continue;
-    Ecdf e{std::vector<double>(sizes)};
+    Ecdf e{std::move(sizes)};
     std::printf("  %-6s %9.3f %9.3f %9.3f %9.3f %9.3f %12.0f\n", ext,
                 e.at(10 * 1024.0), e.at(100 * 1024.0), e.at(kMB),
                 e.at(10 * kMB), e.at(100 * kMB), e.quantile(0.5));

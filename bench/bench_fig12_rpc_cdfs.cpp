@@ -13,9 +13,9 @@ void print_panel(const char* title, std::initializer_list<u1::RpcOp> ops,
   std::printf("  %-34s %9s %9s %9s %9s %8s\n", "rpc", "p50(ms)", "p90(ms)",
               "p99(ms)", "max(s)", "tail%");
   for (const u1::RpcOp op : ops) {
-    const auto times = rpcs.service_times(op);
+    auto times = rpcs.service_times(op);
     if (times.size() < 10) continue;
-    u1::Ecdf e{std::vector<double>(times)};
+    u1::Ecdf e{std::move(times)};
     std::printf("  %-34s %9.2f %9.2f %9.2f %9.2f %7.1f%%\n",
                 std::string(to_string(op)).c_str(),
                 e.quantile(0.5) * 1e3, e.quantile(0.9) * 1e3,

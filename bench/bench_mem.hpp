@@ -1,0 +1,54 @@
+// Process-memory probes shared by every bench that writes a
+// BENCH_*.json: peak RSS via getrusage and the glibc allocator's
+// currently-live bytes via mallinfo2. Header-only and dependency-free so
+// the network bench (which links none of the sim libraries) can use them
+// too.
+#pragma once
+
+#include <cstdint>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+namespace u1::bench {
+
+/// Peak resident set size of this process, in KB (getrusage ru_maxrss;
+/// 0 when the platform has no getrusage). Monotone over the process
+/// lifetime — sample it right after the phase being measured, before
+/// anything larger runs.
+inline std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // KB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Bytes currently handed out by the glibc allocator, in KB (mallinfo2
+/// uordblks; 0 on other libcs). Unlike peak RSS this goes *down* when
+/// state is freed, so sampling it at the measurement point gives the
+/// live-heap footprint of what the run kept.
+inline std::uint64_t heap_in_use_kb() {
+#if defined(__GLIBC__) && defined(__GLIBC_PREREQ)
+#if __GLIBC_PREREQ(2, 33)
+  const struct mallinfo2 info = mallinfo2();
+  return static_cast<std::uint64_t>(info.uordblks) / 1024;
+#else
+  return 0;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace u1::bench

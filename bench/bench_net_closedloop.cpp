@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_mem.hpp"
 #include "net/client.hpp"
 #include "proto/envelope.hpp"
 #include "util/sha1.hpp"
@@ -253,12 +254,15 @@ int main(int argc, char** argv) {
                "  \"think_ms\": %d,\n  \"requests\": %llu,\n"
                "  \"protocol_errors\": %llu,\n  \"failed_connects\": %llu,\n"
                "  \"wall_s\": %.3f,\n  \"throughput_rps\": %.1f,\n"
+               "  \"peak_rss_kb\": %llu,\n  \"heap_in_use_kb\": %llu,\n"
                "  \"per_op\": {\n",
                opt.connections, opt.ops, opt.think_ms,
                static_cast<unsigned long long>(requests),
                static_cast<unsigned long long>(protocol_errors),
                static_cast<unsigned long long>(failed_connects), wall_s,
-               wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0);
+               wall_s > 0 ? static_cast<double>(requests) / wall_s : 0.0,
+               static_cast<unsigned long long>(u1::bench::peak_rss_kb()),
+               static_cast<unsigned long long>(u1::bench::heap_in_use_kb()));
   bool first = true;
   for (auto& [op, lat] : by_op) {
     std::sort(lat.begin(), lat.end());

@@ -298,6 +298,10 @@ int main(int argc, char** argv) {
                  single_core ? "true" : "false");
     std::fprintf(f, "  \"trace_byte_identical\": %s,\n",
                  identical ? "true" : "false");
+    std::fprintf(f, "  \"peak_rss_kb\": %llu,\n",
+                 static_cast<unsigned long long>(u1::bench::peak_rss_kb()));
+    std::fprintf(f, "  \"heap_in_use_kb\": %llu,\n",
+                 static_cast<unsigned long long>(u1::bench::heap_in_use_kb()));
     std::fprintf(f, "  \"runs\": [\n");
     for (std::size_t i = 0; i < runs.size(); ++i) {
       const RunResult& r = runs[i];

@@ -15,6 +15,7 @@
 // Simulation — fix U1SIM_THREADS when comparing runs).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_mem.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/scenarios.hpp"
 #include "sim/parallel.hpp"

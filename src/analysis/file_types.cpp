@@ -33,7 +33,90 @@ void FileTypeAnalyzer::append(const TraceRecord& r) {
   info.ext_index = intern(r.label, r.extension());
 }
 
+// Per-group shard: the merged path's per-node latest-size map, restricted
+// to this group's nodes (disjoint across groups by construction). The
+// filter mirrors append() exactly — including updates, which overwrite
+// in place — so the merged union is identical to what a serial pass over
+// the merged stream would build.
+class FileTypeAnalyzer::Shard final : public AnalyzerShard {
+ public:
+  struct Entry {
+    std::uint64_t size = 0;
+    Symbol label{};
+  };
+
+  void consume(const TraceRecord* records, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const TraceRecord& r = records[i];
+      if (r.type != RecordType::kStorageDone || r.failed || r.t < 0)
+        continue;
+      if (r.api_op != ApiOp::kPutContent || r.size_bytes == 0) continue;
+      Entry& e = files[r.node];
+      e.size = r.size_bytes;
+      e.label = r.label;
+      ext_names.try_emplace(r.label, r.extension());
+    }
+  }
+
+  std::unordered_map<NodeId, Entry> files;
+  std::unordered_map<Symbol, std::string> ext_names;
+};
+
+std::unique_ptr<AnalyzerShard> FileTypeAnalyzer::make_shard() {
+  return std::make_unique<Shard>();
+}
+
+void FileTypeAnalyzer::merge_shard(AnalyzerShard& shard) {
+  auto& s = dynamic_cast<Shard&>(shard);
+  sharded_ = true;
+  for (const auto& [sym, name] : s.ext_names) ext_syms_.emplace(name, sym);
+  files_.reserve(files_.size() + s.files.size());
+  for (const auto& [node, e] : s.files) {
+    FileInfo& info = files_[node];
+    info.size = e.size;
+    info.ext_index = intern(e.label, s.ext_names.at(e.label));
+  }
+}
+
+void FileTypeAnalyzer::finish() {
+  if (!sharded_) return;
+  distinct_files_ = files_.size();
+  // Derive the bounded-size query substrate from the exact map. The
+  // empty sizes_hist_ doubles as the bin-layout prototype for the
+  // per-extension histograms (copied before the first add lands in it).
+  const LogHistogram proto = sizes_hist_;
+  std::vector<Symbol> sym_of(extensions_.size());
+  std::vector<FileCategory> cat_of(extensions_.size());
+  for (const auto& [sym, idx] : label_index_) sym_of[idx] = sym;
+  for (std::size_t i = 0; i < extensions_.size(); ++i)
+    cat_of[i] = category_of(extensions_[i]);
+  for (const auto& [id, info] : files_) {
+    const auto size = static_cast<double>(info.size);
+    const Symbol sym = sym_of[info.ext_index];
+    sizes_hist_.add(size);
+    const auto cat = static_cast<std::size_t>(cat_of[info.ext_index]);
+    cat_count_[cat] += 1;
+    cat_bytes_[cat] += size;
+    ext_cms_.add(sym);
+    auto it = ext_hists_.find(sym);
+    if (it == ext_hists_.end()) it = ext_hists_.emplace(sym, proto).first;
+    it->second.add(size);
+  }
+}
+
+namespace {
+
+std::vector<double> hist_grid(const LogHistogram& hist) {
+  if (hist.total() <= 0) return {};
+  const auto points = static_cast<std::size_t>(
+      std::min(hist.total(), 4001.0));
+  return hist.sorted_sample(points);
+}
+
+}  // namespace
+
 std::vector<double> FileTypeAnalyzer::all_sizes() const {
+  if (sharded_) return hist_grid(sizes_hist_);
   std::vector<double> out;
   out.reserve(files_.size());
   for (const auto& [id, info] : files_)
@@ -43,6 +126,11 @@ std::vector<double> FileTypeAnalyzer::all_sizes() const {
 
 std::vector<double> FileTypeAnalyzer::sizes_of(
     const std::string& extension) const {
+  if (sharded_) {
+    const auto sym = ext_syms_.find(extension);
+    if (sym == ext_syms_.end()) return {};
+    return hist_grid(ext_hists_.at(sym->second));
+  }
   std::vector<double> out;
   const auto it = ext_index_.find(extension);
   if (it == ext_index_.end()) return out;
@@ -54,6 +142,10 @@ std::vector<double> FileTypeAnalyzer::sizes_of(
 }
 
 double FileTypeAnalyzer::fraction_below(double bytes) const {
+  if (sharded_) {
+    return sizes_hist_.total() > 0 ? sizes_hist_.fraction_below(bytes)
+                                   : 0.0;
+  }
   if (files_.empty()) return 0.0;
   std::uint64_t below = 0;
   for (const auto& [id, info] : files_)
@@ -66,13 +158,22 @@ FileTypeAnalyzer::category_shares() const {
   std::array<double, kFileCategoryCount> count{};
   std::array<double, kFileCategoryCount> bytes{};
   double total_count = 0, total_bytes = 0;
-  for (const auto& [id, info] : files_) {
-    const auto cat =
-        static_cast<std::size_t>(category_of(extensions_[info.ext_index]));
-    count[cat] += 1;
-    bytes[cat] += static_cast<double>(info.size);
-    total_count += 1;
-    total_bytes += static_cast<double>(info.size);
+  if (sharded_) {
+    for (std::size_t c = 0; c < kFileCategoryCount; ++c) {
+      count[c] = static_cast<double>(cat_count_[c]);
+      bytes[c] = cat_bytes_[c];
+      total_count += count[c];
+      total_bytes += bytes[c];
+    }
+  } else {
+    for (const auto& [id, info] : files_) {
+      const auto cat = static_cast<std::size_t>(
+          category_of(extensions_[info.ext_index]));
+      count[cat] += 1;
+      bytes[cat] += static_cast<double>(info.size);
+      total_count += 1;
+      total_bytes += static_cast<double>(info.size);
+    }
   }
   std::vector<CategoryShare> out;
   for (std::size_t c = 0; c < kFileCategoryCount; ++c) {
@@ -89,11 +190,20 @@ FileTypeAnalyzer::category_shares() const {
 std::vector<std::string> FileTypeAnalyzer::popular_extensions(
     std::size_t top_n) const {
   std::vector<std::pair<std::string, std::uint64_t>> counts;
-  counts.reserve(extensions_.size());
-  for (const auto& ext : extensions_) counts.emplace_back(ext, 0);
-  for (const auto& [id, info] : files_) ++counts[info.ext_index].second;
-  std::sort(counts.begin(), counts.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (sharded_) {
+    counts.reserve(ext_syms_.size());
+    for (const auto& [name, sym] : ext_syms_)
+      counts.emplace_back(name, ext_cms_.estimate(sym));
+  } else {
+    counts.reserve(extensions_.size());
+    for (const auto& ext : extensions_) counts.emplace_back(ext, 0);
+    for (const auto& [id, info] : files_) ++counts[info.ext_index].second;
+  }
+  // Name tiebreak keeps the order deterministic when counts collide
+  // (the merged path's interning order is not available when sharded).
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
   std::vector<std::string> out;
   for (std::size_t i = 0; i < std::min(top_n, counts.size()); ++i)
     out.push_back(counts[i].first);

@@ -6,21 +6,41 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/sharded.hpp"
+#include "stats/sketch.hpp"
 #include "trace/sink.hpp"
 #include "trace/symbols.hpp"
 #include "workload/file_model.hpp"
 
 namespace u1 {
 
-class FileTypeAnalyzer final : public TraceSink {
+class FileTypeAnalyzer final : public TraceSink, public ShardedAnalyzer {
  public:
   void append(const TraceRecord& record) override;
 
-  /// Sizes (bytes) of distinct files, overall and for one extension.
+  // ShardedAnalyzer: each shard keeps the same per-node latest-size map
+  // the merged path does (a node's uploads all land in one group, so the
+  // maps are disjoint and merge exactly — "latest version" semantics are
+  // impossible to stream without per-key state, since an update would
+  // have to retract the old size from any histogram). finish() then
+  // derives the bounded-size query substrate from the merged map: a
+  // log-binned size histogram (~4% relative resolution at 16
+  // bins/octave), per-extension histograms, and a count-min sketch of
+  // extension tallies — so sharded accessors return O(bins) grids, never
+  // O(files) vectors, and answers match the merged path up to histogram
+  // resolution (distinct-file counts and category shares are exact).
+  std::unique_ptr<AnalyzerShard> make_shard() override;
+  void merge_shard(AnalyzerShard& shard) override;
+  void finish() override;
+
+  /// Sizes (bytes) of distinct files, overall and for one extension. On
+  /// the sharded path these are sorted quantile grids from the log
+  /// histograms, not exact per-file lists.
   std::vector<double> all_sizes() const;
   std::vector<double> sizes_of(const std::string& extension) const;
 
@@ -38,9 +58,13 @@ class FileTypeAnalyzer final : public TraceSink {
   /// Extensions ordered by file count (most popular first).
   std::vector<std::string> popular_extensions(std::size_t top_n) const;
 
-  std::uint64_t distinct_files() const noexcept { return files_.size(); }
+  std::uint64_t distinct_files() const noexcept {
+    return sharded_ ? distinct_files_ : files_.size();
+  }
 
  private:
+  class Shard;
+
   struct FileInfo {
     std::uint64_t size = 0;
     std::uint16_t ext_index = 0;
@@ -53,6 +77,16 @@ class FileTypeAnalyzer final : public TraceSink {
   /// Record label -> ext_index fast path: the hot append never hashes
   /// the extension string, only its global symbol id.
   std::unordered_map<Symbol, std::uint16_t> label_index_;
+
+  // Sharded-path state (populated by merge_shard).
+  bool sharded_ = false;
+  LogHistogram sizes_hist_{1.0, 16, 1024};
+  std::array<std::uint64_t, kFileCategoryCount> cat_count_{};
+  std::array<double, kFileCategoryCount> cat_bytes_{};
+  CountMinSketch ext_cms_{4096, 4, 0x115e7};
+  std::unordered_map<Symbol, LogHistogram> ext_hists_;
+  std::unordered_map<std::string, Symbol> ext_syms_;
+  std::uint64_t distinct_files_ = 0;
 };
 
 }  // namespace u1

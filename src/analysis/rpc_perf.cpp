@@ -1,7 +1,9 @@
 #include "analysis/rpc_perf.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "stats/ecdf.hpp"
 #include "stats/summary.hpp"
 
 namespace u1 {
@@ -15,6 +17,22 @@ std::array<ReservoirSampler, sizeof...(Is)> make_samplers(
 
 }  // namespace
 
+class RpcPerfAnalyzer::Shard final : public AnalyzerShard {
+ public:
+  void consume(const TraceRecord* records, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const TraceRecord& r = records[i];
+      if (r.type != RecordType::kRpc || r.t < 0) continue;
+      const auto idx = static_cast<std::size_t>(r.rpc_op);
+      sketches[idx].add(to_seconds(r.service_time));
+      ++counts[idx];
+    }
+  }
+
+  std::array<QuantileSketch, kRpcOpCount> sketches;
+  std::array<std::uint64_t, kRpcOpCount> counts{};
+};
+
 RpcPerfAnalyzer::RpcPerfAnalyzer(std::size_t cap)
     : samples_(make_samplers(cap, std::make_index_sequence<kRpcOpCount>{})) {}
 
@@ -25,8 +43,28 @@ void RpcPerfAnalyzer::append(const TraceRecord& r) {
   ++counts_[idx];
 }
 
+std::unique_ptr<AnalyzerShard> RpcPerfAnalyzer::make_shard() {
+  return std::make_unique<Shard>();
+}
+
+void RpcPerfAnalyzer::merge_shard(AnalyzerShard& shard) {
+  auto& s = dynamic_cast<Shard&>(shard);
+  sharded_ = true;
+  for (std::size_t i = 0; i < kRpcOpCount; ++i) {
+    sketches_[i].merge(s.sketches[i]);
+    counts_[i] += s.counts[i];
+  }
+}
+
 std::vector<double> RpcPerfAnalyzer::service_times(RpcOp op) const {
-  const auto& s = samples_[static_cast<std::size_t>(op)].sample();
+  const auto idx = static_cast<std::size_t>(op);
+  if (sharded_) {
+    const QuantileSketch& sk = sketches_[idx];
+    const auto points =
+        static_cast<std::size_t>(std::min<std::uint64_t>(sk.count(), 2001));
+    return sk.sorted_sample(points);
+  }
+  const auto& s = samples_[idx].sample();
   return {s.begin(), s.end()};
 }
 
@@ -34,20 +72,40 @@ std::uint64_t RpcPerfAnalyzer::count(RpcOp op) const noexcept {
   return counts_[static_cast<std::size_t>(op)];
 }
 
-double RpcPerfAnalyzer::median_s(RpcOp op) const {
-  const auto& s = samples_[static_cast<std::size_t>(op)].sample();
+double RpcPerfAnalyzer::median_s(RpcOp op) const { return quantile_s(op, 0.5); }
+
+double RpcPerfAnalyzer::quantile_s(RpcOp op, double q) const {
+  const auto idx = static_cast<std::size_t>(op);
+  if (sharded_) {
+    const QuantileSketch& sk = sketches_[idx];
+    return sk.empty() ? 0.0 : sk.quantile(q);
+  }
+  const auto& s = samples_[idx].sample();
   if (s.empty()) return 0.0;
-  return median_of(s);
+  return Ecdf(std::vector<double>(s.begin(), s.end())).quantile(q);
 }
 
 double RpcPerfAnalyzer::tail_fraction(RpcOp op, double factor) const {
-  const auto& s = samples_[static_cast<std::size_t>(op)].sample();
+  const auto idx = static_cast<std::size_t>(op);
+  if (sharded_) {
+    const QuantileSketch& sk = sketches_[idx];
+    if (sk.empty()) return 0.0;
+    return 1.0 - sk.rank(factor * sk.quantile(0.5));
+  }
+  const auto& s = samples_[idx].sample();
   if (s.empty()) return 0.0;
   const double med = median_of(s);
   const auto far = std::count_if(s.begin(), s.end(), [&](double x) {
     return x > factor * med;
   });
   return static_cast<double>(far) / static_cast<double>(s.size());
+}
+
+const QuantileSketch& RpcPerfAnalyzer::sketch(RpcOp op) const {
+  if (!sharded_)
+    throw std::logic_error(
+        "RpcPerfAnalyzer::sketch: merged path has no sketches");
+  return sketches_[static_cast<std::size_t>(op)];
 }
 
 std::vector<RpcPerfAnalyzer::ScatterPoint> RpcPerfAnalyzer::scatter() const {

@@ -1,34 +1,57 @@
 // Metadata back-end RPC performance (paper §7.1): the per-RPC service-time
 // distributions of Fig. 12 (with their long tails) and the Fig. 13 scatter
 // of median service time vs operation count by RPC class.
+//
+// Two fill paths: the exact merged-stream TraceSink path (reservoir
+// sample per RPC), and the sharded path (one mergeable QuantileSketch
+// per RPC per shard group, folded in group-index order) whose quantiles
+// carry the sketch's rank-error bound instead of sampling noise.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "analysis/sharded.hpp"
 #include "stats/reservoir.hpp"
+#include "stats/sketch.hpp"
 #include "trace/sink.hpp"
 
 namespace u1 {
 
-class RpcPerfAnalyzer final : public TraceSink {
+class RpcPerfAnalyzer final : public TraceSink, public ShardedAnalyzer {
  public:
-  /// cap: reservoir size per RPC type (memory bound for month traces).
+  /// cap: reservoir size per RPC type (memory bound for month traces,
+  /// merged path only).
   explicit RpcPerfAnalyzer(std::size_t cap = 100000);
 
   void append(const TraceRecord& record) override;
 
-  /// Uniform sample of service times (seconds) for one RPC.
+  // ShardedAnalyzer: per-group sketch shards. Merging any shard flips
+  // the analyzer to sketch-backed accessors.
+  std::unique_ptr<AnalyzerShard> make_shard() override;
+  void merge_shard(AnalyzerShard& shard) override;
+  bool sharded() const noexcept { return sharded_; }
+
+  /// Service-time sample (seconds) for one RPC: the uniform reservoir
+  /// sample (merged path) or a sorted quantile grid of the sketch
+  /// (sharded path) — both feed Ecdf/figure CDFs.
   std::vector<double> service_times(RpcOp op) const;
   std::uint64_t count(RpcOp op) const noexcept;
 
   /// Median service time in seconds (0 when the RPC never appeared).
   double median_s(RpcOp op) const;
+  /// Service-time quantile in seconds (sketch-backed when sharded).
+  double quantile_s(RpcOp op, double q) const;
 
   /// Fraction of samples beyond `factor` x median — the paper's "7% to
   /// 22% of RPC service times are very far from the median".
   double tail_fraction(RpcOp op, double factor = 8.0) const;
+
+  /// The merged sketch (sharded path; throws std::logic_error on the
+  /// merged path) — benches read error bounds and memory from it.
+  const QuantileSketch& sketch(RpcOp op) const;
 
   struct ScatterPoint {
     RpcOp op;
@@ -40,8 +63,12 @@ class RpcPerfAnalyzer final : public TraceSink {
   std::vector<ScatterPoint> scatter() const;
 
  private:
+  class Shard;
+
   std::array<ReservoirSampler, kRpcOpCount> samples_;
+  std::array<QuantileSketch, kRpcOpCount> sketches_;
   std::array<std::uint64_t, kRpcOpCount> counts_{};
+  bool sharded_ = false;
 };
 
 }  // namespace u1

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <numeric>
 
 namespace u1 {
 
 SessionAnalyzer::SessionAnalyzer(SimTime start, SimTime end)
-    : auth_(start, end, kHour), session_reqs_(start, end, kHour) {}
+    : start_(start),
+      end_(end),
+      auth_(start, end, kHour),
+      session_reqs_(start, end, kHour) {}
 
 void SessionAnalyzer::append(const TraceRecord& r) {
   if (r.type == RecordType::kSession) {
@@ -53,6 +57,116 @@ void SessionAnalyzer::append(const TraceRecord& r) {
   }
 }
 
+// Per-group shard: same event handling as append(), but closed-session
+// lengths and ops-per-session go into sketches instead of vectors, so a
+// shard's footprint stays O(live sessions + sketch) regardless of how
+// many sessions the group closes.
+class SessionAnalyzer::Shard final : public AnalyzerShard {
+ public:
+  Shard(SimTime start, SimTime end)
+      : auth(start, end, kHour), session_reqs(start, end, kHour) {}
+
+  void consume(const TraceRecord* records, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) {
+      const TraceRecord& r = records[i];
+      if (r.type == RecordType::kSession) {
+        if (r.t >= 0) session_reqs.add(r.t);
+        switch (r.session_event) {
+          case SessionEvent::kAuthRequest:
+            if (r.t >= 0) {
+              auth.add(r.t);
+              ++auth_requests;
+            }
+            break;
+          case SessionEvent::kAuthFail:
+            if (r.t >= 0) ++auth_failures;
+            break;
+          case SessionEvent::kOpen:
+            live[r.session] = Live{r.t, 0};
+            break;
+          case SessionEvent::kDropped:
+          case SessionEvent::kClose: {
+            const auto it = live.find(r.session);
+            if (it == live.end()) break;
+            if (r.t >= 0) {
+              const double len = to_seconds(r.t - it->second.opened);
+              lengths_all.add(len);
+              ++closed_all;
+              if (it->second.storage_ops > 0) {
+                const auto ops =
+                    static_cast<double>(it->second.storage_ops);
+                lengths_active.add(len);
+                ops_active.add(ops);
+                ops_lorenz.add(ops);
+                ++closed_active;
+              }
+            }
+            live.erase(it);
+            break;
+          }
+          default:
+            break;
+        }
+        continue;
+      }
+      if (r.type == RecordType::kStorageDone && !r.failed &&
+          is_storage_op(r.api_op)) {
+        const auto it = live.find(r.session);
+        if (it != live.end()) ++it->second.storage_ops;
+      }
+    }
+  }
+
+  TimeBinSeries auth;
+  TimeBinSeries session_reqs;
+  std::uint64_t auth_requests = 0;
+  std::uint64_t auth_failures = 0;
+  std::unordered_map<SessionId, Live> live;
+  QuantileSketch lengths_all;
+  QuantileSketch lengths_active;
+  QuantileSketch ops_active;
+  BinnedLorenz ops_lorenz;
+  std::uint64_t closed_all = 0;
+  std::uint64_t closed_active = 0;
+};
+
+std::unique_ptr<AnalyzerShard> SessionAnalyzer::make_shard() {
+  return std::make_unique<Shard>(start_, end_);
+}
+
+void SessionAnalyzer::merge_shard(AnalyzerShard& shard) {
+  auto& s = dynamic_cast<Shard&>(shard);
+  sharded_ = true;
+  auth_.merge(s.auth);
+  session_reqs_.merge(s.session_reqs);
+  auth_requests_ += s.auth_requests;
+  auth_failures_ += s.auth_failures;
+  lengths_all_sk_.merge(s.lengths_all);
+  lengths_active_sk_.merge(s.lengths_active);
+  ops_active_sk_.merge(s.ops_active);
+  ops_lorenz_.merge(s.ops_lorenz);
+  closed_all_ += s.closed_all;
+  closed_active_ += s.closed_active;
+}
+
+namespace {
+
+std::vector<double> quantile_grid(const QuantileSketch& sk) {
+  if (sk.empty()) return {};
+  const auto points =
+      static_cast<std::size_t>(std::min<std::uint64_t>(sk.count(), 4001));
+  return sk.sorted_sample(points);
+}
+
+}  // namespace
+
+void SessionAnalyzer::finish() {
+  if (!sharded_) return;
+  lengths_all_ = quantile_grid(lengths_all_sk_);
+  lengths_active_ = quantile_grid(lengths_active_sk_);
+  ops_active_ = quantile_grid(ops_active_sk_);
+}
+
 double SessionAnalyzer::auth_failure_fraction() const {
   const std::uint64_t total = auth_requests_;
   return total > 0 ? static_cast<double>(auth_failures_) /
@@ -72,20 +186,39 @@ double SessionAnalyzer::monday_weekend_peak_ratio() const {
 }
 
 double SessionAnalyzer::active_session_fraction() const {
+  if (sharded_) {
+    return closed_all_ > 0 ? static_cast<double>(closed_active_) /
+                                 static_cast<double>(closed_all_)
+                           : 0.0;
+  }
   if (lengths_all_.empty()) return 0.0;
   return static_cast<double>(lengths_active_.size()) /
          static_cast<double>(lengths_all_.size());
 }
 
 double SessionAnalyzer::fraction_shorter_than(SimTime limit) const {
-  if (lengths_all_.empty()) return 0.0;
   const double cutoff = to_seconds(limit);
+  if (sharded_) {
+    return closed_all_ > 0 ? lengths_all_sk_.rank(cutoff) : 0.0;
+  }
+  if (lengths_all_.empty()) return 0.0;
   const auto n = std::count_if(lengths_all_.begin(), lengths_all_.end(),
                                [&](double l) { return l < cutoff; });
   return static_cast<double>(n) / static_cast<double>(lengths_all_.size());
 }
 
 double SessionAnalyzer::top_sessions_op_share(double top) const {
+  if (sharded_) {
+    if (closed_active_ == 0 || top <= 0 || top > 1) return 0.0;
+    // The merged path sums whole sessions from index floor(n*(1-top)),
+    // so "top 1%" of 13 sessions means the single largest session, not
+    // 1% of the binned mass. Snap the fraction to the same session
+    // count before evaluating the curve, which converges to `top`
+    // itself as n grows.
+    const double n = static_cast<double>(closed_active_);
+    const double k = n - std::floor(n * (1.0 - top));
+    return ops_lorenz_.top_share(k / n);
+  }
   if (ops_active_.empty() || top <= 0 || top > 1) return 0.0;
   std::vector<double> ops = ops_active_;
   std::sort(ops.begin(), ops.end());

@@ -1,0 +1,24 @@
+#include "analysis/sharded.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace u1 {
+
+AnalysisMode analysis_mode_from_env() {
+  const char* v = std::getenv("U1SIM_ANALYSIS");
+  if (v == nullptr || *v == '\0') return AnalysisMode::kSharded;
+  const std::string_view s(v);
+  if (s == "sharded") return AnalysisMode::kSharded;
+  if (s == "merged") return AnalysisMode::kMerged;
+  throw std::runtime_error(std::string("U1SIM_ANALYSIS: unknown mode '") +
+                           v + "' (want sharded|merged)");
+}
+
+const char* to_string(AnalysisMode mode) noexcept {
+  return mode == AnalysisMode::kSharded ? "sharded" : "merged";
+}
+
+}  // namespace u1

@@ -16,7 +16,9 @@ std::vector<double> paper_size_edges() {
 }  // namespace
 
 TrafficAnalyzer::TrafficAnalyzer(SimTime start, SimTime end)
-    : up_bytes_(start, end, kHour),
+    : start_(start),
+      end_(end),
+      up_bytes_(start, end, kHour),
       down_bytes_(start, end, kHour),
       up_ops_hist_(paper_size_edges()),
       down_ops_hist_(paper_size_edges()),
@@ -45,6 +47,41 @@ void TrafficAnalyzer::append(const TraceRecord& r) {
     down_ops_hist_.add(size, 1.0);
     down_bytes_hist_.add(size, static_cast<double>(r.transferred_bytes));
   }
+}
+
+class TrafficAnalyzer::Shard final : public AnalyzerShard {
+ public:
+  Shard(SimTime start, SimTime end) : analyzer(start, end) {}
+
+  void consume(const TraceRecord* records, std::size_t count) override {
+    analyzer.append_batch(records, count);
+  }
+
+  TrafficAnalyzer analyzer;
+};
+
+std::unique_ptr<AnalyzerShard> TrafficAnalyzer::make_shard() {
+  return std::make_unique<Shard>(start_, end_);
+}
+
+void TrafficAnalyzer::merge_shard(AnalyzerShard& shard) {
+  absorb(dynamic_cast<Shard&>(shard).analyzer);
+}
+
+void TrafficAnalyzer::absorb(const TrafficAnalyzer& other) {
+  up_bytes_.merge(other.up_bytes_);
+  down_bytes_.merge(other.down_bytes_);
+  up_ops_hist_.merge(other.up_ops_hist_);
+  down_ops_hist_.merge(other.down_ops_hist_);
+  up_bytes_hist_.merge(other.up_bytes_hist_);
+  down_bytes_hist_.merge(other.down_bytes_hist_);
+  upload_ops_ += other.upload_ops_;
+  download_ops_ += other.download_ops_;
+  upload_bytes_total_ += other.upload_bytes_total_;
+  download_bytes_total_ += other.download_bytes_total_;
+  update_ops_ += other.update_ops_;
+  update_wire_bytes_ += other.update_wire_bytes_;
+  upload_wire_bytes_ += other.upload_wire_bytes_;
 }
 
 double TrafficAnalyzer::diurnal_swing() const {

@@ -3,8 +3,10 @@
 // Fig. 2(c) hourly R/W ratio with boxplot + autocorrelation.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "analysis/sharded.hpp"
 #include "stats/acf.hpp"
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
@@ -13,12 +15,21 @@
 
 namespace u1 {
 
-class TrafficAnalyzer final : public TraceSink {
+class TrafficAnalyzer final : public TraceSink, public ShardedAnalyzer {
  public:
   /// Analyzes the window [start, end) with 1-hour bins.
   TrafficAnalyzer(SimTime start, SimTime end);
 
   void append(const TraceRecord& record) override;
+
+  // ShardedAnalyzer: every member is an exact mergeable accumulator
+  // (integer-valued sums and counts), so a shard is simply another
+  // TrafficAnalyzer and the sharded results are bit-identical to the
+  // merged path.
+  std::unique_ptr<AnalyzerShard> make_shard() override;
+  void merge_shard(AnalyzerShard& shard) override;
+  /// Element-wise addition of another analyzer over the same window.
+  void absorb(const TrafficAnalyzer& other);
 
   // --- Fig. 2(a): GBytes per hour -----------------------------------------
   const TimeBinSeries& upload_bytes_hourly() const noexcept {
@@ -70,6 +81,10 @@ class TrafficAnalyzer final : public TraceSink {
   }
 
  private:
+  class Shard;
+
+  SimTime start_;
+  SimTime end_;
   TimeBinSeries up_bytes_;
   TimeBinSeries down_bytes_;
   EdgeHistogram up_ops_hist_;

@@ -37,6 +37,30 @@ void UserActivityAnalyzer::append(const TraceRecord& r) {
   }
 }
 
+class UserActivityAnalyzer::Shard final : public AnalyzerShard {
+ public:
+  Shard(SimTime start, SimTime end) : analyzer(start, end) {}
+
+  void consume(const TraceRecord* records, std::size_t count) override {
+    analyzer.append_batch(records, count);
+  }
+
+  UserActivityAnalyzer analyzer;
+};
+
+std::unique_ptr<AnalyzerShard> UserActivityAnalyzer::make_shard() {
+  return std::make_unique<Shard>(start_, end_);
+}
+
+void UserActivityAnalyzer::merge_shard(AnalyzerShard& shard) {
+  UserActivityAnalyzer& o = dynamic_cast<Shard&>(shard).analyzer;
+  online_.merge(o.online_);
+  active_.merge(o.active_);
+  // Disjoint key spaces: merge() moves every node, copying nothing.
+  traffic_.merge(o.traffic_);
+  open_sessions_.merge(o.open_sessions_);
+}
+
 void UserActivityAnalyzer::finalize() {
   if (finalized_) return;
   finalized_ = true;

@@ -36,6 +36,7 @@ U1Backend::U1Backend(const BackendConfig& config, TraceSink& sink)
       // not queue behind t=0.
       shard_busy_until_(config.shards,
                         std::numeric_limits<SimTime>::lowest() / 2) {
+  next_session_ = config_.session_id_base;
   // Every API process subscribes to the notification queue (§3.4.2).
   for (std::size_t p = 1; p <= fleet_.process_count(); ++p) {
     mq_.subscribe(ProcessId{p},
@@ -465,7 +466,8 @@ Response U1Backend::do_connect(const Request& q) {
     return make_response(q.op, Status::kTryAgain, now + kApiOverhead);
   }
   const ServerFleet::Placement placement = *placed;
-  const SessionId sid{next_session_++};
+  const SessionId sid{next_session_};
+  next_session_ += config_.session_id_stride;
 
   // Authenticate (Table 2): API server contacts the Canonical auth
   // service; the token is cached per API server afterwards.

@@ -76,6 +76,14 @@ struct BackendConfig {
   /// the equivalence tests assert exactly that.
   bool wire_check = false;
 
+  /// Session-id namespace: ids are base, base+stride, base+2*stride, ...
+  /// A multi-backend engine (one back-end per shard group) sets
+  /// base = group+1, stride = group count, so session ids stay globally
+  /// unique in the merged trace and analyzers keyed by SessionId never
+  /// conflate sessions from different groups.
+  std::uint64_t session_id_base = 1;
+  std::uint64_t session_id_stride = 1;
+
   std::uint64_t seed = 0xc10ed;
 };
 

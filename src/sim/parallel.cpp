@@ -46,12 +46,14 @@ bool env_pin_workers() {
   return v != nullptr && *v != '\0' && std::string_view(v) != "0";
 }
 
-std::size_t env_flush_depth() {
+/// Explicit U1SIM_FLUSH_DEPTH, or nullopt when the engine should pick
+/// (2, or 1 in analysis-only mode where nothing is written K-deep).
+std::optional<std::size_t> env_flush_depth() {
   if (const char* v = std::getenv("U1SIM_FLUSH_DEPTH")) {
     const long k = std::atol(v);
     if (k >= 1) return static_cast<std::size_t>(k);
   }
-  return 2;
+  return std::nullopt;
 }
 
 void pin_thread_to_core(std::thread& thread, std::size_t core) {
@@ -91,7 +93,11 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
   threads_ = threads != 0
                  ? threads
                  : std::max<std::size_t>(1, std::thread::hardware_concurrency());
-  set_flush_depth(env_flush_depth());
+  // Analysis-only runs never materialize the trace, so a deeper write
+  // ring only holds memory hostage: default the depth to 1 there
+  // (explicit U1SIM_FLUSH_DEPTH still wins).
+  analysis_only_ = dynamic_cast<NullSink*>(sink_) != nullptr;
+  set_flush_depth(env_flush_depth().value_or(analysis_only_ ? 1 : 2));
   if (config.auto_countermeasures) guard_ = std::make_unique<AnomalyGuard>();
   if (!config.faults.empty()) {
     fault_schedule_ = build_fault_schedule(
@@ -104,6 +110,13 @@ ParallelSimulation::ParallelSimulation(const SimulationConfig& config,
 ParallelSimulation::~ParallelSimulation() {
   stop_flush_pipeline();
   stop_workers();
+}
+
+void ParallelSimulation::attach_analyzer(ShardedAnalyzer& analyzer) {
+  if (ran_)
+    throw std::logic_error(
+        "ParallelSimulation::attach_analyzer: call before run()");
+  analyzers_.push_back(&analyzer);
 }
 
 std::size_t ParallelSimulation::group_of(UserId user) const noexcept {
@@ -137,6 +150,12 @@ void ParallelSimulation::build_groups() {
     auto grp = std::make_unique<Group>();
     BackendConfig backend_cfg = config_.backend;
     backend_cfg.seed = group_mix(config_.seed ^ 0xbac9, g);
+    // Interleaved session-id namespaces (g+1, g+1+G, ...): every id in
+    // the merged trace is globally unique, so analyzers keyed by
+    // SessionId never conflate sessions from different groups. Depends
+    // only on the group count, never on the thread count.
+    backend_cfg.session_id_base = g + 1;
+    backend_cfg.session_id_stride = n_groups;
     grp->backend = std::make_unique<U1Backend>(backend_cfg, grp->trace);
     grp->pool_view = std::make_unique<ContentPoolView>(
         *content_pool_, group_mix(config_.seed ^ 0xb10b, g));
@@ -156,6 +175,9 @@ void ParallelSimulation::build_groups() {
           group_mix(effective_fault_seed(config_) ^ 0x1f4a7, g));
       grp->backend->set_fault_injector(grp->injector.get());
     }
+    grp->shards.reserve(analyzers_.size());
+    for (ShardedAnalyzer* analyzer : analyzers_)
+      grp->shards.push_back(analyzer->make_shard());
     groups_.push_back(std::move(grp));
   }
   slots_.clear();
@@ -425,6 +447,7 @@ void ParallelSimulation::fill_slot(FlushSlot& slot) {
     // B, so this swap hands the group an empty, pre-sized buffer — in
     // steady state the ring allocates nothing.
     groups_[g]->trace.swap_records(slot.chunks[g]);
+    records_flushed_ += slot.chunks[g].size();
   }
 }
 
@@ -433,6 +456,12 @@ void ParallelSimulation::prep_chunk(FlushSlot& slot, std::size_t group) {
   sort_trace_chunk(chunk);
   const std::vector<Symbol>& map = slot.sym_map[group];
   for (TraceRecord& r : chunk) r.label = map[r.label];
+  // In-worker analyzer fan-out: this thread owns the chunk exclusively
+  // and stage A instances never overlap, so a group's shards see their
+  // per-group stream sorted, globally-labelled, in epoch order — a
+  // stream that depends only on the seed, never on the thread count.
+  for (auto& shard : groups_[group]->shards)
+    shard->consume(chunk.data(), chunk.size());
 }
 
 void ParallelSimulation::run_stage_a(FlushSlot& slot) {
@@ -461,6 +490,16 @@ void ParallelSimulation::run_stage_a(FlushSlot& slot) {
     sort_cv_.wait(lock, [this] { return sort_remaining_ == 0; });
   } else {
     for (std::size_t g = 0; g < groups_.size(); ++g) prep_chunk(slot, g);
+  }
+  // Analysis-only runs with no guard skip the k-way merge plan: nothing
+  // consumes the merged order (the shards already ate the per-group
+  // streams, and stage B over an empty plan writes nothing). The guard,
+  // when present, still needs the merged stream so its purge schedule
+  // stays byte-identical to the trace-writing run.
+  if (analysis_only_ && !guard_) {
+    slot.plan.clear();
+    phases_.flush_s += secs_since(t0);
+    return;
   }
   build_merge_plan(slot.chunks, slot.plan);
   // Guard scan over the merged permutation — the same total order the
@@ -910,6 +949,14 @@ SimulationReport ParallelSimulation::run() {
   if (pooled) {
     stop_flush_pipeline();
     stop_workers();
+  }
+
+  // Fold the analyzer shards: group-index order, after every pipeline
+  // thread has been joined. The shard set and the merge order are both
+  // thread-count-independent, so the merged analyzer state is too.
+  for (std::size_t a = 0; a < analyzers_.size(); ++a) {
+    for (auto& grp : groups_) analyzers_[a]->merge_shard(*grp->shards[a]);
+    analyzers_[a]->finish();
   }
 
   for (const auto& grp : groups_) {

@@ -85,6 +85,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/sharded.hpp"
 #include "improve/anomaly_guard.hpp"
 #include "server/backend.hpp"
 #include "sim/client_agent.hpp"
@@ -154,10 +155,28 @@ class ParallelSimulation {
   Scheduling scheduling() const noexcept { return scheduling_; }
   void set_queue_impl(QueueImpl impl) noexcept { queue_impl_ = impl; }
 
+  /// Registers a sharded analyzer (call before run()). Every shard
+  /// group gets a private AnalyzerShard fed that group's records during
+  /// stage A — sorted, labels already global — on the flush-pipeline
+  /// threads, overlapping the next epoch's compute. At the end of run()
+  /// the shards fold back via merge_shard() in group-index order and
+  /// finish() is called, so the analyzer's results are bit-identical
+  /// for every thread count. The analyzer must outlive run().
+  void attach_analyzer(ShardedAnalyzer& analyzer);
+
+  /// True when the sink is a NullSink: trace materialization is skipped
+  /// (no merge plan unless the guard needs it, flush ring auto-shrinks
+  /// to depth 1) and only attached analyzers consume the records.
+  bool analysis_only() const noexcept { return analysis_only_; }
+
+  /// Records handed to the flush pipeline (and thus to every attached
+  /// analyzer), including bootstrap history. For bench records/s.
+  std::uint64_t records_flushed() const noexcept { return records_flushed_; }
+
   /// Flush-ring depth K: how many epochs of sink writes may be in
   /// flight behind the barrier. Call before run(). Default comes from
-  /// U1SIM_FLUSH_DEPTH (clamped to [1, 8], default 2); the trace is
-  /// byte-identical for every K.
+  /// U1SIM_FLUSH_DEPTH (clamped to [1, 8], default 2, or 1 in
+  /// analysis-only mode); the trace is byte-identical for every K.
   void set_flush_depth(std::size_t k) noexcept {
     flush_depth_ = k < 1 ? 1 : (k > 8 ? 8 : k);
   }
@@ -218,6 +237,9 @@ class ParallelSimulation {
     EventQueue<Ev> queue;
     Rng rng;
     InMemorySink trace;
+    /// One shard per attached analyzer (same index as analyzers_), fed
+    /// by prep_chunk on whichever pipeline thread owns the chunk.
+    std::vector<std::unique_ptr<AnalyzerShard>> shards;
     /// Events executed in the current epoch — the (seed-deterministic)
     /// cost weight the sticky scheduler plans the next epoch with.
     std::uint64_t epoch_events = 0;
@@ -304,6 +326,11 @@ class ParallelSimulation {
   TraceSink* sink_;
   std::size_t threads_;
   Rng rng_;  // master stream: sequential setup only
+
+  /// In-worker analyzer fan-out (attach_analyzer), attachment order.
+  std::vector<ShardedAnalyzer*> analyzers_;
+  bool analysis_only_ = false;  // sink is a NullSink
+  std::uint64_t records_flushed_ = 0;
 
   Scheduling scheduling_ = Scheduling::kSticky;
   QueueImpl queue_impl_ = QueueImpl::kCalendar;

@@ -11,6 +11,16 @@ Ecdf::Ecdf(std::vector<double> sample) : sorted_(std::move(sample)) {
   std::sort(sorted_.begin(), sorted_.end());
 }
 
+Ecdf Ecdf::from_sorted(std::vector<double> sorted_sample) {
+  if (sorted_sample.empty())
+    throw std::invalid_argument("Ecdf::from_sorted: empty sample");
+  if (!std::is_sorted(sorted_sample.begin(), sorted_sample.end()))
+    throw std::invalid_argument("Ecdf::from_sorted: sample not sorted");
+  Ecdf out;
+  out.sorted_ = std::move(sorted_sample);
+  return out;
+}
+
 double Ecdf::at(double x) const noexcept {
   const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
   return static_cast<double>(it - sorted_.begin()) /

@@ -11,8 +11,15 @@ namespace u1 {
 class Ecdf {
  public:
   Ecdf() = default;
-  /// Copies and sorts the sample. Throws std::invalid_argument if empty.
+  /// Takes the sample by value (move it in — benches should not copy a
+  /// month of observations) and sorts it. Throws std::invalid_argument
+  /// if empty.
   explicit Ecdf(std::vector<double> sample);
+
+  /// Fast path for already-sorted input (quantile-sketch samples come
+  /// out sorted): skips the O(n log n) sort after an O(n) verification.
+  /// Throws std::invalid_argument if empty or unsorted.
+  static Ecdf from_sorted(std::vector<double> sorted_sample);
 
   /// Fraction of the sample <= x, in [0, 1].
   double at(double x) const noexcept;

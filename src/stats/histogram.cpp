@@ -30,6 +30,17 @@ void Histogram::add(double x, double weight) noexcept {
   total_ += weight;
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
 double Histogram::bin_lo(std::size_t i) const {
   if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
   return lo_ + width_ * static_cast<double>(i);
@@ -62,6 +73,14 @@ std::size_t EdgeHistogram::bin_of(double x) const noexcept {
 void EdgeHistogram::add(double x, double weight) noexcept {
   counts_[bin_of(x)] += weight;
   total_ += weight;
+}
+
+void EdgeHistogram::merge(const EdgeHistogram& other) {
+  if (edges_ != other.edges_)
+    throw std::invalid_argument("EdgeHistogram::merge: edge mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 double EdgeHistogram::count(std::size_t i) const {

@@ -18,6 +18,10 @@ class Histogram {
 
   void add(double x, double weight = 1.0) noexcept;
 
+  /// Element-wise addition over the identical binning (throws
+  /// std::invalid_argument otherwise).
+  void merge(const Histogram& other);
+
   std::size_t bins() const noexcept { return counts_.size(); }
   double bin_lo(std::size_t i) const;
   double bin_hi(std::size_t i) const;
@@ -45,6 +49,10 @@ class EdgeHistogram {
 
   void add(double x, double weight = 1.0) noexcept;
   std::size_t bin_of(double x) const noexcept;
+
+  /// Element-wise addition over identical edges (throws
+  /// std::invalid_argument otherwise).
+  void merge(const EdgeHistogram& other);
 
   std::size_t bins() const noexcept { return counts_.size(); }
   double count(std::size_t i) const;

@@ -1,0 +1,389 @@
+#include "stats/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace u1 {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+QuantileSketch::QuantileSketch(std::size_t k) : k_(k) {
+  if (k_ < 8) throw std::invalid_argument("QuantileSketch: k must be >= 8");
+  if (k_ % 2 != 0) ++k_;  // compaction pairs items
+}
+
+void QuantileSketch::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  if (levels_.empty()) {
+    levels_.emplace_back();
+    levels_.front().reserve(k_);
+    parity_.push_back(0);
+  }
+  levels_[0].push_back(x);
+  for (std::size_t h = 0; h < levels_.size(); ++h)
+    if (levels_[h].size() >= k_) compact_level(h);
+}
+
+void QuantileSketch::compact_level(std::size_t h) {
+  if (h + 1 >= levels_.size()) {
+    levels_.emplace_back();
+    levels_.back().reserve(k_);
+    parity_.push_back(0);
+  }
+  std::vector<double>& buf = levels_[h];
+  std::sort(buf.begin(), buf.end());
+  std::size_t m = buf.size();
+  // An odd buffer keeps its largest item behind (weight must pair up);
+  // it seeds the next compaction of this level.
+  const bool carry = (m % 2) != 0;
+  if (carry) --m;
+  const std::size_t offset = parity_[h];
+  parity_[h] ^= 1;  // alternating parity: consecutive compactions cancel
+  std::vector<double>& up = levels_[h + 1];
+  for (std::size_t i = offset; i < m; i += 2) up.push_back(buf[i]);
+  if (carry) buf[0] = buf[m];
+  buf.resize(carry ? 1 : 0);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  n_ += other.n_;
+  k_ = std::min(k_, other.k_);
+  while (levels_.size() < other.levels_.size()) {
+    levels_.emplace_back();
+    parity_.push_back(0);
+  }
+  for (std::size_t h = 0; h < other.levels_.size(); ++h)
+    levels_[h].insert(levels_[h].end(), other.levels_[h].begin(),
+                      other.levels_[h].end());
+  for (std::size_t h = 0; h < levels_.size(); ++h)
+    if (levels_[h].size() >= k_) compact_level(h);
+}
+
+double QuantileSketch::min() const {
+  if (n_ == 0) throw std::logic_error("QuantileSketch::min: empty");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  if (n_ == 0) throw std::logic_error("QuantileSketch::max: empty");
+  return max_;
+}
+
+std::vector<std::pair<double, std::uint64_t>> QuantileSketch::weighted_sorted()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  out.reserve(stored_items());
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    const std::uint64_t w = 1ull << h;
+    for (const double v : levels_[h]) out.emplace_back(v, w);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (q < 0.0 || q > 1.0)
+    throw std::domain_error("QuantileSketch::quantile: q not in [0,1]");
+  if (n_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto items = weighted_sorted();
+  const double target = q * static_cast<double>(n_);
+  double cum = 0;
+  for (const auto& [v, w] : items) {
+    cum += static_cast<double>(w);
+    if (cum >= target) return v;
+  }
+  return max_;
+}
+
+double QuantileSketch::rank(double x) const {
+  if (n_ == 0) return 0.0;
+  std::uint64_t below = 0;
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    const std::uint64_t w = 1ull << h;
+    for (const double v : levels_[h])
+      if (v <= x) below += w;
+  }
+  return static_cast<double>(below) / static_cast<double>(n_);
+}
+
+std::vector<double> QuantileSketch::sorted_sample(std::size_t points) const {
+  std::vector<double> out;
+  if (n_ == 0 || points == 0) return out;
+  out.reserve(points);
+  if (points == 1) {
+    out.push_back(quantile(0.5));
+    return out;
+  }
+  const auto items = weighted_sorted();
+  std::size_t i = 0;
+  double cum = items.empty() ? 0.0 : static_cast<double>(items[0].second);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double q =
+        static_cast<double>(p) / static_cast<double>(points - 1);
+    if (p == 0) {
+      out.push_back(min_);
+      continue;
+    }
+    if (p + 1 == points) {
+      out.push_back(max_);
+      continue;
+    }
+    const double target = q * static_cast<double>(n_);
+    while (i + 1 < items.size() && cum < target) {
+      ++i;
+      cum += static_cast<double>(items[i].second);
+    }
+    out.push_back(items.empty() ? min_ : items[i].first);
+  }
+  return out;
+}
+
+double QuantileSketch::error_bound() const noexcept {
+  if (levels_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(levels_.size()) /
+         static_cast<double>(k_);
+}
+
+std::size_t QuantileSketch::stored_items() const noexcept {
+  std::size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// CountMinSketch
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  if (width_ < 2 || depth_ < 1)
+    throw std::invalid_argument("CountMinSketch: width >= 2, depth >= 1");
+  counters_.assign(width_ * depth_, 0);
+}
+
+std::size_t CountMinSketch::row_index(std::uint64_t key,
+                                      std::size_t row) const noexcept {
+  return static_cast<std::size_t>(
+      splitmix64(key ^ splitmix64(seed_ + row)) % width_);
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t weight) {
+  for (std::size_t row = 0; row < depth_; ++row)
+    counters_[row * width_ + row_index(key, row)] += weight;
+  total_ += weight;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const noexcept {
+  std::uint64_t best = ~0ull;
+  for (std::size_t row = 0; row < depth_; ++row)
+    best = std::min(best, counters_[row * width_ + row_index(key, row)]);
+  return best == ~0ull ? 0 : best;
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (width_ != other.width_ || depth_ != other.depth_ ||
+      seed_ != other.seed_)
+    throw std::invalid_argument("CountMinSketch::merge: dim/seed mismatch");
+  for (std::size_t i = 0; i < counters_.size(); ++i)
+    counters_[i] += other.counters_[i];
+  total_ += other.total_;
+}
+
+// ---------------------------------------------------------------------------
+// LogHistogram
+
+LogHistogram::LogHistogram(double min_value, std::size_t bins_per_octave,
+                           std::size_t max_bins)
+    : min_value_(min_value),
+      bins_per_octave_(static_cast<double>(bins_per_octave)) {
+  if (!(min_value > 0) || bins_per_octave == 0 || max_bins < 2)
+    throw std::invalid_argument("LogHistogram: bad parameters");
+  counts_.assign(max_bins, 0.0);
+}
+
+std::size_t LogHistogram::bin_of(double x) const noexcept {
+  if (!(x > min_value_)) return 0;
+  const double octaves = std::log2(x / min_value_) * bins_per_octave_;
+  const auto i = static_cast<std::size_t>(octaves) + 1;
+  return std::min(i, counts_.size() - 1);
+}
+
+void LogHistogram::add(double x, double weight) {
+  if (!(x >= 0))
+    throw std::invalid_argument("LogHistogram::add: negative value");
+  counts_[bin_of(x)] += weight;
+  total_ += weight;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (min_value_ != other.min_value_ ||
+      bins_per_octave_ != other.bins_per_octave_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("LogHistogram::merge: parameter mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double LogHistogram::count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("LogHistogram::count");
+  return counts_[i];
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("LogHistogram::bin_lo");
+  if (i == 0) return 0.0;
+  return min_value_ *
+         std::exp2(static_cast<double>(i - 1) / bins_per_octave_);
+}
+
+double LogHistogram::bin_hi(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("LogHistogram::bin_hi");
+  return min_value_ * std::exp2(static_cast<double>(i) / bins_per_octave_);
+}
+
+double LogHistogram::fraction_below(double x) const {
+  if (total_ <= 0 || x <= 0) return 0.0;
+  const std::size_t bx = bin_of(x);
+  double below = 0;
+  for (std::size_t i = 0; i < bx; ++i) below += counts_[i];
+  // Partial share of the containing bin: linear in the bin-0 stub,
+  // log-linear elsewhere. Exact (share 0) when x is a bin boundary.
+  double share;
+  if (bx == 0) {
+    share = std::min(x / min_value_, 1.0);
+  } else {
+    const double lo = bin_lo(bx);
+    const double hi = bin_hi(bx);
+    share = std::clamp(std::log2(x / lo) / std::log2(hi / lo), 0.0, 1.0);
+  }
+  return (below + share * counts_[bx]) / total_;
+}
+
+double LogHistogram::quantile(double q) const {
+  if (q < 0.0 || q > 1.0)
+    throw std::domain_error("LogHistogram::quantile: q not in [0,1]");
+  if (total_ <= 0) return 0.0;
+  const double target = q * total_;
+  double cum = 0;
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0) continue;
+    if (cum + counts_[i] >= target) {
+      // Within-bin interpolation, the inverse of fraction_below's model:
+      // linear in the bin-0 stub, log-linear elsewhere. Keeps the rank
+      // error of a quantile read well below one bin's weight instead of
+      // up to a full bin of it (the geometric-midpoint snap).
+      const double frac =
+          std::min(std::max((target - cum) / counts_[i], 0.0), 1.0);
+      if (i == 0) return min_value_ * frac;
+      return bin_lo(i) * std::pow(bin_hi(i) / bin_lo(i), frac);
+    }
+    cum += counts_[i];
+    last = i;
+  }
+  return bin_hi(last);
+}
+
+std::vector<double> LogHistogram::sorted_sample(std::size_t points) const {
+  std::vector<double> out;
+  if (total_ <= 0 || points == 0) return out;
+  out.reserve(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    const double q =
+        points == 1 ? 0.5
+                    : static_cast<double>(p) / static_cast<double>(points - 1);
+    out.push_back(quantile(q));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BinnedLorenz
+
+BinnedLorenz::BinnedLorenz(double min_value, std::size_t bins_per_octave,
+                           std::size_t max_bins)
+    : hist_(min_value, bins_per_octave, max_bins) {
+  sums_.assign(hist_.bins(), 0.0);
+}
+
+void BinnedLorenz::add(double value) {
+  if (value < 0)
+    throw std::invalid_argument("BinnedLorenz::add: negative value");
+  ++count_;
+  if (value == 0) {
+    ++zeros_;
+    return;
+  }
+  hist_.add(value);
+  sums_[hist_.bin_of(value)] += value;
+  total_ += value;
+}
+
+void BinnedLorenz::merge(const BinnedLorenz& other) {
+  hist_.merge(other.hist_);  // validates the binning parameters
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += other.sums_[i];
+  zeros_ += other.zeros_;
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+LorenzCurve BinnedLorenz::curve() const {
+  if (count_ == 0)
+    throw std::invalid_argument("BinnedLorenz::curve: empty");
+  LorenzCurve out;
+  out.points.emplace_back(0.0, 0.0);
+  const double n = static_cast<double>(count_);
+  double cum_pop = 0;
+  double cum_val = 0;
+  double area2 = 0;
+  double prev_pop = 0;
+  double prev_share = 0;
+  auto emit = [&](double pop_count, double value_sum) {
+    cum_pop += pop_count;
+    cum_val += value_sum;
+    const double pop = cum_pop / n;
+    const double share = total_ > 0 ? cum_val / total_ : pop;
+    out.points.emplace_back(pop, share);
+    area2 += (share + prev_share) * (pop - prev_pop);
+    prev_pop = pop;
+    prev_share = share;
+  };
+  if (zeros_ > 0) emit(static_cast<double>(zeros_), 0.0);
+  for (std::size_t i = 0; i < hist_.bins(); ++i) {
+    const double c = hist_.count(i);
+    if (c > 0) emit(c, sums_[i]);
+  }
+  out.gini = 1.0 - area2;
+  return out;
+}
+
+}  // namespace u1

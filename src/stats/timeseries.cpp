@@ -23,6 +23,15 @@ void TimeBinSeries::add(SimTime t, double weight) noexcept {
   values_[i] += weight;
 }
 
+void TimeBinSeries::merge(const TimeBinSeries& other) {
+  if (start_ != other.start_ || width_ != other.width_ ||
+      values_.size() != other.values_.size())
+    throw std::invalid_argument("TimeBinSeries::merge: binning mismatch");
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    values_[i] += other.values_[i];
+  dropped_ += other.dropped_;
+}
+
 std::size_t TimeBinSeries::bin_of(SimTime t) const noexcept {
   if (t < start_) return npos;
   const std::size_t i = static_cast<std::size_t>((t - start_) / width_);
@@ -66,6 +75,18 @@ void DistinctPerBin::add_interval(SimTime a, SimTime b,
   for (SimTime t = std::max(a, start_); t <= b; t += width_) {
     add(t, entity_id);
     if (t > b - width_ && t < b) add(b, entity_id);
+  }
+}
+
+void DistinctPerBin::merge(const DistinctPerBin& other) {
+  if (start_ != other.start_ || width_ != other.width_ ||
+      seen_.size() != other.seen_.size())
+    throw std::invalid_argument("DistinctPerBin::merge: binning mismatch");
+  for (std::size_t i = 0; i < seen_.size(); ++i) {
+    if (other.seen_[i].empty()) continue;
+    seen_[i].insert(seen_[i].end(), other.seen_[i].begin(),
+                    other.seen_[i].end());
+    dirty_[i] = true;  // dedup on demand, as usual
   }
 }
 

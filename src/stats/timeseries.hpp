@@ -20,6 +20,12 @@ class TimeBinSeries {
   /// Adds weight at time t; out-of-range samples are dropped (counted).
   void add(SimTime t, double weight = 1.0) noexcept;
 
+  /// Element-wise addition of another series over the identical binning
+  /// (throws std::invalid_argument otherwise) — merging per-shard series
+  /// built from disjoint substreams yields exactly the series of the
+  /// combined stream.
+  void merge(const TimeBinSeries& other);
+
   std::size_t bins() const noexcept { return values_.size(); }
   double value(std::size_t i) const;
   SimTime bin_start(std::size_t i) const;
@@ -49,6 +55,11 @@ class DistinctPerBin {
   /// Marks the entity present over the whole closed interval [a, b]
   /// (e.g. a session that spans several hours is online in each of them).
   void add_interval(SimTime a, SimTime b, std::uint64_t entity_id);
+
+  /// Per-bin union with another accumulator over the identical binning
+  /// (throws std::invalid_argument otherwise). Exact: distinct counts of
+  /// the union of the two entity streams.
+  void merge(const DistinctPerBin& other);
 
   std::size_t bins() const noexcept;
   double count(std::size_t i) const;

@@ -1,0 +1,382 @@
+// Error-bound and mergeability tests for the streaming-sketch substrate
+// (stats/sketch.hpp): the sharded analyzers are only as trustworthy as
+// these guarantees, so every one the header states is asserted here —
+// quantile rank error on adversarial stream orders, count-min's
+// never-underestimate and eps*N overestimate bounds, and exact (or
+// bounded, for the quantile sketch) merge associativity/commutativity.
+#include "stats/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "stats/gini.hpp"
+#include "stats/histogram.hpp"
+#include "stats/timeseries.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+namespace {
+
+// Tie-aware rank distance: a value x occupies the whole rank interval
+// [P(X < x), P(X <= x)] of the exact stream, so the error of reading
+// quantile q as x is the distance from q to that interval.
+double rank_distance(const std::vector<double>& sorted, double x, double q) {
+  const double n = static_cast<double>(sorted.size());
+  const double lo =
+      static_cast<double>(std::lower_bound(sorted.begin(), sorted.end(), x) -
+                          sorted.begin()) /
+      n;
+  const double hi =
+      static_cast<double>(std::upper_bound(sorted.begin(), sorted.end(), x) -
+                          sorted.begin()) /
+      n;
+  return q < lo ? lo - q : (q > hi ? q - hi : 0.0);
+}
+
+double max_rank_error(const QuantileSketch& sk, std::vector<double> data) {
+  std::sort(data.begin(), data.end());
+  double worst = 0;
+  for (int i = 1; i < 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    worst = std::max(worst, rank_distance(data, sk.quantile(q), q));
+  }
+  return worst;
+}
+
+// The four adversarial stream orders of one underlying population: a
+// power-law (the paper's per-user distributions), fed sorted ascending,
+// sorted descending, shuffled, and with heavy ties (values quantized to
+// a handful of levels).
+std::vector<double> powerlaw_population(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v.push_back(std::pow(1.0 - rng.uniform(), -1.0 / 1.5));  // Pareto a=1.5
+  return v;
+}
+
+QuantileSketch sketch_of(const std::vector<double>& v, std::size_t k = 512) {
+  QuantileSketch sk(k);
+  for (const double x : v) sk.add(x);
+  return sk;
+}
+
+TEST(QuantileSketch, RankErrorWithinBoundOnAdversarialOrders) {
+  const std::size_t n = 200000;
+  std::vector<double> base = powerlaw_population(n, 7);
+
+  std::vector<double> sorted = base;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> reversed = sorted;
+  std::reverse(reversed.begin(), reversed.end());
+  std::vector<double> ties = base;
+  for (double& x : ties) x = std::floor(std::log2(x) * 2.0);  // ~12 levels
+
+  for (const auto* stream : {&base, &sorted, &reversed, &ties}) {
+    const QuantileSketch sk = sketch_of(*stream);
+    EXPECT_EQ(sk.count(), n);
+    const double bound = sk.error_bound();
+    EXPECT_LT(bound, 0.05);
+    EXPECT_LE(max_rank_error(sk, *stream), bound);
+    // Observed error should be far below the worst case (the
+    // alternating-parity compactor cancels consecutive errors) and
+    // inside the 1% acceptance budget the benches assert.
+    EXPECT_LE(max_rank_error(sk, *stream), 0.01);
+  }
+}
+
+TEST(QuantileSketch, MinMaxAndEndpointQuantilesAreExact) {
+  const std::vector<double> v = powerlaw_population(5000, 11);
+  const QuantileSketch sk = sketch_of(v);
+  const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+  EXPECT_EQ(sk.min(), *lo);
+  EXPECT_EQ(sk.max(), *hi);
+  EXPECT_EQ(sk.quantile(0.0), *lo);
+  EXPECT_EQ(sk.quantile(1.0), *hi);
+}
+
+TEST(QuantileSketch, RankIsMonotoneAndBounded) {
+  const std::vector<double> v = powerlaw_population(50000, 13);
+  const QuantileSketch sk = sketch_of(v);
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  double prev = 0;
+  for (int i = 0; i <= 40; ++i) {
+    const double x =
+        sorted.front() +
+        (sorted.back() - sorted.front()) * static_cast<double>(i) / 40.0;
+    const double r = sk.rank(x);
+    EXPECT_GE(r, prev);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    const double exact =
+        static_cast<double>(std::upper_bound(sorted.begin(), sorted.end(),
+                                             x) -
+                            sorted.begin()) /
+        static_cast<double>(sorted.size());
+    EXPECT_NEAR(r, exact, sk.error_bound() + 1e-12);
+    prev = r;
+  }
+}
+
+TEST(QuantileSketch, MemoryStaysPolylog) {
+  QuantileSketch sk(512);
+  for (std::size_t i = 0; i < 1000000; ++i)
+    sk.add(static_cast<double>(i % 9973));
+  // <= k items per level, levels ~ log2(2n/k): a million inserts must
+  // not hold more than a few thousand samples.
+  EXPECT_LE(sk.stored_items(), 512 * 16);
+}
+
+TEST(QuantileSketch, MergeOfDisjointShardsStaysWithinBound) {
+  const std::size_t n = 120000;
+  const std::vector<double> all = powerlaw_population(n, 17);
+  // 8 shards, round-robin split (each shard sees a representative
+  // substream, like per-group analyzer shards do).
+  std::vector<QuantileSketch> shards(8, QuantileSketch(512));
+  for (std::size_t i = 0; i < n; ++i) shards[i % 8].add(all[i]);
+
+  QuantileSketch merged(512);
+  for (const QuantileSketch& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), n);
+  EXPECT_LE(max_rank_error(merged, all), merged.error_bound());
+  EXPECT_LE(max_rank_error(merged, all), 0.01);
+}
+
+TEST(QuantileSketch, MergeIsDeterministicAndOrderInsensitiveWithinBound) {
+  const std::size_t n = 60000;
+  const std::vector<double> all = powerlaw_population(n, 23);
+  std::vector<QuantileSketch> shards(4, QuantileSketch(256));
+  for (std::size_t i = 0; i < n; ++i) shards[i % 4].add(all[i]);
+
+  // Same operand order twice -> bit-identical results (the determinism
+  // oracle depends on this).
+  QuantileSketch a(256), b(256);
+  for (const auto& s : shards) a.merge(s);
+  for (const auto& s : shards) b.merge(s);
+  EXPECT_EQ(a.sorted_sample(257), b.sorted_sample(257));
+
+  // Permuted operand orders and association trees are *not* required to
+  // be bit-identical, but every one must respect the rank-error bound.
+  QuantileSketch rev(256);
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) rev.merge(*it);
+  QuantileSketch tree01(256), tree23(256);
+  tree01.merge(shards[0]);
+  tree01.merge(shards[1]);
+  tree23.merge(shards[2]);
+  tree23.merge(shards[3]);
+  tree01.merge(tree23);
+  for (const QuantileSketch* m : {&rev, &tree01}) {
+    EXPECT_EQ(m->count(), n);
+    EXPECT_LE(max_rank_error(*m, all), m->error_bound());
+  }
+}
+
+TEST(QuantileSketch, SortedSampleFeedsEcdfFromSorted) {
+  const std::vector<double> v = powerlaw_population(80000, 29);
+  const QuantileSketch sk = sketch_of(v);
+  const std::vector<double> grid = sk.sorted_sample(1001);
+  ASSERT_EQ(grid.size(), 1001u);
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+  const Ecdf cdf = Ecdf::from_sorted(grid);
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.1, 0.5, 0.9, 0.99})
+    EXPECT_LE(rank_distance(sorted, cdf.quantile(q), q),
+              sk.error_bound() + 1.0 / 1000.0);
+}
+
+TEST(CountMinSketch, NeverUnderestimatesAndRespectsEpsN) {
+  Rng rng(31);
+  CountMinSketch cms(1024, 4, 0xfeed);
+  std::vector<std::uint64_t> truth(400, 0);
+  // Zipf-ish key popularity, 200k increments.
+  for (std::size_t i = 0; i < 200000; ++i) {
+    const auto key = static_cast<std::uint64_t>(
+        std::min<double>(399.0, std::pow(1.0 - rng.uniform(), -0.7) - 1.0));
+    cms.add(key);
+    ++truth[key];
+  }
+  const auto slack =
+      static_cast<std::uint64_t>(cms.epsilon() * static_cast<double>(
+                                                     cms.total()));
+  for (std::uint64_t key = 0; key < truth.size(); ++key) {
+    EXPECT_GE(cms.estimate(key), truth[key]);
+    EXPECT_LE(cms.estimate(key), truth[key] + slack);
+  }
+}
+
+TEST(CountMinSketch, MergeIsExactAssociativeAndCommutative) {
+  const auto fill = [](CountMinSketch& cms, std::uint64_t lo,
+                       std::uint64_t hi) {
+    for (std::uint64_t k = lo; k < hi; ++k) cms.add(k, k + 1);
+  };
+  CountMinSketch whole(512, 4, 1), a(512, 4, 1), b(512, 4, 1), c(512, 4, 1);
+  fill(whole, 0, 300);
+  fill(a, 0, 100);
+  fill(b, 100, 200);
+  fill(c, 200, 300);
+
+  CountMinSketch ab = a, bc = b, abc1 = a, cba = c;
+  ab.merge(b);
+  bc.merge(c);
+  abc1 = a;
+  abc1.merge(bc);              // a + (b + c)
+  CountMinSketch abc2 = ab;
+  abc2.merge(c);               // (a + b) + c
+  cba.merge(b);
+  cba.merge(a);                // reversed order
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(abc1.estimate(k), whole.estimate(k));
+    EXPECT_EQ(abc2.estimate(k), whole.estimate(k));
+    EXPECT_EQ(cba.estimate(k), whole.estimate(k));
+  }
+  EXPECT_EQ(abc1.total(), whole.total());
+
+  CountMinSketch other_seed(512, 4, 2);
+  EXPECT_THROW(other_seed.merge(a), std::invalid_argument);
+  CountMinSketch other_dims(256, 4, 1);
+  EXPECT_THROW(other_dims.merge(a), std::invalid_argument);
+}
+
+TEST(LogHistogram, QuantileInvertsFractionBelow) {
+  Rng rng(37);
+  const LogNormalDist sizes(10.0, 2.0);
+  LogHistogram h(1.0, 16, 1024);
+  for (int i = 0; i < 50000; ++i) h.add(sizes.sample(rng));
+  for (int i = 1; i < 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_NEAR(h.fraction_below(h.quantile(q)), q, 1e-9);
+  }
+}
+
+TEST(LogHistogram, QuantileRankErrorBoundedByBinResolution) {
+  Rng rng(41);
+  const LogNormalDist sizes(10.0, 2.0);
+  std::vector<double> v;
+  LogHistogram h(1.0, 16, 1024);
+  for (int i = 0; i < 50000; ++i) {
+    v.push_back(sizes.sample(rng));
+    h.add(v.back());
+  }
+  std::sort(v.begin(), v.end());
+  // Within-bin interpolation keeps the rank error well below one bin's
+  // weight; for this smooth population every centile lands inside 1%.
+  for (int i = 1; i < 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_LE(rank_distance(v, h.quantile(q), q), 0.01);
+  }
+}
+
+TEST(LogHistogram, MergeIsExactAndChecksLayout) {
+  Rng rng(43);
+  const LogNormalDist sizes(8.0, 3.0);
+  LogHistogram whole(1.0, 8, 640), a(1.0, 8, 640), b(1.0, 8, 640);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = sizes.sample(rng);
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  ASSERT_EQ(a.total(), whole.total());
+  for (std::size_t i = 0; i < whole.bins(); ++i)
+    EXPECT_EQ(a.count(i), whole.count(i));
+  LogHistogram layout(2.0, 8, 640);
+  EXPECT_THROW(layout.merge(whole), std::invalid_argument);
+}
+
+TEST(BinnedLorenz, GiniAndTopShareTrackExactWithinPercent) {
+  Rng rng(47);
+  std::vector<double> totals;
+  BinnedLorenz bl(1.0, 16, 1024);
+  for (int i = 0; i < 30000; ++i) {
+    // Mixed population with a zero bucket, like per-user traffic.
+    const double t =
+        i % 10 == 0 ? 0.0 : std::pow(1.0 - rng.uniform(), -1.0 / 1.2);
+    totals.push_back(t);
+    bl.add(t);
+  }
+  const LorenzCurve exact = lorenz(totals);
+  EXPECT_NEAR(bl.gini(), exact.gini, 0.01);
+  EXPECT_NEAR(bl.top_share(0.01), exact.top_share(0.01), 0.01);
+  EXPECT_NEAR(bl.top_share(0.10), exact.top_share(0.10), 0.01);
+}
+
+TEST(BinnedLorenz, MergeMatchesWholeStream) {
+  Rng rng(53);
+  BinnedLorenz whole(1.0, 16, 1024), a(1.0, 16, 1024), b(1.0, 16, 1024);
+  for (int i = 0; i < 20000; ++i) {
+    const double t = i % 7 == 0 ? 0.0 : std::pow(1.0 - rng.uniform(), -0.9);
+    whole.add(t);
+    (i % 2 == 0 ? a : b).add(t);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  // Bin sums are doubles accumulated in different orders (interleaved
+  // split vs stream order), so agreement is to rounding, not bitwise.
+  EXPECT_NEAR(a.total(), whole.total(), 1e-9 * whole.total());
+  EXPECT_NEAR(a.gini(), whole.gini(), 1e-12);
+  EXPECT_NEAR(a.top_share(0.01), whole.top_share(0.01), 1e-12);
+}
+
+TEST(MergeableAccumulators, TimeBinSeriesAndHistogramsMergeExactly) {
+  Rng rng(59);
+  TimeBinSeries whole(0, 24 * kHour, kHour), a(0, 24 * kHour, kHour),
+      b(0, 24 * kHour, kHour);
+  Histogram hw(0, 100, 20), ha(0, 100, 20), hb(0, 100, 20);
+  EdgeHistogram ew({0.5, 1, 5, 25}), ea({0.5, 1, 5, 25}),
+      eb({0.5, 1, 5, 25});
+  for (int i = 0; i < 10000; ++i) {
+    const auto t = static_cast<SimTime>(rng.uniform() * 24.0 * kHour);
+    // Integer-valued weights keep double summation order-independent,
+    // so the merged series must match the whole-stream series exactly.
+    const double x = std::floor(rng.uniform() * 120.0 - 10.0);
+    whole.add(t, x);
+    hw.add(x);
+    ew.add(x / 4.0);
+    (i % 2 == 0 ? a : b).add(t, x);
+    (i % 2 == 0 ? ha : hb).add(x);
+    (i % 2 == 0 ? ea : eb).add(x / 4.0);
+  }
+  a.merge(b);
+  ha.merge(hb);
+  ea.merge(eb);
+  EXPECT_EQ(a.values(), whole.values());
+  for (std::size_t i = 0; i < hw.bins(); ++i)
+    EXPECT_EQ(ha.count(i), hw.count(i));
+  EXPECT_EQ(ha.underflow(), hw.underflow());
+  EXPECT_EQ(ha.overflow(), hw.overflow());
+  for (std::size_t i = 0; i < ew.bins(); ++i)
+    EXPECT_EQ(ea.count(i), ew.count(i));
+
+  TimeBinSeries other(0, 12 * kHour, kHour);
+  EXPECT_THROW(other.merge(whole), std::invalid_argument);
+  Histogram hother(0, 50, 20);
+  EXPECT_THROW(hother.merge(hw), std::invalid_argument);
+  EdgeHistogram eother({1.0, 2.0});
+  EXPECT_THROW(eother.merge(ew), std::invalid_argument);
+}
+
+TEST(Ecdf, FromSortedMatchesSortingConstructor) {
+  Rng rng(61);
+  std::vector<double> v;
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.uniform(-15.0, 15.0));
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  const Ecdf via_sort{std::vector<double>(v)};
+  const Ecdf via_sorted = Ecdf::from_sorted(sorted);
+  for (const double q : {0.0, 0.01, 0.5, 0.9, 0.999, 1.0})
+    EXPECT_DOUBLE_EQ(via_sorted.quantile(q), via_sort.quantile(q));
+  for (const double x : {-12.0, -1.0, 0.0, 3.0, 14.0})
+    EXPECT_DOUBLE_EQ(via_sorted.at(x), via_sort.at(x));
+}
+
+}  // namespace
+}  // namespace u1
