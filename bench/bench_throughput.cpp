@@ -4,7 +4,12 @@
 // at 1, 2, 4 and 8 worker threads, hashing every emitted trace record in
 // stream order. The 1-thread run executes the identical epoch/merge
 // machinery inline and is the correctness oracle: all four SHA-1s must
-// match, byte for byte, or the engine is broken. Wall-clock, records/sec
+// match, byte for byte, or the engine is broken. In CSV mode the bench
+// first runs the multi-process engine at procs x threads cells of
+// {2x1, 2x2, 4x1, 1x1} (sim/distributed.hpp): every cell must hash to
+// the SAME SHA as the in-process runs, and each cell records its
+// per-worker peak RSS — the 4-proc max-worker figure over the 1x1 peak
+// is the engine's 1/P memory claim, written to the JSON. Wall-clock, records/sec
 // and the per-epoch phase breakdown (compute / merge / flush /
 // flush-stall) are written to BENCH_throughput.json at the repo root
 // (honest numbers: the file records the machine's hardware concurrency —
@@ -37,15 +42,61 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.hpp"
+#include "sim/distributed.hpp"
 #include "sim/parallel.hpp"
 #include "trace/binlog.hpp"
 #include "trace/sink.hpp"
 #include "util/sha1.hpp"
 
 namespace {
+
+/// One multi-process cell: procs worker processes × threads per worker.
+struct DistResult {
+  std::size_t procs = 0;
+  std::size_t threads = 0;
+  double wall = 0.0;
+  std::uint64_t records = 0;
+  std::string trace_sha1;
+  std::vector<std::uint64_t> worker_rss_kb;
+
+  std::uint64_t max_worker_rss_kb() const {
+    std::uint64_t m = 0;
+    for (const std::uint64_t kb : worker_rss_kb) m = std::max(m, kb);
+    return m;
+  }
+};
+
+/// Runs one (procs, threads) cell of the distributed engine, hashing the
+/// coordinator-merged CSV row stream. The forked cells MUST run before
+/// the parent builds any engine state: a child's ru_maxrss inherits the
+/// parent's high-water mark at fork, so a fat parent would hide the 1/P
+/// memory drop this bench exists to record.
+DistResult run_distributed(const u1::SimulationConfig& cfg, std::size_t procs,
+                           std::size_t threads) {
+  DistResult out;
+  out.procs = procs;
+  out.threads = threads;
+  u1::Sha1 hasher;
+  std::string row;
+  u1::CallbackSink sink([&](const u1::TraceRecord& r) {
+    ++out.records;
+    row.clear();
+    r.append_csv_row(row);
+    hasher.update(row);
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  u1::DistributedSimulation sim(cfg, sink, procs, threads);
+  sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall = std::chrono::duration<double>(t1 - t0).count();
+  out.trace_sha1 = hasher.finish().hex();
+  out.worker_rss_kb = sim.worker_peak_rss_kb();
+  return out;
+}
 
 struct RunResult {
   std::size_t threads = 0;
@@ -235,6 +286,47 @@ int main(int argc, char** argv) {
         hw);
   }
 
+  // Multi-process cells (CSV only: the cells hash the same row stream
+  // the in-process runs hash, so one SHA spans both sections). Forked
+  // cells first — see run_distributed — then the inline 1x1 cell, whose
+  // worker_rss is this process's peak and the denominator of the 1/P
+  // memory claim.
+  std::vector<DistResult> dist;
+  if (format == u1::TraceFormat::kCsv) {
+    const std::pair<std::size_t, std::size_t> cells[] = {
+        {2, 1}, {2, 2}, {4, 1}, {1, 1}};
+    for (const auto& [procs, threads] : cells) {
+      dist.push_back(run_distributed(cfg, procs, threads));
+      const DistResult& d = dist.back();
+      std::printf("  procs=%zu threads=%zu  wall=%8.2fs  records=%llu  "
+                  "max_worker_rss_kb=%llu  sha1=%s\n",
+                  d.procs, d.threads, d.wall,
+                  static_cast<unsigned long long>(d.records),
+                  static_cast<unsigned long long>(d.max_worker_rss_kb()),
+                  d.trace_sha1.c_str());
+    }
+  }
+  bool dist_identical = true;
+  for (const DistResult& d : dist) {
+    if (d.trace_sha1 != dist.front().trace_sha1 ||
+        d.records != dist.front().records)
+      dist_identical = false;
+  }
+  double rss_ratio_4p = 0.0;
+  if (!dist.empty()) {
+    std::printf("  trace byte-identical across process splits: %s\n",
+                dist_identical ? "yes" : "NO — DETERMINISM BROKEN");
+    // dist.back() is the inline 1x1 cell; the 4-proc cell is the widest.
+    const std::uint64_t single = dist.back().max_worker_rss_kb();
+    for (const DistResult& d : dist) {
+      if (d.procs == 4 && single > 0)
+        rss_ratio_4p = static_cast<double>(d.max_worker_rss_kb()) /
+                       static_cast<double>(single);
+    }
+    std::printf("  4-proc max worker RSS / single-process peak: %.3f\n",
+                rss_ratio_4p);
+  }
+
   std::vector<RunResult> runs;
   for (const std::size_t threads : {1, 2, 4, 8}) {
     runs.push_back(run_once(cfg, threads, repeats, format, scratch_base));
@@ -253,6 +345,12 @@ int main(int argc, char** argv) {
     if (r.trace_sha1 != runs.front().trace_sha1 ||
         r.records != runs.front().records)
       identical = false;
+  }
+  // One SHA across BOTH sections: the distributed cells merged the same
+  // byte stream the in-process engine emits.
+  if (!dist.empty() && (dist.front().trace_sha1 != runs.front().trace_sha1 ||
+                        dist.front().records != runs.front().records)) {
+    identical = false;
   }
   std::printf("  trace byte-identical across thread counts: %s\n",
               identical ? "yes" : "NO — DETERMINISM BROKEN");
@@ -302,6 +400,25 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(u1::bench::peak_rss_kb()));
     std::fprintf(f, "  \"heap_in_use_kb\": %llu,\n",
                  static_cast<unsigned long long>(u1::bench::heap_in_use_kb()));
+    std::fprintf(f, "  \"distributed_trace_identical\": %s,\n",
+                 dist_identical ? "true" : "false");
+    std::fprintf(f, "  \"rss_ratio_4p_vs_1p\": %.3f,\n", rss_ratio_4p);
+    std::fprintf(f, "  \"distributed\": [\n");
+    for (std::size_t i = 0; i < dist.size(); ++i) {
+      const DistResult& d = dist[i];
+      std::fprintf(f,
+                   "    {\"procs\": %zu, \"threads\": %zu, "
+                   "\"wall_seconds\": %.3f, \"records\": %llu, "
+                   "\"trace_sha1\": \"%s\", \"worker_peak_rss_kb\": [",
+                   d.procs, d.threads, d.wall,
+                   static_cast<unsigned long long>(d.records),
+                   d.trace_sha1.c_str());
+      for (std::size_t w = 0; w < d.worker_rss_kb.size(); ++w)
+        std::fprintf(f, "%s%llu", w > 0 ? ", " : "",
+                     static_cast<unsigned long long>(d.worker_rss_kb[w]));
+      std::fprintf(f, "]}%s\n", i + 1 < dist.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"runs\": [\n");
     for (std::size_t i = 0; i < runs.size(); ++i) {
       const RunResult& r = runs[i];
@@ -341,5 +458,5 @@ int main(int argc, char** argv) {
   } else {
     std::printf("  could not open %s for writing\n", out_path.c_str());
   }
-  return identical && cal_ok ? 0 : 1;
+  return identical && dist_identical && cal_ok ? 0 : 1;
 }

@@ -62,6 +62,17 @@ class ObjectStore {
   std::optional<MultipartUpload> multipart_state(
       const std::string& upload_id) const;
 
+  /// Drops all materialized objects while keeping the byte/op counters
+  /// and any in-flight multipart uploads. Worker processes of the
+  /// distributed engine call this for remote groups during setup replay:
+  /// those objects are write-only there (downloads only happen inside
+  /// the trace window, which remote groups never run locally), so the
+  /// map is pure RSS dead weight. object_count() reads 0 afterwards.
+  void shed_objects() {
+    objects_.clear();
+    objects_.rehash(0);
+  }
+
   // --- accounting -----------------------------------------------------------
   std::size_t object_count() const noexcept { return objects_.size(); }
   std::uint64_t stored_bytes() const noexcept { return stored_bytes_; }

@@ -33,10 +33,15 @@ void BlockingClient::close() noexcept {
   buf_.clear();
 }
 
-bool BlockingClient::connect_loopback(std::uint16_t port) {
+bool BlockingClient::connect_loopback(std::uint16_t port,
+                                      int recv_buffer_bytes) {
   close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return false;
+  if (recv_buffer_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &recv_buffer_bytes,
+                 sizeof recv_buffer_bytes);
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

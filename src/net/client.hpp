@@ -24,8 +24,11 @@ class BlockingClient {
   BlockingClient(BlockingClient&& other) noexcept;
   BlockingClient& operator=(BlockingClient&& other) noexcept;
 
-  /// Connects to 127.0.0.1:port. False on failure.
-  bool connect_loopback(std::uint16_t port);
+  /// Connects to 127.0.0.1:port. False on failure. A positive
+  /// recv_buffer_bytes shrinks SO_RCVBUF before connecting (set-then-
+  /// connect so the window scale honors it) — the backpressure tests
+  /// use a tiny window to make the server's writes back up for real.
+  bool connect_loopback(std::uint16_t port, int recv_buffer_bytes = 0);
   bool connected() const noexcept { return fd_ >= 0; }
   void close() noexcept;
 

@@ -99,6 +99,10 @@ void U1dServer::accept_clients() {
     set_nonblocking(fd);
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (config_.send_buffer_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.send_buffer_bytes,
+                   sizeof config_.send_buffer_bytes);
+    }
     conns_.emplace(fd, Conn{});
     ++stats_.accepted;
   }
@@ -114,6 +118,7 @@ bool U1dServer::read_from(int fd, Conn& conn) {
       continue;
     }
     if (n == 0) return false;  // orderly shutdown
+    if (errno == EINTR) continue;  // signal landed mid-read: retry, not close
     return errno == EAGAIN || errno == EWOULDBLOCK;
   }
 }
@@ -165,6 +170,11 @@ bool U1dServer::flush(int fd, Conn& conn) {
       conn.out.erase(conn.out.begin(), conn.out.begin() + n);
       continue;
     }
+    // n == 0 leaves errno untouched; checking it would read a stale
+    // value from an earlier syscall. No bytes moved and no error means
+    // the socket is wedged — drop it rather than spin.
+    if (n == 0) return false;
+    if (errno == EINTR) continue;  // retry the partial send, keep the conn
     return errno == EAGAIN || errno == EWOULDBLOCK;
   }
   return true;

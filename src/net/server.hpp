@@ -32,6 +32,10 @@ struct NetServerConfig {
   /// port() after start()).
   std::uint16_t port = 0;
   int backlog = 128;
+  /// Positive: SO_SNDBUF for accepted connections. The backpressure
+  /// tests pin it tiny so a slow reader drives flush() into EAGAIN and
+  /// the per-connection backlog path actually executes.
+  int send_buffer_bytes = 0;
 };
 
 struct NetServerStats {

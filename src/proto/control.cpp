@@ -1,0 +1,303 @@
+#include "proto/control.hpp"
+
+#include <bit>
+#include <cassert>
+
+#include "proto/wire.hpp"
+
+namespace u1 {
+namespace {
+
+using wire::Cursor;
+using wire::get_le16;
+using wire::get_le32;
+using wire::put_le16;
+using wire::put_le32;
+using wire::put_raw;
+using wire::put_varint;
+using wire::unzigzag;
+using wire::zigzag;
+
+/// Sanity cap on element counts so a hostile varint cannot drive a
+/// multi-gigabyte reserve before the bounds checks catch up. Every list
+/// element costs at least one payload byte, so the frame cap is a valid
+/// bound too; this one is simply tighter for the group-indexed lists.
+constexpr std::uint64_t kMaxGroups = 1u << 16;
+
+void put_blob(std::vector<std::uint8_t>& out,
+              const std::vector<std::uint8_t>& blob) {
+  put_varint(out, blob.size());
+  put_raw(out, blob.data(), blob.size());
+}
+
+bool get_blob(Cursor& c, std::vector<std::uint8_t>& out) {
+  const std::uint64_t n = c.varint();
+  if (!c.ok || n > static_cast<std::uint64_t>(c.end - c.p)) {
+    c.ok = false;
+    return false;
+  }
+  const std::uint8_t* p = c.take(static_cast<std::size_t>(n));
+  if (!p) return false;
+  out.assign(p, p + n);
+  return true;
+}
+
+bool get_blob_list(Cursor& c, std::vector<std::vector<std::uint8_t>>& out) {
+  const std::uint64_t n = c.varint();
+  if (!c.ok || n > kMaxGroups) {
+    c.ok = false;
+    return false;
+  }
+  out.clear();
+  out.resize(static_cast<std::size_t>(n));
+  for (auto& blob : out)
+    if (!get_blob(c, blob)) return false;
+  return true;
+}
+
+void put_blob_list(std::vector<std::uint8_t>& out,
+                   const std::vector<std::vector<std::uint8_t>>& blobs) {
+  put_varint(out, blobs.size());
+  for (const auto& blob : blobs) put_blob(out, blob);
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+bool get_f64(Cursor& c, double& out) {
+  const std::uint8_t* p = c.take(8);
+  if (!p) return false;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  out = std::bit_cast<double>(bits);
+  return true;
+}
+
+/// Shared decoder tail: every field consumed cleanly, no slack allowed.
+Status finish(const Cursor& c) {
+  if (!c.ok) return Status::kBadFrame;
+  if (c.p != c.end) return Status::kSlackPayload;
+  return Status::kOk;
+}
+
+}  // namespace
+
+void append_control_frame(std::vector<std::uint8_t>& out, ProtoOp op,
+                          const std::vector<std::uint8_t>& payload) {
+  assert(is_control_op(op));
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(2 + 1 + payload.size());
+  put_le32(out, len);
+  put_le16(out, kProtoVersion);
+  out.push_back(static_cast<std::uint8_t>(op));
+  put_raw(out, payload.data(), payload.size());
+}
+
+FrameDecode split_control_frame(const std::uint8_t* data, std::size_t n,
+                                ProtoOp& op,
+                                std::span<const std::uint8_t>& payload) {
+  FrameDecode result;
+  if (n < 4) {
+    result.need_more = true;
+    return result;
+  }
+  const std::uint32_t len = get_le32(data);
+  if (len > kMaxControlFrameBytes) {
+    // Unrecoverable: no later length prefix can be trusted. consumed
+    // stays 0 — drop the connection.
+    result.status = Status::kOversizedFrame;
+    return result;
+  }
+  if (n < 4u + len) {
+    result.need_more = true;
+    return result;
+  }
+  result.consumed = 4u + len;
+  if (len < 3) {
+    result.status = Status::kBadFrame;
+    return result;
+  }
+  if (get_le16(data + 4) != kProtoVersion) {
+    result.status = Status::kVersionMismatch;
+    return result;
+  }
+  const auto decoded = control_op_from_wire(data[6]);
+  if (!decoded) {
+    result.status = Status::kUnknownOp;
+    return result;
+  }
+  op = *decoded;
+  payload = {data + 7, len - 3u};
+  return result;
+}
+
+// --- EpochBegin ------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_epoch_begin(const EpochBeginMsg& m) {
+  std::vector<std::uint8_t> out;
+  put_varint(out, m.seq);
+  out.push_back(m.tail ? 1 : 0);
+  put_blob_list(out, m.dedup_logs);
+  put_blob_list(out, m.pool_deltas);
+  return out;
+}
+
+Status decode_epoch_begin(std::span<const std::uint8_t> payload,
+                          EpochBeginMsg& out) {
+  out = EpochBeginMsg{};
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  out.seq = c.varint();
+  const std::uint8_t tail = c.u8();
+  if (tail > 1) return Status::kBadFrame;
+  out.tail = tail != 0;
+  if (!get_blob_list(c, out.dedup_logs)) return Status::kBadFrame;
+  if (!get_blob_list(c, out.pool_deltas)) return Status::kBadFrame;
+  if (out.dedup_logs.size() != out.pool_deltas.size())
+    return Status::kBadFrame;
+  return finish(c);
+}
+
+// --- MailboxBatch ----------------------------------------------------------
+
+std::vector<std::uint8_t> encode_mailbox_batch(const MailboxBatchMsg& m) {
+  std::vector<std::uint8_t> out;
+  put_varint(out, m.seq);
+  put_varint(out, m.entries.size());
+  for (const MailboxEntry& e : m.entries) {
+    put_varint(out, e.lane);
+    put_varint(out, e.value);
+  }
+  return out;
+}
+
+Status decode_mailbox_batch(std::span<const std::uint8_t> payload,
+                            MailboxBatchMsg& out) {
+  out = MailboxBatchMsg{};
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  out.seq = c.varint();
+  const std::uint64_t n = c.varint();
+  // Two varints per entry, one byte each minimum: bound the reserve by
+  // what the payload could possibly hold.
+  if (!c.ok || n > static_cast<std::uint64_t>(c.end - c.p))
+    return Status::kBadFrame;
+  out.entries.resize(static_cast<std::size_t>(n));
+  for (MailboxEntry& e : out.entries) {
+    const std::uint64_t lane = c.varint();
+    if (lane > kMaxGroups) return Status::kBadFrame;
+    e.lane = static_cast<std::uint32_t>(lane);
+    e.value = c.varint();
+  }
+  return finish(c);
+}
+
+// --- EpochDone -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_epoch_done(const EpochDoneMsg& m) {
+  std::vector<std::uint8_t> out;
+  put_varint(out, m.seq);
+  out.push_back(m.tail ? 1 : 0);
+  put_varint(out, m.first_group);
+  put_blob_list(out, m.dedup_logs);
+  put_blob_list(out, m.pool_deltas);
+  put_varint(out, m.feed.size());
+  for (const GuardFeedEntry& e : m.feed) {
+    put_varint(out, zigzag(e.t));
+    put_varint(out, e.user);
+    out.push_back(e.session_event);
+  }
+  return out;
+}
+
+Status decode_epoch_done(std::span<const std::uint8_t> payload,
+                         EpochDoneMsg& out) {
+  out = EpochDoneMsg{};
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  out.seq = c.varint();
+  const std::uint8_t tail = c.u8();
+  if (tail > 1) return Status::kBadFrame;
+  out.tail = tail != 0;
+  const std::uint64_t first = c.varint();
+  if (!c.ok || first > kMaxGroups) return Status::kBadFrame;
+  out.first_group = static_cast<std::uint32_t>(first);
+  if (!get_blob_list(c, out.dedup_logs)) return Status::kBadFrame;
+  if (!get_blob_list(c, out.pool_deltas)) return Status::kBadFrame;
+  if (out.dedup_logs.size() != out.pool_deltas.size())
+    return Status::kBadFrame;
+  const std::uint64_t n = c.varint();
+  // >= 3 bytes per feed entry; the remaining-payload bound caps the
+  // resize before a hostile count can allocate.
+  if (!c.ok || n > static_cast<std::uint64_t>(c.end - c.p))
+    return Status::kBadFrame;
+  out.feed.resize(static_cast<std::size_t>(n));
+  for (GuardFeedEntry& e : out.feed) {
+    e.t = unzigzag(c.varint());
+    e.user = c.varint();
+    e.session_event = c.u8();
+  }
+  return finish(c);
+}
+
+// --- ChunkMeta -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_chunk_meta(const ChunkMetaMsg& m) {
+  std::vector<std::uint8_t> out;
+  put_varint(out, m.seq);
+  put_varint(out, m.counters.size());
+  for (const std::uint64_t v : m.counters) put_varint(out, v);
+  put_varint(out, m.timings.size());
+  for (const double v : m.timings) put_f64(out, v);
+  return out;
+}
+
+Status decode_chunk_meta(std::span<const std::uint8_t> payload,
+                         ChunkMetaMsg& out) {
+  out = ChunkMetaMsg{};
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  out.seq = c.varint();
+  const std::uint64_t nc = c.varint();
+  if (!c.ok || nc > static_cast<std::uint64_t>(c.end - c.p))
+    return Status::kBadFrame;
+  out.counters.resize(static_cast<std::size_t>(nc));
+  for (std::uint64_t& v : out.counters) v = c.varint();
+  const std::uint64_t nt = c.varint();
+  if (!c.ok || nt > static_cast<std::uint64_t>(c.end - c.p) / 8)
+    return Status::kBadFrame;
+  out.timings.resize(static_cast<std::size_t>(nt));
+  for (double& v : out.timings)
+    if (!get_f64(c, v)) return Status::kBadFrame;
+  return finish(c);
+}
+
+// --- Shutdown --------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_shutdown(const ShutdownMsg& m) {
+  std::vector<std::uint8_t> out;
+  put_varint(out, m.code);
+  put_varint(out, m.message.size());
+  put_raw(out, reinterpret_cast<const std::uint8_t*>(m.message.data()),
+          m.message.size());
+  return out;
+}
+
+Status decode_shutdown(std::span<const std::uint8_t> payload,
+                       ShutdownMsg& out) {
+  out = ShutdownMsg{};
+  Cursor c{payload.data(), payload.data() + payload.size()};
+  const std::uint64_t code = c.varint();
+  if (!c.ok || code > 0xffffffffull) return Status::kBadFrame;
+  out.code = static_cast<std::uint32_t>(code);
+  const std::uint64_t n = c.varint();
+  if (!c.ok || n > static_cast<std::uint64_t>(c.end - c.p))
+    return Status::kBadFrame;
+  const std::uint8_t* p = c.take(static_cast<std::size_t>(n));
+  if (!p) return Status::kBadFrame;
+  out.message.assign(reinterpret_cast<const char*>(p),
+                     static_cast<std::size_t>(n));
+  return finish(c);
+}
+
+}  // namespace u1

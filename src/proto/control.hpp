@@ -1,0 +1,145 @@
+// Distributed control plane (DESIGN.md §12): the epoch-barrier messages
+// the multi-process coordinator exchanges with its worker processes.
+// Frames reuse the envelope's [len:u32][version:u16][op:u8][payload]
+// layout — same version, same typed-rejection semantics — but carry the
+// control ops (ProtoOp::kEpochBegin..kShutdown) and a much larger frame
+// cap: an epoch's serialized dedup logs scale with new-blob volume, not
+// with a single storage call. The request/response decoders refuse these
+// ops and these decoders refuse request-plane ops, so the two planes
+// cannot be confused even on a corrupted stream.
+//
+// Decoding is strict, exactly like the envelope: every field
+// bounds-checked, unknown ops / foreign versions / oversized lengths /
+// slack payload bytes rejected with a typed Status. The hostile-input
+// battery from PR 7 extends over these frames (tests/proto/
+// control_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "proto/envelope.hpp"
+#include "util/sim_time.hpp"
+
+namespace u1 {
+
+/// Upper bound on a control frame's `len`. Epoch payloads carry whole
+/// serialized dedup op logs and pool deltas, so the request-plane 64KiB
+/// cap does not apply; anything past this is a corrupt or hostile peer.
+inline constexpr std::uint32_t kMaxControlFrameBytes = 256u * 1024 * 1024;
+
+/// One EpochMailbox posting: lane = destination shard group, value = the
+/// mailbox payload (a UserId for purge lanes).
+struct MailboxEntry {
+  std::uint32_t lane = 0;
+  std::uint64_t value = 0;
+
+  bool operator==(const MailboxEntry&) const = default;
+};
+
+/// Coordinator -> worker at each barrier: every group's serialized dedup
+/// op log and content-pool delta for the finished epoch, in group-index
+/// order (the deterministic replay order). `tail` marks the two run-tail
+/// barriers, whose blob lists are empty.
+struct EpochBeginMsg {
+  std::uint64_t seq = 0;
+  bool tail = false;
+  std::vector<std::vector<std::uint8_t>> dedup_logs;   // one per group
+  std::vector<std::vector<std::uint8_t>> pool_deltas;  // one per group
+
+  bool operator==(const EpochBeginMsg&) const = default;
+};
+
+/// Coordinator -> worker: the EpochMailbox postings routed to this
+/// worker's lanes (AnomalyGuard purges), delivered at the next barrier.
+struct MailboxBatchMsg {
+  std::uint64_t seq = 0;
+  std::vector<MailboxEntry> entries;
+
+  bool operator==(const MailboxBatchMsg&) const = default;
+};
+
+/// One AnomalyGuard observation: the minimal projection of a session
+/// TraceRecord the guard reads (improve/anomaly_guard.cpp filters on
+/// type/session_event and then touches only t and user).
+struct GuardFeedEntry {
+  SimTime t = 0;
+  std::uint64_t user = 0;
+  std::uint8_t session_event = 0;  // SessionEvent wire byte
+
+  bool operator==(const GuardFeedEntry&) const = default;
+};
+
+/// Worker -> coordinator at each barrier: its local groups' serialized
+/// deltas (group order within [first_group, first_group + n)), plus the
+/// guard feed extracted from the epoch's merged local stream.
+struct EpochDoneMsg {
+  std::uint64_t seq = 0;
+  bool tail = false;
+  std::uint32_t first_group = 0;
+  std::vector<std::vector<std::uint8_t>> dedup_logs;   // one per local group
+  std::vector<std::vector<std::uint8_t>> pool_deltas;  // one per local group
+  std::vector<GuardFeedEntry> feed;
+
+  bool operator==(const EpochDoneMsg&) const = default;
+};
+
+/// Worker -> coordinator at end of run: the shard manifest. Counters and
+/// timings are positional (the coordinator and worker agree on the
+/// layout in sim/distributed.cpp); keeping them generic here keeps the
+/// proto layer free of sim types.
+struct ChunkMetaMsg {
+  std::uint64_t seq = 0;
+  std::vector<std::uint64_t> counters;
+  std::vector<double> timings;
+
+  bool operator==(const ChunkMetaMsg&) const = default;
+};
+
+/// Coordinator -> worker: drain and exit with `code`.
+struct ShutdownMsg {
+  std::uint32_t code = 0;
+  std::string message;
+
+  bool operator==(const ShutdownMsg&) const = default;
+};
+
+/// Appends one framed control payload to `out`. `op` must be a control
+/// op (asserted); payload bytes come from the encode_* helpers below.
+void append_control_frame(std::vector<std::uint8_t>& out, ProtoOp op,
+                          const std::vector<std::uint8_t>& payload);
+
+/// Splits the control frame at the front of [data, data+n). On kOk,
+/// `op` and `payload` (a view into `data`) are set and `consumed` is
+/// the frame size. Protocol errors mirror the envelope decoders:
+/// truncation inside a known length consumes the frame, an oversized
+/// length prefix consumes 0 (drop the connection).
+FrameDecode split_control_frame(const std::uint8_t* data, std::size_t n,
+                                ProtoOp& op,
+                                std::span<const std::uint8_t>& payload);
+
+// Payload codecs. Decoders return kOk, kBadFrame (truncated/overlong
+// field) or kSlackPayload (trailing bytes after all fields).
+std::vector<std::uint8_t> encode_epoch_begin(const EpochBeginMsg& m);
+Status decode_epoch_begin(std::span<const std::uint8_t> payload,
+                          EpochBeginMsg& out);
+
+std::vector<std::uint8_t> encode_mailbox_batch(const MailboxBatchMsg& m);
+Status decode_mailbox_batch(std::span<const std::uint8_t> payload,
+                            MailboxBatchMsg& out);
+
+std::vector<std::uint8_t> encode_epoch_done(const EpochDoneMsg& m);
+Status decode_epoch_done(std::span<const std::uint8_t> payload,
+                         EpochDoneMsg& out);
+
+std::vector<std::uint8_t> encode_chunk_meta(const ChunkMetaMsg& m);
+Status decode_chunk_meta(std::span<const std::uint8_t> payload,
+                         ChunkMetaMsg& out);
+
+std::vector<std::uint8_t> encode_shutdown(const ShutdownMsg& m);
+Status decode_shutdown(std::span<const std::uint8_t> payload,
+                       ShutdownMsg& out);
+
+}  // namespace u1

@@ -2,101 +2,24 @@
 
 #include <array>
 
+#include "proto/wire.hpp"
+
 namespace u1 {
 namespace {
 
-// --- little-endian / varint helpers (the binlog.cpp idioms) ---------------
-
-void put_le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint32_t get_le32(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
-std::uint16_t get_le16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
-                                    (static_cast<std::uint16_t>(p[1]) << 8));
-}
-
-void put_varint(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint64_t zigzag(std::int64_t v) {
-  return (static_cast<std::uint64_t>(v) << 1) ^
-         static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t unzigzag(std::uint64_t v) {
-  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
-}
-
-/// Bounds-checked payload reader; `ok` goes false on any overrun and
-/// every accessor returns a zero value afterwards.
-struct Cursor {
-  const std::uint8_t* p;
-  const std::uint8_t* end;
-  bool ok = true;
-
-  std::uint64_t varint() {
-    std::uint64_t v = 0;
-    int shift = 0;
-    while (ok) {
-      if (p == end || shift > 63) {
-        ok = false;
-        return 0;
-      }
-      const std::uint8_t b = *p++;
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
-      shift += 7;
-    }
-    return 0;
-  }
-
-  std::uint8_t u8() {
-    if (!ok || p == end) {
-      ok = false;
-      return 0;
-    }
-    return *p++;
-  }
-
-  const std::uint8_t* take(std::size_t n) {
-    if (!ok || static_cast<std::size_t>(end - p) < n) {
-      ok = false;
-      return nullptr;
-    }
-    const std::uint8_t* r = p;
-    p += n;
-    return r;
-  }
-};
-
-void put_raw(std::vector<std::uint8_t>& out, const std::uint8_t* p,
-             std::size_t n) {
-  out.insert(out.end(), p, p + n);
-}
-
-void put_short_string(std::vector<std::uint8_t>& out, std::string_view s) {
-  out.push_back(static_cast<std::uint8_t>(s.size()));
-  put_raw(out, reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
-}
+// Little-endian / varint helpers (the binlog.cpp idioms) live in
+// proto/wire.hpp since PR 10 — the distributed control plane
+// (control.cpp) shares them.
+using wire::Cursor;
+using wire::get_le16;
+using wire::get_le32;
+using wire::put_le16;
+using wire::put_le32;
+using wire::put_raw;
+using wire::put_short_string;
+using wire::put_varint;
+using wire::unzigzag;
+using wire::zigzag;
 
 // --- payload codecs --------------------------------------------------------
 
@@ -264,6 +187,11 @@ std::string_view to_string(ProtoOp op) noexcept {
     case ProtoOp::kDownload: return "Download";
     case ProtoOp::kRegisterUser: return "RegisterUser";
     case ProtoOp::kShareVolume: return "ShareVolume";
+    case ProtoOp::kEpochBegin: return "EpochBegin";
+    case ProtoOp::kMailboxBatch: return "MailboxBatch";
+    case ProtoOp::kEpochDone: return "EpochDone";
+    case ProtoOp::kChunkMeta: return "ChunkMeta";
+    case ProtoOp::kShutdown: return "Shutdown";
   }
   return "UnknownOp";
 }
@@ -283,8 +211,19 @@ std::span<const ProtoOp> all_proto_ops() noexcept {
   return kAll;
 }
 
+std::span<const ProtoOp> all_control_ops() noexcept {
+  static constexpr std::array<ProtoOp, kControlOpCount> kAll = {
+      ProtoOp::kEpochBegin, ProtoOp::kMailboxBatch, ProtoOp::kEpochDone,
+      ProtoOp::kChunkMeta,  ProtoOp::kShutdown,
+  };
+  return kAll;
+}
+
 std::optional<ProtoOp> proto_op_from_string(std::string_view name) noexcept {
   for (const ProtoOp op : all_proto_ops()) {
+    if (to_string(op) == name) return op;
+  }
+  for (const ProtoOp op : all_control_ops()) {
     if (to_string(op) == name) return op;
   }
   return std::nullopt;
@@ -292,6 +231,12 @@ std::optional<ProtoOp> proto_op_from_string(std::string_view name) noexcept {
 
 std::optional<ProtoOp> proto_op_from_wire(std::uint8_t value) noexcept {
   if (value >= kProtoOpCount) return std::nullopt;
+  return static_cast<ProtoOp>(value);
+}
+
+std::optional<ProtoOp> control_op_from_wire(std::uint8_t value) noexcept {
+  if (value < kControlOpBase || value >= kControlOpBase + kControlOpCount)
+    return std::nullopt;
   return static_cast<ProtoOp>(value);
 }
 

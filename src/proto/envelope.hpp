@@ -65,14 +65,46 @@ enum class ProtoOp : std::uint8_t {
   kDownload = 15,
   kRegisterUser = 16,
   kShareVolume = 17,
+
+  // Distributed control plane (DESIGN.md §12): epoch-barrier frames
+  // between the multi-process coordinator and its workers. These ride
+  // the same [len][version][op] framing but carry their own payload
+  // codecs (proto/control.hpp) and a larger frame cap — the
+  // request/response decoders below reject them with kUnknownOp, so a
+  // storage client can never smuggle a control frame and vice versa.
+  kEpochBegin = 18,    // coordinator -> worker: all groups' epoch deltas
+  kMailboxBatch = 19,  // coordinator -> worker: routed EpochMailbox lanes
+  kEpochDone = 20,     // worker -> coordinator: local deltas + guard feed
+  kChunkMeta = 21,     // worker -> coordinator: end-of-run shard manifest
+  kShutdown = 22,      // coordinator -> worker: drain and exit
 };
+/// Request-plane op count: the storage/provisioning calls a backend
+/// dispatches. Control ops live above this range — proto_op_from_wire
+/// (and thus decode_request_frame/decode_response_frame) rejects them.
 inline constexpr std::size_t kProtoOpCount = 18;
+/// Control-plane wire range: [kControlOpBase, kControlOpBase +
+/// kControlOpCount). Append only, never renumber.
+inline constexpr std::uint8_t kControlOpBase = 18;
+inline constexpr std::size_t kControlOpCount = 5;
+
+/// True for the distributed control-plane ops (kEpochBegin..kShutdown).
+constexpr bool is_control_op(ProtoOp op) noexcept {
+  const auto v = static_cast<std::uint8_t>(op);
+  return v >= kControlOpBase && v < kControlOpBase + kControlOpCount;
+}
 
 std::string_view to_string(ProtoOp op) noexcept;
 std::optional<ProtoOp> proto_op_from_string(std::string_view name) noexcept;
+/// The request-plane ops (size == kProtoOpCount; control ops excluded).
 std::span<const ProtoOp> all_proto_ops() noexcept;
-/// Range-checked wire decode; nullopt for any byte outside the enum.
+/// The control-plane ops (size == kControlOpCount).
+std::span<const ProtoOp> all_control_ops() noexcept;
+/// Range-checked wire decode for the request plane; nullopt for any
+/// byte outside [0, kProtoOpCount) — including control-plane bytes.
 std::optional<ProtoOp> proto_op_from_wire(std::uint8_t value) noexcept;
+/// Range-checked wire decode for the control plane; nullopt for any
+/// byte outside [kControlOpBase, kControlOpBase + kControlOpCount).
+std::optional<ProtoOp> control_op_from_wire(std::uint8_t value) noexcept;
 
 /// Result/error status. Wire values are stable: 0–15 are operation
 /// outcomes produced by the backend, 16+ are protocol-layer rejections

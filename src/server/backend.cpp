@@ -110,9 +110,18 @@ Response U1Backend::dispatch(const Request& q) {
       return do_register_user(q);
     case ProtoOp::kShareVolume:
       return do_share_volume(q);
+    case ProtoOp::kEpochBegin:
+    case ProtoOp::kMailboxBatch:
+    case ProtoOp::kEpochDone:
+    case ProtoOp::kChunkMeta:
+    case ProtoOp::kShutdown:
+      // Control-plane ops never dispatch: proto_op_from_wire rejects
+      // them at the request decoder, so they fall through to the
+      // unknown-op response below like any other non-request byte.
+      break;
   }
-  // Op byte outside the enum (only reachable via a hand-built Request —
-  // the frame decoder already rejects these before dispatch).
+  // Op byte outside the request plane (only reachable via a hand-built
+  // Request — the frame decoder already rejects these before dispatch).
   Response r;
   r.op = q.op;
   r.status = Status::kUnknownOp;

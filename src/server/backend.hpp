@@ -233,6 +233,19 @@ class U1Backend {
     store_.set_dedup_proxy(proxy);
   }
 
+  /// Shard-parallel worker hook: sheds the setup-replay state a remote
+  /// user leaves behind (their metadata node rows and this group's
+  /// materialized S3 objects) without disturbing the global dedup
+  /// registry or content pool. Workers call this right after replaying
+  /// each remote user's bootstrap so the per-process RSS peak tracks the
+  /// LOCAL slice instead of the whole cluster; release_remote_groups()
+  /// later frees what remains. Never call it for users that will run
+  /// in this process.
+  void shed_remote_user_state(UserId user) {
+    store_.shed_user_namespace(user);
+    s3_.shed_objects();
+  }
+
   // --- fault injection -------------------------------------------------------
   /// Arms the backend with a fault injector (nullptr disarms). Crash
   /// victims for the injector's whole schedule are resolved against the

@@ -49,6 +49,24 @@ class ClientAgent {
   /// uploads (used for the pre-trace bootstrap phase).
   void bootstrap(U1Backend& backend, SimTime now, std::size_t n);
 
+  /// Worker hook: frees the client-side namespace mirror (volumes, dirs,
+  /// file records) of an agent that will never wake in this process.
+  /// The distributed engine calls this right after replaying a remote
+  /// user's bootstrap — the mirror is per-file state and would otherwise
+  /// hold the cluster-wide bootstrap working set in every worker. The
+  /// profile and RNG stay intact (schedule_population_start still reads
+  /// them); calling this on an agent that later wakes is a logic error.
+  void shed_namespace_mirror() {
+    volumes_.clear();
+    volumes_.shrink_to_fit();
+    dirs_.clear();
+    dirs_.shrink_to_fit();
+    files_.clear();
+    files_.shrink_to_fit();
+    recent_downloads_.clear();
+    recent_downloads_.shrink_to_fit();
+  }
+
  private:
   struct FileRec {
     NodeId node;

@@ -11,6 +11,9 @@
 
 #if defined(__linux__)
 #include <pthread.h>
+#include <sys/resource.h>
+#include <cstdio>
+#include <unistd.h>
 #include <sched.h>
 #endif
 
@@ -55,6 +58,14 @@ std::optional<std::size_t> env_flush_depth() {
   }
   return std::nullopt;
 }
+
+/// Sticky-plan rebuild hysteresis: a hard floor on epochs between LPT
+/// repartitions, the EMA smoothing factor for the load-drift signal,
+/// and the smoothed-drift threshold that justifies paying the cache
+/// eviction a repartition causes.
+constexpr std::uint64_t kPlanRebuildFloor = 12;
+constexpr double kPlanDriftAlpha = 0.3;
+constexpr double kPlanDriftThreshold = 0.25;
 
 void pin_thread_to_core(std::thread& thread, std::size_t core) {
 #if defined(__linux__)
@@ -117,6 +128,32 @@ void ParallelSimulation::attach_analyzer(ShardedAnalyzer& analyzer) {
     throw std::logic_error(
         "ParallelSimulation::attach_analyzer: call before run()");
   analyzers_.push_back(&analyzer);
+}
+
+void ParallelSimulation::enable_worker_mode(EpochPeer& peer,
+                                            std::size_t first_group,
+                                            std::size_t group_count) {
+  if (ran_)
+    throw std::logic_error(
+        "ParallelSimulation::enable_worker_mode: call before run()");
+  if (group_count == 0 || first_group >= config_.backend.shards ||
+      group_count > config_.backend.shards - first_group)
+    throw std::invalid_argument(
+        "ParallelSimulation::enable_worker_mode: bad group range");
+  peer_ = &peer;
+  local_first_ = first_group;
+  local_count_ = group_count;
+  // The worker materializes trace chunks for the peer's shard stream
+  // even though its own sink is a NullSink; analysis-only is a
+  // coordinator-side decision in distributed runs.
+  analysis_only_ = false;
+  set_flush_depth(env_flush_depth().value_or(2));
+  // Detection needs the cluster-merged stream, so the AnomalyGuard runs
+  // on the coordinator; this process only extracts the observation feed.
+  if (guard_) {
+    guard_.reset();
+    collect_feed_ = true;
+  }
 }
 
 std::size_t ParallelSimulation::group_of(UserId user) const noexcept {
@@ -185,10 +222,13 @@ void ParallelSimulation::build_groups() {
     auto slot = std::make_unique<FlushSlot>();
     slot->chunks.resize(n_groups);
     slot->sym_map.resize(n_groups);
+    slot->new_syms.resize(n_groups);
     slots_.push_back(std::move(slot));
   }
   purge_seen_.resize(n_groups);
   purge_mail_.reset(n_groups, /*lane_capacity=*/64);
+  active_groups_.resize(n_groups);
+  std::iota(active_groups_.begin(), active_groups_.end(), std::size_t{0});
 }
 
 void ParallelSimulation::register_population() {
@@ -268,12 +308,99 @@ void ParallelSimulation::bootstrap_phase() {
                         static_cast<std::uint64_t>(2 * kDay)));
     agent.bootstrap(*groups_[home_[i].group]->backend, when, files);
     report_.bootstrap_files += files;
+    // Worker mode: a remote user's bootstrap matters only for its global
+    // side effects (master/agent RNG draws, dedup registry and content
+    // pool state, trace-window-invariant counters). The node rows, S3
+    // objects and trace records it just produced in the remote group are
+    // per-process dead weight — shed them NOW, per user, instead of
+    // letting all G groups' bootstrap state coexist until
+    // release_remote_groups(): that coexistence is what used to pin the
+    // worker RSS peak at ~the single-process figure. Local groups (and
+    // the in-process engine, where every group is local) are untouched,
+    // so the packed chunk-0 records and every published symbol stay
+    // bit-identical.
+    if (worker_mode() && !group_local(home_[i].group)) {
+      Group& grp = *groups_[home_[i].group];
+      grp.backend->shed_remote_user_state(UserId{i + 1});
+      agent.shed_namespace_mirror();
+      shed_scratch_.clear();
+      grp.trace.swap_records(shed_scratch_);
+    }
   }
   // Freeze: from here on workers only see epoch overlays.
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     groups_[g]->backend->set_dedup_proxy(&shared_dedup_->overlay(g));
     groups_[g]->pool_view->set_live(nullptr);
   }
+}
+
+std::vector<double> ParallelSimulation::estimate_group_setup_weights(
+    const SimulationConfig& config) {
+  // Mirror of the master-RNG consumption in build_groups (G forks),
+  // register_population (sample + fork per user), grant_shares (one
+  // below() per sharer) and bootstrap_phase (uniform, chance, below per
+  // user) — keep the draw sequence in lockstep with those functions.
+  // The realized bootstrap file count is the dominant share of a
+  // group's end-of-run footprint; the activity term covers the
+  // trace-window growth on top of it.
+  const std::size_t n_groups = config.backend.shards;
+  std::vector<double> weights(n_groups, 0.0);
+  if (n_groups == 0 || config.users == 0) return weights;
+  Rng rng(config.seed);
+  for (std::size_t g = 0; g < n_groups; ++g) (void)rng.fork();
+  const UserModel model(config.user_model);
+  std::vector<UserProfile> profiles;
+  profiles.reserve(config.users);
+  for (std::size_t i = 0; i < config.users; ++i) {
+    profiles.push_back(model.sample(rng));
+    (void)rng.fork();  // the agent's private stream
+  }
+  for (std::size_t i = 0; i < config.users; ++i) {
+    if (!profiles[i].sharer || config.users < 2) continue;
+    (void)rng.below(config.users);
+  }
+  /// Expected trace-window files per (session/day × day) unit, relative
+  /// to one bootstrap file — a balance heuristic, not a contract.
+  constexpr double kRunActivityWeight = 0.6;
+  for (std::size_t i = 0; i < config.users; ++i) {
+    const std::size_t g = std::hash<UserId>{}(UserId{i + 1}) % n_groups;
+    double mean = config.bootstrap_files_mean;
+    switch (profiles[i].user_class) {
+      case UserClass::kOccasional: mean *= 0.4; break;
+      case UserClass::kUploadOnly: mean *= 2.0; break;
+      case UserClass::kDownloadOnly: mean *= 1.5; break;
+      case UserClass::kHeavy: mean *= 4.0; break;
+    }
+    double n = -mean * std::log(1.0 - rng.uniform());
+    if (rng.chance(0.025)) n *= 40.0;
+    (void)rng.below(static_cast<std::uint64_t>(2 * kDay));
+    weights[g] += std::min(n, 4000.0) +
+                  kRunActivityWeight * profiles[i].activity *
+                      profiles[i].sessions_per_day * config.days;
+  }
+  // DDoS attacks pin thousands of bot sessions — and attack-hour epoch
+  // chunks — on the abused account's home group for the response
+  // window. The schedule and the account ids are deterministic, so the
+  // planner can keep the Jan-16 (245x) group out of the heaviest slice.
+  if (config.enable_ddos) {
+    /// Worker-RSS cost of one bot operation relative to one bootstrap
+    /// file (records + session churn vs node + mirror + records).
+    constexpr double kAttackOpWeight = 0.2;
+    const double population_scale =
+        static_cast<double>(config.users) / 10000.0;
+    const auto schedule =
+        paper_attack_schedule(config.ddos_bot_scale * population_scale);
+    for (std::size_t a = 0; a < schedule.size(); ++a) {
+      const std::size_t g =
+          std::hash<UserId>{}(UserId{1000000 + a}) % n_groups;
+      const DdosAttackSpec& spec = schedule[a];
+      const double hours =
+          static_cast<double>(spec.response_delay) / static_cast<double>(kHour);
+      weights[g] += kAttackOpWeight * spec.bots * spec.connects_per_hour *
+                    hours * (1.0 + spec.downloads_per_connection);
+    }
+  }
+  return weights;
 }
 
 void ParallelSimulation::schedule_population_start() {
@@ -283,15 +410,20 @@ void ParallelSimulation::schedule_population_start() {
     const ClientAgent& agent = *groups_[home.group]->agents[home.index];
     const SimTime first =
         diurnal_.next_arrival(0, agent.profile().sessions_per_day, rng_);
-    groups_[home.group]->queue.push(first, Ev{Ev::Kind::kAgent, home.index});
+    // Worker mode: the arrival draw above must happen for EVERY user (it
+    // is on the master RNG stream), but only local groups get the event.
+    if (group_local(home.group))
+      groups_[home.group]->queue.push(first, Ev{Ev::Kind::kAgent, home.index});
   }
-  for (auto& grp : groups_)
-    grp->queue.push(kHour, Ev{Ev::Kind::kMaintenance, 0});
+  for (std::size_t g = 0; g < groups_.size(); ++g)
+    if (group_local(g))
+      groups_[g]->queue.push(kHour, Ev{Ev::Kind::kMaintenance, 0});
   for (std::size_t i = 0; i < fault_schedule_.size(); ++i) {
     // Every group gets every edge: fleet/window state must flip in every
     // back-end replica. Only group 0 emits the kFault trace record.
-    for (auto& grp : groups_)
-      grp->queue.push(fault_schedule_[i].at, Ev{Ev::Kind::kFault, i});
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+      if (group_local(g))
+        groups_[g]->queue.push(fault_schedule_[i].at, Ev{Ev::Kind::kFault, i});
   }
   if (config_.enable_ddos) {
     const double population_scale =
@@ -306,9 +438,10 @@ void ParallelSimulation::schedule_population_start() {
       // operation targets that single account, so the traffic is
       // group-local by construction.
       rt.group = group_of(rt.account);
-      attacks_.push_back(rt);
-      groups_[rt.group]->queue.push(schedule[a].start,
-                                    Ev{Ev::Kind::kDdosStart, a});
+      attacks_.push_back(rt);  // every process keeps the full table
+      if (group_local(rt.group))
+        groups_[rt.group]->queue.push(schedule[a].start,
+                                      Ev{Ev::Kind::kDdosStart, a});
     }
   }
 }
@@ -435,14 +568,28 @@ void ParallelSimulation::run_group_epoch(std::size_t group, SimTime limit) {
 
 void ParallelSimulation::fill_slot(FlushSlot& slot) {
   for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (!group_local(g)) continue;  // remote groups: freed, chunk stays empty
     // Deterministic symbol merge: each group's new local symbols enter
     // the global table here, in group-index order with the workers
     // parked — the global ids are a pure function of the seed. The
     // mapping snapshot lets stage A remap this chunk while the next
     // epoch's compute keeps interning into the same group.
     GroupSymbols& symbols = groups_[g]->backend->symbols();
+    const std::size_t prev_published = symbols.mapping().size();
     symbols.publish();
     slot.sym_map[g] = symbols.mapping();
+    if (peer_ != nullptr) {
+      // Capture the symbols this publish added, with their strings: the
+      // peer ships them so the coordinator can replay the global-table
+      // growth in (chunk, group) order — the exact order the in-process
+      // engine interns in — and reproduce the oracle's symbol ids.
+      auto& fresh = slot.new_syms[g];
+      fresh.clear();
+      for (std::size_t i = prev_published; i < slot.sym_map[g].size(); ++i)
+        fresh.emplace_back(
+            slot.sym_map[g][i],
+            std::string(global_symbols().resolve(slot.sym_map[g][i])));
+    }
     // slot.chunks[g] was cleared (capacity kept) by the previous stage
     // B, so this swap hands the group an empty, pre-sized buffer — in
     // steady state the ring allocates nothing.
@@ -491,6 +638,30 @@ void ParallelSimulation::run_stage_a(FlushSlot& slot) {
   } else {
     for (std::size_t g = 0; g < groups_.size(); ++g) prep_chunk(slot, g);
   }
+  if (peer_ != nullptr) {
+    // Worker mode: the chunks ship whole to the peer's shard stream in
+    // stage B, so no local k-way merge is needed. The merge plan is
+    // built only to order the guard feed — the same (t, group) contract
+    // order the coordinator's cluster-wide merge produces per worker —
+    // and the feed itself is the exact record subset AnomalyGuard::
+    // observe acts on (session auth/open events, post-bootstrap).
+    if (collect_feed_) {
+      build_merge_plan(slot.chunks, slot.plan);
+      for (const MergeRef ref : slot.plan) {
+        const TraceRecord& r = slot.chunks[ref.group][ref.offset];
+        if (r.t < 0 || r.type != RecordType::kSession) continue;
+        if (r.session_event != SessionEvent::kAuthRequest &&
+            r.session_event != SessionEvent::kOpen)
+          continue;
+        feed_buf_.push_back(
+            GuardFeedEntry{r.t, static_cast<std::uint64_t>(r.user.value),
+                           static_cast<std::uint8_t>(r.session_event)});
+      }
+      slot.plan.clear();
+    }
+    phases_.flush_s += secs_since(t0);
+    return;
+  }
   // Analysis-only runs with no guard skip the k-way merge plan: nothing
   // consumes the merged order (the shards already ate the per-group
   // streams, and stage B over an empty plan writes nothing). The guard,
@@ -520,6 +691,18 @@ void ParallelSimulation::run_stage_a(FlushSlot& slot) {
 
 void ParallelSimulation::run_stage_b(FlushSlot& slot) {
   const auto t0 = Clock::now();
+  if (peer_ != nullptr) {
+    // Worker mode: the local groups' sorted, globally-labelled segments
+    // go to the peer's shard stream (FIFO in epoch order — the writer
+    // thread preserves submission order); the coordinator k-way merges
+    // them at readback.
+    peer_->write_chunk(slot.chunks, slot.new_syms, local_first_, local_count_);
+    for (auto& chunk : slot.chunks) chunk.clear();
+    for (auto& syms : slot.new_syms) syms.clear();
+    slot.plan.clear();
+    phases_.write_s += secs_since(t0);
+    return;
+  }
   // The merge permutation is long runs of consecutive offsets within one
   // group (each run is one group's records between two other-group
   // timestamps); hand each maximal run to the sink as a single batch so
@@ -743,13 +926,17 @@ void ParallelSimulation::rethrow_flush_error() {
 
 void ParallelSimulation::deliver_purges(SimTime when) {
   purge_mail_.drain([this, when](std::size_t g, UserId culprit) {
+    if (!groups_[g]->backend) return;  // distributed: not this process's group
     groups_[g]->backend->admin_purge_user(culprit, when);
     ++report_.auto_purges;
     for (auto& attack : attacks_) {
       if (attack.account == culprit && !attack.purged) {
         attack.purged = true;
-        if (report_.first_auto_response_delay == 0)
+        if (report_.first_auto_response_delay == 0) {
           report_.first_auto_response_delay = when - attack.spec.start;
+          first_purge_barrier_ = barrier_seq_;
+          first_purge_group_ = g;
+        }
       }
     }
   });
@@ -766,9 +953,13 @@ void ParallelSimulation::merge_epoch(SimTime epoch_end) {
   join_flusher();
   const auto t1 = Clock::now();
   phases_.flush_stall_s += std::chrono::duration<double>(t1 - t0).count();
-  shared_dedup_->merge_epoch(
-      [this](const ContentInfo&) { ++cross_group_dead_blobs_; });
-  for (auto& grp : groups_) content_pool_->absorb(*grp->pool_view);
+  if (peer_ != nullptr) {
+    exchange_barrier(/*tail=*/false);
+  } else {
+    shared_dedup_->merge_epoch(
+        [this](const ContentInfo&) { ++cross_group_dead_blobs_; });
+    for (auto& grp : groups_) content_pool_->absorb(*grp->pool_view);
+  }
   // Cross-group commands detected in the previous epoch's merged stream,
   // in group-index order. Their trace records join the chunk collected
   // below (same barrier), stamped with this barrier's epoch_end.
@@ -783,6 +974,61 @@ void ParallelSimulation::merge_epoch(SimTime epoch_end) {
 }
 
 // ---------------------------------------------------------------------------
+// Distributed worker mode.
+
+void ParallelSimulation::release_remote_groups() {
+  active_groups_.clear();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (group_local(g)) {
+      active_groups_.push_back(g);
+      continue;
+    }
+    // The remote group's deterministic contribution is complete (master
+    // RNG draws, bootstrap registry/pool state); its runtime state is
+    // per-process dead weight from here on — this free is where the
+    // ~1/P per-process peak RSS comes from. The Group shell stays so
+    // group indexing and the barrier replay order are unchanged.
+    Group& grp = *groups_[g];
+    grp.agents.clear();
+    grp.agents.shrink_to_fit();
+    grp.bots.clear();
+    grp.backend.reset();
+    grp.pool_view.reset();
+    grp.injector.reset();
+    grp.shards.clear();
+    std::vector<TraceRecord> dropped;
+    grp.trace.swap_records(dropped);  // remote bootstrap records
+  }
+}
+
+void ParallelSimulation::exchange_barrier(bool tail) {
+  std::vector<std::vector<std::uint8_t>> logs;
+  std::vector<std::vector<std::uint8_t>> deltas;
+  if (!tail) {
+    logs.reserve(local_count_);
+    deltas.reserve(local_count_);
+    for (std::size_t i = 0; i < local_count_; ++i) {
+      const std::size_t g = local_first_ + i;
+      logs.push_back(shared_dedup_->extract_log(g));
+      deltas.push_back(groups_[g]->pool_view->extract_delta());
+    }
+  }
+  EpochPeer::BarrierIn in =
+      peer_->exchange(barrier_seq_++, tail, std::move(logs), std::move(deltas),
+                      std::move(feed_buf_));
+  feed_buf_.clear();
+  // Replay the cluster-wide epoch in group-index order — the same order
+  // the in-process merge applies — so this process's global registry
+  // and content-pool replicas match every other process byte for byte.
+  for (const auto& log : in.dedup_logs)
+    shared_dedup_->apply_log(
+        log, [this](const ContentInfo&) { ++cross_group_dead_blobs_; });
+  for (const auto& delta : in.pool_deltas) content_pool_->absorb_delta(delta);
+  for (const MailboxEntry& e : in.purges)
+    purge_mail_.post(static_cast<std::size_t>(e.lane), UserId{e.value});
+}
+
+// ---------------------------------------------------------------------------
 // Worker pool + sticky scheduling.
 
 void ParallelSimulation::prepare_epoch_plan(std::size_t workers) {
@@ -792,7 +1038,7 @@ void ParallelSimulation::prepare_epoch_plan(std::size_t workers) {
   // (first epoch: the scheduled queue sizes). The weights steer only the
   // wall clock; any plan yields the identical trace.
   std::vector<std::uint64_t> cost(groups_.size());
-  for (std::size_t g = 0; g < groups_.size(); ++g) {
+  for (const std::size_t g : active_groups_) {
     cost[g] = plan_.empty() ? groups_[g]->queue.size() + 1
                             : groups_[g]->epoch_events + 1;
     groups_[g]->epoch_events = 0;
@@ -802,8 +1048,7 @@ void ParallelSimulation::prepare_epoch_plan(std::size_t workers) {
   // epoch and use its makespan as the *achievable* baseline — comparing
   // against total/workers would force a rebuild whenever G/workers
   // doesn't divide evenly, which is exactly the common case.
-  std::vector<std::size_t> order(groups_.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<std::size_t> order = active_groups_;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (cost[a] != cost[b]) return cost[a] > cost[b];
     return a < b;
@@ -819,19 +1064,33 @@ void ParallelSimulation::prepare_epoch_plan(std::size_t workers) {
   const std::uint64_t candidate_max =
       *std::max_element(load.begin(), load.end());
   if (!plan_.empty()) {
-    // Sticky: keep the current assignment while its makespan stays
-    // within 25% of what repartitioning would buy — moving a group
-    // evicts every cache line it owns, so only a real win justifies it.
+    // Sticky hysteresis: moving a group evicts every cache line it
+    // owns, so only *sustained* drift justifies a repartition. The
+    // makespan excess over the LPT baseline is EMA-smoothed, so one
+    // bursty epoch (a DDoS ramp, a fault window) cannot trigger a
+    // rebuild, and a floor of kPlanRebuildFloor epochs between rebuilds
+    // bounds the churn even under persistent imbalance. Every input is
+    // seed-deterministic, so the rebuild count is too (tests pin it).
     std::uint64_t current_max = 0;
     for (const auto& assigned : plan_) {
       std::uint64_t worker_load = 0;
       for (const std::size_t g : assigned) worker_load += cost[g];
       current_max = std::max(current_max, worker_load);
     }
-    if (current_max * 4 <= candidate_max * 5) return;
+    const double drift =
+        candidate_max > 0 ? static_cast<double>(current_max) /
+                                    static_cast<double>(candidate_max) -
+                                1.0
+                          : 0.0;
+    plan_drift_ema_ += kPlanDriftAlpha * (drift - plan_drift_ema_);
+    ++plan_epochs_since_rebuild_;
+    if (plan_epochs_since_rebuild_ < kPlanRebuildFloor) return;
+    if (plan_drift_ema_ <= kPlanDriftThreshold) return;
   }
   plan_ = std::move(candidate);
   ++phases_.plan_rebuilds;
+  plan_drift_ema_ = 0.0;
+  plan_epochs_since_rebuild_ = 0;
 }
 
 void ParallelSimulation::start_workers(std::size_t n) {
@@ -855,10 +1114,10 @@ void ParallelSimulation::worker_loop(std::size_t id) {
       if (scheduling_ == Scheduling::kSticky) {
         for (const std::size_t g : plan_[id]) run_group_epoch(g, epoch_limit_);
       } else {
-        for (std::size_t g;
-             (g = next_group_.fetch_add(1, std::memory_order_relaxed)) <
-             groups_.size();) {
-          run_group_epoch(g, epoch_limit_);
+        for (std::size_t idx;
+             (idx = next_group_.fetch_add(1, std::memory_order_relaxed)) <
+             active_groups_.size();) {
+          run_group_epoch(active_groups_[idx], epoch_limit_);
         }
       }
     } catch (...) {
@@ -891,14 +1150,28 @@ void ParallelSimulation::stop_workers() {
   epoch_done_.reset();
 }
 
+
+namespace {
+void rss_probe(const char* tag) {
+  if (::getenv("U1SIM_RSS_DEBUG") == nullptr) return;
+  rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  std::fprintf(stderr, "[rss pid=%d] %-18s peak=%ld KiB\n",
+               static_cast<int>(::getpid()), tag,
+               static_cast<long>(ru.ru_maxrss));
+}
+}  // namespace
+
 SimulationReport ParallelSimulation::run() {
   if (ran_) throw std::logic_error("ParallelSimulation::run: already ran");
   ran_ = true;
 
   build_groups();
   register_population();
+  rss_probe("registered");
   grant_shares();
   bootstrap_phase();
+  rss_probe("bootstrap-done");
   {
     // Bootstrap records: merged and written once, pre-pipeline (the
     // threads are not running yet, so the slot runs both stages inline).
@@ -908,10 +1181,12 @@ SimulationReport ParallelSimulation::run() {
     run_stage_b(slot);
   }
   schedule_population_start();
+  if (peer_ != nullptr) release_remote_groups();
+  rss_probe("setup-released");
 
   const SimTime horizon = static_cast<SimTime>(config_.days) * kDay;
-  const bool pooled = threads_ > 1 && groups_.size() > 1;
-  const std::size_t n_workers = std::min(threads_, groups_.size());
+  const bool pooled = threads_ > 1 && active_groups_.size() > 1;
+  const std::size_t n_workers = std::min(threads_, active_groups_.size());
   if (pooled) {
     start_workers(n_workers);
     start_flush_pipeline();
@@ -923,8 +1198,7 @@ SimulationReport ParallelSimulation::run() {
       prepare_epoch_plan(n_workers);
       run_epoch_pooled(limit);
     } else {
-      for (std::size_t g = 0; g < groups_.size(); ++g)
-        run_group_epoch(g, limit);
+      for (const std::size_t g : active_groups_) run_group_epoch(g, limit);
     }
     phases_.compute_s += secs_since(t0);
     merge_epoch(limit);
@@ -936,7 +1210,11 @@ SimulationReport ParallelSimulation::run() {
   // queued epoch, and the records the purges emit get one final
   // synchronous flush (any purges *that* flush detects are applied too,
   // but — like the pre-ring engine — their records are not re-flushed).
+  rss_probe("epochs-done");
   join_flusher();
+  // Distributed tail barrier #1: the last epoch chunk's guard feed is
+  // complete (stage A joined) — ship it, collect the final purges.
+  if (peer_ != nullptr) exchange_barrier(/*tail=*/true);
   deliver_purges(horizon);
   drain_writer();
   {
@@ -945,6 +1223,10 @@ SimulationReport ParallelSimulation::run() {
     run_stage_a(slot);
     run_stage_b(slot);
   }
+  // Distributed tail barrier #2: the purge-records chunk was scanned
+  // inline above; any purges it triggers apply at the horizon, exactly
+  // like the in-process tail.
+  if (peer_ != nullptr) exchange_barrier(/*tail=*/true);
   deliver_purges(horizon);
   if (pooled) {
     stop_flush_pipeline();
@@ -972,7 +1254,7 @@ SimulationReport ParallelSimulation::run() {
   for (const auto& grp : groups_) {
     report_.agent_wakeups += grp->agent_wakeups;
     report_.ddos_attacks += grp->ddos_attacks;
-    report_.backend += grp->backend->stats();
+    if (grp->backend) report_.backend += grp->backend->stats();
   }
   return report_;
 }

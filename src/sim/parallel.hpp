@@ -43,7 +43,10 @@
 // cost-weighted plan (weights = the previous epoch's per-group event
 // counts, which are seed-deterministic) binds each group to one worker
 // so its backend/queue/agents stay hot in that worker's cache, and is
-// rebuilt (LPT greedy) only when the load imbalance drifts past 25%.
+// rebuilt (LPT greedy) only when the EMA-smoothed load imbalance stays
+// past 25% AND at least 12 epochs have passed since the last rebuild —
+// one bursty epoch cannot thrash the plan (rebuild count pinned by
+// tests/sim/parallel_sim_test.cpp on a fixed seed).
 // U1SIM_PIN=1 additionally pins worker i to core i. The plan never
 // affects the trace — groups are isolated during an epoch — only the
 // wall clock; tests assert trace equality between sticky and counter
@@ -81,12 +84,15 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "analysis/sharded.hpp"
 #include "improve/anomaly_guard.hpp"
+#include "proto/control.hpp"
 #include "server/backend.hpp"
 #include "sim/client_agent.hpp"
 #include "sim/event_queue.hpp"
@@ -99,6 +105,53 @@
 #include "workload/ddos.hpp"
 
 namespace u1 {
+
+/// Distributed worker hooks (DESIGN.md §12, sim/distributed.cpp): an
+/// engine in worker mode hands its epoch-barrier traffic to a peer
+/// instead of merging in-process. The peer ships the local groups'
+/// serialized dedup logs / pool deltas / guard feed to the coordinator
+/// and returns the cluster-wide replay set, so every process's global
+/// replicas stay byte-identical; stage B hands finished trace chunks to
+/// write_chunk (a local shard stream) instead of the sink.
+class EpochPeer {
+ public:
+  struct BarrierIn {
+    /// EVERY group's serialized state for the finished epoch, in
+    /// group-index order — the deterministic replay order. Empty lists
+    /// on the two run-tail barriers.
+    std::vector<std::vector<std::uint8_t>> dedup_logs;
+    std::vector<std::vector<std::uint8_t>> pool_deltas;
+    /// AnomalyGuard purges routed to this worker's groups
+    /// (lane = global group index, value = culprit UserId).
+    std::vector<MailboxEntry> purges;
+  };
+
+  virtual ~EpochPeer() = default;
+
+  /// One barrier round trip. `tail` marks the two run-tail exchanges
+  /// (no dedup/pool deltas, feed only). Blocking; called with the flush
+  /// pipeline joined, so the feed covers every record scanned so far.
+  virtual BarrierIn exchange(
+      std::uint64_t seq, bool tail,
+      std::vector<std::vector<std::uint8_t>> dedup_logs,
+      std::vector<std::vector<std::uint8_t>> pool_deltas,
+      std::vector<GuardFeedEntry> feed) = 0;
+
+  /// Stage-B replacement: persists one chunk's local-group segments
+  /// ([first_group, first_group + group_count) of `chunks`; sorted,
+  /// labels already remapped to this process's global table).
+  /// `new_symbols[g]` lists the (this-process global id, string) pairs
+  /// group g published at this chunk's barrier — exactly the symbols the
+  /// in-process engine would have interned at that point, so the
+  /// coordinator can replay the global-table growth in (chunk, group)
+  /// order and reproduce the oracle's symbol ids bit for bit. Called on
+  /// the writer thread, FIFO in epoch order.
+  virtual void write_chunk(
+      const std::vector<std::vector<TraceRecord>>& chunks,
+      const std::vector<std::vector<std::pair<Symbol, std::string>>>&
+          new_symbols,
+      std::size_t first_group, std::size_t group_count) = 0;
+};
 
 class ParallelSimulation {
  public:
@@ -169,9 +222,34 @@ class ParallelSimulation {
   /// to depth 1) and only attached analyzers consume the records.
   bool analysis_only() const noexcept { return analysis_only_; }
 
+  /// Distributed worker mode (DESIGN.md §12): this process runs only the
+  /// shard groups [first_group, first_group + group_count). The full
+  /// deterministic setup — registration, share grants, live-mode
+  /// bootstrap, population scheduling — still replays for EVERY group so
+  /// the master RNG stream is identical in every process; the remote
+  /// groups' heavy state (backend, agents, queue events) is then freed.
+  /// Epoch barriers go through `peer` (which must outlive run());
+  /// AnomalyGuard detection moves to the coordinator, this engine only
+  /// extracts the observation feed. Call before run().
+  void enable_worker_mode(EpochPeer& peer, std::size_t first_group,
+                          std::size_t group_count);
+  bool worker_mode() const noexcept { return peer_ != nullptr; }
+
   /// Records handed to the flush pipeline (and thus to every attached
   /// analyzer), including bootstrap history. For bench records/s.
   std::uint64_t records_flushed() const noexcept { return records_flushed_; }
+
+  /// Where first_auto_response_delay was recorded: the (barrier seq,
+  /// group) of the first purge that hit a live attack, ~0/~0 when none
+  /// did. Purge delivery order is (barrier, group, post order), so the
+  /// distributed coordinator picks the lexicographically first origin
+  /// across workers to reproduce the in-process "first response" value.
+  std::uint64_t first_purge_barrier() const noexcept {
+    return first_purge_barrier_;
+  }
+  std::uint64_t first_purge_group() const noexcept {
+    return first_purge_group_;
+  }
 
   /// Flush-ring depth K: how many epochs of sink writes may be in
   /// flight behind the barrier. Call before run(). Default comes from
@@ -189,6 +267,18 @@ class ParallelSimulation {
   const U1Backend& backend(std::size_t group) const;
   /// All per-group metadata stores; analysis overloads aggregate these.
   std::vector<const MetadataStore*> stores() const;
+
+  /// Deterministic per-group load estimate for the distributed
+  /// coordinator's slice planner: replays exactly the master-RNG draws
+  /// of register_population / grant_shares / bootstrap_phase (profile
+  /// sample + agent fork per user, one peer draw per sharer, the
+  /// three bootstrap-size draws) and returns, per group, the realized
+  /// bootstrap file count plus an activity term for trace-window
+  /// growth. Any drift between this replay and the real setup sequence
+  /// only degrades slice *balance* — the merged trace is bit-identical
+  /// for every contiguous split, so correctness never depends on it.
+  static std::vector<double> estimate_group_setup_weights(
+      const SimulationConfig& config);
   /// The merged global dedup registry (what contents() was on Simulation).
   const ContentRegistry& contents() const noexcept;
   /// Blobs whose last references were dropped by different groups within
@@ -263,9 +353,10 @@ class ParallelSimulation {
   void stop_workers();
   void worker_loop(std::size_t id);
   void run_epoch_pooled(SimTime limit);
-  /// (Re)builds the sticky group->worker plan when the cost-weighted
-  /// load imbalance under the current plan exceeds 25% (LPT greedy,
-  /// deterministic). Called between barriers, workers parked.
+  /// (Re)builds the sticky group->worker plan when the EMA-smoothed
+  /// cost-weighted load imbalance stays above 25% and the 12-epoch
+  /// rebuild floor has elapsed (LPT greedy, deterministic). Called
+  /// between barriers, workers parked.
   void prepare_epoch_plan(std::size_t workers);
   /// Sequential barrier work: join stage A, dedup/pool merge, purge
   /// delivery, symbol publication, slot hand-off. The trace heavy
@@ -285,6 +376,10 @@ class ParallelSimulation {
     std::vector<std::vector<TraceRecord>> chunks;  // per group
     std::vector<std::vector<Symbol>> sym_map;      // local -> global ids
     std::vector<MergeRef> plan;                    // merged permutation
+    /// Worker mode only: per group, the symbols published at this
+    /// chunk's barrier (global id in THIS process, string) — shipped to
+    /// the peer so the coordinator can replay the table growth.
+    std::vector<std::vector<std::pair<Symbol, std::string>>> new_syms;
   };
 
   // Flush ring machinery. Runs on flusher_/writer_ when pooled, inline
@@ -317,6 +412,20 @@ class ParallelSimulation {
   /// Drains the purge mailbox in group-index order, applying each purge
   /// at `when`.
   void deliver_purges(SimTime when);
+
+  // Worker-mode plumbing (enable_worker_mode; no-ops otherwise).
+  bool group_local(std::size_t g) const noexcept {
+    return peer_ == nullptr ||
+           (g >= local_first_ && g < local_first_ + local_count_);
+  }
+  /// Frees the heavy per-group state of every non-local group after the
+  /// deterministic setup replay, and records the local set in
+  /// active_groups_.
+  void release_remote_groups();
+  /// One peer barrier: extract local dedup logs / pool deltas (skipped
+  /// on tail barriers), ship them plus the guard feed, replay the
+  /// returned cluster-wide set in group order and post routed purges.
+  void exchange_barrier(bool tail);
 
   SimTime bot_wake(Group& grp, std::size_t bot_index, SimTime now);
   void launch_attack(Group& grp, std::size_t attack_index, SimTime now);
@@ -372,6 +481,28 @@ class ParallelSimulation {
   std::mutex worker_error_mu_;
   /// Sticky plan: plan_[worker] = ordered groups it runs each epoch.
   std::vector<std::vector<std::size_t>> plan_;
+  /// Rebuild hysteresis: EMA-smoothed load drift plus a floor on epochs
+  /// between LPT repartitions, so one bursty epoch (or a small
+  /// persistent wobble) cannot thrash the cache-affine plan.
+  double plan_drift_ema_ = 0.0;
+  std::uint64_t plan_epochs_since_rebuild_ = 0;
+
+  // Distributed worker mode (enable_worker_mode).
+  EpochPeer* peer_ = nullptr;
+  std::size_t local_first_ = 0;
+  std::size_t local_count_ = 0;
+  /// Collect the AnomalyGuard observation feed in stage A (worker mode
+  /// with countermeasures on; detection itself runs on the coordinator).
+  bool collect_feed_ = false;
+  std::vector<GuardFeedEntry> feed_buf_;
+  std::uint64_t barrier_seq_ = 0;
+  /// Reusable swap buffer for shedding remote groups' bootstrap trace
+  /// records per user (bootstrap_phase); bounces capacity between sheds
+  /// so the hot path never reallocates.
+  std::vector<TraceRecord> shed_scratch_;
+  /// Groups this process simulates, ascending. Identity when not in
+  /// worker mode; every epoch loop iterates this, not groups_.
+  std::vector<std::size_t> active_groups_;
 
   // Flush-ring state. Slot ownership hands off under flush_mu_:
   // coordinator (fill, while kFree) -> flusher (stage A: chunks,
@@ -414,6 +545,8 @@ class ParallelSimulation {
   EpochPhases phases_;
   SimulationReport report_;
   std::uint64_t cross_group_dead_blobs_ = 0;
+  std::uint64_t first_purge_barrier_ = ~0ull;
+  std::uint64_t first_purge_group_ = ~0ull;
   bool ran_ = false;
 };
 

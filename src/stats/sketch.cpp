@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <string>
+
+#include "proto/wire.hpp"
 
 namespace u1 {
 namespace {
@@ -384,6 +388,162 @@ LorenzCurve BinnedLorenz::curve() const {
   }
   out.gini = 1.0 - area2;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (distributed cross-process merge, DESIGN.md §12).
+//
+// Little-endian, varint-counted, doubles as raw 8-byte IEEE-754 bit
+// patterns — byte-exact round trips, so a worker's serialized sketch
+// merged on the coordinator is indistinguishable from the worker's
+// in-memory sketch. Each deserialize consumes its own bytes from the
+// front of the span (states nest inside control-frame payloads) and
+// validates the same invariants the constructors enforce, plus sanity
+// caps so a corrupt length cannot drive a huge allocation.
+
+namespace {
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+double get_f64(wire::Cursor& c) {
+  const std::uint8_t* p = c.take(8);
+  if (!p) return 0.0;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i)
+    bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+[[noreturn]] void malformed(const char* what) {
+  throw std::invalid_argument(std::string(what) +
+                              ": malformed serialized state");
+}
+
+/// Hands the unconsumed remainder back to the caller's span.
+void advance(std::span<const std::uint8_t>& bytes, const wire::Cursor& c) {
+  bytes = {c.p, static_cast<std::size_t>(c.end - c.p)};
+}
+
+}  // namespace
+
+void QuantileSketch::serialize(std::vector<std::uint8_t>& out) const {
+  wire::put_varint(out, k_);
+  wire::put_varint(out, n_);
+  put_f64(out, min_);
+  put_f64(out, max_);
+  wire::put_varint(out, levels_.size());
+  for (std::size_t h = 0; h < levels_.size(); ++h) {
+    wire::put_varint(out, levels_[h].size());
+    for (const double v : levels_[h]) put_f64(out, v);
+    out.push_back(parity_[h]);
+  }
+}
+
+QuantileSketch QuantileSketch::deserialize(
+    std::span<const std::uint8_t>& bytes) {
+  wire::Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  const std::uint64_t k = c.varint();
+  if (!c.ok || k < 8 || k > (1u << 20) || k % 2 != 0)
+    malformed("QuantileSketch::deserialize");
+  QuantileSketch s(static_cast<std::size_t>(k));
+  s.n_ = c.varint();
+  s.min_ = get_f64(c);
+  s.max_ = get_f64(c);
+  const std::uint64_t levels = c.varint();
+  if (!c.ok || levels > 64) malformed("QuantileSketch::deserialize");
+  s.levels_.resize(static_cast<std::size_t>(levels));
+  s.parity_.resize(static_cast<std::size_t>(levels));
+  for (std::size_t h = 0; h < s.levels_.size(); ++h) {
+    const std::uint64_t n = c.varint();
+    if (!c.ok || n > k) malformed("QuantileSketch::deserialize");
+    s.levels_[h].resize(static_cast<std::size_t>(n));
+    for (double& v : s.levels_[h]) v = get_f64(c);
+    const std::uint8_t parity = c.u8();
+    if (parity > 1) malformed("QuantileSketch::deserialize");
+    s.parity_[h] = parity;
+  }
+  if (!c.ok) malformed("QuantileSketch::deserialize");
+  advance(bytes, c);
+  return s;
+}
+
+void CountMinSketch::serialize(std::vector<std::uint8_t>& out) const {
+  wire::put_varint(out, width_);
+  wire::put_varint(out, depth_);
+  wire::put_varint(out, seed_);
+  wire::put_varint(out, total_);
+  for (const std::uint64_t v : counters_) wire::put_varint(out, v);
+}
+
+CountMinSketch CountMinSketch::deserialize(
+    std::span<const std::uint8_t>& bytes) {
+  wire::Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  const std::uint64_t width = c.varint();
+  const std::uint64_t depth = c.varint();
+  if (!c.ok || width < 2 || depth < 1 || width * depth > (1u << 26))
+    malformed("CountMinSketch::deserialize");
+  CountMinSketch s(static_cast<std::size_t>(width),
+                   static_cast<std::size_t>(depth));
+  s.seed_ = c.varint();
+  s.total_ = c.varint();
+  for (std::uint64_t& v : s.counters_) v = c.varint();
+  if (!c.ok) malformed("CountMinSketch::deserialize");
+  advance(bytes, c);
+  return s;
+}
+
+void LogHistogram::serialize(std::vector<std::uint8_t>& out) const {
+  put_f64(out, min_value_);
+  put_f64(out, bins_per_octave_);
+  wire::put_varint(out, counts_.size());
+  for (const double v : counts_) put_f64(out, v);
+  put_f64(out, total_);
+}
+
+LogHistogram LogHistogram::deserialize(std::span<const std::uint8_t>& bytes) {
+  wire::Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  const double min_value = get_f64(c);
+  const double bins_per_octave = get_f64(c);
+  const std::uint64_t bins = c.varint();
+  if (!c.ok || !(min_value > 0) || !(bins_per_octave > 0) || bins < 2 ||
+      bins > (1u << 24))
+    malformed("LogHistogram::deserialize");
+  LogHistogram h(min_value, 1, static_cast<std::size_t>(bins));
+  h.bins_per_octave_ = bins_per_octave;
+  for (double& v : h.counts_) v = get_f64(c);
+  h.total_ = get_f64(c);
+  if (!c.ok) malformed("LogHistogram::deserialize");
+  advance(bytes, c);
+  return h;
+}
+
+void BinnedLorenz::serialize(std::vector<std::uint8_t>& out) const {
+  hist_.serialize(out);
+  for (const double v : sums_) put_f64(out, v);  // count == hist_.bins()
+  wire::put_varint(out, zeros_);
+  wire::put_varint(out, count_);
+  put_f64(out, total_);
+}
+
+BinnedLorenz BinnedLorenz::deserialize(std::span<const std::uint8_t>& bytes) {
+  BinnedLorenz s;
+  s.hist_ = LogHistogram::deserialize(bytes);
+  wire::Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  s.sums_.assign(s.hist_.bins(), 0.0);
+  for (double& v : s.sums_) v = get_f64(c);
+  s.zeros_ = c.varint();
+  s.count_ = c.varint();
+  s.total_ = get_f64(c);
+  if (!c.ok) malformed("BinnedLorenz::deserialize");
+  advance(bytes, c);
+  return s;
 }
 
 }  // namespace u1

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "stats/gini.hpp"
@@ -66,6 +67,15 @@ class QuantileSketch {
   /// Items currently stored (memory bound: <= k * levels).
   std::size_t stored_items() const noexcept;
 
+  /// Byte-exact state snapshot for cross-process merge: the distributed
+  /// engine ships sketch states over the control plane instead of record
+  /// streams. deserialize(serialize(s)) reproduces s bit-for-bit, so
+  /// merged figures stay identical to the in-process run. `bytes` is
+  /// consumed from the front (advanced past this sketch — states nest in
+  /// larger payloads); throws std::invalid_argument on malformed input.
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static QuantileSketch deserialize(std::span<const std::uint8_t>& bytes);
+
  private:
   void compact_level(std::size_t h);
   /// All (value, weight) pairs, sorted by value.
@@ -101,6 +111,10 @@ class CountMinSketch {
   double epsilon() const noexcept {
     return 2.0 / static_cast<double>(width_);
   }
+
+  /// Byte-exact state snapshot (see QuantileSketch::serialize).
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static CountMinSketch deserialize(std::span<const std::uint8_t>& bytes);
 
  private:
   std::size_t row_index(std::uint64_t key, std::size_t row) const noexcept;
@@ -147,6 +161,10 @@ class LogHistogram {
   /// top). Public so BinnedLorenz can keep exact per-bin sums.
   std::size_t bin_of(double x) const noexcept;
 
+  /// Byte-exact state snapshot (see QuantileSketch::serialize).
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static LogHistogram deserialize(std::span<const std::uint8_t>& bytes);
+
  private:
   double min_value_;
   double bins_per_octave_;
@@ -180,6 +198,10 @@ class BinnedLorenz {
   double top_share(double top_fraction) const {
     return curve().top_share(top_fraction);
   }
+
+  /// Byte-exact state snapshot (see QuantileSketch::serialize).
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static BinnedLorenz deserialize(std::span<const std::uint8_t>& bytes);
 
  private:
   LogHistogram hist_;           // entity counts per value bin

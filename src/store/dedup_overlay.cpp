@@ -1,6 +1,10 @@
 #include "store/dedup_overlay.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "proto/wire.hpp"
 
 namespace u1 {
 
@@ -71,44 +75,100 @@ SharedDedup::SharedDedup(std::size_t groups) {
         std::unique_ptr<DedupOverlay>(new DedupOverlay(&global_)));
 }
 
-void SharedDedup::merge_epoch(const DeadBlobFn& on_dead_blob) {
-  // Replay in fixed group order. The replay is tolerant of cross-group
-  // interleavings the overlays could not see: two groups inserting the
-  // same blob, or jointly dropping a blob's last references.
-  for (auto& overlay : overlays_) {
-    for (DedupOverlay::Op& op : overlay->log_) {
-      switch (op.kind) {
-        case DedupOverlay::OpKind::kInsert:
-          global_.insert(op.id, op.size_bytes, std::move(op.s3_key));
-          break;
-        case DedupOverlay::OpKind::kLink:
-          // Re-materialize if another group erased it this epoch (the
-          // overlay validated the link against its own frozen view).
-          if (global_.find(op.id) == nullptr)
-            global_.insert(op.id, op.size_bytes, std::move(op.s3_key));
-          global_.link(op.id);
-          break;
-        case DedupOverlay::OpKind::kUnlink: {
-          const ContentInfo* info = global_.find(op.id);
-          if (info == nullptr || info->refcount == 0) break;  // already dead
-          if (auto dead = global_.unlink(op.id)) {
-            // Nobody observed the death in-line (the final references
-            // were spread over several groups): GC it here.
-            global_.erase(op.id);
-            if (on_dead_blob) on_dead_blob(*dead);
-          }
-          break;
-        }
-        case DedupOverlay::OpKind::kErase: {
-          const ContentInfo* info = global_.find(op.id);
-          if (info != nullptr && info->refcount == 0) global_.erase(op.id);
-          break;
-        }
+void SharedDedup::replay_op(DedupOverlay::OpKind kind, const ContentId& id,
+                            std::uint64_t size_bytes, std::string s3_key,
+                            const DeadBlobFn& on_dead_blob) {
+  // The replay is tolerant of cross-group interleavings the overlays
+  // could not see: two groups inserting the same blob, or jointly
+  // dropping a blob's last references.
+  switch (kind) {
+    case DedupOverlay::OpKind::kInsert:
+      global_.insert(id, size_bytes, std::move(s3_key));
+      break;
+    case DedupOverlay::OpKind::kLink:
+      // Re-materialize if another group erased it this epoch (the
+      // overlay validated the link against its own frozen view).
+      if (global_.find(id) == nullptr)
+        global_.insert(id, size_bytes, std::move(s3_key));
+      global_.link(id);
+      break;
+    case DedupOverlay::OpKind::kUnlink: {
+      const ContentInfo* info = global_.find(id);
+      if (info == nullptr || info->refcount == 0) break;  // already dead
+      if (auto dead = global_.unlink(id)) {
+        // Nobody observed the death in-line (the final references
+        // were spread over several groups): GC it here.
+        global_.erase(id);
+        if (on_dead_blob) on_dead_blob(*dead);
       }
+      break;
     }
+    case DedupOverlay::OpKind::kErase: {
+      const ContentInfo* info = global_.find(id);
+      if (info != nullptr && info->refcount == 0) global_.erase(id);
+      break;
+    }
+  }
+}
+
+void SharedDedup::merge_epoch(const DeadBlobFn& on_dead_blob) {
+  // Replay in fixed group order.
+  for (auto& overlay : overlays_) {
+    for (DedupOverlay::Op& op : overlay->log_)
+      replay_op(op.kind, op.id, op.size_bytes, std::move(op.s3_key),
+                on_dead_blob);
     overlay->log_.clear();
     overlay->views_.clear();
   }
+}
+
+std::vector<std::uint8_t> SharedDedup::extract_log(std::size_t group) {
+  DedupOverlay& overlay = *overlays_[group];
+  std::vector<std::uint8_t> out;
+  out.reserve(16 + overlay.log_.size() * 32);
+  wire::put_varint(out, overlay.log_.size());
+  for (const DedupOverlay::Op& op : overlay.log_) {
+    out.push_back(static_cast<std::uint8_t>(op.kind));
+    wire::put_raw(out, op.id.bytes.data(), op.id.bytes.size());
+    wire::put_varint(out, op.size_bytes);
+    wire::put_varint(out, op.s3_key.size());
+    wire::put_raw(out,
+                  reinterpret_cast<const std::uint8_t*>(op.s3_key.data()),
+                  op.s3_key.size());
+  }
+  overlay.log_.clear();
+  overlay.views_.clear();
+  return out;
+}
+
+void SharedDedup::apply_log(std::span<const std::uint8_t> bytes,
+                            const DeadBlobFn& on_dead_blob) {
+  wire::Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  const std::uint64_t n = c.varint();
+  for (std::uint64_t i = 0; c.ok && i < n; ++i) {
+    const std::uint8_t kind = c.u8();
+    if (kind > static_cast<std::uint8_t>(DedupOverlay::OpKind::kErase)) {
+      c.ok = false;
+      break;
+    }
+    ContentId id;
+    if (const std::uint8_t* p = c.take(id.bytes.size()))
+      std::copy(p, p + id.bytes.size(), id.bytes.begin());
+    const std::uint64_t size_bytes = c.varint();
+    const std::uint64_t key_len = c.varint();
+    if (!c.ok || key_len > static_cast<std::uint64_t>(c.end - c.p)) {
+      c.ok = false;
+      break;
+    }
+    const std::uint8_t* key = c.take(static_cast<std::size_t>(key_len));
+    if (!c.ok) break;
+    replay_op(static_cast<DedupOverlay::OpKind>(kind), id, size_bytes,
+              std::string(reinterpret_cast<const char*>(key),
+                          static_cast<std::size_t>(key_len)),
+              on_dead_blob);
+  }
+  if (!c.ok || c.p != c.end)
+    throw std::runtime_error("SharedDedup::apply_log: malformed op log");
 }
 
 }  // namespace u1

@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -98,7 +99,24 @@ class SharedDedup {
   /// call only at an epoch barrier.
   void merge_epoch(const DeadBlobFn& on_dead_blob = {});
 
+  /// Distributed barrier support (DESIGN.md §12): serializes one
+  /// overlay's epoch op log and clears the overlay — the worker-side
+  /// half of merge_epoch. Wire format: varint op count, then per op
+  /// kind:u8, id:20B raw, size:varint, s3_key:varint-length + bytes.
+  std::vector<std::uint8_t> extract_log(std::size_t group);
+  /// Replays one serialized op log into the global registry with
+  /// merge_epoch's tolerant cross-group semantics. Every process applies
+  /// every group's blob in group order, so the replicas stay identical.
+  /// The channel is trusted (same-binary workers over a socketpair);
+  /// throws std::runtime_error on a malformed blob.
+  void apply_log(std::span<const std::uint8_t> bytes,
+                 const DeadBlobFn& on_dead_blob = {});
+
  private:
+  void replay_op(DedupOverlay::OpKind kind, const ContentId& id,
+                 std::uint64_t size_bytes, std::string s3_key,
+                 const DeadBlobFn& on_dead_blob);
+
   ContentRegistry global_;
   std::vector<std::unique_ptr<DedupOverlay>> overlays_;
 };

@@ -111,6 +111,13 @@ class MetadataStore {
   /// users live on different shards, as in the paper).
   void share_volume(UserId owner, VolumeId volume, UserId to, SimTime now);
 
+  /// Shard-parallel worker hook: drops `user`'s node rows on their home
+  /// shard without touching dedup refcounts (see Shard::shed_user_namespace).
+  /// Does not count as an operation — shards_touched() is unaffected.
+  void shed_user_namespace(UserId user) {
+    shard_ref(shard_of(user)).shed_user_namespace(user);
+  }
+
   /// Re-points every dedup operation (lookup/insert/link/unlink/erase) at
   /// an external index instead of the store-owned registry. The
   /// shard-parallel engine uses this to share one global dedup registry

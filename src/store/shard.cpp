@@ -147,6 +147,22 @@ std::vector<ContentId> Shard::delete_volume(VolumeId id) {
   return released;
 }
 
+void Shard::shed_user_namespace(UserId user) {
+  const auto vols = volumes_by_user_.find(user);
+  if (vols == volumes_by_user_.end()) return;
+  for (const VolumeId& vol : vols->second) {
+    const auto it = nodes_by_volume_.find(vol);
+    if (it == nodes_by_volume_.end()) continue;
+    // Straight row surgery: no dedup release, no generation bumps — the
+    // registry must end up byte-identical to an engine that kept the rows.
+    for (const NodeId& nid : it->second) {
+      nodes_.erase(nid);
+      children_.erase(nid);
+    }
+    nodes_by_volume_.erase(it);
+  }
+}
+
 Node& Shard::make_node(UserId user, VolumeId volume, NodeId parent,
                        NodeKind kind, std::string name_hash,
                        std::string extension, SimTime now, Rng& rng) {

@@ -117,6 +117,16 @@ class Shard {
   std::vector<ShareGrant> share_grants(UserId user) const;
   void remove_grants_for_volume(VolumeId volume);
 
+  /// Drops every node row of `user`'s volumes (including root dirs)
+  /// WITHOUT releasing dedup references — the blobs stay live in the
+  /// registry exactly as if the rows were still here. Worker processes
+  /// of the distributed engine call this right after a remote user's
+  /// bootstrap replay: the rows would otherwise sit as dead weight until
+  /// release_remote_groups(), pinning the per-process setup RSS peak.
+  /// The user/volume rows stay (tiny, and share grants resolve against
+  /// them); never call this for a user that will run in this process.
+  void shed_user_namespace(UserId user);
+
   // --- stats ------------------------------------------------------------
   /// Read-only iteration hooks for state-snapshot analyses (Fig. 10/11).
   const std::unordered_map<VolumeId, Volume>& volumes_map() const noexcept {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "proto/wire.hpp"
 #include "util/sha1.hpp"
 
 namespace u1 {
@@ -97,6 +98,25 @@ void ContentPool::absorb(ContentPoolView& view) {
   view.reported_duplicates_ = view.duplicates_;
 }
 
+void ContentPool::absorb_delta(std::span<const std::uint8_t> bytes) {
+  wire::Cursor c{bytes.data(), bytes.data() + bytes.size()};
+  for (std::size_t cat = 0; cat < kFileCategoryCount; ++cat) {
+    const std::uint64_t n = c.varint();
+    auto& mine = by_category_[cat];
+    for (std::uint64_t i = 0; c.ok && i < n; ++i) {
+      Circulating entry{};
+      if (const std::uint8_t* p = c.take(entry.id.bytes.size()))
+        std::copy(p, p + entry.id.bytes.size(), entry.id.bytes.begin());
+      entry.size_bytes = c.varint();
+      if (c.ok) mine.push_back(entry);
+    }
+  }
+  absorbed_unique_ += c.varint();
+  absorbed_duplicates_ += c.varint();
+  if (!c.ok || c.p != c.end)
+    throw std::runtime_error("ContentPool::absorb_delta: malformed delta");
+}
+
 ContentPoolView::ContentPoolView(const ContentPool& global, std::uint64_t salt)
     : ContentPool(global.duplicate_prob_, global.zipf_s_, salt),
       global_(&global) {}
@@ -131,6 +151,24 @@ ContentDraw ContentPoolView::draw(const FileSpec& spec, Rng& rng) {
 ContentDraw ContentPoolView::draw_update(std::uint64_t new_size, Rng& rng) {
   if (live_ != nullptr) return live_->draw_update(new_size, rng);
   return ContentPool::draw_update(new_size, rng);
+}
+
+std::vector<std::uint8_t> ContentPoolView::extract_delta() {
+  std::vector<std::uint8_t> out;
+  for (std::size_t cat = 0; cat < kFileCategoryCount; ++cat) {
+    auto& pending = by_category_[cat];
+    wire::put_varint(out, pending.size());
+    for (const Circulating& entry : pending) {
+      wire::put_raw(out, entry.id.bytes.data(), entry.id.bytes.size());
+      wire::put_varint(out, entry.size_bytes);
+    }
+    pending.clear();
+  }
+  wire::put_varint(out, unique_seq_ - reported_unique_);
+  wire::put_varint(out, duplicates_ - reported_duplicates_);
+  reported_unique_ = unique_seq_;
+  reported_duplicates_ = duplicates_;
+  return out;
 }
 
 }  // namespace u1

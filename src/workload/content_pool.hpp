@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +55,13 @@ class ContentPool {
   /// counters into the aggregate stats. Call only between epochs, in fixed
   /// group order.
   void absorb(ContentPoolView& view);
+
+  /// Byte-level absorb for the distributed engine: applies a serialized
+  /// delta (ContentPoolView::extract_delta from another process) with
+  /// absorb()'s exact semantics, so every process's pool replica stays
+  /// identical when all groups' deltas are applied in group order.
+  /// Trusted channel; throws std::runtime_error on a malformed blob.
+  void absorb_delta(std::span<const std::uint8_t> bytes);
 
   std::size_t circulating(FileCategory category) const;
   std::uint64_t unique_drawn() const noexcept {
@@ -108,6 +116,14 @@ class ContentPoolView final : public ContentPool {
   /// nullptr before the parallel run starts to freeze the global pool and
   /// switch to the epoch-overlay behavior above.
   void set_live(ContentPool* live) noexcept { live_ = live; }
+
+  /// The worker-side half of ContentPool::absorb for the distributed
+  /// engine: serializes this view's pending circulating entries and draw
+  /// counter deltas, clears the pending state and marks the counters
+  /// reported — exactly the state transition absorb() applies to the
+  /// view. Format: per category varint count + entries (id:20B raw,
+  /// size:varint), then varint unique/duplicate deltas.
+  std::vector<std::uint8_t> extract_delta();
 
  private:
   friend class ContentPool;  // absorb drains pending entries and counters

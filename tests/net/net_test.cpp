@@ -29,8 +29,8 @@ namespace {
 /// test bodies go through stopped(), which synchronizes first.
 class LiveServer {
  public:
-  explicit LiveServer(BackendConfig cfg = {}) : backend_(cfg, sink_) {
-    NetServerConfig net;
+  explicit LiveServer(BackendConfig cfg = {}, NetServerConfig net = {})
+      : backend_(cfg, sink_) {
     net.port = 0;
     server_ = std::make_unique<U1dServer>(backend_, net);
     EXPECT_TRUE(server_->start());
@@ -449,6 +449,48 @@ TEST(U1dServer, PipelinedFramesInOneWriteAllAnswered) {
   const NetServerStats& stats = live.stop();
   EXPECT_EQ(stats.requests, 2u);
   EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(U1dServer, SlowReaderBackpressureDrainsWithoutDrop) {
+  // A reader that stops consuming while thousands of responses are
+  // owed: with both kernel buffers pinned tiny, the server's flush()
+  // hits EAGAIN almost immediately and the whole reply stream has to
+  // ride the per-connection backlog through POLLOUT-driven partial
+  // sends. Every response must still arrive, in order, on the same
+  // connection — a slow reader is backpressure, not an error. (EINTR
+  // and the write()==0 stale-errno case in flush() share this exit
+  // path: any mishandling shows up here as a dropped connection.)
+  constexpr std::size_t kRequests = 3000;
+  NetServerConfig net;
+  net.send_buffer_bytes = 4096;  // kernel clamps to its floor, stays tiny
+  LiveServer live({}, net);
+  BlockingClient client;
+  ASSERT_TRUE(client.connect_loopback(live.port(), /*recv_buffer_bytes=*/4096));
+
+  // Pipeline every request up front, reading nothing: the server drains
+  // the inbound stream unboundedly, so this send cannot deadlock, and
+  // the owed responses pile up server-side.
+  std::vector<std::uint8_t> burst;
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    Request q = make_request(ProtoOp::kRegisterUser, kHour);
+    q.user.value = 100000 + i;
+    append_request_frame(burst, q);
+  }
+  ASSERT_TRUE(client.send_bytes(burst.data(), burst.size()));
+
+  // Now drain. Responses must come back complete and in request order.
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    const auto resp = client.recv_response();
+    ASSERT_TRUE(resp.has_value()) << "stream died at response " << i;
+    EXPECT_EQ(resp->op, ProtoOp::kRegisterUser);
+    EXPECT_TRUE(resp->ok()) << "response " << i;
+  }
+
+  const NetServerStats& stats = live.stop();
+  EXPECT_EQ(stats.requests, kRequests);
+  EXPECT_EQ(stats.responses, kRequests);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.closed, 0u);  // the slow reader was never dropped
 }
 
 }  // namespace

@@ -1,0 +1,326 @@
+// Control-plane codec battery (DESIGN.md §12): round-trips for every
+// epoch-barrier message, pinned wire op bytes, and the PR-7 hostile
+// battery extended over the control frames — truncation at every field
+// boundary, oversized length prefixes, version skew, slack payloads,
+// foreign op bytes and hostile count fields. The coordinator/worker
+// sockets feed decoded frames straight into the barrier relay, so every
+// rejection here is a connection the distributed engine refuses to
+// trust rather than a crash or a silent mis-merge.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "proto/control.hpp"
+#include "proto/envelope.hpp"
+
+namespace u1 {
+namespace {
+
+EpochBeginMsg sample_begin() {
+  EpochBeginMsg m;
+  m.seq = 41;
+  m.tail = false;
+  m.dedup_logs = {{1, 2, 3}, {}, {0xff, 0x00, 0x7f, 0x80}};
+  m.pool_deltas = {{9}, {8, 7}, {}};
+  return m;
+}
+
+EpochDoneMsg sample_done() {
+  EpochDoneMsg m;
+  m.seq = 7;
+  m.tail = true;
+  m.first_group = 4;
+  m.dedup_logs = {{5, 6}};
+  m.pool_deltas = {{}};
+  m.feed = {{.t = 3600, .user = 99, .session_event = 2},
+            {.t = 7200, .user = 11, .session_event = 0}};
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Round-trips: encode -> frame -> split -> decode must reproduce the
+// message exactly, including empty vectors and boundary values.
+
+TEST(ControlCodec, EpochBeginRoundTrip) {
+  const EpochBeginMsg in = sample_begin();
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kEpochBegin, encode_epoch_begin(in));
+
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode fd = split_control_frame(wire.data(), wire.size(), op,
+                                             payload);
+  ASSERT_EQ(fd.status, Status::kOk);
+  EXPECT_EQ(fd.consumed, wire.size());
+  EXPECT_EQ(op, ProtoOp::kEpochBegin);
+
+  EpochBeginMsg out;
+  ASSERT_EQ(decode_epoch_begin(payload, out), Status::kOk);
+  EXPECT_EQ(out, in);
+}
+
+TEST(ControlCodec, MailboxBatchRoundTripIncludingEmpty) {
+  for (const bool empty : {false, true}) {
+    MailboxBatchMsg in;
+    in.seq = 123456789;
+    if (!empty)
+      in.entries = {{0, 42}, {3, ~0ull}, {65535, 1}};
+    std::vector<std::uint8_t> wire;
+    append_control_frame(wire, ProtoOp::kMailboxBatch,
+                         encode_mailbox_batch(in));
+    ProtoOp op{};
+    std::span<const std::uint8_t> payload;
+    ASSERT_EQ(split_control_frame(wire.data(), wire.size(), op, payload)
+                  .status,
+              Status::kOk);
+    EXPECT_EQ(op, ProtoOp::kMailboxBatch);
+    MailboxBatchMsg out;
+    ASSERT_EQ(decode_mailbox_batch(payload, out), Status::kOk);
+    EXPECT_EQ(out, in);
+  }
+}
+
+TEST(ControlCodec, EpochDoneRoundTrip) {
+  const EpochDoneMsg in = sample_done();
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kEpochDone, encode_epoch_done(in));
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(split_control_frame(wire.data(), wire.size(), op, payload).status,
+            Status::kOk);
+  EXPECT_EQ(op, ProtoOp::kEpochDone);
+  EpochDoneMsg out;
+  ASSERT_EQ(decode_epoch_done(payload, out), Status::kOk);
+  EXPECT_EQ(out, in);
+}
+
+TEST(ControlCodec, ChunkMetaRoundTrip) {
+  ChunkMetaMsg in;
+  in.seq = 50;
+  in.counters = {0, 1, ~0ull, 18446744073709551614ull};
+  in.timings = {0.0, 1.5, -2.25, 1e300};
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kChunkMeta, encode_chunk_meta(in));
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(split_control_frame(wire.data(), wire.size(), op, payload).status,
+            Status::kOk);
+  EXPECT_EQ(op, ProtoOp::kChunkMeta);
+  ChunkMetaMsg out;
+  ASSERT_EQ(decode_chunk_meta(payload, out), Status::kOk);
+  EXPECT_EQ(out, in);
+}
+
+TEST(ControlCodec, ShutdownRoundTrip) {
+  ShutdownMsg in;
+  in.code = 1;
+  in.message = "worker 2: segment write failed";
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kShutdown, encode_shutdown(in));
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  ASSERT_EQ(split_control_frame(wire.data(), wire.size(), op, payload).status,
+            Status::kOk);
+  EXPECT_EQ(op, ProtoOp::kShutdown);
+  ShutdownMsg out;
+  ASSERT_EQ(decode_shutdown(payload, out), Status::kOk);
+  EXPECT_EQ(out, in);
+}
+
+TEST(ControlCodec, WireOpBytesArePinned) {
+  // The op bytes are the cross-process ABI; renumbering the enum would
+  // silently break mixed-version coordinator/worker pairs.
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kEpochBegin), 18);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kMailboxBatch), 19);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kEpochDone), 20);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kChunkMeta), 21);
+  EXPECT_EQ(static_cast<std::uint8_t>(ProtoOp::kShutdown), 22);
+  for (std::uint8_t b = 18; b <= 22; ++b)
+    EXPECT_TRUE(control_op_from_wire(b).has_value()) << int(b);
+  EXPECT_FALSE(control_op_from_wire(17).has_value());
+  EXPECT_FALSE(control_op_from_wire(23).has_value());
+  // Request-plane bytes must not decode as control ops (plane split).
+  EXPECT_FALSE(control_op_from_wire(0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile battery: the framing layer.
+
+TEST(ControlHostile, ShortHeaderNeedsMore) {
+  const std::uint8_t partial[] = {10, 0, 0};
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode fd = split_control_frame(partial, sizeof partial, op,
+                                             payload);
+  EXPECT_TRUE(fd.need_more);
+  EXPECT_EQ(fd.consumed, 0u);
+}
+
+TEST(ControlHostile, TruncatedBodyNeedsMoreAtEveryPrefix) {
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kEpochBegin,
+                       encode_epoch_begin(sample_begin()));
+  for (std::size_t n = 4; n < wire.size(); ++n) {
+    ProtoOp op{};
+    std::span<const std::uint8_t> payload;
+    const FrameDecode fd = split_control_frame(wire.data(), n, op, payload);
+    EXPECT_TRUE(fd.need_more) << "prefix " << n;
+    EXPECT_EQ(fd.status, Status::kOk) << "prefix " << n;
+  }
+}
+
+TEST(ControlHostile, OversizedLengthPrefixConsumesNothing) {
+  std::vector<std::uint8_t> wire(64, 0xee);
+  const std::uint32_t len = kMaxControlFrameBytes + 1;
+  wire[0] = static_cast<std::uint8_t>(len);
+  wire[1] = static_cast<std::uint8_t>(len >> 8);
+  wire[2] = static_cast<std::uint8_t>(len >> 16);
+  wire[3] = static_cast<std::uint8_t>(len >> 24);
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode fd = split_control_frame(wire.data(), wire.size(), op,
+                                             payload);
+  EXPECT_EQ(fd.status, Status::kOversizedFrame);
+  EXPECT_TRUE(is_protocol_error(fd.status));
+  EXPECT_EQ(fd.consumed, 0u);  // no trustworthy resync point: drop the peer
+}
+
+TEST(ControlHostile, RuntLengthIsBadFrameButConsumed) {
+  // len == 2 cannot hold version+op; the frame is still consumed so the
+  // stream can resync at the next length prefix.
+  const std::uint8_t runt[] = {2, 0, 0, 0, 0xaa, 0xbb};
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode fd = split_control_frame(runt, sizeof runt, op, payload);
+  EXPECT_EQ(fd.status, Status::kBadFrame);
+  EXPECT_EQ(fd.consumed, sizeof runt);
+}
+
+TEST(ControlHostile, VersionMismatchRejectedPerFrame) {
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kShutdown, encode_shutdown({}));
+  wire[4] = 0x63;  // bogus version
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode fd = split_control_frame(wire.data(), wire.size(), op,
+                                             payload);
+  EXPECT_EQ(fd.status, Status::kVersionMismatch);
+  EXPECT_EQ(fd.consumed, wire.size());
+}
+
+TEST(ControlHostile, RequestPlaneOpOnControlStreamIsUnknown) {
+  // A kConnect byte inside a control frame: the planes must not mix.
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kShutdown, encode_shutdown({}));
+  wire[6] = 1;  // a request-plane wire byte
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode fd = split_control_frame(wire.data(), wire.size(), op,
+                                             payload);
+  EXPECT_EQ(fd.status, Status::kUnknownOp);
+  EXPECT_EQ(fd.consumed, wire.size());
+}
+
+// ---------------------------------------------------------------------------
+// Hostile battery: the payload codecs.
+
+TEST(ControlHostile, TruncatedPayloadRejectedAtEveryBoundary) {
+  // Chopping the payload at every possible length must yield a typed
+  // kBadFrame — never a crash, never a partial decode reported as kOk.
+  const std::vector<std::uint8_t> full = encode_epoch_done(sample_done());
+  for (std::size_t n = 0; n < full.size(); ++n) {
+    EpochDoneMsg out;
+    const Status s =
+        decode_epoch_done(std::span(full.data(), n), out);
+    EXPECT_EQ(s, Status::kBadFrame) << "truncated at " << n;
+  }
+}
+
+TEST(ControlHostile, SlackPayloadBytesRejected) {
+  for (int extra = 1; extra <= 3; ++extra) {
+    std::vector<std::uint8_t> payload = encode_mailbox_batch({});
+    payload.insert(payload.end(), static_cast<std::size_t>(extra), 0x00);
+    MailboxBatchMsg out;
+    EXPECT_EQ(decode_mailbox_batch(payload, out), Status::kSlackPayload);
+  }
+}
+
+TEST(ControlHostile, TailByteAboveOneRejected) {
+  std::vector<std::uint8_t> payload = encode_epoch_begin(sample_begin());
+  // Layout: varint seq (41 -> 1 byte) then the tail byte.
+  ASSERT_EQ(payload[1], 0);
+  payload[1] = 2;
+  EpochBeginMsg out;
+  EXPECT_EQ(decode_epoch_begin(payload, out), Status::kBadFrame);
+}
+
+TEST(ControlHostile, HostileGroupCountRejected) {
+  // A forged blob-list count far past kMaxGroups (1<<16) must be
+  // refused before any allocation is attempted.
+  EpochBeginMsg m;
+  m.seq = 1;
+  std::vector<std::uint8_t> payload = encode_epoch_begin(m);
+  // seq(1B) tail(1B) then varint dedup-log count == 0x00: replace with
+  // a 5-byte varint claiming ~2^32 groups.
+  const std::size_t count_at = 2;
+  ASSERT_EQ(payload[count_at], 0);
+  payload.erase(payload.begin() + static_cast<std::ptrdiff_t>(count_at));
+  const std::uint8_t huge[] = {0xff, 0xff, 0xff, 0xff, 0x0f};
+  payload.insert(payload.begin() + static_cast<std::ptrdiff_t>(count_at),
+                 huge, huge + sizeof huge);
+  EpochBeginMsg out;
+  EXPECT_EQ(decode_epoch_begin(payload, out), Status::kBadFrame);
+}
+
+TEST(ControlHostile, HostileMailboxLaneRejected) {
+  MailboxBatchMsg m;
+  m.entries = {{(1u << 16) + 1, 5}};  // lane past kMaxGroups
+  const std::vector<std::uint8_t> payload = encode_mailbox_batch(m);
+  MailboxBatchMsg out;
+  EXPECT_EQ(decode_mailbox_batch(payload, out), Status::kBadFrame);
+}
+
+TEST(ControlHostile, EmptyPayloadRejectedForEveryMessage) {
+  const std::span<const std::uint8_t> none;
+  EpochBeginMsg b;
+  EXPECT_EQ(decode_epoch_begin(none, b), Status::kBadFrame);
+  MailboxBatchMsg mb;
+  EXPECT_EQ(decode_mailbox_batch(none, mb), Status::kBadFrame);
+  EpochDoneMsg d;
+  EXPECT_EQ(decode_epoch_done(none, d), Status::kBadFrame);
+  ChunkMetaMsg c;
+  EXPECT_EQ(decode_chunk_meta(none, c), Status::kBadFrame);
+  ShutdownMsg s;
+  EXPECT_EQ(decode_shutdown(none, s), Status::kBadFrame);
+}
+
+TEST(ControlHostile, PipelinedFramesSplitCleanly) {
+  // Two frames back-to-back: the splitter must consume exactly one and
+  // leave the second intact for the next call (the socket readers rely
+  // on `consumed` for resync).
+  std::vector<std::uint8_t> wire;
+  append_control_frame(wire, ProtoOp::kEpochBegin,
+                       encode_epoch_begin(sample_begin()));
+  const std::size_t first = wire.size();
+  append_control_frame(wire, ProtoOp::kShutdown, encode_shutdown({}));
+
+  ProtoOp op{};
+  std::span<const std::uint8_t> payload;
+  const FrameDecode a = split_control_frame(wire.data(), wire.size(), op,
+                                            payload);
+  ASSERT_EQ(a.status, Status::kOk);
+  EXPECT_EQ(a.consumed, first);
+  EXPECT_EQ(op, ProtoOp::kEpochBegin);
+
+  const FrameDecode b = split_control_frame(wire.data() + a.consumed,
+                                            wire.size() - a.consumed, op,
+                                            payload);
+  ASSERT_EQ(b.status, Status::kOk);
+  EXPECT_EQ(op, ProtoOp::kShutdown);
+  EXPECT_EQ(a.consumed + b.consumed, wire.size());
+}
+
+}  // namespace
+}  // namespace u1

@@ -150,6 +150,29 @@ TEST(ParallelSimulation, ReportCountersMatchTrace) {
   EXPECT_EQ(report.users, 200u);
 }
 
+TEST(ParallelSimulation, StickyPlanRebuildHysteresis) {
+  // The sticky scheduler may only repartition when the EMA-smoothed
+  // load drift stays past threshold AND at least 12 epochs passed since
+  // the last rebuild. On a fixed seed the rebuild count is therefore a
+  // pure function of the config: pin it against itself across runs and
+  // against the floor-derived ceiling so a future change to the
+  // hysteresis shows up here instead of as silent churn.
+  const auto cfg = small_config();
+  InMemorySink s1, s2;
+  ParallelSimulation a(cfg, s1, 4);
+  a.set_scheduling(ParallelSimulation::Scheduling::kSticky);
+  a.run();
+  ParallelSimulation b(cfg, s2, 4);
+  b.set_scheduling(ParallelSimulation::Scheduling::kSticky);
+  b.run();
+
+  EXPECT_EQ(a.phases().plan_rebuilds, b.phases().plan_rebuilds);
+  EXPECT_GE(a.phases().plan_rebuilds, 1u);  // the initial LPT build
+  // Floor of 12 epochs between rebuilds bounds the count from above.
+  const std::uint64_t epochs = a.phases().epochs;
+  EXPECT_LE(a.phases().plan_rebuilds, 1 + epochs / 12);
+}
+
 TEST(EventQueue, ReserveAndCapacity) {
   EventQueue<int> q;
   q.reserve(64);

@@ -378,5 +378,102 @@ TEST(Ecdf, FromSortedMatchesSortingConstructor) {
     EXPECT_DOUBLE_EQ(via_sorted.at(x), via_sort.at(x));
 }
 
+// ---------------------------------------------------------------------------
+// Serialization: the distributed engine ships sketch states across
+// processes, so deserialize(serialize(s)) must reproduce the state
+// bit-for-bit (asserted through every public read surface), states must
+// nest (the span is consumed from the front), and malformed bytes must
+// throw std::invalid_argument instead of constructing garbage.
+
+TEST(SketchSerialization, QuantileSketchRoundTripsBitExact) {
+  QuantileSketch sk(128);
+  for (const double x : powerlaw_population(5000, 99)) sk.add(x);
+  std::vector<std::uint8_t> bytes;
+  sk.serialize(bytes);
+  std::span<const std::uint8_t> view(bytes);
+  const QuantileSketch back = QuantileSketch::deserialize(view);
+  EXPECT_TRUE(view.empty());  // the whole snapshot was consumed
+  EXPECT_EQ(back.count(), sk.count());
+  EXPECT_EQ(back.stored_items(), sk.stored_items());
+  for (int i = 1; i < 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_DOUBLE_EQ(back.quantile(q), sk.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(back.sorted_sample(64), sk.sorted_sample(64));
+}
+
+TEST(SketchSerialization, CountMinRoundTripsBitExact) {
+  CountMinSketch sk(512, 4, 7);
+  Rng rng(3);
+  for (int i = 0; i < 4000; ++i) sk.add(rng.below(300), 1 + rng.below(5));
+  std::vector<std::uint8_t> bytes;
+  sk.serialize(bytes);
+  std::span<const std::uint8_t> view(bytes);
+  const CountMinSketch back = CountMinSketch::deserialize(view);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(back.total(), sk.total());
+  for (std::uint64_t key = 0; key < 300; ++key)
+    EXPECT_EQ(back.estimate(key), sk.estimate(key)) << "key=" << key;
+}
+
+TEST(SketchSerialization, LogHistogramAndLorenzRoundTripBitExact) {
+  LogHistogram h(1.0, 1e9, 8);
+  BinnedLorenz lz(1.0, 1e9, 8);
+  for (const double x : powerlaw_population(3000, 17)) {
+    h.add(x);
+    lz.add(x);
+  }
+  std::vector<std::uint8_t> bytes;
+  h.serialize(bytes);
+  lz.serialize(bytes);  // nested back-to-back in one buffer
+  std::span<const std::uint8_t> view(bytes);
+  const LogHistogram h2 = LogHistogram::deserialize(view);
+  const BinnedLorenz lz2 = BinnedLorenz::deserialize(view);
+  EXPECT_TRUE(view.empty());
+  EXPECT_DOUBLE_EQ(h2.total(), h.total());
+  for (int i = 1; i < 100; ++i) {
+    const double q = static_cast<double>(i) / 100.0;
+    EXPECT_DOUBLE_EQ(h2.quantile(q), h.quantile(q));
+  }
+  EXPECT_EQ(lz2.count(), lz.count());
+  EXPECT_DOUBLE_EQ(lz2.total(), lz.total());
+  EXPECT_DOUBLE_EQ(lz2.gini(), lz.gini());
+  EXPECT_DOUBLE_EQ(lz2.top_share(0.01), lz.top_share(0.01));
+}
+
+TEST(SketchSerialization, EmptySketchesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  QuantileSketch{}.serialize(bytes);
+  CountMinSketch{}.serialize(bytes);
+  LogHistogram{}.serialize(bytes);
+  BinnedLorenz{}.serialize(bytes);
+  std::span<const std::uint8_t> view(bytes);
+  EXPECT_EQ(QuantileSketch::deserialize(view).count(), 0u);
+  EXPECT_EQ(CountMinSketch::deserialize(view).total(), 0u);
+  EXPECT_DOUBLE_EQ(LogHistogram::deserialize(view).total(), 0.0);
+  EXPECT_EQ(BinnedLorenz::deserialize(view).count(), 0u);
+  EXPECT_TRUE(view.empty());
+}
+
+TEST(SketchSerialization, MalformedBytesThrowTyped) {
+  // Empty input, and a valid snapshot truncated at every prefix: all
+  // must throw std::invalid_argument, never construct a partial sketch.
+  std::span<const std::uint8_t> none;
+  EXPECT_THROW(QuantileSketch::deserialize(none), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch::deserialize(none), std::invalid_argument);
+  EXPECT_THROW(LogHistogram::deserialize(none), std::invalid_argument);
+  EXPECT_THROW(BinnedLorenz::deserialize(none), std::invalid_argument);
+
+  QuantileSketch sk(64);
+  for (int i = 0; i < 500; ++i) sk.add(static_cast<double>(i % 37));
+  std::vector<std::uint8_t> bytes;
+  sk.serialize(bytes);
+  for (std::size_t n = 0; n < bytes.size(); n += 7) {
+    std::span<const std::uint8_t> cut(bytes.data(), n);
+    EXPECT_THROW(QuantileSketch::deserialize(cut), std::invalid_argument)
+        << "prefix " << n;
+  }
+}
+
 }  // namespace
 }  // namespace u1
